@@ -1,0 +1,186 @@
+(* Benchmark harness.
+
+   Part 1 regenerates every paper artefact (the E1-E17 experiment
+   tables and figures - see DESIGN.md's per-experiment index) and fails
+   the process if any experiment check fails.
+
+   Part 2 runs bechamel micro-benchmarks over the building blocks: the
+   simulator with each policy, the exact OPT machinery, the Section 4.3
+   decomposition and the adversary constructions. *)
+
+open Bechamel
+
+(* ---- part 1: regenerate the paper's tables and figures ------------- *)
+
+let regenerate_experiments () =
+  print_endline "################################################################";
+  print_endline "## Part 1: paper artefact regeneration (experiments E1-E17)  ##";
+  print_endline "################################################################";
+  let outcomes = Dbp_experiments.Registry.run_all () in
+  List.iter
+    (fun o -> print_string (Dbp_experiments.Exp_common.render_outcome o))
+    outcomes;
+  let failed =
+    List.fold_left
+      (fun acc o -> acc + o.Dbp_experiments.Exp_common.checks_failed)
+      0 outcomes
+  in
+  if failed > 0 then begin
+    Printf.eprintf "%d experiment checks FAILED\n" failed;
+    exit 1
+  end;
+  print_endline "All experiment checks passed."
+
+(* ---- part 2: micro-benchmarks --------------------------------------- *)
+
+open Dbp_num
+open Dbp_core
+
+let workload n seed =
+  Dbp_workload.Generator.generate ~seed
+    { Dbp_workload.Spec.default with Dbp_workload.Spec.count = n }
+
+let bench_policies =
+  let instance = workload 500 101L in
+  let tests =
+    List.map
+      (fun policy ->
+        Test.make ~name:policy.Policy.name
+          (Staged.stage (fun () -> Simulator.run ~policy instance)))
+      (Algorithms.all ())
+  in
+  Test.make_grouped ~name:"simulate-500-items" tests
+
+let bench_opt =
+  let small = workload 60 102L in
+  let medium = workload 150 103L in
+  Test.make_grouped ~name:"opt-total"
+    [
+      Test.make ~name:"60-items"
+        (Staged.stage (fun () -> Dbp_opt.Opt_total.compute small));
+      Test.make ~name:"150-items"
+        (Staged.stage (fun () -> Dbp_opt.Opt_total.compute medium));
+      Test.make ~name:"segment-lower-bound-150"
+        (Staged.stage (fun () -> Dbp_opt.Bounds.segment_lower_bound medium));
+    ]
+
+let bench_decomposition =
+  let instance =
+    Dbp_workload.Generator.generate ~seed:104L
+      (Dbp_workload.Spec.small_items
+         { Dbp_workload.Spec.default with Dbp_workload.Spec.count = 200 }
+         ~k:4)
+  in
+  let packing = Simulator.run ~policy:First_fit.policy instance in
+  Test.make_grouped ~name:"analysis"
+    [
+      Test.make ~name:"ff-decomposition-200-items"
+        (Staged.stage (fun () ->
+             Dbp_analysis.Ff_decomposition.analyse ~k:(Rat.of_int 4) packing));
+      Test.make ~name:"packing-validate"
+        (Staged.stage (fun () -> Packing.validate packing));
+    ]
+
+let bench_adversaries =
+  Test.make_grouped ~name:"adversaries"
+    [
+      Test.make ~name:"anyfit-k16"
+        (Staged.stage (fun () ->
+             Dbp_adversary.Anyfit_lb.run ~k:16 ~mu:(Rat.of_int 10) ()));
+      Test.make ~name:"bestfit-k4"
+        (Staged.stage (fun () ->
+             Dbp_adversary.Bestfit_unbounded.run ~k:4 ~mu:Rat.two ~iterations:3
+               ()));
+    ]
+
+let bench_rationals =
+  let xs = List.init 1000 (fun i -> Rat.make (i + 1) 10_000) in
+  let deltas =
+    List.concat
+      (List.init 500 (fun i -> [ (Rat.of_int i, 1); (Rat.of_int (i + 3), -1) ]))
+  in
+  Test.make_grouped ~name:"num"
+    [
+      Test.make ~name:"rat-sum-1000" (Staged.stage (fun () -> Rat.sum xs));
+      Test.make ~name:"step-fn-of-deltas-1000"
+        (Staged.stage (fun () -> Step_fn.of_deltas deltas));
+    ]
+
+
+let bench_offline =
+  let small = workload 12 105L in
+  let medium = workload 150 106L in
+  Test.make_grouped ~name:"offline"
+    [
+      Test.make ~name:"exact-12-items"
+        (Staged.stage (fun () -> Dbp_offline.Offline_exact.solve small));
+      Test.make ~name:"heuristics-150-items"
+        (Staged.stage (fun () -> Dbp_offline.Offline_heuristic.best medium));
+      Test.make ~name:"repack-baseline-150-items"
+        (Staged.stage (fun () -> Dbp_opt.Repack_baseline.compute medium));
+    ]
+
+let bench_extensions =
+  let instance = workload 200 107L in
+  let ci = Dbp_constrained.Geo.constrain ~latency_budget:0.7 instance in
+  let predictor =
+    Dbp_clairvoyant.Predictor.build Dbp_clairvoyant.Predictor.Exact instance
+  in
+  Test.make_grouped ~name:"extensions"
+    [
+      Test.make ~name:"constrained-ff-200"
+        (Staged.stage (fun () ->
+             Dbp_constrained.Constrained_policy.run
+               ~policy:Dbp_constrained.Constrained_policy.first_fit ci));
+      Test.make ~name:"least-extension-fit-200"
+        (Staged.stage (fun () ->
+             Simulator.run
+               ~policy:(Dbp_clairvoyant.Duration_fit.least_extension_fit predictor)
+               instance));
+    ]
+
+let all_micro =
+  Test.make_grouped ~name:"dbp"
+    [
+      bench_policies;
+      bench_opt;
+      bench_decomposition;
+      bench_adversaries;
+      bench_offline;
+      bench_extensions;
+      bench_rationals;
+    ]
+
+let run_micro () =
+  print_endline "";
+  print_endline "################################################################";
+  print_endline "## Part 2: micro-benchmarks (bechamel, monotonic clock)      ##";
+  print_endline "################################################################";
+  let ols =
+    Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:Measure.[| run |]
+  in
+  let instances = [ Toolkit.Instance.monotonic_clock ] in
+  let cfg =
+    Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.5) ~stabilize:true ()
+  in
+  let raw = Benchmark.all cfg instances all_micro in
+  let results = Analyze.all ols Toolkit.Instance.monotonic_clock raw in
+  let rows =
+    Hashtbl.fold (fun name ols_result acc -> (name, ols_result) :: acc) results []
+    |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+  in
+  Printf.printf "%-45s %15s\n" "benchmark" "ns/run";
+  Printf.printf "%s\n" (String.make 61 '-');
+  List.iter
+    (fun (name, ols_result) ->
+      let estimate =
+        match Analyze.OLS.estimates ols_result with
+        | Some (e :: _) -> Printf.sprintf "%15.1f" e
+        | _ -> Printf.sprintf "%15s" "n/a"
+      in
+      Printf.printf "%-45s %s\n" name estimate)
+    rows
+
+let () =
+  regenerate_experiments ();
+  run_micro ()

@@ -1,0 +1,495 @@
+(* mintotal-dbp: command-line front end.
+
+   Subcommands: generate / simulate / opt / adversary / decompose /
+   offline / diff / stats / experiments / gaming.  See README.md for a
+   tour. *)
+
+open Cmdliner
+open Dbp_num
+open Dbp_core
+
+(* ---- shared argument converters ---------------------------------- *)
+
+let rat_conv =
+  let parse s =
+    match Rat.of_string s with
+    | r -> Ok r
+    | exception Failure msg -> Error (`Msg msg)
+  in
+  Arg.conv (parse, Rat.pp)
+
+let policy_arg =
+  let doc =
+    "Packing policy: first-fit, best-fit, worst-fit, last-fit, next-fit, \
+     random-fit, mff, mff:<k> (e.g. mff:9/2)."
+  in
+  Arg.(value & opt string "first-fit" & info [ "p"; "policy" ] ~doc)
+
+let seed_arg =
+  Arg.(value & opt int64 42L & info [ "seed" ] ~doc:"PRNG seed.")
+
+let verbose_arg =
+  Arg.(value & flag & info [ "v"; "verbose" ] ~doc:"Log every placement decision.")
+
+let setup_verbose verbose =
+  if verbose then begin
+    Logs.set_reporter (Logs.format_reporter ());
+    Logs.Src.set_level Simulator.log_src (Some Logs.Debug)
+  end
+
+let trace_arg ~doc = Arg.(required & opt (some file) None & info [ "trace" ] ~doc)
+
+let resolve_policy ?mu name =
+  match Algorithms.find ?mu name with
+  | Some p -> p
+  | None ->
+      Format.eprintf "unknown policy %s (known: %s)@." name
+        (String.concat ", " Algorithms.names);
+      exit 2
+
+(* ---- generate ------------------------------------------------------ *)
+
+let generate_cmd =
+  let count =
+    Arg.(value & opt int 200 & info [ "n"; "count" ] ~doc:"Number of items.")
+  in
+  let mu =
+    Arg.(value & opt float 10.0 & info [ "mu" ] ~doc:"Target max/min interval ratio.")
+  in
+  let small =
+    Arg.(value & opt (some int) None
+         & info [ "small" ] ~doc:"Restrict sizes to < W/$(docv)." ~docv:"K")
+  in
+  let large =
+    Arg.(value & opt (some int) None
+         & info [ "large" ] ~doc:"Restrict sizes to >= W/$(docv)." ~docv:"K")
+  in
+  let out =
+    Arg.(value & opt (some string) None & info [ "o"; "out" ] ~doc:"Output CSV path (default stdout).")
+  in
+  let run count mu small large out seed =
+    let open Dbp_workload in
+    let spec =
+      Spec.with_target_mu { Spec.default with Spec.count } ~mu
+    in
+    let spec =
+      match (small, large) with
+      | Some k, _ -> Spec.small_items spec ~k
+      | None, Some k -> Spec.large_items spec ~k
+      | None, None -> spec
+    in
+    let instance = Generator.generate ~seed spec in
+    let csv = Trace.to_string instance in
+    (match out with
+    | Some path ->
+        let oc = open_out path in
+        output_string oc csv;
+        close_out oc;
+        Format.printf "wrote %d items to %s@." (Instance.size instance) path
+    | None -> print_string csv);
+    0
+  in
+  Cmd.v
+    (Cmd.info "generate" ~doc:"Generate a random MinTotal DBP workload trace.")
+    Term.(const run $ count $ mu $ small $ large $ out $ seed_arg)
+
+(* ---- simulate ------------------------------------------------------ *)
+
+let simulate_cmd =
+  let trace = trace_arg ~doc:"Input trace CSV (see $(b,generate))." in
+  let with_ratio =
+    Arg.(value & flag & info [ "ratio" ] ~doc:"Also compute OPT_total and the competitive ratio.")
+  in
+  let rate =
+    Arg.(value & opt rat_conv Rat.one & info [ "rate" ] ~doc:"Bin cost rate C.")
+  in
+  let run trace policy_name with_ratio rate seed verbose =
+    setup_verbose verbose;
+    let instance = Dbp_workload.Trace.load ~path:trace in
+    let policy = resolve_policy ~mu:(Instance.mu instance) policy_name in
+    ignore seed;
+    let packing = Simulator.run ~policy instance in
+    (match Packing.validate packing with
+    | Ok () -> ()
+    | Error msg ->
+        Format.eprintf "internal error: invalid packing: %s@." msg;
+        exit 1);
+    Format.printf "%a@." Packing.pp_summary packing;
+    Format.printf "cost at rate %a: %a@." Rat.pp rate Rat.pp_float
+      (Packing.cost packing ~rate);
+    if with_ratio then begin
+      let ratio = Dbp_analysis.Ratio.measure packing in
+      Format.printf "%a@." Dbp_opt.Opt_total.pp ratio.Dbp_analysis.Ratio.opt;
+      Format.printf "competitive ratio: %a@." Dbp_analysis.Ratio.pp ratio
+    end;
+    0
+  in
+  Cmd.v
+    (Cmd.info "simulate" ~doc:"Pack a trace with an online policy and report the cost.")
+    Term.(const run $ trace $ policy_arg $ with_ratio $ rate $ seed_arg $ verbose_arg)
+
+(* ---- opt ----------------------------------------------------------- *)
+
+let opt_cmd =
+  let trace = trace_arg ~doc:"Input trace CSV." in
+  let budget =
+    Arg.(value & opt int 200_000
+         & info [ "node-budget" ] ~doc:"Branch-and-bound node budget per segment.")
+  in
+  let run trace budget =
+    let instance = Dbp_workload.Trace.load ~path:trace in
+    let opt = Dbp_opt.Opt_total.compute ~node_budget:budget instance in
+    Format.printf "%a@." Instance.pp instance;
+    Format.printf "bound (b.1) u(R)/W        = %a@." Rat.pp_float
+      (Dbp_opt.Bounds.demand_bound instance);
+    Format.printf "bound (b.2) span(R)       = %a@." Rat.pp_float
+      (Dbp_opt.Bounds.span_bound instance);
+    Format.printf "segment lower bound       = %a@." Rat.pp_float
+      (Dbp_opt.Bounds.segment_lower_bound instance);
+    Format.printf "bound (b.3) sum len(I(r)) = %a@." Rat.pp_float
+      (Dbp_opt.Bounds.naive_upper_bound instance);
+    Format.printf "%a@." Dbp_opt.Opt_total.pp opt;
+    0
+  in
+  Cmd.v
+    (Cmd.info "opt" ~doc:"Compute OPT_total and the paper's bounds for a trace.")
+    Term.(const run $ trace $ budget)
+
+(* ---- adversary ----------------------------------------------------- *)
+
+let adversary_cmd =
+  let which =
+    Arg.(required & pos 0 (some (enum [ ("anyfit", `Anyfit); ("bestfit", `Bestfit) ])) None
+         & info [] ~docv:"CONSTRUCTION" ~doc:"anyfit (Theorem 1) or bestfit (Theorem 2).")
+  in
+  let k = Arg.(value & opt int 8 & info [ "k" ] ~doc:"Construction parameter k.") in
+  let mu = Arg.(value & opt rat_conv (Rat.of_int 4) & info [ "mu" ] ~doc:"Interval length ratio mu.") in
+  let iterations =
+    Arg.(value & opt (some int) None & info [ "iterations" ] ~doc:"Theorem 2 iteration count (default: paper threshold + 1).")
+  in
+  let out =
+    Arg.(value & opt (some string) None & info [ "o"; "out" ] ~doc:"Save the realised instance as CSV.")
+  in
+  let run which k mu iterations policy_name out =
+    let save instance =
+      Option.iter
+        (fun path ->
+          Dbp_workload.Trace.save instance ~path;
+          Format.printf "instance saved to %s@." path)
+        out
+    in
+    (match which with
+    | `Anyfit ->
+        let policy = resolve_policy ~mu policy_name in
+        let r = Dbp_adversary.Anyfit_lb.run ~policy ~k ~mu () in
+        Format.printf "%a@." Packing.pp_summary r.Dbp_adversary.Anyfit_lb.packing;
+        Format.printf "algorithm cost : %a@." Rat.pp_float
+          r.Dbp_adversary.Anyfit_lb.algorithm_cost;
+        Format.printf "OPT_total      : %a@." Rat.pp_float
+          r.Dbp_adversary.Anyfit_lb.opt_upper;
+        Format.printf "ratio          : %a  (eq (1) predicts %a; bound mu = %a)@."
+          Rat.pp_float r.Dbp_adversary.Anyfit_lb.ratio_lower Rat.pp_float
+          (Dbp_analysis.Theorem_bounds.anyfit_construction_ratio ~k ~mu)
+          Rat.pp mu;
+        save r.Dbp_adversary.Anyfit_lb.instance
+    | `Bestfit ->
+        let iterations =
+          match iterations with
+          | Some n -> n
+          | None -> Dbp_adversary.Bestfit_unbounded.paper_iterations ~k ~mu + 1
+        in
+        let r = Dbp_adversary.Bestfit_unbounded.run ~k ~mu ~iterations () in
+        Format.printf "%a@." Packing.pp_summary r.Dbp_adversary.Bestfit_unbounded.packing;
+        Format.printf "items          : %d@." r.Dbp_adversary.Bestfit_unbounded.items_total;
+        Format.printf "BF cost        : %a@." Rat.pp_float
+          r.Dbp_adversary.Bestfit_unbounded.algorithm_cost;
+        Format.printf "OPT upper      : %a@." Rat.pp_float
+          r.Dbp_adversary.Bestfit_unbounded.opt_upper;
+        Format.printf "ratio          : %a  (forced >= k/2 = %a)@." Rat.pp_float
+          r.Dbp_adversary.Bestfit_unbounded.ratio_lower Rat.pp_float
+          (Rat.make k 2);
+        save r.Dbp_adversary.Bestfit_unbounded.instance);
+    0
+  in
+  Cmd.v
+    (Cmd.info "adversary" ~doc:"Run the Theorem 1 / Theorem 2 adaptive adversaries.")
+    Term.(const run $ which $ k $ mu $ iterations $ policy_arg $ out)
+
+(* ---- decompose ------------------------------------------------------ *)
+
+let decompose_cmd =
+  let trace = trace_arg ~doc:"Input trace CSV." in
+  let small_k =
+    Arg.(value & opt (some rat_conv) None
+         & info [ "k" ] ~doc:"Also check the all-small-items inequalities for this k.")
+  in
+  let width =
+    Arg.(value & opt int 64 & info [ "width" ] ~doc:"Timeline width in columns.")
+  in
+  let svg =
+    Arg.(value & opt (some string) None
+         & info [ "svg" ] ~doc:"Also write an SVG rendering of the packing here.")
+  in
+  let run trace small_k width svg =
+    let instance = Dbp_workload.Trace.load ~path:trace in
+    let packing = Simulator.run ~policy:First_fit.policy instance in
+    print_string (Dbp_analysis.Timeline_render.render ~width packing);
+    Option.iter
+      (fun path ->
+        let oc = open_out path in
+        output_string oc (Dbp_analysis.Timeline_render.render_svg packing);
+        close_out oc;
+        Format.printf "svg written to %s@." path)
+      svg;
+    let report = Dbp_analysis.Ff_decomposition.analyse ?k:small_k packing in
+    Format.printf "@.%a@." Dbp_analysis.Ff_decomposition.pp_report report;
+    (match report.Dbp_analysis.Ff_decomposition.violations with
+    | [] -> Format.printf "all Section 4.3 checks passed@."
+    | vs ->
+        List.iter (fun v -> Format.printf "VIOLATION: %s@." v) vs);
+    if report.Dbp_analysis.Ff_decomposition.violations = [] then 0 else 1
+  in
+  Cmd.v
+    (Cmd.info "decompose"
+       ~doc:"Render a First Fit packing and run the Section 4.3 proof checker on it.")
+    Term.(const run $ trace $ small_k $ width $ svg)
+
+(* ---- offline --------------------------------------------------------- *)
+
+let offline_cmd =
+  let trace = trace_arg ~doc:"Input trace CSV." in
+  let exact =
+    Arg.(value & flag
+         & info [ "exact" ] ~doc:"Also run the exact branch-and-bound (small instances).")
+  in
+  let run trace exact =
+    let instance = Dbp_workload.Trace.load ~path:trace in
+    let ff = Simulator.run ~policy:First_fit.policy instance in
+    Format.printf "online First Fit        : %a@." Rat.pp_float
+      ff.Packing.total_cost;
+    let open Dbp_offline in
+    List.iter
+      (fun (name, s) ->
+        Format.printf "%-24s: %a (%d groups)@." name Rat.pp_float
+          s.Offline_heuristic.cost
+          (List.length s.Offline_heuristic.groups))
+      [
+        ("offline FF by arrival", Offline_heuristic.first_fit_by_arrival instance);
+        ("least span increase", Offline_heuristic.least_span_increase instance);
+        ("longest first", Offline_heuristic.longest_first instance);
+      ];
+    if exact then begin
+      let r = Offline_exact.solve instance in
+      if r.Offline_exact.exact then
+        Format.printf "exact offline optimum   : %a (%d nodes)@." Rat.pp_float
+          r.Offline_exact.upper r.Offline_exact.nodes
+      else
+        Format.printf "exact offline optimum   : in [%a, %a] (budget hit)@."
+          Rat.pp_float r.Offline_exact.lower Rat.pp_float r.Offline_exact.upper
+    end;
+    0
+  in
+  Cmd.v
+    (Cmd.info "offline"
+       ~doc:"Compare offline non-migratory packings against online First Fit.")
+    Term.(const run $ trace $ exact)
+
+(* ---- stats ------------------------------------------------------------ *)
+
+let stats_cmd =
+  let trace = trace_arg ~doc:"Input trace CSV." in
+  let run trace =
+    let instance = Dbp_workload.Trace.load ~path:trace in
+    Format.printf "%a@.@." Instance.pp instance;
+    let items = Array.to_list (Instance.items instance) in
+    let sizes = List.map (fun (r : Item.t) -> Rat.to_float r.size) items in
+    let lengths = List.map (fun r -> Rat.to_float (Item.length r)) items in
+    Format.printf "sizes    : %a@." Dbp_analysis.Stats.pp_summary
+      (Dbp_analysis.Stats.summarise sizes);
+    Format.printf "durations: %a@.@." Dbp_analysis.Stats.pp_summary
+      (Dbp_analysis.Stats.summarise lengths);
+    print_string (Dbp_analysis.Chart.histogram ~title:"item sizes" sizes);
+    print_string (Dbp_analysis.Chart.histogram ~title:"interval lengths" lengths);
+    let actives = Instance.active_count instance in
+    Format.printf "peak concurrent items: %d@."
+      (Dbp_num.Step_fn.max_value actives);
+    0
+  in
+  Cmd.v
+    (Cmd.info "stats" ~doc:"Summarise a trace: size/duration distributions, peaks.")
+    Term.(const run $ trace)
+
+(* ---- diff ------------------------------------------------------------ *)
+
+let diff_cmd =
+  let trace = trace_arg ~doc:"Input trace CSV." in
+  let policy_a =
+    Arg.(value & opt string "first-fit" & info [ "a" ] ~doc:"First policy.")
+  in
+  let policy_b =
+    Arg.(value & opt string "best-fit" & info [ "b" ] ~doc:"Second policy.")
+  in
+  let run trace name_a name_b =
+    let instance = Dbp_workload.Trace.load ~path:trace in
+    let mu = Instance.mu instance in
+    let a = Simulator.run ~policy:(resolve_policy ~mu name_a) instance in
+    let b = Simulator.run ~policy:(resolve_policy ~mu name_b) instance in
+    Format.printf "A = %a@.B = %a@." Packing.pp_summary a Packing.pp_summary b;
+    Format.printf "%a@." Dbp_analysis.Packing_diff.pp
+      (Dbp_analysis.Packing_diff.compare a b);
+    0
+  in
+  Cmd.v
+    (Cmd.info "diff" ~doc:"Compare two policies' packings of the same trace.")
+    Term.(const run $ trace $ policy_a $ policy_b)
+
+(* ---- experiments ---------------------------------------------------- *)
+
+let experiments_cmd =
+  let names =
+    Arg.(value & pos_all string [] & info [] ~docv:"EXPERIMENT" ~doc:"E1..E8 (default: all).")
+  in
+  let markdown =
+    Arg.(value & flag & info [ "markdown" ] ~doc:"Render tables as markdown.")
+  in
+  let out_dir =
+    Arg.(value & opt (some string) None
+         & info [ "out-dir" ] ~doc:"Also write every table as CSV (and charts as text) into this directory.")
+  in
+  let run names markdown out_dir =
+    let outcomes =
+      match names with
+      | [] -> Dbp_experiments.Registry.run_all ()
+      | names ->
+          List.map
+            (fun n ->
+              match Dbp_experiments.Registry.run n with
+              | Some o -> o
+              | None ->
+                  Format.eprintf "unknown experiment %s (known: %s)@." n
+                    (String.concat ", " Dbp_experiments.Registry.all_names);
+                  exit 2)
+            names
+    in
+    List.iter
+      (fun o ->
+        if markdown then begin
+          Format.printf "## %s — %s@.@." o.Dbp_experiments.Exp_common.experiment
+            o.Dbp_experiments.Exp_common.artefact;
+          List.iter
+            (fun t -> print_string (Dbp_analysis.Table.render_markdown t))
+            o.Dbp_experiments.Exp_common.tables
+        end
+        else print_string (Dbp_experiments.Exp_common.render_outcome o))
+      outcomes;
+    Option.iter
+      (fun dir ->
+        if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
+        let slug s =
+          String.map
+            (fun c ->
+              if (c >= 'a' && c <= 'z') || (c >= '0' && c <= '9') then c
+              else if c >= 'A' && c <= 'Z' then Char.lowercase_ascii c
+              else '-')
+            s
+          |> fun s -> String.sub s 0 (min 48 (String.length s))
+        in
+        let write path contents =
+          let oc = open_out path in
+          output_string oc contents;
+          close_out oc
+        in
+        List.iter
+          (fun o ->
+            List.iteri
+              (fun i t ->
+                let name =
+                  Printf.sprintf "%s/%s-%d-%s.csv" dir
+                    (String.lowercase_ascii o.Dbp_experiments.Exp_common.experiment)
+                    i
+                    (slug (Dbp_analysis.Table.title t))
+                in
+                write name (Dbp_analysis.Table.render_csv t))
+              o.Dbp_experiments.Exp_common.tables;
+            List.iteri
+              (fun i chart ->
+                write
+                  (Printf.sprintf "%s/%s-chart-%d.txt" dir
+                     (String.lowercase_ascii o.Dbp_experiments.Exp_common.experiment)
+                     i)
+                  chart)
+              o.Dbp_experiments.Exp_common.charts)
+          outcomes;
+        Format.printf "wrote CSV/chart artefacts to %s/@." dir)
+      out_dir;
+    let failed =
+      List.fold_left
+        (fun acc o -> acc + o.Dbp_experiments.Exp_common.checks_failed)
+        0 outcomes
+    in
+    if failed > 0 then begin
+      Format.eprintf "%d experiment checks FAILED@." failed;
+      1
+    end
+    else 0
+  in
+  Cmd.v
+    (Cmd.info "experiments"
+       ~doc:"Regenerate the paper's tables and figures (E1..E8).")
+    Term.(const run $ names $ markdown $ out_dir)
+
+(* ---- gaming --------------------------------------------------------- *)
+
+let gaming_cmd =
+  let hours = Arg.(value & opt float 24.0 & info [ "hours" ] ~doc:"Trace horizon in hours.") in
+  let rate = Arg.(value & opt float 60.0 & info [ "rate" ] ~doc:"Mean arrivals per hour.") in
+  let run hours rate seed =
+    let open Dbp_cloudgaming in
+    let profile =
+      { Gaming_workload.default_profile with
+        Gaming_workload.duration_hours = hours;
+        base_rate = rate }
+    in
+    let requests = Gaming_workload.generate ~seed profile in
+    Format.printf "generated %d requests over %.1f h (mu = %a)@."
+      (List.length requests) hours Rat.pp_float (Gaming_workload.mu_of requests);
+    let mu = Gaming_workload.mu_of requests in
+    let policies =
+      [
+        First_fit.policy;
+        Best_fit.policy;
+        Worst_fit.policy;
+        Next_fit.policy;
+        Modified_first_fit.policy_mu_oblivious;
+        Modified_first_fit.policy_known_mu ~mu;
+      ]
+    in
+    List.iter
+      (fun report -> Format.printf "%a@." Dispatcher.pp_report report)
+      (Dispatcher.compare_policies ~policies requests);
+    0
+  in
+  Cmd.v
+    (Cmd.info "gaming" ~doc:"Run the cloud gaming dispatch comparison.")
+    Term.(const run $ hours $ rate $ seed_arg)
+
+(* ---- main ----------------------------------------------------------- *)
+
+let () =
+  let doc = "MinTotal Dynamic Bin Packing (SPAA 2014) reproduction toolkit" in
+  let info = Cmd.info "dbp" ~version:"1.0.0" ~doc in
+  exit
+    (Cmd.eval'
+       (Cmd.group info
+          [
+            generate_cmd;
+            simulate_cmd;
+            opt_cmd;
+            adversary_cmd;
+            decompose_cmd;
+            offline_cmd;
+            diff_cmd;
+            stats_cmd;
+            experiments_cmd;
+            gaming_cmd;
+          ]))

@@ -1,0 +1,50 @@
+(* Quickstart: build an instance by hand, pack it with First Fit,
+   inspect the result and compare against the offline optimum.
+
+   Run with:  dune exec examples/quickstart.exe *)
+
+open Dbp_num
+open Dbp_core
+
+let () =
+  (* Four playing requests on servers of GPU capacity 1.  Each item is
+     (size, arrival, departure); departure times are hidden from the
+     online algorithm until they happen. *)
+  let item size arrival departure =
+    Item.make ~id:0 ~size:(Rat.of_string size)
+      ~arrival:(Rat.of_string arrival)
+      ~departure:(Rat.of_string departure)
+  in
+  let instance =
+    Instance.create ~capacity:Rat.one
+      [
+        item "1/2" "0" "4";   (* long-lived half-server session *)
+        item "2/3" "1" "3";   (* conflicts with the first item *)
+        item "1/3" "2" "5";   (* slots in beside the first *)
+        item "1/2" "6" "8";   (* after an idle gap *)
+      ]
+  in
+  Format.printf "%a@.@." Instance.pp instance;
+
+  (* Pack it online with First Fit. *)
+  let packing = Simulator.run ~policy:First_fit.policy instance in
+  Format.printf "%a@.@." Packing.pp_summary packing;
+  Array.iter
+    (fun (b : Packing.bin_record) ->
+      Format.printf "  bin %d: open [%a, %a], items %s@." b.bin_id Rat.pp
+        b.opened Rat.pp b.closed
+        (String.concat ", " (List.map string_of_int b.item_ids)))
+    packing.Packing.bins;
+
+  (* The exact offline optimum (repacking allowed at every instant). *)
+  let opt = Dbp_opt.Opt_total.compute instance in
+  Format.printf "@.%a@." Dbp_opt.Opt_total.pp opt;
+  let ratio = Dbp_analysis.Ratio.measure packing in
+  Format.printf "First Fit competitive ratio on this instance: %a@."
+    Dbp_analysis.Ratio.pp ratio;
+
+  (* Theorem 5 promises FF never exceeds 2 mu + 13. *)
+  let bound = Dbp_analysis.Theorem_bounds.ff_general ~mu:(Instance.mu instance) in
+  Format.printf "Theorem 5 bound 2mu+13 = %a: %s@." Rat.pp_float bound
+    (Dbp_analysis.Ratio.verdict_to_string
+       (Dbp_analysis.Ratio.check_bound ratio ~bound))

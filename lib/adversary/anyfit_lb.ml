@@ -1,0 +1,51 @@
+open Dbp_num
+open Dbp_core
+
+type result = {
+  instance : Instance.t;
+  packing : Packing.t;
+  algorithm_cost : Rat.t;
+  opt_upper : Rat.t;
+  ratio_lower : Rat.t;
+}
+
+let closed_form_ratio ~k ~mu =
+  Rat.div (Rat.mul_int mu k) (Rat.add (Rat.of_int k) (Rat.sub mu Rat.one))
+
+let run ?(policy = First_fit.policy) ?(delta = Rat.one) ~k ~mu () =
+  if k < 1 then invalid_arg "Anyfit_lb.run: k < 1";
+  if Rat.(mu < Rat.one) then invalid_arg "Anyfit_lb.run: mu < 1";
+  if Rat.sign delta <= 0 then invalid_arg "Anyfit_lb.run: delta <= 0";
+  let capacity = Rat.one in
+  let size = Rat.make 1 k in
+  let adv = Recorder.create ~policy ~capacity in
+  (* Phase 1: k^2 items of size 1/k at time 0. *)
+  ignore (Recorder.arrive_many adv ~now:Rat.zero ~size ~count:(k * k));
+  (* Phase 2 (adaptive): at delta, keep exactly one item per opened
+     bin and depart the rest. *)
+  let open_bins = Simulator.Online.open_bins (Recorder.online adv) in
+  List.iter
+    (fun (v : Bin.view) ->
+      match Recorder.active_ids_in_bin adv v.bin_id with
+      | [] -> ()
+      | _keep :: extras ->
+          List.iter (fun id -> Recorder.depart adv ~now:delta id) extras)
+    open_bins;
+  (* Phase 3: stragglers leave at mu * delta. *)
+  Recorder.depart_all_active adv ~now:(Rat.mul mu delta);
+  let instance, packing = Recorder.finish adv in
+  let algorithm_cost = packing.Packing.total_cost in
+  (* Offline: k full bins on [0, delta], then one bin holding the k
+     stragglers (total size 1) on [delta, mu delta]. *)
+  let opt_upper =
+    Rat.add
+      (Rat.mul_int delta k)
+      (Rat.mul (Rat.sub mu Rat.one) delta)
+  in
+  {
+    instance;
+    packing;
+    algorithm_cost;
+    opt_upper;
+    ratio_lower = Rat.div algorithm_cost opt_upper;
+  }

@@ -1,0 +1,37 @@
+(** The Theorem 1 construction (Figure 2): a lower bound of [mu] on the
+    competitive ratio of {e any} Any Fit algorithm.
+
+    With bin capacity 1, [k^2] items of size [1/k] arrive at time 0 —
+    any Any Fit algorithm opens exactly [k] bins and fills them full.
+    At time [delta] (the minimum interval length) the adversary departs
+    all but one item {e per opened bin}, so [k] bins each hold a single
+    item of size [1/k] until everything leaves at [mu * delta].  The
+    algorithm pays [k * mu * delta]; the optimum repacks the stragglers
+    into one bin and pays [k * delta + (mu - 1) * delta], giving the
+    exact ratio [k * mu / (k + mu - 1) -> mu] as [k] grows. *)
+
+open Dbp_num
+open Dbp_core
+
+type result = {
+  instance : Instance.t;
+  packing : Packing.t;
+  algorithm_cost : Rat.t;  (** Measured [AF_total(R)], C = 1. *)
+  opt_upper : Rat.t;
+      (** Cost of the explicit offline packing in the proof:
+          [k*delta + (mu-1)*delta].  An upper bound on [OPT_total]
+          (and exactly [OPT_total] for this instance). *)
+  ratio_lower : Rat.t;  (** [algorithm_cost / opt_upper]. *)
+}
+
+val closed_form_ratio : k:int -> mu:Rat.t -> Rat.t
+(** [k * mu / (k + mu - 1)], the ratio equation (1) of the paper. *)
+
+val run : ?policy:Policy.t -> ?delta:Rat.t -> k:int -> mu:Rat.t -> unit -> result
+(** Plays the game against [policy] (default First Fit).  [delta]
+    (default 1) is the minimum interval length; [mu >= 1] the target
+    interval ratio; [k >= 1] the construction parameter.
+    @raise Invalid_argument on [k < 1] or [mu < 1].
+
+    For any Any Fit policy the measured [ratio_lower] equals
+    {!closed_form_ratio} exactly (asserted by the test suite). *)

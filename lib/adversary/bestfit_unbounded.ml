@@ -1,0 +1,129 @@
+open Dbp_num
+open Dbp_core
+
+type result = {
+  instance : Instance.t;
+  packing : Packing.t;
+  algorithm_cost : Rat.t;
+  opt_upper : Rat.t;
+  ratio_lower : Rat.t;
+  items_total : int;
+  mu_realised : Rat.t;
+}
+
+let paper_iterations ~k ~mu =
+  max 1 (Rat.ceil (Rat.div (Rat.of_int (k - 1)) mu))
+
+(* Window slot offsets (relative to the iteration anchor j*mu, as a
+   positive "time before the anchor"): within iteration j the window
+   has width delta_j = delta * 2^(j - n); group m arrives at offset
+   x_a(m) * delta_j and bin m's old items depart at x_d(m) * delta_j,
+   with 1 >= x_a(1) > x_d(1) > ... > x_a(k) > x_d(k) > 0.  The
+   geometric shrinking makes every cross-iteration interval length
+   <= mu exactly (see the .mli). *)
+let x_arrival ~k m = Rat.make (2 * (k - m + 1)) ((2 * k) + 1)
+let x_departure ~k m = Rat.make ((2 * (k - m + 1)) - 1) ((2 * k) + 1)
+
+let run ?(policy = Best_fit.policy) ?delta ~k ~mu ~iterations () =
+  if k < 2 then invalid_arg "Bestfit_unbounded.run: k < 2";
+  if iterations < 1 then invalid_arg "Bestfit_unbounded.run: iterations < 1";
+  (* window widths shrink as delta * 2^(j - n): cap n so the shift and
+     the item count k^2 * (k(n+1)+1) stay in native-integer range *)
+  if iterations > 50 then invalid_arg "Bestfit_unbounded.run: iterations > 50";
+  if Rat.(mu <= Rat.one) then invalid_arg "Bestfit_unbounded.run: mu <= 1";
+  let n = iterations in
+  let delta =
+    match delta with
+    | Some d ->
+        if Rat.sign d <= 0 || Rat.(d > Rat.sub mu Rat.one) then
+          invalid_arg "Bestfit_unbounded.run: need 0 < delta <= mu - 1"
+        else d
+    | None -> Rat.min (Rat.sub mu Rat.one) (Rat.make 1 2)
+  in
+  let capacity = Rat.one in
+  let m_param = (k * (n + 1)) + 1 in
+  let eps = Rat.make 1 (k * m_param) in
+  (* delta_j = delta * 2^(j-n) for j = 1..n. *)
+  let delta_of_iter j =
+    let shift = n - j in
+    Rat.div delta (Rat.of_int (1 lsl shift))
+  in
+  let adv = Recorder.create ~policy ~capacity in
+  (* Phase 1: k^2 * M items of size eps at time 0 fill k bins. *)
+  ignore
+    (Recorder.arrive_many adv ~now:Rat.zero ~size:eps ~count:(k * k * m_param));
+  let bins = Simulator.Online.open_bins (Recorder.online adv) in
+  if List.length bins <> k then
+    failwith
+      (Printf.sprintf "Bestfit_unbounded: expected %d bins, policy opened %d" k
+         (List.length bins));
+  let bin_ids = Array.of_list (List.map (fun (v : Bin.view) -> v.Bin.bin_id) bins) in
+  (* current.(m-1): the items presently meant to stay in b_m. *)
+  let current = Array.make k [] in
+  (* Phase 2: at time 1, trim bin i to M - i items (level 1/k - i*eps). *)
+  let one = Rat.one in
+  Array.iteri
+    (fun idx bin_id ->
+      let i = idx + 1 in
+      let ids = Recorder.active_ids_in_bin adv bin_id in
+      let keep_count = m_param - i in
+      let rec split kept rest count =
+        match rest with
+        | [] -> (kept, [])
+        | _ when count = 0 -> (kept, rest)
+        | id :: tl -> split (id :: kept) tl (count - 1)
+      in
+      let kept, extras = split [] ids keep_count in
+      List.iter (fun id -> Recorder.depart adv ~now:one id) extras;
+      current.(idx) <- kept)
+    bin_ids;
+  (* Phase 3: iterations. *)
+  for j = 1 to n do
+    let anchor = Rat.mul_int mu j in
+    let dj = delta_of_iter j in
+    for m = 1 to k do
+      let t_arr = Rat.sub anchor (Rat.mul (x_arrival ~k m) dj) in
+      let t_dep = Rat.sub anchor (Rat.mul (x_departure ~k m) dj) in
+      let count = m_param - ((j * k) + m) in
+      assert (count >= 1);
+      let fresh = Recorder.arrive_many adv ~now:t_arr ~size:eps ~count in
+      (* Best Fit must have sent the whole group to b_m. *)
+      let expected = bin_ids.(m - 1) in
+      List.iter
+        (fun id ->
+          let got = Recorder.bin_of adv id in
+          if got <> expected then
+            failwith
+              (Printf.sprintf
+                 "Bestfit_unbounded: iteration %d group %d item went to bin \
+                  %d, expected %d (policy is not Best Fit?)"
+                 j m got expected))
+        fresh;
+      (* Old items of b_m depart, leaving level 1/k - (jk+m)*eps. *)
+      List.iter (fun id -> Recorder.depart adv ~now:t_dep id) current.(m - 1);
+      current.(m - 1) <- fresh
+    done
+  done;
+  (* Phase 4: survivors depart at n*mu + 1 (length in [1, 1 + delta]). *)
+  let t_end = Rat.add (Rat.mul_int mu n) Rat.one in
+  Recorder.depart_all_active adv ~now:t_end;
+  let instance, packing = Recorder.finish adv in
+  let algorithm_cost = packing.Packing.total_cost in
+  (* Explicit offline packing: k bins on [0,1]; 1 bin on [1, n*mu + 1];
+     1 extra bin inside each arrival window (width delta_j). *)
+  let windows = ref Rat.zero in
+  for j = 1 to n do
+    windows := Rat.add !windows (delta_of_iter j)
+  done;
+  let opt_upper =
+    Rat.sum [ Rat.of_int k; Rat.mul_int mu n; !windows ]
+  in
+  {
+    instance;
+    packing;
+    algorithm_cost;
+    opt_upper;
+    ratio_lower = Rat.div algorithm_cost opt_upper;
+    items_total = Instance.size instance;
+    mu_realised = Instance.mu instance;
+  }

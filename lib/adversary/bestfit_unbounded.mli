@@ -1,0 +1,58 @@
+(** The Theorem 2 construction (Figure 3): Best Fit has no bounded
+    competitive ratio for any fixed max/min interval length ratio [mu].
+
+    The adaptive adversary keeps [k] bins alive forever while the
+    active volume stays below one bin:
+
+    - time 0: [k^2 M] items of size [eps = 1/(kM)] (where
+      [M = k(n+1)+1]) arrive; Best Fit fills [k] bins.
+    - time [delta0 = 1] (the minimum interval length): bin [b_i] is
+      trimmed to level [1/k - i*eps], making the levels pairwise
+      distinct with [b_1] fullest.
+    - iteration [j = 1..n]: inside a shrinking window just before
+      [j*mu], group [m = 1..k] of [M - (jk + m)] items arrives; Best
+      Fit sends the whole group to the currently fullest bin — [b_m] —
+      and then the adversary departs [b_m]'s old items, leaving level
+      [1/k - (jk+m)*eps].  Every bin stays open, yet the total active
+      volume is below 1 outside the windows.
+    - after iteration [n], the survivors depart at [n*mu + 1].
+
+    Window offsets shrink geometrically across iterations so that every
+    item interval length lies in [[1, mu]] {e exactly} (the paper
+    treats the window width [delta] as an infinitesimal; see
+    DESIGN.md).  Best Fit pays [k*(n*mu + 1)]; the explicit offline
+    packing pays at most [k + n*mu + sum of window widths], so the
+    measured ratio grows linearly in [k] for [n ~ k], reproducing
+    inequality (2). *)
+
+open Dbp_num
+open Dbp_core
+
+type result = {
+  instance : Instance.t;
+  packing : Packing.t;
+  algorithm_cost : Rat.t;
+  opt_upper : Rat.t;  (** Cost of the explicit offline packing. *)
+  ratio_lower : Rat.t;
+  items_total : int;
+  mu_realised : Rat.t;  (** Measured max/min interval ratio — equals [mu]. *)
+}
+
+val run :
+  ?policy:Policy.t ->
+  ?delta:Rat.t ->
+  k:int ->
+  mu:Rat.t ->
+  iterations:int ->
+  unit ->
+  result
+(** Plays against [policy] (default Best Fit — the construction
+    verifies each group lands on the expected bin and raises
+    [Failure] if the policy deviates from Best Fit's forced behaviour).
+    [delta] is the final window width (default [min (mu-1) (1/2)] ...
+    capped to keep all interval lengths within [[1, mu]]).
+    @raise Invalid_argument if [k < 2], [iterations < 1] or [mu <= 1]. *)
+
+val paper_iterations : k:int -> mu:Rat.t -> int
+(** The [n >= (k-1)/mu] threshold from the paper, past which the ratio
+    provably exceeds [k/2]. *)

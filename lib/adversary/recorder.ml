@@ -1,0 +1,89 @@
+open Dbp_num
+open Dbp_core
+
+type record = {
+  size : Rat.t;
+  arrival : Rat.t;
+  mutable departure : Rat.t option;
+}
+
+(* Growable array of records, indexed by item id. *)
+type t = {
+  online : Simulator.Online.t;
+  policy_name : string;
+  mutable items : record option array;
+  mutable count : int;
+  capacity : Rat.t;
+}
+
+let create ~policy ~capacity =
+  {
+    online = Simulator.Online.create ~policy ~capacity ();
+    policy_name = policy.Policy.name;
+    items = Array.make 64 None;
+    count = 0;
+    capacity;
+  }
+
+let online t = t.online
+
+let ensure_room t =
+  if t.count >= Array.length t.items then begin
+    let bigger = Array.make (2 * Array.length t.items) None in
+    Array.blit t.items 0 bigger 0 t.count;
+    t.items <- bigger
+  end
+
+let record_exn t id =
+  if id < 0 || id >= t.count then invalid_arg "Recorder: unknown item id";
+  match t.items.(id) with
+  | Some r -> r
+  | None -> assert false
+
+let arrive t ~now ~size =
+  ensure_room t;
+  let id = t.count in
+  ignore (Simulator.Online.arrive t.online ~now ~size ~item_id:id);
+  t.items.(id) <- Some { size; arrival = now; departure = None };
+  t.count <- t.count + 1;
+  id
+
+let arrive_many t ~now ~size ~count =
+  List.init count (fun _ -> arrive t ~now ~size)
+
+let depart t ~now id =
+  let record = record_exn t id in
+  (match record.departure with
+  | Some _ -> invalid_arg "Recorder.depart: item already departed"
+  | None -> ());
+  Simulator.Online.depart t.online ~now ~item_id:id;
+  record.departure <- Some now
+
+let depart_all_active t ~now =
+  for id = 0 to t.count - 1 do
+    match record_exn t id with
+    | { departure = Some _; _ } -> ()
+    | { departure = None; _ } -> depart t ~now id
+  done
+
+let bin_of t id =
+  match Simulator.Online.bin_of_item t.online id with
+  | Some b -> b
+  | None -> invalid_arg "Recorder.bin_of: item not active"
+
+let active_ids_in_bin t bin_id =
+  Simulator.Online.active_items_in t.online bin_id
+  |> List.rev_map fst
+
+let finish t =
+  let items =
+    List.init t.count (fun id ->
+        let r = record_exn t id in
+        match r.departure with
+        | None -> invalid_arg "Recorder.finish: item still active"
+        | Some departure ->
+            Item.make ~id ~size:r.size ~arrival:r.arrival ~departure)
+  in
+  let instance = Instance.create ~capacity:t.capacity items in
+  let packing = Simulator.Online.finish t.online ~instance in
+  (instance, { packing with Packing.policy_name = t.policy_name })

@@ -1,0 +1,44 @@
+(** Adaptive-adversary harness.
+
+    An adaptive adversary plays the competitive-analysis game: it feeds
+    arrivals/departures into a live {!Dbp_core.Simulator.Online} run,
+    {e observing} the algorithm's placements before deciding the next
+    move.  The recorder tracks every item it injected so that, at the
+    end of the game, the realised instance (with the departure times
+    the adversary chose) and the algorithm's packing can be assembled
+    for analysis. *)
+
+open Dbp_num
+open Dbp_core
+
+type t
+
+val create : policy:Policy.t -> capacity:Rat.t -> t
+
+val arrive : t -> now:Rat.t -> size:Rat.t -> int
+(** Injects an arrival; allocates the next sequential item id and
+    returns it.  The bin the algorithm chose is observable through
+    {!online}. *)
+
+val arrive_many : t -> now:Rat.t -> size:Rat.t -> count:int -> int list
+(** [count] identical simultaneous arrivals (in submission order). *)
+
+val depart : t -> now:Rat.t -> int -> unit
+(** Departs an item previously injected and still active. *)
+
+val depart_all_active : t -> now:Rat.t -> unit
+
+val online : t -> Simulator.Online.t
+(** The live run, for observing bins and placements. *)
+
+val bin_of : t -> int -> int
+(** Bin currently holding the item.
+    @raise Invalid_argument if the item is not active. *)
+
+val active_ids_in_bin : t -> int -> int list
+(** Active item ids in a bin, in insertion order. *)
+
+val finish : t -> Instance.t * Packing.t
+(** Ends the game: every injected item must have departed.  Returns the
+    realised instance and the algorithm's packing of it (which
+    satisfies [Packing.validate]). *)

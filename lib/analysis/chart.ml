@@ -1,0 +1,87 @@
+let glyphs = [| '*'; 'o'; '+'; 'x'; '#'; '@'; '%'; '&' |]
+
+let render ~title ?(height = 16) ?(width = 60) ~series () =
+  if series = [] then invalid_arg "Chart.render: no series";
+  List.iter
+    (fun (name, pts) ->
+      if pts = [] then invalid_arg ("Chart.render: empty series " ^ name))
+    series;
+  let all = List.concat_map snd series in
+  let xs = List.map fst all and ys = List.map snd all in
+  let fmin = List.fold_left Float.min infinity
+  and fmax = List.fold_left Float.max neg_infinity in
+  let x0 = fmin xs and x1 = fmax xs and y0 = fmin ys and y1 = fmax ys in
+  let x_span = if x1 > x0 then x1 -. x0 else 1.0 in
+  let y_span = if y1 > y0 then y1 -. y0 else 1.0 in
+  let grid = Array.make_matrix height width ' ' in
+  List.iteri
+    (fun s_idx (_, pts) ->
+      let glyph = glyphs.(s_idx mod Array.length glyphs) in
+      List.iter
+        (fun (x, y) ->
+          let col =
+            int_of_float ((x -. x0) /. x_span *. float_of_int (width - 1))
+          in
+          let row =
+            height - 1
+            - int_of_float ((y -. y0) /. y_span *. float_of_int (height - 1))
+          in
+          if row >= 0 && row < height && col >= 0 && col < width then
+            grid.(row).(col) <- glyph)
+        pts)
+    series;
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf (Printf.sprintf "-- %s --\n" title);
+  Array.iteri
+    (fun row_idx row ->
+      let label =
+        if row_idx = 0 then Printf.sprintf "%8.3g |" y1
+        else if row_idx = height - 1 then Printf.sprintf "%8.3g |" y0
+        else "         |"
+      in
+      Buffer.add_string buf label;
+      Array.iter (Buffer.add_char buf) row;
+      Buffer.add_char buf '\n')
+    grid;
+  Buffer.add_string buf ("         +" ^ String.make width '-' ^ "\n");
+  Buffer.add_string buf
+    (Printf.sprintf "          %-8.3g%*s\n" x0 (width - 8) (Printf.sprintf "%8.3g" x1));
+  let legend =
+    List.mapi
+      (fun i (name, _) ->
+        Printf.sprintf "%c = %s" glyphs.(i mod Array.length glyphs) name)
+      series
+  in
+  Buffer.add_string buf ("          " ^ String.concat "   " legend ^ "\n");
+  Buffer.contents buf
+
+let print ~title ?height ?width ~series () =
+  print_string (render ~title ?height ?width ~series ())
+
+let histogram ~title ?(bins = 10) ?(width = 50) samples =
+  if samples = [] then invalid_arg "Chart.histogram: empty sample";
+  if bins < 1 then invalid_arg "Chart.histogram: bins < 1";
+  let lo = List.fold_left Float.min infinity samples in
+  let hi = List.fold_left Float.max neg_infinity samples in
+  let range = if hi > lo then hi -. lo else 1.0 in
+  let counts = Array.make bins 0 in
+  List.iter
+    (fun x ->
+      let idx =
+        min (bins - 1) (int_of_float ((x -. lo) /. range *. float_of_int bins))
+      in
+      counts.(idx) <- counts.(idx) + 1)
+    samples;
+  let peak = Array.fold_left max 1 counts in
+  let buf = Buffer.create 512 in
+  Buffer.add_string buf (Printf.sprintf "-- %s (n=%d) --\n" title (List.length samples));
+  Array.iteri
+    (fun i c ->
+      let b_lo = lo +. (float_of_int i /. float_of_int bins *. range) in
+      let b_hi = lo +. (float_of_int (i + 1) /. float_of_int bins *. range) in
+      let bar = width * c / peak in
+      Buffer.add_string buf
+        (Printf.sprintf "  [%8.3g, %8.3g) %s %d\n" b_lo b_hi
+           (String.make bar '#') c))
+    counts;
+  Buffer.contents buf

@@ -1,0 +1,27 @@
+(** Minimal ASCII line charts, for eyeballing ratio-vs-parameter curves
+    in terminal output (the "figures" side of the reproduction). *)
+
+val render :
+  title:string ->
+  ?height:int ->
+  ?width:int ->
+  series:(string * (float * float) list) list ->
+  unit ->
+  string
+(** Plots each named series of (x, y) points on a shared scaled grid,
+    one glyph per series, with axis labels.  Series must be
+    non-empty. *)
+
+val print :
+  title:string ->
+  ?height:int ->
+  ?width:int ->
+  series:(string * (float * float) list) list ->
+  unit ->
+  unit
+
+val histogram :
+  title:string -> ?bins:int -> ?width:int -> float list -> string
+(** Horizontal ASCII histogram of a sample: equal-width buckets over
+    [[min, max]], bar lengths proportional to counts.
+    @raise Invalid_argument on an empty sample or [bins < 1]. *)

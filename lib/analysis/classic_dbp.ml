@@ -1,0 +1,24 @@
+open Dbp_num
+open Dbp_core
+open Dbp_opt
+
+type t = {
+  algorithm_max_bins : int;
+  opt_max_bins : int;
+  ratio : Rat.t;
+}
+
+let measure (packing : Packing.t) ~opt =
+  let opt_max = Opt_total.max_bins opt in
+  if opt_max <= 0 then invalid_arg "Classic_dbp.measure: empty OPT profile";
+  {
+    algorithm_max_bins = packing.Packing.max_bins;
+    opt_max_bins = opt_max;
+    ratio = Rat.make packing.Packing.max_bins opt_max;
+  }
+
+let coffman_ff_upper_bound = 2.897
+
+let pp fmt t =
+  Format.fprintf fmt "max-bins %d vs OPT %d (ratio %a)" t.algorithm_max_bins
+    t.opt_max_bins Rat.pp_float t.ratio

@@ -1,0 +1,27 @@
+(** The {e classical} dynamic bin packing objective, for contrast.
+
+    Classical DBP (Coffman, Garey & Johnson 1983; the paper's related
+    work) minimises the {e maximum number of bins ever open}, not the
+    total bin-time.  This module measures that objective on our
+    packings so the two can be compared side by side: the paper's
+    Figure 2 instance, for example, is harmless under the classical
+    objective (FF's peak equals OPT's peak) yet costs First Fit a
+    factor of nearly [mu] under MinTotal. *)
+
+open Dbp_core
+open Dbp_opt
+
+type t = {
+  algorithm_max_bins : int;
+  opt_max_bins : int;  (** Peak of the repacking optimum [OPT(R,t)]. *)
+  ratio : Dbp_num.Rat.t;  (** [algorithm_max_bins / opt_max_bins]. *)
+}
+
+val measure : Packing.t -> opt:Opt_total.t -> t
+(** @raise Invalid_argument if the OPT profile is empty. *)
+
+val coffman_ff_upper_bound : float
+(** 2.897 — the classical First Fit competitive-ratio upper bound for
+    the max-bins objective, quoted for context. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,450 @@
+open Dbp_num
+open Dbp_core
+
+type sub_period = {
+  bin : int;
+  index : int;
+  period : Interval.t;
+  reference_point : Rat.t option;
+  reference_bin : int option;
+}
+
+type case = I | II | III | IV | V
+
+type pairing = {
+  joints : (sub_period * sub_period) list;
+  singles : sub_period list;
+  non_intersecting : sub_period list;
+}
+
+type report = {
+  packing : Packing.t;
+  delta : Rat.t;
+  mu : Rat.t;
+  left_periods : Interval.t option array;
+  right_lengths : Rat.t array;
+  sub_periods : sub_period list;
+  pairing : pairing;
+  span : Rat.t;
+  cost_left : Rat.t;
+  charge_count : int;
+  demand : Rat.t;
+  violations : string list;
+}
+
+let classify a b =
+  if a.bin = b.bin && a.index = b.index then None
+  else if a.bin = b.bin then
+    if a.index >= 2 && b.index >= 2 then Some I else Some II
+  else if a.index >= 2 && b.index >= 2 then Some III
+  else if a.index = 1 && b.index = 1 then Some V
+  else Some IV
+
+let reference_periods_intersect ~delta a b =
+  match (a.reference_bin, b.reference_bin, a.reference_point, b.reference_point)
+  with
+  | Some ba, Some bb, Some ta, Some tb ->
+      ba = bb && Rat.(Rat.abs (Rat.sub ta tb) < Rat.mul_int delta 2)
+  | _ -> false
+
+(* ---- decomposition ---------------------------------------------------- *)
+
+let left_right_split (packing : Packing.t) =
+  let bins = packing.Packing.bins in
+  let start = Interval.lo (Instance.packing_period packing.Packing.instance) in
+  let n = Array.length bins in
+  let left = Array.make n None in
+  let right_len = Array.make n Rat.zero in
+  let latest_close = ref start in
+  Array.iteri
+    (fun i (b : Packing.bin_record) ->
+      let e_i = !latest_close in
+      let total = Rat.sub b.closed b.opened in
+      (if Rat.(e_i <= b.opened) then right_len.(i) <- total
+       else begin
+         let left_hi = Rat.min b.closed e_i in
+         left.(i) <- Some (Interval.make b.opened left_hi);
+         right_len.(i) <- Rat.sub total (Rat.sub left_hi b.opened)
+       end);
+      latest_close := Rat.max !latest_close b.closed)
+    bins;
+  (left, right_len)
+
+(* Split I_i^L right-to-left into chunks of (mu+2)Delta, merging a
+   too-short first chunk into the second (Figure 5). *)
+let split_left_period ~chunk ~two_delta (iv : Interval.t) =
+  let len = Interval.length iv in
+  if Rat.(len <= chunk) then [ iv ]
+  else begin
+    let count = Rat.ceil (Rat.div len chunk) in
+    let boundaries =
+      (* lo, hi - (count-1) chunk, ..., hi - chunk, hi *)
+      Interval.lo iv
+      :: List.init count (fun idx ->
+             let back = count - 1 - idx in
+             Rat.sub (Interval.hi iv) (Rat.mul_int chunk back))
+    in
+    let rec to_intervals = function
+      | a :: (b :: _ as rest) -> Interval.make a b :: to_intervals rest
+      | _ -> []
+    in
+    let pieces = to_intervals boundaries in
+    match pieces with
+    | first :: second :: rest when Rat.(Interval.length first < two_delta) ->
+        Interval.make (Interval.lo first) (Interval.hi second) :: rest
+    | pieces -> pieces
+  end
+
+let reference_point_of (b : Packing.bin_record) ~(period : Interval.t) ~is_last
+    =
+  let inside t =
+    Rat.(Interval.lo period <= t)
+    && (Rat.(t < Interval.hi period)
+       || (is_last && Rat.(t = Interval.hi period)))
+  in
+  List.find_opt (fun (t, _) -> inside t) b.placements |> Option.map fst
+
+let reference_bin_of (packing : Packing.t) ~bin ~point =
+  let rec scan best k =
+    if k >= bin then best
+    else
+      let cand = packing.Packing.bins.(k) in
+      let best =
+        if Rat.(point < cand.Packing.closed) then Some k else best
+      in
+      scan best (k + 1)
+  in
+  scan None 0
+
+(* Resource demand of the items sitting in [bin] at time [point],
+   restricted to the window [point - delta, point + delta]. *)
+let demand_in_window (packing : Packing.t) ~bin ~point ~delta =
+  let window =
+    Interval.make (Rat.sub point delta) (Rat.add point delta)
+  in
+  let instance = packing.Packing.instance in
+  packing.Packing.bins.(bin).Packing.item_ids
+  |> List.map (fun id ->
+         let r = Instance.item instance id in
+         if Item.active_at r point then
+           match Interval.intersect (Item.interval r) window with
+           | Some overlap -> Rat.mul r.Item.size (Interval.length overlap)
+           | None -> Rat.zero
+         else Rat.zero)
+  |> Rat.sum
+
+(* ---- pairing (Figure 7) ------------------------------------------------ *)
+
+let build_pairing ~delta sub_periods =
+  let intersecting, non_intersecting =
+    List.partition
+      (fun p ->
+        List.exists
+          (fun q ->
+            not (p.bin = q.bin && p.index = q.index)
+            && reference_periods_intersect ~delta p q)
+          sub_periods)
+      sub_periods
+  in
+  (* All intersecting periods should be first sub-periods (Case V);
+     pair each unpaired one with its back-intersect partner. *)
+  let sorted =
+    List.sort (fun a b -> Int.compare a.bin b.bin) intersecting
+  in
+  let paired = Hashtbl.create 16 in
+  let joints = ref [] and singles = ref [] in
+  List.iter
+    (fun p ->
+      if not (Hashtbl.mem paired (p.bin, p.index)) then begin
+        let back =
+          List.find_opt
+            (fun q ->
+              q.bin > p.bin
+              && (not (Hashtbl.mem paired (q.bin, q.index)))
+              && reference_periods_intersect ~delta p q)
+            sorted
+        in
+        match back with
+        | Some q ->
+            Hashtbl.add paired (p.bin, p.index) ();
+            Hashtbl.add paired (q.bin, q.index) ();
+            joints := (p, q) :: !joints
+        | None ->
+            Hashtbl.add paired (p.bin, p.index) ();
+            singles := p :: !singles
+      end)
+    sorted;
+  {
+    joints = List.rev !joints;
+    singles = List.rev !singles;
+    non_intersecting;
+  }
+
+(* ---- the checker ------------------------------------------------------- *)
+
+let analyse ?k (packing : Packing.t) =
+  let bins = packing.Packing.bins in
+  if Array.length bins = 0 then invalid_arg "Ff_decomposition: no bins";
+  let instance = packing.Packing.instance in
+  let capacity = Instance.capacity instance in
+  let delta = Instance.min_interval_length instance in
+  let max_len = Instance.max_interval_length instance in
+  let mu = Instance.mu instance in
+  let violations = ref [] in
+  let violation fmt =
+    Format.kasprintf (fun s -> violations := s :: !violations) fmt
+  in
+  (* Bins must be indexed in opening order. *)
+  Array.iteri
+    (fun i (b : Packing.bin_record) ->
+      if i > 0 then begin
+        let prev = bins.(i - 1) in
+        if Rat.(b.opened < prev.Packing.opened) then
+          violation "bins not in opening order at %d" i
+      end)
+    bins;
+  let left_periods, right_lengths = left_right_split packing in
+  (* Equation (5): span(R) = sum len(I_i^R). *)
+  let span = Instance.span instance in
+  let right_total = Rat.sum (Array.to_list right_lengths) in
+  if not (Rat.equal span right_total) then
+    violation "eq (5): span %a <> sum of right periods %a" Rat.pp span Rat.pp
+      right_total;
+  (* Equation (6): FF_total = sum len(I_i^L) + span. *)
+  let cost_left =
+    Array.to_list left_periods
+    |> List.map (function None -> Rat.zero | Some iv -> Interval.length iv)
+    |> Rat.sum
+  in
+  if not (Rat.equal packing.Packing.total_cost (Rat.add cost_left span)) then
+    violation "eq (6): cost %a <> left %a + span %a" Rat.pp
+      packing.Packing.total_cost Rat.pp cost_left Rat.pp span;
+  (* Sub-period split and merge. *)
+  let chunk = Rat.mul (Rat.add mu Rat.two) delta in
+  let two_delta = Rat.mul_int delta 2 in
+  let cap_f1 = Rat.mul (Rat.add mu (Rat.of_int 4)) delta in
+  let sub_periods =
+    Array.to_list left_periods
+    |> List.mapi (fun i left ->
+           match left with
+           | None -> []
+           | Some iv ->
+               let pieces = split_left_period ~chunk ~two_delta iv in
+               let last = List.length pieces in
+               List.mapi
+                 (fun jdx period ->
+                   let j = jdx + 1 in
+                   let is_last = j = last in
+                   let reference_point =
+                     reference_point_of bins.(i) ~period ~is_last
+                   in
+                   let reference_bin =
+                     Option.bind reference_point (fun point ->
+                         reference_bin_of packing ~bin:i ~point)
+                   in
+                   { bin = i; index = j; period; reference_point; reference_bin })
+                 pieces)
+    |> List.concat
+  in
+  (* Features f.1 - f.5. *)
+  List.iter
+    (fun p ->
+      let len = Interval.length p.period in
+      if Rat.(len > cap_f1) then
+        violation "f.1: |I_{%d,%d}| = %a > (mu+4)delta" p.bin p.index Rat.pp len;
+      if p.index >= 2 && not (Rat.equal len chunk) then
+        violation "f.2: |I_{%d,%d}| <> (mu+2)delta" p.bin p.index;
+      match p.reference_point with
+      | None ->
+          violation "no reference point in I_{%d,%d}" p.bin p.index
+      | Some t ->
+          if p.index = 1 && not (Rat.equal t (Interval.lo p.period)) then
+            violation "f.4: t_{%d,1} <> I_{%d,1}^-" p.bin p.bin;
+          if
+            Rat.(t < Interval.lo p.period)
+            || Rat.(t > Rat.add (Interval.lo p.period) max_len)
+          then violation "f.5: t_{%d,%d} outside [lo, lo + mu delta]" p.bin p.index;
+          if p.reference_bin = None then
+            violation "no reference bin for I_{%d,%d}" p.bin p.index)
+    sub_periods;
+  (* f.3: a split bin's first sub-period is >= 2 delta. *)
+  let by_bin = Hashtbl.create 16 in
+  List.iter
+    (fun p ->
+      let cur = try Hashtbl.find by_bin p.bin with Not_found -> [] in
+      Hashtbl.replace by_bin p.bin (p :: cur))
+    sub_periods;
+  Hashtbl.iter
+    (fun bin ps ->
+      if List.length ps >= 2 then
+        List.iter
+          (fun p ->
+            if p.index = 1 && Rat.(Interval.length p.period < two_delta) then
+              violation "f.3: first sub-period of bin %d shorter than 2 delta"
+                bin)
+          ps)
+    by_bin;
+  (* Lemma 1: intersections only in Case V.  Lemma 2 on Case V pairs. *)
+  let rec pairs = function
+    | [] -> []
+    | p :: rest -> List.map (fun q -> (p, q)) rest @ pairs rest
+  in
+  let all_pairs = pairs sub_periods in
+  List.iter
+    (fun (p, q) ->
+      if reference_periods_intersect ~delta p q then begin
+        match classify p q with
+        | Some V ->
+            let first, _ = if p.bin < q.bin then (p, q) else (q, p) in
+            if Rat.(Interval.length first.period >= two_delta) then
+              violation
+                "lemma 2: intersecting I_{%d,1} has length >= 2 delta"
+                first.bin
+        | Some (I | II | III | IV) ->
+            violation
+              "lemma 1: reference periods of I_{%d,%d} and I_{%d,%d} intersect"
+              p.bin p.index q.bin q.index
+        | None -> ()
+      end)
+    all_pairs;
+  (* Lemma 3: at most one front- and one back-intersect per period. *)
+  List.iter
+    (fun p ->
+      let fronts =
+        List.filter
+          (fun q -> q.bin < p.bin && reference_periods_intersect ~delta p q)
+          sub_periods
+      and backs =
+        List.filter
+          (fun q -> q.bin > p.bin && reference_periods_intersect ~delta p q)
+          sub_periods
+      in
+      if List.length fronts > 1 then
+        violation "lemma 3: I_{%d,%d} has %d front-intersects" p.bin p.index
+          (List.length fronts);
+      if List.length backs > 1 then
+        violation "lemma 3: I_{%d,%d} has %d back-intersects" p.bin p.index
+          (List.length backs))
+    sub_periods;
+  (* Pairing and Lemma 4: the representatives' reference periods are
+     pairwise disjoint. *)
+  let pairing = build_pairing ~delta sub_periods in
+  let representatives =
+    List.map fst pairing.joints @ pairing.singles @ pairing.non_intersecting
+  in
+  List.iter
+    (fun (p, q) ->
+      if
+        (not (p.bin = q.bin && p.index = q.index))
+        && reference_periods_intersect ~delta p q
+      then
+        violation "lemma 4: representatives I_{%d,%d} and I_{%d,%d} intersect"
+          p.bin p.index q.bin q.index)
+    (pairs representatives);
+  (* Lemma 5: auxiliary periods pairwise disjoint (same bin -> points
+     at least 2 delta apart). *)
+  List.iter
+    (fun (p, q) ->
+      match (p.reference_point, q.reference_point) with
+      | Some tp, Some tq when p.bin = q.bin ->
+          if Rat.(Rat.abs (Rat.sub tp tq) < two_delta) then
+            violation "lemma 5: auxiliary periods of bin %d intersect" p.bin
+      | _ -> ())
+    all_pairs;
+  (* Demand inequalities. *)
+  let demand = Instance.total_demand instance in
+  let w_delta = Rat.mul capacity delta in
+  List.iter
+    (fun p ->
+      match (p.reference_point, p.reference_bin) with
+      | Some point, Some ref_bin ->
+          let u_ref = demand_in_window packing ~bin:ref_bin ~point ~delta in
+          let u_aux = demand_in_window packing ~bin:p.bin ~point ~delta in
+          (* (14): u(p-dagger) + u(p-double-dagger) >= W delta. *)
+          if Rat.(Rat.add u_ref u_aux < w_delta) then
+            violation "ineq (14) fails at I_{%d,%d}" p.bin p.index;
+          (* (8), all-small regime. *)
+          (match k with
+          | Some k ->
+              let threshold =
+                Rat.mul (Rat.sub Rat.one (Rat.div Rat.one k)) w_delta
+              in
+              if Rat.(u_ref < threshold) then
+                violation "ineq (8) fails at I_{%d,%d}" p.bin p.index
+          | None -> ())
+      | _ -> ())
+    sub_periods;
+  let charge_count =
+    List.length pairing.joints
+    + List.length pairing.singles
+    + List.length pairing.non_intersecting
+  in
+  (* (11) / (15) global demand bounds. *)
+  (match k with
+  | Some k ->
+      let bound =
+        Rat.mul_int
+          (Rat.mul (Rat.sub Rat.one (Rat.div Rat.one k)) w_delta)
+          charge_count
+      in
+      if Rat.(demand < bound) then
+        violation "ineq (11): u(R) = %a < %a" Rat.pp demand Rat.pp bound
+  | None -> ());
+  let bound15 = Rat.div (Rat.mul_int w_delta charge_count) (Rat.of_int 2) in
+  if Rat.(demand < bound15) then
+    violation "ineq (15): u(R) = %a < %a" Rat.pp demand Rat.pp bound15;
+  (* (10): FF_total <= charge_count (mu+6) delta + span. *)
+  let bound10 =
+    Rat.add
+      (Rat.mul_int (Rat.mul (Rat.add mu (Rat.of_int 6)) delta) charge_count)
+      span
+  in
+  if Rat.(packing.Packing.total_cost > bound10) then
+    violation "ineq (10): cost %a > %a" Rat.pp packing.Packing.total_cost
+      Rat.pp bound10;
+  {
+    packing;
+    delta;
+    mu;
+    left_periods;
+    right_lengths;
+    sub_periods;
+    pairing;
+    span;
+    cost_left;
+    charge_count;
+    demand;
+    violations = List.rev !violations;
+  }
+
+let upper_bound_inequality_10 r =
+  let bound =
+    Rat.add
+      (Rat.mul_int
+         (Rat.mul (Rat.add r.mu (Rat.of_int 6)) r.delta)
+         r.charge_count)
+      r.span
+  in
+  Rat.(r.packing.Packing.total_cost <= bound)
+
+let demand_inequality_15 r =
+  let w_delta = Rat.mul (Instance.capacity r.packing.Packing.instance) r.delta in
+  Rat.(r.demand >= Rat.div (Rat.mul_int w_delta r.charge_count) Rat.two)
+
+let demand_inequality_11 r ~k =
+  let w_delta = Rat.mul (Instance.capacity r.packing.Packing.instance) r.delta in
+  let per = Rat.mul (Rat.sub Rat.one (Rat.div Rat.one k)) w_delta in
+  Rat.(r.demand >= Rat.mul_int per r.charge_count)
+
+let pp_report fmt r =
+  Format.fprintf fmt
+    "@[<v>decomposition: %d bins, %d sub-periods, %d joints + %d singles + %d \
+     non-intersecting = %d charges; span=%a, left=%a, u(R)=%a; %d violations@]"
+    (Array.length r.packing.Packing.bins)
+    (List.length r.sub_periods)
+    (List.length r.pairing.joints)
+    (List.length r.pairing.singles)
+    (List.length r.pairing.non_intersecting)
+    r.charge_count Rat.pp_float r.span Rat.pp_float r.cost_left Rat.pp_float
+    r.demand
+    (List.length r.violations)

@@ -1,0 +1,85 @@
+(** The Section 4.3 proof machinery, executed on {e real} First Fit
+    packings.
+
+    Theorems 4 and 5 bound First Fit by decomposing each bin's usage
+    period [I_i] and charging bounded-length sub-periods to disjoint
+    chunks of resource demand.  This module computes the entire
+    decomposition on a concrete packing — usage period splits
+    [I_i^L / I_i^R], sub-period split-and-merge (Figure 5), reference
+    points [t_{i,j}] and reference bins (Figure 6), joint-period
+    pairing (Figure 7), auxiliary periods (Figure 8) — and {e checks}
+    every feature, lemma and inequality of the proof:
+
+    - Features (f.1)–(f.5);
+    - Lemma 1 (no reference-period intersections in Cases I–IV of
+      Table 2), Lemma 2, Lemma 3, Lemma 4, Lemma 5;
+    - the span identity [span(R) = sum of len(I_i^R)] (equation (5));
+    - the cost identity (6);
+    - the demand inequalities (8)/(11) in the all-small regime and
+      (14)/(15) in general.
+
+    A healthy First Fit packing yields [violations = []]; any violation
+    indicates a bug in the simulator, in First Fit, or a genuine
+    counterexample to the paper's argument.  The test suite runs this
+    checker over hundreds of random workloads. *)
+
+open Dbp_num
+open Dbp_core
+
+(** One sub-period [I_{i,j}] with its derived proof objects. *)
+type sub_period = {
+  bin : int;  (** [i]: the bin whose [I_i^L] was split. *)
+  index : int;  (** [j >= 1], temporal order inside [I_i^L]. *)
+  period : Interval.t;  (** [I_{i,j}]. *)
+  reference_point : Rat.t option;  (** [t_{i,j}], when a placement exists. *)
+  reference_bin : int option;  (** [b_dagger(I_{i,j})]. *)
+}
+
+type case = I | II | III | IV | V
+(** Table 2's classification of a pair of sub-periods. *)
+
+type pairing = {
+  joints : (sub_period * sub_period) list;  (** Joint-periods, [i < i']. *)
+  singles : sub_period list;
+  non_intersecting : sub_period list;  (** The set [I^L_U]. *)
+}
+
+type report = {
+  packing : Packing.t;
+  delta : Rat.t;  (** Minimum interval length [Delta]. *)
+  mu : Rat.t;
+  left_periods : Interval.t option array;  (** [I_i^L] per bin (None = empty). *)
+  right_lengths : Rat.t array;  (** [len(I_i^R)] per bin. *)
+  sub_periods : sub_period list;  (** All of [I^L], temporal per bin. *)
+  pairing : pairing;
+  span : Rat.t;
+  cost_left : Rat.t;  (** [sum of len(I_i^L)]. *)
+  charge_count : int;
+      (** [|I^L_I(J)| + |I^L_I(S)| + |I^L_U|]: the number of disjoint
+          demand charges. *)
+  demand : Rat.t;  (** [u(R)]. *)
+  violations : string list;  (** Empty on a healthy packing. *)
+}
+
+val classify : sub_period -> sub_period -> case option
+(** Table 2 (None when both [j = 1] and [i] equal — same sub-period or
+    impossible combination). *)
+
+val reference_periods_intersect : delta:Rat.t -> sub_period -> sub_period -> bool
+
+val analyse : ?k:Rat.t -> Packing.t -> report
+(** Runs the full decomposition and all checks.  Pass [k] to also check
+    the all-small-items inequality (8)/(11) (requires every size
+    [< W/k]); inequality (14)/(15) is checked regardless.
+    @raise Invalid_argument if the packing used zero bins. *)
+
+val upper_bound_inequality_10 : report -> bool
+(** Inequality (10): [FF_total <= charge_count * (mu+6) * delta + span]. *)
+
+val demand_inequality_15 : report -> bool
+(** Inequality (15): [u(R) >= 1/2 * charge_count * W * delta]. *)
+
+val demand_inequality_11 : report -> k:Rat.t -> bool
+(** Inequality (11): [u(R) >= charge_count * (W - W/k) * delta]. *)
+
+val pp_report : Format.formatter -> report -> unit

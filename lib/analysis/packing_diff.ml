@@ -1,0 +1,64 @@
+open Dbp_num
+open Dbp_core
+
+type t = {
+  cost_a : Rat.t;
+  cost_b : Rat.t;
+  cost_gap : Rat.t;
+  bins_a : int;
+  bins_b : int;
+  first_divergence : int option;
+  split_pairs : int;
+  joined_pairs : int;
+}
+
+(* Cohort of an item: the set of lower-id items sharing its bin.  Two
+   packings agree on a prefix iff every item's cohort matches. *)
+let cohort (packing : Packing.t) item_id =
+  let bin = packing.Packing.assignment.(item_id) in
+  packing.Packing.bins.(bin).Packing.item_ids
+  |> List.filter (fun id -> id < item_id)
+  |> List.sort compare
+
+let compare (a : Packing.t) (b : Packing.t) =
+  let n = Array.length a.Packing.assignment in
+  if Array.length b.Packing.assignment <> n then
+    invalid_arg "Packing_diff.compare: different instances";
+  let first_divergence = ref None in
+  (for item = 0 to n - 1 do
+     if !first_divergence = None && cohort a item <> cohort b item then
+       first_divergence := Some item
+   done);
+  let same_bin (p : Packing.t) i j =
+    p.Packing.assignment.(i) = p.Packing.assignment.(j)
+  in
+  let split = ref 0 and joined = ref 0 in
+  for i = 0 to n - 1 do
+    for j = i + 1 to n - 1 do
+      match (same_bin a i j, same_bin b i j) with
+      | true, false -> incr split
+      | false, true -> incr joined
+      | true, true | false, false -> ()
+    done
+  done;
+  {
+    cost_a = a.Packing.total_cost;
+    cost_b = b.Packing.total_cost;
+    cost_gap = Rat.sub a.Packing.total_cost b.Packing.total_cost;
+    bins_a = Packing.bins_used a;
+    bins_b = Packing.bins_used b;
+    first_divergence = !first_divergence;
+    split_pairs = !split;
+    joined_pairs = !joined;
+  }
+
+let pp fmt t =
+  Format.fprintf fmt
+    "@[<v>cost %a vs %a (gap %a); bins %d vs %d; first divergence at %s; %d \
+     pairs split, %d joined@]"
+    Rat.pp_float t.cost_a Rat.pp_float t.cost_b Rat.pp_float t.cost_gap
+    t.bins_a t.bins_b
+    (match t.first_divergence with
+    | Some i -> "item " ^ string_of_int i
+    | None -> "none")
+    t.split_pairs t.joined_pairs

@@ -1,0 +1,31 @@
+(** Structural comparison of two packings of the same instance — the
+    "why did policy A pay more than policy B here" debugging tool.
+
+    Reports the first item the two policies placed differently (with
+    the open-bin context at that moment reconstructible from the
+    placements), the per-policy bin counts, and the cost gap, plus the
+    items co-located by one policy but separated by the other. *)
+
+open Dbp_num
+open Dbp_core
+
+type t = {
+  cost_a : Rat.t;
+  cost_b : Rat.t;
+  cost_gap : Rat.t;  (** [cost_a - cost_b]. *)
+  bins_a : int;
+  bins_b : int;
+  first_divergence : int option;
+      (** Lowest item id the two packings assign to different
+          {e cohorts} (sets of co-located earlier items) — bin indices
+          themselves are not comparable across policies. *)
+  split_pairs : int;
+      (** Item pairs sharing a bin under A but not under B. *)
+  joined_pairs : int;  (** ... and vice versa. *)
+}
+
+val compare : Packing.t -> Packing.t -> t
+(** @raise Invalid_argument if the packings are of different
+    instances (by item count). *)
+
+val pp : Format.formatter -> t -> unit

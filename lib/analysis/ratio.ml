@@ -1,0 +1,51 @@
+open Dbp_num
+open Dbp_core
+open Dbp_opt
+
+type t = {
+  algorithm_cost : Rat.t;
+  opt : Opt_total.t;
+  ratio_lower : Rat.t;
+  ratio_upper : Rat.t;
+  exact : bool;
+}
+
+let of_costs ~algorithm_cost ~(opt : Opt_total.t) =
+  if Rat.sign opt.Opt_total.lower <= 0 then
+    invalid_arg "Ratio.of_costs: OPT lower bound is not positive";
+  {
+    algorithm_cost;
+    opt;
+    ratio_lower = Rat.div algorithm_cost opt.Opt_total.upper;
+    ratio_upper = Rat.div algorithm_cost opt.Opt_total.lower;
+    exact = opt.Opt_total.exact;
+  }
+
+let measure ?node_budget (packing : Packing.t) =
+  let opt = Opt_total.compute ?node_budget packing.Packing.instance in
+  of_costs ~algorithm_cost:packing.Packing.total_cost ~opt
+
+let value_exn t =
+  if t.exact then t.ratio_upper
+  else
+    failwith
+      (Format.asprintf "Ratio.value_exn: only bounded in [%a, %a]" Rat.pp
+         t.ratio_lower Rat.pp t.ratio_upper)
+
+type verdict = Confirmed | Consistent | Violated
+
+let check_bound t ~bound =
+  if Rat.(t.ratio_upper <= bound) then Confirmed
+  else if Rat.(t.ratio_lower <= bound) then Consistent
+  else Violated
+
+let verdict_to_string = function
+  | Confirmed -> "confirmed"
+  | Consistent -> "consistent"
+  | Violated -> "VIOLATED"
+
+let pp fmt t =
+  if t.exact then Format.fprintf fmt "ratio=%a" Rat.pp_float t.ratio_upper
+  else
+    Format.fprintf fmt "ratio in [%a, %a]" Rat.pp_float t.ratio_lower
+      Rat.pp_float t.ratio_upper

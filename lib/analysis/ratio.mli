@@ -1,0 +1,35 @@
+(** Measured competitive ratios: [A_total(R) / OPT_total(R)] with the
+    offline optimum computed by {!Dbp_opt.Opt_total}.
+
+    When a segment of the OPT computation is not solved to optimality
+    the ratio is only known within an interval, and comparisons against
+    a theoretical bound are graded accordingly: a bound can be
+    {e confirmed} (holds even against the OPT lower bound), merely
+    {e consistent} (holds against the OPT upper bound), or {e violated}
+    (fails even against the OPT upper bound — which would falsify the
+    theorem or reveal an implementation bug). *)
+
+open Dbp_num
+open Dbp_core
+open Dbp_opt
+
+type t = {
+  algorithm_cost : Rat.t;
+  opt : Opt_total.t;
+  ratio_lower : Rat.t;  (** [cost / opt.upper]. *)
+  ratio_upper : Rat.t;  (** [cost / opt.lower]. *)
+  exact : bool;
+}
+
+val measure : ?node_budget:int -> Packing.t -> t
+
+val of_costs : algorithm_cost:Rat.t -> opt:Opt_total.t -> t
+
+val value_exn : t -> Rat.t
+(** The exact ratio.  @raise Failure when OPT was not exact. *)
+
+type verdict = Confirmed | Consistent | Violated
+
+val check_bound : t -> bound:Rat.t -> verdict
+val verdict_to_string : verdict -> string
+val pp : Format.formatter -> t -> unit

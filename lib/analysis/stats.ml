@@ -1,0 +1,63 @@
+type summary = {
+  count : int;
+  mean : float;
+  stddev : float;
+  minimum : float;
+  maximum : float;
+  median : float;
+  ci95_half_width : float;
+}
+
+let mean xs =
+  match xs with
+  | [] -> invalid_arg "Stats.mean: empty"
+  | _ -> List.fold_left ( +. ) 0.0 xs /. float_of_int (List.length xs)
+
+let stddev xs =
+  match xs with
+  | [] -> invalid_arg "Stats.stddev: empty"
+  | [ _ ] -> 0.0
+  | _ ->
+      let m = mean xs in
+      let n = float_of_int (List.length xs) in
+      let ss =
+        List.fold_left (fun acc x -> acc +. ((x -. m) ** 2.0)) 0.0 xs
+      in
+      sqrt (ss /. (n -. 1.0))
+
+let quantile xs ~q =
+  if xs = [] then invalid_arg "Stats.quantile: empty";
+  if q < 0.0 || q > 1.0 then invalid_arg "Stats.quantile: q out of range";
+  let sorted = Array.of_list (List.sort Float.compare xs) in
+  let n = Array.length sorted in
+  if n = 1 then sorted.(0)
+  else begin
+    let pos = q *. float_of_int (n - 1) in
+    let lo = int_of_float (Float.floor pos) in
+    let hi = min (n - 1) (lo + 1) in
+    let frac = pos -. float_of_int lo in
+    (sorted.(lo) *. (1.0 -. frac)) +. (sorted.(hi) *. frac)
+  end
+
+let summarise xs =
+  match xs with
+  | [] -> invalid_arg "Stats.summarise: empty"
+  | _ ->
+      let n = List.length xs in
+      let sd = stddev xs in
+      {
+        count = n;
+        mean = mean xs;
+        stddev = sd;
+        minimum = List.fold_left Float.min infinity xs;
+        maximum = List.fold_left Float.max neg_infinity xs;
+        median = quantile xs ~q:0.5;
+        ci95_half_width =
+          (if n < 2 then 0.0 else 1.96 *. sd /. sqrt (float_of_int n));
+      }
+
+let of_rats rs = List.map Dbp_num.Rat.to_float rs
+
+let pp_summary fmt s =
+  Format.fprintf fmt "%.4g +- %.2g [%.4g, %.4g]" s.mean s.ci95_half_width
+    s.minimum s.maximum

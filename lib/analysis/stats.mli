@@ -1,0 +1,29 @@
+(** Descriptive statistics for multi-seed experiment aggregation. *)
+
+type summary = {
+  count : int;
+  mean : float;
+  stddev : float;  (** Sample standard deviation (n-1); 0 for n < 2. *)
+  minimum : float;
+  maximum : float;
+  median : float;
+  ci95_half_width : float;
+      (** Normal-approximation 95% confidence half-width
+          (1.96 stddev / sqrt n); 0 for n < 2. *)
+}
+
+val summarise : float list -> summary
+(** @raise Invalid_argument on the empty list. *)
+
+val quantile : float list -> q:float -> float
+(** Linear-interpolation quantile, [q] in [[0, 1]].
+    @raise Invalid_argument on the empty list or out-of-range [q]. *)
+
+val mean : float list -> float
+val stddev : float list -> float
+
+val of_rats : Dbp_num.Rat.t list -> float list
+(** Convenience conversion for summarising exact measurements. *)
+
+val pp_summary : Format.formatter -> summary -> unit
+(** ["mean +- ci [min, max]"]. *)

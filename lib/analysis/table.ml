@@ -1,0 +1,60 @@
+type t = {
+  title : string;
+  columns : string list;
+  mutable rows : string list list;  (* reverse order *)
+}
+
+let create ~title ~columns = { title; columns; rows = [] }
+
+let title t = t.title
+
+let add_row t row =
+  if List.length row <> List.length t.columns then
+    invalid_arg
+      (Printf.sprintf "Table.add_row: %d cells, expected %d" (List.length row)
+         (List.length t.columns));
+  t.rows <- row :: t.rows
+
+let add_rows t rows = List.iter (add_row t) rows
+let row_count t = List.length t.rows
+
+let widths t =
+  let rows = t.columns :: List.rev t.rows in
+  List.fold_left
+    (fun acc row -> List.map2 (fun w cell -> max w (String.length cell)) acc row)
+    (List.map (fun _ -> 0) t.columns)
+    rows
+
+let pad width s = s ^ String.make (max 0 (width - String.length s)) ' '
+
+let render t =
+  let widths = widths t in
+  let line row =
+    String.concat " | " (List.map2 pad widths row) |> String.trim
+  in
+  let rule =
+    String.concat "-+-" (List.map (fun w -> String.make w '-') widths)
+  in
+  let body = List.map line (List.rev t.rows) in
+  String.concat "\n"
+    (Printf.sprintf "== %s ==" t.title :: line t.columns :: rule :: body)
+  ^ "\n"
+
+let render_markdown t =
+  let cells row = "| " ^ String.concat " | " row ^ " |" in
+  let rule = cells (List.map (fun _ -> "---") t.columns) in
+  String.concat "\n"
+    ((Printf.sprintf "**%s**" t.title :: "" :: cells t.columns :: rule
+     :: List.map cells (List.rev t.rows))
+    @ [ "" ])
+
+let print t = print_string (render t)
+
+let csv_cell s =
+  if String.exists (fun c -> c = ',' || c = '"' || c = '\n') s then
+    "\"" ^ String.concat "\"\"" (String.split_on_char '"' s) ^ "\""
+  else s
+
+let render_csv t =
+  let line row = String.concat "," (List.map csv_cell row) in
+  String.concat "\n" (line t.columns :: List.map line (List.rev t.rows)) ^ "\n"

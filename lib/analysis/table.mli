@@ -1,0 +1,23 @@
+(** Plain-text table rendering for experiment reports (EXPERIMENTS.md
+    is generated from these). *)
+
+type t
+
+val create : title:string -> columns:string list -> t
+val add_row : t -> string list -> unit
+(** @raise Invalid_argument on a wrong-arity row. *)
+
+val add_rows : t -> string list list -> unit
+val title : t -> string
+val row_count : t -> int
+val render : t -> string
+(** Pipe-separated, column-aligned, with a title line and a rule. *)
+
+val render_markdown : t -> string
+(** GitHub-flavoured markdown table. *)
+
+val print : t -> unit
+
+val render_csv : t -> string
+(** RFC-4180-style CSV: header row then data rows; cells containing
+    commas or quotes are quoted. *)

@@ -1,0 +1,22 @@
+open Dbp_num
+
+let anyfit_lower ~mu = mu
+
+let anyfit_construction_ratio ~k ~mu =
+  Rat.div (Rat.mul_int mu k) (Rat.add (Rat.of_int k) (Rat.sub mu Rat.one))
+
+let ff_large ~k = k
+
+let ff_small ~k ~mu =
+  if Rat.(k <= Rat.one) then invalid_arg "Theorem_bounds.ff_small: k <= 1";
+  let factor = Rat.div k (Rat.sub k Rat.one) in
+  Rat.sum [ Rat.mul factor mu; Rat.mul_int factor 6; Rat.one ]
+
+let ff_general ~mu = Rat.add (Rat.mul_int mu 2) (Rat.of_int 13)
+
+let mff_oblivious ~mu =
+  Rat.add (Rat.mul (Rat.make 8 7) mu) (Rat.make 55 7)
+
+let mff_known_mu ~mu = Rat.add mu (Rat.of_int 8)
+
+let bestfit_forced_ratio ~k ~mu:_ ~iterations:_ = Rat.make k 2

@@ -1,0 +1,33 @@
+(** Closed-form competitive-ratio bounds from the paper, as exact
+    rational functions of [mu] (and [k] where applicable). *)
+
+open Dbp_num
+
+val anyfit_lower : mu:Rat.t -> Rat.t
+(** Theorem 1: any Any Fit algorithm has ratio [>= mu]. *)
+
+val anyfit_construction_ratio : k:int -> mu:Rat.t -> Rat.t
+(** Equation (1): the exact ratio [k mu / (k + mu - 1)] the Figure 2
+    construction achieves at finite [k]. *)
+
+val ff_large : k:Rat.t -> Rat.t
+(** Theorem 3: all sizes [>= W/k] implies [FF <= k * OPT]. *)
+
+val ff_small : k:Rat.t -> mu:Rat.t -> Rat.t
+(** Theorem 4: all sizes [< W/k] implies
+    [FF <= (k/(k-1) mu + 6k/(k-1) + 1) OPT].
+    @raise Invalid_argument if [k <= 1]. *)
+
+val ff_general : mu:Rat.t -> Rat.t
+(** Theorem 5: [FF <= (2 mu + 13) OPT]. *)
+
+val mff_oblivious : mu:Rat.t -> Rat.t
+(** Section 4.4, [k = 8]: [MFF <= (8/7 mu + 55/7) OPT]. *)
+
+val mff_known_mu : mu:Rat.t -> Rat.t
+(** Section 4.4, [k = mu + 7]: [MFF <= (mu + 8) OPT]. *)
+
+val bestfit_forced_ratio : k:int -> mu:Rat.t -> iterations:int -> Rat.t
+(** Theorem 2's guarantee [k/2] once [iterations >= (k-1)/mu]
+    (returns [k/2] as a rational; the realised ratio of the
+    construction is measured, not derived). *)

@@ -1,0 +1,135 @@
+open Dbp_num
+open Dbp_core
+
+let glyph_of_fill fill =
+  if fill < 0.25 then '.'
+  else if fill < 0.5 then '-'
+  else if fill < 0.75 then '='
+  else '#'
+
+(* Level of [bin] at column time [t]: sum of sizes of its items whose
+   half-open activity window contains t. *)
+let level_at (packing : Packing.t) (b : Packing.bin_record) t =
+  let instance = packing.Packing.instance in
+  List.fold_left
+    (fun acc id ->
+      let r = Instance.item instance id in
+      if Item.active_at r t then Rat.add acc r.Item.size else acc)
+    Rat.zero b.item_ids
+
+let render ?(width = 64) (packing : Packing.t) =
+  let period = Instance.packing_period packing.Packing.instance in
+  let t0 = Rat.to_float (Interval.lo period) in
+  let t1 = Rat.to_float (Interval.hi period) in
+  let span = if t1 > t0 then t1 -. t0 else 1.0 in
+  let capacity = Rat.to_float (Instance.capacity packing.Packing.instance) in
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf
+    (Printf.sprintf "packing by %s: %d bins over [%g, %g]\n"
+       packing.Packing.policy_name
+       (Packing.bins_used packing)
+       t0 t1);
+  Array.iter
+    (fun (b : Packing.bin_record) ->
+      Buffer.add_string buf (Printf.sprintf "  b%-3d |" b.bin_id);
+      for col = 0 to width - 1 do
+        let tf = t0 +. ((float_of_int col +. 0.5) /. float_of_int width *. span) in
+        let opened = Rat.to_float b.opened and closed = Rat.to_float b.closed in
+        if tf < opened || tf >= closed then Buffer.add_char buf ' '
+        else begin
+          let t = Rat.of_float ~den:1_000_000 tf in
+          let level = Rat.to_float (level_at packing b t) in
+          let fill = level /. capacity in
+          Buffer.add_char buf
+            (if fill <= 0.0 then '.' else glyph_of_fill fill)
+        end
+      done;
+      Buffer.add_string buf "|\n")
+    packing.Packing.bins;
+  Buffer.add_string buf
+    (Printf.sprintf "       %-8g%*s\n" t0 (width - 8) (Printf.sprintf "%8g" t1));
+  Buffer.contents buf
+
+let print ?width packing = print_string (render ?width packing)
+
+let svg_colors =
+  [| "#4e79a7"; "#f28e2b"; "#59a14f"; "#e15759"; "#76b7b2"; "#edc948";
+     "#b07aa1"; "#ff9da7"; "#9c755f"; "#bab0ac" |]
+
+let render_svg ?(width = 800) ?(row_height = 26) (packing : Packing.t) =
+  let instance = packing.Packing.instance in
+  let period = Instance.packing_period instance in
+  let t0 = Rat.to_float (Interval.lo period) in
+  let t1 = Rat.to_float (Interval.hi period) in
+  let span = if t1 > t0 then t1 -. t0 else 1.0 in
+  let margin_left = 60 and margin_top = 30 in
+  let bins = packing.Packing.bins in
+  let height = margin_top + (Array.length bins * row_height) + 40 in
+  let x_of time =
+    margin_left
+    + int_of_float ((time -. t0) /. span *. float_of_int (width - margin_left - 20))
+  in
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf
+    (Printf.sprintf
+       "<svg xmlns=\"http://www.w3.org/2000/svg\" width=\"%d\" height=\"%d\" \
+        font-family=\"monospace\" font-size=\"11\">\n"
+       width height);
+  Buffer.add_string buf
+    (Printf.sprintf
+       "<text x=\"%d\" y=\"16\">packing by %s: %d bins, cost %.4g</text>\n"
+       margin_left packing.Packing.policy_name (Array.length bins)
+       (Rat.to_float packing.Packing.total_cost));
+  Array.iteri
+    (fun row (b : Packing.bin_record) ->
+      let y = margin_top + (row * row_height) in
+      Buffer.add_string buf
+        (Printf.sprintf "<text x=\"6\" y=\"%d\">b%d [%s]</text>\n"
+           (y + (row_height / 2) + 4) b.bin_id b.tag);
+      (* bin usage background *)
+      Buffer.add_string buf
+        (Printf.sprintf
+           "<rect x=\"%d\" y=\"%d\" width=\"%d\" height=\"%d\" fill=\"#eee\" \
+            stroke=\"#999\"/>\n"
+           (x_of (Rat.to_float b.opened))
+           (y + 2)
+           (max 1 (x_of (Rat.to_float b.closed) - x_of (Rat.to_float b.opened)))
+           (row_height - 4));
+      List.iter
+        (fun item_id ->
+          let r = Instance.item instance item_id in
+          let color = svg_colors.(item_id mod Array.length svg_colors) in
+          let share =
+            Rat.to_float (Rat.div r.Item.size b.capacity)
+          in
+          Buffer.add_string buf
+            (Printf.sprintf
+               "<rect x=\"%d\" y=\"%d\" width=\"%d\" height=\"%d\" \
+                fill=\"%s\" fill-opacity=\"%.2f\" stroke=\"%s\"><title>item \
+                %d size %s [%s, %s]</title></rect>\n"
+               (x_of (Rat.to_float r.Item.arrival))
+               (y + 4)
+               (max 1
+                  (x_of (Rat.to_float r.Item.departure)
+                  - x_of (Rat.to_float r.Item.arrival)))
+               (row_height - 8) color
+               (0.35 +. (0.6 *. share))
+               color item_id (Rat.to_string r.Item.size)
+               (Rat.to_string r.Item.arrival)
+               (Rat.to_string r.Item.departure)))
+        b.item_ids)
+    bins;
+  let axis_y = margin_top + (Array.length bins * row_height) + 14 in
+  Buffer.add_string buf
+    (Printf.sprintf
+       "<line x1=\"%d\" y1=\"%d\" x2=\"%d\" y2=\"%d\" stroke=\"#333\"/>\n"
+       margin_left axis_y (width - 20) axis_y);
+  Buffer.add_string buf
+    (Printf.sprintf "<text x=\"%d\" y=\"%d\">%.4g</text>\n" margin_left
+       (axis_y + 16) t0);
+  Buffer.add_string buf
+    (Printf.sprintf
+       "<text x=\"%d\" y=\"%d\" text-anchor=\"end\">%.4g</text>\n" (width - 20)
+       (axis_y + 16) t1);
+  Buffer.add_string buf "</svg>\n";
+  Buffer.contents buf

@@ -1,0 +1,21 @@
+(** ASCII Gantt rendering of a packing: one row per bin, time on the
+    horizontal axis — the textual analogue of the bin-configuration
+    figures in the paper (Figures 2–4).
+
+    Each bin row shows its usage period; within it, glyphs encode the
+    bin's level (how full it is) at each rendered time column:
+    ['.'] under 25%, ['-'] under 50%, ['='] under 75%, ['#'] 75% and
+    above. *)
+
+open Dbp_core
+
+val render : ?width:int -> Packing.t -> string
+(** [width] columns of time resolution (default 64). *)
+
+val print : ?width:int -> Packing.t -> unit
+
+val render_svg : ?width:int -> ?row_height:int -> Packing.t -> string
+(** Standalone SVG document: one horizontal lane per bin, one rectangle
+    per item positioned by its activity interval, opacity scaled by the
+    item's share of the bin capacity, with a time axis.  Suitable for
+    embedding in reports ([dbp decompose --svg out.svg]). *)

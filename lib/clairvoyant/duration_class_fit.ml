@@ -1,0 +1,40 @@
+open Dbp_num
+open Dbp_core
+
+let class_of ~base ~duration =
+  if Rat.sign base <= 0 then invalid_arg "Duration_class_fit: base <= 0";
+  if Rat.sign duration <= 0 then
+    invalid_arg "Duration_class_fit: duration <= 0";
+  (* the integer i with base * 2^i <= duration < base * 2^(i+1) *)
+  let rec up i bound =
+    let next = Rat.mul_int bound 2 in
+    if Rat.(duration < next) then i else up (i + 1) next
+  in
+  let rec down i bound =
+    if Rat.(duration >= bound) then i
+    else down (i - 1) (Rat.div_int bound 2)
+  in
+  if Rat.(duration >= base) then up 0 base
+  else down (-1) (Rat.div_int base 2)
+
+let policy ?(base = Rat.one) predictor =
+  if Rat.sign base <= 0 then invalid_arg "Duration_class_fit.policy: base <= 0";
+  Policy.make ~name:"duration-class-ff" (fun ~capacity:_ ->
+      {
+        Policy.on_arrival =
+          (fun ~now ~bins ~size ~item_id ->
+            let pred = Predictor.predicted_departure predictor item_id in
+            let duration = Rat.max (Rat.sub pred now) (Rat.make 1 1_000_000) in
+            let tag =
+              Printf.sprintf "d%d" (class_of ~base ~duration)
+            in
+            let pool =
+              List.filter
+                (fun (v : Bin.view) -> String.equal v.bin_tag tag)
+                bins
+            in
+            match Fit.first pool ~size with
+            | Some v -> Policy.Existing v.bin_id
+            | None -> Policy.New_bin tag);
+        on_departure = Policy.no_departure_handler;
+      })

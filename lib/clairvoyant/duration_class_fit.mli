@@ -1,0 +1,26 @@
+(** Duration-classified First Fit.
+
+    The time-axis dual of Harmonic/MFF size classification, and the key
+    idea behind the constant-competitive {e clairvoyant} MinTotal
+    algorithms in the follow-up literature (Li–Tang–Cai's journal
+    version; Azar–Vainstein): classify items by predicted duration into
+    geometric classes [[2^i, 2^(i+1)) * base] and run First Fit within
+    each class.  Items sharing a bin then have durations within a
+    factor 2 of each other, so a bin's span cannot be dominated by one
+    long straggler — exactly the failure mode behind the Theorem 1
+    lower bound.
+
+    With perfect predictions this caps the effective per-bin μ at 2
+    regardless of the workload's global μ. *)
+
+open Dbp_num
+open Dbp_core
+
+val class_of : base:Rat.t -> duration:Rat.t -> int
+(** The geometric class index: 0 for durations in [[base, 2 base)),
+    negative for shorter, positive for longer.
+    @raise Invalid_argument if [base <= 0] or [duration <= 0]. *)
+
+val policy : ?base:Rat.t -> Predictor.t -> Policy.t
+(** First Fit within the item's predicted-duration class ([base]
+    defaults to 1, the generators' minimum interval length). *)

@@ -1,0 +1,110 @@
+open Dbp_num
+open Dbp_core
+
+(* Both policies track which active items sit in which bin (the policy
+   learns its own placements; the simulator confirms them by not
+   raising) so the bin's predicted closing time is the max predicted
+   departure of its current members. *)
+
+type state = {
+  item_bin : (int, int) Hashtbl.t;
+  bin_items : (int, (int * Rat.t) list) Hashtbl.t;  (* (item, pred dep) *)
+}
+
+let new_state () =
+  { item_bin = Hashtbl.create 64; bin_items = Hashtbl.create 16 }
+
+let bin_close state ~now bin_id =
+  match Hashtbl.find_opt state.bin_items bin_id with
+  | None | Some [] -> now
+  | Some members ->
+      List.fold_left (fun acc (_, d) -> Rat.max acc d) now members
+
+let record state ~bin_id ~item_id ~pred =
+  Hashtbl.replace state.item_bin item_id bin_id;
+  let members =
+    Option.value ~default:[] (Hashtbl.find_opt state.bin_items bin_id)
+  in
+  Hashtbl.replace state.bin_items bin_id ((item_id, pred) :: members)
+
+let forget state ~item_id =
+  match Hashtbl.find_opt state.item_bin item_id with
+  | None -> ()
+  | Some bin_id ->
+      Hashtbl.remove state.item_bin item_id;
+      let members =
+        Option.value ~default:[] (Hashtbl.find_opt state.bin_items bin_id)
+        |> List.filter (fun (id, _) -> id <> item_id)
+      in
+      if members = [] then Hashtbl.remove state.bin_items bin_id
+      else Hashtbl.replace state.bin_items bin_id members
+
+(* Generic prediction-scored policy: choose the fitting bin with the
+   minimal score (ties to the earliest-opened), or open a fresh bin
+   when even the best score exceeds the acceptability bound computed by
+   [too_poor].  The simulator allocates bin ids sequentially and this
+   policy is the run's only opener, so the id of a freshly requested
+   bin is the count of bins opened so far — that lets placements into
+   new bins be recorded immediately. *)
+let scored_policy ~name ~score ~too_poor predictor =
+  Policy.make ~name (fun ~capacity:_ ->
+      let state = new_state () in
+      let bins_opened = ref 0 in
+      let open_fresh ~item_id ~pred =
+        let bin_id = !bins_opened in
+        incr bins_opened;
+        record state ~bin_id ~item_id ~pred;
+        Policy.New_bin "dur"
+      in
+      {
+        Policy.on_arrival =
+          (fun ~now ~bins ~size ~item_id ->
+            let pred = Predictor.predicted_departure predictor item_id in
+            let fitting = Fit.fitting bins ~size in
+            match fitting with
+            | [] -> open_fresh ~item_id ~pred
+            | first :: rest ->
+                let best, best_score =
+                  List.fold_left
+                    (fun (best_v, best_s) (v : Bin.view) ->
+                      let s =
+                        score ~close:(bin_close state ~now v.bin_id) ~pred
+                      in
+                      if Rat.(s < best_s) then (v, s) else (best_v, best_s))
+                    ( first,
+                      score ~close:(bin_close state ~now first.Bin.bin_id) ~pred
+                    )
+                    rest
+                in
+                if too_poor ~now ~pred ~best_score then
+                  open_fresh ~item_id ~pred
+                else begin
+                  record state ~bin_id:best.Bin.bin_id ~item_id ~pred;
+                  Policy.Existing best.Bin.bin_id
+                end);
+        on_departure =
+          (fun ~now:_ ~bins:_ ~item_id -> forget state ~item_id);
+      })
+
+(* Misalignment worse than half the item's predicted remaining lifetime
+   wastes more bin-time than a dedicated bin risks: open fresh. *)
+let default_mixing_threshold = Rat.make 1 2
+
+let aligned_fit ?(mixing_threshold = default_mixing_threshold) predictor =
+  if Rat.sign mixing_threshold < 0 then
+    invalid_arg "Duration_fit.aligned_fit: negative threshold";
+  scored_policy ~name:"aligned-fit"
+    ~score:(fun ~close ~pred -> Rat.abs (Rat.sub close pred))
+    ~too_poor:(fun ~now ~pred ~best_score ->
+      let remaining = Rat.sub pred now in
+      Rat.(best_score > Rat.mul mixing_threshold remaining))
+    predictor
+
+(* Placing into a fitting bin never extends predicted usage by more
+   than a fresh bin would, so least-extension stays an Any Fit
+   algorithm. *)
+let least_extension_fit predictor =
+  scored_policy ~name:"least-extension-fit"
+    ~score:(fun ~close ~pred -> Rat.max Rat.zero (Rat.sub pred close))
+    ~too_poor:(fun ~now:_ ~pred:_ ~best_score:_ -> false)
+    predictor

@@ -1,0 +1,31 @@
+(** Prediction-guided packing policies.
+
+    The MinTotal cost of a bin is its usage time, so the right question
+    at each arrival is not "where does the size fit best" (Best Fit —
+    which Theorem 2 shows can be catastrophic) but "where does the
+    {e lifetime} fit best".  Given predicted departures these policies
+    answer it directly:
+
+    - {!aligned_fit} puts the item into the fitting bin whose predicted
+      closing time is closest to the item's predicted departure, so
+      bins die together instead of lingering near-empty.  When even the
+      best alignment is off by more than [mixing_threshold] times the
+      item's predicted remaining lifetime it opens a dedicated bin
+      instead (so it is deliberately {e not} an Any Fit algorithm —
+      like MFF, it spends bins to avoid bad cohabitation);
+    - {!least_extension_fit} puts the item where it extends the bin's
+      predicted usage period the least (0 if it nests inside), the
+      online analogue of the offline least-span-increase heuristic; it
+      stays within the Any Fit family.
+
+    Both degrade gracefully: with {!Predictor.Oblivious} predictions
+    they collapse to (tie-broken) First Fit-like behaviour. *)
+
+open Dbp_num
+open Dbp_core
+
+val aligned_fit : ?mixing_threshold:Rat.t -> Predictor.t -> Policy.t
+(** [mixing_threshold] defaults to 1/2.
+    @raise Invalid_argument if negative. *)
+
+val least_extension_fit : Predictor.t -> Policy.t

@@ -1,0 +1,47 @@
+open Dbp_num
+open Dbp_core
+open Dbp_rand
+
+type model =
+  | Exact
+  | Noisy of { sigma : float }
+  | Scaled of { factor : Rat.t }
+  | Oblivious
+
+type t = Rat.t array
+
+let build ?(seed = 13L) model instance =
+  let rng = Splitmix64.create seed in
+  let max_len = Instance.max_interval_length instance in
+  Array.map
+    (fun (r : Item.t) ->
+      let true_len = Item.length r in
+      let predicted_len =
+        match model with
+        | Exact -> true_len
+        | Noisy { sigma } ->
+            if sigma < 0.0 then invalid_arg "Predictor: negative sigma";
+            let noise = exp (sigma *. Dist.normal rng ~mean:0.0 ~stddev:1.0) in
+            let scaled =
+              Rat.of_float ~den:10_000 (Rat.to_float true_len *. noise)
+            in
+            Rat.max (Rat.make 1 10_000) scaled
+        | Scaled { factor } ->
+            if Rat.sign factor <= 0 then
+              invalid_arg "Predictor: factor must be positive";
+            Rat.mul true_len factor
+        | Oblivious -> max_len
+      in
+      Rat.add r.arrival predicted_len)
+    (Instance.items instance)
+
+let predicted_departure t id = t.(id)
+
+let mean_absolute_error t instance =
+  let n = Instance.size instance in
+  let total =
+    Array.to_list (Instance.items instance)
+    |> List.map (fun (r : Item.t) -> Rat.abs (Rat.sub t.(r.id) r.departure))
+    |> Rat.sum
+  in
+  Rat.div_int total n

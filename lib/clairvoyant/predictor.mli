@@ -1,0 +1,36 @@
+(** Departure-time predictions.
+
+    The paper's semi-online MFF assumes the provider knows μ from
+    "statistics of historical playing data".  The same statistics can
+    yield {e per-session} duration estimates; this module models them,
+    from perfect clairvoyance down to pure noise, so the value of
+    knowing departures can be measured (experiment E14).
+
+    A prediction table gives, for each item id, a {e predicted
+    departure time} available at the item's arrival.  Predictions never
+    leak true departures to a policy except through the table — the
+    simulator still hides them. *)
+
+open Dbp_num
+open Dbp_core
+
+type model =
+  | Exact  (** Perfect clairvoyance. *)
+  | Noisy of { sigma : float }
+      (** Multiplicative log-normal error on the duration:
+          [predicted = len * exp(sigma * Z)], clamped to at least one
+          grid step. *)
+  | Scaled of { factor : Rat.t }
+      (** Systematic bias: [predicted = len * factor]. *)
+  | Oblivious
+      (** No information: predicts the instance's maximum interval
+          length for everyone (what knowing only μΔ gives you). *)
+
+type t = private Rat.t array
+(** Predicted departure time, indexed by item id. *)
+
+val build : ?seed:int64 -> model -> Instance.t -> t
+val predicted_departure : t -> int -> Rat.t
+
+val mean_absolute_error : t -> Instance.t -> Rat.t
+(** Mean |predicted - actual departure| over the items. *)

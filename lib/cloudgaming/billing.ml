@@ -1,0 +1,32 @@
+open Dbp_num
+
+type model =
+  | Exact of { rate : Rat.t }
+  | Per_block of { rate : Rat.t; block : Rat.t }
+
+let exact ~rate =
+  if Rat.sign rate < 0 then invalid_arg "Billing.exact: negative rate";
+  Exact { rate }
+
+let hourly ~rate_per_hour =
+  if Rat.sign rate_per_hour < 0 then invalid_arg "Billing.hourly: negative rate";
+  Per_block { rate = rate_per_hour; block = Rat.one }
+
+let charge model ~usage =
+  if Rat.sign usage < 0 then invalid_arg "Billing.charge: usage < 0";
+  match model with
+  | Exact { rate } -> Rat.mul rate usage
+  | Per_block { rate; block } ->
+      if Rat.is_zero usage then Rat.zero
+      else
+        let blocks = Rat.ceil (Rat.div usage block) in
+        Rat.mul rate (Rat.mul_int block blocks)
+
+let total model ~usages =
+  List.fold_left (fun acc u -> Rat.add acc (charge model ~usage:u)) Rat.zero
+    usages
+
+let pp fmt = function
+  | Exact { rate } -> Format.fprintf fmt "exact(rate=%a)" Rat.pp rate
+  | Per_block { rate; block } ->
+      Format.fprintf fmt "per-block(rate=%a, block=%a)" Rat.pp rate Rat.pp block

@@ -1,0 +1,28 @@
+(** VM billing models.
+
+    The paper's cost model is [duration * C] (a bin costs its usage
+    time at rate [C]).  Real IaaS offerings historically billed by the
+    started hour; both are provided, the hourly model as the E8
+    ablation. *)
+
+open Dbp_num
+
+type model =
+  | Exact of { rate : Rat.t }
+      (** Pay [rate] per time unit of server usage — the paper's
+          model. *)
+  | Per_block of { rate : Rat.t; block : Rat.t }
+      (** Pay [rate * block] for every {e started} block of usage
+          (e.g. EC2 classic: block = one hour). *)
+
+val exact : rate:Rat.t -> model
+val hourly : rate_per_hour:Rat.t -> model
+(** [Per_block] with a block of 1 time unit (the simulation convention
+    is 1 unit = 1 hour). *)
+
+val charge : model -> usage:Rat.t -> Rat.t
+(** Cost of one server open for [usage] time.
+    @raise Invalid_argument if [usage < 0]. *)
+
+val total : model -> usages:Rat.t list -> Rat.t
+val pp : Format.formatter -> model -> unit

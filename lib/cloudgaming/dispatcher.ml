@@ -1,0 +1,53 @@
+open Dbp_num
+open Dbp_core
+
+type report = {
+  policy_name : string;
+  requests : int;
+  packing : Packing.t;
+  servers_used : int;
+  peak_servers : int;
+  server_hours : Rat.t;
+  dollar_cost : Rat.t;
+  mean_utilisation : Rat.t;
+  offline_lower_bound : Rat.t;
+}
+
+let dispatch ?(billing = Billing.exact ~rate:Rat.one) ~policy requests =
+  let instance = Gaming_workload.to_instance requests in
+  let packing = Simulator.run ~policy instance in
+  let usages =
+    Array.to_list packing.Packing.bins
+    |> List.map (fun b -> Interval.length (Packing.usage_period b))
+  in
+  let server_hours = Rat.sum usages in
+  let demand = Instance.total_demand instance in
+  let capacity = Instance.capacity instance in
+  let mean_utilisation =
+    if Rat.is_zero server_hours then Rat.zero
+    else Rat.div demand (Rat.mul capacity server_hours)
+  in
+  let lower_hours = Rat.max (Rat.div demand capacity) (Instance.span instance) in
+  {
+    policy_name = packing.Packing.policy_name;
+    requests = List.length requests;
+    packing;
+    servers_used = Packing.bins_used packing;
+    peak_servers = packing.Packing.max_bins;
+    server_hours;
+    dollar_cost = Billing.total billing ~usages;
+    mean_utilisation;
+    offline_lower_bound = lower_hours;
+  }
+
+let compare_policies ?billing ~policies requests =
+  List.map (fun policy -> dispatch ?billing ~policy requests) policies
+
+let pp_report fmt r =
+  Format.fprintf fmt
+    "@[<v>%s: %d requests -> %d servers (peak %d), %a server-hours, cost %a \
+     (util %.1f%%, offline lb %a)@]"
+    r.policy_name r.requests r.servers_used r.peak_servers Rat.pp_float
+    r.server_hours Rat.pp_float r.dollar_cost
+    (100.0 *. Rat.to_float r.mean_utilisation)
+    Rat.pp_float r.offline_lower_bound

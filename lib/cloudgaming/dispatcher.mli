@@ -1,0 +1,39 @@
+(** The request dispatcher: the paper's actual application.
+
+    Maps a request trace onto the MinTotal DBP simulator — game servers
+    are bins, requests are items, no migration once dispatched — runs a
+    packing policy, and prices the resulting server usage under a
+    billing model.  Produces the operational metrics a service
+    provider reads: dollar cost, server-hours, peak fleet size and mean
+    GPU utilisation. *)
+
+open Dbp_num
+open Dbp_core
+
+type report = {
+  policy_name : string;
+  requests : int;
+  packing : Packing.t;
+  servers_used : int;  (** Distinct servers (bins) ever rented. *)
+  peak_servers : int;  (** Max simultaneously open. *)
+  server_hours : Rat.t;  (** Total usage time across servers. *)
+  dollar_cost : Rat.t;  (** Under the given billing model. *)
+  mean_utilisation : Rat.t;
+      (** u(R) / (W * server_hours): busy GPU share averaged over paid
+          server time. *)
+  offline_lower_bound : Rat.t;
+      (** [max(u(R)/W, span(R))] in server-hours: no provider can pay
+          less (bound (b.1)/(b.2)); priced at the exact rate. *)
+}
+
+val dispatch :
+  ?billing:Billing.model -> policy:Policy.t -> Request.t list -> report
+(** Default billing: {!Billing.exact} at rate 1.
+    @raise Invalid_argument on an empty trace. *)
+
+val compare_policies :
+  ?billing:Billing.model -> policies:Policy.t list -> Request.t list ->
+  report list
+(** One report per policy on the same trace, in the given order. *)
+
+val pp_report : Format.formatter -> report -> unit

@@ -1,0 +1,123 @@
+open Dbp_num
+open Dbp_core
+
+type vm_type = {
+  type_name : string;
+  gpu : Rat.t;
+  hourly_price : Rat.t;
+}
+
+let vm_type ~name ~gpu ~hourly_price =
+  if Rat.sign gpu <= 0 then invalid_arg "Fleet.vm_type: gpu <= 0";
+  if Rat.sign hourly_price <= 0 then invalid_arg "Fleet.vm_type: price <= 0";
+  { type_name = name; gpu; hourly_price }
+
+let default_types =
+  [
+    vm_type ~name:"g.small" ~gpu:Rat.one ~hourly_price:Rat.one;
+    vm_type ~name:"g.large" ~gpu:Rat.two ~hourly_price:(Rat.make 19 10);
+    vm_type ~name:"g.xlarge" ~gpu:(Rat.of_int 4) ~hourly_price:(Rat.make 18 5);
+  ]
+
+type strategy = Single of string | Smallest_fitting | Largest
+
+type report = {
+  strategy_label : string;
+  packing : Packing.t;
+  dollar_cost : Rat.t;
+  servers_by_type : (string * int) list;
+}
+
+let validate_types types =
+  if types = [] then invalid_arg "Fleet: empty type list";
+  let names = List.map (fun t -> t.type_name) types in
+  if List.length (List.sort_uniq String.compare names) <> List.length names
+  then invalid_arg "Fleet: duplicate type names"
+
+let find_type types name =
+  match List.find_opt (fun t -> String.equal t.type_name name) types with
+  | Some t -> t
+  | None -> invalid_arg ("Fleet: unknown type " ^ name)
+
+let strategy_label types = function
+  | Single name -> "single:" ^ (find_type types name).type_name
+  | Smallest_fitting -> "smallest-fitting"
+  | Largest -> "largest"
+
+let choose_type types strategy ~size =
+  match strategy with
+  | Single name -> find_type types name
+  | Largest ->
+      List.fold_left
+        (fun best t -> if Rat.(t.gpu > best.gpu) then t else best)
+        (List.hd types) (List.tl types)
+  | Smallest_fitting -> (
+      let fitting = List.filter (fun t -> Rat.(size <= t.gpu)) types in
+      match fitting with
+      | [] ->
+          invalid_arg
+            (Format.asprintf "Fleet: no type fits a request of size %a" Rat.pp
+               size)
+      | t0 :: rest ->
+          List.fold_left
+            (fun best t ->
+              if Rat.(t.hourly_price < best.hourly_price) then t else best)
+            t0 rest)
+
+let policy ~types ~strategy =
+  validate_types types;
+  (match strategy with
+  | Single name -> ignore (find_type types name)
+  | Smallest_fitting | Largest -> ());
+  let name = Printf.sprintf "fleet-ff(%s)" (strategy_label types strategy) in
+  Policy.stateless ~name (fun ~capacity:_ ~now:_ ~bins ~size ->
+      match Fit.first bins ~size with
+      | Some v -> Policy.Existing v.Bin.bin_id
+      | None -> Policy.New_bin (choose_type types strategy ~size).type_name)
+
+let tag_capacity ~types tag = (find_type types tag).gpu
+
+let dispatch ~types ~strategy requests =
+  validate_types types;
+  let max_gpu =
+    List.fold_left (fun acc t -> Rat.max acc t.gpu) Rat.zero types
+  in
+  let items = List.map Request.to_item requests in
+  let instance = Instance.create ~capacity:max_gpu items in
+  let packing =
+    Simulator.run
+      ~tag_capacity:(tag_capacity ~types)
+      ~policy:(policy ~types ~strategy)
+      instance
+  in
+  let dollar_cost =
+    Array.to_list packing.Packing.bins
+    |> List.map (fun (b : Packing.bin_record) ->
+           let t = find_type types b.tag in
+           Rat.mul t.hourly_price (Interval.length (Packing.usage_period b)))
+    |> Rat.sum
+  in
+  let servers_by_type =
+    List.map
+      (fun t ->
+        ( t.type_name,
+          Array.to_list packing.Packing.bins
+          |> List.filter (fun (b : Packing.bin_record) ->
+                 String.equal b.tag t.type_name)
+          |> List.length ))
+      types
+  in
+  {
+    strategy_label = strategy_label types strategy;
+    packing;
+    dollar_cost;
+    servers_by_type;
+  }
+
+let pp_report fmt r =
+  Format.fprintf fmt "@[<h>%-18s $%-9.4g servers:" r.strategy_label
+    (Rat.to_float r.dollar_cost);
+  List.iter
+    (fun (name, n) -> if n > 0 then Format.fprintf fmt " %s=%d" name n)
+    r.servers_by_type;
+  Format.fprintf fmt "@]"

@@ -1,0 +1,55 @@
+(** Heterogeneous server fleets.
+
+    Real IaaS catalogs offer several GPU instance types with different
+    capacities and (usually sub-linear) prices.  The paper's model has
+    one bin type; this layer maps server types onto the simulator's
+    per-tag capacities and prices each bin by its type, so fleet-mix
+    strategies can be compared (experiment E15).
+
+    A {e strategy} decides, whenever a request does not fit into any
+    open server, which server type to launch. *)
+
+open Dbp_num
+open Dbp_core
+
+type vm_type = {
+  type_name : string;
+  gpu : Rat.t;  (** Capacity in base-GPU units ([>= 1] so every game fits). *)
+  hourly_price : Rat.t;
+}
+
+val vm_type : name:string -> gpu:Rat.t -> hourly_price:Rat.t -> vm_type
+(** @raise Invalid_argument unless gpu and price are positive. *)
+
+val default_types : vm_type list
+(** g.small (1 GPU, $1/h), g.large (2 GPU, $1.9/h),
+    g.xlarge (4 GPU, $3.6/h) — sub-linear pricing, as real catalogs. *)
+
+type strategy =
+  | Single of string  (** Always launch this type. *)
+  | Smallest_fitting  (** Cheapest type the request fits on. *)
+  | Largest  (** Always the biggest type (maximal consolidation). *)
+
+type report = {
+  strategy_label : string;
+  packing : Packing.t;
+  dollar_cost : Rat.t;  (** Sum over servers of usage x its type price. *)
+  servers_by_type : (string * int) list;
+}
+
+val policy : types:vm_type list -> strategy:strategy -> Policy.t
+(** First Fit over all open servers; new servers launched per
+    [strategy].  @raise Invalid_argument on an empty or duplicate-name
+    type list, or a [Single] naming an unknown type. *)
+
+val tag_capacity : types:vm_type list -> string -> Rat.t
+(** For [Simulator.run ~tag_capacity]. @raise Invalid_argument on an
+    unknown tag. *)
+
+val dispatch :
+  types:vm_type list -> strategy:strategy -> Request.t list -> report
+(** Runs the whole pipeline on a request trace with exact per-type
+    pricing (price per hour of usage, no rounding; compose with
+    {!Billing} for block pricing). *)
+
+val pp_report : Format.formatter -> report -> unit

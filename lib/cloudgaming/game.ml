@@ -1,0 +1,36 @@
+open Dbp_num
+
+type t = { title : string; gpu_share : Rat.t }
+
+let make ~title ~gpu_share =
+  if Rat.sign gpu_share <= 0 || Rat.(gpu_share > Rat.one) then
+    invalid_arg "Game.make: gpu_share must be in (0, 1]";
+  { title; gpu_share }
+
+type catalog = { games : t array; popularity : float array }
+
+let catalog entries =
+  if entries = [] then invalid_arg "Game.catalog: empty";
+  List.iter
+    (fun (_, w) -> if w <= 0.0 then invalid_arg "Game.catalog: weight <= 0")
+    entries;
+  {
+    games = Array.of_list (List.map fst entries);
+    popularity = Array.of_list (List.map snd entries);
+  }
+
+let default_catalog =
+  let g title num den = make ~title ~gpu_share:(Rat.make num den) in
+  catalog
+    [
+      (g "puzzle-2d" 1 10, 1.00);
+      (g "card-arena" 1 8, 0.47);
+      (g "indie-platformer" 1 6, 0.29);
+      (g "moba" 1 5, 0.21);
+      (g "racing" 1 4, 0.16);
+      (g "open-world" 1 3, 0.13);
+      (g "fps-competitive" 2 5, 0.11);
+      (g "aaa-rpg" 1 2, 0.09);
+    ]
+
+let pp fmt t = Format.fprintf fmt "%s(gpu=%a)" t.title Rat.pp t.gpu_share

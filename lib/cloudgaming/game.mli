@@ -1,0 +1,23 @@
+(** Game catalog for the cloud gaming application (Section 1 of the
+    paper): each game title demands a fixed share of a game server's
+    GPU when an instance of it runs. *)
+
+open Dbp_num
+
+type t = { title : string; gpu_share : Rat.t }
+
+val make : title:string -> gpu_share:Rat.t -> t
+(** @raise Invalid_argument unless [0 < gpu_share <= 1]. *)
+
+type catalog = { games : t array; popularity : float array }
+(** [popularity] weights the request mix (not necessarily
+    normalised). *)
+
+val catalog : (t * float) list -> catalog
+(** @raise Invalid_argument on an empty list or non-positive weight. *)
+
+val default_catalog : catalog
+(** Eight titles with GPU shares from 1/10 (casual 2D) to 1/2 (AAA 3D)
+    and Zipf(1.1)-like popularity — heavier games are rarer. *)
+
+val pp : Format.formatter -> t -> unit

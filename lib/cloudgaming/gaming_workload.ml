@@ -1,0 +1,80 @@
+open Dbp_num
+open Dbp_rand
+
+type profile = {
+  catalog : Game.catalog;
+  duration_hours : float;
+  base_rate : float;
+  diurnal_amplitude : float;
+  session_log_mean : float;
+  session_log_stddev : float;
+  min_session : float;
+  max_session : float;
+  quantum : int;
+}
+
+let default_profile =
+  {
+    catalog = Game.default_catalog;
+    duration_hours = 24.0;
+    base_rate = 60.0;
+    diurnal_amplitude = 0.5;
+    session_log_mean = 0.0;
+    session_log_stddev = 0.8;
+    min_session = 0.25;
+    max_session = 8.0;
+    quantum = 10_000;
+  }
+
+(* Non-homogeneous Poisson arrivals by thinning: draw candidate points
+   at the peak rate, keep each with probability rate(t)/peak. *)
+let arrivals rng p =
+  let peak = p.base_rate *. (1.0 +. p.diurnal_amplitude) in
+  if peak <= 0.0 then invalid_arg "Gaming_workload: non-positive rate";
+  let rate_at t =
+    (* Trough at t=0 (4 am-style), peak half a cycle later. *)
+    p.base_rate
+    *. (1.0 -. (p.diurnal_amplitude *. cos (2.0 *. Float.pi *. t /. 24.0)))
+  in
+  let rec draw clock acc =
+    let clock = clock +. Dist.exponential rng ~rate:peak in
+    if clock >= p.duration_hours then List.rev acc
+    else if Splitmix64.next_float rng < rate_at clock /. peak then
+      draw clock (clock :: acc)
+    else draw clock acc
+  in
+  draw 0.0 []
+
+let generate ?(seed = 7L) p =
+  if p.min_session <= 0.0 || p.max_session < p.min_session then
+    invalid_arg "Gaming_workload: bad session clamps";
+  let rng = Splitmix64.create seed in
+  let starts = arrivals rng p in
+  List.mapi
+    (fun request_id start ->
+      let game_idx = Dist.discrete rng ~weights:p.catalog.Game.popularity in
+      let game = p.catalog.Game.games.(game_idx) in
+      let session =
+        Dist.lognormal rng ~mu:p.session_log_mean ~sigma:p.session_log_stddev
+      in
+      let session = Float.max p.min_session (Float.min p.max_session session) in
+      let start_q = Rat.of_float ~den:p.quantum start in
+      let len_q =
+        Rat.max
+          (Rat.of_float ~den:p.quantum p.min_session)
+          (Rat.of_float ~den:p.quantum session)
+      in
+      Request.make ~request_id ~game ~start:start_q
+        ~stop:(Rat.add start_q len_q))
+    starts
+
+let to_instance requests =
+  if requests = [] then invalid_arg "Gaming_workload.to_instance: empty trace";
+  Dbp_core.Instance.create ~capacity:Rat.one
+    (List.map Request.to_item requests)
+
+let mu_of = function
+  | [] -> invalid_arg "Gaming_workload.mu_of: empty trace"
+  | requests ->
+      let lengths = List.map Request.session_length requests in
+      Rat.div (Rat.max_list lengths) (Rat.min_list lengths)

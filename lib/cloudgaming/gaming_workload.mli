@@ -1,0 +1,37 @@
+(** Synthetic cloud-gaming request traces (the substitute for
+    production OnLive/Gaikai logs — see DESIGN.md).
+
+    Requests draw a game from the catalog by popularity, arrive by a
+    Poisson process whose rate can follow a diurnal (sinusoidal)
+    profile, and hold their game server for a log-normal session
+    length clamped into [[min_session, max_session]] — the clamp pins
+    the trace's [mu], the parameter the paper's bounds depend on. *)
+
+open Dbp_num
+
+type profile = {
+  catalog : Game.catalog;
+  duration_hours : float;  (** Trace horizon. *)
+  base_rate : float;  (** Mean arrivals per hour. *)
+  diurnal_amplitude : float;
+      (** 0 = flat Poisson; 0.8 = rate swings +-80% over a 24 h
+          cycle. *)
+  session_log_mean : float;
+  session_log_stddev : float;
+  min_session : float;  (** Hours; the [Delta] clamp. *)
+  max_session : float;  (** Hours; [mu = max_session / min_session]. *)
+  quantum : int;
+}
+
+val default_profile : profile
+(** 24 h, 60 req/h base rate, 50% diurnal swing, log-normal sessions
+    of ~1 h median clamped to [[1/4 h, 8 h]] ([mu = 32]). *)
+
+val generate : ?seed:int64 -> profile -> Request.t list
+(** Requests sorted by start time, ids [0..n-1]. *)
+
+val to_instance : Request.t list -> Dbp_core.Instance.t
+(** GPU capacity 1 per server; request GPU shares as item sizes.
+    @raise Invalid_argument on an empty trace. *)
+
+val mu_of : Request.t list -> Rat.t

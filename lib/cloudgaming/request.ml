@@ -1,0 +1,22 @@
+open Dbp_num
+
+type t = {
+  request_id : int;
+  game : Game.t;
+  start : Rat.t;
+  stop : Rat.t;
+}
+
+let make ~request_id ~game ~start ~stop =
+  if Rat.(stop <= start) then invalid_arg "Request.make: stop <= start";
+  { request_id; game; start; stop }
+
+let session_length t = Rat.sub t.stop t.start
+
+let to_item t =
+  Dbp_core.Item.make ~id:t.request_id ~size:t.game.Game.gpu_share
+    ~arrival:t.start ~departure:t.stop
+
+let pp fmt t =
+  Format.fprintf fmt "req#%d %a [%a, %a]" t.request_id Game.pp t.game Rat.pp
+    t.start Rat.pp t.stop

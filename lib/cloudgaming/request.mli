@@ -1,0 +1,23 @@
+(** Playing requests: a player starts a session of a game at some time
+    and stops when they are done.  The departure time is unknown to the
+    dispatcher when the request arrives — exactly the online MinTotal
+    DBP information model. *)
+
+open Dbp_num
+
+type t = {
+  request_id : int;
+  game : Game.t;
+  start : Rat.t;  (** Session start (item arrival). *)
+  stop : Rat.t;  (** Session end (item departure). *)
+}
+
+val make : request_id:int -> game:Game.t -> start:Rat.t -> stop:Rat.t -> t
+(** @raise Invalid_argument unless [stop > start]. *)
+
+val session_length : t -> Rat.t
+val to_item : t -> Dbp_core.Item.t
+(** Item with the request's id, GPU share as size, session as
+    interval. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,66 @@
+open Dbp_num
+open Dbp_core
+
+type region = string
+
+type t = {
+  instance : Instance.t;
+  regions : region array;
+  allowed : region list array;
+}
+
+let create ~regions ~allowed instance =
+  if regions = [] then invalid_arg "Constrained_instance.create: no regions";
+  let sorted = List.sort_uniq String.compare regions in
+  if List.length sorted <> List.length regions then
+    invalid_arg "Constrained_instance.create: duplicate regions";
+  if List.length allowed <> Instance.size instance then
+    invalid_arg "Constrained_instance.create: allowed/items length mismatch";
+  List.iteri
+    (fun i allow ->
+      if allow = [] then
+        invalid_arg
+          (Printf.sprintf
+             "Constrained_instance.create: item %d has no allowed region" i);
+      List.iter
+        (fun g ->
+          if not (List.mem g regions) then
+            invalid_arg
+              (Printf.sprintf
+                 "Constrained_instance.create: item %d allows unknown region %s"
+                 i g))
+        allow)
+    allowed;
+  {
+    instance;
+    regions = Array.of_list regions;
+    allowed = Array.of_list (List.map (List.sort_uniq String.compare) allowed);
+  }
+
+let unconstrained ~regions instance =
+  create ~regions
+    ~allowed:(List.init (Instance.size instance) (fun _ -> regions))
+    instance
+
+let allowed_of t i = t.allowed.(i)
+let is_allowed t ~item ~region = List.mem region t.allowed.(item)
+
+let restrict_to_region t region =
+  Instance.restrict t.instance ~f:(fun (r : Item.t) ->
+      t.allowed.(r.id) = [ region ])
+
+let lower_bound t =
+  let base = Dbp_opt.Bounds.opt_lower_bound t.instance in
+  let single_region_spans =
+    Array.to_list t.regions
+    |> List.map (fun g ->
+           match restrict_to_region t g with
+           | None -> Rat.zero
+           | Some sub -> Instance.span sub)
+    |> Rat.sum
+  in
+  Rat.max base single_region_spans
+
+let pp fmt t =
+  Format.fprintf fmt "@[<v>constrained %a over %d regions@]" Instance.pp
+    t.instance (Array.length t.regions)

@@ -1,0 +1,45 @@
+(** The {e constrained} Dynamic Bin Packing problem the paper poses as
+    future work (Section 5): each item may only be assigned to a subset
+    of the bins, modelling interactivity constraints when dispatching
+    playing requests across geographically distributed clouds — a
+    player can only be served from datacenters close enough for
+    acceptable latency.
+
+    Bins are partitioned by {e region} (the datacenter that hosts the
+    VM); an item carries the set of regions it may be served from. *)
+
+open Dbp_num
+open Dbp_core
+
+type region = string
+
+type t = private {
+  instance : Instance.t;
+  regions : region array;  (** The universe of regions. *)
+  allowed : region list array;  (** Per item id; each non-empty. *)
+}
+
+val create :
+  regions:region list -> allowed:region list list -> Instance.t -> t
+(** [allowed] is parallel to the instance's items.
+    @raise Invalid_argument if [regions] is empty or has duplicates,
+    some item's allowed list is empty, mismatched in length, or
+    mentions an unknown region. *)
+
+val unconstrained : regions:region list -> Instance.t -> t
+(** Every item allowed everywhere. *)
+
+val allowed_of : t -> int -> region list
+val is_allowed : t -> item:int -> region:region -> bool
+
+val restrict_to_region : t -> region -> Instance.t option
+(** The sub-instance of items allowed {e only} in that region (their
+    singleton-constraint load), or [None] if there are none. *)
+
+val lower_bound : t -> Rat.t
+(** A valid lower bound on the constrained [OPT_total]:
+    [max(u(R)/W, span(R), sum over regions g of span(items allowed only
+    in g))] — single-region items must be served by that region's bins,
+    and bins in different regions are disjoint. *)
+
+val pp : Format.formatter -> t -> unit

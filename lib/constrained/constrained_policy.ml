@@ -1,0 +1,71 @@
+open Dbp_core
+
+type region_rule = First_allowed | Fewest_open_bins
+
+let pick_region rule (ci : Constrained_instance.t) ~bins ~item_id =
+  let allowed = Constrained_instance.allowed_of ci item_id in
+  match rule with
+  | First_allowed -> List.hd allowed
+  | Fewest_open_bins ->
+      let open_count g =
+        List.length
+          (List.filter (fun (v : Bin.view) -> String.equal v.bin_tag g) bins)
+      in
+      let best, _ =
+        List.fold_left
+          (fun (best_g, best_n) g ->
+            let n = open_count g in
+            if n < best_n then (g, n) else (best_g, best_n))
+          (List.hd allowed, open_count (List.hd allowed))
+          (List.tl allowed)
+      in
+      best
+
+let make_policy ~name ~select ?(rule = First_allowed)
+    (ci : Constrained_instance.t) =
+  Policy.make ~name (fun ~capacity:_ ->
+      {
+        Policy.on_arrival =
+          (fun ~now:_ ~bins ~size ~item_id ->
+            let allowed = Constrained_instance.allowed_of ci item_id in
+            let eligible =
+              List.filter
+                (fun (v : Bin.view) -> List.mem v.bin_tag allowed)
+                bins
+            in
+            match select eligible ~size with
+            | Some (v : Bin.view) -> Policy.Existing v.bin_id
+            | None -> Policy.New_bin (pick_region rule ci ~bins ~item_id));
+        on_departure = Policy.no_departure_handler;
+      })
+
+let first_fit ?rule ci =
+  make_policy ~name:"constrained-first-fit" ~select:Fit.first ?rule ci
+
+let best_fit ?rule ci =
+  make_policy ~name:"constrained-best-fit" ~select:Fit.best ?rule ci
+
+let validate_regions (ci : Constrained_instance.t) (packing : Packing.t) =
+  let bad = ref None in
+  Array.iter
+    (fun (b : Packing.bin_record) ->
+      List.iter
+        (fun item_id ->
+          if not (Constrained_instance.is_allowed ci ~item:item_id ~region:b.tag)
+          then bad := Some (item_id, b.tag))
+        b.item_ids)
+    packing.Packing.bins;
+  match !bad with
+  | None -> Ok ()
+  | Some (item, region) ->
+      Error
+        (Printf.sprintf "item %d placed in disallowed region %s" item region)
+
+let run ~policy (ci : Constrained_instance.t) =
+  let packing =
+    Simulator.run ~policy:(policy ci) ci.Constrained_instance.instance
+  in
+  (match validate_regions ci packing with
+  | Ok () -> ()
+  | Error msg -> failwith ("Constrained_policy.run: " ^ msg));
+  packing

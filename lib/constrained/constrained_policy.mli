@@ -1,0 +1,34 @@
+(** Online policies for constrained DBP.
+
+    A constrained policy only ever places an item into a bin whose
+    region the item allows (bins carry their region as the tag), and
+    opens new bins in an allowed region chosen by its region-selection
+    rule.  Policies are built {e per constrained instance} — they
+    capture the allowed-region table, which is legitimate online
+    information (the dispatcher knows where a request may be served the
+    moment it arrives). *)
+
+open Dbp_core
+
+type region_rule =
+  | First_allowed  (** Deterministic: the item's first allowed region. *)
+  | Fewest_open_bins
+      (** Open the new bin in the allowed region currently running the
+          fewest open bins (ties to the first allowed). *)
+
+val first_fit : ?rule:region_rule -> Constrained_instance.t -> Policy.t
+(** First Fit over the open bins in allowed regions (opening order);
+    new bins placed per [rule] (default [First_allowed]). *)
+
+val best_fit : ?rule:region_rule -> Constrained_instance.t -> Policy.t
+
+val run :
+  policy:(Constrained_instance.t -> Policy.t) ->
+  Constrained_instance.t ->
+  Packing.t
+(** Simulate and check region feasibility of the result.
+    @raise Failure if any placement violates its item's constraint
+    (an internal-error guard; cannot happen with the policies above). *)
+
+val validate_regions : Constrained_instance.t -> Packing.t -> (unit, string) result
+(** Every item sits in a bin tagged with one of its allowed regions. *)

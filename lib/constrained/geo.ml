@@ -1,0 +1,53 @@
+open Dbp_core
+open Dbp_rand
+
+type datacenter = { name : Constrained_instance.region; x : float; y : float }
+
+let default_datacenters =
+  [
+    { name = "us-west"; x = 0.0; y = 0.0 };
+    { name = "us-east"; x = 1.0; y = 0.0 };
+    { name = "eu-west"; x = 0.0; y = 1.0 };
+    { name = "ap-south"; x = 1.0; y = 1.0 };
+  ]
+
+let distance dc (px, py) = sqrt (((dc.x -. px) ** 2.0) +. ((dc.y -. py) ** 2.0))
+
+let constrain ?(seed = 17L) ?(datacenters = default_datacenters)
+    ~latency_budget instance =
+  if datacenters = [] then invalid_arg "Geo.constrain: no datacenters";
+  if latency_budget < 0.0 then invalid_arg "Geo.constrain: negative budget";
+  let rng = Splitmix64.create seed in
+  let allowed =
+    List.init (Instance.size instance) (fun _ ->
+        let player =
+          (Splitmix64.next_float rng, Splitmix64.next_float rng)
+        in
+        let with_distances =
+          List.map (fun dc -> (dc, distance dc player)) datacenters
+        in
+        let nearest =
+          List.fold_left
+            (fun (bdc, bd) (dc, d) -> if d < bd then (dc, d) else (bdc, bd))
+            (List.hd with_distances) (List.tl with_distances)
+          |> fst
+        in
+        let within =
+          List.filter_map
+            (fun (dc, d) -> if d <= latency_budget then Some dc.name else None)
+            with_distances
+        in
+        List.sort_uniq String.compare (nearest.name :: within))
+  in
+  Constrained_instance.create
+    ~regions:(List.map (fun dc -> dc.name) datacenters)
+    ~allowed instance
+
+let mean_allowed (ci : Constrained_instance.t) =
+  let n = Instance.size ci.Constrained_instance.instance in
+  let total =
+    List.init n (fun i ->
+        List.length (Constrained_instance.allowed_of ci i))
+    |> List.fold_left ( + ) 0
+  in
+  float_of_int total /. float_of_int n

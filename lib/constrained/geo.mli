@@ -1,0 +1,34 @@
+(** Latency-based constraint generation for distributed-cloud
+    dispatching: datacenters and players live on the unit square, RTT
+    is proportional to Euclidean distance, and a request may be served
+    from every datacenter within the latency budget (the nearest one is
+    always allowed, so constraints are never empty).
+
+    This is the synthetic substitute for real player/datacenter
+    topology (see DESIGN.md): what matters to the constrained DBP
+    behaviour is the {e shape} of the allowed sets — their sizes and
+    overlaps — which the latency budget controls directly. *)
+
+open Dbp_core
+
+type datacenter = { name : Constrained_instance.region; x : float; y : float }
+
+val default_datacenters : datacenter list
+(** Four regions at the corners of the unit square:
+    us-west, us-east, eu-west, ap-south. *)
+
+val constrain :
+  ?seed:int64 ->
+  ?datacenters:datacenter list ->
+  latency_budget:float ->
+  Instance.t ->
+  Constrained_instance.t
+(** Draws a uniform player position per item; allows every datacenter
+    within [latency_budget] (distance units), plus always the nearest.
+    [latency_budget >= sqrt 2] therefore means unconstrained.
+    @raise Invalid_argument if [datacenters] is empty or
+    [latency_budget < 0]. *)
+
+val mean_allowed : Constrained_instance.t -> float
+(** Average size of the allowed sets — the realised constraint
+    tightness. *)

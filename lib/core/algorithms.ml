@@ -1,0 +1,56 @@
+open Dbp_num
+
+let default_seed = 1L
+
+let all ?(seed = default_seed) () =
+  [
+    First_fit.policy;
+    Best_fit.policy;
+    Worst_fit.policy;
+    Last_fit.policy;
+    Next_fit.policy;
+    Random_fit.policy ~seed;
+    Modified_first_fit.policy_mu_oblivious;
+    Harmonic_fit.policy ~classes:4;
+  ]
+
+let any_fit_family () =
+  [ First_fit.policy; Best_fit.policy; Worst_fit.policy; Last_fit.policy ]
+
+let names =
+  [
+    "first-fit";
+    "best-fit";
+    "worst-fit";
+    "last-fit";
+    "next-fit";
+    "random-fit";
+    "mff";
+    "mff-known-mu";
+    "mff:<k>";
+    "harmonic:<m>";
+  ]
+
+let find ?(seed = default_seed) ?mu name =
+  match name with
+  | "first-fit" | "ff" -> Some First_fit.policy
+  | "best-fit" | "bf" -> Some Best_fit.policy
+  | "worst-fit" | "wf" -> Some Worst_fit.policy
+  | "last-fit" | "lf" -> Some Last_fit.policy
+  | "next-fit" | "nf" -> Some Next_fit.policy
+  | "random-fit" | "rf" -> Some (Random_fit.policy ~seed)
+  | "mff" -> Some Modified_first_fit.policy_mu_oblivious
+  | "mff-known-mu" ->
+      Option.map (fun mu -> Modified_first_fit.policy_known_mu ~mu) mu
+  | _ ->
+      if String.length name > 4 && String.sub name 0 4 = "mff:" then
+        match
+          Rat.of_string (String.sub name 4 (String.length name - 4))
+        with
+        | k -> Some (Modified_first_fit.policy ~k)
+        | exception _ -> None
+      else if String.length name > 9 && String.sub name 0 9 = "harmonic:" then
+        match int_of_string_opt (String.sub name 9 (String.length name - 9)) with
+        | Some classes when classes >= 2 -> Some (Harmonic_fit.policy ~classes)
+        | Some _ | None -> None
+      else None

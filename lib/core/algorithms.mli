@@ -1,0 +1,21 @@
+(** Registry of all packing policies, for CLIs and experiment sweeps. *)
+
+open Dbp_num
+
+val all : ?seed:int64 -> unit -> Policy.t list
+(** Every built-in policy: first/best/worst/last/next/random fit, MFF
+    with the paper's default [k = 8], and Harmonic with 4 classes.
+    [seed] (default 1) parameterises Random Fit. *)
+
+val any_fit_family : unit -> Policy.t list
+(** The deterministic Any Fit members: first, best, worst, last fit. *)
+
+val find : ?seed:int64 -> ?mu:Rat.t -> string -> Policy.t option
+(** Looks a policy up by CLI name: ["first-fit"], ["best-fit"],
+    ["worst-fit"], ["last-fit"], ["next-fit"], ["random-fit"], ["mff"]
+    (k = 8), ["mff-known-mu"] (requires [mu]), ["mff:<k>"] with a
+    rational [k] such as ["mff:9/2"], or ["harmonic:<m>"] with an
+    integer class count [m >= 2]. *)
+
+val names : string list
+(** The recognised CLI names, for help text. *)

@@ -1,0 +1,8 @@
+(** Best Fit (BF), Section 3.2: put each arriving item into the open
+    bin with the smallest residual capacity that can still accommodate
+    it.  Theorem 2 shows BF has {e no bounded competitive ratio} for
+    the MinTotal DBP problem, for any max/min interval length ratio
+    [mu] — the construction is implemented in
+    {!Dbp_adversary.Bestfit_unbounded}. *)
+
+val policy : Policy.t

@@ -1,0 +1,76 @@
+open Dbp_num
+
+type t = {
+  id : int;
+  tag : string;
+  capacity : Rat.t;
+  opened : Rat.t;
+  mutable closed : Rat.t option;
+  mutable level : Rat.t;
+  mutable active : Item.t list;
+  mutable max_level : Rat.t;
+  mutable all_items : int list;
+  mutable placements : (Rat.t * int) list;
+}
+
+type view = {
+  bin_id : int;
+  bin_tag : string;
+  bin_capacity : Rat.t;
+  bin_level : Rat.t;
+  bin_residual : Rat.t;
+  bin_opened : Rat.t;
+  bin_count : int;
+}
+
+let open_bin ~id ~tag ~capacity ~now =
+  if Rat.sign capacity <= 0 then invalid_arg "Bin.open_bin: capacity <= 0";
+  {
+    id;
+    tag;
+    capacity;
+    opened = now;
+    closed = None;
+    level = Rat.zero;
+    active = [];
+    max_level = Rat.zero;
+    all_items = [];
+    placements = [];
+  }
+
+let is_open t = t.closed = None
+let residual t = Rat.sub t.capacity t.level
+let fits t ~size = Rat.(Rat.add t.level size <= t.capacity)
+
+let insert t ~now (r : Item.t) =
+  t.level <- Rat.add t.level r.size;
+  t.active <- r :: t.active;
+  t.max_level <- Rat.max t.max_level t.level;
+  t.all_items <- r.id :: t.all_items;
+  t.placements <- (now, r.id) :: t.placements
+
+let remove t ~now (r : Item.t) =
+  if not (List.exists (fun (x : Item.t) -> x.id = r.id) t.active) then
+    invalid_arg "Bin.remove: item not in bin";
+  t.active <- List.filter (fun (x : Item.t) -> x.id <> r.id) t.active;
+  t.level <- Rat.sub t.level r.size;
+  if t.active = [] then begin
+    t.level <- Rat.zero;
+    t.closed <- Some now
+  end
+
+let to_view t =
+  {
+    bin_id = t.id;
+    bin_tag = t.tag;
+    bin_capacity = t.capacity;
+    bin_level = t.level;
+    bin_residual = residual t;
+    bin_opened = t.opened;
+    bin_count = List.length t.active;
+  }
+
+let usage_period t =
+  match t.closed with
+  | None -> invalid_arg "Bin.usage_period: bin still open"
+  | Some closed -> Interval.make t.opened closed

@@ -1,0 +1,55 @@
+(** Runtime bin state owned by the simulator.
+
+    Each bin carries its own capacity: the paper's model uses one
+    uniform capacity [W], but the application layer supports
+    heterogeneous server types (bins opened under different tags get
+    different capacities — see [Simulator.Online.create]'s
+    [tag_capacity]).
+
+    Policies never touch {!t} directly; they see the read-only
+    {!view} projection, which deliberately omits departure times of the
+    items inside — keeping algorithms honestly online. *)
+
+open Dbp_num
+
+type t = {
+  id : int;  (** Opening-order index: bin [i] of the paper is id [i]. *)
+  tag : string;  (** Policy-private label (e.g. MFF's ["large"]/["small"]). *)
+  capacity : Rat.t;
+  opened : Rat.t;
+  mutable closed : Rat.t option;  (** Set when the last item departs. *)
+  mutable level : Rat.t;  (** Total size of the items currently inside. *)
+  mutable active : Item.t list;  (** Items currently inside. *)
+  mutable max_level : Rat.t;
+  mutable all_items : int list;  (** Ids ever packed, reverse order. *)
+  mutable placements : (Rat.t * int) list;
+      (** (time, item id) for every packing into this bin, reverse
+          order — the raw data behind the reference points [t_{i,j}] of
+          Section 4.3. *)
+}
+
+type view = {
+  bin_id : int;
+  bin_tag : string;
+  bin_capacity : Rat.t;
+  bin_level : Rat.t;
+  bin_residual : Rat.t;
+  bin_opened : Rat.t;
+  bin_count : int;  (** Number of items currently inside. *)
+}
+
+val open_bin : id:int -> tag:string -> capacity:Rat.t -> now:Rat.t -> t
+(** @raise Invalid_argument if [capacity <= 0]. *)
+
+val is_open : t -> bool
+val residual : t -> Rat.t
+val fits : t -> size:Rat.t -> bool
+val insert : t -> now:Rat.t -> Item.t -> unit
+val remove : t -> now:Rat.t -> Item.t -> unit
+(** Removes the item; closes the bin (sets [closed]) if it empties.
+    @raise Invalid_argument if the item is not in the bin. *)
+
+val to_view : t -> view
+val usage_period : t -> Interval.t
+(** [I_i]: opening time to closing time.
+    @raise Invalid_argument if the bin is still open. *)

@@ -1,0 +1,28 @@
+open Dbp_num
+
+type kind = Departure | Arrival
+
+type t = { time : Rat.t; kind : kind; item : Item.t }
+
+let kind_rank = function Departure -> 0 | Arrival -> 1
+
+let compare a b =
+  let c = Rat.compare a.time b.time in
+  if c <> 0 then c
+  else
+    let c = Int.compare (kind_rank a.kind) (kind_rank b.kind) in
+    if c <> 0 then c else Int.compare a.item.Item.id b.item.Item.id
+
+let of_instance instance =
+  Instance.items instance |> Array.to_list
+  |> List.concat_map (fun (r : Item.t) ->
+         [
+           { time = r.arrival; kind = Arrival; item = r };
+           { time = r.departure; kind = Departure; item = r };
+         ])
+  |> List.sort compare
+
+let pp fmt e =
+  Format.fprintf fmt "%s@%a %a"
+    (match e.kind with Arrival -> "arr" | Departure -> "dep")
+    Rat.pp e.time Item.pp e.item

@@ -1,0 +1,20 @@
+(** Event streams driving the online simulation.
+
+    Ordering convention (DESIGN.md): events are sorted by time; at
+    equal times all departures precede all arrivals, and simultaneous
+    arrivals keep the instance's submission order.  A bin closes the
+    instant its last item departs, so an arrival at the same timestamp
+    can never reuse a just-emptied bin — matching the paper's model
+    where a bin's usage period ends when all its items depart. *)
+
+open Dbp_num
+
+type kind = Departure | Arrival
+
+type t = { time : Rat.t; kind : kind; item : Item.t }
+
+val compare : t -> t -> int
+val of_instance : Instance.t -> t list
+(** The full sorted event stream of an instance. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,7 @@
+(** First Fit (FF), Section 3.2: put each arriving item into the
+    earliest opened bin that can accommodate it; open a new bin only
+    when none fits.  Theorems 4 and 5 bound its competitive ratio by
+    [k/(k-1) mu + 6k/(k-1) + 1] (all sizes < W/k) and [2 mu + 13]
+    (general case). *)
+
+val policy : Policy.t

@@ -1,0 +1,30 @@
+open Dbp_num
+
+let fitting bins ~size =
+  List.filter (fun (v : Bin.view) -> Rat.(size <= v.bin_residual)) bins
+
+let first bins ~size =
+  match fitting bins ~size with [] -> None | v :: _ -> Some v
+
+(* Strict improvement only, so the earliest-opened bin wins ties. *)
+let select_by better bins ~size =
+  match fitting bins ~size with
+  | [] -> None
+  | v :: rest ->
+      Some
+        (List.fold_left
+           (fun acc cand -> if better cand acc then cand else acc)
+           v rest)
+
+let best bins ~size =
+  select_by
+    (fun (a : Bin.view) (b : Bin.view) -> Rat.(a.bin_residual < b.bin_residual))
+    bins ~size
+
+let worst bins ~size =
+  select_by
+    (fun (a : Bin.view) (b : Bin.view) -> Rat.(a.bin_residual > b.bin_residual))
+    bins ~size
+
+let last bins ~size =
+  match List.rev (fitting bins ~size) with [] -> None | v :: _ -> Some v

@@ -1,0 +1,20 @@
+(** Shared bin-selection helpers for the Any Fit family. *)
+
+open Dbp_num
+
+val fitting : Bin.view list -> size:Rat.t -> Bin.view list
+(** Open bins with enough residual capacity, opening order preserved. *)
+
+val first : Bin.view list -> size:Rat.t -> Bin.view option
+(** Earliest-opened fitting bin (First Fit's choice). *)
+
+val best : Bin.view list -> size:Rat.t -> Bin.view option
+(** Fitting bin with the smallest residual capacity after insertion;
+    earliest-opened wins ties (Best Fit's choice). *)
+
+val worst : Bin.view list -> size:Rat.t -> Bin.view option
+(** Fitting bin with the largest residual capacity; earliest-opened
+    wins ties. *)
+
+val last : Bin.view list -> size:Rat.t -> Bin.view option
+(** Latest-opened fitting bin. *)

@@ -1,0 +1,28 @@
+open Dbp_num
+
+let class_of ~capacity ~classes size =
+  if Rat.sign size <= 0 || Rat.(size > capacity) then
+    invalid_arg "Harmonic_fit.class_of: size out of (0, capacity]";
+  (* smallest i in [1, classes-1] with size > W/(i+1); else the last
+     catch-all class *)
+  let rec find i =
+    if i >= classes then classes
+    else
+      let threshold = Rat.div_int capacity (i + 1) in
+      if Rat.(size > threshold) then i else find (i + 1)
+  in
+  find 1
+
+let tag_of i = Printf.sprintf "h%d" i
+
+let policy ~classes =
+  if classes < 2 then invalid_arg "Harmonic_fit.policy: classes < 2";
+  let name = Printf.sprintf "harmonic(%d)" classes in
+  Policy.stateless ~name (fun ~capacity ~now:_ ~bins ~size ->
+      let tag = tag_of (class_of ~capacity ~classes size) in
+      let pool =
+        List.filter (fun (v : Bin.view) -> String.equal v.bin_tag tag) bins
+      in
+      match Fit.first pool ~size with
+      | Some v -> Policy.Existing v.bin_id
+      | None -> Policy.New_bin tag)

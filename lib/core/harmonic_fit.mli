@@ -1,0 +1,17 @@
+(** Harmonic packing adapted to the dynamic setting: a natural
+    generalisation of Modified First Fit's two-pool split (and the
+    classical HARMONIC family the paper's related-work section cites).
+
+    With [classes = m], sizes in [(W/2, W]] form class 1, sizes in
+    [(W/3, W/2]] class 2, ..., and sizes in [(0, W/m]] the final class;
+    First Fit runs within each class separately.  A class-[i] bin
+    ([i < m]) never holds more than [i] items, which caps wasted
+    capacity per class — the same intuition as MFF's large/small
+    separation, refined. *)
+
+val class_of : capacity:Dbp_num.Rat.t -> classes:int -> Dbp_num.Rat.t -> int
+(** The 1-based class index of a size.
+    @raise Invalid_argument unless [0 < size <= capacity]. *)
+
+val policy : classes:int -> Policy.t
+(** @raise Invalid_argument if [classes < 2]. *)

@@ -1,0 +1,27 @@
+open Dbp_num
+
+type t = { id : int; size : Rat.t; arrival : Rat.t; departure : Rat.t }
+
+let make ~id ~size ~arrival ~departure =
+  if Rat.sign size <= 0 then invalid_arg "Item.make: size must be positive";
+  if Rat.(departure <= arrival) then
+    invalid_arg "Item.make: departure must be after arrival";
+  { id; size; arrival; departure }
+
+let interval r = Interval.make r.arrival r.departure
+let length r = Rat.sub r.departure r.arrival
+let demand r = Rat.mul r.size (length r)
+let active_at r t = Rat.(r.arrival <= t) && Rat.(t < r.departure)
+
+let compare a b =
+  let c = Rat.compare a.arrival b.arrival in
+  if c <> 0 then c else Int.compare a.id b.id
+
+let equal a b =
+  a.id = b.id && Rat.equal a.size b.size
+  && Rat.equal a.arrival b.arrival
+  && Rat.equal a.departure b.departure
+
+let pp fmt r =
+  Format.fprintf fmt "item#%d(s=%a, [%a,%a])" r.id Rat.pp r.size Rat.pp
+    r.arrival Rat.pp r.departure

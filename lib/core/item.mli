@@ -1,0 +1,34 @@
+(** Items of the MinTotal DBP problem.
+
+    An item [r] is a triple [(a(r), d(r), s(r))]: arrival time,
+    departure time and size (Section 3.1 of the paper).  The item is
+    active on the closed interval [I(r) = [a(r), d(r)]]; its resource
+    demand is [u(r) = s(r) * len(I(r))]. *)
+
+open Dbp_num
+
+type t = { id : int; size : Rat.t; arrival : Rat.t; departure : Rat.t }
+
+val make : id:int -> size:Rat.t -> arrival:Rat.t -> departure:Rat.t -> t
+(** @raise Invalid_argument unless [size > 0] and [departure > arrival]
+    (the paper assumes [d(r) > a(r)] always holds). *)
+
+val interval : t -> Interval.t
+(** [I(r) = [a(r), d(r)]]. *)
+
+val length : t -> Rat.t
+(** [len(I(r)) = d(r) - a(r)]. *)
+
+val demand : t -> Rat.t
+(** [u(r) = s(r) * len(I(r))]. *)
+
+val active_at : t -> Rat.t -> bool
+(** Whether [t] lies in the half-open activity window [[a(r), d(r))].
+    Half-open so that counting active items at any instant matches the
+    right-continuous timeline [n(t)]. *)
+
+val compare : t -> t -> int
+(** Orders by arrival time, then id. *)
+
+val equal : t -> t -> bool
+val pp : Format.formatter -> t -> unit

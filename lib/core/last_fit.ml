@@ -1,0 +1,5 @@
+let policy =
+  Policy.stateless ~name:"last_fit" (fun ~capacity:_ ~now:_ ~bins ~size ->
+      match Fit.last bins ~size with
+      | Some v -> Policy.Existing v.Bin.bin_id
+      | None -> Policy.New_bin "lf")

@@ -1,0 +1,4 @@
+(** Last Fit: choose the most recently opened bin that fits.  An
+    Any Fit baseline. *)
+
+val policy : Policy.t

@@ -1,0 +1,24 @@
+open Dbp_num
+
+let large_tag = "mff-large"
+let small_tag = "mff-small"
+
+let policy ~k =
+  if Rat.(k <= Rat.one) then invalid_arg "Modified_first_fit: k must be > 1";
+  let name = Format.asprintf "mff(k=%a)" Rat.pp k in
+  Policy.stateless ~name (fun ~capacity ~now:_ ~bins ~size ->
+      let threshold = Rat.div capacity k in
+      let tag = if Rat.(size >= threshold) then large_tag else small_tag in
+      let pool =
+        List.filter (fun (v : Bin.view) -> String.equal v.bin_tag tag) bins
+      in
+      match Fit.first pool ~size with
+      | Some v -> Policy.Existing v.bin_id
+      | None -> Policy.New_bin tag)
+
+let policy_mu_oblivious = policy ~k:(Rat.of_int 8)
+
+let policy_known_mu ~mu =
+  if Rat.(mu < Rat.one) then
+    invalid_arg "Modified_first_fit.policy_known_mu: mu must be >= 1";
+  policy ~k:(Rat.add mu (Rat.of_int 7))

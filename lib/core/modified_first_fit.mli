@@ -1,0 +1,25 @@
+(** Modified First Fit (MFF), Section 4.4.
+
+    Fix a threshold parameter [k > 1].  Items of size [>= W/k] are
+    {e large}, items of size [< W/k] are {e small}; MFF runs classical
+    First Fit on the large items and on the small items {e separately}
+    (a large item never shares a bin with a small item).
+
+    With [k = 8] (no knowledge of [mu]) the competitive ratio is
+    [8/7 mu + 55/7]; with [k = mu + 7] (semi-online, [mu] known) it is
+    [mu + 8]. *)
+
+open Dbp_num
+
+val large_tag : string
+val small_tag : string
+
+val policy : k:Rat.t -> Policy.t
+(** MFF with threshold [W/k].  @raise Invalid_argument if [k <= 1]. *)
+
+val policy_mu_oblivious : Policy.t
+(** The paper's [mu]-oblivious choice [k = 8]. *)
+
+val policy_known_mu : mu:Rat.t -> Policy.t
+(** The semi-online variant [k = mu + 7].
+    @raise Invalid_argument if [mu < 1]. *)

@@ -1,0 +1,17 @@
+open Dbp_num
+
+let policy =
+  Policy.make ~name:"next_fit" (fun ~capacity:_ ->
+      {
+        Policy.on_arrival =
+          (fun ~now:_ ~bins ~size ~item_id:_ ->
+            (* The current bin is the latest-opened open bin; it may
+               have closed since the last arrival, in which case the
+               new latest takes its place. *)
+            match List.rev bins with
+            | (current : Bin.view) :: _ when Rat.(size <= current.bin_residual)
+              ->
+                Policy.Existing current.bin_id
+            | _ -> Policy.New_bin "nf");
+        on_departure = Policy.no_departure_handler;
+      })

@@ -1,0 +1,6 @@
+(** Next Fit: keep a single "current" bin — the most recently opened
+    one; if the arriving item fits there, place it, otherwise open a
+    new bin (even if an older bin could fit, so Next Fit is {e not} an
+    Any Fit algorithm).  Classical cheap baseline. *)
+
+val policy : Policy.t

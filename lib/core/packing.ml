@@ -1,0 +1,117 @@
+open Dbp_num
+
+type bin_record = {
+  bin_id : int;
+  tag : string;
+  capacity : Rat.t;
+  opened : Rat.t;
+  closed : Rat.t;
+  item_ids : int list;
+  placements : (Rat.t * int) list;
+  max_level : Rat.t;
+}
+
+type t = {
+  instance : Instance.t;
+  policy_name : string;
+  bins : bin_record array;
+  assignment : int array;
+  timeline : Step_fn.t;
+  total_cost : Rat.t;
+  max_bins : int;
+  any_fit_violations : int;
+}
+
+let bins_used t = Array.length t.bins
+let usage_period (b : bin_record) = Interval.make b.opened b.closed
+let cost t ~rate = Rat.mul t.total_cost rate
+let bin_of_item t item_id = t.bins.(t.assignment.(item_id))
+let is_any_fit t = t.any_fit_violations = 0
+
+let validate t =
+  let ( let* ) = Result.bind in
+  let fail fmt = Format.kasprintf (fun s -> Error s) fmt in
+  let instance = t.instance in
+  let n = Instance.size instance in
+  (* 1. Assignment totality and containment of item intervals. *)
+  let* () =
+    if Array.length t.assignment <> n then fail "assignment length mismatch"
+    else Ok ()
+  in
+  let rec check_items i =
+    if i >= n then Ok ()
+    else
+      let r = Instance.item instance i in
+      let b = t.bins.(t.assignment.(i)) in
+      if not (List.mem i b.item_ids) then
+        fail "item %d not recorded in its bin %d" i b.bin_id
+      else if not (Interval.contains_interval (usage_period b) (Item.interval r))
+      then fail "item %d interval outside bin %d usage period" i b.bin_id
+      else check_items (i + 1)
+  in
+  let* () = check_items 0 in
+  (* 2. Replay every bin's level over its placements and departures. *)
+  let exceeded = ref None in
+  Array.iter
+    (fun b ->
+      let deltas =
+        List.concat_map
+          (fun item_id ->
+            let r = Instance.item instance item_id in
+            [ (r.Item.arrival, 1, r.Item.size); (r.Item.departure, 1, Rat.neg r.Item.size) ])
+          b.item_ids
+      in
+      let sorted =
+        List.sort
+          (fun (t1, _, s1) (t2, _, s2) ->
+            let c = Rat.compare t1 t2 in
+            if c <> 0 then c
+              (* departures (negative size deltas) first at equal times *)
+            else Rat.compare s1 s2)
+          deltas
+      in
+      let level = ref Rat.zero in
+      List.iter
+        (fun (_, _, s) ->
+          level := Rat.add !level s;
+          if Rat.(!level > b.capacity) then exceeded := Some b.bin_id)
+        sorted)
+    t.bins;
+  let* () =
+    match !exceeded with
+    | Some id -> fail "bin %d exceeds capacity" id
+    | None -> Ok ()
+  in
+  (* 3. Timeline consistency. *)
+  let rebuilt =
+    Array.to_list t.bins
+    |> List.concat_map (fun b -> [ (b.opened, 1); (b.closed, -1) ])
+    |> Step_fn.of_deltas
+  in
+  let* () =
+    if Step_fn.equal rebuilt t.timeline then Ok ()
+    else fail "timeline does not match bin usage periods"
+  in
+  (* 4. Cost consistency: integral of timeline = sum of period lengths. *)
+  let by_periods =
+    Array.to_list t.bins
+    |> List.map (fun b -> Interval.length (usage_period b))
+    |> Rat.sum
+  in
+  let by_integral = Step_fn.integral t.timeline in
+  if not (Rat.equal by_periods t.total_cost) then
+    fail "total cost %a <> sum of usage periods %a" Rat.pp t.total_cost Rat.pp
+      by_periods
+  else if not (Rat.equal by_integral t.total_cost) then
+    fail "total cost %a <> timeline integral %a" Rat.pp t.total_cost Rat.pp
+      by_integral
+  else if Step_fn.max_value t.timeline <> t.max_bins then
+    fail "max_bins %d <> timeline max %d" t.max_bins
+      (Step_fn.max_value t.timeline)
+  else Ok ()
+
+let pp_summary fmt t =
+  Format.fprintf fmt
+    "@[<v>%s: %d bins, cost=%a (%a), max open=%d, any-fit violations=%d@]"
+    t.policy_name (bins_used t) Rat.pp t.total_cost Rat.pp_float t.total_cost
+    t.max_bins t.any_fit_violations

@@ -1,0 +1,25 @@
+open Dbp_num
+
+type decision = Existing of int | New_bin of string
+
+type handlers = {
+  on_arrival :
+    now:Rat.t -> bins:Bin.view list -> size:Rat.t -> item_id:int -> decision;
+  on_departure : now:Rat.t -> bins:Bin.view list -> item_id:int -> unit;
+}
+
+type t = { name : string; spawn : capacity:Rat.t -> handlers }
+
+let make ~name spawn = { name; spawn }
+
+let no_departure_handler ~now:_ ~bins:_ ~item_id:_ = ()
+
+let stateless ~name choose =
+  let spawn ~capacity =
+    {
+      on_arrival =
+        (fun ~now ~bins ~size ~item_id:_ -> choose ~capacity ~now ~bins ~size);
+      on_departure = no_departure_handler;
+    }
+  in
+  { name; spawn }

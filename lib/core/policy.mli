@@ -1,0 +1,40 @@
+(** The online packing-algorithm interface.
+
+    The simulator owns bins and cost accounting; an algorithm is a
+    {e policy} that, for each arriving item, looks at the read-only
+    views of the currently open bins (in opening order, the paper's
+    [b_1, b_2, ...]) and either picks an existing bin or asks for a new
+    one.  Policies may be stateful: {!t.spawn} builds a fresh handler
+    pair per simulation run, so runs never leak state into each other.
+
+    The simulator rejects a decision to place an item into a bin where
+    it does not fit — a policy cannot cheat on capacity. *)
+
+open Dbp_num
+
+type decision =
+  | Existing of int  (** Bin id of an open bin the item fits into. *)
+  | New_bin of string  (** Open a fresh bin with this tag. *)
+
+type handlers = {
+  on_arrival :
+    now:Rat.t -> bins:Bin.view list -> size:Rat.t -> item_id:int -> decision;
+      (** [bins] lists all open bins in opening order. *)
+  on_departure : now:Rat.t -> bins:Bin.view list -> item_id:int -> unit;
+      (** Called after the item left (and its bin possibly closed). *)
+}
+
+type t = { name : string; spawn : capacity:Rat.t -> handlers }
+
+val make :
+  name:string -> (capacity:Rat.t -> handlers) -> t
+
+val stateless :
+  name:string ->
+  (capacity:Rat.t -> now:Rat.t -> bins:Bin.view list -> size:Rat.t -> decision) ->
+  t
+(** Builds a policy from a pure bin-choice function (no departures,
+    no internal state) — enough for the whole Any Fit family. *)
+
+val no_departure_handler :
+  now:Rat.t -> bins:Bin.view list -> item_id:int -> unit

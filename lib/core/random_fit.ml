@@ -1,0 +1,16 @@
+open Dbp_rand
+
+let policy ~seed =
+  Policy.make ~name:"random_fit" (fun ~capacity:_ ->
+      let rng = Splitmix64.create seed in
+      {
+        Policy.on_arrival =
+          (fun ~now:_ ~bins ~size ~item_id:_ ->
+            match Fit.fitting bins ~size with
+            | [] -> Policy.New_bin "rf"
+            | candidates ->
+                let n = List.length candidates in
+                let chosen = List.nth candidates (Splitmix64.next_int rng n) in
+                Policy.Existing chosen.Bin.bin_id);
+        on_departure = Policy.no_departure_handler;
+      })

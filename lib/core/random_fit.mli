@@ -1,0 +1,8 @@
+(** Random Fit: place each arriving item into a fitting open bin chosen
+    uniformly at random; open a new bin only when none fits.  A
+    randomised member of the Any Fit family, so Theorem 1's lower bound
+    applies to it in expectation.  Deterministic given the seed; each
+    simulation run re-derives its stream from the seed, so repeated
+    runs of the same policy value coincide. *)
+
+val policy : seed:int64 -> Policy.t

@@ -1,0 +1,226 @@
+open Dbp_num
+
+let log_src = Logs.Src.create "dbp.simulator" ~doc:"MinTotal DBP simulator"
+
+module Log = (val Logs.src_log log_src : Logs.LOG)
+
+exception Invalid_decision of string
+exception Invalid_step of string
+
+let invalid_decision fmt = Format.kasprintf (fun s -> raise (Invalid_decision s)) fmt
+let invalid_step fmt = Format.kasprintf (fun s -> raise (Invalid_step s)) fmt
+
+module Online = struct
+  type t = {
+    capacity : Rat.t;
+    tag_capacity : string -> Rat.t;
+    handlers : Policy.handlers;
+    mutable bins : Bin.t list;  (* all bins ever, reverse opening order *)
+    mutable next_bin_id : int;
+    item_bin : (int, Bin.t) Hashtbl.t;  (* active item -> its bin *)
+    seen_items : (int, unit) Hashtbl.t;
+    mutable clock : Rat.t option;
+    mutable violations : int;
+  }
+
+  let create ?tag_capacity ~policy ~capacity () =
+    if Rat.sign capacity <= 0 then
+      invalid_arg "Online.create: capacity must be positive";
+    let tag_capacity =
+      match tag_capacity with Some f -> f | None -> fun _ -> capacity
+    in
+    {
+      capacity;
+      tag_capacity;
+      handlers = policy.Policy.spawn ~capacity;
+      bins = [];
+      next_bin_id = 0;
+      item_bin = Hashtbl.create 64;
+      seen_items = Hashtbl.create 64;
+      clock = None;
+      violations = 0;
+    }
+
+  let advance_clock t now =
+    (match t.clock with
+    | Some prev when Rat.(now < prev) ->
+        invalid_step "time went backwards: %a after %a" Rat.pp now Rat.pp prev
+    | _ -> ());
+    t.clock <- Some now
+
+  let now t = t.clock
+
+  let open_bin_views t =
+    (* [t.bins] is in reverse opening order; present opening order. *)
+    List.rev t.bins
+    |> List.filter Bin.is_open
+    |> List.map Bin.to_view
+
+  let open_bins = open_bin_views
+
+  let find_bin t id = List.find_opt (fun (b : Bin.t) -> b.id = id) t.bins
+
+  let arrive t ~now ~size ~item_id =
+    advance_clock t now;
+    if Rat.sign size <= 0 then invalid_step "item %d has size <= 0" item_id;
+    if Hashtbl.mem t.seen_items item_id then
+      invalid_step "item id %d reused" item_id;
+    Hashtbl.add t.seen_items item_id ();
+    let views = open_bin_views t in
+    let decision = t.handlers.Policy.on_arrival ~now ~bins:views ~size ~item_id in
+    let target =
+      match decision with
+      | Policy.Existing id -> (
+          match find_bin t id with
+          | None -> invalid_decision "policy chose unknown bin %d" id
+          | Some b ->
+              if not (Bin.is_open b) then
+                invalid_decision "policy chose closed bin %d" id
+              else if not (Bin.fits b ~size) then
+                invalid_decision "item %d does not fit in bin %d" item_id id
+              else b)
+      | Policy.New_bin tag ->
+          if
+            List.exists
+              (fun (v : Bin.view) -> Rat.(size <= v.bin_residual))
+              views
+          then t.violations <- t.violations + 1;
+          let cap = t.tag_capacity tag in
+          if Rat.(size > cap) then
+            invalid_decision
+              "item %d (size %s) exceeds the capacity %s of a new '%s' bin"
+              item_id (Rat.to_string size) (Rat.to_string cap) tag;
+          let b = Bin.open_bin ~id:t.next_bin_id ~tag ~capacity:cap ~now in
+          t.next_bin_id <- t.next_bin_id + 1;
+          t.bins <- b :: t.bins;
+          b
+    in
+    (* The item's true departure time is not known yet; record a
+       placeholder item and fix sizes/times from the instance at
+       [finish].  Only id and size matter to the bin state. *)
+    let stub =
+      Item.make ~id:item_id ~size ~arrival:now
+        ~departure:(Rat.add now Rat.one)
+    in
+    Bin.insert target ~now stub;
+    Hashtbl.replace t.item_bin item_id target;
+    Log.debug (fun m ->
+        m "t=%a item %d (size %a) -> bin %d [%s] level %a/%a" Rat.pp now
+          item_id Rat.pp size target.Bin.id target.Bin.tag Rat.pp
+          target.Bin.level Rat.pp target.Bin.capacity);
+    target.Bin.id
+
+  let depart t ~now ~item_id =
+    advance_clock t now;
+    match Hashtbl.find_opt t.item_bin item_id with
+    | None -> invalid_step "departure of unknown/inactive item %d" item_id
+    | Some b ->
+        let stub =
+          List.find (fun (r : Item.t) -> r.id = item_id) b.Bin.active
+        in
+        Bin.remove b ~now stub;
+        Hashtbl.remove t.item_bin item_id;
+        Log.debug (fun m ->
+            m "t=%a item %d departs bin %d%s" Rat.pp now item_id b.Bin.id
+              (if Bin.is_open b then "" else " (bin closes)"));
+        let views = open_bin_views t in
+        t.handlers.Policy.on_departure ~now ~bins:views ~item_id
+
+  let bin_of_item t item_id =
+    Hashtbl.find_opt t.item_bin item_id
+    |> Option.map (fun (b : Bin.t) -> b.id)
+
+  let active_items_in t bin_id =
+    match find_bin t bin_id with
+    | None -> []
+    | Some b ->
+        List.map (fun (r : Item.t) -> (r.id, r.size)) b.Bin.active
+
+  let level_of t bin_id =
+    match find_bin t bin_id with
+    | Some b when Bin.is_open b -> Some b.Bin.level
+    | _ -> None
+
+  let finish t ~instance =
+    if Hashtbl.length t.item_bin <> 0 then
+      invalid_step "finish with %d items still active"
+        (Hashtbl.length t.item_bin);
+    let n = Instance.size instance in
+    if Hashtbl.length t.seen_items <> n then
+      invalid_step "instance has %d items but %d were stepped" n
+        (Hashtbl.length t.seen_items);
+    let bins_in_order = List.rev t.bins in
+    let records =
+      List.map
+        (fun (b : Bin.t) ->
+          let closed =
+            match b.closed with
+            | Some c -> c
+            | None -> invalid_step "bin %d never closed" b.id
+          in
+          {
+            Packing.bin_id = b.id;
+            tag = b.tag;
+            capacity = b.capacity;
+            opened = b.opened;
+            closed;
+            item_ids = List.rev b.all_items;
+            placements = List.rev b.placements;
+            max_level = b.max_level;
+          })
+        bins_in_order
+      |> Array.of_list
+    in
+    let assignment = Array.make n (-1) in
+    Array.iter
+      (fun (b : Packing.bin_record) ->
+        List.iter
+          (fun item_id ->
+            if item_id < 0 || item_id >= n then
+              invalid_step "item id %d outside instance" item_id;
+            assignment.(item_id) <- b.bin_id)
+          b.item_ids)
+      records;
+    Array.iteri
+      (fun i bin_id ->
+        if bin_id < 0 then invalid_step "item %d never packed" i)
+      assignment;
+    let timeline =
+      Array.to_list records
+      |> List.concat_map (fun (b : Packing.bin_record) ->
+             [ (b.opened, 1); (b.closed, -1) ])
+      |> Step_fn.of_deltas
+    in
+    let total_cost =
+      Array.to_list records
+      |> List.map (fun (b : Packing.bin_record) -> Rat.sub b.closed b.opened)
+      |> Rat.sum
+    in
+    {
+      Packing.instance;
+      policy_name = "";
+      bins = records;
+      assignment;
+      timeline;
+      total_cost;
+      max_bins = Step_fn.max_value timeline;
+      any_fit_violations = t.violations;
+    }
+end
+
+let run ?tag_capacity ~policy instance =
+  let online =
+    Online.create ?tag_capacity ~policy
+      ~capacity:(Instance.capacity instance) ()
+  in
+  List.iter
+    (fun (e : Event.t) ->
+      match e.kind with
+      | Event.Arrival ->
+          ignore
+            (Online.arrive online ~now:e.time ~size:e.item.Item.size
+               ~item_id:e.item.Item.id)
+      | Event.Departure -> Online.depart online ~now:e.time ~item_id:e.item.Item.id)
+    (Event.of_instance instance);
+  let packing = Online.finish online ~instance in
+  { packing with Packing.policy_name = policy.Policy.name }

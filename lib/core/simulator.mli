@@ -1,0 +1,73 @@
+(** The event-driven MinTotal DBP simulator.
+
+    {!run} replays a full instance through a policy.  {!Online} is the
+    interactive stepping interface underneath it: callers inject
+    arrivals and departures one at a time and can observe the resulting
+    packing state between steps — exactly the power an adaptive
+    adversary has in the competitive-analysis game (used by
+    [Dbp_adversary] for the Theorem 1 and 2 constructions). *)
+
+open Dbp_num
+
+val log_src : Logs.src
+(** Placement/departure events are logged here at debug level; enable
+    with [Logs.Src.set_level Simulator.log_src (Some Logs.Debug)] or
+    the CLI's [--verbose]. *)
+
+exception Invalid_decision of string
+(** A policy chose a closed bin, an unknown bin, or a bin where the
+    item does not fit. *)
+
+exception Invalid_step of string
+(** An {!Online} caller broke the protocol: time went backwards, an
+    unknown item departed, an item id was reused, or [finish] was
+    called with items still active. *)
+
+module Online : sig
+  type t
+
+  val create :
+    ?tag_capacity:(string -> Rat.t) ->
+    policy:Policy.t ->
+    capacity:Rat.t ->
+    unit ->
+    t
+  (** [capacity] is the base (the paper's uniform [W]); [tag_capacity]
+      optionally gives bins opened under a tag their own capacity
+      (heterogeneous server types).  Defaults to the base for every
+      tag. *)
+
+  val arrive : t -> now:Rat.t -> size:Rat.t -> item_id:int -> int
+  (** Feeds an arrival to the policy; returns the id of the bin the
+      item was placed in.  Item ids must be fresh, and [now] must not
+      precede any earlier step. *)
+
+  val depart : t -> now:Rat.t -> item_id:int -> unit
+  (** The item leaves; its bin closes if it empties. *)
+
+  val now : t -> Rat.t option
+  (** Time of the latest step. *)
+
+  val open_bins : t -> Bin.view list
+  (** Views of the open bins in opening order. *)
+
+  val bin_of_item : t -> int -> int option
+  (** Bin currently holding an active item. *)
+
+  val active_items_in : t -> int -> (int * Rat.t) list
+  (** [(item_id, size)] of active items in a bin, most recent first. *)
+
+  val level_of : t -> int -> Rat.t option
+  (** Current level of an open bin. *)
+
+  val finish : t -> instance:Instance.t -> Packing.t
+  (** Assembles the packing result.  The instance must contain exactly
+      the items that were stepped through (same ids, sizes and times);
+      all items must have departed. *)
+end
+
+val run :
+  ?tag_capacity:(string -> Rat.t) -> policy:Policy.t -> Instance.t -> Packing.t
+(** Replays the instance's event stream (departures before arrivals at
+    equal times, arrivals in submission order) and assembles the
+    result. *)

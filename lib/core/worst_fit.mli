@@ -1,0 +1,5 @@
+(** Worst Fit: choose the fitting open bin with the {e largest}
+    residual capacity.  An Any Fit algorithm, so Theorem 1's lower
+    bound of [mu] applies; included as a baseline in the experiments. *)
+
+val policy : Policy.t

@@ -1,0 +1,9 @@
+(** E10 — extension: MinTotal vs the classical max-bins objective.
+
+    The paper's introduction distinguishes its total-cost objective
+    from classical DBP's peak-bins objective.  This experiment makes
+    the distinction quantitative: on the Figure 2 instance First Fit is
+    {e optimal} for peak bins yet pays nearly [mu] times OPT in total
+    cost, while on random loads the two objectives track each other. *)
+
+val run : unit -> Exp_common.outcome

@@ -1,0 +1,9 @@
+(** E11 — extension: the price of forbidding migration.
+
+    The introduction motivates the no-migration model by the overhead
+    of moving live game instances.  This experiment quantifies both
+    sides on a gaming trace: how much cheaper an FFD-repack-at-every-
+    event dispatcher would be, and how many live-session migrations
+    (and how much state volume) it would take to get there. *)
+
+val run : unit -> Exp_common.outcome

@@ -1,0 +1,10 @@
+(** E12 — extension: what the paper's OPT definition is worth.
+
+    [OPT_total] lets the optimum repack (migrate) at every instant.  A
+    cloud provider planning offline still cannot migrate, so the
+    natural offline reference is the non-migratory optimum.  This
+    experiment measures both gaps on small instances
+    ([OPT_repack <= OPT_offline <= FF]) and the value of offline
+    knowledge for the heuristics on realistic sizes. *)
+
+val run : unit -> Exp_common.outcome

@@ -1,0 +1,65 @@
+open Dbp_num
+open Dbp_core
+open Dbp_analysis
+open Exp_common
+
+let seeds = [ 121L; 122L; 123L ]
+
+let unit_fraction_spec ~mu =
+  let sizes =
+    Dbp_workload.Spec.Discrete_sizes
+      (List.map (fun w -> (Rat.make 1 w, 1.0 /. float_of_int w)) [ 1; 2; 3; 4; 5; 8 ])
+  in
+  {
+    (Dbp_workload.Spec.with_target_mu
+       { Dbp_workload.Spec.default with Dbp_workload.Spec.count = 120 }
+       ~mu)
+    with
+    Dbp_workload.Spec.sizes;
+  }
+
+let run () =
+  let c = counter () in
+  let table =
+    Table.create
+      ~title:"E13: unit-fraction items (sizes 1/w): both objectives, Any Fit family"
+      ~columns:
+        [ "policy"; "seed"; "MinTotal ratio"; "max-bins ratio";
+          "classical AF bound" ]
+  in
+  List.iter
+    (fun policy ->
+      List.iter
+        (fun seed ->
+          let instance =
+            Dbp_workload.Generator.generate ~seed (unit_fraction_spec ~mu:6.0)
+          in
+          let packing = Simulator.run ~policy instance in
+          let ratio = Ratio.measure packing in
+          let classic = Classic_dbp.measure packing ~opt:ratio.Ratio.opt in
+          (* Chan et al.: Any Fit is 3-competitive for max-bins on unit
+             fractions. *)
+          check c Rat.(classic.Classic_dbp.ratio <= Rat.of_int 3);
+          check c
+            (Ratio.check_bound ratio
+               ~bound:(Theorem_bounds.ff_general ~mu:(Instance.mu instance))
+             <> Ratio.Violated);
+          Table.add_row table
+            [
+              policy.Policy.name;
+              Int64.to_string seed;
+              fmt_rat ratio.Ratio.ratio_upper;
+              fmt_rat classic.Classic_dbp.ratio;
+              "3";
+            ])
+        seeds)
+    (Algorithms.any_fit_family ());
+  let total, failed = totals c in
+  {
+    experiment = "E13";
+    artefact = "Related work: unit-fraction DBP (Chan et al.) (extension)";
+    tables = [ table ];
+    charts = [];
+    checks_total = total;
+    checks_failed = failed;
+  }

@@ -1,0 +1,11 @@
+(** E13 — extension: unit-fraction items (related work, Chan–Lam–Wong).
+
+    The paper's related-work section cites the classical-DBP result
+    that Any Fit packing is 3-competitive (tight) for the max-bins
+    objective when every size is a unit fraction [1/w].  This
+    experiment runs the Any Fit family on unit-fraction workloads and
+    reports both objectives side by side: max-bins ratios stay under 3
+    as that theory predicts, while the MinTotal ratio is governed by
+    [mu], not by the size structure. *)
+
+val run : unit -> Exp_common.outcome

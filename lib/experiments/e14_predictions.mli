@@ -1,0 +1,9 @@
+(** E14 — extension: packing with departure-time predictions.
+
+    The paper's semi-online MFF uses one scalar of foresight (μ).  This
+    experiment measures how much {e per-session} duration predictions
+    are worth, sweeping prediction quality from perfect clairvoyance
+    through noisy estimates down to no information, for the
+    lifetime-aware policies of [Dbp_clairvoyant]. *)
+
+val run : unit -> Exp_common.outcome

@@ -1,0 +1,92 @@
+open Dbp_num
+open Dbp_cloudgaming
+open Dbp_analysis
+open Exp_common
+
+let seeds = [ 141L; 142L; 143L ]
+
+let profile =
+  { Gaming_workload.default_profile with
+    Gaming_workload.duration_hours = 12.0;
+    base_rate = 40.0 }
+
+(* Realistic catalog: ~5-10% per-GPU bulk discount. *)
+let shallow_discount = Fleet.default_types
+
+(* Hypothetical deep discount: 30% off per GPU on the big box. *)
+let deep_discount =
+  [
+    Fleet.vm_type ~name:"g.small" ~gpu:Rat.one ~hourly_price:Rat.one;
+    Fleet.vm_type ~name:"g.large" ~gpu:Rat.two ~hourly_price:(Rat.make 17 10);
+    Fleet.vm_type ~name:"g.xlarge" ~gpu:(Rat.of_int 4) ~hourly_price:(Rat.make 14 5);
+  ]
+
+let strategies =
+  [
+    Fleet.Single "g.small";
+    Fleet.Single "g.large";
+    Fleet.Single "g.xlarge";
+    Fleet.Smallest_fitting;
+    Fleet.Largest;
+  ]
+
+let run () =
+  let c = counter () in
+  let table =
+    Table.create
+      ~title:
+        "E15: fleet strategies on a 12h gaming trace, shallow (~10%) vs deep \
+         (30%) bulk discount"
+      ~columns:
+        [ "seed"; "strategy"; "$ shallow"; "$ deep"; "servers"; "peak" ]
+  in
+  List.iter
+    (fun seed ->
+      let requests = Gaming_workload.generate ~seed profile in
+      let run_catalog types strategy =
+        Fleet.dispatch ~types ~strategy requests
+      in
+      let rows =
+        List.map
+          (fun strategy ->
+            (run_catalog shallow_discount strategy,
+             run_catalog deep_discount strategy))
+          strategies
+      in
+      List.iter
+        (fun ((shallow : Fleet.report), (deep : Fleet.report)) ->
+          check c (Dbp_core.Packing.validate shallow.Fleet.packing = Ok ());
+          check c
+            (Array.for_all
+               (fun (b : Dbp_core.Packing.bin_record) ->
+                 Rat.(b.Dbp_core.Packing.max_level <= b.Dbp_core.Packing.capacity))
+               shallow.Fleet.packing.Dbp_core.Packing.bins);
+          Table.add_row table
+            [
+              Int64.to_string seed;
+              shallow.Fleet.strategy_label;
+              fmt_rat shallow.Fleet.dollar_cost;
+              fmt_rat deep.Fleet.dollar_cost;
+              string_of_int (Dbp_core.Packing.bins_used shallow.Fleet.packing);
+              string_of_int shallow.Fleet.packing.Dbp_core.Packing.max_bins;
+            ])
+        rows;
+      match rows with
+      | (small_s, small_d) :: _ :: (xl_s, xl_d) :: _ ->
+          (* shallow discount: fine-grained scale-down beats the bulk
+             discount - small fleets win ... *)
+          check c Rat.(small_s.Fleet.dollar_cost < xl_s.Fleet.dollar_cost);
+          (* ... while a 30% discount flips the ordering: consolidation
+             onto big boxes wins despite the coarser granularity *)
+          check c Rat.(xl_d.Fleet.dollar_cost < small_d.Fleet.dollar_cost)
+      | _ -> check c false)
+    seeds;
+  let total, failed = totals c in
+  {
+    experiment = "E15";
+    artefact = "Heterogeneous fleets: granularity vs bulk discount (extension)";
+    tables = [ table ];
+    charts = [];
+    checks_total = total;
+    checks_failed = failed;
+  }

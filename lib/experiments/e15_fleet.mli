@@ -1,0 +1,10 @@
+(** E15 — extension: heterogeneous server fleets.
+
+    The paper assumes one server type; real catalogs price bigger GPUs
+    sub-linearly.  This experiment dispatches the same gaming trace
+    onto single-type fleets of each size and onto mixed fleets
+    (smallest-fitting / always-largest launch strategies) and compares
+    dollar cost — quantifying when consolidation onto big boxes beats
+    a fleet of small ones. *)
+
+val run : unit -> Exp_common.outcome

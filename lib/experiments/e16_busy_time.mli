@@ -1,0 +1,11 @@
+(** E16 — extension: the busy-time scheduling connection.
+
+    The related-work section cites Flammini et al.: minimising total
+    machine busy time with bounded parallelism [g] — which is exactly
+    offline MinTotal DBP with equal sizes [1/g] (and known intervals).
+    This experiment runs our offline heuristics on unit-size workloads:
+    the duration-sorted first fit ({!Dbp_offline.Offline_heuristic.longest_first},
+    the Flammini-style greedy) against the paper-style lower bounds,
+    checking it stays within the literature's constant factor 4. *)
+
+val run : unit -> Exp_common.outcome

@@ -1,0 +1,84 @@
+open Dbp_num
+open Dbp_core
+open Dbp_cloudgaming
+open Dbp_analysis
+open Exp_common
+
+let seeds = List.init 20 (fun i -> Int64.of_int (1000 + i))
+
+let profile =
+  { Gaming_workload.default_profile with
+    Gaming_workload.duration_hours = 8.0;
+    base_rate = 30.0 }
+
+let policy_set =
+  [
+    ("first_fit", First_fit.policy);
+    ("best_fit", Best_fit.policy);
+    ("worst_fit", Worst_fit.policy);
+    ("next_fit", Next_fit.policy);
+    ("mff(8)", Modified_first_fit.policy_mu_oblivious);
+  ]
+
+let run () =
+  let c = counter () in
+  (* overhead vs the offline lower bound, per policy, across seeds *)
+  let samples = Hashtbl.create 8 in
+  List.iter
+    (fun seed ->
+      let requests = Gaming_workload.generate ~seed profile in
+      if requests <> [] then
+        List.iter
+          (fun (name, policy) ->
+            let report = Dispatcher.dispatch ~policy requests in
+            let overhead =
+              Rat.to_float
+                (Rat.div report.Dispatcher.server_hours
+                   report.Dispatcher.offline_lower_bound)
+            in
+            check c (overhead >= 1.0);
+            let prev = Option.value ~default:[] (Hashtbl.find_opt samples name) in
+            Hashtbl.replace samples name (overhead :: prev))
+          policy_set)
+    seeds;
+  let table =
+    Table.create
+      ~title:
+        (Printf.sprintf
+           "E17: cost overhead vs offline LB, %d seeds x 8h gaming traces \
+            (mean +- 95%% CI)"
+           (List.length seeds))
+      ~columns:[ "policy"; "mean overhead"; "95% CI"; "min"; "max" ]
+  in
+  let summary name =
+    Stats.summarise (Hashtbl.find samples name)
+  in
+  List.iter
+    (fun (name, _) ->
+      let s = summary name in
+      check c (s.Stats.count = List.length seeds);
+      Table.add_row table
+        [
+          name;
+          Printf.sprintf "%.3f" s.Stats.mean;
+          Printf.sprintf "+-%.3f" s.Stats.ci95_half_width;
+          Printf.sprintf "%.3f" s.Stats.minimum;
+          Printf.sprintf "%.3f" s.Stats.maximum;
+        ])
+    policy_set;
+  (* The E7 ordering must hold in the means with CI separation for the
+     clear-cut gaps. *)
+  let mean name = (summary name).Stats.mean in
+  let ci name = (summary name).Stats.ci95_half_width in
+  check c (mean "first_fit" +. ci "first_fit" < mean "worst_fit" -. ci "worst_fit");
+  check c (mean "best_fit" +. ci "best_fit" < mean "next_fit" -. ci "next_fit");
+  check c (mean "mff(8)" < mean "worst_fit");
+  let total, failed = totals c in
+  {
+    experiment = "E17";
+    artefact = "Statistical robustness of the dispatch comparison (extension)";
+    tables = [ table ];
+    charts = [];
+    checks_total = total;
+    checks_failed = failed;
+  }

@@ -1,0 +1,9 @@
+(** E17 — extension: statistical robustness of the cost comparison.
+
+    E7 reports one 24 h trace.  This experiment repeats the dispatch
+    comparison over 20 independent seeds and reports mean cost
+    overheads (vs the per-trace offline lower bound) with 95%
+    confidence intervals, confirming the E7 ordering — FF ≈ BF ≈
+    known-μ MFF < MFF(8) < WF < NF — is not a single-seed artefact. *)
+
+val run : unit -> Exp_common.outcome

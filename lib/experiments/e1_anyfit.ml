@@ -1,0 +1,73 @@
+open Dbp_num
+open Dbp_core
+open Dbp_adversary
+open Dbp_analysis
+open Exp_common
+
+let mus = [ 2; 5; 10; 20 ]
+let ks = [ 2; 4; 8; 16; 32; 64 ]
+
+let run () =
+  let c = counter () in
+  let table =
+    Table.create ~title:"E1: Any Fit vs the Figure 2 adversary (policy = FF)"
+      ~columns:[ "mu"; "k"; "measured ratio"; "eq (1) k*mu/(k+mu-1)"; "bound mu"; "exact match" ]
+  in
+  let series =
+    List.map
+      (fun mu_i ->
+        let mu = Rat.of_int mu_i in
+        let points =
+          List.map
+            (fun k ->
+              let result = Anyfit_lb.run ~k ~mu () in
+              let expected = Theorem_bounds.anyfit_construction_ratio ~k ~mu in
+              let matches = Rat.equal result.Anyfit_lb.ratio_lower expected in
+              check c matches;
+              check c Rat.(result.Anyfit_lb.ratio_lower <= mu);
+              Table.add_row table
+                [
+                  string_of_int mu_i;
+                  string_of_int k;
+                  fmt_exact result.Anyfit_lb.ratio_lower;
+                  fmt_exact expected;
+                  string_of_int mu_i;
+                  (if matches then "yes" else "NO");
+                ];
+              (float_of_int k, Rat.to_float result.Anyfit_lb.ratio_lower))
+            ks
+        in
+        (Printf.sprintf "mu=%d" mu_i, points))
+      mus
+  in
+  (* The same construction traps every deterministic Any Fit policy. *)
+  let cross_policy =
+    Table.create ~title:"E1b: same trap, all deterministic Any Fit policies (mu=10, k=16)"
+      ~columns:[ "policy"; "measured ratio"; "eq (1)" ]
+  in
+  let mu = Rat.of_int 10 in
+  List.iter
+    (fun policy ->
+      let result = Anyfit_lb.run ~policy ~k:16 ~mu () in
+      let expected = Theorem_bounds.anyfit_construction_ratio ~k:16 ~mu in
+      check c (Rat.equal result.Anyfit_lb.ratio_lower expected);
+      Table.add_row cross_policy
+        [
+          policy.Policy.name;
+          fmt_exact result.Anyfit_lb.ratio_lower;
+          fmt_exact expected;
+        ])
+    (Algorithms.any_fit_family ());
+  let chart =
+    Chart.render ~title:"E1: ratio -> mu as k grows (x = k, y = ratio)"
+      ~series ()
+  in
+  let total, failed = totals c in
+  {
+    experiment = "E1";
+    artefact = "Theorem 1 / Figure 2 (Any Fit lower bound mu)";
+    tables = [ table; cross_policy ];
+    charts = [ chart ];
+    checks_total = total;
+    checks_failed = failed;
+  }

@@ -1,0 +1,8 @@
+(** E1 — Theorem 1 / Figure 2: the Any Fit lower bound construction.
+
+    Regenerates the ratio curve of the adversarial construction: the
+    measured [AF_total/OPT_total] equals [k mu / (k + mu - 1)] exactly
+    and climbs to [mu] as [k] grows, for every deterministic Any Fit
+    policy. *)
+
+val run : unit -> Exp_common.outcome

@@ -1,0 +1,61 @@
+open Dbp_num
+open Dbp_core
+open Dbp_adversary
+open Dbp_analysis
+open Exp_common
+
+let ks = [ 2; 4; 6; 8; 10 ]
+let mu = Rat.two
+
+let run () =
+  let c = counter () in
+  let table =
+    Table.create ~title:"E2: Best Fit on the Figure 3 adversary (mu = 2)"
+      ~columns:
+        [ "k"; "iterations"; "items"; "BF cost"; "OPT upper"; "BF ratio >="
+        ; "k/2"; "FF cost on same instance" ]
+  in
+  let points = ref [] and half_points = ref [] in
+  List.iter
+    (fun k ->
+      let iterations = Bestfit_unbounded.paper_iterations ~k ~mu + 1 in
+      let result = Bestfit_unbounded.run ~k ~mu ~iterations () in
+      let ratio = result.Bestfit_unbounded.ratio_lower in
+      check c Rat.(ratio >= Rat.make k 2);
+      check c
+        (Rat.equal result.Bestfit_unbounded.mu_realised mu);
+      (* First Fit replays the recorded instance obliviously: the trap
+         is Best Fit specific, FF stays near OPT. *)
+      let ff =
+        Simulator.run ~policy:First_fit.policy result.Bestfit_unbounded.instance
+      in
+      check c Rat.(ff.Packing.total_cost < result.Bestfit_unbounded.algorithm_cost);
+      Table.add_row table
+        [
+          string_of_int k;
+          string_of_int iterations;
+          string_of_int result.Bestfit_unbounded.items_total;
+          fmt_rat result.Bestfit_unbounded.algorithm_cost;
+          fmt_rat result.Bestfit_unbounded.opt_upper;
+          fmt_rat ratio;
+          fmt_rat (Rat.make k 2);
+          fmt_rat ff.Packing.total_cost;
+        ];
+      points := (float_of_int k, Rat.to_float ratio) :: !points;
+      half_points := (float_of_int k, float_of_int k /. 2.0) :: !half_points)
+    ks;
+  let chart =
+    Chart.render ~title:"E2: BF forced ratio grows linearly in k (mu fixed)"
+      ~series:
+        [ ("BF ratio", List.rev !points); ("k/2", List.rev !half_points) ]
+      ()
+  in
+  let total, failed = totals c in
+  {
+    experiment = "E2";
+    artefact = "Theorem 2 / Figure 3 (Best Fit unbounded)";
+    tables = [ table ];
+    charts = [ chart ];
+    checks_total = total;
+    checks_failed = failed;
+  }

@@ -1,0 +1,8 @@
+(** E2 — Theorem 2 / Figure 3: Best Fit is unbounded.
+
+    Regenerates the forced-ratio growth: on the adaptive construction
+    the measured [BF_total/OPT_total] exceeds [k/2] once the iteration
+    count passes the paper's threshold, and grows without bound in [k]
+    while First Fit, replaying the very same instance, stays cheap. *)
+
+val run : unit -> Exp_common.outcome

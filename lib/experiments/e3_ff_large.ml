@@ -1,0 +1,51 @@
+open Dbp_num
+open Dbp_core
+open Dbp_workload
+open Dbp_analysis
+open Exp_common
+
+let ks = [ 2; 3; 4; 8 ]
+let seeds = [ 11L; 12L; 13L ]
+
+let run () =
+  let c = counter () in
+  let table =
+    Table.create ~title:"E3: First Fit, all sizes >= W/k (Theorem 3 bound k)"
+      ~columns:[ "k"; "seed"; "mu"; "FF ratio"; "bound k"; "verdict" ]
+  in
+  List.iter
+    (fun k ->
+      List.iter
+        (fun seed ->
+          let spec =
+            Spec.large_items
+              (Spec.with_target_mu { Spec.default with Spec.count = 120 } ~mu:6.0)
+              ~k
+          in
+          let instance = Generator.generate ~seed spec in
+          check c (Instance.sizes_at_least instance
+                     (Rat.div (Instance.capacity instance) (Rat.of_int k)));
+          let ratio = measure_policy ~policy:First_fit.policy instance in
+          let bound = Theorem_bounds.ff_large ~k:(Rat.of_int k) in
+          let verdict = Ratio.check_bound ratio ~bound in
+          check c (verdict <> Ratio.Violated);
+          Table.add_row table
+            [
+              string_of_int k;
+              Int64.to_string seed;
+              fmt_rat (Instance.mu instance);
+              fmt_rat ratio.Ratio.ratio_upper;
+              string_of_int k;
+              Ratio.verdict_to_string verdict;
+            ])
+        seeds)
+    ks;
+  let total, failed = totals c in
+  {
+    experiment = "E3";
+    artefact = "Theorem 3 (FF <= k OPT on large items)";
+    tables = [ table ];
+    charts = [];
+    checks_total = total;
+    checks_failed = failed;
+  }

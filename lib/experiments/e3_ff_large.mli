@@ -1,0 +1,7 @@
+(** E3 — Theorem 3: First Fit on all-large items.
+
+    On workloads whose sizes are all [>= W/k], the measured First Fit
+    ratio never exceeds [k] (and is usually far below it — the [k]
+    bound is worst-case). *)
+
+val run : unit -> Exp_common.outcome

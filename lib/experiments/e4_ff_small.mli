@@ -1,0 +1,10 @@
+(** E4 — Theorem 4 / Figures 4–8 / Table 2: First Fit on all-small
+    items, with the full decomposition machinery executed and checked
+    on every run.
+
+    For each (k, mu) cell: the measured FF ratio against the
+    [k/(k-1) mu + 6k/(k-1) + 1] bound, plus the decomposition
+    statistics (sub-periods, joint/single/non-intersecting charges) and
+    the count of feature/lemma/inequality violations — expected 0. *)
+
+val run : unit -> Exp_common.outcome

@@ -1,0 +1,70 @@
+open Dbp_num
+open Dbp_core
+open Dbp_workload
+open Dbp_analysis
+open Exp_common
+
+let mus = [ 1.0; 2.0; 4.0; 8.0; 16.0 ]
+let seeds = [ 31L; 32L; 33L ]
+
+let run () =
+  let c = counter () in
+  let table =
+    Table.create ~title:"E5: First Fit general case (Theorem 5 bound 2mu+13)"
+      ~columns:
+        [ "target mu"; "seed"; "realised mu"; "FF ratio"; "bound 2mu+13";
+          "verdict"; "ineq (14)/(15) violations" ]
+  in
+  let measured = ref [] and bounds = ref [] in
+  List.iter
+    (fun mu_f ->
+      let per_seed =
+        List.map
+          (fun seed ->
+            let spec =
+              Spec.with_target_mu { Spec.default with Spec.count = 120 } ~mu:mu_f
+            in
+            let instance = Generator.generate ~seed spec in
+            let packing = Simulator.run ~policy:First_fit.policy instance in
+            let ratio = Ratio.measure packing in
+            let mu = Instance.mu instance in
+            let bound = Theorem_bounds.ff_general ~mu in
+            let verdict = Ratio.check_bound ratio ~bound in
+            check c (verdict <> Ratio.Violated);
+            let report = Ff_decomposition.analyse packing in
+            check c (report.Ff_decomposition.violations = []);
+            Table.add_row table
+              [
+                Printf.sprintf "%.0f" mu_f;
+                Int64.to_string seed;
+                fmt_rat mu;
+                fmt_rat ratio.Ratio.ratio_upper;
+                fmt_rat bound;
+                Ratio.verdict_to_string verdict;
+                string_of_int (List.length report.Ff_decomposition.violations);
+              ];
+            Rat.to_float ratio.Ratio.ratio_upper)
+          seeds
+      in
+      let avg =
+        List.fold_left ( +. ) 0.0 per_seed /. float_of_int (List.length per_seed)
+      in
+      measured := (mu_f, avg) :: !measured;
+      bounds := (mu_f, (2.0 *. mu_f) +. 13.0) :: !bounds)
+    mus;
+  let chart =
+    Chart.render
+      ~title:"E5: FF measured ratio (avg) vs Theorem 5 bound (x = mu)"
+      ~series:
+        [ ("measured", List.rev !measured); ("2mu+13", List.rev !bounds) ]
+      ()
+  in
+  let total, failed = totals c in
+  {
+    experiment = "E5";
+    artefact = "Theorem 5 (FF <= 2mu+13 in general)";
+    tables = [ table ];
+    charts = [ chart ];
+    checks_total = total;
+    checks_failed = failed;
+  }

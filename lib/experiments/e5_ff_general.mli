@@ -1,0 +1,8 @@
+(** E5 — Theorem 5: First Fit in the general (mixed-size) case.
+
+    Sweeps the target [mu] and plots the measured First Fit ratio
+    between the paper's two envelopes: the Theorem 1 lower bound [mu]
+    (worst-case, adversarial — random loads sit well below it) and the
+    Theorem 5 upper bound [2 mu + 13]. *)
+
+val run : unit -> Exp_common.outcome

@@ -1,0 +1,8 @@
+(** E6 — Section 4.4: Modified First Fit.
+
+    Head-to-head of FF, BF, MFF(k=8) and the semi-online MFF(k=mu+7)
+    on mixed random workloads across a [mu] sweep, checking the
+    [8/7 mu + 55/7] and [mu + 8] bounds; plus the adversarial stress
+    test: MFF replaying the Theorem 1 instance. *)
+
+val run : unit -> Exp_common.outcome

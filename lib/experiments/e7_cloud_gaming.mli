@@ -1,0 +1,8 @@
+(** E7 — Section 1: the cloud gaming cost study.
+
+    The paper's motivating scenario end-to-end: a synthetic 24 h
+    OnLive/Gaikai-style request trace dispatched by each policy onto
+    rented game servers, reporting dollar cost, fleet sizes and GPU
+    utilisation against the offline lower bound. *)
+
+val run : unit -> Exp_common.outcome

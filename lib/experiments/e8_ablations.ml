@@ -1,0 +1,85 @@
+open Dbp_num
+open Dbp_core
+open Dbp_cloudgaming
+open Dbp_analysis
+open Exp_common
+
+let seed = 61L
+
+let profile =
+  { Gaming_workload.default_profile with
+    Gaming_workload.duration_hours = 12.0;
+    base_rate = 40.0 }
+
+let run () =
+  let c = counter () in
+  let requests = Gaming_workload.generate ~seed profile in
+  (* (a) threshold sweep *)
+  let sweep =
+    Table.create ~title:"E8a: MFF threshold sweep (gaming trace)"
+      ~columns:[ "k"; "server-hours"; "vs FF" ]
+  in
+  let ff = Dispatcher.dispatch ~policy:First_fit.policy requests in
+  let ff_hours = ff.Dispatcher.server_hours in
+  let points = ref [] in
+  List.iter
+    (fun k ->
+      let report =
+        Dispatcher.dispatch
+          ~policy:(Modified_first_fit.policy ~k:(Rat.of_int k))
+          requests
+      in
+      let hours = report.Dispatcher.server_hours in
+      check c Rat.(hours >= report.Dispatcher.offline_lower_bound);
+      Table.add_row sweep
+        [
+          string_of_int k;
+          fmt_rat hours;
+          fmt_rat (Rat.div hours ff_hours);
+        ];
+      points := (float_of_int k, Rat.to_float hours) :: !points)
+    [ 2; 3; 4; 6; 8; 10; 12; 16 ];
+  let chart =
+    Chart.render ~title:"E8a: MFF cost vs threshold k (gaming trace)"
+      ~series:[ ("server-hours", List.rev !points) ]
+      ()
+  in
+  (* (b) billing granularity *)
+  let billing =
+    Table.create ~title:"E8b: exact vs per-started-hour billing"
+      ~columns:[ "policy"; "exact cost"; "hourly cost"; "overhead" ]
+  in
+  List.iter
+    (fun policy ->
+      let exact =
+        Dispatcher.dispatch ~billing:(Billing.exact ~rate:Rat.one) ~policy
+          requests
+      in
+      let hourly =
+        Dispatcher.dispatch ~billing:(Billing.hourly ~rate_per_hour:Rat.one)
+          ~policy requests
+      in
+      check c
+        Rat.(hourly.Dispatcher.dollar_cost >= exact.Dispatcher.dollar_cost);
+      Table.add_row billing
+        [
+          policy.Policy.name;
+          fmt_rat exact.Dispatcher.dollar_cost;
+          fmt_rat hourly.Dispatcher.dollar_cost;
+          Printf.sprintf "+%.1f%%"
+            (100.0
+            *. (Rat.to_float
+                  (Rat.div hourly.Dispatcher.dollar_cost
+                     exact.Dispatcher.dollar_cost)
+               -. 1.0));
+        ])
+    [ First_fit.policy; Best_fit.policy; Modified_first_fit.policy_mu_oblivious ];
+  let total, failed = totals c in
+  {
+    experiment = "E8";
+    artefact = "Ablations (MFF threshold, billing granularity)";
+    tables = [ sweep; billing ];
+    charts = [ chart ];
+    checks_total = total;
+    checks_failed = failed;
+  }

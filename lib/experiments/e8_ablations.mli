@@ -1,0 +1,9 @@
+(** E8 — Ablations.
+
+    (a) MFF threshold sweep: cost of MFF(k) for k in 2..16 on gaming
+    traces, situating the paper's mu-oblivious choice k = 8.
+    (b) Billing granularity: exact (the paper's model) vs per-started-
+    hour pricing for every policy, quantifying how much the simplified
+    cost model understates a real bill. *)
+
+val run : unit -> Exp_common.outcome

@@ -1,0 +1,10 @@
+(** E9 — extension: the constrained DBP problem of Section 5 (future
+    work in the paper).
+
+    Sweeps the latency budget on a gaming-style workload dispatched
+    across four datacenter regions: tighter constraints shrink the
+    allowed sets, fragment the load and raise cost relative to the
+    unconstrained dispatcher, while the single-region lower bound
+    certifies how much of that is inherent. *)
+
+val run : unit -> Exp_common.outcome

@@ -1,0 +1,41 @@
+open Dbp_num
+open Dbp_core
+open Dbp_analysis
+
+type outcome = {
+  experiment : string;
+  artefact : string;
+  tables : Table.t list;
+  charts : string list;
+  checks_total : int;
+  checks_failed : int;
+}
+
+let fmt_rat x = Printf.sprintf "%.4g" (Rat.to_float x)
+let fmt_exact = Rat.to_string
+
+let measure_policy ?node_budget ~policy instance =
+  Ratio.measure ?node_budget (Simulator.run ~policy instance)
+
+type check_counter = { mutable total : int; mutable failed : int }
+
+let counter () = { total = 0; failed = 0 }
+
+let check c ok =
+  c.total <- c.total + 1;
+  if not ok then c.failed <- c.failed + 1
+
+let totals c = (c.total, c.failed)
+
+let render_outcome o =
+  let buf = Buffer.create 2048 in
+  Buffer.add_string buf
+    (Printf.sprintf "==== %s: %s ====\n" o.experiment o.artefact);
+  List.iter (fun t -> Buffer.add_string buf (Table.render t ^ "\n")) o.tables;
+  List.iter (fun c -> Buffer.add_string buf (c ^ "\n")) o.charts;
+  Buffer.add_string buf
+    (Printf.sprintf "%s verdict: %d/%d checks passed%s\n" o.experiment
+       (o.checks_total - o.checks_failed)
+       o.checks_total
+       (if o.checks_failed = 0 then "" else "  <-- FAILURES"));
+  Buffer.contents buf

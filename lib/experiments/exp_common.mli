@@ -1,0 +1,37 @@
+(** Shared infrastructure for the E1–E17 experiments (see DESIGN.md's
+    per-experiment index).  Each experiment module exposes a [run]
+    returning {!outcome}: the tables/charts that regenerate the
+    corresponding paper artefact, plus a pass/fail verdict aggregate
+    that the benchmark harness and CI assert on. *)
+
+open Dbp_num
+open Dbp_core
+
+type outcome = {
+  experiment : string;  (** e.g. ["E1"]. *)
+  artefact : string;  (** The paper artefact it reproduces. *)
+  tables : Dbp_analysis.Table.t list;
+  charts : string list;  (** Pre-rendered ASCII charts. *)
+  checks_total : int;
+  checks_failed : int;  (** 0 on a healthy run. *)
+}
+
+val fmt_rat : Rat.t -> string
+(** 4-significant-digit decimal rendering for table cells. *)
+
+val fmt_exact : Rat.t -> string
+(** Exact rational rendering. *)
+
+val measure_policy :
+  ?node_budget:int -> policy:Policy.t -> Instance.t -> Dbp_analysis.Ratio.t
+(** Run the policy and measure its competitive ratio against OPT. *)
+
+type check_counter
+
+val counter : unit -> check_counter
+val check : check_counter -> bool -> unit
+val totals : check_counter -> int * int
+(** (total, failed). *)
+
+val render_outcome : outcome -> string
+(** Human-readable block: tables, charts and the verdict line. *)

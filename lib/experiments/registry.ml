@@ -1,0 +1,28 @@
+let experiments : (string * (unit -> Exp_common.outcome)) list =
+  [
+    ("e1", E1_anyfit.run);
+    ("e2", E2_bestfit.run);
+    ("e3", E3_ff_large.run);
+    ("e4", E4_ff_small.run);
+    ("e5", E5_ff_general.run);
+    ("e6", E6_mff.run);
+    ("e7", E7_cloud_gaming.run);
+    ("e8", E8_ablations.run);
+    ("e9", E9_constrained.run);
+    ("e10", E10_objectives.run);
+    ("e11", E11_migration.run);
+    ("e12", E12_offline.run);
+    ("e13", E13_unit_fractions.run);
+    ("e14", E14_predictions.run);
+    ("e15", E15_fleet.run);
+    ("e16", E16_busy_time.run);
+    ("e17", E17_seed_sweep.run);
+  ]
+
+let all_names = List.map (fun (n, _) -> String.uppercase_ascii n) experiments
+
+let run name =
+  List.assoc_opt (String.lowercase_ascii name) experiments
+  |> Option.map (fun f -> f ())
+
+let run_all () = List.map (fun (_, f) -> f ()) experiments

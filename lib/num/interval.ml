@@ -1,0 +1,62 @@
+type t = { lo : Rat.t; hi : Rat.t }
+
+let make lo hi =
+  if Rat.(hi < lo) then invalid_arg "Interval.make: hi < lo"
+  else { lo; hi }
+
+let lo t = t.lo
+let hi t = t.hi
+let length t = Rat.sub t.hi t.lo
+let is_empty t = Rat.equal t.lo t.hi
+let contains t x = Rat.(t.lo <= x) && Rat.(x <= t.hi)
+let contains_interval outer inner =
+  Rat.(outer.lo <= inner.lo) && Rat.(inner.hi <= outer.hi)
+
+let overlaps a b = Rat.(a.lo <= b.hi) && Rat.(b.lo <= a.hi)
+
+let overlaps_open a b =
+  Rat.(Rat.max a.lo b.lo < Rat.min a.hi b.hi)
+
+let intersect a b =
+  let lo = Rat.max a.lo b.lo and hi = Rat.min a.hi b.hi in
+  if Rat.(lo <= hi) then Some { lo; hi } else None
+
+let hull a b = { lo = Rat.min a.lo b.lo; hi = Rat.max a.hi b.hi }
+let shift t d = { lo = Rat.add t.lo d; hi = Rat.add t.hi d }
+let equal a b = Rat.equal a.lo b.lo && Rat.equal a.hi b.hi
+
+let compare a b =
+  let c = Rat.compare a.lo b.lo in
+  if c <> 0 then c else Rat.compare a.hi b.hi
+
+let merge_overlapping intervals =
+  let sorted = List.sort compare intervals in
+  let rec go acc = function
+    | [] -> List.rev acc
+    | iv :: rest -> (
+        match acc with
+        | cur :: acc' when Rat.(iv.lo <= cur.hi) ->
+            go ({ cur with hi = Rat.max cur.hi iv.hi } :: acc') rest
+        | _ -> go (iv :: acc) rest)
+  in
+  go [] sorted
+
+let union_measure intervals =
+  merge_overlapping intervals |> List.map length |> Rat.sum
+
+let measure_difference a b =
+  let a = merge_overlapping a and b = merge_overlapping b in
+  let overlap =
+    List.fold_left
+      (fun acc ia ->
+        List.fold_left
+          (fun acc ib ->
+            match intersect ia ib with
+            | Some iv -> Rat.add acc (length iv)
+            | None -> acc)
+          acc b)
+      Rat.zero a
+  in
+  Rat.sub (Rat.sum (List.map length a)) overlap
+
+let pp fmt t = Format.fprintf fmt "[%a, %a]" Rat.pp t.lo Rat.pp t.hi

@@ -1,0 +1,53 @@
+(** Closed time intervals [[lo, hi]] over exact rationals.
+
+    Items in the MinTotal DBP problem are active over a closed interval
+    [I(r) = [a(r), d(r)]]; bin usage periods are intervals too.  This
+    module also provides the span computation of Figure 1 of the paper:
+    the measure of the union of a set of intervals. *)
+
+type t = { lo : Rat.t; hi : Rat.t }
+
+val make : Rat.t -> Rat.t -> t
+(** [make lo hi].  @raise Invalid_argument if [hi < lo]. *)
+
+val lo : t -> Rat.t
+val hi : t -> Rat.t
+val length : t -> Rat.t
+
+val is_empty : t -> bool
+(** True when [lo = hi] (zero measure). *)
+
+val contains : t -> Rat.t -> bool
+(** Closed membership: [lo <= x <= hi]. *)
+
+val contains_interval : t -> t -> bool
+(** [contains_interval outer inner]. *)
+
+val overlaps : t -> t -> bool
+(** True when the two closed intervals share at least one point. *)
+
+val overlaps_open : t -> t -> bool
+(** True when the intervals share a set of positive measure, i.e. their
+    open interiors intersect.  Two intervals that merely touch at an
+    endpoint do not [overlaps_open]. *)
+
+val intersect : t -> t -> t option
+val hull : t -> t -> t
+val shift : t -> Rat.t -> t
+val equal : t -> t -> bool
+val compare : t -> t -> int
+(** Orders by [lo], then by [hi]. *)
+
+val union_measure : t list -> Rat.t
+(** Measure (total length) of the union of the intervals — the
+    [span] of Figure 1 when applied to item intervals. *)
+
+val merge_overlapping : t list -> t list
+(** Canonical disjoint decomposition of the union, sorted by [lo].
+    Intervals that merely touch are merged. *)
+
+val measure_difference : t list -> t list -> Rat.t
+(** [measure_difference a b]: measure of (union of [a]) minus (union of
+    [b]) — the amount of [a]'s coverage not already covered by [b]. *)
+
+val pp : Format.formatter -> t -> unit

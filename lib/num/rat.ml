@@ -1,0 +1,172 @@
+type t = { num : int; den : int }
+
+exception Overflow
+
+(* Overflow-checked native integer arithmetic.  [min_int] is excluded
+   from the representable range so that [abs]/[neg] are total. *)
+
+let add_exn a b =
+  let s = a + b in
+  if (a >= 0 && b >= 0 && s < 0) || (a < 0 && b < 0 && s >= 0) then
+    raise Overflow
+  else s
+
+let mul_exn a b =
+  if a = 0 || b = 0 then 0
+  else
+    let p = a * b in
+    if p / b <> a || a = min_int || b = min_int then raise Overflow else p
+
+let rec gcd a b = if b = 0 then a else gcd b (a mod b)
+let gcd a b = gcd (Stdlib.abs a) (Stdlib.abs b)
+
+let zero = { num = 0; den = 1 }
+let one = { num = 1; den = 1 }
+let two = { num = 2; den = 1 }
+let minus_one = { num = -1; den = 1 }
+
+let make num den =
+  if den = 0 then raise Division_by_zero
+  else if num = min_int || den = min_int then raise Overflow
+  else
+    let num, den = if den < 0 then (-num, -den) else (num, den) in
+    if num = 0 then zero
+    else
+      let g = gcd num den in
+      { num = num / g; den = den / g }
+
+let of_int n = if n = min_int then raise Overflow else { num = n; den = 1 }
+let num t = t.num
+let den t = t.den
+
+(* a/b + c/d with cross-reduction of the denominators:
+   g = gcd(b,d); result = (a*(d/g) + c*(b/g)) / (b/g*d/g*g). *)
+let add x y =
+  let g = gcd x.den y.den in
+  let dx = x.den / g and dy = y.den / g in
+  let n = add_exn (mul_exn x.num dy) (mul_exn y.num dx) in
+  let d = mul_exn (mul_exn dx dy) g in
+  make n d
+
+let neg x = { x with num = -x.num }
+let sub x y = add x (neg y)
+
+(* a/b * c/d with cross-reduction: gcd(a,d) and gcd(c,b) first. *)
+let mul x y =
+  let g1 = gcd x.num y.den and g2 = gcd y.num x.den in
+  let g1 = if g1 = 0 then 1 else g1 and g2 = if g2 = 0 then 1 else g2 in
+  let n = mul_exn (x.num / g1) (y.num / g2) in
+  let d = mul_exn (x.den / g2) (y.den / g1) in
+  make n d
+
+let inv x =
+  if x.num = 0 then raise Division_by_zero
+  else if x.num < 0 then { num = -x.den; den = -x.num }
+  else { num = x.den; den = x.num }
+
+let div x y = mul x (inv y)
+let mul_int x n = mul x (of_int n)
+let div_int x n = div x (of_int n)
+let sum l = List.fold_left add zero l
+
+let to_float_unchecked x = float_of_int x.num /. float_of_int x.den
+
+(* Exact comparison of non-negative a/b vs c/d (b, d > 0) by continued
+   fractions: compare integer parts, then the inverted fractional
+   parts.  Terminates because (b, r1) / (d, r2) shrink as in the
+   Euclidean algorithm; never overflows. *)
+let rec compare_pos a b c d =
+  let q1 = a / b and q2 = c / d in
+  if q1 <> q2 then Stdlib.compare q1 q2
+  else
+    let r1 = a mod b and r2 = c mod d in
+    if r1 = 0 && r2 = 0 then 0
+    else if r1 = 0 then -1
+    else if r2 = 0 then 1
+    else compare_pos d r2 b r1
+
+let compare x y =
+  (* Fast path: cross-multiply when it fits; otherwise the exact
+     continued-fraction comparison (no float fallback — floats would
+     misorder close rationals). *)
+  match (mul_exn x.num y.den, mul_exn y.num x.den) with
+  | a, b -> Stdlib.compare a b
+  | exception Overflow -> (
+      match (Stdlib.compare x.num 0, Stdlib.compare y.num 0) with
+      | sx, sy when sx <> sy -> Stdlib.compare sx sy
+      | 1, _ -> compare_pos x.num x.den y.num y.den
+      | -1, _ -> compare_pos (-y.num) y.den (-x.num) x.den
+      | _ -> 0)
+
+let equal x y = x.num = y.num && x.den = y.den
+let sign x = Stdlib.compare x.num 0
+let min x y = if compare x y <= 0 then x else y
+let max x y = if compare x y >= 0 then x else y
+
+let min_list = function
+  | [] -> invalid_arg "Rat.min_list: empty list"
+  | x :: rest -> List.fold_left min x rest
+
+let max_list = function
+  | [] -> invalid_arg "Rat.max_list: empty list"
+  | x :: rest -> List.fold_left max x rest
+
+let is_zero x = x.num = 0
+let is_integer x = x.den = 1
+
+let floor x =
+  if x.num >= 0 then x.num / x.den
+  else
+    let q = x.num / x.den in
+    if Stdlib.( = ) (x.num mod x.den) 0 then q else Stdlib.( - ) q 1
+
+let ceil x =
+  if x.num <= 0 then x.num / x.den
+  else
+    let q = x.num / x.den in
+    if Stdlib.( = ) (x.num mod x.den) 0 then q else Stdlib.( + ) q 1
+
+let to_float = to_float_unchecked
+
+let of_float ?(den = 1_000_000) f =
+  if not (Float.is_finite f) then invalid_arg "Rat.of_float: not finite"
+  else
+    let scaled = Float.round (f *. float_of_int den) in
+    if Stdlib.( >= ) (Float.abs scaled) 4.0e18 then raise Overflow
+    else make (int_of_float scaled) den
+
+let to_string x =
+  if Stdlib.( = ) x.den 1 then string_of_int x.num
+  else Printf.sprintf "%d/%d" x.num x.den
+
+let of_string s =
+  match String.index_opt s '/' with
+  | None -> (
+      match int_of_string_opt (String.trim s) with
+      | Some n -> of_int n
+      | None -> failwith ("Rat.of_string: " ^ s))
+  | Some i -> (
+      let n = String.trim (String.sub s 0 i) in
+      let d =
+        String.trim
+          (String.sub s (Stdlib.( + ) i 1)
+             (Stdlib.( - ) (String.length s) (Stdlib.( + ) i 1)))
+      in
+      match (int_of_string_opt n, int_of_string_opt d) with
+      | Some n, Some d -> make n d
+      | _ -> failwith ("Rat.of_string: " ^ s))
+
+let pp fmt x = Format.pp_print_string fmt (to_string x)
+let pp_float fmt x = Format.fprintf fmt "%.6g" (to_float x)
+let hash x = Stdlib.( + ) (Hashtbl.hash x.num) (Stdlib.( * ) 31 (Hashtbl.hash x.den))
+let abs x = if Stdlib.( < ) x.num 0 then neg x else x
+
+let ( = ) = equal
+let ( < ) x y = Stdlib.( < ) (compare x y) 0
+let ( <= ) x y = Stdlib.( <= ) (compare x y) 0
+let ( > ) x y = Stdlib.( > ) (compare x y) 0
+let ( >= ) x y = Stdlib.( >= ) (compare x y) 0
+let ( + ) = add
+let ( - ) = sub
+let ( * ) = mul
+let ( / ) = div

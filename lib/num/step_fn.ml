@@ -1,0 +1,136 @@
+(* Canonical representation: a list of (time, value) pairs, strictly
+   increasing in time, with no two consecutive equal values, value 0
+   before the first breakpoint, and final value 0.  The function is
+   right-continuous: the pair (t, v) means "value v on [t, t_next)". *)
+
+type t = (Rat.t * int) list
+
+let empty = []
+
+let canonicalise points =
+  let rec dedup prev = function
+    | [] -> []
+    | (t, v) :: rest ->
+        if v = prev then dedup prev rest else (t, v) :: dedup v rest
+  in
+  dedup 0 points
+
+let of_breakpoints points =
+  let rec check_sorted = function
+    | (t1, _) :: ((t2, _) :: _ as rest) ->
+        if Rat.(t2 <= t1) then
+          invalid_arg "Step_fn.of_breakpoints: unsorted breakpoints"
+        else check_sorted rest
+    | _ -> ()
+  in
+  check_sorted points;
+  (match List.rev points with
+  | (_, v) :: _ when v <> 0 ->
+      invalid_arg "Step_fn.of_breakpoints: final value must be 0"
+  | _ -> ());
+  canonicalise points
+
+let of_deltas events =
+  let sorted =
+    List.sort (fun (t1, _) (t2, _) -> Rat.compare t1 t2) events
+  in
+  (* Merge deltas at equal times, then prefix-sum. *)
+  let rec merge = function
+    | (t1, d1) :: (t2, d2) :: rest when Rat.equal t1 t2 ->
+        merge ((t1, d1 + d2) :: rest)
+    | pt :: rest -> pt :: merge rest
+    | [] -> []
+  in
+  let merged = merge sorted in
+  let acc = ref 0 in
+  let points =
+    List.map
+      (fun (t, d) ->
+        acc := !acc + d;
+        (t, !acc))
+      merged
+  in
+  if !acc <> 0 then invalid_arg "Step_fn.of_deltas: deltas do not cancel"
+  else canonicalise points
+
+let value_at t time =
+  let rec go value = function
+    | [] -> value
+    | (bp, v) :: rest -> if Rat.(bp <= time) then go v rest else value
+  in
+  go 0 t
+
+let integral_pieces t ~clip =
+  (* Fold over consecutive breakpoint pairs, yielding (value, length)
+     pieces, optionally clipped to an interval. *)
+  let rec go acc = function
+    | (t1, v) :: ((t2, _) :: _ as rest) ->
+        let seg = Interval.make t1 t2 in
+        let seg =
+          match clip with
+          | None -> Some seg
+          | Some iv -> Interval.intersect seg iv
+        in
+        let acc =
+          match seg with
+          | Some s -> (v, Interval.length s) :: acc
+          | None -> acc
+        in
+        go acc rest
+    | _ -> acc
+  in
+  go [] t
+
+let integral t =
+  integral_pieces t ~clip:None
+  |> List.map (fun (v, len) -> Rat.mul_int len v)
+  |> Rat.sum
+
+let integral_over t iv =
+  integral_pieces t ~clip:(Some iv)
+  |> List.map (fun (v, len) -> Rat.mul_int len v)
+  |> Rat.sum
+
+let max_value t = List.fold_left (fun m (_, v) -> Stdlib.max m v) 0 t
+
+let support = function
+  | [] -> None
+  | (t0, _) :: _ as points ->
+      let rec last = function
+        | [ (t, _) ] -> t
+        | _ :: rest -> last rest
+        | [] -> assert false
+      in
+      Some (Interval.make t0 (last points))
+
+let measure_positive t =
+  integral_pieces t ~clip:None
+  |> List.filter_map (fun (v, len) -> if v > 0 then Some len else None)
+  |> Rat.sum
+
+let breakpoints t = t
+
+(* Merge the breakpoints of two step functions, combining values with
+   [f].  Used for pointwise addition. *)
+let combine f a b =
+  let times =
+    List.sort_uniq Rat.compare (List.map fst a @ List.map fst b)
+  in
+  List.map (fun time -> (time, f (value_at a time) (value_at b time))) times
+  |> canonicalise
+
+let add a b = combine ( + ) a b
+let scale t k = canonicalise (List.map (fun (time, v) -> (time, v * k)) t)
+
+let map t ~f =
+  if f 0 <> 0 then invalid_arg "Step_fn.map: f 0 must be 0"
+  else canonicalise (List.map (fun (time, v) -> (time, f v)) t)
+
+let equal a b =
+  List.length a = List.length b
+  && List.for_all2 (fun (t1, v1) (t2, v2) -> Rat.equal t1 t2 && v1 = v2) a b
+
+let pp fmt t =
+  Format.fprintf fmt "@[<h>";
+  List.iter (fun (time, v) -> Format.fprintf fmt "%a->%d " Rat.pp time v) t;
+  Format.fprintf fmt "@]"

@@ -1,0 +1,65 @@
+open Dbp_num
+open Dbp_core
+
+type t = {
+  capacity : Rat.t;
+  members : Item.t list;
+  covered : Interval.t list;  (* disjoint, sorted: the union of intervals *)
+  span : Rat.t;
+}
+
+let empty ~capacity =
+  if Rat.sign capacity <= 0 then invalid_arg "Group.empty: capacity <= 0";
+  { capacity; members = []; covered = []; span = Rat.zero }
+
+let items t = t.members
+let size t = List.length t.members
+let span t = t.span
+
+(* Sweep the level over the events of [extra :: members] and report the
+   peak.  Events sorted with departures before arrivals at ties, which
+   matches the simulator's convention. *)
+let peak_with t extra =
+  let deltas =
+    List.concat_map
+      (fun (r : Item.t) ->
+        [ (r.arrival, r.size); (r.departure, Rat.neg r.size) ])
+      (match extra with None -> t.members | Some r -> r :: t.members)
+  in
+  let sorted =
+    List.sort
+      (fun (t1, s1) (t2, s2) ->
+        let c = Rat.compare t1 t2 in
+        if c <> 0 then c else Rat.compare s1 s2)
+      deltas
+  in
+  let level = ref Rat.zero and peak = ref Rat.zero in
+  List.iter
+    (fun (_, s) ->
+      level := Rat.add !level s;
+      if Rat.(!level > !peak) then peak := !level)
+    sorted;
+  !peak
+
+let peak_load t = peak_with t None
+let fits t item = Rat.(peak_with t (Some item) <= t.capacity)
+
+let covered_with t (item : Item.t) =
+  Interval.merge_overlapping (Item.interval item :: t.covered)
+
+let span_increase t item =
+  let merged = covered_with t item in
+  Rat.sub (Rat.sum (List.map Interval.length merged)) t.span
+
+let add t item =
+  if not (fits t item) then invalid_arg "Group.add: item does not fit";
+  let covered = covered_with t item in
+  {
+    t with
+    members = item :: t.members;
+    covered;
+    span = Rat.sum (List.map Interval.length covered);
+  }
+
+let of_items ~capacity items =
+  List.fold_left add (empty ~capacity) items

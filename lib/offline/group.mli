@@ -1,0 +1,38 @@
+(** Item groups: the unit of {e offline, non-migratory} MinTotal
+    packing.
+
+    With full knowledge of arrivals and departures but no migration, a
+    MinTotal solution is exactly a partition of the items into
+    {e feasible groups} — sets whose total active size never exceeds
+    the capacity — and its cost is the sum over groups of the group's
+    {e span} (a bin is open only while some member is active; if a
+    group's activity has a gap the bin closes and a fresh one opens,
+    which costs the same as one bin with a gap).  This module maintains
+    a group incrementally with exact feasibility and span accounting. *)
+
+open Dbp_num
+open Dbp_core
+
+type t
+
+val empty : capacity:Rat.t -> t
+val of_items : capacity:Rat.t -> Item.t list -> t
+(** @raise Invalid_argument if the items are jointly infeasible. *)
+
+val items : t -> Item.t list
+val size : t -> int
+val span : t -> Rat.t
+(** Measure of the union of member intervals: the group's bin cost. *)
+
+val fits : t -> Item.t -> bool
+(** Whether adding the item keeps the peak concurrent load within
+    capacity. *)
+
+val add : t -> Item.t -> t
+(** Persistent add.  @raise Invalid_argument if it does not fit. *)
+
+val span_increase : t -> Item.t -> Rat.t
+(** [span (add t item) - span t] without building the new group. *)
+
+val peak_load : t -> Rat.t
+(** Maximum concurrent total size over time (0 for the empty group). *)

@@ -1,0 +1,91 @@
+open Dbp_num
+open Dbp_core
+
+type result = {
+  lower : Rat.t;
+  upper : Rat.t;
+  exact : bool;
+  solution : Offline_heuristic.solution;
+  nodes : int;
+}
+
+exception Budget_exhausted
+
+let covered_of_groups groups =
+  Interval.merge_overlapping
+    (List.concat_map
+       (fun g -> List.map Item.interval (Group.items g))
+       groups)
+
+let solve ?(node_budget = 500_000) instance =
+  let capacity = Instance.capacity instance in
+  let items =
+    Array.of_list
+      (List.sort Item.compare (Array.to_list (Instance.items instance)))
+  in
+  let n = Array.length items in
+  (* Suffix activity unions, for the uncovered-span prune. *)
+  let suffix_cover = Array.make (n + 1) [] in
+  for i = n - 1 downto 0 do
+    suffix_cover.(i) <-
+      Interval.merge_overlapping
+        (Item.interval items.(i) :: suffix_cover.(i + 1))
+  done;
+  let global_lower = Dbp_opt.Bounds.opt_lower_bound instance in
+  let incumbent = ref (Offline_heuristic.best instance) in
+  let nodes = ref 0 in
+  let rec branch i groups cost =
+    incr nodes;
+    if !nodes > node_budget then raise Budget_exhausted;
+    if i >= n then begin
+      if Rat.(cost < !incumbent.Offline_heuristic.cost) then
+        incumbent := { Offline_heuristic.groups; cost }
+    end
+    else begin
+      let uncovered =
+        Interval.measure_difference suffix_cover.(i) (covered_of_groups groups)
+      in
+      let lb = Rat.max (Rat.add cost uncovered) global_lower in
+      if Rat.(lb >= !incumbent.Offline_heuristic.cost) then ()
+      else begin
+        let item = items.(i) in
+        (* existing groups, cheapest span increase first *)
+        let candidates =
+          List.filter (fun g -> Group.fits g item) groups
+          |> List.map (fun g -> (Group.span_increase g item, g))
+          |> List.sort (fun (a, _) (b, _) -> Rat.compare a b)
+        in
+        List.iter
+          (fun (inc, g) ->
+            let groups' =
+              List.map (fun g' -> if g' == g then Group.add g item else g') groups
+            in
+            branch (i + 1) groups' (Rat.add cost inc))
+          candidates;
+        (* a fresh group *)
+        let fresh = Group.add (Group.empty ~capacity) item in
+        branch (i + 1) (fresh :: groups) (Rat.add cost (Group.span fresh))
+      end
+    end
+  in
+  let exact =
+    match branch 0 [] Rat.zero with
+    | () -> true
+    | exception Budget_exhausted -> false
+  in
+  let upper = !incumbent.Offline_heuristic.cost in
+  {
+    lower = (if exact then upper else global_lower);
+    upper;
+    exact;
+    solution = !incumbent;
+    nodes = !nodes;
+  }
+
+let solve_exn ?node_budget instance =
+  let r = solve ?node_budget instance in
+  if r.exact then r.upper
+  else
+    failwith
+      (Format.asprintf "Offline_exact.solve_exn: budget exhausted in [%a, %a]"
+         Rat.pp r.lower Rat.pp r.upper)

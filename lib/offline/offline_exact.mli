@@ -1,0 +1,34 @@
+(** Exact offline non-migratory MinTotal packing, by branch and bound
+    over group partitions.
+
+    This is the optimum an omniscient dispatcher that still cannot
+    migrate items can reach.  It sits strictly between the paper's
+    repacking optimum [OPT_total] (which may teleport items at every
+    instant) and any online algorithm:
+
+    [OPT_total  <=  offline non-migratory OPT  <=  A_total] for every
+    online algorithm A — both gaps can be strict, and experiment E12
+    measures them.
+
+    Branching follows arrival order (item into each feasible existing
+    group, then a fresh group); nodes are pruned with
+    [current cost + measure(remaining activity not yet covered)] and
+    the global demand bound against the incumbent (initialised from
+    {!Offline_heuristic.best}). *)
+
+open Dbp_num
+open Dbp_core
+
+type result = {
+  lower : Rat.t;  (** Certified lower bound on the offline optimum. *)
+  upper : Rat.t;  (** Cost of the best partition found. *)
+  exact : bool;
+  solution : Offline_heuristic.solution;  (** Achieves [upper]. *)
+  nodes : int;  (** Search nodes explored. *)
+}
+
+val solve : ?node_budget:int -> Instance.t -> result
+(** [node_budget] defaults to 500_000. *)
+
+val solve_exn : ?node_budget:int -> Instance.t -> Rat.t
+(** The exact optimum.  @raise Failure if the budget trips first. *)

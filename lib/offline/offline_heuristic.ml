@@ -1,0 +1,80 @@
+open Dbp_num
+open Dbp_core
+
+type solution = { groups : Group.t list; cost : Rat.t }
+
+let cost_of groups = Rat.sum (List.map Group.span groups)
+let solution groups = { groups; cost = cost_of groups }
+
+let pack ~order ~choose instance =
+  let capacity = Instance.capacity instance in
+  let items = order (Array.to_list (Instance.items instance)) in
+  let place groups item =
+    match choose groups item with
+    | Some g ->
+        List.map (fun g' -> if g' == g then Group.add g item else g') groups
+    | None -> groups @ [ Group.add (Group.empty ~capacity) item ]
+  in
+  solution (List.fold_left place [] items)
+
+let first_feasible groups item =
+  List.find_opt (fun g -> Group.fits g item) groups
+
+let by_arrival items = List.sort Item.compare items
+
+let first_fit_by_arrival instance =
+  pack ~order:by_arrival ~choose:first_feasible instance
+
+let least_span_increase instance =
+  let choose groups item =
+    let candidates = List.filter (fun g -> Group.fits g item) groups in
+    match candidates with
+    | [] -> None
+    | g0 :: rest ->
+        let better g best =
+          Rat.(Group.span_increase g item < Group.span_increase best item)
+        in
+        Some
+          (List.fold_left
+             (fun best g -> if better g best then g else best)
+             g0 rest)
+  in
+  pack ~order:by_arrival ~choose instance
+
+let longest_first instance =
+  let order items =
+    List.sort
+      (fun (a : Item.t) (b : Item.t) ->
+        let c = Rat.compare (Item.length b) (Item.length a) in
+        if c <> 0 then c else Item.compare a b)
+      items
+  in
+  pack ~order ~choose:first_feasible instance
+
+let best instance =
+  let candidates =
+    [
+      first_fit_by_arrival instance;
+      least_span_increase instance;
+      longest_first instance;
+    ]
+  in
+  List.fold_left
+    (fun acc s -> if Rat.(s.cost < acc.cost) then s else acc)
+    (List.hd candidates) (List.tl candidates)
+
+let validate instance { groups; cost } =
+  let fail fmt = Format.kasprintf (fun s -> Error s) fmt in
+  let capacity = Instance.capacity instance in
+  let assigned =
+    List.concat_map (fun g -> List.map (fun (r : Item.t) -> r.id) (Group.items g)) groups
+  in
+  let sorted = List.sort compare assigned in
+  let expected = List.init (Instance.size instance) Fun.id in
+  if sorted <> expected then fail "not a partition of the items"
+  else if
+    List.exists (fun g -> Rat.(Group.peak_load g > capacity)) groups
+  then fail "a group exceeds capacity"
+  else if not (Rat.equal cost (cost_of groups)) then
+    fail "cost does not match the groups"
+  else Ok ()

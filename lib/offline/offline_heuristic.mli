@@ -1,0 +1,35 @@
+(** Offline non-migratory MinTotal heuristics: build a feasible group
+    partition with full knowledge of the item intervals.
+
+    These are the practical "plan tomorrow's fleet from today's
+    reservations" algorithms; {!Offline_exact} gives the true optimum
+    on small instances. *)
+
+open Dbp_num
+open Dbp_core
+
+type solution = { groups : Group.t list; cost : Rat.t }
+
+val first_fit_by_arrival : Instance.t -> solution
+(** Items in arrival order into the first feasible group — the offline
+    analogue of online First Fit.  Not identical to it: a group whose
+    members have all departed stays joinable (online, that bin closed
+    forever), so this variant can bridge activity gaps — sometimes
+    saving a bin, sometimes paying fresh span an online bin would have
+    shared.  Neither dominates the other; E12 measures the difference. *)
+
+val least_span_increase : Instance.t -> solution
+(** Items in arrival order; each goes to the feasible group whose span
+    grows the least (ties to the oldest group), so items nest into
+    already-paid-for time. *)
+
+val longest_first : Instance.t -> solution
+(** Items by decreasing interval length, first-fit into groups: long
+    items frame the bins, short ones fill the gaps — the
+    duration-aware analogue of FFD. *)
+
+val best : Instance.t -> solution
+(** The cheapest of the above. *)
+
+val validate : Instance.t -> solution -> (unit, string) result
+(** Partition exactness, per-group feasibility, cost consistency. *)

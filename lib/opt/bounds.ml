@@ -1,0 +1,30 @@
+open Dbp_num
+open Dbp_core
+
+let demand_bound instance =
+  Rat.div (Instance.total_demand instance) (Instance.capacity instance)
+
+let span_bound = Instance.span
+
+let naive_upper_bound instance =
+  Instance.items instance |> Array.to_list
+  |> List.map Item.length
+  |> Rat.sum
+
+let opt_lower_bound instance =
+  Rat.max (demand_bound instance) (span_bound instance)
+
+let segment_lower_bound instance =
+  let capacity = Instance.capacity instance in
+  let times = Array.of_list (Instance.event_times instance) in
+  let acc = ref Rat.zero in
+  for s = 0 to Array.length times - 2 do
+    let t0 = times.(s) and t1 = times.(s + 1) in
+    let active = Instance.active_at instance t0 in
+    if active <> [] then begin
+      let total = Rat.sum (List.map (fun r -> r.Item.size) active) in
+      let bins = max 1 (Rat.ceil (Rat.div total capacity)) in
+      acc := Rat.add !acc (Rat.mul_int (Rat.sub t1 t0) bins)
+    end
+  done;
+  !acc

@@ -1,0 +1,33 @@
+(** The paper's instance-level cost bounds (Section 4), cost rate
+    [C = 1]:
+
+    - (b.1)  [A_total(R) >= u(R) / W] for any algorithm A — in
+      particular [OPT_total(R) >= u(R)/W];
+    - (b.2)  [A_total(R) >= span(R)];
+    - (b.3)  [A_total(R) <= sum of len(I(r))] for any reasonable
+      algorithm (each item alone in a bin).
+
+    Plus a strictly stronger computable lower bound on [OPT_total]
+    obtained by integrating [max(1 if active, ceil(S(t)/W))] where
+    [S(t)] is the total active size at time [t]. *)
+
+open Dbp_num
+open Dbp_core
+
+val demand_bound : Instance.t -> Rat.t
+(** (b.1): [u(R) / W]. *)
+
+val span_bound : Instance.t -> Rat.t
+(** (b.2): [span(R)]. *)
+
+val naive_upper_bound : Instance.t -> Rat.t
+(** (b.3): [sum of len(I(r))]. *)
+
+val opt_lower_bound : Instance.t -> Rat.t
+(** [max (demand_bound) (span_bound)] — the combination the paper uses
+    to bound [OPT_total] from below in Theorems 4 and 5. *)
+
+val segment_lower_bound : Instance.t -> Rat.t
+(** The integrated per-instant volume bound
+    [integral of max(min(1, |active|), ceil(S(t)/W)) dt].
+    Dominates both (b.1) and (b.2); much cheaper than {!Opt_total}. *)

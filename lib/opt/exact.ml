@@ -1,0 +1,90 @@
+open Dbp_num
+
+type result = Exact of int | Interval of { lower : int; upper : int }
+
+exception Budget_exhausted
+
+let solve ?(node_budget = 200_000) sizes ~capacity =
+  if Size_set.is_empty sizes then Exact 0
+  else begin
+    let items = Array.of_list (Size_set.to_list sizes) in
+    let n = Array.length items in
+    let global_lb = Lower_bound.best sizes ~capacity in
+    let best_ub = ref (Heuristic.best sizes ~capacity) in
+    let nodes = ref 0 in
+    (* Levels of currently open bins, as a mutable stack; [used] is its
+       size.  Suffix totals let the remaining-demand bound be O(1). *)
+    let levels = Array.make n Rat.zero in
+    let suffix_total = Array.make (n + 1) Rat.zero in
+    for i = n - 1 downto 0 do
+      suffix_total.(i) <- Rat.add suffix_total.(i + 1) items.(i)
+    done;
+    let rec branch i used =
+      incr nodes;
+      if !nodes > node_budget then raise Budget_exhausted;
+      if i >= n then best_ub := min !best_ub used
+      else begin
+        (* Prune: even filling all open residual space perfectly, the
+           overflow demand needs ceil(overflow / W) further bins. *)
+        let open_space =
+          let acc = ref Rat.zero in
+          for b = 0 to used - 1 do
+            acc := Rat.add !acc (Rat.sub capacity levels.(b))
+          done;
+          !acc
+        in
+        let overflow = Rat.sub suffix_total.(i) open_space in
+        let lb =
+          used
+          + if Rat.sign overflow > 0 then Rat.ceil (Rat.div overflow capacity) else 0
+        in
+        if lb >= !best_ub then ()
+        else begin
+          let size = items.(i) in
+          (* Try each open bin with a distinct residual. *)
+          let tried = ref [] in
+          for b = 0 to used - 1 do
+            let residual = Rat.sub capacity levels.(b) in
+            if
+              Rat.(size <= residual)
+              && not (List.exists (Rat.equal residual) !tried)
+            then begin
+              tried := residual :: !tried;
+              levels.(b) <- Rat.add levels.(b) size;
+              branch (i + 1) used;
+              levels.(b) <- Rat.sub levels.(b) size
+            end
+          done;
+          (* Try a new bin. *)
+          if used + 1 < !best_ub then begin
+            levels.(used) <- size;
+            branch (i + 1) (used + 1);
+            levels.(used) <- Rat.zero
+          end
+        end
+      end
+    in
+    if global_lb >= !best_ub then Exact !best_ub
+    else
+      match branch 0 0 with
+      | () -> Exact !best_ub
+      | exception Budget_exhausted ->
+          if global_lb = !best_ub then Exact !best_ub
+          else Interval { lower = global_lb; upper = !best_ub }
+  end
+
+let solve_exn ?node_budget sizes ~capacity =
+  match solve ?node_budget sizes ~capacity with
+  | Exact n -> n
+  | Interval { lower; upper } ->
+      failwith
+        (Printf.sprintf "Exact.solve_exn: budget exhausted in [%d, %d]" lower
+           upper)
+
+let lower = function Exact n -> n | Interval { lower; _ } -> lower
+let upper = function Exact n -> n | Interval { upper; _ } -> upper
+let is_exact = function Exact _ -> true | Interval _ -> false
+
+let pp fmt = function
+  | Exact n -> Format.fprintf fmt "%d" n
+  | Interval { lower; upper } -> Format.fprintf fmt "[%d, %d]" lower upper

@@ -1,0 +1,26 @@
+(** Exact bin packing by branch and bound (Martello–Toth style).
+
+    Items are branched in descending size order; at each node the item
+    is tried in every open bin with a {e distinct} residual capacity
+    (symmetry reduction) and then in a new bin.  Nodes are pruned with
+    the L2 lower bound on the remaining items plus bins already open.
+    A node budget keeps worst cases bounded: when exceeded, the result
+    degrades to a certified interval. *)
+
+open Dbp_num
+
+type result =
+  | Exact of int  (** The optimal bin count. *)
+  | Interval of { lower : int; upper : int }
+      (** Node budget exhausted; OPT lies within (inclusive). *)
+
+val solve : ?node_budget:int -> Size_set.t -> capacity:Rat.t -> result
+(** [node_budget] defaults to 200_000 nodes. *)
+
+val solve_exn : ?node_budget:int -> Size_set.t -> capacity:Rat.t -> int
+(** @raise Failure when the budget trips before optimality is proven. *)
+
+val lower : result -> int
+val upper : result -> int
+val is_exact : result -> bool
+val pp : Format.formatter -> result -> unit

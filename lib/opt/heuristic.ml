@@ -1,0 +1,38 @@
+open Dbp_num
+
+(* Both heuristics scan items in descending size order and keep the
+   list of current bin levels. *)
+
+let pack_decreasing ~choose sizes ~capacity =
+  let place levels size =
+    match choose levels ~capacity ~size with
+    | None -> size :: levels
+    | Some picked ->
+        let rec replace = function
+          | [] -> assert false
+          | l :: rest ->
+              if Rat.equal l picked then Rat.add l size :: rest
+              else l :: replace rest
+        in
+        replace levels
+  in
+  List.fold_left place [] (Size_set.to_list sizes) |> List.length
+
+let first_fit_choice levels ~capacity ~size =
+  List.find_opt (fun l -> Rat.(Rat.add l size <= capacity)) levels
+
+let best_fit_choice levels ~capacity ~size =
+  List.filter (fun l -> Rat.(Rat.add l size <= capacity)) levels
+  |> function
+  | [] -> None
+  | l :: rest ->
+      Some (List.fold_left (fun acc x -> if Rat.(x > acc) then x else acc) l rest)
+
+let first_fit_decreasing sizes ~capacity =
+  pack_decreasing ~choose:first_fit_choice sizes ~capacity
+
+let best_fit_decreasing sizes ~capacity =
+  pack_decreasing ~choose:best_fit_choice sizes ~capacity
+
+let best sizes ~capacity =
+  min (first_fit_decreasing sizes ~capacity) (best_fit_decreasing sizes ~capacity)

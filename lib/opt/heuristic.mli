@@ -1,0 +1,13 @@
+(** Static bin packing heuristics: upper bounds for the exact solver
+    and fast stand-ins when an instance segment is too large to solve
+    exactly. *)
+
+open Dbp_num
+
+val first_fit_decreasing : Size_set.t -> capacity:Rat.t -> int
+(** FFD bin count; within 11/9 OPT + 6/9 of optimal. *)
+
+val best_fit_decreasing : Size_set.t -> capacity:Rat.t -> int
+
+val best : Size_set.t -> capacity:Rat.t -> int
+(** Minimum of the heuristics — a valid upper bound on OPT. *)

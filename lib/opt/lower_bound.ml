@@ -1,0 +1,37 @@
+open Dbp_num
+
+let l1 sizes ~capacity =
+  if Size_set.is_empty sizes then 0
+  else Rat.ceil (Rat.div (Size_set.total sizes) capacity)
+
+let l2 sizes ~capacity =
+  if Size_set.is_empty sizes then 0
+  else
+    let all = Size_set.to_list sizes in
+    let half = Rat.div_int capacity 2 in
+    (* Candidate thresholds: every distinct size <= W/2, plus 0. *)
+    let alphas =
+      Rat.zero
+      :: (List.filter (fun s -> Rat.(s <= half)) all
+         |> List.sort_uniq Rat.compare)
+    in
+    let bound_for alpha =
+      let j1 = List.filter (fun s -> Rat.(s > Rat.sub capacity alpha)) all in
+      let j2 =
+        List.filter
+          (fun s -> Rat.(s > half) && Rat.(s <= Rat.sub capacity alpha))
+          all
+      in
+      let j3 =
+        List.filter (fun s -> Rat.(s >= alpha) && Rat.(s <= half)) all
+      in
+      let n2 = List.length j2 in
+      let sum2 = Rat.sum j2 and sum3 = Rat.sum j3 in
+      let slack = Rat.sub (Rat.mul_int capacity n2) sum2 in
+      let overflow = Rat.sub sum3 slack in
+      let extra = if Rat.sign overflow > 0 then Rat.ceil (Rat.div overflow capacity) else 0 in
+      List.length j1 + n2 + extra
+    in
+    List.fold_left (fun acc alpha -> max acc (bound_for alpha)) 0 alphas
+
+let best sizes ~capacity = max (l1 sizes ~capacity) (l2 sizes ~capacity)

@@ -1,0 +1,19 @@
+(** Lower bounds for classical bin packing (Martello & Toth, 1990).
+
+    These make the branch-and-bound solver fast and certify the
+    [lower] side of {!Opt_total} answers when the node budget trips. *)
+
+open Dbp_num
+
+val l1 : Size_set.t -> capacity:Rat.t -> int
+(** The continuous bound [ceil(total / W)] (paper bound (b.1) at a
+    fixed instant). *)
+
+val l2 : Size_set.t -> capacity:Rat.t -> int
+(** The Martello–Toth L2 bound: the maximum over thresholds [alpha] of
+    [|J1| + |J2| + max(0, ceil((sum J3 - (|J2| W - sum J2)) / W))]
+    where J1 are items > W - alpha, J2 items in (W/2, W - alpha],
+    J3 items in [alpha, W/2].  Dominates {!l1}. *)
+
+val best : Size_set.t -> capacity:Rat.t -> int
+(** [max (l1 ...) (l2 ...)]. *)

@@ -1,0 +1,81 @@
+open Dbp_num
+open Dbp_core
+
+type t = {
+  lower : Rat.t;
+  upper : Rat.t;
+  exact : bool;
+  profile : Step_fn.t;
+  segments_total : int;
+  segments_exact : int;
+}
+
+module Memo = Hashtbl.Make (struct
+  type t = Size_set.t
+
+  let equal = Size_set.equal
+  let hash = Size_set.hash
+end)
+
+let compute ?node_budget instance =
+  let capacity = Instance.capacity instance in
+  let times = Array.of_list (Instance.event_times instance) in
+  let memo = Memo.create 256 in
+  let solve sizes =
+    match Memo.find_opt memo sizes with
+    | Some r -> r
+    | None ->
+        let r = Exact.solve ?node_budget sizes ~capacity in
+        Memo.add memo sizes r;
+        r
+  in
+  let n_segments = max 0 (Array.length times - 1) in
+  let lower = ref Rat.zero
+  and upper = ref Rat.zero
+  and exact_count = ref 0
+  and profile_points = ref [] in
+  for s = 0 to n_segments - 1 do
+    let t0 = times.(s) and t1 = times.(s + 1) in
+    let len = Rat.sub t1 t0 in
+    let active = Instance.active_at instance t0 in
+    let result =
+      match active with
+      | [] -> Exact.Exact 0
+      | items ->
+          solve (Size_set.of_sizes (List.map (fun r -> r.Item.size) items))
+    in
+    if Exact.is_exact result then incr exact_count;
+    lower := Rat.add !lower (Rat.mul_int len (Exact.lower result));
+    upper := Rat.add !upper (Rat.mul_int len (Exact.upper result));
+    profile_points := (t0, Exact.upper result) :: !profile_points
+  done;
+  let profile =
+    match times with
+    | [||] -> Step_fn.empty
+    | _ ->
+        Step_fn.of_breakpoints
+          (List.rev ((times.(Array.length times - 1), 0) :: !profile_points))
+  in
+  {
+    lower = !lower;
+    upper = !upper;
+    exact = Rat.equal !lower !upper;
+    profile;
+    segments_total = n_segments;
+    segments_exact = !exact_count;
+  }
+
+let value_exn t =
+  if t.exact then t.lower
+  else
+    failwith
+      (Format.asprintf "Opt_total.value_exn: only bounded in [%a, %a]" Rat.pp
+         t.lower Rat.pp t.upper)
+
+let max_bins t = Step_fn.max_value t.profile
+
+let pp fmt t =
+  if t.exact then Format.fprintf fmt "OPT_total = %a" Rat.pp t.lower
+  else
+    Format.fprintf fmt "OPT_total in [%a, %a] (%d/%d segments exact)" Rat.pp
+      t.lower Rat.pp t.upper t.segments_exact t.segments_total

@@ -1,0 +1,35 @@
+(** The paper's offline reference cost
+    [OPT_total(R) = integral of OPT(R,t) dt] (cost rate [C = 1]).
+
+    [OPT(R,t)] is the minimum number of bins into which the items
+    active at time [t] can be repacked.  Between two consecutive event
+    times the active set is constant, so [OPT(R,t)] is a step function:
+    we solve one static bin packing problem per event segment (with
+    memoisation — neighbouring segments differ by one item) and
+    integrate exactly.  When the exact solver's budget trips on some
+    segment, the result degrades to a certified interval. *)
+
+open Dbp_num
+open Dbp_core
+
+type t = {
+  lower : Rat.t;  (** Certified lower bound on [OPT_total(R)]. *)
+  upper : Rat.t;  (** Certified upper bound. *)
+  exact : bool;  (** [lower = upper]: every segment solved to optimality. *)
+  profile : Step_fn.t;
+      (** The step function [t -> OPT(R,t)] (its upper bound when not
+          exact). *)
+  segments_total : int;
+  segments_exact : int;
+}
+
+val compute : ?node_budget:int -> Instance.t -> t
+
+val value_exn : t -> Rat.t
+(** The exact [OPT_total].  @raise Failure when not {!t.exact}. *)
+
+val max_bins : t -> int
+(** Max over time of (the upper bound of) [OPT(R,t)] — the classical
+    DBP offline objective with repacking. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,118 @@
+open Dbp_num
+open Dbp_core
+
+type t = {
+  cost : Rat.t;
+  migrations : int;
+  migrated_demand : Rat.t;
+  max_bins : int;
+}
+
+(* FFD over (id, size) pairs; returns the per-bin id lists. *)
+let ffd_assign items ~capacity =
+  let sorted =
+    List.sort (fun (_, s1) (_, s2) -> Rat.compare s2 s1) items
+  in
+  let place bins (id, size) =
+    let rec go acc = function
+      | [] -> List.rev ((Rat.sub capacity size, [ id ]) :: acc)
+      | (residual, ids) :: rest ->
+          if Rat.(size <= residual) then
+            List.rev_append acc ((Rat.sub residual size, id :: ids) :: rest)
+          else go ((residual, ids) :: acc) rest
+    in
+    go [] bins
+  in
+  List.fold_left place [] sorted |> List.map snd
+
+(* Greedy identification of new bins with previous bins by largest
+   overlap of surviving items.  Returns item id -> bin identity. *)
+let identify ~prev_assignment bins ~next_identity =
+  let overlap ids =
+    List.fold_left
+      (fun acc id ->
+        match Hashtbl.find_opt prev_assignment id with
+        | Some prev_bin -> (
+            match List.assoc_opt prev_bin acc with
+            | Some n -> (prev_bin, n + 1) :: List.remove_assoc prev_bin acc
+            | None -> (prev_bin, 1) :: acc)
+        | None -> acc)
+      [] ids
+  in
+  (* score each (bin, candidate identity); assign greedily *)
+  let scored =
+    List.concat_map
+      (fun ids ->
+        List.map (fun (identity, n) -> (n, identity, ids)) (overlap ids))
+    bins
+    |> List.sort (fun (n1, _, _) (n2, _, _) -> compare n2 n1)
+  in
+  let taken_identity = Hashtbl.create 16 in
+  let assigned : (int list, int) Hashtbl.t = Hashtbl.create 16 in
+  List.iter
+    (fun (_, identity, ids) ->
+      if
+        (not (Hashtbl.mem taken_identity identity))
+        && not (Hashtbl.mem assigned ids)
+      then begin
+        Hashtbl.add taken_identity identity ();
+        Hashtbl.add assigned ids identity
+      end)
+    scored;
+  let counter = ref next_identity in
+  List.map
+    (fun ids ->
+      match Hashtbl.find_opt assigned ids with
+      | Some identity -> (identity, ids)
+      | None ->
+          let identity = !counter in
+          incr counter;
+          (identity, ids))
+    bins
+  |> fun tagged -> (tagged, !counter)
+
+let compute instance =
+  let capacity = Instance.capacity instance in
+  let times = Array.of_list (Instance.event_times instance) in
+  let prev_assignment : (int, int) Hashtbl.t = Hashtbl.create 64 in
+  let cost = ref Rat.zero in
+  let migrations = ref 0 in
+  let migrated_demand = ref Rat.zero in
+  let max_bins = ref 0 in
+  let next_identity = ref 0 in
+  for s = 0 to Array.length times - 2 do
+    let t0 = times.(s) and t1 = times.(s + 1) in
+    let active = Instance.active_at instance t0 in
+    let items = List.map (fun (r : Item.t) -> (r.id, r.size)) active in
+    let bins = ffd_assign items ~capacity in
+    max_bins := max !max_bins (List.length bins);
+    cost := Rat.add !cost (Rat.mul_int (Rat.sub t1 t0) (List.length bins));
+    let tagged, next = identify ~prev_assignment bins ~next_identity:!next_identity in
+    next_identity := next;
+    (* count migrations among items active in both this and the
+       previous segment *)
+    List.iter
+      (fun (identity, ids) ->
+        List.iter
+          (fun id ->
+            (match Hashtbl.find_opt prev_assignment id with
+            | Some old when old <> identity ->
+                incr migrations;
+                migrated_demand :=
+                  Rat.add !migrated_demand (Instance.item instance id).Item.size
+            | Some _ | None -> ());
+            Hashtbl.replace prev_assignment id identity)
+          ids)
+      tagged;
+    (* drop items that departed at t1 *)
+    List.iter
+      (fun (r : Item.t) ->
+        if Rat.(r.departure <= t1) then Hashtbl.remove prev_assignment r.id)
+      active
+  done;
+  {
+    cost = !cost;
+    migrations = !migrations;
+    migrated_demand = !migrated_demand;
+    max_bins = !max_bins;
+  }

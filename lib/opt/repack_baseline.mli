@@ -1,0 +1,28 @@
+(** A migrating baseline: repack all active items with FFD at every
+    event.
+
+    The paper's model forbids moving items between bins ("the migration
+    of game instances ... is not preferable due to large migration
+    overheads"); this baseline breaks that rule on purpose, yielding
+    (a) a cheap upper bound on [OPT_total] (FFD per segment, so within
+    an 11/9-ish factor of each segment's optimum), and (b) the price of
+    that cost saving in migration volume, which is what makes the
+    no-migration model realistic.
+
+    Bins of consecutive segments are identified greedily by largest
+    item overlap; an item migrates when its bin identity changes while
+    it stays active. *)
+
+open Dbp_num
+open Dbp_core
+
+type t = {
+  cost : Rat.t;  (** Integral of the FFD bin count over time. *)
+  migrations : int;  (** Item moves between consecutive segments. *)
+  migrated_demand : Rat.t;
+      (** Total size volume moved (sum of sizes over migrations) — the
+          "state transfer" a cloud gaming provider would pay. *)
+  max_bins : int;
+}
+
+val compute : Instance.t -> t

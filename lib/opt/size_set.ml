@@ -1,0 +1,33 @@
+open Dbp_num
+
+type t = { sizes : Rat.t list; total : Rat.t }
+
+let of_sizes sizes =
+  List.iter
+    (fun s ->
+      if Rat.sign s <= 0 then invalid_arg "Size_set.of_sizes: size <= 0")
+    sizes;
+  let sorted = List.sort (fun a b -> Rat.compare b a) sizes in
+  { sizes = sorted; total = Rat.sum sorted }
+
+let to_list t = t.sizes
+let cardinal t = List.length t.sizes
+let is_empty t = t.sizes = []
+let total t = t.total
+let max_size t = match t.sizes with [] -> None | s :: _ -> Some s
+
+let equal a b =
+  List.length a.sizes = List.length b.sizes
+  && List.for_all2 Rat.equal a.sizes b.sizes
+
+let hash t =
+  List.fold_left
+    (fun acc s -> (acc * 31) + Rat.hash s)
+    (List.length t.sizes) t.sizes
+
+let pp fmt t =
+  Format.fprintf fmt "{%a}"
+    (Format.pp_print_list
+       ~pp_sep:(fun f () -> Format.pp_print_string f ", ")
+       Rat.pp)
+    t.sizes

@@ -1,0 +1,21 @@
+(** Multisets of item sizes — the input of a classical (static) bin
+    packing subproblem.  Canonically sorted descending so multisets can
+    key memoisation tables. *)
+
+open Dbp_num
+
+type t
+
+val of_sizes : Rat.t list -> t
+(** @raise Invalid_argument if any size is [<= 0]. *)
+
+val to_list : t -> Rat.t list
+(** Sizes in descending order. *)
+
+val cardinal : t -> int
+val is_empty : t -> bool
+val total : t -> Rat.t
+val max_size : t -> Rat.t option
+val equal : t -> t -> bool
+val hash : t -> int
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,80 @@
+type rng = Splitmix64.t
+
+let uniform rng ~lo ~hi = lo +. (Splitmix64.next_float rng *. (hi -. lo))
+
+let exponential rng ~rate =
+  if rate <= 0.0 then invalid_arg "Dist.exponential: rate <= 0"
+  else
+    (* 1 - u in (0,1] avoids log 0. *)
+    let u = 1.0 -. Splitmix64.next_float rng in
+    -.log u /. rate
+
+let pareto rng ~shape ~scale =
+  if shape <= 0.0 || scale <= 0.0 then invalid_arg "Dist.pareto: bad params"
+  else
+    let u = 1.0 -. Splitmix64.next_float rng in
+    scale /. (u ** (1.0 /. shape))
+
+let normal rng ~mean ~stddev =
+  let u1 = 1.0 -. Splitmix64.next_float rng in
+  let u2 = Splitmix64.next_float rng in
+  let z = sqrt (-2.0 *. log u1) *. cos (2.0 *. Float.pi *. u2) in
+  mean +. (stddev *. z)
+
+let lognormal rng ~mu ~sigma = exp (normal rng ~mean:mu ~stddev:sigma)
+let bernoulli rng ~p = Splitmix64.next_float rng < p
+
+let discrete rng ~weights =
+  let n = Array.length weights in
+  if n = 0 then invalid_arg "Dist.discrete: empty weights";
+  let total = Array.fold_left ( +. ) 0.0 weights in
+  if total <= 0.0 then invalid_arg "Dist.discrete: all-zero weights";
+  let target = Splitmix64.next_float rng *. total in
+  let rec find i acc =
+    if i >= n - 1 then n - 1
+    else
+      let acc = acc +. weights.(i) in
+      if target < acc then i else find (i + 1) acc
+  in
+  find 0 0.0
+
+module Zipf = struct
+  type t = { n : int; cumulative : float array; total : float }
+
+  let create ~n ~s =
+    if n <= 0 then invalid_arg "Zipf.create: n <= 0";
+    let cumulative = Array.make n 0.0 in
+    let acc = ref 0.0 in
+    for r = 1 to n do
+      acc := !acc +. (1.0 /. (float_of_int r ** s));
+      cumulative.(r - 1) <- !acc
+    done;
+    { n; cumulative; total = !acc }
+
+  let sample t rng =
+    let target = Splitmix64.next_float rng *. t.total in
+    (* Smallest index with cumulative weight > target. *)
+    let rec search lo hi =
+      if lo >= hi then lo + 1
+      else
+        let mid = (lo + hi) / 2 in
+        if t.cumulative.(mid) > target then search lo mid
+        else search (mid + 1) hi
+    in
+    search 0 (t.n - 1)
+
+  let probability t r =
+    if r < 1 || r > t.n then 0.0
+    else
+      let w = t.cumulative.(r - 1) -. (if r = 1 then 0.0 else t.cumulative.(r - 2)) in
+      w /. t.total
+end
+
+let uniform_rat rng ~lo ~hi ?den () =
+  Dbp_num.Rat.of_float ?den (uniform rng ~lo ~hi)
+
+let exponential_rat rng ~rate ?den () =
+  Dbp_num.Rat.of_float ?den (exponential rng ~rate)
+
+let lognormal_rat rng ~mu ~sigma ?den () =
+  Dbp_num.Rat.of_float ?den (lognormal rng ~mu ~sigma)

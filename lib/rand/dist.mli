@@ -1,0 +1,48 @@
+(** Distribution sampling over a {!Splitmix64} stream.
+
+    Continuous samples are produced as floats and quantised onto a
+    rational grid with {!Rat.of_float}, keeping all downstream
+    arithmetic exact (see DESIGN.md, "Exact rationals everywhere"). *)
+
+type rng = Splitmix64.t
+
+val uniform : rng -> lo:float -> hi:float -> float
+val exponential : rng -> rate:float -> float
+(** Inverse-CDF sampling; [rate] is λ, mean [1/λ].
+    @raise Invalid_argument if [rate <= 0]. *)
+
+val pareto : rng -> shape:float -> scale:float -> float
+(** Pareto type I: support [[scale, inf)), P(X > x) = (scale/x)^shape. *)
+
+val normal : rng -> mean:float -> stddev:float -> float
+(** Box–Muller transform. *)
+
+val lognormal : rng -> mu:float -> sigma:float -> float
+(** exp of a normal; the classic heavy-tailed session-length model. *)
+
+val bernoulli : rng -> p:float -> bool
+
+val discrete : rng -> weights:float array -> int
+(** Index sampled proportionally to [weights] (not necessarily
+    normalised).  @raise Invalid_argument on empty or all-zero
+    weights. *)
+
+(** Zipf-distributed ranks, the standard popularity model for game
+    catalogs: rank [r] has probability proportional to [1/r^s]. *)
+module Zipf : sig
+  type t
+
+  val create : n:int -> s:float -> t
+  (** Supports ranks [1..n].  @raise Invalid_argument if [n <= 0]. *)
+
+  val sample : t -> rng -> int
+  (** A rank in [[1, n]], by binary search on the cumulative weights. *)
+
+  val probability : t -> int -> float
+end
+
+(** {1 Rational-grid convenience wrappers} *)
+
+val uniform_rat : rng -> lo:float -> hi:float -> ?den:int -> unit -> Dbp_num.Rat.t
+val exponential_rat : rng -> rate:float -> ?den:int -> unit -> Dbp_num.Rat.t
+val lognormal_rat : rng -> mu:float -> sigma:float -> ?den:int -> unit -> Dbp_num.Rat.t

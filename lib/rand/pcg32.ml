@@ -1,0 +1,47 @@
+type t = { mutable state : int64; increment : int64 }
+
+let multiplier = 6364136223846793005L
+
+let create ?(stream = 721347520444481703L) seed =
+  (* increment must be odd *)
+  let increment = Int64.logor (Int64.shift_left stream 1) 1L in
+  let t = { state = 0L; increment } in
+  t.state <- Int64.add (Int64.mul t.state multiplier) t.increment;
+  t.state <- Int64.add t.state seed;
+  t.state <- Int64.add (Int64.mul t.state multiplier) t.increment;
+  t
+
+let next_int32 t =
+  let old = t.state in
+  t.state <- Int64.add (Int64.mul old multiplier) t.increment;
+  (* output permutation: xorshift high bits, then random rotate *)
+  let xorshifted =
+    Int64.to_int32
+      (Int64.shift_right_logical
+         (Int64.logxor (Int64.shift_right_logical old 18) old)
+         27)
+  in
+  let rot = Int64.to_int (Int64.shift_right_logical old 59) in
+  if rot = 0 then xorshifted
+  else
+    Int32.logor
+      (Int32.shift_right_logical xorshifted rot)
+      (Int32.shift_left xorshifted (32 - rot))
+
+let next_uint_as_int t =
+  (* the 32-bit output as a non-negative OCaml int *)
+  Int32.to_int (next_int32 t) land 0xFFFFFFFF
+
+let next_int t bound =
+  if bound <= 0 then invalid_arg "Pcg32.next_int: bound <= 0";
+  if bound > 1 lsl 30 then invalid_arg "Pcg32.next_int: bound too large";
+  (* rejection sampling to remove modulo bias *)
+  let limit = 0x100000000 - (0x100000000 mod bound) in
+  let rec draw () =
+    let v = next_uint_as_int t in
+    if v >= limit then draw () else v mod bound
+  in
+  draw ()
+
+let next_float t = float_of_int (next_uint_as_int t) *. (1.0 /. 4294967296.0)
+let next_bool t = next_uint_as_int t land 1 = 1

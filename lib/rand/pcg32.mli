@@ -1,0 +1,23 @@
+(** PCG32 (O'Neill 2014): permuted congruential generator, 32-bit
+    output, 64-bit state with a selectable stream.
+
+    Second PRNG family alongside {!Splitmix64}: property tests that
+    should be independent of generator structure run against both, and
+    the stream parameter gives cheap independent substreams keyed by
+    (experiment, seed) pairs. *)
+
+type t
+
+val create : ?stream:int64 -> int64 -> t
+(** [create ~stream seed].  Different streams are statistically
+    independent even under the same seed. *)
+
+val next_int32 : t -> int32
+val next_int : t -> int -> int
+(** Uniform in [[0, bound)) without modulo bias.
+    @raise Invalid_argument if [bound <= 0] or [bound > 2^30]. *)
+
+val next_float : t -> float
+(** Uniform in [[0, 1)) with 32 bits of precision. *)
+
+val next_bool : t -> bool

@@ -1,0 +1,39 @@
+type t = { mutable state : int64 }
+
+let golden_gamma = 0x9E3779B97F4A7C15L
+
+let create seed = { state = seed }
+let copy t = { state = t.state }
+
+let mix z =
+  let z = Int64.(mul (logxor z (shift_right_logical z 30)) 0xBF58476D1CE4E5B9L) in
+  let z = Int64.(mul (logxor z (shift_right_logical z 27)) 0x94D049BB133111EBL) in
+  Int64.(logxor z (shift_right_logical z 31))
+
+let next_int64 t =
+  t.state <- Int64.add t.state golden_gamma;
+  mix t.state
+
+let split t =
+  let seed = next_int64 t in
+  create (mix seed)
+
+let next_float t =
+  (* Top 53 bits scaled into [0,1). *)
+  let bits = Int64.shift_right_logical (next_int64 t) 11 in
+  Int64.to_float bits *. (1.0 /. 9007199254740992.0)
+
+let next_int t bound =
+  if bound <= 0 then invalid_arg "Splitmix64.next_int: bound <= 0"
+  else
+    (* Rejection sampling on the top bits to avoid modulo bias. *)
+    let b = Int64.of_int bound in
+    let rec draw () =
+      let raw = Int64.shift_right_logical (next_int64 t) 1 in
+      let v = Int64.rem raw b in
+      if Int64.(sub raw v) > Int64.(sub (sub max_int b) 1L) then draw ()
+      else Int64.to_int v
+    in
+    draw ()
+
+let next_bool t = Int64.logand (next_int64 t) 1L = 1L

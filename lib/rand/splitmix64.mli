@@ -1,0 +1,28 @@
+(** SplitMix64 pseudo-random number generator (Steele, Lea & Flood,
+    OOPSLA 2014).
+
+    Deterministic, splittable and fast; every workload generator in the
+    repository draws from a SplitMix64 stream seeded explicitly, so all
+    experiments are exactly reproducible from their printed seeds. *)
+
+type t
+
+val create : int64 -> t
+(** [create seed]: independent generator from a 64-bit seed. *)
+
+val copy : t -> t
+
+val split : t -> t
+(** Derives a statistically independent generator; the parent advances. *)
+
+val next_int64 : t -> int64
+(** Uniform over all 2{^64} values. *)
+
+val next_float : t -> float
+(** Uniform in [[0, 1)) with 53 bits of precision. *)
+
+val next_int : t -> int -> int
+(** [next_int t bound] is uniform in [[0, bound)) without modulo bias.
+    @raise Invalid_argument if [bound <= 0]. *)
+
+val next_bool : t -> bool

@@ -1,0 +1,95 @@
+open Dbp_num
+open Dbp_core
+open Dbp_rand
+
+let grid_step (spec : Spec.t) = Rat.make 1 spec.quantum
+
+let size_on_grid (spec : Spec.t) raw =
+  let q = spec.quantum in
+  let step = grid_step spec in
+  let s = Rat.of_float ~den:q raw in
+  let s = Rat.max s step in
+  let s = Rat.min s spec.capacity in
+  (* Keep uniform draws strictly below a sub-capacity upper bound so
+     that e.g. the Theorem 4 "all sizes < W/k" premise holds exactly. *)
+  match spec.sizes with
+  | Spec.Uniform_sizes { hi; _ } ->
+      let hi_q = Rat.of_float ~den:q hi in
+      if Rat.(hi_q < spec.capacity) && Rat.(s >= hi_q) then
+        Rat.max step (Rat.sub hi_q step)
+      else s
+  | Spec.Discrete_sizes _ | Spec.Constant_size _ -> s
+
+let duration_on_grid (spec : Spec.t) raw =
+  let q = spec.quantum in
+  let d = Rat.of_float ~den:q raw in
+  let lo = Rat.of_float ~den:q spec.min_duration in
+  let hi = Rat.of_float ~den:q spec.max_duration in
+  Rat.max lo (Rat.min hi d)
+
+let sample_size (spec : Spec.t) rng =
+  match spec.sizes with
+  | Spec.Constant_size s -> s
+  | Spec.Uniform_sizes { lo; hi } ->
+      size_on_grid spec (Dist.uniform rng ~lo ~hi)
+  | Spec.Discrete_sizes catalog ->
+      let weights = Array.of_list (List.map snd catalog) in
+      let idx = Dist.discrete rng ~weights in
+      fst (List.nth catalog idx)
+
+let sample_duration (spec : Spec.t) rng =
+  match spec.durations with
+  | Spec.Constant_duration d -> duration_on_grid spec d
+  | Spec.Uniform_durations { lo; hi } ->
+      duration_on_grid spec (Dist.uniform rng ~lo ~hi)
+  | Spec.Lognormal_durations { log_mean; log_stddev } ->
+      duration_on_grid spec (Dist.lognormal rng ~mu:log_mean ~sigma:log_stddev)
+  | Spec.Exponential_durations { mean } ->
+      duration_on_grid spec (Dist.exponential rng ~rate:(1.0 /. mean))
+
+let sample_arrivals (spec : Spec.t) rng =
+  let q = spec.quantum in
+  match spec.arrivals with
+  | Spec.Poisson { rate } ->
+      let clock = ref 0.0 in
+      List.init spec.count (fun _ ->
+          clock := !clock +. Dist.exponential rng ~rate;
+          Rat.of_float ~den:q !clock)
+  | Spec.Uniform_over { horizon } ->
+      List.init spec.count (fun _ ->
+          Rat.of_float ~den:q (Dist.uniform rng ~lo:0.0 ~hi:horizon))
+      |> List.sort Rat.compare
+  | Spec.Batched { batches; gap } ->
+      let per_batch = (spec.count + batches - 1) / batches in
+      List.init spec.count (fun i ->
+          let b = i / per_batch in
+          Rat.of_float ~den:q (float_of_int b *. gap))
+
+let validate (spec : Spec.t) =
+  if spec.count <= 0 then invalid_arg "Generator: count <= 0";
+  if spec.min_duration <= 0.0 then invalid_arg "Generator: min_duration <= 0";
+  if spec.max_duration < spec.min_duration then
+    invalid_arg "Generator: max_duration < min_duration";
+  if spec.quantum <= 0 then invalid_arg "Generator: quantum <= 0";
+  if spec.min_duration < 2.0 /. float_of_int spec.quantum then
+    invalid_arg "Generator: quantum too coarse for min_duration"
+
+let generate ?(seed = 42L) (spec : Spec.t) =
+  validate spec;
+  let rng = Splitmix64.create seed in
+  let arrivals = sample_arrivals spec rng in
+  let items =
+    List.map
+      (fun arrival ->
+        let size = sample_size spec rng in
+        let duration = sample_duration spec rng in
+        Item.make ~id:0 ~size ~arrival ~departure:(Rat.add arrival duration))
+      arrivals
+  in
+  Instance.create ~capacity:spec.capacity items
+
+let generate_many ?(seed = 42L) spec ~runs =
+  let root = Splitmix64.create seed in
+  List.init runs (fun _ ->
+      let child = Splitmix64.split root in
+      generate ~seed:(Splitmix64.next_int64 child) spec)

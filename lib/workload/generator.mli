@@ -1,0 +1,25 @@
+(** Random instance generation from a {!Spec}.
+
+    All draws go through a seeded SplitMix64 stream and are quantised
+    onto the spec's rational grid, so generation is exactly
+    reproducible and downstream arithmetic exact.  Duration clamps are
+    applied {e after} sampling, so the realised [mu] never exceeds
+    [max_duration / min_duration]. *)
+
+open Dbp_num
+open Dbp_core
+
+val generate : ?seed:int64 -> Spec.t -> Instance.t
+(** @raise Invalid_argument on a degenerate spec (count <= 0,
+    min_duration <= 0, max < min, quantum too coarse to separate
+    sizes from zero). *)
+
+val generate_many : ?seed:int64 -> Spec.t -> runs:int -> Instance.t list
+(** Independent instances (seed split per run). *)
+
+val size_on_grid : Spec.t -> float -> Rat.t
+(** Quantises a raw size draw: clamps into [(0, W]] on the grid. *)
+
+val duration_on_grid : Spec.t -> float -> Rat.t
+(** Quantises a raw duration draw: clamps into
+    [[min_duration, max_duration]] on the grid. *)

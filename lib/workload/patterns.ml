@@ -1,0 +1,88 @@
+open Dbp_num
+open Dbp_core
+
+let item = Item.make ~id:0
+
+let fragmentation ~k ~mu =
+  if k < 1 then invalid_arg "Patterns.fragmentation: k < 1";
+  if Rat.(mu < Rat.one) then invalid_arg "Patterns.fragmentation: mu < 1";
+  let size = Rat.make 1 k in
+  let items =
+    List.init (k * k) (fun i ->
+        let departure = if i mod k = 0 then mu else Rat.one in
+        item ~size ~arrival:Rat.zero ~departure)
+  in
+  Instance.create ~capacity:Rat.one items
+
+let fragmentation_fine ~bins ~per_bin ~mu =
+  if bins < 1 then invalid_arg "Patterns.fragmentation_fine: bins < 1";
+  if per_bin < 1 then invalid_arg "Patterns.fragmentation_fine: per_bin < 1";
+  if Rat.(mu < Rat.one) then invalid_arg "Patterns.fragmentation_fine: mu < 1";
+  let size = Rat.make 1 per_bin in
+  let items =
+    List.init (bins * per_bin) (fun i ->
+        let departure = if i mod per_bin = 0 then mu else Rat.one in
+        item ~size ~arrival:Rat.zero ~departure)
+  in
+  Instance.create ~capacity:Rat.one items
+
+let staircase ~steps ~step_length =
+  if steps < 1 then invalid_arg "Patterns.staircase: steps < 1";
+  if Rat.sign step_length <= 0 then
+    invalid_arg "Patterns.staircase: step_length <= 0";
+  let items =
+    List.init steps (fun i ->
+        let arrival = Rat.mul_int step_length i in
+        let departure = Rat.mul_int step_length (i + 2) in
+        item ~size:Rat.one ~arrival ~departure)
+  in
+  Instance.create ~capacity:Rat.one items
+
+let spike ~base ~spike_height =
+  if base < 1 || spike_height < 1 then invalid_arg "Patterns.spike";
+  let half = Rat.make 1 2 in
+  let background =
+    List.init base (fun i ->
+        item ~size:half
+          ~arrival:(Rat.of_int i)
+          ~departure:(Rat.of_int (i + 20)))
+  in
+  let mid = Rat.of_int (base / 2) in
+  let burst =
+    List.init spike_height (fun _ ->
+        item ~size:half ~arrival:mid ~departure:(Rat.add mid Rat.two))
+  in
+  Instance.create ~capacity:Rat.one (background @ burst)
+
+let sawtooth ~teeth ~per_tooth ~mu =
+  if teeth < 1 || per_tooth < 1 then invalid_arg "Patterns.sawtooth";
+  if Rat.(mu < Rat.one) then invalid_arg "Patterns.sawtooth: mu < 1";
+  let size = Rat.make 1 per_tooth in
+  let items =
+    List.concat
+      (List.init teeth (fun t ->
+           let start = Rat.mul_int mu t in
+           List.init per_tooth (fun i ->
+               let departure =
+                 if i = per_tooth - 1 then Rat.add start mu
+                 else Rat.add start Rat.one
+               in
+               item ~size ~arrival:start ~departure)))
+  in
+  Instance.create ~capacity:Rat.one items
+
+let pairwise_conflict ~pairs =
+  if pairs < 1 then invalid_arg "Patterns.pairwise_conflict";
+  let size = Rat.make 3 5 in
+  let items =
+    List.concat
+      (List.init pairs (fun p ->
+           let start = Rat.of_int (2 * p) in
+           [
+             item ~size ~arrival:start ~departure:(Rat.add start Rat.two);
+             item ~size
+               ~arrival:(Rat.add start Rat.one)
+               ~departure:(Rat.add start (Rat.of_int 3));
+           ]))
+  in
+  Instance.create ~capacity:Rat.one items

@@ -1,0 +1,44 @@
+(** Deterministic structured workloads.
+
+    Closed-form families used by the experiments and tests: they have
+    known optimal costs or known qualitative behaviour, making them
+    good fixtures alongside the random workloads of {!Generator}. *)
+
+open Dbp_num
+open Dbp_core
+
+val fragmentation : k:int -> mu:Rat.t -> Instance.t
+(** The {e oblivious} Figure 2 workload (capacity 1): [k^2] items of
+    size [1/k] at time 0; items [i] with [i mod k <> 0] depart at 1,
+    the rest at [mu].  Against First Fit this realises exactly the
+    Theorem 1 adversary (FF fills bins in index order), without
+    adaptivity.  @raise Invalid_argument if [k < 1] or [mu < 1]. *)
+
+val fragmentation_fine : bins:int -> per_bin:int -> mu:Rat.t -> Instance.t
+(** Generalised Figure 2 workload with {e small} items: [bins * per_bin]
+    items of size [1/per_bin] at time 0 (First Fit fills [bins] bins in
+    index order); the first item of each bin-block survives to [mu],
+    the rest depart at 1.  With [per_bin > k] every size is [< W/k], so
+    this is the adversarial instance for the Theorem 4 regime: FF pays
+    [bins * mu] while OPT pays [bins + mu - 1].
+    @raise Invalid_argument if [bins < 1], [per_bin < 1] or [mu < 1]. *)
+
+val staircase : steps:int -> step_length:Rat.t -> Instance.t
+(** [steps] unit-size items; item [i] arrives at [i * step_length] and
+    departs at [(i + 2) * step_length]: a sliding window of exactly two
+    active items.  Any algorithm pays the same; OPT equals it.  Good
+    calibration fixture (ratio 1). *)
+
+val spike : base:int -> spike_height:int -> Instance.t
+(** A long-lived background of [base] half-capacity items plus a short
+    burst of [spike_height] half-capacity items in the middle. *)
+
+val sawtooth : teeth:int -> per_tooth:int -> mu:Rat.t -> Instance.t
+(** [teeth] waves of [per_tooth] items of size [1/per_tooth]; in each
+    wave all but one item live [1] time unit, the last lives [mu]:
+    repeated fragmentation pressure with overlapping long tails. *)
+
+val pairwise_conflict : pairs:int -> Instance.t
+(** Items of size 0.6 (capacity 1) arriving in overlapping pairs — no
+    two can ever share a bin; OPT equals any algorithm.  Exercises the
+    all-large regime of Theorem 3 with [k = 2]. *)

@@ -1,0 +1,80 @@
+open Dbp_num
+
+type size_model =
+  | Uniform_sizes of { lo : float; hi : float }
+  | Discrete_sizes of (Rat.t * float) list
+  | Constant_size of Rat.t
+
+type duration_model =
+  | Uniform_durations of { lo : float; hi : float }
+  | Lognormal_durations of { log_mean : float; log_stddev : float }
+  | Exponential_durations of { mean : float }
+  | Constant_duration of float
+
+type arrival_model =
+  | Poisson of { rate : float }
+  | Uniform_over of { horizon : float }
+  | Batched of { batches : int; gap : float }
+
+type t = {
+  capacity : Rat.t;
+  count : int;
+  sizes : size_model;
+  durations : duration_model;
+  arrivals : arrival_model;
+  min_duration : float;
+  max_duration : float;
+  quantum : int;
+}
+
+let default =
+  {
+    capacity = Rat.one;
+    count = 200;
+    sizes = Uniform_sizes { lo = 0.0; hi = 1.0 };
+    durations = Exponential_durations { mean = 3.0 };
+    arrivals = Poisson { rate = 2.0 };
+    min_duration = 1.0;
+    max_duration = 10.0;
+    quantum = 10_000;
+  }
+
+let with_target_mu t ~mu =
+  if mu < 1.0 then invalid_arg "Spec.with_target_mu: mu < 1";
+  { t with max_duration = t.min_duration *. mu }
+
+let small_items t ~k =
+  if k <= 1 then invalid_arg "Spec.small_items: k <= 1";
+  let hi = Rat.to_float t.capacity /. float_of_int k in
+  { t with sizes = Uniform_sizes { lo = 0.0; hi } }
+
+let large_items t ~k =
+  if k <= 1 then invalid_arg "Spec.large_items: k <= 1";
+  let lo = Rat.to_float t.capacity /. float_of_int k in
+  { t with sizes = Uniform_sizes { lo; hi = Rat.to_float t.capacity } }
+
+let pp_sizes fmt = function
+  | Uniform_sizes { lo; hi } -> Format.fprintf fmt "uniform(%g, %g)" lo hi
+  | Discrete_sizes catalog ->
+      Format.fprintf fmt "discrete(%d sizes)" (List.length catalog)
+  | Constant_size s -> Format.fprintf fmt "constant(%a)" Rat.pp s
+
+let pp_durations fmt = function
+  | Uniform_durations { lo; hi } -> Format.fprintf fmt "uniform(%g, %g)" lo hi
+  | Lognormal_durations { log_mean; log_stddev } ->
+      Format.fprintf fmt "lognormal(%g, %g)" log_mean log_stddev
+  | Exponential_durations { mean } -> Format.fprintf fmt "exp(mean=%g)" mean
+  | Constant_duration d -> Format.fprintf fmt "constant(%g)" d
+
+let pp_arrivals fmt = function
+  | Poisson { rate } -> Format.fprintf fmt "poisson(rate=%g)" rate
+  | Uniform_over { horizon } -> Format.fprintf fmt "uniform[0, %g]" horizon
+  | Batched { batches; gap } ->
+      Format.fprintf fmt "batched(%d x gap %g)" batches gap
+
+let pp fmt t =
+  Format.fprintf fmt
+    "@[<v>spec: %d items, W=%a, sizes=%a, durations=%a in [%g, %g], \
+     arrivals=%a@]"
+    t.count Rat.pp t.capacity pp_sizes t.sizes pp_durations t.durations
+    t.min_duration t.max_duration pp_arrivals t.arrivals

@@ -1,0 +1,60 @@
+(** Declarative random-workload specifications.
+
+    A spec pins down the three distributions a MinTotal DBP workload is
+    made of — sizes, interval lengths, arrivals — plus the clamps that
+    control the parameters the paper's bounds depend on: the minimum
+    interval length [Delta], the maximum [mu * Delta], and the size
+    regime (all-small [< W/k], all-large [>= W/k], or mixed). *)
+
+open Dbp_num
+
+type size_model =
+  | Uniform_sizes of { lo : float; hi : float }
+  | Discrete_sizes of (Rat.t * float) list
+      (** Weighted catalog of exact sizes. *)
+  | Constant_size of Rat.t
+
+type duration_model =
+  | Uniform_durations of { lo : float; hi : float }
+  | Lognormal_durations of { log_mean : float; log_stddev : float }
+  | Exponential_durations of { mean : float }
+  | Constant_duration of float
+
+type arrival_model =
+  | Poisson of { rate : float }  (** Exponential inter-arrival gaps. *)
+  | Uniform_over of { horizon : float }
+      (** Independent uniform arrival times on [[0, horizon]]. *)
+  | Batched of { batches : int; gap : float }
+      (** Items split evenly over [batches] simultaneous-arrival
+          batches spaced [gap] apart. *)
+
+type t = {
+  capacity : Rat.t;
+  count : int;
+  sizes : size_model;
+  durations : duration_model;
+  arrivals : arrival_model;
+  min_duration : float;  (** Lower clamp [Delta] on interval lengths. *)
+  max_duration : float;  (** Upper clamp — sets the target [mu]. *)
+  quantum : int;
+      (** Denominator of the rational grid all generated times and
+          sizes are quantised to. *)
+}
+
+val default : t
+(** 200 items, capacity 1, uniform sizes in (0, 1], Poisson arrivals,
+    exponential durations clamped to [[1, 10]] (target [mu = 10]),
+    quantum 10000. *)
+
+val with_target_mu : t -> mu:float -> t
+(** Rescales the duration clamps to [[Delta, mu * Delta]] keeping
+    [Delta = min_duration]. *)
+
+val small_items : t -> k:int -> t
+(** Restricts the size model to sizes < W/k (Theorem 4 regime). *)
+
+val large_items : t -> k:int -> t
+(** Restricts the size model to sizes in [[W/k, W]] (Theorem 3
+    regime). *)
+
+val pp : Format.formatter -> t -> unit

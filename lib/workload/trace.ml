@@ -1,0 +1,64 @@
+open Dbp_num
+open Dbp_core
+
+let to_string instance =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf
+    (Printf.sprintf "# capacity=%s\n" (Rat.to_string (Instance.capacity instance)));
+  Buffer.add_string buf "id,size,arrival,departure\n";
+  Array.iter
+    (fun (r : Item.t) ->
+      Buffer.add_string buf
+        (Printf.sprintf "%d,%s,%s,%s\n" r.id (Rat.to_string r.size)
+           (Rat.to_string r.arrival)
+           (Rat.to_string r.departure)))
+    (Instance.items instance);
+  Buffer.contents buf
+
+let of_string text =
+  let lines =
+    String.split_on_char '\n' text
+    |> List.map String.trim
+    |> List.filter (fun l -> l <> "")
+  in
+  let capacity, rows =
+    match lines with
+    | header :: rest when String.length header > 0 && header.[0] = '#' -> (
+        match String.index_opt header '=' with
+        | None -> failwith "Trace.of_string: missing capacity"
+        | Some i ->
+            let cap =
+              Rat.of_string
+                (String.sub header (i + 1) (String.length header - i - 1))
+            in
+            (cap, rest))
+    | _ -> failwith "Trace.of_string: missing '# capacity=' header"
+  in
+  let rows =
+    match rows with
+    | col_header :: data when String.length col_header > 1 && col_header.[0] = 'i'
+      ->
+        data
+    | _ -> failwith "Trace.of_string: missing column header"
+  in
+  let parse_row line =
+    match String.split_on_char ',' line with
+    | [ _id; size; arrival; departure ] ->
+        Item.make ~id:0 ~size:(Rat.of_string size)
+          ~arrival:(Rat.of_string arrival)
+          ~departure:(Rat.of_string departure)
+    | _ -> failwith ("Trace.of_string: malformed row: " ^ line)
+  in
+  Instance.create ~capacity (List.map parse_row rows)
+
+let save instance ~path =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc (to_string instance))
+
+let load ~path =
+  let ic = open_in path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () -> of_string (really_input_string ic (in_channel_length ic)))

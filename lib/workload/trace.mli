@@ -1,0 +1,15 @@
+(** CSV (de)serialisation of instances.
+
+    Format: a header line [# capacity=<rational>], then a column header
+    [id,size,arrival,departure], then one row per item with exact
+    rational fields ([3/10] style), in submission order.  Round-trips
+    losslessly. *)
+
+open Dbp_core
+
+val to_string : Instance.t -> string
+val of_string : string -> Instance.t
+(** @raise Failure on malformed input. *)
+
+val save : Instance.t -> path:string -> unit
+val load : path:string -> Instance.t

@@ -1,0 +1,93 @@
+Integration tests for the dbp CLI.  Everything is seeded and exact, so
+outputs are fully deterministic.
+
+Generate a trace dense enough that policies differ:
+
+  $ dbp generate --count 30 --mu 6 --seed 3 -o trace.csv
+  wrote 30 items to trace.csv
+  $ head -2 trace.csv
+  # capacity=1
+  id,size,arrival,departure
+
+Simulate it with First Fit and measure the competitive ratio:
+
+  $ dbp simulate --trace trace.csv --policy first-fit --ratio
+  first_fit: 14 bins, cost=120481/2000 (60.2405), max open=6, any-fit violations=0
+  cost at rate 1: 60.2405
+  OPT_total = 19169/400
+  competitive ratio: ratio=1.25704
+
+Best Fit and MFF run on the same trace:
+
+  $ dbp simulate --trace trace.csv --policy best-fit | head -1
+  best_fit: 15 bins, cost=74557/1250 (59.6456), max open=6, any-fit violations=0
+  $ dbp simulate --trace trace.csv --policy mff | head -1
+  mff(k=8): 15 bins, cost=121327/2000 (60.6635), max open=6, any-fit violations=1
+
+The OPT machinery and the paper's bounds:
+
+  $ dbp opt --trace trace.csv
+  instance: 30 items, W=1, mu=6, span=194883/10000, u(R)=3559358987/100000000
+  bound (b.1) u(R)/W        = 35.5936
+  bound (b.2) span(R)       = 19.4883
+  segment lower bound       = 45.0676
+  bound (b.3) sum len(I(r)) = 76.691
+  OPT_total = 19169/400
+
+The Theorem 1 adversary forces the exact closed-form ratio, for any
+Any Fit policy:
+
+  $ dbp adversary anyfit -k 4 --mu 6
+  first_fit: 4 bins, cost=24 (24), max open=4, any-fit violations=0
+  algorithm cost : 24
+  OPT_total      : 9
+  ratio          : 2.66667  (eq (1) predicts 2.66667; bound mu = 6)
+  $ dbp adversary anyfit -k 4 --mu 6 --policy best-fit | tail -1
+  ratio          : 2.66667  (eq (1) predicts 2.66667; bound mu = 6)
+
+The Theorem 2 adversary drives Best Fit past k/2:
+
+  $ dbp adversary bestfit -k 4 --mu 2 --iterations 3 | tail -1
+  ratio          : 2.57471  (forced >= k/2 = 2)
+
+The Section 4.3 decomposition checker accepts a real FF packing:
+
+  $ dbp decompose --trace trace.csv | tail -2
+  decomposition: 14 bins, 13 sub-periods, 2 joints + 0 singles + 9 non-intersecting = 11 charges; span=19.4883, left=40.7522, u(R)=35.5936; 0 violations
+  all Section 4.3 checks passed
+
+Offline (non-migratory) planning on the same trace:
+
+  $ dbp offline --trace trace.csv
+  online First Fit        : 60.2405
+  offline FF by arrival   : 60.3136 (6 groups)
+  least span increase     : 54.3457 (6 groups)
+  longest first           : 54.081 (6 groups)
+
+Unknown policies are rejected:
+
+  $ dbp simulate --trace trace.csv --policy nope
+  unknown policy nope (known: first-fit, best-fit, worst-fit, last-fit, next-fit, random-fit, mff, mff-known-mu, mff:<k>, harmonic:<m>)
+  [2]
+
+Trace statistics:
+
+  $ dbp stats --trace trace.csv | head -5
+  instance: 30 items, W=1, mu=6, span=194883/10000, u(R)=3559358987/100000000
+  
+  sizes    : 0.483 +- 0.079 [0.0068, 0.8945]
+  durations: 2.556 +- 0.65 [1, 6]
+  
+
+Policy comparison:
+
+  $ dbp diff --trace trace.csv -a first-fit -b next-fit | tail -1
+  cost 60.2405 vs 60.5233 (gap -0.2828); bins 14 vs 21; first divergence at item 7; 33 pairs split, 6 joined
+
+CSV artefact export:
+
+  $ dbp experiments e1 --out-dir artefacts | tail -1
+  wrote CSV/chart artefacts to artefacts/
+  $ ls artefacts | head -2
+  e1-0-e1--any-fit-vs-the-figure-2-adversary--policy---.csv
+  e1-1-e1b--same-trap--all-deterministic-any-fit-polici.csv

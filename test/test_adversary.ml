@@ -1,0 +1,195 @@
+open Dbp_num
+open Dbp_core
+open Dbp_adversary
+open Test_util
+
+(* ---- Theorem 1 construction -------------------------------------- *)
+
+let test_anyfit_matches_closed_form () =
+  List.iter
+    (fun policy ->
+      List.iter
+        (fun (k, mu_i) ->
+          let mu = ri mu_i in
+          let result = Anyfit_lb.run ~policy ~k ~mu () in
+          assert_valid_packing result.Anyfit_lb.packing;
+          check_rat
+            (Printf.sprintf "%s k=%d mu=%d" policy.Policy.name k mu_i)
+            (Anyfit_lb.closed_form_ratio ~k ~mu)
+            result.Anyfit_lb.ratio_lower)
+        [ (1, 3); (2, 2); (4, 5); (6, 3); (10, 10) ])
+    (Algorithms.any_fit_family ())
+
+let test_anyfit_opt_is_truly_opt () =
+  (* The analytic OPT upper bound is the exact OPT_total. *)
+  let result = Anyfit_lb.run ~k:4 ~mu:(ri 6) () in
+  let opt = Dbp_opt.Opt_total.compute result.Anyfit_lb.instance in
+  Alcotest.(check bool) "exact" true opt.Dbp_opt.Opt_total.exact;
+  check_rat "analytic = computed OPT" result.Anyfit_lb.opt_upper
+    (Dbp_opt.Opt_total.value_exn opt)
+
+let test_anyfit_ratio_approaches_mu () =
+  let mu = ri 8 in
+  let at k = Rat.to_float (Anyfit_lb.run ~k ~mu ()).Anyfit_lb.ratio_lower in
+  Alcotest.(check bool) "monotone in k" true (at 16 > at 4);
+  Alcotest.(check bool) "close to mu at k=64" true (at 64 > 7.0);
+  Alcotest.(check bool) "never exceeds mu" true (at 64 <= 8.0)
+
+let test_anyfit_instance_properties () =
+  let mu = ri 5 and k = 5 in
+  let result = Anyfit_lb.run ~k ~mu () in
+  let instance = result.Anyfit_lb.instance in
+  Alcotest.(check int) "k^2 items" (k * k) (Instance.size instance);
+  check_rat "realised mu" mu (Instance.mu instance);
+  check_rat "all sizes 1/k" (Rat.make 1 k) (Instance.max_size instance);
+  Alcotest.(check int) "k bins" k (Packing.bins_used result.Anyfit_lb.packing)
+
+let test_anyfit_validation () =
+  Alcotest.(check bool) "k < 1 rejected" true
+    (try
+       ignore (Anyfit_lb.run ~k:0 ~mu:Rat.two ());
+       false
+     with Invalid_argument _ -> true);
+  Alcotest.(check bool) "mu < 1 rejected" true
+    (try
+       ignore (Anyfit_lb.run ~k:2 ~mu:(r 1 2) ());
+       false
+     with Invalid_argument _ -> true)
+
+let test_anyfit_mu_one_degenerates () =
+  let result = Anyfit_lb.run ~k:5 ~mu:Rat.one () in
+  check_rat "ratio 1 at mu=1" Rat.one result.Anyfit_lb.ratio_lower
+
+(* ---- Theorem 2 construction -------------------------------------- *)
+
+let test_bestfit_small () =
+  let result = Bestfit_unbounded.run ~k:3 ~mu:Rat.two ~iterations:2 () in
+  assert_valid_packing result.Bestfit_unbounded.packing;
+  Alcotest.(check int) "k bins total" 3
+    (Packing.bins_used result.Bestfit_unbounded.packing);
+  check_rat "realised mu is exactly mu" Rat.two
+    result.Bestfit_unbounded.mu_realised;
+  (* BF pays k * (n mu + 1) = 3 * 5 = 15. *)
+  check_rat "BF cost" (ri 15) result.Bestfit_unbounded.algorithm_cost;
+  Alcotest.(check bool) "ratio > 1" true
+    Rat.(result.Bestfit_unbounded.ratio_lower > Rat.one)
+
+let test_bestfit_opt_upper_is_sound () =
+  (* The analytic offline cost must dominate the true OPT_total. *)
+  let result = Bestfit_unbounded.run ~k:3 ~mu:Rat.two ~iterations:2 () in
+  let opt = Dbp_opt.Opt_total.compute result.Bestfit_unbounded.instance in
+  Alcotest.(check bool) "opt upper sound" true
+    Rat.(result.Bestfit_unbounded.opt_upper >= opt.Dbp_opt.Opt_total.lower)
+
+let test_bestfit_beats_k_over_2 () =
+  let k = 6 and mu = Rat.two in
+  let n = Bestfit_unbounded.paper_iterations ~k ~mu in
+  let result = Bestfit_unbounded.run ~k ~mu ~iterations:(n + 2) () in
+  Alcotest.(check bool)
+    (Printf.sprintf "ratio %.2f >= k/2 = %.1f"
+       (Rat.to_float result.Bestfit_unbounded.ratio_lower)
+       (float_of_int k /. 2.0))
+    true
+    Rat.(result.Bestfit_unbounded.ratio_lower >= Rat.make k 2)
+
+let test_bestfit_ratio_grows_with_k () =
+  let mu = Rat.two in
+  let ratio k =
+    let n = Bestfit_unbounded.paper_iterations ~k ~mu + 1 in
+    Rat.to_float
+      (Bestfit_unbounded.run ~k ~mu ~iterations:n ()).Bestfit_unbounded
+        .ratio_lower
+  in
+  let r4 = ratio 4 and r8 = ratio 8 in
+  Alcotest.(check bool) "unbounded growth" true (r8 > r4 && r8 > 3.5)
+
+let test_bestfit_interval_lengths_legal () =
+  let mu = r 5 2 in
+  let result = Bestfit_unbounded.run ~k:4 ~mu ~iterations:3 () in
+  let instance = result.Bestfit_unbounded.instance in
+  check_rat "min length 1" Rat.one (Instance.min_interval_length instance);
+  check_rat "max length mu" mu (Instance.max_interval_length instance)
+
+let test_bestfit_first_fit_escapes () =
+  (* Running the Theorem 2 adversary script against First Fit must fail
+     the forced-placement check: the trap is Best Fit-specific. *)
+  Alcotest.(check bool) "FF deviates" true
+    (try
+       ignore
+         (Bestfit_unbounded.run ~policy:First_fit.policy ~k:3 ~mu:Rat.two
+            ~iterations:2 ());
+       false
+     with Failure _ -> true)
+
+let test_bestfit_validation () =
+  Alcotest.(check bool) "k < 2" true
+    (try
+       ignore (Bestfit_unbounded.run ~k:1 ~mu:Rat.two ~iterations:1 ());
+       false
+     with Invalid_argument _ -> true);
+  Alcotest.(check bool) "mu <= 1" true
+    (try
+       ignore (Bestfit_unbounded.run ~k:3 ~mu:Rat.one ~iterations:1 ());
+       false
+     with Invalid_argument _ -> true);
+  Alcotest.(check bool) "delta too large" true
+    (try
+       ignore
+         (Bestfit_unbounded.run ~delta:(ri 5) ~k:3 ~mu:Rat.two ~iterations:1 ());
+       false
+     with Invalid_argument _ -> true)
+
+(* ---- Recorder ------------------------------------------------------ *)
+
+let test_recorder_basics () =
+  let adv = Recorder.create ~policy:First_fit.policy ~capacity:Rat.one in
+  let a = Recorder.arrive adv ~now:Rat.zero ~size:(r 1 2) in
+  let b = Recorder.arrive adv ~now:Rat.zero ~size:(r 2 3) in
+  Alcotest.(check int) "sequential ids" 1 b;
+  Alcotest.(check int) "a in bin 0" 0 (Recorder.bin_of adv a);
+  Alcotest.(check int) "b in bin 1" 1 (Recorder.bin_of adv b);
+  Alcotest.(check (list int)) "bin 0 contents" [ a ]
+    (Recorder.active_ids_in_bin adv 0);
+  Recorder.depart adv ~now:Rat.one a;
+  Alcotest.(check bool) "double departure rejected" true
+    (try
+       Recorder.depart adv ~now:Rat.one a;
+       false
+     with Invalid_argument _ -> true);
+  Alcotest.(check bool) "finish with active rejected" true
+    (try
+       ignore (Recorder.finish adv);
+       false
+     with Invalid_argument _ -> true);
+  Recorder.depart_all_active adv ~now:Rat.two;
+  let instance, packing = Recorder.finish adv in
+  Alcotest.(check int) "two items" 2 (Instance.size instance);
+  assert_valid_packing packing;
+  check_rat "cost" (ri 3) packing.Packing.total_cost
+
+let suite =
+  [
+    Alcotest.test_case "T1: ratio matches eq (1) for all any-fit" `Quick
+      test_anyfit_matches_closed_form;
+    Alcotest.test_case "T1: analytic OPT = computed OPT" `Quick
+      test_anyfit_opt_is_truly_opt;
+    Alcotest.test_case "T1: ratio -> mu as k grows" `Quick
+      test_anyfit_ratio_approaches_mu;
+    Alcotest.test_case "T1: instance shape" `Quick test_anyfit_instance_properties;
+    Alcotest.test_case "T1: validation" `Quick test_anyfit_validation;
+    Alcotest.test_case "T1: mu=1 degenerates to ratio 1" `Quick
+      test_anyfit_mu_one_degenerates;
+    Alcotest.test_case "T2: small construction" `Quick test_bestfit_small;
+    Alcotest.test_case "T2: analytic OPT sound" `Quick
+      test_bestfit_opt_upper_is_sound;
+    Alcotest.test_case "T2: ratio >= k/2 at paper iterations" `Quick
+      test_bestfit_beats_k_over_2;
+    Alcotest.test_case "T2: ratio grows with k" `Quick
+      test_bestfit_ratio_grows_with_k;
+    Alcotest.test_case "T2: interval lengths within [1, mu]" `Quick
+      test_bestfit_interval_lengths_legal;
+    Alcotest.test_case "T2: First Fit escapes the trap" `Quick
+      test_bestfit_first_fit_escapes;
+    Alcotest.test_case "T2: validation" `Quick test_bestfit_validation;
+    Alcotest.test_case "recorder protocol" `Quick test_recorder_basics;
+  ]

@@ -1,0 +1,206 @@
+open Dbp_num
+open Dbp_core
+open Test_util
+
+let mk ?(size = r 1 2) a d =
+  Item.make ~id:0 ~size ~arrival:(ri a) ~departure:(ri d)
+
+let inst items = Instance.create ~capacity:Rat.one items
+
+(* Scenario: bin 0 holds 1/2 (residual 1/2), bin 1 holds 3/4 (residual
+   1/4). A new item of size 1/5 fits in both; each policy picks its
+   characteristic bin. *)
+let choice_scenario policy =
+  let instance =
+    inst
+      [
+        mk ~size:(r 1 2) 0 10;  (* bin 0 *)
+        mk ~size:(r 2 3) 0 10;  (* bin 1: 1/2 + 2/3 > 1 *)
+        mk ~size:(r 1 12) 1 10; (* goes somewhere; FF: bin 0 -> levels 7/12, 2/3 *)
+        mk ~size:(r 1 5) 2 10;
+      ]
+  in
+  let packing = Simulator.run ~policy instance in
+  assert_valid_packing packing;
+  packing.Packing.assignment.(3)
+
+let test_first_fit_choice () =
+  Alcotest.(check int) "FF picks earliest" 0 (choice_scenario First_fit.policy)
+
+let test_best_fit_choice () =
+  (* levels after item 2 via FF-placement... depends on policy for item 2
+     as well: under BF item 2 (size 1/12) goes to bin 1 (level 2/3 ->
+     3/4). Then item 3 (1/5): bin 0 level 1/2 (residual 1/2), bin 1
+     level 3/4 (residual 1/4): best fit -> bin 1. *)
+  Alcotest.(check int) "BF picks fullest" 1 (choice_scenario Best_fit.policy)
+
+let test_worst_fit_choice () =
+  (* WF: item 2 -> bin 0 (7/12); item 3: residuals 5/12 vs 1/3: bin 0. *)
+  Alcotest.(check int) "WF picks emptiest" 0 (choice_scenario Worst_fit.policy)
+
+let test_last_fit_choice () =
+  Alcotest.(check int) "LF picks latest opened" 1
+    (choice_scenario Last_fit.policy)
+
+let test_next_fit_not_any_fit () =
+  (* Two bins open; item fits only in the older one. Next Fit ignores it
+     and opens a third bin. *)
+  let instance =
+    inst
+      [
+        mk ~size:(r 1 4) 0 10;  (* bin 0 *)
+        mk ~size:(r 4 5) 1 10;  (* bin 1 *)
+        mk ~size:(r 1 2) 2 10;  (* fits bin 0 only; NF opens bin 2 *)
+      ]
+  in
+  let packing = Simulator.run ~policy:Next_fit.policy instance in
+  assert_valid_packing packing;
+  Alcotest.(check int) "three bins" 3 (Packing.bins_used packing);
+  Alcotest.(check int) "violation recorded" 1 packing.Packing.any_fit_violations;
+  let ff = Simulator.run ~policy:First_fit.policy instance in
+  Alcotest.(check int) "FF uses two" 2 (Packing.bins_used ff)
+
+let test_next_fit_uses_current () =
+  let instance = inst [ mk ~size:(r 1 4) 0 10; mk ~size:(r 1 4) 1 10 ] in
+  let packing = Simulator.run ~policy:Next_fit.policy instance in
+  Alcotest.(check int) "one bin" 1 (Packing.bins_used packing)
+
+let test_random_fit_deterministic_per_seed () =
+  let instance =
+    Dbp_workload.Generator.generate ~seed:5L Dbp_workload.Spec.default
+  in
+  let p1 = Simulator.run ~policy:(Random_fit.policy ~seed:11L) instance in
+  let p2 = Simulator.run ~policy:(Random_fit.policy ~seed:11L) instance in
+  Alcotest.(check bool) "same assignment" true
+    (p1.Packing.assignment = p2.Packing.assignment);
+  assert_valid_packing p1
+
+let test_mff_separates_pools () =
+  (* k = 2: threshold 1/2. A large (1/2) and a small (1/4) item coexist:
+     MFF must use two bins even though one would fit both. *)
+  let instance = inst [ mk ~size:(r 1 2) 0 10; mk ~size:(r 1 4) 0 10 ] in
+  let packing =
+    Simulator.run ~policy:(Modified_first_fit.policy ~k:Rat.two) instance
+  in
+  assert_valid_packing packing;
+  Alcotest.(check int) "two bins" 2 (Packing.bins_used packing);
+  let tags =
+    Array.to_list packing.Packing.bins
+    |> List.map (fun (b : Packing.bin_record) -> b.tag)
+    |> List.sort compare
+  in
+  Alcotest.(check (list string)) "pool tags"
+    [ Modified_first_fit.large_tag; Modified_first_fit.small_tag ]
+    tags;
+  Alcotest.(check int) "one any-fit violation" 1
+    packing.Packing.any_fit_violations
+
+let test_mff_first_fit_within_pool () =
+  (* Three small items (k=2): behave exactly like FF. *)
+  let instance =
+    inst
+      [ mk ~size:(r 1 3) 0 10; mk ~size:(r 1 3) 1 10; mk ~size:(r 1 3) 2 10 ]
+  in
+  let mff = Simulator.run ~policy:(Modified_first_fit.policy ~k:Rat.two) instance in
+  let ff = Simulator.run ~policy:First_fit.policy instance in
+  Alcotest.(check bool) "same assignment as FF" true
+    (mff.Packing.assignment = ff.Packing.assignment)
+
+let test_mff_parameter_validation () =
+  Alcotest.(check bool) "k <= 1 rejected" true
+    (try
+       ignore (Modified_first_fit.policy ~k:Rat.one);
+       false
+     with Invalid_argument _ -> true);
+  Alcotest.(check bool) "mu < 1 rejected" true
+    (try
+       ignore (Modified_first_fit.policy_known_mu ~mu:(r 1 2));
+       false
+     with Invalid_argument _ -> true)
+
+let test_registry () =
+  Alcotest.(check int) "all policies" 8 (List.length (Algorithms.all ()));
+  List.iter
+    (fun name ->
+      match Algorithms.find name with
+      | Some _ -> ()
+      | None -> Alcotest.failf "lookup failed: %s" name)
+    [ "first-fit"; "ff"; "best-fit"; "worst-fit"; "last-fit"; "next-fit";
+      "random-fit"; "mff"; "mff:9/2"; "harmonic:3" ];
+  Alcotest.(check bool) "unknown name" true (Algorithms.find "zzz" = None);
+  Alcotest.(check bool) "mff-known-mu needs mu" true
+    (Algorithms.find "mff-known-mu" = None);
+  Alcotest.(check bool) "mff-known-mu with mu" true
+    (Algorithms.find ~mu:(ri 4) "mff-known-mu" <> None);
+  Alcotest.(check bool) "bad mff param" true (Algorithms.find "mff:x" = None)
+
+(* FF beats or matches the naive per-item cost; on the fragmentation
+   workload the classic Theorem 1 behaviour shows: FF pays k * mu. *)
+let test_ff_on_fragmentation () =
+  let mu = ri 5 and k = 4 in
+  let instance = Dbp_workload.Patterns.fragmentation ~k ~mu in
+  let packing = Simulator.run ~policy:First_fit.policy instance in
+  assert_valid_packing packing;
+  Alcotest.(check int) "k bins" k (Packing.bins_used packing);
+  check_rat "cost k*mu" (Rat.mul_int mu k) packing.Packing.total_cost
+
+let prop_tests =
+  [
+    qcheck ~count:150 "MFF never mixes pools" (instance_gen ())
+      (fun instance ->
+        let threshold = Rat.div (Instance.capacity instance) (ri 8) in
+        let packing =
+          Simulator.run ~policy:Modified_first_fit.policy_mu_oblivious instance
+        in
+        Array.for_all
+          (fun (b : Packing.bin_record) ->
+            List.for_all
+              (fun id ->
+                let item = Instance.item instance id in
+                if b.tag = Modified_first_fit.large_tag then
+                  Rat.(item.Item.size >= threshold)
+                else Rat.(item.Item.size < threshold))
+              b.item_ids)
+          packing.Packing.bins);
+    qcheck ~count:150 "MFF = FF when every item is small"
+      (small_instance_gen ~k:8 ()) (fun instance ->
+        (* all sizes < W/8: MFF's small pool is the whole load, so it
+           must replicate First Fit decision for decision *)
+        let ff = Simulator.run ~policy:First_fit.policy instance in
+        let mff =
+          Simulator.run ~policy:Modified_first_fit.policy_mu_oblivious instance
+        in
+        mff.Packing.assignment = ff.Packing.assignment
+        && Rat.equal mff.Packing.total_cost ff.Packing.total_cost);
+    qcheck ~count:150 "single policies agree on conflict-free loads"
+      (instance_gen ~max_items:6 ()) (fun instance ->
+        (* when max_bins = 1 for FF, every any-fit algorithm pays the
+           same total cost *)
+        let ff = Simulator.run ~policy:First_fit.policy instance in
+        ff.Packing.max_bins > 1
+        || List.for_all
+             (fun policy ->
+               Rat.equal
+                 (Simulator.run ~policy instance).Packing.total_cost
+                 ff.Packing.total_cost)
+             (Algorithms.any_fit_family ()));
+  ]
+
+let suite =
+  [
+    Alcotest.test_case "first fit choice" `Quick test_first_fit_choice;
+    Alcotest.test_case "best fit choice" `Quick test_best_fit_choice;
+    Alcotest.test_case "worst fit choice" `Quick test_worst_fit_choice;
+    Alcotest.test_case "last fit choice" `Quick test_last_fit_choice;
+    Alcotest.test_case "next fit is not any fit" `Quick test_next_fit_not_any_fit;
+    Alcotest.test_case "next fit reuses current" `Quick test_next_fit_uses_current;
+    Alcotest.test_case "random fit deterministic" `Quick
+      test_random_fit_deterministic_per_seed;
+    Alcotest.test_case "MFF separates pools" `Quick test_mff_separates_pools;
+    Alcotest.test_case "MFF = FF within a pool" `Quick
+      test_mff_first_fit_within_pool;
+    Alcotest.test_case "MFF validation" `Quick test_mff_parameter_validation;
+    Alcotest.test_case "registry" `Quick test_registry;
+    Alcotest.test_case "FF on fragmentation" `Quick test_ff_on_fragmentation;
+  ]
+  @ prop_tests

@@ -1,0 +1,360 @@
+open Dbp_num
+open Dbp_core
+open Dbp_analysis
+open Test_util
+
+(* ---- Theorem_bounds -------------------------------------------------- *)
+
+let test_bound_formulas () =
+  check_rat "anyfit lower" (ri 7) (Theorem_bounds.anyfit_lower ~mu:(ri 7));
+  check_rat "eq (1)" (r 8 5)
+    (Theorem_bounds.anyfit_construction_ratio ~k:4 ~mu:(ri 2));
+  check_rat "ff large" (ri 3) (Theorem_bounds.ff_large ~k:(ri 3));
+  (* k=2, mu=1: 2*1 + 12 + 1 = 15 *)
+  check_rat "ff small" (ri 15) (Theorem_bounds.ff_small ~k:Rat.two ~mu:Rat.one);
+  check_rat "ff general" (ri 15) (Theorem_bounds.ff_general ~mu:Rat.one);
+  check_rat "mff oblivious at mu=1" (ri 9)
+    (Theorem_bounds.mff_oblivious ~mu:Rat.one);
+  check_rat "mff known at mu=1" (ri 9) (Theorem_bounds.mff_known_mu ~mu:Rat.one);
+  check_rat "bestfit forced" (r 5 2)
+    (Theorem_bounds.bestfit_forced_ratio ~k:5 ~mu:Rat.two ~iterations:3);
+  Alcotest.(check bool) "ff_small rejects k<=1" true
+    (try
+       ignore (Theorem_bounds.ff_small ~k:Rat.one ~mu:Rat.one);
+       false
+     with Invalid_argument _ -> true)
+
+let test_mff_known_beats_oblivious () =
+  (* 8/7 mu + 55/7 - (mu + 8) = (mu - 1)/7: the semi-online bound is
+     strictly better for every mu > 1 and they coincide at mu = 1. *)
+  check_rat "equal at mu=1" (Theorem_bounds.mff_known_mu ~mu:Rat.one)
+    (Theorem_bounds.mff_oblivious ~mu:Rat.one);
+  List.iter
+    (fun mu_i ->
+      let mu = ri mu_i in
+      let diff =
+        Rat.sub (Theorem_bounds.mff_oblivious ~mu)
+          (Theorem_bounds.mff_known_mu ~mu)
+      in
+      check_rat
+        (Printf.sprintf "gap (mu-1)/7 at mu=%d" mu_i)
+        (Rat.div_int (Rat.sub mu Rat.one) 7)
+        diff)
+    [ 2; 5; 7; 20 ]
+
+(* ---- Ratio ------------------------------------------------------------ *)
+
+let mk ?(size = r 1 2) a d =
+  Item.make ~id:0 ~size ~arrival:(ri a) ~departure:(ri d)
+
+let inst items = Instance.create ~capacity:Rat.one items
+
+let test_ratio_measure () =
+  let instance = Dbp_workload.Patterns.fragmentation ~k:3 ~mu:(ri 4) in
+  let packing = Simulator.run ~policy:First_fit.policy instance in
+  let ratio = Ratio.measure packing in
+  Alcotest.(check bool) "exact" true ratio.Ratio.exact;
+  check_rat "ratio 12/6 = 2" Rat.two (Ratio.value_exn ratio);
+  Alcotest.(check bool) "confirmed against mu" true
+    (Ratio.check_bound ratio ~bound:(ri 4) = Ratio.Confirmed);
+  Alcotest.(check bool) "violated against 1.5" true
+    (Ratio.check_bound ratio ~bound:(r 3 2) = Ratio.Violated)
+
+let test_ratio_on_optimal_packing () =
+  let instance = inst [ mk 0 2; mk 1 3 ] in
+  let packing = Simulator.run ~policy:First_fit.policy instance in
+  let ratio = Ratio.measure packing in
+  check_rat "ratio 1" Rat.one (Ratio.value_exn ratio)
+
+(* ---- Table / Chart ----------------------------------------------------- *)
+
+let test_table () =
+  let t = Table.create ~title:"demo" ~columns:[ "a"; "b" ] in
+  Table.add_row t [ "1"; "hello" ];
+  Table.add_rows t [ [ "2"; "y" ]; [ "3"; "z" ] ];
+  Alcotest.(check int) "rows" 3 (Table.row_count t);
+  let rendered = Table.render t in
+  Alcotest.(check bool) "has title" true
+    (Test_util.contains ~sub:"demo" rendered);
+  Alcotest.(check bool) "wrong arity rejected" true
+    (try
+       Table.add_row t [ "only-one" ];
+       false
+     with Invalid_argument _ -> true);
+  let md = Table.render_markdown t in
+  Alcotest.(check bool) "markdown rule" true
+    (Test_util.contains ~sub:"| --- | --- |" md)
+
+let test_chart () =
+  let rendered =
+    Chart.render ~title:"curve"
+      ~series:
+        [ ("measured", [ (1.0, 1.0); (2.0, 4.0) ]);
+          ("bound", [ (1.0, 2.0); (2.0, 5.0) ]) ]
+      ()
+  in
+  Alcotest.(check bool) "has legend" true
+    (Test_util.contains ~sub:"measured" rendered);
+  Alcotest.(check bool) "empty series rejected" true
+    (try
+       ignore (Chart.render ~title:"x" ~series:[ ("e", []) ] ());
+       false
+     with Invalid_argument _ -> true)
+
+(* ---- Ff_decomposition -------------------------------------------------- *)
+
+let analyse_ff ?k instance =
+  let packing = Simulator.run ~policy:First_fit.policy instance in
+  Ff_decomposition.analyse ?k packing
+
+let test_decomposition_no_violations_fragmentation () =
+  let report = analyse_ff (Dbp_workload.Patterns.fragmentation ~k:4 ~mu:(ri 3)) in
+  Alcotest.(check (list string)) "no violations" [] report.Ff_decomposition.violations
+
+let test_decomposition_no_violations_sawtooth () =
+  let report =
+    analyse_ff ~k:(ri 4)
+      (Dbp_workload.Patterns.sawtooth ~teeth:4 ~per_tooth:6 ~mu:(ri 3))
+  in
+  Alcotest.(check (list string)) "no violations" []
+    report.Ff_decomposition.violations
+
+let test_decomposition_identities () =
+  let instance = Dbp_workload.Patterns.sawtooth ~teeth:3 ~per_tooth:5 ~mu:(ri 4) in
+  let report = analyse_ff instance in
+  (* eq (6): total cost = left + span *)
+  check_rat "cost identity"
+    report.Ff_decomposition.packing.Packing.total_cost
+    (Rat.add report.Ff_decomposition.cost_left report.Ff_decomposition.span);
+  Alcotest.(check bool) "ineq 10 holds" true
+    (Ff_decomposition.upper_bound_inequality_10 report);
+  Alcotest.(check bool) "ineq 15 holds" true
+    (Ff_decomposition.demand_inequality_15 report)
+
+let test_decomposition_single_bin () =
+  let report = analyse_ff (inst [ mk 0 2; mk 1 3 ]) in
+  Alcotest.(check (list string)) "no violations" []
+    report.Ff_decomposition.violations;
+  Alcotest.(check int) "no sub-periods" 0
+    (List.length report.Ff_decomposition.sub_periods);
+  Alcotest.(check int) "no charges" 0 report.Ff_decomposition.charge_count
+
+let test_classification () =
+  let sp bin index =
+    {
+      Ff_decomposition.bin;
+      index;
+      period = Interval.make Rat.zero Rat.one;
+      reference_point = None;
+      reference_bin = None;
+    }
+  in
+  let check_case name expected a b =
+    match (Ff_decomposition.classify a b, expected) with
+    | Some got, Some want ->
+        Alcotest.(check bool) name true (got = want)
+    | None, None -> ()
+    | _ -> Alcotest.failf "%s: classification mismatch" name
+  in
+  check_case "case I" (Some Ff_decomposition.I) (sp 1 2) (sp 1 3);
+  check_case "case II" (Some Ff_decomposition.II) (sp 1 1) (sp 1 2);
+  check_case "case III" (Some Ff_decomposition.III) (sp 1 2) (sp 2 2);
+  check_case "case IV" (Some Ff_decomposition.IV) (sp 1 1) (sp 2 2);
+  check_case "case V" (Some Ff_decomposition.V) (sp 1 1) (sp 2 1);
+  check_case "same period" None (sp 1 1) (sp 1 1)
+
+let prop_tests =
+  [
+    qcheck ~count:300 "decomposition clean on random workloads"
+      (instance_gen ~max_items:25 ()) (fun instance ->
+        let report = analyse_ff instance in
+        report.Ff_decomposition.violations = []);
+    qcheck ~count:300 "decomposition clean on small items (with ineq 8/11)"
+      (small_instance_gen ~k:4 ()) (fun instance ->
+        let report = analyse_ff ~k:(ri 4) instance in
+        report.Ff_decomposition.violations = []);
+    qcheck ~count:100 "theorem 5 bound respected empirically"
+      (instance_gen ~max_items:15 ()) (fun instance ->
+        let packing = Simulator.run ~policy:First_fit.policy instance in
+        let ratio = Ratio.measure packing in
+        let bound = Theorem_bounds.ff_general ~mu:(Instance.mu instance) in
+        Ratio.check_bound ratio ~bound <> Ratio.Violated);
+    qcheck ~count:100 "theorem 4 bound respected on small items"
+      (small_instance_gen ~k:4 ~max_items:15 ()) (fun instance ->
+        let packing = Simulator.run ~policy:First_fit.policy instance in
+        let ratio = Ratio.measure packing in
+        let bound =
+          Theorem_bounds.ff_small ~k:(ri 4) ~mu:(Instance.mu instance)
+        in
+        Ratio.check_bound ratio ~bound <> Ratio.Violated);
+    qcheck ~count:100 "MFF bound respected empirically"
+      (instance_gen ~max_items:15 ()) (fun instance ->
+        let packing =
+          Simulator.run ~policy:Modified_first_fit.policy_mu_oblivious instance
+        in
+        let ratio = Ratio.measure packing in
+        let bound = Theorem_bounds.mff_oblivious ~mu:(Instance.mu instance) in
+        Ratio.check_bound ratio ~bound <> Ratio.Violated);
+  ]
+
+let suite =
+  [
+    Alcotest.test_case "bound formulas" `Quick test_bound_formulas;
+    Alcotest.test_case "mff known vs oblivious" `Quick
+      test_mff_known_beats_oblivious;
+    Alcotest.test_case "ratio measurement" `Quick test_ratio_measure;
+    Alcotest.test_case "ratio on optimal packing" `Quick
+      test_ratio_on_optimal_packing;
+    Alcotest.test_case "table" `Quick test_table;
+    Alcotest.test_case "chart" `Quick test_chart;
+    Alcotest.test_case "decomposition: fragmentation" `Quick
+      test_decomposition_no_violations_fragmentation;
+    Alcotest.test_case "decomposition: sawtooth" `Quick
+      test_decomposition_no_violations_sawtooth;
+    Alcotest.test_case "decomposition identities" `Quick
+      test_decomposition_identities;
+    Alcotest.test_case "decomposition: single bin" `Quick
+      test_decomposition_single_bin;
+    Alcotest.test_case "table 2 classification" `Quick test_classification;
+  ]
+  @ prop_tests
+
+(* Deterministic regression: dense small-item workloads where the
+   Case V machinery actually fires (joint-periods get paired), so the
+   pairing/Lemma 3/Lemma 4 code paths are exercised, not just reached
+   vacuously. *)
+let dense_small_spec =
+  Dbp_workload.Spec.small_items
+    (Dbp_workload.Spec.with_target_mu
+       { Dbp_workload.Spec.default with
+         Dbp_workload.Spec.count = 150;
+         arrivals = Dbp_workload.Spec.Poisson { rate = 8.0 } }
+       ~mu:6.0)
+    ~k:4
+
+let test_joint_periods_exercised () =
+  let joints_found = ref 0 in
+  List.iter
+    (fun seed ->
+      let instance = Dbp_workload.Generator.generate ~seed dense_small_spec in
+      let report = analyse_ff ~k:(ri 4) instance in
+      Alcotest.(check (list string))
+        (Printf.sprintf "no violations at seed %Ld" seed)
+        [] report.Ff_decomposition.violations;
+      joints_found :=
+        !joints_found
+        + List.length report.Ff_decomposition.pairing.Ff_decomposition.joints)
+    [ 1L; 2L; 4L; 5L; 8L ];
+  Alcotest.(check bool) "pairing path exercised" true (!joints_found >= 3)
+
+let dense_props =
+  [
+    qcheck ~count:60 "decomposition clean on dense small-item loads"
+      QCheck2.Gen.(map Int64.of_int (int_range 1 10_000))
+      (fun seed ->
+        let instance = Dbp_workload.Generator.generate ~seed dense_small_spec in
+        let report = analyse_ff ~k:(ri 4) instance in
+        report.Ff_decomposition.violations = []);
+  ]
+
+let suite =
+  suite
+  @ [
+      Alcotest.test_case "joint-period pairing exercised" `Quick
+        test_joint_periods_exercised;
+    ]
+  @ dense_props
+
+(* ---- Packing_diff ------------------------------------------------------ *)
+
+let test_packing_diff () =
+  let instance =
+    inst
+      [
+        mk ~size:(r 1 2) 0 10; mk ~size:(r 1 2) 0 2;
+        mk ~size:(r 1 2) 1 10; mk ~size:(r 1 2) 1 3;
+      ]
+  in
+  let ff = Simulator.run ~policy:First_fit.policy instance in
+  let same = Packing_diff.compare ff ff in
+  Alcotest.(check bool) "self-diff is empty" true
+    (same.Packing_diff.first_divergence = None
+    && same.Packing_diff.split_pairs = 0
+    && same.Packing_diff.joined_pairs = 0
+    && Rat.is_zero same.Packing_diff.cost_gap);
+  let p = Dbp_clairvoyant.Predictor.build Dbp_clairvoyant.Predictor.Exact instance in
+  let aligned =
+    Simulator.run ~policy:(Dbp_clairvoyant.Duration_fit.aligned_fit p) instance
+  in
+  let diff = Packing_diff.compare ff aligned in
+  Alcotest.(check bool) "divergence found" true
+    (diff.Packing_diff.first_divergence <> None);
+  Alcotest.(check bool) "FF costs more here" true
+    Rat.(diff.Packing_diff.cost_gap > Rat.zero);
+  Alcotest.(check bool) "pairs reshuffled" true
+    (diff.Packing_diff.split_pairs + diff.Packing_diff.joined_pairs > 0)
+
+let diff_props =
+  [
+    qcheck ~count:100 "diff is antisymmetric in cost"
+      (instance_gen ~max_items:20 ()) (fun instance ->
+        let a = Simulator.run ~policy:First_fit.policy instance in
+        let b = Simulator.run ~policy:Best_fit.policy instance in
+        let d1 = Packing_diff.compare a b and d2 = Packing_diff.compare b a in
+        Rat.equal d1.Packing_diff.cost_gap (Rat.neg d2.Packing_diff.cost_gap)
+        && d1.Packing_diff.split_pairs = d2.Packing_diff.joined_pairs);
+    qcheck ~count:100 "identical policies yield empty diff"
+      (instance_gen ~max_items:20 ()) (fun instance ->
+        let a = Simulator.run ~policy:Worst_fit.policy instance in
+        let b = Simulator.run ~policy:Worst_fit.policy instance in
+        let d = Packing_diff.compare a b in
+        d.Packing_diff.first_divergence = None
+        && d.Packing_diff.split_pairs = 0);
+  ]
+
+let suite =
+  suite
+  @ [ Alcotest.test_case "packing diff" `Quick test_packing_diff ]
+  @ diff_props
+
+(* ---- histogram and SVG rendering --------------------------------------- *)
+
+let test_histogram () =
+  let rendered =
+    Chart.histogram ~title:"demo" ~bins:4 [ 0.0; 1.0; 1.0; 2.0; 3.9 ]
+  in
+  Alcotest.(check bool) "has title" true (contains ~sub:"demo" rendered);
+  Alcotest.(check bool) "has bars" true (contains ~sub:"#" rendered);
+  Alcotest.(check int) "one line per bin + title" 5
+    (List.length
+       (List.filter (fun l -> l <> "") (String.split_on_char '\n' rendered))
+    - 1 + 1);
+  Alcotest.(check bool) "empty rejected" true
+    (try
+       ignore (Chart.histogram ~title:"x" []);
+       false
+     with Invalid_argument _ -> true)
+
+let test_svg_render () =
+  let instance =
+    inst [ mk 0 4; mk ~size:(r 2 3) 1 3; mk 5 6 ]
+  in
+  let packing = Simulator.run ~policy:First_fit.policy instance in
+  let svg = Timeline_render.render_svg packing in
+  Alcotest.(check bool) "svg document" true (contains ~sub:"<svg" svg);
+  Alcotest.(check bool) "closes" true (contains ~sub:"</svg>" svg);
+  (* one background rect per bin and one rect per item *)
+  let rects =
+    String.split_on_char '<' svg
+    |> List.filter (fun s -> String.length s > 4 && String.sub s 0 4 = "rect")
+    |> List.length
+  in
+  Alcotest.(check int) "rect count" (Packing.bins_used packing + 3) rects;
+  Alcotest.(check bool) "items titled" true (contains ~sub:"<title>item 0" svg)
+
+let suite =
+  suite
+  @ [
+      Alcotest.test_case "histogram" `Quick test_histogram;
+      Alcotest.test_case "svg render" `Quick test_svg_render;
+    ]

@@ -1,0 +1,218 @@
+open Dbp_num
+open Dbp_core
+open Dbp_clairvoyant
+open Test_util
+
+let mk ?(size = r 1 2) a d =
+  Item.make ~id:0 ~size ~arrival:(ri a) ~departure:(ri d)
+
+let inst items = Instance.create ~capacity:Rat.one items
+
+let test_predictor_exact () =
+  let instance = inst [ mk 0 3; mk 1 5 ] in
+  let p = Predictor.build Predictor.Exact instance in
+  check_rat "exact departures" (ri 3) (Predictor.predicted_departure p 0);
+  check_rat "exact departures 2" (ri 5) (Predictor.predicted_departure p 1);
+  check_rat "zero error" Rat.zero (Predictor.mean_absolute_error p instance)
+
+let test_predictor_scaled () =
+  let instance = inst [ mk 0 2 ] in
+  let p = Predictor.build (Predictor.Scaled { factor = Rat.two }) instance in
+  (* length 2 doubled: predicted departure 0 + 4 *)
+  check_rat "scaled" (ri 4) (Predictor.predicted_departure p 0);
+  check_rat "error 2" Rat.two (Predictor.mean_absolute_error p instance)
+
+let test_predictor_oblivious () =
+  let instance = inst [ mk 0 2; mk 0 6 ] in
+  let p = Predictor.build Predictor.Oblivious instance in
+  (* everyone gets the max length, 6 *)
+  check_rat "short overpredicted" (ri 6) (Predictor.predicted_departure p 0);
+  check_rat "long exact" (ri 6) (Predictor.predicted_departure p 1)
+
+let test_predictor_noisy_positive () =
+  let instance =
+    inst (List.init 50 (fun i -> mk i (i + 1 + (i mod 3))))
+  in
+  let p = Predictor.build ~seed:5L (Predictor.Noisy { sigma = 1.0 }) instance in
+  Array.iteri
+    (fun id (item : Item.t) ->
+      if Rat.(Predictor.predicted_departure p id <= item.arrival) then
+        Alcotest.failf "non-positive predicted duration for %d" id)
+    (Instance.items instance);
+  (* deterministic per seed *)
+  let p' = Predictor.build ~seed:5L (Predictor.Noisy { sigma = 1.0 }) instance in
+  check_rat "deterministic" (Predictor.predicted_departure p 7)
+    (Predictor.predicted_departure p' 7)
+
+(* The showcase scenario: two long items and two short ones.  Lifetime-
+   aware packing pairs long with long; First Fit pairs long with short
+   and keeps two bins open for the long haul. *)
+let showcase =
+  [
+    mk ~size:(r 1 2) 0 10;  (* long *)
+    mk ~size:(r 1 2) 0 2;   (* short - FF pairs it with the long one *)
+    mk ~size:(r 1 2) 1 10;  (* long *)
+    mk ~size:(r 1 2) 1 3;   (* short *)
+  ]
+
+let test_aligned_beats_ff_on_showcase () =
+  let instance = inst showcase in
+  let ff = Simulator.run ~policy:First_fit.policy instance in
+  let p = Predictor.build Predictor.Exact instance in
+  let aligned = Simulator.run ~policy:(Duration_fit.aligned_fit p) instance in
+  assert_valid_packing aligned;
+  (* FF: bin0 = {long0, short1}, bin1 = {long2, short3}: both live to 10
+     -> cost 10 + 9 = 19.  Aligned (threshold 1/2): short1 misaligns
+     with long0 by 8 > 1 -> own bin; long2 joins long0 (score 1 <= 5);
+     short3 aligns with the shorts' bin (score 1 <= 1) and joins it.
+     Bins {long0,long2} [0,10] and {short1,short3} [0,3]: cost 13. *)
+  check_rat "ff cost" (ri 19) ff.Packing.total_cost;
+  check_rat "aligned cost" (ri 13) aligned.Packing.total_cost;
+  Alcotest.(check bool) "aligned is deliberately not any-fit" true
+    (aligned.Packing.any_fit_violations > 0)
+
+let test_least_extension_on_showcase () =
+  let instance = inst showcase in
+  let p = Predictor.build Predictor.Exact instance in
+  let ext =
+    Simulator.run ~policy:(Duration_fit.least_extension_fit p) instance
+  in
+  assert_valid_packing ext;
+  (* least-extension nests the shorts into the long bins for free:
+     {long0, short1... wait short1 arrives at 0 with long0: extension
+     of joining long0's bin is 0 (pred 2 <= 10): cost = two bins
+     {long0 short1} {long2 short3}? No: at t=0 item1 (short) joins
+     bin0 (extension 0). At t=1 long2: extension into bin0 = 0 if it
+     fits - it does not (1/2+1/2 full). New bin. short3 joins bin1
+     (extension 0). Cost 10 + 9 = 19?  Hmm - shorts nest for free, the
+     cost equals FF here; the win shows on the aligned variant. *)
+  Alcotest.(check bool) "valid and bounded" true
+    Rat.(ext.Packing.total_cost <= Dbp_opt.Bounds.naive_upper_bound instance)
+
+let prop_tests =
+  [
+    qcheck ~count:120 "clairvoyant policies produce valid packings"
+      (instance_gen ~max_items:25 ()) (fun instance ->
+        let p = Predictor.build Predictor.Exact instance in
+        List.for_all
+          (fun policy ->
+            Packing.validate (Simulator.run ~policy instance) = Ok ())
+          [ Duration_fit.aligned_fit p; Duration_fit.least_extension_fit p ]);
+    qcheck ~count:100 "noisy predictions never crash the policies"
+      (instance_gen ~max_items:20 ()) (fun instance ->
+        let p =
+          Predictor.build ~seed:11L (Predictor.Noisy { sigma = 2.0 }) instance
+        in
+        let packing =
+          Simulator.run ~policy:(Duration_fit.aligned_fit p) instance
+        in
+        Packing.validate packing = Ok ());
+    qcheck ~count:100 "MAE of exact predictor is zero"
+      (instance_gen ~max_items:15 ()) (fun instance ->
+        Rat.is_zero
+          (Predictor.mean_absolute_error
+             (Predictor.build Predictor.Exact instance)
+             instance));
+    qcheck ~count:100 "costs stay within the universal bounds"
+      (instance_gen ~max_items:20 ()) (fun instance ->
+        let p = Predictor.build Predictor.Oblivious instance in
+        let packing =
+          Simulator.run ~policy:(Duration_fit.least_extension_fit p) instance
+        in
+        Rat.(packing.Packing.total_cost >= Instance.span instance)
+        && Rat.(
+             packing.Packing.total_cost
+             <= Dbp_opt.Bounds.naive_upper_bound instance));
+  ]
+
+let suite =
+  [
+    Alcotest.test_case "exact predictor" `Quick test_predictor_exact;
+    Alcotest.test_case "scaled predictor" `Quick test_predictor_scaled;
+    Alcotest.test_case "oblivious predictor" `Quick test_predictor_oblivious;
+    Alcotest.test_case "noisy predictor sanity" `Quick
+      test_predictor_noisy_positive;
+    Alcotest.test_case "aligned beats FF on the showcase" `Quick
+      test_aligned_beats_ff_on_showcase;
+    Alcotest.test_case "least extension on the showcase" `Quick
+      test_least_extension_on_showcase;
+  ]
+  @ prop_tests
+
+(* ---- Duration_class_fit ------------------------------------------------ *)
+
+let test_duration_classes () =
+  let cls d = Duration_class_fit.class_of ~base:Rat.one ~duration:d in
+  Alcotest.(check int) "1 -> 0" 0 (cls Rat.one);
+  Alcotest.(check int) "3/2 -> 0" 0 (cls (r 3 2));
+  Alcotest.(check int) "2 -> 1" 1 (cls Rat.two);
+  Alcotest.(check int) "5 -> 2" 2 (cls (ri 5));
+  Alcotest.(check int) "8 -> 3" 3 (cls (ri 8));
+  Alcotest.(check int) "1/2 -> -1" (-1) (cls (r 1 2));
+  Alcotest.(check int) "1/3 -> -2" (-2) (cls (r 1 3));
+  Alcotest.(check bool) "zero duration rejected" true
+    (try
+       ignore (cls Rat.zero);
+       false
+     with Invalid_argument _ -> true)
+
+let test_duration_class_optimal_on_fragmentation () =
+  let instance = Dbp_workload.Patterns.fragmentation ~k:5 ~mu:(ri 8) in
+  let p = Predictor.build Predictor.Exact instance in
+  let packing =
+    Simulator.run ~policy:(Duration_class_fit.policy p) instance
+  in
+  assert_valid_packing packing;
+  let ratio = Dbp_analysis.Ratio.measure packing in
+  check_rat "optimal on the adversary" Rat.one
+    (Dbp_analysis.Ratio.value_exn ratio);
+  let ff = Simulator.run ~policy:First_fit.policy instance in
+  Alcotest.(check bool) "FF is forced high" true
+    Rat.(ff.Packing.total_cost > Rat.mul_int packing.Packing.total_cost 2)
+
+let test_duration_class_never_mixes () =
+  let instance = Dbp_workload.Patterns.sawtooth ~teeth:4 ~per_tooth:6 ~mu:(ri 5) in
+  let p = Predictor.build Predictor.Exact instance in
+  let packing = Simulator.run ~policy:(Duration_class_fit.policy p) instance in
+  Array.iter
+    (fun (b : Packing.bin_record) ->
+      let classes =
+        List.map
+          (fun id ->
+            let item = Instance.item instance id in
+            Duration_class_fit.class_of ~base:Rat.one
+              ~duration:(Item.length item))
+          b.Packing.item_ids
+        |> List.sort_uniq compare
+      in
+      if List.length classes > 1 then
+        Alcotest.failf "bin %d mixes duration classes" b.Packing.bin_id)
+    packing.Packing.bins
+
+let duration_class_props =
+  [
+    qcheck ~count:100 "duration-class packings always valid"
+      (instance_gen ~max_items:25 ()) (fun instance ->
+        let p = Predictor.build Predictor.Exact instance in
+        Packing.validate
+          (Simulator.run ~policy:(Duration_class_fit.policy p) instance)
+        = Ok ());
+    qcheck ~count:100 "class_of is monotone in duration"
+      QCheck2.Gen.(pair (int_range 1 200) (int_range 1 200))
+      (fun (a, b) ->
+        let cls n =
+          Duration_class_fit.class_of ~base:Rat.one ~duration:(Rat.make n 10)
+        in
+        a > b || cls a <= cls b);
+  ]
+
+let suite =
+  suite
+  @ [
+      Alcotest.test_case "duration classes" `Quick test_duration_classes;
+      Alcotest.test_case "duration-class optimal on the adversary" `Quick
+        test_duration_class_optimal_on_fragmentation;
+      Alcotest.test_case "duration classes never mix" `Quick
+        test_duration_class_never_mixes;
+    ]
+  @ duration_class_props

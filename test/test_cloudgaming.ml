@@ -1,0 +1,245 @@
+open Dbp_num
+open Dbp_core
+open Dbp_cloudgaming
+open Test_util
+
+let game = Game.make ~title:"test" ~gpu_share:(r 1 4)
+
+let test_game_validation () =
+  Alcotest.(check bool) "zero share" true
+    (try
+       ignore (Game.make ~title:"x" ~gpu_share:Rat.zero);
+       false
+     with Invalid_argument _ -> true);
+  Alcotest.(check bool) "share > 1" true
+    (try
+       ignore (Game.make ~title:"x" ~gpu_share:Rat.two);
+       false
+     with Invalid_argument _ -> true);
+  Alcotest.(check int) "default catalog" 8
+    (Array.length Game.default_catalog.Game.games)
+
+let test_request () =
+  let req = Request.make ~request_id:3 ~game ~start:Rat.one ~stop:(ri 3) in
+  check_rat "session length" Rat.two (Request.session_length req);
+  let item = Request.to_item req in
+  Alcotest.(check int) "item id" 3 item.Item.id;
+  check_rat "item size = gpu share" (r 1 4) item.Item.size;
+  Alcotest.(check bool) "stop <= start rejected" true
+    (try
+       ignore (Request.make ~request_id:0 ~game ~start:Rat.one ~stop:Rat.one);
+       false
+     with Invalid_argument _ -> true)
+
+let test_billing_exact () =
+  let m = Billing.exact ~rate:(ri 3) in
+  check_rat "charge" (r 9 2) (Billing.charge m ~usage:(r 3 2));
+  check_rat "zero usage" Rat.zero (Billing.charge m ~usage:Rat.zero);
+  check_rat "total" (ri 9) (Billing.total m ~usages:[ Rat.one; Rat.two ])
+
+let test_billing_hourly () =
+  let m = Billing.hourly ~rate_per_hour:(ri 2) in
+  check_rat "rounds up" (ri 4) (Billing.charge m ~usage:(r 3 2));
+  check_rat "exact hour" (ri 2) (Billing.charge m ~usage:Rat.one);
+  check_rat "zero is free" Rat.zero (Billing.charge m ~usage:Rat.zero);
+  Alcotest.(check bool) "hourly >= exact always" true
+    (List.for_all
+       (fun u ->
+         Rat.(
+           Billing.charge m ~usage:u
+           >= Billing.charge (Billing.exact ~rate:(ri 2)) ~usage:u))
+       [ r 1 10; Rat.one; r 7 3; ri 5 ])
+
+let test_workload_generation () =
+  let profile =
+    { Gaming_workload.default_profile with
+      Gaming_workload.duration_hours = 6.0;
+      base_rate = 20.0 }
+  in
+  let requests = Gaming_workload.generate ~seed:1L profile in
+  Alcotest.(check bool) "nonempty" true (List.length requests > 20);
+  List.iter
+    (fun (req : Request.t) ->
+      let len = Rat.to_float (Request.session_length req) in
+      if len < 0.24 || len > 8.01 then
+        Alcotest.failf "session length out of clamps: %f" len)
+    requests;
+  (* deterministic *)
+  let again = Gaming_workload.generate ~seed:1L profile in
+  Alcotest.(check int) "deterministic count" (List.length requests)
+    (List.length again);
+  Alcotest.(check bool) "mu within clamp ratio" true
+    Rat.(Gaming_workload.mu_of requests <= Rat.of_float (8.0 /. 0.25))
+
+let test_dispatch_consistency () =
+  let profile =
+    { Gaming_workload.default_profile with
+      Gaming_workload.duration_hours = 4.0;
+      base_rate = 15.0 }
+  in
+  let requests = Gaming_workload.generate ~seed:2L profile in
+  let report = Dispatcher.dispatch ~policy:First_fit.policy requests in
+  assert_valid_packing report.Dispatcher.packing;
+  Alcotest.(check int) "request count" (List.length requests)
+    report.Dispatcher.requests;
+  check_rat "exact billing = server hours"
+    report.Dispatcher.server_hours report.Dispatcher.dollar_cost;
+  Alcotest.(check bool) "cost >= offline lower bound" true
+    Rat.(report.Dispatcher.server_hours >= report.Dispatcher.offline_lower_bound);
+  Alcotest.(check bool) "utilisation in (0,1]" true
+    Rat.(report.Dispatcher.mean_utilisation > Rat.zero)
+    ;
+  Alcotest.(check bool) "utilisation <= 1" true
+    Rat.(report.Dispatcher.mean_utilisation <= Rat.one);
+  Alcotest.(check bool) "peak <= used" true
+    (report.Dispatcher.peak_servers <= report.Dispatcher.servers_used)
+
+let test_compare_policies () =
+  let profile =
+    { Gaming_workload.default_profile with
+      Gaming_workload.duration_hours = 3.0;
+      base_rate = 15.0 }
+  in
+  let requests = Gaming_workload.generate ~seed:3L profile in
+  let reports =
+    Dispatcher.compare_policies
+      ~policies:[ First_fit.policy; Best_fit.policy; Next_fit.policy ]
+      requests
+  in
+  Alcotest.(check int) "three reports" 3 (List.length reports);
+  (* same offline bound on the same trace *)
+  match reports with
+  | [ a; b; c ] ->
+      check_rat "same lower bound ab" a.Dispatcher.offline_lower_bound
+        b.Dispatcher.offline_lower_bound;
+      check_rat "same lower bound ac" a.Dispatcher.offline_lower_bound
+        c.Dispatcher.offline_lower_bound
+  | _ -> Alcotest.fail "shape"
+
+let test_hourly_billing_dominates () =
+  let profile =
+    { Gaming_workload.default_profile with
+      Gaming_workload.duration_hours = 3.0;
+      base_rate = 10.0 }
+  in
+  let requests = Gaming_workload.generate ~seed:4L profile in
+  let exact =
+    Dispatcher.dispatch ~billing:(Billing.exact ~rate:Rat.one)
+      ~policy:First_fit.policy requests
+  in
+  let hourly =
+    Dispatcher.dispatch ~billing:(Billing.hourly ~rate_per_hour:Rat.one)
+      ~policy:First_fit.policy requests
+  in
+  Alcotest.(check bool) "hourly costs at least exact" true
+    Rat.(hourly.Dispatcher.dollar_cost >= exact.Dispatcher.dollar_cost)
+
+let test_flat_profile () =
+  let profile =
+    { Gaming_workload.default_profile with
+      Gaming_workload.diurnal_amplitude = 0.0;
+      duration_hours = 2.0 }
+  in
+  Alcotest.(check bool) "flat profile generates" true
+    (List.length (Gaming_workload.generate ~seed:5L profile) > 0)
+
+let suite =
+  [
+    Alcotest.test_case "game validation" `Quick test_game_validation;
+    Alcotest.test_case "request" `Quick test_request;
+    Alcotest.test_case "billing exact" `Quick test_billing_exact;
+    Alcotest.test_case "billing hourly" `Quick test_billing_hourly;
+    Alcotest.test_case "workload generation" `Quick test_workload_generation;
+    Alcotest.test_case "dispatch consistency" `Quick test_dispatch_consistency;
+    Alcotest.test_case "compare policies" `Quick test_compare_policies;
+    Alcotest.test_case "hourly billing dominates" `Quick
+      test_hourly_billing_dominates;
+    Alcotest.test_case "flat profile" `Quick test_flat_profile;
+  ]
+
+(* ---- additional billing/workload edges ------------------------------- *)
+
+let test_billing_block_sizes () =
+  let m = Billing.Per_block { rate = r 3 2; block = r 1 2 } in
+  (* usage 0.7 -> 2 blocks of 1/2 -> pay 3/2 * 2 * 1/2 = 3/2 *)
+  check_rat "sub-hour blocks" (r 3 2) (Billing.charge m ~usage:(r 7 10));
+  check_rat "exact block boundary" (r 3 4) (Billing.charge m ~usage:(r 1 2));
+  Alcotest.(check bool) "negative usage rejected" true
+    (try
+       ignore (Billing.charge m ~usage:(Rat.neg Rat.one));
+       false
+     with Invalid_argument _ -> true)
+
+let test_zipf_popularity_shows () =
+  (* with enough requests, the most popular title must dominate the
+     rarest *)
+  let profile =
+    { Gaming_workload.default_profile with
+      Gaming_workload.duration_hours = 20.0;
+      base_rate = 50.0 }
+  in
+  let requests = Gaming_workload.generate ~seed:21L profile in
+  let count title =
+    List.length
+      (List.filter (fun (r : Request.t) -> r.game.Game.title = title) requests)
+  in
+  Alcotest.(check bool) "puzzle-2d >> aaa-rpg" true
+    (count "puzzle-2d" > 3 * count "aaa-rpg")
+
+let test_diurnal_modulation () =
+  (* amplitude 0.9: arrivals cluster near the 12h peak (rate_at is
+     lowest at t=0 and highest at t=12 for a 24h cycle) *)
+  let profile =
+    { Gaming_workload.default_profile with
+      Gaming_workload.duration_hours = 24.0;
+      base_rate = 40.0;
+      diurnal_amplitude = 0.9 }
+  in
+  let requests = Gaming_workload.generate ~seed:22L profile in
+  let in_window lo hi =
+    List.length
+      (List.filter
+         (fun (r : Request.t) ->
+           let t = Rat.to_float r.start in
+           t >= lo && t < hi)
+         requests)
+  in
+  Alcotest.(check bool) "peak hours busier than trough" true
+    (in_window 10.0 14.0 > 2 * in_window 0.0 4.0)
+
+let dispatch_props =
+  [
+    Test_util.qcheck ~count:50 "dispatch reports are internally consistent"
+      QCheck2.Gen.(map Int64.of_int (int_range 1 1000))
+      (fun seed ->
+        let profile =
+          { Gaming_workload.default_profile with
+            Gaming_workload.duration_hours = 3.0;
+            base_rate = 15.0 }
+        in
+        match Gaming_workload.generate ~seed profile with
+        | [] -> true
+        | requests ->
+            let report = Dispatcher.dispatch ~policy:Best_fit.policy requests in
+            let hours_from_bins =
+              Array.to_list report.Dispatcher.packing.Packing.bins
+              |> List.map (fun b -> Interval.length (Packing.usage_period b))
+              |> Rat.sum
+            in
+            Rat.equal report.Dispatcher.server_hours hours_from_bins
+            && report.Dispatcher.peak_servers
+               = report.Dispatcher.packing.Packing.max_bins
+            && Rat.(report.Dispatcher.mean_utilisation <= Rat.one)
+            && Rat.(
+                 report.Dispatcher.server_hours
+                 >= report.Dispatcher.offline_lower_bound));
+  ]
+
+let suite =
+  suite
+  @ [
+      Alcotest.test_case "billing block sizes" `Quick test_billing_block_sizes;
+      Alcotest.test_case "zipf popularity" `Quick test_zipf_popularity_shows;
+      Alcotest.test_case "diurnal modulation" `Quick test_diurnal_modulation;
+    ]
+  @ dispatch_props

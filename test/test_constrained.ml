@@ -1,0 +1,206 @@
+open Dbp_num
+open Dbp_core
+open Dbp_constrained
+open Test_util
+
+let mk ?(size = r 1 2) a d =
+  Item.make ~id:0 ~size ~arrival:(ri a) ~departure:(ri d)
+
+let inst items = Instance.create ~capacity:Rat.one items
+let regions = [ "east"; "west" ]
+
+let test_validation () =
+  let instance = inst [ mk 0 2; mk 1 3 ] in
+  Alcotest.(check bool) "empty regions" true
+    (try
+       ignore (Constrained_instance.create ~regions:[] ~allowed:[] instance);
+       false
+     with Invalid_argument _ -> true);
+  Alcotest.(check bool) "duplicate regions" true
+    (try
+       ignore
+         (Constrained_instance.create ~regions:[ "a"; "a" ]
+            ~allowed:[ [ "a" ]; [ "a" ] ] instance);
+       false
+     with Invalid_argument _ -> true);
+  Alcotest.(check bool) "length mismatch" true
+    (try
+       ignore
+         (Constrained_instance.create ~regions ~allowed:[ [ "east" ] ] instance);
+       false
+     with Invalid_argument _ -> true);
+  Alcotest.(check bool) "empty allowed" true
+    (try
+       ignore
+         (Constrained_instance.create ~regions ~allowed:[ [ "east" ]; [] ]
+            instance);
+       false
+     with Invalid_argument _ -> true);
+  Alcotest.(check bool) "unknown region" true
+    (try
+       ignore
+         (Constrained_instance.create ~regions
+            ~allowed:[ [ "east" ]; [ "mars" ] ]
+            instance);
+       false
+     with Invalid_argument _ -> true)
+
+let test_unconstrained () =
+  let ci = Constrained_instance.unconstrained ~regions (inst [ mk 0 2 ]) in
+  Alcotest.(check (list string)) "all regions allowed" regions
+    (Constrained_instance.allowed_of ci 0)
+
+let test_placement_respects_constraints () =
+  (* Two items that would share a bin, but in different regions. *)
+  let instance = inst [ mk ~size:(r 1 4) 0 4; mk ~size:(r 1 4) 1 3 ] in
+  let ci =
+    Constrained_instance.create ~regions
+      ~allowed:[ [ "east" ]; [ "west" ] ]
+      instance
+  in
+  let packing = Constrained_policy.run ~policy:Constrained_policy.first_fit ci in
+  assert_valid_packing packing;
+  Alcotest.(check int) "two bins (regions disjoint)" 2
+    (Packing.bins_used packing);
+  Alcotest.(check bool) "regions validated" true
+    (Constrained_policy.validate_regions ci packing = Ok ());
+  (* Unconstrained, they share. *)
+  let free = Constrained_instance.unconstrained ~regions instance in
+  let packing' =
+    Constrained_policy.run ~policy:Constrained_policy.first_fit free
+  in
+  Alcotest.(check int) "one bin when free" 1 (Packing.bins_used packing')
+
+let test_validate_regions_catches_violation () =
+  let instance = inst [ mk 0 2 ] in
+  let ci =
+    Constrained_instance.create ~regions ~allowed:[ [ "east" ] ] instance
+  in
+  (* Pack with a policy that ignores constraints and tags "west". *)
+  let rogue =
+    Policy.stateless ~name:"rogue" (fun ~capacity:_ ~now:_ ~bins:_ ~size:_ ->
+        Policy.New_bin "west")
+  in
+  let packing = Simulator.run ~policy:rogue instance in
+  Alcotest.(check bool) "violation detected" true
+    (Constrained_policy.validate_regions ci packing <> Ok ())
+
+let test_region_rules () =
+  (* Four big items allowed everywhere: First_allowed stacks all bins
+     in region "east"; Fewest_open_bins alternates. *)
+  let instance =
+    inst (List.init 4 (fun _ -> mk ~size:(r 3 5) 0 4))
+  in
+  let ci = Constrained_instance.unconstrained ~regions instance in
+  let stacked = Constrained_policy.run ~policy:Constrained_policy.first_fit ci in
+  let east_only =
+    Array.for_all
+      (fun (b : Packing.bin_record) -> b.tag = "east")
+      stacked.Packing.bins
+  in
+  Alcotest.(check bool) "first-allowed stacks east" true east_only;
+  let balanced =
+    Constrained_policy.run
+      ~policy:
+        (Constrained_policy.first_fit ~rule:Constrained_policy.Fewest_open_bins)
+      ci
+  in
+  let tags =
+    Array.to_list balanced.Packing.bins
+    |> List.map (fun (b : Packing.bin_record) -> b.tag)
+    |> List.sort_uniq compare
+  in
+  Alcotest.(check (list string)) "balanced uses both regions"
+    [ "east"; "west" ] tags
+
+let test_restrict_and_lower_bound () =
+  let instance = inst [ mk 0 2; mk 1 3; mk 4 6 ] in
+  let ci =
+    Constrained_instance.create ~regions
+      ~allowed:[ [ "east" ]; [ "east"; "west" ]; [ "west" ] ]
+      instance
+  in
+  (match Constrained_instance.restrict_to_region ci "east" with
+  | Some sub -> Alcotest.(check int) "east-only items" 1 (Instance.size sub)
+  | None -> Alcotest.fail "expected east-only items");
+  (* single-region spans: east-only [0,2] = 2, west-only [4,6] = 2 -> 4;
+     dominates span(R) = 5? span = [0,3] u [4,6] = 5 -> LB = 5. *)
+  check_rat "lower bound" (ri 5) (Constrained_instance.lower_bound ci);
+  (* tighten: all single-region -> sum of spans = 2 + (1..3 west? ...) *)
+  let ci2 =
+    Constrained_instance.create ~regions
+      ~allowed:[ [ "east" ]; [ "west" ]; [ "west" ] ]
+      instance
+  in
+  (* east: span [0,2] = 2; west: [1,3] u [4,6] = 4; total 6 > span 5 *)
+  check_rat "lower bound tightened" (ri 6)
+    (Constrained_instance.lower_bound ci2)
+
+let test_geo () =
+  let instance = inst (List.init 30 (fun i -> mk i (i + 2))) in
+  let tight = Geo.constrain ~seed:3L ~latency_budget:0.1 instance in
+  Alcotest.(check bool) "tight budget -> singletons" true
+    (Geo.mean_allowed tight <= 1.2);
+  let free = Geo.constrain ~seed:3L ~latency_budget:2.0 instance in
+  Alcotest.(check bool) "huge budget -> all four" true
+    (Geo.mean_allowed free = 4.0);
+  Alcotest.(check bool) "negative budget rejected" true
+    (try
+       ignore (Geo.constrain ~latency_budget:(-1.0) instance);
+       false
+     with Invalid_argument _ -> true)
+
+let test_classic_dbp () =
+  let instance =
+    Dbp_workload.Patterns.fragmentation ~k:4 ~mu:(ri 6)
+  in
+  let packing = Simulator.run ~policy:First_fit.policy instance in
+  let opt = Dbp_opt.Opt_total.compute instance in
+  let classic = Dbp_analysis.Classic_dbp.measure packing ~opt in
+  Alcotest.(check int) "FF peak 4" 4 classic.Dbp_analysis.Classic_dbp.algorithm_max_bins;
+  Alcotest.(check int) "OPT peak 4" 4 classic.Dbp_analysis.Classic_dbp.opt_max_bins;
+  check_rat "classic ratio 1" Rat.one classic.Dbp_analysis.Classic_dbp.ratio
+
+let prop_tests =
+  [
+    qcheck ~count:100 "constrained FF always respects constraints"
+      (instance_gen ~max_items:25 ()) (fun instance ->
+        let ci = Geo.constrain ~seed:9L ~latency_budget:0.7 instance in
+        let packing =
+          Constrained_policy.run ~policy:Constrained_policy.first_fit ci
+        in
+        Constrained_policy.validate_regions ci packing = Ok ()
+        && Packing.validate packing = Ok ());
+    qcheck ~count:100 "constrained cost >= constrained lower bound"
+      (instance_gen ~max_items:20 ()) (fun instance ->
+        let ci = Geo.constrain ~seed:10L ~latency_budget:0.5 instance in
+        let packing =
+          Constrained_policy.run ~policy:Constrained_policy.best_fit ci
+        in
+        Rat.(packing.Packing.total_cost >= Constrained_instance.lower_bound ci));
+    qcheck ~count:80 "unconstrained wrapper = plain FF cost"
+      (instance_gen ~max_items:20 ()) (fun instance ->
+        let ci = Constrained_instance.unconstrained ~regions:[ "r" ] instance in
+        let cff =
+          Constrained_policy.run ~policy:Constrained_policy.first_fit ci
+        in
+        let ff = Simulator.run ~policy:First_fit.policy instance in
+        Rat.equal cff.Packing.total_cost ff.Packing.total_cost
+        && cff.Packing.assignment = ff.Packing.assignment);
+  ]
+
+let suite =
+  [
+    Alcotest.test_case "validation" `Quick test_validation;
+    Alcotest.test_case "unconstrained" `Quick test_unconstrained;
+    Alcotest.test_case "placements respect constraints" `Quick
+      test_placement_respects_constraints;
+    Alcotest.test_case "rogue placements detected" `Quick
+      test_validate_regions_catches_violation;
+    Alcotest.test_case "region rules" `Quick test_region_rules;
+    Alcotest.test_case "restrict/lower bound" `Quick
+      test_restrict_and_lower_bound;
+    Alcotest.test_case "geo constraints" `Quick test_geo;
+    Alcotest.test_case "classic objective" `Quick test_classic_dbp;
+  ]
+  @ prop_tests

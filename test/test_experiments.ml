@@ -1,0 +1,58 @@
+(* Smoke tests for the experiment registry: every experiment is
+   resolvable, and the fast ones run end-to-end with zero failed
+   checks.  (The full battery runs in bench/main.exe and the CLI.) *)
+
+open Dbp_experiments
+
+let test_registry_complete () =
+  Alcotest.(check int) "seventeen experiments" 17
+    (List.length Registry.all_names);
+  List.iter
+    (fun n ->
+      if not (List.mem n Registry.all_names) then
+        Alcotest.failf "missing experiment %s" n)
+    [ "E1"; "E2"; "E3"; "E4"; "E5"; "E6"; "E7"; "E8"; "E9"; "E10"; "E11";
+      "E12"; "E13"; "E14"; "E15"; "E16"; "E17" ];
+  Alcotest.(check bool) "unknown name" true (Registry.run "E99" = None)
+
+let run_clean name =
+  match Registry.run name with
+  | None -> Alcotest.failf "experiment %s not found" name
+  | Some o ->
+      Alcotest.(check int)
+        (name ^ " failed checks")
+        0 o.Exp_common.checks_failed;
+      Alcotest.(check bool)
+        (name ^ " has artefacts")
+        true
+        (o.Exp_common.tables <> [] && o.Exp_common.checks_total > 0);
+      List.iter
+        (fun t ->
+          if Dbp_analysis.Table.row_count t = 0 then
+            Alcotest.failf "%s produced an empty table" name)
+        o.Exp_common.tables
+
+let test_e1 () = run_clean "e1"
+let test_e3 () = run_clean "E3"
+let test_e10 () = run_clean "e10"
+let test_e16 () = run_clean "e16"
+
+let test_render_outcome () =
+  match Registry.run "e1" with
+  | None -> Alcotest.fail "e1 missing"
+  | Some o ->
+      let rendered = Exp_common.render_outcome o in
+      Alcotest.(check bool) "has verdict line" true
+        (Test_util.contains ~sub:"checks passed" rendered);
+      Alcotest.(check bool) "has table" true
+        (Test_util.contains ~sub:"measured ratio" rendered)
+
+let suite =
+  [
+    Alcotest.test_case "registry complete" `Quick test_registry_complete;
+    Alcotest.test_case "E1 clean" `Slow test_e1;
+    Alcotest.test_case "E3 clean" `Slow test_e3;
+    Alcotest.test_case "E10 clean" `Slow test_e10;
+    Alcotest.test_case "E16 clean" `Slow test_e16;
+    Alcotest.test_case "render outcome" `Quick test_render_outcome;
+  ]

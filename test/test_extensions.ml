@@ -1,0 +1,212 @@
+open Dbp_num
+open Dbp_core
+open Dbp_analysis
+open Test_util
+
+(* ---- Harmonic_fit ---------------------------------------------------- *)
+
+let test_harmonic_classes () =
+  let cls s = Harmonic_fit.class_of ~capacity:Rat.one ~classes:4 s in
+  Alcotest.(check int) "3/4 -> class 1" 1 (cls (r 3 4));
+  Alcotest.(check int) "just above 1/2 -> class 1" 1 (cls (r 51 100));
+  Alcotest.(check int) "1/2 -> class 2" 2 (cls (r 1 2));
+  Alcotest.(check int) "2/5 -> class 2" 2 (cls (r 2 5));
+  Alcotest.(check int) "1/3 -> class 3" 3 (cls (r 1 3));
+  Alcotest.(check int) "0.3 -> class 3" 3 (cls (r 3 10));
+  Alcotest.(check int) "1/4 -> class 4" 4 (cls (r 1 4));
+  Alcotest.(check int) "tiny -> last class" 4 (cls (r 1 100));
+  Alcotest.(check bool) "rejects oversize" true
+    (try
+       ignore (cls (ri 2));
+       false
+     with Invalid_argument _ -> true)
+
+let mk ?(size = r 1 2) a d =
+  Item.make ~id:0 ~size ~arrival:(ri a) ~departure:(ri d)
+
+let inst items = Instance.create ~capacity:Rat.one items
+
+let test_harmonic_separates_classes () =
+  (* A 0.6 (class 1) and a 0.3 (class 3) could share a bin; Harmonic
+     refuses. *)
+  let instance = inst [ mk ~size:(r 3 5) 0 5; mk ~size:(r 3 10) 0 5 ] in
+  let packing = Simulator.run ~policy:(Harmonic_fit.policy ~classes:4) instance in
+  assert_valid_packing packing;
+  Alcotest.(check int) "two bins" 2 (Packing.bins_used packing)
+
+let test_harmonic_packs_within_class () =
+  (* Three 0.3 items are all class 3 and share one bin under FF. *)
+  let instance =
+    inst [ mk ~size:(r 3 10) 0 5; mk ~size:(r 3 10) 0 5; mk ~size:(r 3 10) 0 5 ]
+  in
+  let packing = Simulator.run ~policy:(Harmonic_fit.policy ~classes:4) instance in
+  Alcotest.(check int) "one bin" 1 (Packing.bins_used packing)
+
+let test_harmonic_validation () =
+  Alcotest.(check bool) "classes < 2" true
+    (try
+       ignore (Harmonic_fit.policy ~classes:1);
+       false
+     with Invalid_argument _ -> true)
+
+(* ---- Stats ------------------------------------------------------------ *)
+
+let test_stats_known_values () =
+  let s = Stats.summarise [ 1.0; 2.0; 3.0; 4.0 ] in
+  Alcotest.(check int) "count" 4 s.Stats.count;
+  Alcotest.(check (float 1e-9)) "mean" 2.5 s.Stats.mean;
+  Alcotest.(check (float 1e-9)) "median" 2.5 s.Stats.median;
+  Alcotest.(check (float 1e-9)) "min" 1.0 s.Stats.minimum;
+  Alcotest.(check (float 1e-9)) "max" 4.0 s.Stats.maximum;
+  Alcotest.(check (float 1e-6)) "stddev" 1.2909944487 s.Stats.stddev;
+  let single = Stats.summarise [ 7.0 ] in
+  Alcotest.(check (float 1e-9)) "single stddev 0" 0.0 single.Stats.stddev;
+  Alcotest.(check (float 1e-9)) "single ci 0" 0.0 single.Stats.ci95_half_width
+
+let test_stats_quantile () =
+  let xs = [ 10.0; 20.0; 30.0; 40.0; 50.0 ] in
+  Alcotest.(check (float 1e-9)) "q0" 10.0 (Stats.quantile xs ~q:0.0);
+  Alcotest.(check (float 1e-9)) "q1" 50.0 (Stats.quantile xs ~q:1.0);
+  Alcotest.(check (float 1e-9)) "median" 30.0 (Stats.quantile xs ~q:0.5);
+  Alcotest.(check (float 1e-9)) "interpolated" 15.0 (Stats.quantile xs ~q:0.125);
+  Alcotest.(check bool) "empty rejected" true
+    (try
+       ignore (Stats.summarise []);
+       false
+     with Invalid_argument _ -> true)
+
+let stats_props =
+  let open QCheck2 in
+  let xs_gen =
+    Gen.(list_size (int_range 1 40) (map float_of_int (int_range (-50) 50)))
+  in
+  [
+    qcheck "mean within [min, max]" xs_gen (fun xs ->
+        let s = Stats.summarise xs in
+        s.Stats.minimum <= s.Stats.mean +. 1e-9
+        && s.Stats.mean <= s.Stats.maximum +. 1e-9);
+    qcheck "median within [min, max]" xs_gen (fun xs ->
+        let s = Stats.summarise xs in
+        s.Stats.minimum <= s.Stats.median && s.Stats.median <= s.Stats.maximum);
+    qcheck "quantile monotone" xs_gen (fun xs ->
+        Stats.quantile xs ~q:0.25 <= Stats.quantile xs ~q:0.75 +. 1e-9);
+    qcheck "stddev non-negative" xs_gen (fun xs -> Stats.stddev xs >= 0.0);
+  ]
+
+(* ---- Timeline rendering ------------------------------------------------ *)
+
+let test_timeline_render () =
+  let instance = inst [ mk 0 4; mk ~size:(r 2 3) 1 3; mk 5 6 ] in
+  let packing = Simulator.run ~policy:First_fit.policy instance in
+  let rendered = Timeline_render.render ~width:40 packing in
+  Alcotest.(check bool) "mentions policy" true
+    (contains ~sub:"first_fit" rendered);
+  Alcotest.(check bool) "row per bin" true
+    (List.length (String.split_on_char '\n' rendered)
+    >= Packing.bins_used packing + 2);
+  Alcotest.(check bool) "has fill glyphs" true
+    (contains ~sub:"#" rendered || contains ~sub:"=" rendered
+    || contains ~sub:"-" rendered)
+
+(* ---- adversarial policy fuzz: the simulator's invariants hold for ANY
+   policy that makes valid decisions ------------------------------------ *)
+
+let chaotic_policy ~seed =
+  let open Dbp_rand in
+  Policy.make ~name:"chaos" (fun ~capacity:_ ->
+      let rng = Splitmix64.create seed in
+      {
+        Policy.on_arrival =
+          (fun ~now:_ ~bins ~size ~item_id:_ ->
+            (* sometimes open a new bin even when something fits;
+               sometimes pick a random fitting bin *)
+            let fitting = Fit.fitting bins ~size in
+            if fitting = [] || Splitmix64.next_bool rng then
+              Policy.New_bin "chaos"
+            else
+              let n = List.length fitting in
+              Policy.Existing
+                (List.nth fitting (Splitmix64.next_int rng n)).Bin.bin_id);
+        on_departure = Policy.no_departure_handler;
+      })
+
+let fuzz_props =
+  [
+    qcheck ~count:150 "chaotic policies still yield valid packings"
+      (instance_gen ~max_items:25 ()) (fun instance ->
+        let packing =
+          Simulator.run ~policy:(chaotic_policy ~seed:5L) instance
+        in
+        Packing.validate packing = Ok ());
+    qcheck ~count:100 "chaotic cost within (b.2)-(b.3) bounds"
+      (instance_gen ~max_items:20 ()) (fun instance ->
+        let packing =
+          Simulator.run ~policy:(chaotic_policy ~seed:6L) instance
+        in
+        Rat.(packing.Packing.total_cost >= Instance.span instance)
+        && Rat.(
+             packing.Packing.total_cost
+             <= Rat.sum
+                  (List.map Item.length
+                     (Array.to_list (Instance.items instance)))));
+    qcheck ~count:100 "harmonic never mixes classes"
+      (instance_gen ~max_items:25 ()) (fun instance ->
+        let packing =
+          Simulator.run ~policy:(Harmonic_fit.policy ~classes:4) instance
+        in
+        Array.for_all
+          (fun (b : Packing.bin_record) ->
+            let classes =
+              List.map
+                (fun id ->
+                  Harmonic_fit.class_of
+                    ~capacity:(Instance.capacity instance)
+                    ~classes:4
+                    (Instance.item instance id).Item.size)
+                b.item_ids
+              |> List.sort_uniq compare
+            in
+            List.length classes <= 1)
+          packing.Packing.bins);
+    qcheck ~count:100 "class-i bins hold at most i concurrent items (i<4)"
+      (instance_gen ~max_items:25 ()) (fun instance ->
+        let packing =
+          Simulator.run ~policy:(Harmonic_fit.policy ~classes:4) instance
+        in
+        (* check at every event time *)
+        List.for_all
+          (fun t ->
+            Array.for_all
+              (fun (b : Packing.bin_record) ->
+                let active =
+                  List.filter
+                    (fun id -> Item.active_at (Instance.item instance id) t)
+                    b.item_ids
+                in
+                match active with
+                | [] -> true
+                | id :: _ ->
+                    let cls =
+                      Harmonic_fit.class_of
+                        ~capacity:(Instance.capacity instance)
+                        ~classes:4
+                        (Instance.item instance id).Item.size
+                    in
+                    cls >= 4 || List.length active <= cls)
+              packing.Packing.bins)
+          (Instance.event_times instance));
+  ]
+
+let suite =
+  [
+    Alcotest.test_case "harmonic class boundaries" `Quick test_harmonic_classes;
+    Alcotest.test_case "harmonic separates classes" `Quick
+      test_harmonic_separates_classes;
+    Alcotest.test_case "harmonic packs within class" `Quick
+      test_harmonic_packs_within_class;
+    Alcotest.test_case "harmonic validation" `Quick test_harmonic_validation;
+    Alcotest.test_case "stats known values" `Quick test_stats_known_values;
+    Alcotest.test_case "stats quantile" `Quick test_stats_quantile;
+    Alcotest.test_case "timeline render" `Quick test_timeline_render;
+  ]
+  @ stats_props @ fuzz_props

@@ -1,0 +1,183 @@
+open Dbp_num
+open Dbp_core
+open Dbp_cloudgaming
+open Test_util
+
+let mk ?(size = r 1 2) a d =
+  Item.make ~id:0 ~size ~arrival:(ri a) ~departure:(ri d)
+
+(* ---- heterogeneous capacities in the core simulator ---------------- *)
+
+let two_tier tag = if tag = "big" then Rat.two else Rat.one
+
+let big_little_policy =
+  (* Items > 1 go to (or open) "big" bins; others first-fit anywhere. *)
+  Policy.stateless ~name:"big-little" (fun ~capacity:_ ~now:_ ~bins ~size ->
+      match Fit.first bins ~size with
+      | Some v -> Policy.Existing v.Bin.bin_id
+      | None -> Policy.New_bin (if Rat.(size > Rat.one) then "big" else "little"))
+
+let test_heterogeneous_capacities () =
+  let instance =
+    Instance.create ~capacity:Rat.two
+      [ mk ~size:(r 3 2) 0 4; mk ~size:(r 1 2) 0 4; mk ~size:(r 1 2) 1 3 ]
+  in
+  let packing =
+    Simulator.run ~tag_capacity:two_tier ~policy:big_little_policy instance
+  in
+  assert_valid_packing packing;
+  (* 3/2 opens a big bin (residual 1/2): the first 1/2 joins it; the
+     second 1/2 does not fit (big is full) -> little bin. *)
+  Alcotest.(check int) "two bins" 2 (Packing.bins_used packing);
+  let b0 = packing.Packing.bins.(0) in
+  Alcotest.(check string) "first bin is big" "big" b0.Packing.tag;
+  check_rat "big capacity" Rat.two b0.Packing.capacity;
+  check_rat "big filled" Rat.two b0.Packing.max_level;
+  let b1 = packing.Packing.bins.(1) in
+  check_rat "little capacity" Rat.one b1.Packing.capacity
+
+let test_oversized_for_tag_rejected () =
+  let instance =
+    Instance.create ~capacity:Rat.two [ mk ~size:(r 3 2) 0 1 ]
+  in
+  let little_only =
+    Policy.stateless ~name:"little-only" (fun ~capacity:_ ~now:_ ~bins:_ ~size:_ ->
+        Policy.New_bin "little")
+  in
+  Alcotest.(check bool) "item bigger than its tag capacity" true
+    (try
+       ignore (Simulator.run ~tag_capacity:two_tier ~policy:little_only instance);
+       false
+     with Simulator.Invalid_decision _ -> true)
+
+(* ---- Fleet ----------------------------------------------------------- *)
+
+let requests =
+  Gaming_workload.generate ~seed:8L
+    { Gaming_workload.default_profile with
+      Gaming_workload.duration_hours = 4.0;
+      base_rate = 25.0 }
+
+let test_vm_type_validation () =
+  Alcotest.(check bool) "zero gpu" true
+    (try
+       ignore (Fleet.vm_type ~name:"x" ~gpu:Rat.zero ~hourly_price:Rat.one);
+       false
+     with Invalid_argument _ -> true);
+  Alcotest.(check bool) "duplicate names" true
+    (try
+       ignore
+         (Fleet.policy
+            ~types:
+              [
+                Fleet.vm_type ~name:"a" ~gpu:Rat.one ~hourly_price:Rat.one;
+                Fleet.vm_type ~name:"a" ~gpu:Rat.two ~hourly_price:Rat.one;
+              ]
+            ~strategy:Fleet.Largest);
+       false
+     with Invalid_argument _ -> true);
+  Alcotest.(check bool) "unknown single type" true
+    (try
+       ignore
+         (Fleet.policy ~types:Fleet.default_types
+            ~strategy:(Fleet.Single "nope"));
+       false
+     with Invalid_argument _ -> true)
+
+let test_fleet_dispatch () =
+  let report =
+    Fleet.dispatch ~types:Fleet.default_types ~strategy:Fleet.Smallest_fitting
+      requests
+  in
+  assert_valid_packing report.Fleet.packing;
+  (* all games fit on 1 GPU, so smallest-fitting launches only smalls *)
+  List.iter
+    (fun (name, n) ->
+      if name <> "g.small" && n > 0 then
+        Alcotest.failf "unexpected %s servers" name)
+    report.Fleet.servers_by_type;
+  Alcotest.(check bool) "positive cost" true
+    Rat.(report.Fleet.dollar_cost > Rat.zero)
+
+let test_fleet_largest_uses_xlarge_only () =
+  let report =
+    Fleet.dispatch ~types:Fleet.default_types ~strategy:Fleet.Largest requests
+  in
+  List.iter
+    (fun (name, n) ->
+      if name <> "g.xlarge" && n > 0 then
+        Alcotest.failf "unexpected %s servers" name)
+    report.Fleet.servers_by_type;
+  (* capacity respected per type *)
+  Array.iter
+    (fun (b : Packing.bin_record) ->
+      check_rat "xlarge capacity" (ri 4) b.Packing.capacity;
+      Alcotest.(check bool) "level within capacity" true
+        Rat.(b.Packing.max_level <= b.Packing.capacity))
+    report.Fleet.packing.Packing.bins
+
+let test_fleet_cost_accounting () =
+  (* single-type fleet at price p costs exactly p * server-hours *)
+  let report =
+    Fleet.dispatch ~types:Fleet.default_types ~strategy:(Fleet.Single "g.large")
+      requests
+  in
+  let hours =
+    Array.to_list report.Fleet.packing.Packing.bins
+    |> List.map (fun b -> Interval.length (Packing.usage_period b))
+    |> Rat.sum
+  in
+  check_rat "cost = 1.9 * hours" (Rat.mul (r 19 10) hours) report.Fleet.dollar_cost
+
+let test_fleet_consolidation_shrinks_peak () =
+  let small =
+    Fleet.dispatch ~types:Fleet.default_types ~strategy:(Fleet.Single "g.small")
+      requests
+  in
+  let xlarge =
+    Fleet.dispatch ~types:Fleet.default_types ~strategy:(Fleet.Single "g.xlarge")
+      requests
+  in
+  Alcotest.(check bool) "xlarge peak smaller" true
+    (xlarge.Fleet.packing.Packing.max_bins
+    < small.Fleet.packing.Packing.max_bins)
+
+let prop_tests =
+  [
+    qcheck ~count:80 "fleet packings valid for every strategy"
+      QCheck2.Gen.(map Int64.of_int (int_range 1 500))
+      (fun seed ->
+        let requests =
+          Gaming_workload.generate ~seed
+            { Gaming_workload.default_profile with
+              Gaming_workload.duration_hours = 2.0;
+              base_rate = 20.0 }
+        in
+        requests = []
+        || List.for_all
+             (fun strategy ->
+               let report =
+                 Fleet.dispatch ~types:Fleet.default_types ~strategy requests
+               in
+               Packing.validate report.Fleet.packing = Ok ()
+               && Array.for_all
+                    (fun (b : Packing.bin_record) ->
+                      Rat.(b.Packing.max_level <= b.Packing.capacity))
+                    report.Fleet.packing.Packing.bins)
+             [ Fleet.Single "g.large"; Fleet.Smallest_fitting; Fleet.Largest ]);
+  ]
+
+let suite =
+  [
+    Alcotest.test_case "heterogeneous capacities" `Quick
+      test_heterogeneous_capacities;
+    Alcotest.test_case "oversized for tag" `Quick test_oversized_for_tag_rejected;
+    Alcotest.test_case "vm type validation" `Quick test_vm_type_validation;
+    Alcotest.test_case "smallest-fitting dispatch" `Quick test_fleet_dispatch;
+    Alcotest.test_case "largest strategy" `Quick
+      test_fleet_largest_uses_xlarge_only;
+    Alcotest.test_case "cost accounting" `Quick test_fleet_cost_accounting;
+    Alcotest.test_case "consolidation shrinks peak" `Quick
+      test_fleet_consolidation_shrinks_peak;
+  ]
+  @ prop_tests

@@ -1,0 +1,195 @@
+open Dbp_num
+open Dbp_core
+open Test_util
+
+let mk ?(size = r 1 2) a d =
+  Item.make ~id:0 ~size ~arrival:(ri a) ~departure:(ri d)
+
+let test_item_validation () =
+  Alcotest.(check bool) "zero size rejected" true
+    (try
+       ignore (Item.make ~id:0 ~size:Rat.zero ~arrival:Rat.zero ~departure:Rat.one);
+       false
+     with Invalid_argument _ -> true);
+  Alcotest.(check bool) "d <= a rejected" true
+    (try
+       ignore (mk 2 2);
+       false
+     with Invalid_argument _ -> true)
+
+let test_item_accessors () =
+  let i = mk ~size:(r 1 4) 1 4 in
+  check_rat "length" (ri 3) (Item.length i);
+  check_rat "demand = size * length" (r 3 4) (Item.demand i);
+  Alcotest.check interval "interval" (Interval.make (ri 1) (ri 4))
+    (Item.interval i);
+  Alcotest.(check bool) "active at arrival" true (Item.active_at i (ri 1));
+  Alcotest.(check bool) "active mid" true (Item.active_at i (r 7 2));
+  Alcotest.(check bool) "not active at departure" false
+    (Item.active_at i (ri 4));
+  Alcotest.(check bool) "not active before" false (Item.active_at i Rat.zero)
+
+let test_instance_validation () =
+  Alcotest.(check bool) "empty rejected" true
+    (try
+       ignore (Instance.create ~capacity:Rat.one []);
+       false
+     with Invalid_argument _ -> true);
+  Alcotest.(check bool) "oversize item rejected" true
+    (try
+       ignore (Instance.create ~capacity:(r 1 4) [ mk 0 1 ]);
+       false
+     with Invalid_argument _ -> true);
+  Alcotest.(check bool) "bad capacity rejected" true
+    (try
+       ignore (Instance.create ~capacity:Rat.zero [ mk 0 1 ]);
+       false
+     with Invalid_argument _ -> true)
+
+let test_instance_renumbers () =
+  let inst = Instance.create ~capacity:Rat.one [ mk 0 1; mk 1 2; mk 2 3 ] in
+  Alcotest.(check (list int)) "sequential ids" [ 0; 1; 2 ]
+    (Array.to_list (Array.map (fun (i : Item.t) -> i.id) (Instance.items inst)))
+
+(* Figure 1: the span of an item list with a coverage gap. *)
+let test_stats () =
+  let inst =
+    Instance.create ~capacity:Rat.one
+      [ mk 0 2; mk ~size:(r 1 4) 1 3; mk 5 6 ]
+  in
+  check_rat "span skips the gap" (ri 4) (Instance.span inst);
+  Alcotest.check interval "packing period" (Interval.make (ri 0) (ri 6))
+    (Instance.packing_period inst);
+  check_rat "u(R)" (Rat.sum [ ri 1; r 1 2; r 1 2 ]) (Instance.total_demand inst);
+  check_rat "min len" (ri 1) (Instance.min_interval_length inst);
+  check_rat "max len" (ri 2) (Instance.max_interval_length inst);
+  check_rat "mu" (ri 2) (Instance.mu inst);
+  check_rat "max size" (r 1 2) (Instance.max_size inst);
+  check_rat "min size" (r 1 4) (Instance.min_size inst)
+
+let test_active () =
+  let inst = Instance.create ~capacity:Rat.one [ mk 0 2; mk 1 3; mk 5 6 ] in
+  Alcotest.(check int) "two active at 3/2" 2
+    (List.length (Instance.active_at inst (r 3 2)));
+  Alcotest.(check int) "none active at 4" 0
+    (List.length (Instance.active_at inst (ri 4)));
+  (* departures are exclusive, arrivals inclusive *)
+  Alcotest.(check int) "one active at 2" 1
+    (List.length (Instance.active_at inst (ri 2)));
+  let counts = Instance.active_count inst in
+  Alcotest.(check int) "peak actives" 2 (Step_fn.max_value counts);
+  check_rat "total item-time" (ri 5) (Step_fn.integral counts);
+  check_rat "span = positive measure" (Instance.span inst)
+    (Step_fn.measure_positive counts)
+
+let test_size_regimes () =
+  let small =
+    Instance.create ~capacity:Rat.one [ mk ~size:(r 1 5) 0 1; mk ~size:(r 1 8) 0 1 ]
+  in
+  Alcotest.(check bool) "all below 1/4" true (Instance.sizes_below small (r 1 4));
+  Alcotest.(check bool) "not all below 1/6" false
+    (Instance.sizes_below small (r 1 6));
+  Alcotest.(check bool) "all at least 1/8" true
+    (Instance.sizes_at_least small (r 1 8))
+
+let test_event_times_and_restrict () =
+  let inst = Instance.create ~capacity:Rat.one [ mk 0 2; mk 0 3; mk 2 4 ] in
+  Alcotest.(check int) "distinct event times" 4
+    (List.length (Instance.event_times inst));
+  (match Instance.restrict inst ~f:(fun i -> Rat.(i.Item.departure > ri 2)) with
+  | Some sub -> Alcotest.(check int) "restricted size" 2 (Instance.size sub)
+  | None -> Alcotest.fail "expected Some");
+  Alcotest.(check bool) "restrict to nothing" true
+    (Instance.restrict inst ~f:(fun _ -> false) = None)
+
+let test_event_ordering () =
+  let inst = Instance.create ~capacity:Rat.one [ mk 0 2; mk 2 4 ] in
+  let events = Event.of_instance inst in
+  let kinds =
+    List.map
+      (fun (e : Event.t) ->
+        match e.kind with Event.Arrival -> "a" | Event.Departure -> "d")
+      events
+  in
+  (* at t=2 the departure of item 0 precedes the arrival of item 1 *)
+  Alcotest.(check (list string)) "departure first at ties" [ "a"; "d"; "a"; "d" ]
+    kinds
+
+let prop_tests =
+  [
+    qcheck ~count:100 "span <= sum of lengths" (instance_gen ()) (fun inst ->
+        Rat.(
+          Instance.span inst
+          <= Rat.sum
+               (List.map Item.length (Array.to_list (Instance.items inst)))));
+    qcheck ~count:100 "span >= max single length" (instance_gen ()) (fun inst ->
+        Rat.(Instance.span inst >= Instance.max_interval_length inst));
+    qcheck ~count:100 "mu >= 1" (instance_gen ()) (fun inst ->
+        Rat.(Instance.mu inst >= Rat.one));
+    qcheck ~count:100 "active_count integral = total item time"
+      (instance_gen ()) (fun inst ->
+        Rat.equal
+          (Step_fn.integral (Instance.active_count inst))
+          (Rat.sum
+             (List.map Item.length (Array.to_list (Instance.items inst)))));
+    qcheck ~count:100 "span = measure of positive active count"
+      (instance_gen ()) (fun inst ->
+        Rat.equal (Instance.span inst)
+          (Step_fn.measure_positive (Instance.active_count inst)));
+  ]
+
+let suite =
+  [
+    Alcotest.test_case "item validation" `Quick test_item_validation;
+    Alcotest.test_case "item accessors" `Quick test_item_accessors;
+    Alcotest.test_case "instance validation" `Quick test_instance_validation;
+    Alcotest.test_case "instance renumbers ids" `Quick test_instance_renumbers;
+    Alcotest.test_case "figure 1 stats" `Quick test_stats;
+    Alcotest.test_case "active sets" `Quick test_active;
+    Alcotest.test_case "size regimes" `Quick test_size_regimes;
+    Alcotest.test_case "events/restrict" `Quick test_event_times_and_restrict;
+    Alcotest.test_case "event ordering" `Quick test_event_ordering;
+  ]
+  @ prop_tests
+
+(* ---- transforms and the model's exact symmetries ------------------- *)
+
+let transform_props =
+  [
+    qcheck ~count:80 "time scaling scales every policy's cost"
+      (instance_gen ~max_items:20 ()) (fun instance ->
+        let factor = r 3 2 in
+        let scaled = Instance.scale_time instance ~factor in
+        List.for_all2
+          (fun (p : Packing.t) (q : Packing.t) ->
+            Rat.equal q.Packing.total_cost (Rat.mul factor p.Packing.total_cost))
+          (run_all_policies instance) (run_all_policies scaled));
+    qcheck ~count:80 "size scaling (with capacity) changes nothing"
+      (instance_gen ~max_items:20 ()) (fun instance ->
+        let scaled = Instance.scale_sizes instance ~factor:(r 7 3) in
+        List.for_all2
+          (fun (p : Packing.t) (q : Packing.t) ->
+            Rat.equal q.Packing.total_cost p.Packing.total_cost
+            && q.Packing.assignment = p.Packing.assignment)
+          (run_all_policies instance) (run_all_policies scaled));
+    qcheck ~count:80 "time shifting changes nothing but the clock"
+      (instance_gen ~max_items:20 ()) (fun instance ->
+        let shifted = Instance.shift_time instance ~offset:(ri 100) in
+        let p = Simulator.run ~policy:First_fit.policy instance in
+        let q = Simulator.run ~policy:First_fit.policy shifted in
+        Rat.equal q.Packing.total_cost p.Packing.total_cost
+        && q.Packing.assignment = p.Packing.assignment);
+    qcheck ~count:40 "OPT_total obeys the time-scaling symmetry"
+      (instance_gen ~max_items:10 ()) (fun instance ->
+        let factor = Rat.two in
+        let a = Dbp_opt.Opt_total.compute instance in
+        let b =
+          Dbp_opt.Opt_total.compute (Instance.scale_time instance ~factor)
+        in
+        Rat.equal b.Dbp_opt.Opt_total.lower
+          (Rat.mul factor a.Dbp_opt.Opt_total.lower)
+        && Rat.equal b.Dbp_opt.Opt_total.upper
+             (Rat.mul factor a.Dbp_opt.Opt_total.upper));
+  ]
+
+let suite = suite @ transform_props

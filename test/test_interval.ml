@@ -1,0 +1,144 @@
+open Dbp_num
+open Test_util
+
+let iv a b = Interval.make (r a 1) (r b 1)
+let ivr = Interval.make
+
+let test_basics () =
+  let i = ivr (r 1 2) (r 5 2) in
+  check_rat "length" (ri 2) (Interval.length i);
+  Alcotest.(check bool) "contains lo" true (Interval.contains i (r 1 2));
+  Alcotest.(check bool) "contains hi" true (Interval.contains i (r 5 2));
+  Alcotest.(check bool) "contains mid" true (Interval.contains i Rat.one);
+  Alcotest.(check bool) "not contains" false (Interval.contains i (ri 3));
+  Alcotest.(check bool) "empty" true (Interval.is_empty (iv 2 2));
+  Alcotest.(check bool) "not empty" false (Interval.is_empty i);
+  Alcotest.check_raises "hi < lo" (Invalid_argument "Interval.make: hi < lo")
+    (fun () -> ignore (iv 3 2))
+
+let test_overlap () =
+  Alcotest.(check bool) "closed touch overlaps" true
+    (Interval.overlaps (iv 0 1) (iv 1 2));
+  Alcotest.(check bool) "open touch does not" false
+    (Interval.overlaps_open (iv 0 1) (iv 1 2));
+  Alcotest.(check bool) "proper overlap" true
+    (Interval.overlaps_open (iv 0 2) (iv 1 3));
+  Alcotest.(check bool) "disjoint" false (Interval.overlaps (iv 0 1) (iv 2 3));
+  Alcotest.(check bool) "contained" true
+    (Interval.contains_interval (iv 0 10) (iv 2 3));
+  Alcotest.(check bool) "not contained" false
+    (Interval.contains_interval (iv 0 10) (iv 2 30))
+
+let test_intersect_hull () =
+  (match Interval.intersect (iv 0 2) (iv 1 3) with
+  | Some i -> Alcotest.check interval "intersect" (iv 1 2) i
+  | None -> Alcotest.fail "expected overlap");
+  (match Interval.intersect (iv 0 1) (iv 1 2) with
+  | Some i -> Alcotest.check interval "point intersect" (iv 1 1) i
+  | None -> Alcotest.fail "expected point");
+  Alcotest.(check (option interval))
+    "no intersect" None
+    (Interval.intersect (iv 0 1) (iv 2 3));
+  Alcotest.check interval "hull" (iv 0 3) (Interval.hull (iv 0 1) (iv 2 3));
+  Alcotest.check interval "shift" (iv 2 3) (Interval.shift (iv 0 1) (ri 2))
+
+let test_merge_union () =
+  let merged = Interval.merge_overlapping [ iv 3 4; iv 0 1; iv 1 2 ] in
+  Alcotest.(check (list interval)) "merge touch" [ iv 0 2; iv 3 4 ] merged;
+  check_rat "union measure" (ri 3)
+    (Interval.union_measure [ iv 3 4; iv 0 1; iv 1 2 ]);
+  check_rat "union of nested" (ri 4)
+    (Interval.union_measure [ iv 0 4; iv 1 2 ]);
+  check_rat "union empty list" Rat.zero (Interval.union_measure [])
+
+(* The Figure 1 example shape: items on [0,2], [1,3], [5,6]: span 4. *)
+let test_figure1_span () =
+  check_rat "figure 1 span" (ri 4)
+    (Interval.union_measure [ iv 0 2; iv 1 3; iv 5 6 ])
+
+let interval_gen =
+  QCheck2.Gen.(
+    map2
+      (fun lo len -> Interval.make lo (Rat.add lo len))
+      (rat_gen ~lo_num:(-20) ~hi_num:20 ~max_den:6 ())
+      (pos_rat_gen ~hi_num:20 ~max_den:6 ()))
+
+let prop_tests =
+  let open QCheck2 in
+  [
+    qcheck "union measure <= sum of lengths"
+      (Gen.list_size (Gen.int_range 0 12) interval_gen)
+      (fun ivs ->
+        Rat.(
+          Interval.union_measure ivs
+          <= Rat.sum (List.map Interval.length ivs)));
+    qcheck "merge produces disjoint sorted"
+      (Gen.list_size (Gen.int_range 0 12) interval_gen)
+      (fun ivs ->
+        let merged = Interval.merge_overlapping ivs in
+        let rec ok = function
+          | a :: (b :: _ as rest) ->
+              Rat.(Interval.hi a < Interval.lo b) && ok rest
+          | _ -> true
+        in
+        ok merged);
+    qcheck "merge preserves measure"
+      (Gen.list_size (Gen.int_range 0 12) interval_gen)
+      (fun ivs ->
+        Rat.equal
+          (Interval.union_measure ivs)
+          (Rat.sum (List.map Interval.length (Interval.merge_overlapping ivs))));
+    qcheck "intersect commutative" (Gen.pair interval_gen interval_gen)
+      (fun (a, b) ->
+        match (Interval.intersect a b, Interval.intersect b a) with
+        | Some x, Some y -> Interval.equal x y
+        | None, None -> true
+        | _ -> false);
+    qcheck "overlap iff intersect" (Gen.pair interval_gen interval_gen)
+      (fun (a, b) ->
+        Interval.overlaps a b = Option.is_some (Interval.intersect a b));
+  ]
+
+let suite =
+  [
+    Alcotest.test_case "basics" `Quick test_basics;
+    Alcotest.test_case "overlap" `Quick test_overlap;
+    Alcotest.test_case "intersect/hull" `Quick test_intersect_hull;
+    Alcotest.test_case "merge/union" `Quick test_merge_union;
+    Alcotest.test_case "figure 1 span" `Quick test_figure1_span;
+  ]
+  @ prop_tests
+
+(* ---- measure_difference ------------------------------------------------ *)
+
+let test_measure_difference () =
+  check_rat "disjoint" (ri 2)
+    (Interval.measure_difference [ iv 0 2 ] [ iv 5 6 ]);
+  check_rat "fully covered" Rat.zero
+    (Interval.measure_difference [ iv 1 2 ] [ iv 0 4 ]);
+  check_rat "partial" (ri 1) (Interval.measure_difference [ iv 0 2 ] [ iv 1 5 ]);
+  check_rat "self-overlapping input" (ri 1)
+    (Interval.measure_difference [ iv 0 2; iv 1 2 ] [ iv 1 5 ]);
+  check_rat "empty minuend" Rat.zero (Interval.measure_difference [] [ iv 0 1 ]);
+  check_rat "empty subtrahend" (ri 3)
+    (Interval.measure_difference [ iv 0 2; iv 4 5 ] [])
+
+let diff_props =
+  let open QCheck2 in
+  let ivs = Gen.list_size (Gen.int_range 0 8) interval_gen in
+  [
+    qcheck "difference bounded by measure" (Gen.pair ivs ivs) (fun (a, b) ->
+        let d = Interval.measure_difference a b in
+        Rat.(d >= Rat.zero) && Rat.(d <= Interval.union_measure a));
+    qcheck "difference + overlap = measure" (Gen.pair ivs ivs) (fun (a, b) ->
+        (* measure(A\B) = measure(A) - measure(A n B), and A n B's
+           measure equals measure(A) + measure(B) - measure(A u B) *)
+        let m_a = Interval.union_measure a and m_b = Interval.union_measure b in
+        let m_union = Interval.union_measure (a @ b) in
+        let m_inter = Rat.sub (Rat.add m_a m_b) m_union in
+        Rat.equal (Interval.measure_difference a b) (Rat.sub m_a m_inter));
+    qcheck "difference with self is zero" ivs (fun a ->
+        Rat.is_zero (Interval.measure_difference a a));
+  ]
+
+let suite = suite @ [ Alcotest.test_case "measure difference" `Quick test_measure_difference ] @ diff_props

@@ -1,0 +1,23 @@
+let () =
+  Alcotest.run "mintotal-dbp"
+    [
+      ("rat", Test_rat.suite);
+      ("interval", Test_interval.suite);
+      ("step_fn", Test_step_fn.suite);
+      ("rand", Test_rand.suite);
+      ("instance", Test_instance.suite);
+      ("simulator", Test_simulator.suite);
+      ("algorithms", Test_algorithms.suite);
+      ("opt", Test_opt.suite);
+      ("adversary", Test_adversary.suite);
+      ("workload", Test_workload.suite);
+      ("cloudgaming", Test_cloudgaming.suite);
+      ("analysis", Test_analysis.suite);
+      ("extensions", Test_extensions.suite);
+      ("constrained", Test_constrained.suite);
+      ("offline", Test_offline.suite);
+      ("clairvoyant", Test_clairvoyant.suite);
+      ("fleet", Test_fleet.suite);
+      ("validation", Test_validation.suite);
+      ("experiments", Test_experiments.suite);
+    ]

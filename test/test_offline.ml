@@ -1,0 +1,201 @@
+open Dbp_num
+open Dbp_core
+open Dbp_offline
+open Test_util
+
+let mk ?(size = r 1 2) a d =
+  Item.make ~id:0 ~size ~arrival:(ri a) ~departure:(ri d)
+
+let inst items = Instance.create ~capacity:Rat.one items
+
+(* ---- Group ------------------------------------------------------------ *)
+
+let test_group_basics () =
+  let g = Group.empty ~capacity:Rat.one in
+  check_rat "empty span" Rat.zero (Group.span g);
+  check_rat "empty peak" Rat.zero (Group.peak_load g);
+  let a = mk 0 2 and b = mk ~size:(r 1 4) 1 3 in
+  let g = Group.add g a in
+  check_rat "span after one" (ri 2) (Group.span g);
+  Alcotest.(check bool) "b fits" true (Group.fits g b);
+  let g = Group.add g b in
+  check_rat "span union" (ri 3) (Group.span g);
+  check_rat "peak" (r 3 4) (Group.peak_load g);
+  Alcotest.(check int) "size" 2 (Group.size g)
+
+let test_group_capacity () =
+  let g = Group.of_items ~capacity:Rat.one [ mk ~size:(r 3 5) 0 2 ] in
+  let conflicting = mk ~size:(r 3 5) 1 3 in
+  Alcotest.(check bool) "conflict rejected" false (Group.fits g conflicting);
+  Alcotest.(check bool) "add raises" true
+    (try
+       ignore (Group.add g conflicting);
+       false
+     with Invalid_argument _ -> true);
+  (* No temporal overlap: fits despite the sizes. *)
+  let later = mk ~size:(r 3 5) 3 4 in
+  Alcotest.(check bool) "disjoint in time fits" true (Group.fits g later);
+  (* Touching intervals: item departs exactly when the next arrives. *)
+  let touching = mk ~size:(r 3 5) 2 3 in
+  Alcotest.(check bool) "touching fits (departure first)" true
+    (Group.fits g touching)
+
+let test_group_span_increase () =
+  let g = Group.of_items ~capacity:Rat.one [ mk ~size:(r 1 4) 0 4 ] in
+  check_rat "nested: no increase" Rat.zero
+    (Group.span_increase g (mk ~size:(r 1 4) 1 3));
+  check_rat "extension" (ri 2) (Group.span_increase g (mk ~size:(r 1 4) 3 6));
+  check_rat "disjoint" (ri 2) (Group.span_increase g (mk ~size:(r 1 4) 6 8))
+
+(* ---- heuristics -------------------------------------------------------- *)
+
+let test_heuristics_partition () =
+  let instance =
+    inst
+      [
+        mk 0 4; mk ~size:(r 2 3) 1 3; mk ~size:(r 1 4) 2 6;
+        mk 7 9; mk ~size:(r 1 3) 8 10;
+      ]
+  in
+  List.iter
+    (fun (name, run) ->
+      let s = run instance in
+      match Offline_heuristic.validate instance s with
+      | Ok () -> ()
+      | Error msg -> Alcotest.failf "%s: %s" name msg)
+    [
+      ("ff-arrival", Offline_heuristic.first_fit_by_arrival);
+      ("least-span", Offline_heuristic.least_span_increase);
+      ("longest-first", Offline_heuristic.longest_first);
+      ("best", Offline_heuristic.best);
+    ]
+
+let test_gap_bridging () =
+  (* Two items far apart share a group offline; the cost is only their
+     spans, not the gap. *)
+  let instance = inst [ mk 0 1; mk 10 11 ] in
+  let s = Offline_heuristic.first_fit_by_arrival instance in
+  Alcotest.(check int) "one group" 1 (List.length s.Offline_heuristic.groups);
+  check_rat "gap not billed" (ri 2) s.Offline_heuristic.cost
+
+(* ---- exact ------------------------------------------------------------- *)
+
+(* Ground truth: enumerate all partitions (n <= 7). *)
+let brute_force instance =
+  let capacity = Instance.capacity instance in
+  let items = Array.to_list (Instance.items instance) in
+  let best = ref None in
+  let rec go groups = function
+    | [] ->
+        let cost = Rat.sum (List.map Group.span groups) in
+        (match !best with
+        | Some b when Rat.(b <= cost) -> ()
+        | _ -> best := Some cost)
+    | item :: rest ->
+        List.iteri
+          (fun j g ->
+            if Group.fits g item then
+              go
+                (List.mapi (fun j' g' -> if j = j' then Group.add g' item else g')
+                   groups)
+                rest)
+          groups;
+        go (Group.add (Group.empty ~capacity) item :: groups) rest
+  in
+  go [] items;
+  Option.get !best
+
+let test_exact_simple () =
+  (* fragmentation k=3, mu=4: offline non-migratory must keep the three
+     long items in the three original bins?  No: offline can isolate
+     the stragglers from the start: 3 bins for the bulk on [0,1] plus
+     they hold a straggler each... actually offline puts all three
+     stragglers in ONE group and fills two other groups: cost
+     3*1 + (4-1) = 6?  Groups: g1 = {3 stragglers} span 4; the other 6
+     short items need 2 more groups of volume 1 each: span 1 + 1 ->
+     total 6. *)
+  let instance = Dbp_workload.Patterns.fragmentation ~k:3 ~mu:(ri 4) in
+  let result = Offline_exact.solve instance in
+  Alcotest.(check bool) "exact" true result.Offline_exact.exact;
+  check_rat "offline optimum 6" (ri 6) result.Offline_exact.upper;
+  (* equals the repacking OPT here: no migration needed to be optimal *)
+  let repack = Dbp_opt.Opt_total.compute instance in
+  check_rat "matches repack OPT" (Dbp_opt.Opt_total.value_exn repack)
+    result.Offline_exact.upper
+
+let test_exact_budget () =
+  let spec =
+    Dbp_workload.Spec.with_target_mu
+      { Dbp_workload.Spec.default with Dbp_workload.Spec.count = 40 }
+      ~mu:6.0
+  in
+  let instance = Dbp_workload.Generator.generate ~seed:55L spec in
+  match Offline_exact.solve ~node_budget:50 instance with
+  | { Offline_exact.exact = false; lower; upper; _ } ->
+      Alcotest.(check bool) "lower <= upper" true Rat.(lower <= upper)
+  | { Offline_exact.exact = true; _ } ->
+      Alcotest.fail "expected budget exhaustion"
+
+let prop_tests =
+  [
+    qcheck ~count:120 "exact matches brute force (n <= 7)"
+      (instance_gen ~max_items:7 ()) (fun instance ->
+        let result = Offline_exact.solve instance in
+        result.Offline_exact.exact
+        && Rat.equal result.Offline_exact.upper (brute_force instance));
+    qcheck ~count:60 "repack OPT <= offline OPT <= every heuristic"
+      (instance_gen ~max_items:10 ()) (fun instance ->
+        let repack = Dbp_opt.Opt_total.compute instance in
+        let offline = Offline_exact.solve instance in
+        let heur = Offline_heuristic.best instance in
+        offline.Offline_exact.exact
+        && Rat.(repack.Dbp_opt.Opt_total.lower <= offline.Offline_exact.upper)
+        && Rat.(offline.Offline_exact.upper <= heur.Offline_heuristic.cost));
+    qcheck ~count:60 "offline OPT <= every online policy"
+      (instance_gen ~max_items:10 ()) (fun instance ->
+        let offline = Offline_exact.solve instance in
+        List.for_all
+          (fun (p : Packing.t) ->
+            Rat.(offline.Offline_exact.upper <= p.Packing.total_cost))
+          (run_all_policies instance));
+    qcheck ~count:100 "heuristic solutions always validate"
+      (instance_gen ~max_items:30 ()) (fun instance ->
+        List.for_all
+          (fun s -> Offline_heuristic.validate instance s = Ok ())
+          [
+            Offline_heuristic.first_fit_by_arrival instance;
+            Offline_heuristic.least_span_increase instance;
+            Offline_heuristic.longest_first instance;
+          ]);
+    qcheck ~count:100 "group peak load is order-insensitive"
+      (instance_gen ~max_items:8 ()) (fun instance ->
+        (* adding items in any order to one group (when feasible)
+           reports the same peak *)
+        let items = Array.to_list (Instance.items instance) in
+        let build order =
+          List.fold_left
+            (fun acc item ->
+              match acc with
+              | None -> None
+              | Some g -> if Group.fits g item then Some (Group.add g item) else None)
+            (Some (Group.empty ~capacity:Rat.one))
+            order
+        in
+        match (build items, build (List.rev items)) with
+        | Some g1, Some g2 ->
+            Rat.equal (Group.peak_load g1) (Group.peak_load g2)
+            && Rat.equal (Group.span g1) (Group.span g2)
+        | _ -> true);
+  ]
+
+let suite =
+  [
+    Alcotest.test_case "group basics" `Quick test_group_basics;
+    Alcotest.test_case "group capacity" `Quick test_group_capacity;
+    Alcotest.test_case "group span increase" `Quick test_group_span_increase;
+    Alcotest.test_case "heuristics partition" `Quick test_heuristics_partition;
+    Alcotest.test_case "gap bridging" `Quick test_gap_bridging;
+    Alcotest.test_case "exact on fragmentation" `Quick test_exact_simple;
+    Alcotest.test_case "exact budget" `Quick test_exact_budget;
+  ]
+  @ prop_tests

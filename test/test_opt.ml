@@ -1,0 +1,281 @@
+open Dbp_num
+open Dbp_core
+open Dbp_opt
+open Test_util
+
+let sizes l = Size_set.of_sizes l
+let cap = Rat.one
+
+let test_size_set () =
+  let s = sizes [ r 1 2; r 1 3; r 3 4 ] in
+  Alcotest.(check int) "cardinal" 3 (Size_set.cardinal s);
+  check_rat "total" (Rat.sum [ r 1 2; r 1 3; r 3 4 ]) (Size_set.total s);
+  Alcotest.(check bool) "descending" true
+    (Size_set.to_list s = [ r 3 4; r 1 2; r 1 3 ]);
+  Alcotest.(check bool) "equal ignores order" true
+    (Size_set.equal s (sizes [ r 3 4; r 1 3; r 1 2 ]));
+  Alcotest.(check int) "hash agrees" (Size_set.hash s)
+    (Size_set.hash (sizes [ r 3 4; r 1 3; r 1 2 ]));
+  Alcotest.(check bool) "rejects nonpositive" true
+    (try
+       ignore (sizes [ Rat.zero ]);
+       false
+     with Invalid_argument _ -> true)
+
+let test_lower_bounds () =
+  Alcotest.(check int) "l1 empty" 0 (Lower_bound.l1 (sizes []) ~capacity:cap);
+  Alcotest.(check int) "l1 rounding" 2
+    (Lower_bound.l1 (sizes [ r 3 4; r 3 4 ]) ~capacity:cap);
+  (* three items of 3/4: l1 = ceil(9/4) = 3, l2 = 3 (each > 1/2) *)
+  Alcotest.(check int) "l2 big items" 3
+    (Lower_bound.l2 (sizes [ r 3 4; r 3 4; r 3 4 ]) ~capacity:cap);
+  (* l2 beats l1: items 0.6,0.6,0.4 -> l1 = 2 but the two 0.6s alone
+     force 2 and 0.4 fits nowhere beside them except one -> l2 = 2;
+     classic case where they tie; use 0.6 x 3: l1 = 2, l2 = 3. *)
+  Alcotest.(check int) "l2 dominates l1" 3
+    (Lower_bound.l2 (sizes [ r 3 5; r 3 5; r 3 5 ]) ~capacity:cap);
+  Alcotest.(check int) "best picks max" 3
+    (Lower_bound.best (sizes [ r 3 5; r 3 5; r 3 5 ]) ~capacity:cap)
+
+let test_heuristics () =
+  (* FFD on 0.6,0.5,0.5,0.4: -> [0.6+0.4][0.5+0.5] = 2 bins *)
+  Alcotest.(check int) "ffd" 2
+    (Heuristic.first_fit_decreasing
+       (sizes [ r 3 5; r 1 2; r 1 2; r 2 5 ])
+       ~capacity:cap);
+  Alcotest.(check int) "bfd" 2
+    (Heuristic.best_fit_decreasing
+       (sizes [ r 3 5; r 1 2; r 1 2; r 2 5 ])
+       ~capacity:cap);
+  Alcotest.(check int) "empty" 0
+    (Heuristic.first_fit_decreasing (sizes []) ~capacity:cap)
+
+let test_exact_simple () =
+  let check name expected szs =
+    match Exact.solve (sizes szs) ~capacity:cap with
+    | Exact.Exact n -> Alcotest.(check int) name expected n
+    | Exact.Interval _ -> Alcotest.failf "%s: budget tripped" name
+  in
+  check "empty" 0 [];
+  check "single" 1 [ r 1 2 ];
+  check "pair fits" 1 [ r 1 2; r 1 2 ];
+  check "pair conflicts" 2 [ r 3 5; r 3 5 ];
+  check "three thirds" 1 [ r 1 3; r 1 3; r 1 3 ];
+  (* {1/2, 5/12, 5/12, 1/3, 1/3}: total volume 2 but no 2-bin packing
+     exists (every pair leaves a hole smaller than 1/3) -> OPT = 3. *)
+  check "mixed needs 3 despite volume 2" 3 [ r 1 2; r 5 12; r 5 12; r 1 3; r 1 3 ];
+  (* OPT beats FFD: classic {0.42,0.42,0.3,0.3,0.28,0.28}: FFD gives
+     [.42+.42][.3+.3+.28][.28]=3; OPT packs [.42+.3+.28] twice = 2. *)
+  check "ffd-suboptimal instance" 2
+    [ r 21 50; r 21 50; r 3 10; r 3 10; r 7 25; r 7 25 ]
+
+let test_exact_beats_ffd () =
+  let szs = sizes [ r 21 50; r 21 50; r 3 10; r 3 10; r 7 25; r 7 25 ] in
+  Alcotest.(check int) "ffd = 3" 3
+    (Heuristic.first_fit_decreasing szs ~capacity:cap);
+  Alcotest.(check int) "exact = 2" 2 (Exact.solve_exn szs ~capacity:cap)
+
+let test_exact_budget () =
+  (* A tiny budget forces an interval answer on a nontrivial set. *)
+  let szs =
+    sizes (List.init 20 (fun i -> Rat.make (17 + (i mod 7)) 60))
+  in
+  match Exact.solve ~node_budget:3 szs ~capacity:cap with
+  | Exact.Interval { lower; upper } ->
+      Alcotest.(check bool) "lower <= upper" true (lower <= upper);
+      Alcotest.(check bool) "lower from l2" true
+        (lower = Lower_bound.best szs ~capacity:cap)
+  | Exact.Exact _ -> Alcotest.fail "expected interval with budget 3"
+
+let mk ?(size = r 1 2) a d =
+  Item.make ~id:0 ~size ~arrival:(ri a) ~departure:(ri d)
+
+let inst items = Instance.create ~capacity:Rat.one items
+
+let test_opt_total_simple () =
+  (* Two half items overlapping on [1,2]: OPT = 1 bin on [0,1), 1 on
+     [1,2), 1 on [2,3): integral 3. *)
+  let result = Opt_total.compute (inst [ mk 0 2; mk 1 3 ]) in
+  Alcotest.(check bool) "exact" true result.Opt_total.exact;
+  check_rat "value" (ri 3) (Opt_total.value_exn result);
+  Alcotest.(check int) "max bins" 1 (Opt_total.max_bins result)
+
+let test_opt_total_conflict () =
+  (* Two 0.6 items on [0,2]: OPT = 2 bins for 2 time units. *)
+  let result =
+    Opt_total.compute (inst [ mk ~size:(r 3 5) 0 2; mk ~size:(r 3 5) 0 2 ])
+  in
+  check_rat "value" (ri 4) (Opt_total.value_exn result);
+  Alcotest.(check int) "max bins" 2 (Opt_total.max_bins result)
+
+let test_opt_total_gap () =
+  (* Activity gap: OPT is 0 in between. *)
+  let result = Opt_total.compute (inst [ mk 0 1; mk 5 6 ]) in
+  check_rat "value skips gap" (ri 2) (Opt_total.value_exn result)
+
+let test_opt_total_repacking_beats_online () =
+  (* The Theorem 1 fragmentation instance: OPT repacks stragglers. *)
+  let instance = Dbp_workload.Patterns.fragmentation ~k:3 ~mu:(ri 4) in
+  let result = Opt_total.compute instance in
+  (* OPT = 3 bins on [0,1), then 1 bin on [1,4): 3 + 3 = 6. *)
+  check_rat "opt total" (ri 6) (Opt_total.value_exn result);
+  let ff = Simulator.run ~policy:First_fit.policy instance in
+  check_rat "ff pays k*mu" (ri 12) ff.Packing.total_cost
+
+let test_bounds () =
+  let instance = inst [ mk 0 2; mk ~size:(r 1 4) 1 3; mk 5 6 ] in
+  check_rat "b.1" (Rat.sum [ ri 1; r 1 2; r 1 2 ]) (Bounds.demand_bound instance);
+  check_rat "b.2" (ri 4) (Bounds.span_bound instance);
+  check_rat "b.3" (ri 5) (Bounds.naive_upper_bound instance);
+  check_rat "opt lower = max(b1,b2)" (ri 4) (Bounds.opt_lower_bound instance);
+  Alcotest.(check bool) "segment bound dominates" true
+    Rat.(Bounds.segment_lower_bound instance >= Bounds.opt_lower_bound instance)
+
+let prop_tests =
+  let size_set_gen =
+    QCheck2.Gen.(
+      map
+        (fun l -> Size_set.of_sizes l)
+        (list_size (int_range 0 9)
+           (map (fun n -> Rat.make n 12) (int_range 1 12))))
+  in
+  [
+    qcheck ~count:200 "lb <= exact <= ffd" size_set_gen (fun szs ->
+        let lb = Lower_bound.best szs ~capacity:cap in
+        let ub = Heuristic.best szs ~capacity:cap in
+        match Exact.solve szs ~capacity:cap with
+        | Exact.Exact n -> lb <= n && n <= ub
+        | Exact.Interval { lower; upper } -> lb <= lower && upper <= ub);
+    qcheck ~count:200 "l2 >= l1" size_set_gen (fun szs ->
+        Lower_bound.l2 szs ~capacity:cap >= Lower_bound.l1 szs ~capacity:cap);
+    qcheck ~count:200 "exact is monotone under item removal" size_set_gen
+      (fun szs ->
+        match Size_set.to_list szs with
+        | [] -> true
+        | _ :: rest ->
+            Exact.solve_exn (Size_set.of_sizes rest) ~capacity:cap
+            <= Exact.solve_exn szs ~capacity:cap);
+    qcheck ~count:60 "opt_total between paper bounds"
+      (instance_gen ~max_items:12 ()) (fun instance ->
+        let result = Opt_total.compute instance in
+        Rat.(result.Opt_total.upper >= Bounds.opt_lower_bound instance)
+        && Rat.(result.Opt_total.lower <= Bounds.naive_upper_bound instance));
+    qcheck ~count:60 "segment bound between b-bounds and OPT"
+      (instance_gen ~max_items:12 ()) (fun instance ->
+        let seg = Bounds.segment_lower_bound instance in
+        let result = Opt_total.compute instance in
+        Rat.(seg >= Bounds.opt_lower_bound instance)
+        && Rat.(seg <= result.Opt_total.upper));
+    qcheck ~count:60 "every policy pays at least OPT"
+      (instance_gen ~max_items:12 ()) (fun instance ->
+        let result = Opt_total.compute instance in
+        List.for_all
+          (fun (p : Packing.t) ->
+            Rat.(p.Packing.total_cost >= result.Opt_total.lower))
+          (run_all_policies instance));
+  ]
+
+let suite =
+  [
+    Alcotest.test_case "size set" `Quick test_size_set;
+    Alcotest.test_case "lower bounds" `Quick test_lower_bounds;
+    Alcotest.test_case "heuristics" `Quick test_heuristics;
+    Alcotest.test_case "exact solver" `Quick test_exact_simple;
+    Alcotest.test_case "exact beats FFD" `Quick test_exact_beats_ffd;
+    Alcotest.test_case "exact budget" `Quick test_exact_budget;
+    Alcotest.test_case "opt_total simple" `Quick test_opt_total_simple;
+    Alcotest.test_case "opt_total conflict" `Quick test_opt_total_conflict;
+    Alcotest.test_case "opt_total gap" `Quick test_opt_total_gap;
+    Alcotest.test_case "opt_total repacking" `Quick
+      test_opt_total_repacking_beats_online;
+    Alcotest.test_case "paper bounds" `Quick test_bounds;
+  ]
+  @ prop_tests
+
+(* ---- brute force cross-check of the exact solver ------------------- *)
+
+(* Enumerate all set partitions of up to 8 items and keep the feasible
+   ones: the ground-truth optimum. *)
+let brute_force_opt szs ~capacity =
+  let items = Array.of_list (Size_set.to_list szs) in
+  let n = Array.length items in
+  if n = 0 then 0
+  else begin
+    let best = ref n in
+    (* bins as levels; add item i to each existing bin or a new one *)
+    let rec go i levels used =
+      if used >= !best then ()
+      else if i >= n then best := min !best used
+      else begin
+        List.iteri
+          (fun j level ->
+            if Rat.(Rat.add level items.(i) <= capacity) then
+              go (i + 1)
+                (List.mapi
+                   (fun j' l ->
+                     if j' = j then Rat.add l items.(i) else l)
+                   levels)
+                used)
+          levels;
+        go (i + 1) (items.(i) :: levels) (used + 1)
+      end
+    in
+    go 0 [] 0;
+    !best
+  end
+
+let brute_force_props =
+  let size_set_gen =
+    QCheck2.Gen.(
+      map
+        (fun l -> Size_set.of_sizes l)
+        (list_size (int_range 0 8)
+           (map (fun n -> Rat.make n 12) (int_range 1 12))))
+  in
+  [
+    qcheck ~count:300 "exact solver matches brute force (n <= 8)"
+      size_set_gen (fun szs ->
+        Exact.solve_exn szs ~capacity:cap = brute_force_opt szs ~capacity:cap);
+  ]
+
+(* ---- repacking baseline --------------------------------------------- *)
+
+let test_repack_simple () =
+  (* Fragmentation: online FF pays k*mu; repacking collapses to
+     1 bin after the departures, paying k + (mu - 1). *)
+  let instance = Dbp_workload.Patterns.fragmentation ~k:4 ~mu:(ri 5) in
+  let repack = Repack_baseline.compute instance in
+  check_rat "repack = OPT here" (ri 8) repack.Repack_baseline.cost;
+  Alcotest.(check int) "max bins" 4 repack.Repack_baseline.max_bins;
+  (* 4 stragglers consolidate into 1 bin: 3 of them migrate. *)
+  Alcotest.(check int) "migrations" 3 repack.Repack_baseline.migrations;
+  check_rat "moved volume 3/4" (r 3 4) repack.Repack_baseline.migrated_demand
+
+let test_repack_no_migration_needed () =
+  (* A single always-compatible stream never migrates. *)
+  let instance =
+    inst [ mk ~size:(r 1 4) 0 4; mk ~size:(r 1 4) 1 5; mk ~size:(r 1 4) 2 6 ]
+  in
+  let repack = Repack_baseline.compute instance in
+  Alcotest.(check int) "no migrations" 0 repack.Repack_baseline.migrations;
+  check_rat "cost = span" (ri 6) repack.Repack_baseline.cost
+
+let repack_props =
+  [
+    qcheck ~count:80 "repack cost between LB and FF cost ... usually LB <= repack <= naive"
+      (instance_gen ~max_items:20 ()) (fun instance ->
+        let repack = Repack_baseline.compute instance in
+        Rat.(repack.Repack_baseline.cost >= Bounds.opt_lower_bound instance)
+        && Rat.(repack.Repack_baseline.cost <= Bounds.naive_upper_bound instance));
+    qcheck ~count:60 "repack cost >= OPT_total" (instance_gen ~max_items:12 ())
+      (fun instance ->
+        let repack = Repack_baseline.compute instance in
+        let opt = Opt_total.compute instance in
+        Rat.(repack.Repack_baseline.cost >= opt.Opt_total.lower));
+  ]
+
+let suite = suite @ brute_force_props @ [
+    Alcotest.test_case "repack on fragmentation" `Quick test_repack_simple;
+    Alcotest.test_case "repack without migrations" `Quick
+      test_repack_no_migration_needed;
+  ] @ repack_props

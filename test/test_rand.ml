@@ -1,0 +1,213 @@
+open Dbp_rand
+open Test_util
+
+let test_determinism () =
+  let a = Splitmix64.create 99L and b = Splitmix64.create 99L in
+  for _ = 1 to 100 do
+    Alcotest.(check int64) "same stream" (Splitmix64.next_int64 a)
+      (Splitmix64.next_int64 b)
+  done
+
+let test_copy_and_split () =
+  let a = Splitmix64.create 5L in
+  let c = Splitmix64.copy a in
+  Alcotest.(check int64) "copy replays" (Splitmix64.next_int64 a)
+    (Splitmix64.next_int64 c);
+  let a = Splitmix64.create 5L in
+  let child = Splitmix64.split a in
+  Alcotest.(check bool) "split diverges" true
+    (Splitmix64.next_int64 child <> Splitmix64.next_int64 a)
+
+let test_float_range () =
+  let rng = Splitmix64.create 1L in
+  for _ = 1 to 10_000 do
+    let f = Splitmix64.next_float rng in
+    if f < 0.0 || f >= 1.0 then Alcotest.failf "float out of range: %f" f
+  done
+
+let test_int_bounds () =
+  let rng = Splitmix64.create 2L in
+  let seen = Array.make 7 false in
+  for _ = 1 to 10_000 do
+    let v = Splitmix64.next_int rng 7 in
+    if v < 0 || v >= 7 then Alcotest.failf "int out of range: %d" v;
+    seen.(v) <- true
+  done;
+  Alcotest.(check bool) "all values hit" true (Array.for_all Fun.id seen);
+  Alcotest.(check bool) "bound 1 is constant" true
+    (List.init 20 (fun _ -> Splitmix64.next_int rng 1)
+    |> List.for_all (( = ) 0));
+  Alcotest.check_raises "bound 0"
+    (Invalid_argument "Splitmix64.next_int: bound <= 0") (fun () ->
+      ignore (Splitmix64.next_int rng 0))
+
+let mean_of n f =
+  let acc = ref 0.0 in
+  for _ = 1 to n do
+    acc := !acc +. f ()
+  done;
+  !acc /. float_of_int n
+
+let test_uniform_mean () =
+  let rng = Splitmix64.create 3L in
+  let m = mean_of 20_000 (fun () -> Dist.uniform rng ~lo:2.0 ~hi:4.0) in
+  Alcotest.(check bool) "mean near 3" true (abs_float (m -. 3.0) < 0.05)
+
+let test_exponential () =
+  let rng = Splitmix64.create 4L in
+  let m = mean_of 20_000 (fun () -> Dist.exponential rng ~rate:2.0) in
+  Alcotest.(check bool) "mean near 1/2" true (abs_float (m -. 0.5) < 0.03);
+  Alcotest.(check bool) "positive" true (Dist.exponential rng ~rate:0.1 > 0.0);
+  Alcotest.check_raises "rate 0" (Invalid_argument "Dist.exponential: rate <= 0")
+    (fun () -> ignore (Dist.exponential rng ~rate:0.0))
+
+let test_pareto () =
+  let rng = Splitmix64.create 5L in
+  for _ = 1 to 1_000 do
+    let v = Dist.pareto rng ~shape:2.0 ~scale:1.5 in
+    if v < 1.5 then Alcotest.failf "pareto below scale: %f" v
+  done
+
+let test_lognormal_normal () =
+  let rng = Splitmix64.create 6L in
+  let m = mean_of 30_000 (fun () -> Dist.normal rng ~mean:5.0 ~stddev:2.0) in
+  Alcotest.(check bool) "normal mean" true (abs_float (m -. 5.0) < 0.1);
+  for _ = 1 to 1_000 do
+    if Dist.lognormal rng ~mu:0.0 ~sigma:1.0 <= 0.0 then
+      Alcotest.fail "lognormal not positive"
+  done
+
+let test_bernoulli () =
+  let rng = Splitmix64.create 7L in
+  let hits = ref 0 in
+  for _ = 1 to 10_000 do
+    if Dist.bernoulli rng ~p:0.3 then incr hits
+  done;
+  let frac = float_of_int !hits /. 10_000.0 in
+  Alcotest.(check bool) "p near 0.3" true (abs_float (frac -. 0.3) < 0.03)
+
+let test_discrete () =
+  let rng = Splitmix64.create 8L in
+  let counts = Array.make 3 0 in
+  for _ = 1 to 30_000 do
+    let i = Dist.discrete rng ~weights:[| 1.0; 2.0; 1.0 |] in
+    counts.(i) <- counts.(i) + 1
+  done;
+  let frac i = float_of_int counts.(i) /. 30_000.0 in
+  Alcotest.(check bool) "middle twice as likely" true
+    (abs_float (frac 1 -. 0.5) < 0.03 && abs_float (frac 0 -. 0.25) < 0.03);
+  Alcotest.check_raises "empty" (Invalid_argument "Dist.discrete: empty weights")
+    (fun () -> ignore (Dist.discrete rng ~weights:[||]))
+
+let test_zipf () =
+  let z = Dist.Zipf.create ~n:10 ~s:1.1 in
+  let total =
+    List.init 10 (fun i -> Dist.Zipf.probability z (i + 1))
+    |> List.fold_left ( +. ) 0.0
+  in
+  Alcotest.(check bool) "probabilities sum to 1" true
+    (abs_float (total -. 1.0) < 1e-9);
+  Alcotest.(check bool) "monotone" true
+    (Dist.Zipf.probability z 1 > Dist.Zipf.probability z 2);
+  let rng = Splitmix64.create 9L in
+  for _ = 1 to 5_000 do
+    let v = Dist.Zipf.sample z rng in
+    if v < 1 || v > 10 then Alcotest.failf "zipf rank out of range: %d" v
+  done;
+  (* Empirical rank-1 frequency tracks its probability. *)
+  let rng = Splitmix64.create 10L in
+  let ones = ref 0 in
+  let n = 20_000 in
+  for _ = 1 to n do
+    if Dist.Zipf.sample z rng = 1 then incr ones
+  done;
+  let expected = Dist.Zipf.probability z 1 in
+  Alcotest.(check bool) "rank-1 frequency" true
+    (abs_float ((float_of_int !ones /. float_of_int n) -. expected) < 0.02)
+
+let test_rat_wrappers () =
+  let open Dbp_num in
+  let rng = Splitmix64.create 11L in
+  let v = Dist.uniform_rat rng ~lo:0.0 ~hi:1.0 ~den:100 () in
+  Alcotest.(check bool) "on grid" true (Rat.den v <= 100);
+  Alcotest.(check bool) "in range" true Rat.(v >= Rat.zero && v <= Rat.one)
+
+let prop_tests =
+  let open QCheck2 in
+  [
+    qcheck "next_int respects arbitrary bounds"
+      (Gen.pair (Gen.int_range 1 1000) (Gen.int_range 1 1_000_000))
+      (fun (bound, seed) ->
+        let rng = Splitmix64.create (Int64.of_int seed) in
+        let v = Splitmix64.next_int rng bound in
+        v >= 0 && v < bound);
+  ]
+
+let suite =
+  [
+    Alcotest.test_case "determinism" `Quick test_determinism;
+    Alcotest.test_case "copy/split" `Quick test_copy_and_split;
+    Alcotest.test_case "float range" `Quick test_float_range;
+    Alcotest.test_case "int bounds" `Quick test_int_bounds;
+    Alcotest.test_case "uniform mean" `Quick test_uniform_mean;
+    Alcotest.test_case "exponential" `Quick test_exponential;
+    Alcotest.test_case "pareto" `Quick test_pareto;
+    Alcotest.test_case "lognormal/normal" `Quick test_lognormal_normal;
+    Alcotest.test_case "bernoulli" `Quick test_bernoulli;
+    Alcotest.test_case "discrete" `Quick test_discrete;
+    Alcotest.test_case "zipf" `Quick test_zipf;
+    Alcotest.test_case "rational wrappers" `Quick test_rat_wrappers;
+  ]
+  @ prop_tests
+
+(* ---- PCG32 ------------------------------------------------------------ *)
+
+let test_pcg_determinism () =
+  let a = Pcg32.create 42L and b = Pcg32.create 42L in
+  for _ = 1 to 50 do
+    Alcotest.(check int32) "same stream" (Pcg32.next_int32 a)
+      (Pcg32.next_int32 b)
+  done
+
+let test_pcg_streams_differ () =
+  let a = Pcg32.create ~stream:1L 42L and b = Pcg32.create ~stream:2L 42L in
+  let diverged = ref false in
+  for _ = 1 to 20 do
+    if Pcg32.next_int32 a <> Pcg32.next_int32 b then diverged := true
+  done;
+  Alcotest.(check bool) "streams independent" true !diverged
+
+let test_pcg_ranges () =
+  let rng = Pcg32.create 7L in
+  for _ = 1 to 5_000 do
+    let f = Pcg32.next_float rng in
+    if f < 0.0 || f >= 1.0 then Alcotest.failf "pcg float out of range: %f" f;
+    let v = Pcg32.next_int rng 13 in
+    if v < 0 || v >= 13 then Alcotest.failf "pcg int out of range: %d" v
+  done;
+  Alcotest.check_raises "bound 0" (Invalid_argument "Pcg32.next_int: bound <= 0")
+    (fun () -> ignore (Pcg32.next_int rng 0))
+
+let test_pcg_uniformity () =
+  let rng = Pcg32.create 9L in
+  let counts = Array.make 4 0 in
+  let n = 40_000 in
+  for _ = 1 to n do
+    let i = Pcg32.next_int rng 4 in
+    counts.(i) <- counts.(i) + 1
+  done;
+  Array.iter
+    (fun c ->
+      let frac = float_of_int c /. float_of_int n in
+      if abs_float (frac -. 0.25) > 0.02 then
+        Alcotest.failf "pcg bucket skew: %f" frac)
+    counts
+
+let suite =
+  suite
+  @ [
+      Alcotest.test_case "pcg32 determinism" `Quick test_pcg_determinism;
+      Alcotest.test_case "pcg32 streams" `Quick test_pcg_streams_differ;
+      Alcotest.test_case "pcg32 ranges" `Quick test_pcg_ranges;
+      Alcotest.test_case "pcg32 uniformity" `Quick test_pcg_uniformity;
+    ]

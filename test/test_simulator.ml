@@ -1,0 +1,241 @@
+open Dbp_num
+open Dbp_core
+open Test_util
+
+let mk ?(size = r 1 2) a d =
+  Item.make ~id:0 ~size ~arrival:(ri a) ~departure:(ri d)
+
+let inst items = Instance.create ~capacity:Rat.one items
+
+let test_single_item () =
+  let packing = Simulator.run ~policy:First_fit.policy (inst [ mk 0 3 ]) in
+  assert_valid_packing packing;
+  Alcotest.(check int) "one bin" 1 (Packing.bins_used packing);
+  check_rat "cost = duration" (ri 3) packing.Packing.total_cost;
+  Alcotest.(check int) "max bins" 1 packing.Packing.max_bins;
+  Alcotest.(check bool) "any fit" true (Packing.is_any_fit packing)
+
+let test_two_fit_together () =
+  let packing = Simulator.run ~policy:First_fit.policy (inst [ mk 0 3; mk 1 2 ]) in
+  assert_valid_packing packing;
+  Alcotest.(check int) "one bin" 1 (Packing.bins_used packing);
+  check_rat "cost" (ri 3) packing.Packing.total_cost
+
+let test_overflow_opens_second () =
+  let packing =
+    Simulator.run ~policy:First_fit.policy
+      (inst [ mk ~size:(r 3 5) 0 2; mk ~size:(r 3 5) 0 2 ])
+  in
+  assert_valid_packing packing;
+  Alcotest.(check int) "two bins" 2 (Packing.bins_used packing);
+  check_rat "cost" (ri 4) packing.Packing.total_cost
+
+let test_bin_reopens_cost () =
+  (* Two items with a gap: second arrival at t=3 after first left at 2.
+     The first bin closed, so a second bin opens; both cost their own
+     durations. *)
+  let packing = Simulator.run ~policy:First_fit.policy (inst [ mk 0 2; mk 3 5 ]) in
+  assert_valid_packing packing;
+  Alcotest.(check int) "two bins" 2 (Packing.bins_used packing);
+  check_rat "cost skips gap" (ri 4) packing.Packing.total_cost;
+  Alcotest.(check int) "never concurrent" 1 packing.Packing.max_bins
+
+let test_departure_then_arrival_same_time () =
+  (* Item 1 departs exactly when item 2 arrives: the bin closed at 2, so
+     a new bin must open even though levels would have allowed reuse. *)
+  let packing = Simulator.run ~policy:First_fit.policy (inst [ mk 0 2; mk 2 4 ]) in
+  assert_valid_packing packing;
+  Alcotest.(check int) "two bins" 2 (Packing.bins_used packing);
+  check_rat "cost" (ri 4) packing.Packing.total_cost
+
+let test_assignment_and_records () =
+  let packing =
+    Simulator.run ~policy:First_fit.policy
+      (inst [ mk ~size:(r 2 3) 0 4; mk ~size:(r 2 3) 1 2; mk ~size:(r 1 3) 1 3 ])
+  in
+  assert_valid_packing packing;
+  Alcotest.(check int) "bins" 2 (Packing.bins_used packing);
+  (* item 2 (size 1/3) fits into bin 0 beside item 0 *)
+  Alcotest.(check int) "item0 -> bin0" 0 packing.Packing.assignment.(0);
+  Alcotest.(check int) "item1 -> bin1" 1 packing.Packing.assignment.(1);
+  Alcotest.(check int) "item2 -> bin0" 0 packing.Packing.assignment.(2);
+  let b0 = packing.Packing.bins.(0) in
+  Alcotest.(check (list int)) "bin0 items" [ 0; 2 ] b0.Packing.item_ids;
+  check_rat "bin0 max level" Rat.one b0.Packing.max_level;
+  Alcotest.(check int) "placements recorded" 2 (List.length b0.Packing.placements)
+
+let test_online_protocol_errors () =
+  let o =
+    Simulator.Online.create ~policy:First_fit.policy ~capacity:Rat.one ()
+  in
+  ignore (Simulator.Online.arrive o ~now:Rat.one ~size:(r 1 2) ~item_id:0);
+  Alcotest.(check bool) "time backwards" true
+    (try
+       ignore (Simulator.Online.arrive o ~now:Rat.zero ~size:(r 1 2) ~item_id:1);
+       false
+     with Simulator.Invalid_step _ -> true);
+  Alcotest.(check bool) "id reuse" true
+    (try
+       ignore (Simulator.Online.arrive o ~now:Rat.two ~size:(r 1 2) ~item_id:0);
+       false
+     with Simulator.Invalid_step _ -> true);
+  Alcotest.(check bool) "unknown departure" true
+    (try
+       Simulator.Online.depart o ~now:Rat.two ~item_id:99;
+       false
+     with Simulator.Invalid_step _ -> true);
+  Alcotest.(check bool) "oversized item" true
+    (try
+       ignore (Simulator.Online.arrive o ~now:Rat.two ~size:(ri 2) ~item_id:2);
+       false
+     with Simulator.Invalid_decision _ -> true);
+  Alcotest.(check bool) "finish with active items" true
+    (try
+       ignore
+         (Simulator.Online.finish o
+            ~instance:(inst [ mk 0 1 ]));
+       false
+     with Simulator.Invalid_step _ -> true)
+
+let test_invalid_policy_decision () =
+  let bad_existing =
+    Policy.stateless ~name:"bad-existing" (fun ~capacity:_ ~now:_ ~bins:_ ~size:_ ->
+        Policy.Existing 42)
+  in
+  Alcotest.(check bool) "unknown bin rejected" true
+    (try
+       ignore (Simulator.run ~policy:bad_existing (inst [ mk 0 1 ]));
+       false
+     with Simulator.Invalid_decision _ -> true);
+  let overfill =
+    Policy.stateless ~name:"overfill" (fun ~capacity:_ ~now:_ ~bins ~size:_ ->
+        match bins with
+        | [] -> Policy.New_bin "x"
+        | (v : Bin.view) :: _ -> Policy.Existing v.bin_id)
+  in
+  Alcotest.(check bool) "overfull bin rejected" true
+    (try
+       ignore
+         (Simulator.run ~policy:overfill
+            (inst [ mk ~size:(r 3 5) 0 2; mk ~size:(r 3 5) 0 2 ]));
+       false
+     with Simulator.Invalid_decision _ -> true)
+
+let test_online_observability () =
+  let o = Simulator.Online.create ~policy:First_fit.policy ~capacity:Rat.one () in
+  let b0 = Simulator.Online.arrive o ~now:Rat.zero ~size:(r 1 2) ~item_id:0 in
+  let b1 = Simulator.Online.arrive o ~now:Rat.zero ~size:(r 2 3) ~item_id:1 in
+  Alcotest.(check bool) "distinct bins" true (b0 <> b1);
+  Alcotest.(check int) "two open" 2
+    (List.length (Simulator.Online.open_bins o));
+  Alcotest.(check (option int)) "item 1 in b1" (Some b1)
+    (Simulator.Online.bin_of_item o 1);
+  (match Simulator.Online.level_of o b0 with
+  | Some l -> check_rat "level of b0" (r 1 2) l
+  | None -> Alcotest.fail "b0 should be open");
+  Simulator.Online.depart o ~now:Rat.one ~item_id:0;
+  Alcotest.(check int) "one open after close" 1
+    (List.length (Simulator.Online.open_bins o));
+  Alcotest.(check bool) "b0 closed" true
+    (Simulator.Online.level_of o b0 = None);
+  Alcotest.(check (option int)) "item 0 gone" None
+    (Simulator.Online.bin_of_item o 0)
+
+let test_timeline_matches_cost () =
+  let instance =
+    inst [ mk 0 4; mk ~size:(r 2 3) 1 3; mk 2 6; mk ~size:(r 2 3) 5 7 ]
+  in
+  List.iter
+    (fun packing ->
+      assert_valid_packing packing;
+      check_rat
+        ("timeline integral for " ^ packing.Packing.policy_name)
+        packing.Packing.total_cost
+        (Step_fn.integral packing.Packing.timeline))
+    (run_all_policies instance)
+
+let prop_tests =
+  [
+    qcheck ~count:250 "all policies produce valid packings" (instance_gen ())
+      (fun instance ->
+        List.for_all
+          (fun packing -> Packing.validate packing = Ok ())
+          (run_all_policies instance));
+    qcheck ~count:120 "cost within paper bounds (b.2)-(b.3)" (instance_gen ())
+      (fun instance ->
+        let span = Instance.span instance in
+        let naive =
+          Rat.sum
+            (List.map Item.length (Array.to_list (Instance.items instance)))
+        in
+        List.for_all
+          (fun (p : Packing.t) ->
+            Rat.(p.total_cost >= span) && Rat.(p.total_cost <= naive))
+          (run_all_policies instance));
+    qcheck ~count:120 "deterministic policies replay identically"
+      (instance_gen ()) (fun instance ->
+        let once = Simulator.run ~policy:Best_fit.policy instance in
+        let twice = Simulator.run ~policy:Best_fit.policy instance in
+        Rat.equal once.Packing.total_cost twice.Packing.total_cost
+        && once.Packing.assignment = twice.Packing.assignment);
+    qcheck ~count:120 "any-fit family reports no violations" (instance_gen ())
+      (fun instance ->
+        List.for_all
+          (fun policy ->
+            (Simulator.run ~policy instance).Packing.any_fit_violations = 0)
+          (Algorithms.any_fit_family ()));
+    qcheck ~count:120 "max_bins at least peak demand ceiling" (instance_gen ())
+      (fun instance ->
+        (* at the busiest instant, active volume / capacity bins are
+           needed by anyone *)
+        let needed =
+          Instance.event_times instance
+          |> List.map (fun t ->
+                 Instance.active_at instance t
+                 |> List.map (fun (i : Item.t) -> i.size)
+                 |> Rat.sum)
+          |> List.map (fun v -> Rat.ceil v)
+          |> List.fold_left max 0
+        in
+        List.for_all
+          (fun (p : Packing.t) -> p.Packing.max_bins >= needed)
+          (run_all_policies instance));
+  ]
+
+let suite =
+  [
+    Alcotest.test_case "single item" `Quick test_single_item;
+    Alcotest.test_case "two fit together" `Quick test_two_fit_together;
+    Alcotest.test_case "overflow opens second" `Quick test_overflow_opens_second;
+    Alcotest.test_case "gap closes bin" `Quick test_bin_reopens_cost;
+    Alcotest.test_case "tie: departure before arrival" `Quick
+      test_departure_then_arrival_same_time;
+    Alcotest.test_case "assignments and records" `Quick
+      test_assignment_and_records;
+    Alcotest.test_case "online protocol errors" `Quick
+      test_online_protocol_errors;
+    Alcotest.test_case "invalid policy decisions" `Quick
+      test_invalid_policy_decision;
+    Alcotest.test_case "online observability" `Quick test_online_observability;
+    Alcotest.test_case "timeline matches cost" `Quick test_timeline_matches_cost;
+  ]
+  @ prop_tests
+
+(* Scale smoke: the simulator and the cheap bounds stay fast and
+   correct on a 5000-item trace. *)
+let test_scale_5000 () =
+  let spec =
+    { Dbp_workload.Spec.default with Dbp_workload.Spec.count = 5_000 }
+  in
+  let instance = Dbp_workload.Generator.generate ~seed:77L spec in
+  let t0 = Unix.gettimeofday () in
+  let packing = Simulator.run ~policy:First_fit.policy instance in
+  let elapsed = Unix.gettimeofday () -. t0 in
+  Alcotest.(check bool) "finished in reasonable time" true (elapsed < 30.0);
+  assert_valid_packing packing;
+  Alcotest.(check bool) "cost within bounds" true
+    (let lb = Dbp_opt.Bounds.opt_lower_bound instance in
+     Rat.(packing.Packing.total_cost >= lb))
+
+let suite =
+  suite @ [ Alcotest.test_case "5000-item scale" `Slow test_scale_5000 ]

@@ -1,0 +1,133 @@
+open Dbp_num
+open Test_util
+
+let t n = ri n
+
+let test_of_deltas () =
+  let f = Step_fn.of_deltas [ (t 0, 1); (t 2, -1); (t 1, 1); (t 3, -1) ] in
+  Alcotest.(check int) "before" 0 (Step_fn.value_at f (r (-1) 1));
+  Alcotest.(check int) "at 0" 1 (Step_fn.value_at f (t 0));
+  Alcotest.(check int) "at 1" 2 (Step_fn.value_at f (t 1));
+  Alcotest.(check int) "at 3/2" 2 (Step_fn.value_at f (r 3 2));
+  Alcotest.(check int) "at 2" 1 (Step_fn.value_at f (t 2));
+  Alcotest.(check int) "at 3" 0 (Step_fn.value_at f (t 3));
+  Alcotest.(check int) "max" 2 (Step_fn.max_value f);
+  (* 1 on [0,1), 2 on [1,2), 1 on [2,3) *)
+  check_rat "integral" (ri 4) (Step_fn.integral f)
+
+let test_of_deltas_merge_equal_times () =
+  let f = Step_fn.of_deltas [ (t 0, 1); (t 0, 1); (t 1, -2) ] in
+  Alcotest.(check int) "merged jump" 2 (Step_fn.value_at f (t 0));
+  check_rat "integral" (ri 2) (Step_fn.integral f)
+
+let test_of_deltas_cancelling () =
+  (* A bin that opens and closes at the same instant vanishes. *)
+  let f = Step_fn.of_deltas [ (t 1, 1); (t 1, -1) ] in
+  Alcotest.check step_fn "empty" Step_fn.empty f
+
+let test_of_deltas_non_cancelling () =
+  Alcotest.(check bool) "rejects unbalanced" true
+    (try
+       ignore (Step_fn.of_deltas [ (t 0, 1) ]);
+       false
+     with Invalid_argument _ -> true)
+
+let test_of_breakpoints () =
+  let f = Step_fn.of_breakpoints [ (t 0, 2); (t 1, 2); (t 2, 1); (t 4, 0) ] in
+  (* consecutive equal values are canonicalised away *)
+  Alcotest.(check int) "breakpoint count" 3 (List.length (Step_fn.breakpoints f));
+  check_rat "integral" (ri 6) (Step_fn.integral f);
+  Alcotest.(check bool) "rejects unsorted" true
+    (try
+       ignore (Step_fn.of_breakpoints [ (t 2, 1); (t 1, 0) ]);
+       false
+     with Invalid_argument _ -> true);
+  Alcotest.(check bool) "rejects nonzero tail" true
+    (try
+       ignore (Step_fn.of_breakpoints [ (t 0, 1) ]);
+       false
+     with Invalid_argument _ -> true)
+
+let test_integral_over () =
+  let f = Step_fn.of_deltas [ (t 0, 2); (t 4, -2) ] in
+  check_rat "inside" (ri 4) (Step_fn.integral_over f (Interval.make (t 1) (t 3)));
+  check_rat "clipped" (ri 2)
+    (Step_fn.integral_over f (Interval.make (t 3) (t 10)));
+  check_rat "outside" Rat.zero
+    (Step_fn.integral_over f (Interval.make (t 5) (t 10)))
+
+let test_support_and_measure () =
+  let f = Step_fn.of_deltas [ (t 0, 1); (t 1, -1); (t 3, 2); (t 4, -2) ] in
+  (match Step_fn.support f with
+  | Some s -> Alcotest.check interval "support" (Interval.make (t 0) (t 4)) s
+  | None -> Alcotest.fail "expected support");
+  check_rat "measure positive" (ri 2) (Step_fn.measure_positive f);
+  Alcotest.(check (option interval)) "empty support" None
+    (Step_fn.support Step_fn.empty)
+
+let test_add_scale_map () =
+  let f = Step_fn.of_deltas [ (t 0, 1); (t 2, -1) ] in
+  let g = Step_fn.of_deltas [ (t 1, 1); (t 3, -1) ] in
+  let s = Step_fn.add f g in
+  Alcotest.(check int) "sum at 3/2" 2 (Step_fn.value_at s (r 3 2));
+  check_rat "sum integral" (ri 4) (Step_fn.integral s);
+  check_rat "scale integral" (ri 6) (Step_fn.integral (Step_fn.scale s 3) |> fun x -> Rat.div_int x 2);
+  let doubled = Step_fn.map s ~f:(fun v -> 2 * v) in
+  check_rat "map integral" (ri 8) (Step_fn.integral doubled)
+
+let deltas_gen =
+  QCheck2.Gen.(
+    let point = pair (int_range 0 30) (int_range 1 3) in
+    map
+      (fun pts ->
+        List.concat_map
+          (fun (time, v) -> [ (ri time, v); (ri (time + 1 + (v mod 3)), -v) ])
+          pts)
+      (list_size (int_range 0 15) point))
+
+let prop_tests =
+  let open QCheck2 in
+  [
+    qcheck "integral = -sum(v * t) for balanced deltas" deltas_gen
+      (fun deltas ->
+        (* a +v at a and -v at b contribute v*(b-a) = -(v*a) - (-v*b) *)
+        let f = Step_fn.of_deltas deltas in
+        let signed =
+          List.fold_left
+            (fun acc (time, v) -> Rat.sub acc (Rat.mul_int time v))
+            Rat.zero deltas
+        in
+        Rat.equal (Step_fn.integral f) signed);
+    qcheck "add integrals" (Gen.pair deltas_gen deltas_gen) (fun (d1, d2) ->
+        let f = Step_fn.of_deltas d1 and g = Step_fn.of_deltas d2 in
+        Rat.equal
+          (Step_fn.integral (Step_fn.add f g))
+          (Rat.add (Step_fn.integral f) (Step_fn.integral g)));
+    qcheck "max of add bounded by sum of maxes" (Gen.pair deltas_gen deltas_gen)
+      (fun (d1, d2) ->
+        let f = Step_fn.of_deltas d1 and g = Step_fn.of_deltas d2 in
+        Step_fn.max_value (Step_fn.add f g)
+        <= Step_fn.max_value f + Step_fn.max_value g);
+    qcheck "measure_positive <= support length" deltas_gen (fun d ->
+        let f = Step_fn.of_deltas d in
+        match Step_fn.support f with
+        | None -> Rat.is_zero (Step_fn.measure_positive f)
+        | Some s -> Rat.(Step_fn.measure_positive f <= Interval.length s));
+    qcheck "breakpoints round-trip" deltas_gen (fun d ->
+        let f = Step_fn.of_deltas d in
+        Step_fn.equal f (Step_fn.of_breakpoints (Step_fn.breakpoints f)));
+  ]
+
+let suite =
+  [
+    Alcotest.test_case "of_deltas" `Quick test_of_deltas;
+    Alcotest.test_case "equal-time deltas merge" `Quick
+      test_of_deltas_merge_equal_times;
+    Alcotest.test_case "cancelling deltas" `Quick test_of_deltas_cancelling;
+    Alcotest.test_case "unbalanced deltas" `Quick test_of_deltas_non_cancelling;
+    Alcotest.test_case "of_breakpoints" `Quick test_of_breakpoints;
+    Alcotest.test_case "integral_over" `Quick test_integral_over;
+    Alcotest.test_case "support/measure" `Quick test_support_and_measure;
+    Alcotest.test_case "add/scale/map" `Quick test_add_scale_map;
+  ]
+  @ prop_tests

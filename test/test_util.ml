@@ -1,0 +1,88 @@
+(* Shared test helpers: Alcotest testables, QCheck generators for exact
+   rationals and DBP instances, and convenience runners. *)
+
+open Dbp_num
+open Dbp_core
+
+let rat = Alcotest.testable Rat.pp Rat.equal
+let interval = Alcotest.testable Interval.pp Interval.equal
+let step_fn = Alcotest.testable Step_fn.pp Step_fn.equal
+
+let check_rat = Alcotest.check rat
+let r = Rat.make
+let ri = Rat.of_int
+
+(* QCheck generator: rationals n/d with n in [lo_num, hi_num],
+   d in [1, max_den]. *)
+let rat_gen ?(lo_num = -100) ?(hi_num = 100) ?(max_den = 20) () =
+  QCheck2.Gen.(
+    map2
+      (fun n d -> Rat.make n d)
+      (int_range lo_num hi_num)
+      (int_range 1 max_den))
+
+let pos_rat_gen ?(hi_num = 100) ?(max_den = 20) () =
+  QCheck2.Gen.(
+    map2 (fun n d -> Rat.make n d) (int_range 1 hi_num) (int_range 1 max_den))
+
+(* Random instance on capacity 1: sizes i/12 (1 <= i <= 12), arrivals
+   on a small integer-grid, durations in [1, mu_max]. *)
+let instance_gen ?(max_items = 30) ?(mu_max = 8) () =
+  QCheck2.Gen.(
+    let item_gen =
+      map3
+        (fun size_num arr dur_frac ->
+          let size = Rat.make size_num 12 in
+          let arrival = Rat.make arr 4 in
+          let duration =
+            Rat.add Rat.one
+              (Rat.make (dur_frac mod ((mu_max - 1) * 4)) 4)
+          in
+          Item.make ~id:0 ~size ~arrival ~departure:(Rat.add arrival duration))
+        (int_range 1 12) (int_range 0 80) (int_range 0 1000)
+    in
+    map
+      (fun items -> Instance.create ~capacity:Rat.one items)
+      (list_size (int_range 1 max_items) item_gen))
+
+(* Small-item variant: sizes < 1/k. *)
+let small_instance_gen ?(max_items = 30) ?(mu_max = 8) ~k () =
+  QCheck2.Gen.(
+    let denom = 6 * k in
+    let item_gen =
+      map3
+        (fun size_num arr dur_frac ->
+          let size = Rat.make size_num denom in
+          let arrival = Rat.make arr 4 in
+          let duration =
+            Rat.add Rat.one
+              (Rat.make (dur_frac mod ((mu_max - 1) * 4)) 4)
+          in
+          Item.make ~id:0 ~size ~arrival ~departure:(Rat.add arrival duration))
+        (int_range 1 5) (int_range 0 80) (int_range 0 1000)
+    in
+    map
+      (fun items -> Instance.create ~capacity:Rat.one items)
+      (list_size (int_range 1 max_items) item_gen))
+
+let qcheck ?(count = 200) name gen prop =
+  QCheck_alcotest.to_alcotest
+    (QCheck2.Test.make ~count ~name gen prop)
+
+let run_all_policies instance =
+  List.map
+    (fun policy -> Simulator.run ~policy instance)
+    (Algorithms.all ())
+
+let assert_valid_packing packing =
+  match Packing.validate packing with
+  | Ok () -> ()
+  | Error msg ->
+      Alcotest.failf "invalid packing by %s: %s" packing.Packing.policy_name
+        msg
+
+(* Substring check without extra deps. *)
+let contains ~sub s =
+  let n = String.length s and m = String.length sub in
+  let rec go i = i + m <= n && (String.sub s i m = sub || go (i + 1)) in
+  m = 0 || go 0

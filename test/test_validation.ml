@@ -1,0 +1,112 @@
+(* Negative tests: Packing.validate must catch every class of
+   corruption, and the Online stepping API must agree exactly with the
+   batch runner. *)
+
+open Dbp_num
+open Dbp_core
+open Test_util
+
+let mk ?(size = r 1 2) a d =
+  Item.make ~id:0 ~size ~arrival:(ri a) ~departure:(ri d)
+
+let inst items = Instance.create ~capacity:Rat.one items
+
+let base_packing () =
+  Simulator.run ~policy:First_fit.policy
+    (inst [ mk 0 4; mk ~size:(r 1 4) 1 3; mk 5 6 ])
+
+let expect_invalid name packing =
+  match Packing.validate packing with
+  | Error _ -> ()
+  | Ok () -> Alcotest.failf "%s: corruption not detected" name
+
+let test_catches_wrong_assignment () =
+  let p = base_packing () in
+  let assignment = Array.copy p.Packing.assignment in
+  (* point item 0 at a bin that never recorded it *)
+  assignment.(0) <- p.Packing.assignment.(2);
+  expect_invalid "wrong assignment" { p with Packing.assignment }
+
+let test_catches_truncated_usage_period () =
+  let p = base_packing () in
+  let bins = Array.copy p.Packing.bins in
+  bins.(0) <- { bins.(0) with Packing.closed = ri 2 };
+  (* item 0 lives to t=4 but its bin now "closes" at 2 *)
+  expect_invalid "truncated usage period" { p with Packing.bins }
+
+let test_catches_capacity_violation () =
+  let p = base_packing () in
+  let bins = Array.copy p.Packing.bins in
+  (* shrink bin 0's capacity below its content *)
+  bins.(0) <- { bins.(0) with Packing.capacity = r 1 4 };
+  expect_invalid "capacity violation" { p with Packing.bins }
+
+let test_catches_wrong_cost () =
+  let p = base_packing () in
+  expect_invalid "wrong total cost"
+    { p with Packing.total_cost = Rat.add p.Packing.total_cost Rat.one }
+
+let test_catches_wrong_timeline () =
+  let p = base_packing () in
+  expect_invalid "wrong timeline"
+    { p with Packing.timeline = Step_fn.of_deltas [ (ri 0, 1); (ri 100, -1) ] }
+
+let test_catches_wrong_max_bins () =
+  let p = base_packing () in
+  expect_invalid "wrong max bins" { p with Packing.max_bins = 99 }
+
+(* ---- Online vs batch equivalence --------------------------------- *)
+
+let replay_via_online policy instance =
+  let online =
+    Simulator.Online.create ~policy ~capacity:(Instance.capacity instance) ()
+  in
+  List.iter
+    (fun (e : Event.t) ->
+      match e.Event.kind with
+      | Event.Arrival ->
+          ignore
+            (Simulator.Online.arrive online ~now:e.Event.time
+               ~size:e.Event.item.Item.size ~item_id:e.Event.item.Item.id)
+      | Event.Departure ->
+          Simulator.Online.depart online ~now:e.Event.time
+            ~item_id:e.Event.item.Item.id)
+    (Event.of_instance instance);
+  Simulator.Online.finish online ~instance
+
+let prop_tests =
+  [
+    qcheck ~count:120 "Online replay = Simulator.run, bit for bit"
+      (instance_gen ~max_items:25 ()) (fun instance ->
+        List.for_all
+          (fun policy ->
+            let batch = Simulator.run ~policy instance in
+            let stepped = replay_via_online policy instance in
+            batch.Packing.assignment = stepped.Packing.assignment
+            && Rat.equal batch.Packing.total_cost stepped.Packing.total_cost
+            && Step_fn.equal batch.Packing.timeline stepped.Packing.timeline)
+          [ First_fit.policy; Best_fit.policy; Next_fit.policy ]);
+    qcheck ~count:120 "validate accepts only the genuine article"
+      (instance_gen ~max_items:20 ()) (fun instance ->
+        let p = Simulator.run ~policy:Best_fit.policy instance in
+        Packing.validate p = Ok ()
+        && Packing.validate
+             { p with Packing.total_cost = Rat.add p.Packing.total_cost Rat.one }
+           <> Ok ());
+  ]
+
+let suite =
+  [
+    Alcotest.test_case "catches wrong assignment" `Quick
+      test_catches_wrong_assignment;
+    Alcotest.test_case "catches truncated usage period" `Quick
+      test_catches_truncated_usage_period;
+    Alcotest.test_case "catches capacity violation" `Quick
+      test_catches_capacity_violation;
+    Alcotest.test_case "catches wrong cost" `Quick test_catches_wrong_cost;
+    Alcotest.test_case "catches wrong timeline" `Quick
+      test_catches_wrong_timeline;
+    Alcotest.test_case "catches wrong max bins" `Quick
+      test_catches_wrong_max_bins;
+  ]
+  @ prop_tests

@@ -1,0 +1,197 @@
+open Dbp_num
+open Dbp_core
+open Dbp_workload
+open Test_util
+
+let test_generator_determinism () =
+  let a = Generator.generate ~seed:1L Spec.default in
+  let b = Generator.generate ~seed:1L Spec.default in
+  let c = Generator.generate ~seed:2L Spec.default in
+  Alcotest.(check bool) "same seed same items" true
+    (Array.for_all2 Item.equal (Instance.items a) (Instance.items b));
+  Alcotest.(check bool) "different seed differs" true
+    (not (Array.for_all2 Item.equal (Instance.items a) (Instance.items c)))
+
+let test_generator_respects_clamps () =
+  let spec = Spec.with_target_mu Spec.default ~mu:4.0 in
+  let instance = Generator.generate ~seed:3L spec in
+  Alcotest.(check int) "count" spec.Spec.count (Instance.size instance);
+  Alcotest.(check bool) "mu within target" true
+    Rat.(Instance.mu instance <= Rat.of_float 4.0);
+  Alcotest.(check bool) "durations at least min" true
+    Rat.(Instance.min_interval_length instance >= Rat.of_float 1.0)
+
+let test_small_items_regime () =
+  let spec = Spec.small_items Spec.default ~k:4 in
+  let instance = Generator.generate ~seed:4L spec in
+  Alcotest.(check bool) "strictly below W/4" true
+    (Instance.sizes_below instance (r 1 4))
+
+let test_large_items_regime () =
+  let spec = Spec.large_items Spec.default ~k:4 in
+  let instance = Generator.generate ~seed:5L spec in
+  Alcotest.(check bool) "at least W/4" true
+    (Instance.sizes_at_least instance (r 1 4))
+
+let test_generate_many_independent () =
+  let runs = Generator.generate_many ~seed:6L Spec.default ~runs:3 in
+  Alcotest.(check int) "three runs" 3 (List.length runs);
+  match runs with
+  | [ a; b; _ ] ->
+      Alcotest.(check bool) "runs differ" true
+        (not (Array.for_all2 Item.equal (Instance.items a) (Instance.items b)))
+  | _ -> Alcotest.fail "unexpected shape"
+
+let test_arrival_models () =
+  let batched =
+    { Spec.default with Spec.arrivals = Spec.Batched { batches = 4; gap = 5.0 };
+      count = 40 }
+  in
+  let instance = Generator.generate ~seed:7L batched in
+  let distinct_arrivals =
+    Instance.items instance |> Array.to_list
+    |> List.map (fun (i : Item.t) -> i.arrival)
+    |> List.sort_uniq Rat.compare
+  in
+  Alcotest.(check int) "four arrival instants" 4 (List.length distinct_arrivals);
+  let uniform =
+    { Spec.default with Spec.arrivals = Spec.Uniform_over { horizon = 10.0 } }
+  in
+  let u = Generator.generate ~seed:8L uniform in
+  Alcotest.(check bool) "arrivals within horizon" true
+    (Array.for_all
+       (fun (i : Item.t) -> Rat.(i.arrival <= Rat.of_float 10.0))
+       (Instance.items u))
+
+let test_spec_validation () =
+  Alcotest.(check bool) "count 0" true
+    (try
+       ignore (Generator.generate { Spec.default with Spec.count = 0 });
+       false
+     with Invalid_argument _ -> true);
+  Alcotest.(check bool) "bad clamps" true
+    (try
+       ignore
+         (Generator.generate { Spec.default with Spec.max_duration = 0.1 });
+       false
+     with Invalid_argument _ -> true)
+
+let test_trace_round_trip () =
+  let instance = Generator.generate ~seed:9L { Spec.default with Spec.count = 25 } in
+  let text = Trace.to_string instance in
+  let back = Trace.of_string text in
+  Alcotest.(check bool) "items round-trip" true
+    (Array.for_all2 Item.equal (Instance.items instance) (Instance.items back));
+  check_rat "capacity round-trips" (Instance.capacity instance)
+    (Instance.capacity back)
+
+let test_trace_file_round_trip () =
+  let instance = Patterns.fragmentation ~k:3 ~mu:(ri 4) in
+  let path = Filename.temp_file "dbp_trace" ".csv" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      Trace.save instance ~path;
+      let back = Trace.load ~path in
+      Alcotest.(check int) "size" (Instance.size instance) (Instance.size back))
+
+let test_trace_errors () =
+  Alcotest.(check bool) "missing header" true
+    (try
+       ignore (Trace.of_string "id,size,arrival,departure\n0,1/2,0,1\n");
+       false
+     with Failure _ -> true);
+  Alcotest.(check bool) "malformed row" true
+    (try
+       ignore (Trace.of_string "# capacity=1\nid,size,arrival,departure\nxx\n");
+       false
+     with Failure _ -> true)
+
+let test_patterns () =
+  let frag = Patterns.fragmentation ~k:3 ~mu:(ri 2) in
+  Alcotest.(check int) "fragmentation items" 9 (Instance.size frag);
+  check_rat "fragmentation mu" (ri 2) (Instance.mu frag);
+  let stair = Patterns.staircase ~steps:5 ~step_length:Rat.one in
+  Alcotest.(check int) "staircase items" 5 (Instance.size stair);
+  let packing = Simulator.run ~policy:First_fit.policy stair in
+  Alcotest.(check int) "staircase window of 2" 2 packing.Packing.max_bins;
+  (* every algorithm is optimal on the staircase *)
+  let opt = Dbp_opt.Opt_total.compute stair in
+  check_rat "staircase ratio 1" packing.Packing.total_cost
+    (Dbp_opt.Opt_total.value_exn opt);
+  let saw = Patterns.sawtooth ~teeth:3 ~per_tooth:4 ~mu:(ri 3) in
+  Alcotest.(check int) "sawtooth items" 12 (Instance.size saw);
+  let pc = Patterns.pairwise_conflict ~pairs:3 in
+  let pc_ff = Simulator.run ~policy:First_fit.policy pc in
+  Alcotest.(check int) "pairwise conflicts need 2 bins" 2
+    pc_ff.Packing.max_bins;
+  let spike = Patterns.spike ~base:6 ~spike_height:4 in
+  Alcotest.(check int) "spike items" 10 (Instance.size spike)
+
+let spec_gen =
+  QCheck2.Gen.(
+    map3
+      (fun count mu seed ->
+        ( { (Spec.with_target_mu Spec.default ~mu:(float_of_int mu)) with
+            Spec.count },
+          Int64.of_int seed ))
+      (int_range 1 60) (int_range 1 12) (int_range 0 10_000))
+
+let prop_tests =
+  [
+    qcheck ~count:80 "generated instances satisfy their spec" spec_gen
+      (fun (spec, seed) ->
+        let instance = Generator.generate ~seed spec in
+        Instance.size instance = spec.Spec.count
+        && Rat.(Instance.max_size instance <= spec.Spec.capacity)
+        && Rat.(
+             Instance.min_interval_length instance
+             >= Rat.of_float spec.Spec.min_duration)
+        && Rat.(
+             Instance.max_interval_length instance
+             <= Rat.of_float spec.Spec.max_duration));
+    qcheck ~count:80 "trace round-trips for generated instances" spec_gen
+      (fun (spec, seed) ->
+        let instance = Generator.generate ~seed spec in
+        let back = Trace.of_string (Trace.to_string instance) in
+        Array.for_all2 Item.equal (Instance.items instance)
+          (Instance.items back));
+  ]
+
+let suite =
+  [
+    Alcotest.test_case "generator determinism" `Quick test_generator_determinism;
+    Alcotest.test_case "clamps respected" `Quick test_generator_respects_clamps;
+    Alcotest.test_case "small-items regime" `Quick test_small_items_regime;
+    Alcotest.test_case "large-items regime" `Quick test_large_items_regime;
+    Alcotest.test_case "generate_many" `Quick test_generate_many_independent;
+    Alcotest.test_case "arrival models" `Quick test_arrival_models;
+    Alcotest.test_case "spec validation" `Quick test_spec_validation;
+    Alcotest.test_case "trace round trip" `Quick test_trace_round_trip;
+    Alcotest.test_case "trace file round trip" `Quick test_trace_file_round_trip;
+    Alcotest.test_case "trace errors" `Quick test_trace_errors;
+    Alcotest.test_case "patterns" `Quick test_patterns;
+  ]
+  @ prop_tests
+
+let test_fragmentation_fine () =
+  let instance = Patterns.fragmentation_fine ~bins:4 ~per_bin:8 ~mu:(ri 6) in
+  Alcotest.(check int) "items" 32 (Instance.size instance);
+  Alcotest.(check bool) "sizes strictly below W/4" true
+    (Instance.sizes_below instance (r 1 4));
+  check_rat "mu" (ri 6) (Instance.mu instance);
+  let ff = Simulator.run ~policy:First_fit.policy instance in
+  Alcotest.(check int) "FF fills 4 bins" 4 (Packing.bins_used ff);
+  check_rat "FF pays bins*mu" (ri 24) ff.Packing.total_cost;
+  (* forced ratio = bins*mu/(bins+mu-1) exactly *)
+  let ratio = Dbp_analysis.Ratio.measure ff in
+  check_rat "forced ratio" (r 24 9) (Dbp_analysis.Ratio.value_exn ratio);
+  Alcotest.(check bool) "param validation" true
+    (try
+       ignore (Patterns.fragmentation_fine ~bins:0 ~per_bin:1 ~mu:Rat.one);
+       false
+     with Invalid_argument _ -> true)
+
+let suite =
+  suite
+  @ [ Alcotest.test_case "fragmentation fine" `Quick test_fragmentation_fine ]
