@@ -1,6 +1,6 @@
 (* Benchmark harness.
 
-   Part 1 regenerates every paper artefact (the E1-E17 experiment
+   Part 1 regenerates every paper artefact (the E1-E18 experiment
    tables and figures - see DESIGN.md's per-experiment index) and fails
    the process if any experiment check fails.
 
@@ -14,7 +14,7 @@ open Bechamel
 
 let regenerate_experiments () =
   print_endline "################################################################";
-  print_endline "## Part 1: paper artefact regeneration (experiments E1-E17)  ##";
+  print_endline "## Part 1: paper artefact regeneration (experiments E1-E18)  ##";
   print_endline "################################################################";
   let outcomes = Dbp_experiments.Registry.run_all () in
   List.iter
@@ -93,6 +93,33 @@ let bench_adversaries =
                ()));
     ]
 
+let bench_faults =
+  (* Crash-heavy scenario: a Poisson storm of one crash per unit time
+     over the whole horizon, plus launch failures on half the dispatch
+     attempts — the injector's worst case (every fault re-dispatches
+     its evictions through the backoff machinery). *)
+  let instance = workload 300 108L in
+  let horizon = Interval.hi (Instance.packing_period instance) in
+  let plan = Dbp_faults.Fault_plan.poisson_crashes ~seed:108L ~rate:1.0 ~horizon in
+  let config =
+    { Dbp_faults.Injector.default_config with
+      Dbp_faults.Injector.launch_failure_prob = 0.5 }
+  in
+  let tests =
+    List.map
+      (fun policy ->
+        Test.make ~name:policy.Policy.name
+          (Staged.stage (fun () ->
+               Dbp_faults.Injector.run ~config ~plan ~policy instance)))
+      [
+        First_fit.policy;
+        Best_fit.policy;
+        Worst_fit.policy;
+        Modified_first_fit.policy_mu_oblivious;
+      ]
+  in
+  Test.make_grouped ~name:"faults-crash-storm-300-items" tests
+
 let bench_rationals =
   let xs = List.init 1000 (fun i -> Rat.make (i + 1) 10_000) in
   let deltas =
@@ -148,6 +175,7 @@ let all_micro =
       bench_adversaries;
       bench_offline;
       bench_extensions;
+      bench_faults;
       bench_rationals;
     ]
 

@@ -1,8 +1,8 @@
 (* mintotal-dbp: command-line front end.
 
    Subcommands: generate / simulate / opt / adversary / decompose /
-   offline / diff / stats / experiments / gaming.  See README.md for a
-   tour. *)
+   offline / diff / stats / experiments / faults / gaming.  See
+   README.md for a tour. *)
 
 open Cmdliner
 open Dbp_num
@@ -38,6 +38,16 @@ let setup_verbose verbose =
   end
 
 let trace_arg ~doc = Arg.(required & opt (some file) None & info [ "trace" ] ~doc)
+
+let load_trace path =
+  match Dbp_workload.Trace.load ~path with
+  | instance -> instance
+  | exception Dbp_workload.Trace.Parse_error e ->
+      Format.eprintf "%s: %s@." path (Dbp_workload.Trace.parse_error_to_string e);
+      exit 2
+  | exception Sys_error msg ->
+      Format.eprintf "%s@." msg;
+      exit 2
 
 let resolve_policy ?mu name =
   match Algorithms.find ?mu name with
@@ -105,7 +115,7 @@ let simulate_cmd =
   in
   let run trace policy_name with_ratio rate seed verbose =
     setup_verbose verbose;
-    let instance = Dbp_workload.Trace.load ~path:trace in
+    let instance = load_trace trace in
     let policy = resolve_policy ~mu:(Instance.mu instance) policy_name in
     ignore seed;
     let packing = Simulator.run ~policy instance in
@@ -137,7 +147,7 @@ let opt_cmd =
          & info [ "node-budget" ] ~doc:"Branch-and-bound node budget per segment.")
   in
   let run trace budget =
-    let instance = Dbp_workload.Trace.load ~path:trace in
+    let instance = load_trace trace in
     let opt = Dbp_opt.Opt_total.compute ~node_budget:budget instance in
     Format.printf "%a@." Instance.pp instance;
     Format.printf "bound (b.1) u(R)/W        = %a@." Rat.pp_float
@@ -231,7 +241,7 @@ let decompose_cmd =
          & info [ "svg" ] ~doc:"Also write an SVG rendering of the packing here.")
   in
   let run trace small_k width svg =
-    let instance = Dbp_workload.Trace.load ~path:trace in
+    let instance = load_trace trace in
     let packing = Simulator.run ~policy:First_fit.policy instance in
     print_string (Dbp_analysis.Timeline_render.render ~width packing);
     Option.iter
@@ -263,7 +273,7 @@ let offline_cmd =
          & info [ "exact" ] ~doc:"Also run the exact branch-and-bound (small instances).")
   in
   let run trace exact =
-    let instance = Dbp_workload.Trace.load ~path:trace in
+    let instance = load_trace trace in
     let ff = Simulator.run ~policy:First_fit.policy instance in
     Format.printf "online First Fit        : %a@." Rat.pp_float
       ff.Packing.total_cost;
@@ -299,7 +309,7 @@ let offline_cmd =
 let stats_cmd =
   let trace = trace_arg ~doc:"Input trace CSV." in
   let run trace =
-    let instance = Dbp_workload.Trace.load ~path:trace in
+    let instance = load_trace trace in
     Format.printf "%a@.@." Instance.pp instance;
     let items = Array.to_list (Instance.items instance) in
     let sizes = List.map (fun (r : Item.t) -> Rat.to_float r.size) items in
@@ -330,7 +340,7 @@ let diff_cmd =
     Arg.(value & opt string "best-fit" & info [ "b" ] ~doc:"Second policy.")
   in
   let run trace name_a name_b =
-    let instance = Dbp_workload.Trace.load ~path:trace in
+    let instance = load_trace trace in
     let mu = Instance.mu instance in
     let a = Simulator.run ~policy:(resolve_policy ~mu name_a) instance in
     let b = Simulator.run ~policy:(resolve_policy ~mu name_b) instance in
@@ -347,7 +357,7 @@ let diff_cmd =
 
 let experiments_cmd =
   let names =
-    Arg.(value & pos_all string [] & info [] ~docv:"EXPERIMENT" ~doc:"E1..E8 (default: all).")
+    Arg.(value & pos_all string [] & info [] ~docv:"EXPERIMENT" ~doc:"E1..E18 (default: all).")
   in
   let markdown =
     Arg.(value & flag & info [ "markdown" ] ~doc:"Render tables as markdown.")
@@ -435,8 +445,123 @@ let experiments_cmd =
   in
   Cmd.v
     (Cmd.info "experiments"
-       ~doc:"Regenerate the paper's tables and figures (E1..E8).")
+       ~doc:"Regenerate the paper's tables and figures (E1..E18).")
     Term.(const run $ names $ markdown $ out_dir)
+
+(* ---- faults --------------------------------------------------------- *)
+
+let faults_cmd =
+  let trace = trace_arg ~doc:"Input trace CSV (see $(b,generate))." in
+  let crash_rate =
+    Arg.(value & opt float 0.0
+         & info [ "crash-rate" ]
+             ~doc:"Poisson server-crash rate (crashes per unit time) over \
+                   the trace horizon.")
+  in
+  let preempt_rate =
+    Arg.(value & opt float 0.0
+         & info [ "preempt-rate" ]
+             ~doc:"Poisson spot-preemption rate; preempted sessions restart \
+                   immediately thanks to the warning.")
+  in
+  let warning =
+    Arg.(value & opt rat_conv (Rat.make 1 4)
+         & info [ "warning" ] ~doc:"Spot preemption warning time.")
+  in
+  let targeted =
+    Arg.(value & opt (list rat_conv) []
+         & info [ "kill-fullest-at" ]
+             ~doc:"Comma-separated times at which to kill the fullest open \
+                   server (adversarial blast-radius faults).")
+  in
+  let launch_failure =
+    Arg.(value & opt float 0.0
+         & info [ "launch-failure-prob" ]
+             ~doc:"Probability that a dispatch attempt fails to launch and \
+                   must back off.")
+  in
+  let retries =
+    Arg.(value & opt int 5
+         & info [ "retries" ] ~doc:"Max backoff retries per dispatch chain.")
+  in
+  let restart_delay =
+    Arg.(value & opt rat_conv (Rat.make 1 4)
+         & info [ "restart-delay" ]
+             ~doc:"Delay before a crash-evicted session re-dispatches.")
+  in
+  let max_fleet =
+    Arg.(value & opt (some int) None
+         & info [ "max-fleet" ]
+             ~doc:"Admission gate: defer arrivals that would open a server \
+                   beyond this fleet size.")
+  in
+  let max_pending =
+    Arg.(value & opt (some int) None
+         & info [ "max-pending" ]
+             ~doc:"Bound on queued retries; beyond it the lowest-priority \
+                   pending request is shed.")
+  in
+  let run trace policy_name crash_rate preempt_rate warning targeted
+      launch_failure retries restart_delay max_fleet max_pending seed verbose
+      =
+    setup_verbose verbose;
+    let open Dbp_faults in
+    let invalid msg =
+      Format.eprintf "dbp faults: %s@." msg;
+      exit 2
+    in
+    let instance = load_trace trace in
+    let policy = resolve_policy ~mu:(Instance.mu instance) policy_name in
+    let horizon = Dbp_num.Interval.hi (Instance.packing_period instance) in
+    let plan =
+      match
+        List.fold_left Fault_plan.merge Fault_plan.empty
+          (List.filter
+             (fun p -> not (Fault_plan.is_empty p))
+             [
+               Fault_plan.poisson_crashes ~seed ~rate:crash_rate ~horizon;
+               Fault_plan.spot_preemptions ~seed:(Int64.add seed 1L)
+                 ~rate:preempt_rate ~warning ~horizon;
+               Fault_plan.targeted_fullest ~times:targeted;
+             ])
+      with
+      | plan -> plan
+      | exception Invalid_argument msg -> invalid msg
+    in
+    let config =
+      { Injector.default_config with
+        Injector.seed;
+        launch_failure_prob = launch_failure;
+        max_retries = retries;
+        restart_delay;
+        max_fleet;
+        max_pending }
+    in
+    Format.printf "plan %s: %d faults over horizon [0, %a]@."
+      plan.Fault_plan.label (Fault_plan.count plan) Rat.pp_float horizon;
+    let r =
+      match Injector.run ~config ~plan ~policy instance with
+      | r -> r
+      | exception Invalid_argument msg -> invalid msg
+    in
+    (match Packing.validate r.Injector.packing with
+    | Ok () -> ()
+    | Error msg ->
+        Format.eprintf "internal error: invalid faulty packing: %s@." msg;
+        exit 1);
+    Format.printf "%a@." Packing.pp_summary r.Injector.packing;
+    Format.printf "%a@." Resilience.pp r.Injector.resilience;
+    0
+  in
+  Cmd.v
+    (Cmd.info "faults"
+       ~doc:
+         "Replay a trace under server crashes, spot preemptions and launch \
+          failures, and report the degradation metrics.")
+    Term.(
+      const run $ trace $ policy_arg $ crash_rate $ preempt_rate $ warning
+      $ targeted $ launch_failure $ retries $ restart_delay $ max_fleet
+      $ max_pending $ seed_arg $ verbose_arg)
 
 (* ---- gaming --------------------------------------------------------- *)
 
@@ -491,5 +616,6 @@ let () =
             diff_cmd;
             stats_cmd;
             experiments_cmd;
+            faults_cmd;
             gaming_cmd;
           ]))

@@ -13,9 +13,12 @@ type report = {
   offline_lower_bound : Rat.t;
 }
 
-let dispatch ?(billing = Billing.exact ~rate:Rat.one) ~policy requests =
-  let instance = Gaming_workload.to_instance requests in
-  let packing = Simulator.run ~policy instance in
+(* Shared between the fault-free and the fault-injected paths: all
+   operational metrics read off whatever packing was actually realised
+   (for a faulty run, [packing.instance] is the effective instance of
+   hosted session segments). *)
+let report_of_packing ~billing ~requests packing =
+  let instance = packing.Packing.instance in
   let usages =
     Array.to_list packing.Packing.bins
     |> List.map (fun b -> Interval.length (Packing.usage_period b))
@@ -30,7 +33,7 @@ let dispatch ?(billing = Billing.exact ~rate:Rat.one) ~policy requests =
   let lower_hours = Rat.max (Rat.div demand capacity) (Instance.span instance) in
   {
     policy_name = packing.Packing.policy_name;
-    requests = List.length requests;
+    requests;
     packing;
     servers_used = Packing.bins_used packing;
     peak_servers = packing.Packing.max_bins;
@@ -40,8 +43,36 @@ let dispatch ?(billing = Billing.exact ~rate:Rat.one) ~policy requests =
     offline_lower_bound = lower_hours;
   }
 
+let dispatch ?(billing = Billing.exact ~rate:Rat.one) ~policy requests =
+  let instance = Gaming_workload.to_instance requests in
+  let packing = Simulator.run ~policy instance in
+  report_of_packing ~billing ~requests:(List.length requests) packing
+
 let compare_policies ?billing ~policies requests =
   List.map (fun policy -> dispatch ?billing ~policy requests) policies
+
+type fault_report = {
+  base : report;  (* metrics of the realised (faulty) hosting *)
+  resilience : Dbp_faults.Resilience.t;
+}
+
+let dispatch_faulty ?(billing = Billing.exact ~rate:Rat.one) ?config
+    ?priority ~plan ~policy requests =
+  let instance = Gaming_workload.to_instance requests in
+  let r = Dbp_faults.Injector.run ?config ?priority ~plan ~policy instance in
+  {
+    base =
+      report_of_packing ~billing ~requests:(List.length requests)
+        r.Dbp_faults.Injector.packing;
+    resilience = r.Dbp_faults.Injector.resilience;
+  }
+
+let compare_policies_faulty ?billing ?config ?priority ~plan ~policies
+    requests =
+  List.map
+    (fun policy ->
+      dispatch_faulty ?billing ?config ?priority ~plan ~policy requests)
+    policies
 
 let pp_report fmt r =
   Format.fprintf fmt
@@ -51,3 +82,7 @@ let pp_report fmt r =
     r.server_hours Rat.pp_float r.dollar_cost
     (100.0 *. Rat.to_float r.mean_utilisation)
     Rat.pp_float r.offline_lower_bound
+
+let pp_fault_report fmt fr =
+  Format.fprintf fmt "@[<v>%a@,%a@]" pp_report fr.base
+    Dbp_faults.Resilience.pp fr.resilience

@@ -36,4 +36,42 @@ val compare_policies :
   report list
 (** One report per policy on the same trace, in the given order. *)
 
+type fault_report = {
+  base : report;
+      (** Operational metrics of the hosting actually realised under
+          faults: the packing covers the effective session segments
+          (truncated at evictions, resumed where recovery succeeded),
+          and failed servers are still billed for their open interval. *)
+  resilience : Dbp_faults.Resilience.t;
+      (** Degradation metrics: blast radius, sheds, recovery latency,
+          cost overhead vs the fault-free packing. *)
+}
+
+val dispatch_faulty :
+  ?billing:Billing.model ->
+  ?config:Dbp_faults.Injector.config ->
+  ?priority:(Dbp_core.Item.t -> int) ->
+  plan:Dbp_faults.Fault_plan.t ->
+  policy:Policy.t ->
+  Request.t list ->
+  fault_report
+(** {!dispatch} through {!Dbp_faults.Injector.run}: server crashes and
+    spot preemptions from [plan] interrupt sessions mid-flight; evicted
+    sessions are re-dispatched through the same policy under the
+    injector's retry/backoff and admission-gate configuration.
+    @raise Invalid_argument on an empty trace or if every session was
+    shed. *)
+
+val compare_policies_faulty :
+  ?billing:Billing.model ->
+  ?config:Dbp_faults.Injector.config ->
+  ?priority:(Dbp_core.Item.t -> int) ->
+  plan:Dbp_faults.Fault_plan.t ->
+  policies:Policy.t list ->
+  Request.t list ->
+  fault_report list
+(** One faulty report per policy on the same trace and the same fault
+    plan — the blast-radius comparison of experiment E18. *)
+
 val pp_report : Format.formatter -> report -> unit
+val pp_fault_report : Format.formatter -> fault_report -> unit

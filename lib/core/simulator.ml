@@ -126,6 +126,40 @@ module Online = struct
         let views = open_bin_views t in
         t.handlers.Policy.on_departure ~now ~bins:views ~item_id
 
+  let fail_bin t ~now ~bin_id =
+    advance_clock t now;
+    match find_bin t bin_id with
+    | None -> invalid_step "fail_bin: unknown bin %d" bin_id
+    | Some b ->
+        if not (Bin.is_open b) then
+          invalid_step "fail_bin: bin %d is already closed" bin_id;
+        (* Oldest-placement-first, so re-dispatch order is deterministic
+           and independent of list internals. *)
+        let victims =
+          List.rev_map (fun (r : Item.t) -> (r.Item.id, r.Item.size)) b.Bin.active
+        in
+        List.iter
+          (fun (item_id, _) ->
+            let stub =
+              List.find (fun (r : Item.t) -> r.Item.id = item_id) b.Bin.active
+            in
+            Bin.remove b ~now stub;
+            Hashtbl.remove t.item_bin item_id)
+          victims;
+        (* An open bin always holds at least one item, so the eviction
+           loop emptied it and [Bin.remove] closed it at [now]: the bin
+           is charged exactly for [opened, now]. *)
+        assert (not (Bin.is_open b));
+        List.iter
+          (fun (item_id, _) ->
+            let views = open_bin_views t in
+            t.handlers.Policy.on_departure ~now ~bins:views ~item_id)
+          victims;
+        Log.debug (fun m ->
+            m "t=%a bin %d FAILS, %d items evicted" Rat.pp now bin_id
+              (List.length victims));
+        victims
+
   let bin_of_item t item_id =
     Hashtbl.find_opt t.item_bin item_id
     |> Option.map (fun (b : Bin.t) -> b.id)

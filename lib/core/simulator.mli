@@ -20,8 +20,9 @@ exception Invalid_decision of string
 
 exception Invalid_step of string
 (** An {!Online} caller broke the protocol: time went backwards, an
-    unknown item departed, an item id was reused, or [finish] was
-    called with items still active. *)
+    unknown item departed, an item id was reused, an unknown or
+    already-closed bin was failed, or [finish] was called with items
+    still active. *)
 
 module Online : sig
   type t
@@ -44,6 +45,19 @@ module Online : sig
 
   val depart : t -> now:Rat.t -> item_id:int -> unit
   (** The item leaves; its bin closes if it empties. *)
+
+  val fail_bin : t -> now:Rat.t -> bin_id:int -> (int * Rat.t) list
+  (** Crashes an open bin at [now] (server failure / spot preemption):
+      every active item inside is evicted and the bin closes, so it is
+      charged exactly for [[opened, now]] — failed capacity still pays
+      for its open interval.  Returns the evicted [(item_id, size)]
+      pairs in packing order; evicted items are no longer active (a
+      later {!depart} for one raises {!Invalid_step}) and their ids
+      stay used.  Callers that re-dispatch evicted sessions must feed
+      them back through {!arrive} under fresh item ids — that is what
+      [Dbp_faults.Injector] does.
+      @raise Invalid_step if the bin is unknown or already closed, or
+      if [now] precedes an earlier step. *)
 
   val now : t -> Rat.t option
   (** Time of the latest step. *)

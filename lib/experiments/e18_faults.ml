@@ -1,0 +1,164 @@
+open Dbp_num
+open Dbp_core
+open Dbp_cloudgaming
+open Dbp_faults
+open Dbp_analysis
+open Exp_common
+
+let seed = 20260805L
+
+(* A 6 h evening of traffic: enough concurrent sessions that killing a
+   server displaces real load, small enough to replay per policy and
+   per fault plan. *)
+let profile =
+  { Gaming_workload.default_profile with
+    Gaming_workload.duration_hours = 6.0;
+    base_rate = 40.0 }
+
+let policy_set =
+  [
+    ("first_fit", First_fit.policy);
+    ("best_fit", Best_fit.policy);
+    ("worst_fit", Worst_fit.policy);
+    ("mff(8)", Modified_first_fit.policy_mu_oblivious);
+  ]
+
+(* Kill the fullest server once an hour through the busy period. *)
+let targeted_times = List.map Rat.of_int [ 1; 2; 3; 4; 5; 6 ]
+
+let crash_rates = [ 0.25; 0.5; 1.0 ]
+
+let fmt_pct x = Printf.sprintf "%.2f%%" (100.0 *. Rat.to_float x)
+
+let run () =
+  let c = counter () in
+  let requests = Gaming_workload.generate ~seed profile in
+  check c (requests <> []);
+  let instance = Gaming_workload.to_instance requests in
+  (* -- (0) the empty plan is a bit-for-bit fault-free replay --------- *)
+  List.iter
+    (fun (_, policy) ->
+      let r = Injector.run ~plan:Fault_plan.empty ~policy instance in
+      let base = Simulator.run ~policy instance in
+      check c
+        (Rat.equal r.Injector.packing.Packing.total_cost
+           base.Packing.total_cost);
+      check c
+        (Packing.bins_used r.Injector.packing = Packing.bins_used base);
+      check c
+        (Rat.equal (Resilience.cost_overhead r.Injector.resilience) Rat.one);
+      check c (r.Injector.resilience.Resilience.interrupted_sessions = 0);
+      check c
+        (Rat.equal
+           (Resilience.availability r.Injector.resilience)
+           Rat.one))
+    policy_set;
+  (* -- (1) adversarial targeted faults: blast radius per policy ------ *)
+  let targeted = Fault_plan.targeted_fullest ~times:targeted_times in
+  let blast =
+    List.map
+      (fun (name, policy) ->
+        let r = Injector.run ~plan:targeted ~policy instance in
+        check c (Packing.validate r.Injector.packing = Ok ());
+        (name, r.Injector.resilience))
+      policy_set
+  in
+  let t1 =
+    Table.create
+      ~title:
+        (Printf.sprintf
+           "E18a: kill-the-fullest-server once an hour (%d faults), %d \
+            requests over %.0f h"
+           (Fault_plan.count targeted) (List.length requests)
+           profile.Gaming_workload.duration_hours)
+      ~columns:
+        [
+          "policy";
+          "interrupted";
+          "sess-h displaced";
+          "resumed";
+          "lost";
+          "p95 recovery";
+          "cost overhead";
+          "availability";
+        ]
+  in
+  List.iter
+    (fun (name, (rz : Resilience.t)) ->
+      Table.add_row t1
+        [
+          name;
+          string_of_int rz.Resilience.interrupted_sessions;
+          fmt_rat rz.Resilience.interrupted_session_seconds;
+          string_of_int rz.Resilience.resumed_sessions;
+          string_of_int rz.Resilience.lost_sessions;
+          (match Resilience.quantile_recovery_latency rz ~q:0.95 with
+          | None -> "-"
+          | Some l -> fmt_rat l);
+          fmt_rat (Resilience.cost_overhead rz);
+          fmt_pct (Resilience.availability rz);
+        ])
+    blast;
+  let displaced name =
+    (List.assoc name blast).Resilience.interrupted_session_seconds
+  in
+  (* The consolidation trade-off: Best Fit packs sessions densest, so
+     the adversary's fullest-server kill displaces at least as much
+     session time as under spreading Worst Fit. *)
+  check c Rat.(displaced "best_fit" >= displaced "worst_fit");
+  check c Rat.(displaced "first_fit" >= displaced "worst_fit");
+  List.iter
+    (fun (_, (rz : Resilience.t)) ->
+      check c Rat.(Resilience.availability rz <= Rat.one);
+      check c
+        (rz.Resilience.resumed_sessions + rz.Resilience.lost_sessions
+         <= rz.Resilience.interrupted_sessions);
+      check c
+        (List.for_all
+           (fun l -> Rat.sign l >= 0)
+           rz.Resilience.recovery_latencies))
+    blast;
+  (* -- (2) Poisson crash-rate sweep ---------------------------------- *)
+  let horizon =
+    Interval.hi (Instance.packing_period instance)
+  in
+  let t2 =
+    Table.create
+      ~title:
+        "E18b: random crashes, rate sweep (crashes/h over the whole \
+         horizon, availability | interrupted sessions)"
+      ~columns:
+        ("rate" :: List.map (fun (name, _) -> name) policy_set)
+  in
+  List.iter
+    (fun rate ->
+      let plan =
+        Fault_plan.poisson_crashes ~seed:(Int64.add seed 7L) ~rate ~horizon
+      in
+      let row =
+        List.map
+          (fun (_, policy) ->
+            let r = Injector.run ~plan ~policy instance in
+            let rz = r.Injector.resilience in
+            check c (Packing.validate r.Injector.packing = Ok ());
+            check c Rat.(Resilience.availability rz <= Rat.one);
+            if rate >= 1.0 then
+              check c (rz.Resilience.interrupted_sessions > 0);
+            Printf.sprintf "%s | %d"
+              (fmt_pct (Resilience.availability rz))
+              rz.Resilience.interrupted_sessions)
+          policy_set
+      in
+      Table.add_row t2 (Printf.sprintf "%.2f" rate :: row))
+    crash_rates;
+  let total, failed = totals c in
+  {
+    experiment = "E18";
+    artefact =
+      "Fault injection: blast radius and recovery cost per policy \
+       (extension)";
+    tables = [ t1; t2 ];
+    charts = [];
+    checks_total = total;
+    checks_failed = failed;
+  }

@@ -1,0 +1,11 @@
+(** E18 (extension): fault injection and recovery.
+
+    Blast radius and recovery cost of FF / BF / WF / MFF on the same
+    cloud-gaming trace under (a) an adversarial "kill the fullest
+    server" plan and (b) a Poisson crash-rate sweep.  Checks that the
+    empty plan reproduces the fault-free packing exactly and that the
+    consolidation/blast-radius trade-off shows: Best Fit loses at least
+    as many interrupted session-seconds as Worst Fit under the
+    targeted plan. *)
+
+val run : unit -> Exp_common.outcome

@@ -17,6 +17,7 @@ let experiments : (string * (unit -> Exp_common.outcome)) list =
     ("e15", E15_fleet.run);
     ("e16", E16_busy_time.run);
     ("e17", E17_seed_sweep.run);
+    ("e18", E18_faults.run);
   ]
 
 let all_names = List.map (fun (n, _) -> String.uppercase_ascii n) experiments

@@ -1,9 +1,9 @@
-(** Experiment registry: run E1–E8 by name or all at once. *)
+(** Experiment registry: run E1–E18 by name or all at once. *)
 
 val all_names : string list
 
 val run : string -> Exp_common.outcome option
-(** Case-insensitive lookup by "E1".."E8". *)
+(** Case-insensitive lookup by "E1".."E18". *)
 
 val run_all : unit -> Exp_common.outcome list
-(** In order E1..E8. *)
+(** In order E1..E18. *)

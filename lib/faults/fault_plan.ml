@@ -1,0 +1,106 @@
+open Dbp_num
+open Dbp_rand
+
+type victim = Any_open | Fullest | Emptiest | Bin of int
+
+type kind = Crash | Preemption of { warning : Rat.t }
+
+type event = { at : Rat.t; victim : victim; kind : kind }
+
+type t = { label : string; events : event list }
+
+let empty = { label = "no-faults"; events = [] }
+
+let make ?(label = "custom") events =
+  List.iter
+    (fun e ->
+      if Rat.sign e.at < 0 then
+        invalid_arg "Fault_plan.make: negative fault time")
+    events;
+  let events =
+    List.stable_sort (fun a b -> Rat.compare a.at b.at) events
+  in
+  { label; events }
+
+let is_empty t = t.events = []
+let count t = List.length t.events
+
+let merge a b =
+  {
+    label =
+      (* Merging with an empty plan is a no-op; keep its label out. *)
+      (if is_empty a then b.label
+       else if is_empty b then a.label
+       else a.label ^ "+" ^ b.label);
+    events =
+      List.stable_sort
+        (fun x y -> Rat.compare x.at y.at)
+        (a.events @ b.events);
+  }
+
+(* Poisson arrival times over [0, horizon], quantised to 1/1000 so the
+   injector's Rat arithmetic stays small. *)
+let poisson_times ~seed ~rate ~horizon =
+  if rate < 0.0 then invalid_arg "Fault_plan: rate < 0";
+  let horizon_f = Rat.to_float horizon in
+  if rate = 0.0 || horizon_f <= 0.0 then []
+  else begin
+    let rng = Splitmix64.create seed in
+    let rec go clock acc =
+      let clock = clock +. Dist.exponential rng ~rate in
+      if clock > horizon_f then List.rev acc
+      else go clock (Rat.of_float ~den:1000 clock :: acc)
+    in
+    go 0.0 []
+  end
+
+let poisson_crashes ~seed ~rate ~horizon =
+  {
+    label = Printf.sprintf "poisson-crashes(rate=%g)" rate;
+    events =
+      List.map
+        (fun at -> { at; victim = Any_open; kind = Crash })
+        (poisson_times ~seed ~rate ~horizon);
+  }
+
+let spot_preemptions ~seed ~rate ~warning ~horizon =
+  if Rat.sign warning < 0 then
+    invalid_arg "Fault_plan.spot_preemptions: negative warning";
+  {
+    label = Printf.sprintf "spot-preemptions(rate=%g)" rate;
+    events =
+      List.map
+        (fun at -> { at; victim = Any_open; kind = Preemption { warning } })
+        (poisson_times ~seed ~rate ~horizon);
+  }
+
+let targeted_fullest ~times =
+  make ~label:"targeted-fullest"
+    (List.map (fun at -> { at; victim = Fullest; kind = Crash }) times)
+
+let pp_victim fmt = function
+  | Any_open -> Format.fprintf fmt "any"
+  | Fullest -> Format.fprintf fmt "fullest"
+  | Emptiest -> Format.fprintf fmt "emptiest"
+  | Bin id -> Format.fprintf fmt "bin %d" id
+
+let pp_event fmt e =
+  match e.kind with
+  | Crash -> Format.fprintf fmt "crash@%a(%a)" Rat.pp e.at pp_victim e.victim
+  | Preemption { warning } ->
+      Format.fprintf fmt "preempt@%a(%a, warn %a)" Rat.pp e.at pp_victim
+        e.victim Rat.pp warning
+
+let pp fmt t =
+  Format.fprintf fmt "@[<h>%s: %d faults" t.label (count t);
+  (match t.events with
+  | [] -> ()
+  | es ->
+      Format.fprintf fmt " [";
+      List.iteri
+        (fun i e ->
+          if i > 0 then Format.fprintf fmt "; ";
+          pp_event fmt e)
+        es;
+      Format.fprintf fmt "]");
+  Format.fprintf fmt "@]"

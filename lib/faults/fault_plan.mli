@@ -1,0 +1,65 @@
+(** Deterministic fault schedules for the DBP fleet.
+
+    A plan is a time-sorted list of fault events, fixed before the run
+    starts (the faults are oblivious to the packing — only the {e
+    victim rule} is resolved against the live fleet when the event
+    fires).  Plans are generated from explicit seeds, so every faulty
+    run is exactly reproducible, like every other experiment in the
+    repository. *)
+
+open Dbp_num
+
+type victim =
+  | Any_open  (** A uniformly random open bin (injector's seeded PRNG). *)
+  | Fullest  (** The open bin with the highest level; ties break to the
+                 lowest bin id.  The adversarial "biggest blast radius"
+                 rule: consolidating policies concentrate sessions, so
+                 this is where Best Fit hurts most. *)
+  | Emptiest  (** Lowest level, ties to the lowest bin id. *)
+  | Bin of int  (** That bin, if it is currently open. *)
+
+type kind =
+  | Crash
+      (** Fail-stop: the server vanishes; evicted sessions re-dispatch
+          only after the injector's [restart_delay]. *)
+  | Preemption of { warning : Rat.t }
+      (** Spot reclaim with [warning] time of advance notice: the
+          operator pre-warms replacement capacity, so evicted sessions
+          re-dispatch immediately at the preemption instant. *)
+
+type event = { at : Rat.t; victim : victim; kind : kind }
+
+type t = {
+  label : string;
+  events : event list;  (** Sorted by [at], stable. *)
+}
+
+val empty : t
+
+val make : ?label:string -> event list -> t
+(** Sorts the events by time (stably).
+    @raise Invalid_argument if an event time is negative. *)
+
+val is_empty : t -> bool
+val count : t -> int
+
+val merge : t -> t -> t
+(** Interleaves the two schedules by time. *)
+
+val poisson_crashes : seed:int64 -> rate:float -> horizon:Rat.t -> t
+(** Crash times drawn from a Poisson process with [rate] faults per
+    unit time over [[0, horizon]], each killing a random open bin.
+    Times are quantised to the 1/1000 grid, keeping all downstream
+    accounting exact.
+    @raise Invalid_argument if [rate < 0]; a zero rate gives {!empty}. *)
+
+val spot_preemptions :
+  seed:int64 -> rate:float -> warning:Rat.t -> horizon:Rat.t -> t
+(** Like {!poisson_crashes} but each event is a {!Preemption} with the
+    given warning, hitting a random open bin. *)
+
+val targeted_fullest : times:Rat.t list -> t
+(** "Kill the fullest bin" at each given time — the adversarial plan
+    used by experiment E18 to measure blast radius. *)
+
+val pp : Format.formatter -> t -> unit

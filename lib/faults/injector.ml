@@ -1,0 +1,378 @@
+open Dbp_num
+open Dbp_core
+open Dbp_rand
+
+type config = {
+  seed : int64;
+  launch_failure_prob : float;
+  base_backoff : Rat.t;
+  backoff_cap : Rat.t;
+  max_retries : int;
+  restart_delay : Rat.t;
+  max_fleet : int option;
+  max_pending : int option;
+}
+
+let default_config =
+  {
+    seed = 42L;
+    launch_failure_prob = 0.0;
+    base_backoff = Rat.make 1 4;
+    backoff_cap = Rat.of_int 4;
+    max_retries = 5;
+    restart_delay = Rat.make 1 4;
+    max_fleet = None;
+    max_pending = None;
+  }
+
+type result = {
+  packing : Packing.t;
+  effective : Instance.t;
+  resilience : Resilience.t;
+}
+
+(* A session segment actually placed in a bin: the unit of the
+   effective instance.  [stop] is fixed at departure or eviction. *)
+type seg = {
+  seg_id : int;
+  orig_id : int;
+  seg_size : Rat.t;
+  seg_start : Rat.t;
+  seg_deadline : Rat.t;  (* the original session's departure *)
+  mutable stop : Rat.t;
+}
+
+(* A dispatch attempt: a fresh request from the trace, a backoff retry,
+   or the recovery of an evicted session. *)
+type attempt = {
+  a_orig_id : int;
+  a_size : Rat.t;
+  a_priority : int;
+  a_deadline : Rat.t;
+  a_attempt : int;  (* failed attempts so far *)
+  a_evicted_at : Rat.t option;  (* [Some t]: recovery of a t-eviction *)
+  a_key : int;  (* unique queue sequence number *)
+  mutable a_cancelled : bool;  (* shed while queued *)
+}
+
+type ev = Depart of int | Fault of Fault_plan.event | Dispatch of attempt
+
+(* Deterministic event order: at equal times departures complete first,
+   then faults strike, then arrivals dispatch — so a fault never kills
+   a session that ended at that very instant, and an arrival at the
+   fault instant sees the post-crash fleet.  Mirrors [Event.compare]
+   (departures before arrivals, ties by id) so that the empty plan
+   replays [Simulator.run] exactly. *)
+module Key = struct
+  type t = Rat.t * int * int
+
+  let compare (t1, r1, s1) (t2, r2, s2) =
+    let c = Rat.compare t1 t2 in
+    if c <> 0 then c
+    else
+      let c = Int.compare r1 r2 in
+      if c <> 0 then c else Int.compare s1 s2
+end
+
+module Q = Map.Make (Key)
+
+let rank_depart = 0
+let rank_fault = 1
+let rank_dispatch = 2
+
+let backoff_delay cfg ~attempt =
+  (* capped exponential: base * 2^attempt, clamped. *)
+  let e = Stdlib.min attempt 20 in
+  Rat.min cfg.backoff_cap (Rat.mul_int cfg.base_backoff (1 lsl e))
+
+let run ?(config = default_config) ?(priority = fun _ -> 0)
+    ~(plan : Fault_plan.t) ~(policy : Policy.t) instance =
+  let cfg = config in
+  if cfg.launch_failure_prob < 0.0 || cfg.launch_failure_prob > 1.0 then
+    invalid_arg "Injector.run: launch_failure_prob outside [0, 1]";
+  if cfg.max_retries < 0 then invalid_arg "Injector.run: max_retries < 0";
+  if Rat.sign cfg.base_backoff <= 0 then
+    invalid_arg "Injector.run: base_backoff <= 0";
+  if Rat.sign cfg.restart_delay < 0 then
+    invalid_arg "Injector.run: restart_delay < 0";
+  let online =
+    Simulator.Online.create ~policy ~capacity:(Instance.capacity instance) ()
+  in
+  let rng = Pcg32.create cfg.seed in
+  (* -- state ------------------------------------------------------- *)
+  let queue = ref Q.empty in
+  let seq = ref (Instance.size instance) in
+  let fresh_seq () =
+    let s = !seq in
+    incr seq;
+    s
+  in
+  let segments = ref [] (* reverse seg_id order *) in
+  let next_seg = ref 0 in
+  let active : (int, seg) Hashtbl.t = Hashtbl.create 64 in
+  let pending : (int, attempt) Hashtbl.t = Hashtbl.create 16 in
+  (* -- counters ----------------------------------------------------- *)
+  let faults_injected = ref 0 in
+  let faults_skipped = ref 0 in
+  let interrupted = ref 0 in
+  let interrupted_seconds = ref Rat.zero in
+  let resumed = ref 0 in
+  let lost = ref 0 in
+  let launch_failures = ref 0 in
+  let retries = ref 0 in
+  let shed = ref 0 in
+  let recovery_latencies = ref [] (* reverse recovery order *) in
+  (* -- queue helpers ------------------------------------------------ *)
+  let enqueue key ev = queue := Q.add key ev !queue in
+  let give_up (a : attempt) =
+    match a.a_evicted_at with
+    | None -> incr shed
+    | Some _ -> incr lost
+  in
+  let shed_excess_pending () =
+    match cfg.max_pending with
+    | None -> ()
+    | Some bound ->
+        while Hashtbl.length pending > bound do
+          (* lowest priority goes first; ties shed the most recently
+             queued (highest key). *)
+          let victim =
+            Hashtbl.fold
+              (fun _ (a : attempt) acc ->
+                match acc with
+                | None -> Some a
+                | Some (b : attempt) ->
+                    if
+                      a.a_priority < b.a_priority
+                      || (a.a_priority = b.a_priority && a.a_key > b.a_key)
+                    then Some a
+                    else acc)
+              pending None
+          in
+          match victim with
+          | None -> ()
+          | Some v ->
+              v.a_cancelled <- true;
+              Hashtbl.remove pending v.a_key;
+              give_up v
+        done
+  in
+  let retry (a : attempt) ~now =
+    if a.a_attempt >= cfg.max_retries then give_up a
+    else
+      let delay = backoff_delay cfg ~attempt:a.a_attempt in
+      let at = Rat.add now delay in
+      if Rat.(at >= a.a_deadline) then give_up a
+      else begin
+        incr retries;
+        let a' =
+          { a with a_attempt = a.a_attempt + 1; a_key = fresh_seq () }
+        in
+        Hashtbl.replace pending a'.a_key a';
+        enqueue (at, rank_dispatch, a'.a_key) (Dispatch a');
+        shed_excess_pending ()
+      end
+  in
+  let place (a : attempt) ~now =
+    let seg_id = !next_seg in
+    incr next_seg;
+    ignore
+      (Simulator.Online.arrive online ~now ~size:a.a_size ~item_id:seg_id);
+    let seg =
+      {
+        seg_id;
+        orig_id = a.a_orig_id;
+        seg_size = a.a_size;
+        seg_start = now;
+        seg_deadline = a.a_deadline;
+        stop = a.a_deadline;
+      }
+    in
+    segments := seg :: !segments;
+    Hashtbl.replace active seg_id seg;
+    enqueue (a.a_deadline, rank_depart, seg_id) (Depart seg_id);
+    match a.a_evicted_at with
+    | None -> ()
+    | Some te ->
+        incr resumed;
+        recovery_latencies := Rat.sub now te :: !recovery_latencies
+  in
+  let dispatch (a : attempt) ~now =
+    if not a.a_cancelled then begin
+      Hashtbl.remove pending a.a_key;
+      let views = Simulator.Online.open_bins online in
+      let fits_somewhere =
+        List.exists
+          (fun (v : Bin.view) -> Rat.(a.a_size <= v.bin_residual))
+          views
+      in
+      let saturated =
+        match cfg.max_fleet with
+        | Some m -> List.length views >= m && not fits_somewhere
+        | None -> false
+      in
+      if saturated then retry a ~now
+      else if
+        cfg.launch_failure_prob > 0.0
+        && Pcg32.next_float rng < cfg.launch_failure_prob
+      then begin
+        incr launch_failures;
+        retry a ~now
+      end
+      else place a ~now
+    end
+  in
+  let resolve_victim (views : Bin.view list) = function
+    | Fault_plan.Bin id ->
+        if List.exists (fun (v : Bin.view) -> v.Bin.bin_id = id) views then
+          Some id
+        else None
+    | Fault_plan.Any_open ->
+        let arr = Array.of_list views in
+        Some arr.(Pcg32.next_int rng (Array.length arr)).Bin.bin_id
+    | Fault_plan.Fullest ->
+        List.fold_left
+          (fun acc (v : Bin.view) ->
+            match acc with
+            | None -> Some v
+            | Some (b : Bin.view) ->
+                if Rat.(v.bin_level > b.bin_level) then Some v else acc)
+          None views
+        |> Option.map (fun (v : Bin.view) -> v.Bin.bin_id)
+    | Fault_plan.Emptiest ->
+        List.fold_left
+          (fun acc (v : Bin.view) ->
+            match acc with
+            | None -> Some v
+            | Some (b : Bin.view) ->
+                if Rat.(v.bin_level < b.bin_level) then Some v else acc)
+          None views
+        |> Option.map (fun (v : Bin.view) -> v.Bin.bin_id)
+  in
+  let strike (e : Fault_plan.event) ~now =
+    let views = Simulator.Online.open_bins online in
+    match
+      (if views = [] then None else resolve_victim views e.Fault_plan.victim)
+    with
+    | None -> incr faults_skipped
+    | Some bin_id ->
+        incr faults_injected;
+        let evicted = Simulator.Online.fail_bin online ~now ~bin_id in
+        List.iter
+          (fun (seg_id, _) ->
+            let seg = Hashtbl.find active seg_id in
+            Hashtbl.remove active seg_id;
+            seg.stop <- now;
+            incr interrupted;
+            interrupted_seconds :=
+              Rat.add !interrupted_seconds (Rat.sub seg.seg_deadline now);
+            let restart_at =
+              match e.Fault_plan.kind with
+              | Fault_plan.Crash -> Rat.add now cfg.restart_delay
+              | Fault_plan.Preemption _ -> now
+            in
+            if Rat.(restart_at >= seg.seg_deadline) then incr lost
+            else begin
+              let a =
+                {
+                  a_orig_id = seg.orig_id;
+                  a_size = seg.seg_size;
+                  a_priority =
+                    priority (Instance.item instance seg.orig_id);
+                  a_deadline = seg.seg_deadline;
+                  a_attempt = 0;
+                  a_evicted_at = Some now;
+                  a_key = fresh_seq ();
+                  a_cancelled = false;
+                }
+              in
+              Hashtbl.replace pending a.a_key a;
+              enqueue (restart_at, rank_dispatch, a.a_key) (Dispatch a);
+              shed_excess_pending ()
+            end)
+          evicted
+  in
+  (* -- seed the queue ----------------------------------------------- *)
+  Array.iter
+    (fun (r : Item.t) ->
+      let a =
+        {
+          a_orig_id = r.id;
+          a_size = r.size;
+          a_priority = priority r;
+          a_deadline = r.departure;
+          a_attempt = 0;
+          a_evicted_at = None;
+          a_key = r.id;
+          a_cancelled = false;
+        }
+      in
+      enqueue (r.arrival, rank_dispatch, r.id) (Dispatch a))
+    (Instance.items instance);
+  List.iteri
+    (fun i (e : Fault_plan.event) ->
+      enqueue (e.Fault_plan.at, rank_fault, i) (Fault e))
+    plan.Fault_plan.events;
+  (* -- main loop ----------------------------------------------------- *)
+  let rec drain () =
+    match Q.min_binding_opt !queue with
+    | None -> ()
+    | Some (((now, _, _) as key), ev) ->
+        queue := Q.remove key !queue;
+        (match ev with
+        | Depart seg_id -> (
+            match Hashtbl.find_opt active seg_id with
+            | None -> () (* evicted earlier *)
+            | Some seg ->
+                Simulator.Online.depart online ~now ~item_id:seg_id;
+                seg.stop <- now;
+                Hashtbl.remove active seg_id)
+        | Fault e -> strike e ~now
+        | Dispatch a -> dispatch a ~now);
+        drain ()
+  in
+  drain ();
+  assert (Hashtbl.length active = 0);
+  (* -- assemble the effective instance and the packing --------------- *)
+  let segs = List.rev !segments in
+  if segs = [] then
+    invalid_arg "Injector.run: every session was shed, nothing was packed";
+  let items =
+    List.map
+      (fun s ->
+        Item.make ~id:s.seg_id ~size:s.seg_size ~arrival:s.seg_start
+          ~departure:s.stop)
+      segs
+  in
+  let effective = Instance.create ~capacity:(Instance.capacity instance) items in
+  let packing =
+    { (Simulator.Online.finish online ~instance:effective) with
+      Packing.policy_name = policy.Policy.name }
+  in
+  let fault_free = Simulator.run ~policy instance in
+  let served =
+    Rat.sum (List.map (fun s -> Rat.sub s.stop s.seg_start) segs)
+  in
+  let demand =
+    Rat.sum
+      (Array.to_list (Instance.items instance) |> List.map Item.length)
+  in
+  let resilience =
+    {
+      Resilience.faults_injected = !faults_injected;
+      faults_skipped = !faults_skipped;
+      interrupted_sessions = !interrupted;
+      interrupted_session_seconds = !interrupted_seconds;
+      resumed_sessions = !resumed;
+      lost_sessions = !lost;
+      launch_failures = !launch_failures;
+      retries = !retries;
+      shed_requests = !shed;
+      recovery_latencies = List.rev !recovery_latencies;
+      served_session_seconds = served;
+      demand_session_seconds = demand;
+      faulty_cost = packing.Packing.total_cost;
+      fault_free_cost = fault_free.Packing.total_cost;
+    }
+  in
+  { packing; effective; resilience }

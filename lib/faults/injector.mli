@@ -1,0 +1,80 @@
+(** Weaves a {!Fault_plan} into an instance's event stream and drives
+    {!Dbp_core.Simulator.Online} through crashes and recoveries.
+
+    The injector replays the trace exactly like [Simulator.run]
+    (departures before arrivals at equal times, submission order on
+    ties) with fault events interleaved {e between} the departures and
+    the arrivals of their instant.  When a fault fires, the victim bin
+    is crashed with [Simulator.Online.fail_bin]: its sessions are
+    evicted, the bin pays for its open interval, and each evicted
+    session is re-dispatched through the {e same policy} as a fresh
+    item covering the remaining session window — after the configured
+    restart delay for crashes, immediately for warned spot preemptions.
+
+    Dispatch attempts (fresh arrivals and recoveries alike) can fail to
+    launch with probability [launch_failure_prob]; failed launches
+    retry under capped exponential backoff up to [max_retries] times.
+    An optional admission gate bounds the fleet: when [max_fleet] bins
+    are open and the item fits none of them, admission is deferred
+    (backoff again), and when more than [max_pending] deferred requests
+    are queued the lowest-priority one is shed.  A session whose window
+    closes before a retry lands is shed (never served) or lost
+    (evicted and not recovered).
+
+    With the empty plan and the default configuration the injector is a
+    bit-for-bit replay of [Simulator.run]: same bins, same exact
+    [Rat.t] total cost — the fault machinery adds nothing until faults
+    actually happen (tested across policies in [test/test_faults.ml]).
+
+    Determinism: victim choice and launch failures draw from a
+    [Pcg32] stream seeded by [config.seed]; everything else is exact
+    rational arithmetic on a deterministic event order. *)
+
+open Dbp_num
+open Dbp_core
+
+type config = {
+  seed : int64;  (** PRNG stream for victim choice and launch rolls. *)
+  launch_failure_prob : float;  (** Per dispatch attempt, in [[0, 1]]. *)
+  base_backoff : Rat.t;  (** First retry delay. *)
+  backoff_cap : Rat.t;  (** Ceiling on a single backoff delay. *)
+  max_retries : int;  (** Retries per dispatch chain before giving up. *)
+  restart_delay : Rat.t;  (** Crash eviction to re-dispatch delay. *)
+  max_fleet : int option;
+      (** Admission gate: defer arrivals that would need a new bin
+          beyond this many open ones.  Advisory for non-Any-Fit
+          policies — the gate cannot override a policy that opens a
+          new bin although a fit existed.  [None] disables. *)
+  max_pending : int option;
+      (** Bound on simultaneously queued retries/recoveries; beyond
+          it the lowest-priority pending request is shed.  [None]
+          disables. *)
+}
+
+val default_config : config
+(** Seed 42, no launch failures, backoff 1/4 doubling capped at 4,
+    5 retries, restart delay 1/4, no fleet or pending bound. *)
+
+type result = {
+  packing : Packing.t;
+      (** The faulty packing over {!field:effective} — validated by the
+          same [Packing.validate] as every fault-free packing. *)
+  effective : Instance.t;
+      (** The session segments actually hosted: the original items,
+          truncated at their eviction instants, plus one item per
+          successful recovery covering the remaining window.  Shed and
+          lost windows are absent. *)
+  resilience : Resilience.t;
+}
+
+val run :
+  ?config:config ->
+  ?priority:(Item.t -> int) ->
+  plan:Fault_plan.t ->
+  policy:Policy.t ->
+  Instance.t ->
+  result
+(** [priority] maps an original item to its admission priority (higher
+    keeps it longer under shedding; default: all 0).
+    @raise Invalid_argument if every session was shed (nothing was ever
+    placed, so there is no packing to report). *)

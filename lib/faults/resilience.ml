@@ -1,0 +1,71 @@
+open Dbp_num
+
+type t = {
+  faults_injected : int;
+  faults_skipped : int;
+  interrupted_sessions : int;
+  interrupted_session_seconds : Rat.t;
+  resumed_sessions : int;
+  lost_sessions : int;
+  launch_failures : int;
+  retries : int;
+  shed_requests : int;
+  recovery_latencies : Rat.t list;
+  served_session_seconds : Rat.t;
+  demand_session_seconds : Rat.t;
+  faulty_cost : Rat.t;
+  fault_free_cost : Rat.t;
+}
+
+let availability t =
+  if Rat.is_zero t.demand_session_seconds then Rat.one
+  else Rat.div t.served_session_seconds t.demand_session_seconds
+
+let cost_overhead t =
+  if Rat.is_zero t.fault_free_cost then Rat.one
+  else Rat.div t.faulty_cost t.fault_free_cost
+
+let mean_recovery_latency t =
+  match t.recovery_latencies with
+  | [] -> None
+  | ls -> Some (Rat.div_int (Rat.sum ls) (List.length ls))
+
+let max_recovery_latency t =
+  match t.recovery_latencies with [] -> None | ls -> Some (Rat.max_list ls)
+
+let quantile_recovery_latency t ~q =
+  if q < 0.0 || q > 1.0 then
+    invalid_arg "Resilience.quantile_recovery_latency: q outside [0, 1]";
+  match List.sort Rat.compare t.recovery_latencies with
+  | [] -> None
+  | sorted ->
+      let n = List.length sorted in
+      (* nearest-rank: smallest index i with (i+1)/n >= q *)
+      let rank =
+        Stdlib.min (n - 1)
+          (Stdlib.max 0 (int_of_float (ceil (q *. float_of_int n)) - 1))
+      in
+      Some (List.nth sorted rank)
+
+let pp fmt t =
+  let opt_lat fmt = function
+    | None -> Format.fprintf fmt "-"
+    | Some l -> Rat.pp_float fmt l
+  in
+  Format.fprintf fmt
+    "@[<v>faults          : %d injected, %d skipped@,\
+     interrupted     : %d sessions, %a session-seconds displaced@,\
+     recovered       : %d resumed, %d lost, %d shed@,\
+     launch retries  : %d failures, %d retries@,\
+     recovery latency: mean %a, p95 %a, max %a@,\
+     availability    : %a (served %a / demanded %a)@,\
+     cost            : %a faulty vs %a fault-free (overhead %a)@]"
+    t.faults_injected t.faults_skipped t.interrupted_sessions Rat.pp_float
+    t.interrupted_session_seconds t.resumed_sessions t.lost_sessions
+    t.shed_requests t.launch_failures t.retries opt_lat
+    (mean_recovery_latency t) opt_lat
+    (quantile_recovery_latency t ~q:0.95)
+    opt_lat (max_recovery_latency t) Rat.pp_float (availability t)
+    Rat.pp_float t.served_session_seconds Rat.pp_float
+    t.demand_session_seconds Rat.pp_float t.faulty_cost Rat.pp_float
+    t.fault_free_cost Rat.pp_float (cost_overhead t)

@@ -1,0 +1,59 @@
+(** Graceful-degradation metrics of a faulty run.
+
+    Produced by {!Injector.run}; everything an operator reads off a
+    post-incident dashboard: how many sessions faults interrupted and
+    how much session time they displaced (the {e blast radius}), how
+    many requests were shed by the admission gate or lost to exhausted
+    retries, how long recovery took, and what the faults cost relative
+    to the fault-free packing of the same trace.
+
+    All quantities are exact {!Dbp_num.Rat.t}: the fault model rides on
+    the same accounting as the paper's cost model (a failed bin still
+    pays for its whole open interval). *)
+
+open Dbp_num
+
+type t = {
+  faults_injected : int;  (** Fault events that found a victim. *)
+  faults_skipped : int;  (** Fault events with no open bin to kill. *)
+  interrupted_sessions : int;  (** Session segments evicted by faults. *)
+  interrupted_session_seconds : Rat.t;
+      (** Blast radius: the remaining session time displaced at each
+          eviction, summed.  A consolidating policy concentrates
+          sessions on few bins and so loses more here per fault. *)
+  resumed_sessions : int;  (** Evictions that re-dispatched successfully. *)
+  lost_sessions : int;
+      (** Evictions never recovered: the session window closed during
+          backoff, retries were exhausted, or the gate shed the retry. *)
+  launch_failures : int;  (** Dispatch attempts that failed to launch. *)
+  retries : int;  (** Backoff retries scheduled. *)
+  shed_requests : int;
+      (** Fresh requests never served at all (admission gate or
+          exhausted launch retries). *)
+  recovery_latencies : Rat.t list;
+      (** Eviction-to-successful-restart delays, in eviction order:
+          restart delay plus any launch-failure backoff. *)
+  served_session_seconds : Rat.t;  (** Session time actually hosted. *)
+  demand_session_seconds : Rat.t;  (** Session time requested. *)
+  faulty_cost : Rat.t;  (** Total cost of the faulty packing. *)
+  fault_free_cost : Rat.t;  (** [Simulator.run] cost on the same trace. *)
+}
+
+val availability : t -> Rat.t
+(** [served / demand] — the fraction of requested session time actually
+    hosted; [1] when nothing was interrupted, shed or lost. *)
+
+val cost_overhead : t -> Rat.t
+(** [faulty_cost / fault_free_cost]: what the faults (evictions,
+    re-dispatches, stranded partial bins) cost relative to the
+    fault-free packing.  Can be below [1] when faults shed so much load
+    that less capacity was rented overall. *)
+
+val mean_recovery_latency : t -> Rat.t option
+val max_recovery_latency : t -> Rat.t option
+
+val quantile_recovery_latency : t -> q:float -> Rat.t option
+(** Empirical [q]-quantile (nearest-rank) of the recovery latency
+    distribution.  @raise Invalid_argument unless [0 <= q <= 1]. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,6 +1,25 @@
 open Dbp_num
 open Dbp_core
 
+type parse_error = { line : int; field : string option; message : string }
+
+exception Parse_error of parse_error
+
+let parse_error_to_string e =
+  Printf.sprintf "trace parse error at line %d%s: %s" e.line
+    (match e.field with
+    | None -> ""
+    | Some f -> Printf.sprintf " (field '%s')" f)
+    e.message
+
+let pp_parse_error fmt e =
+  Format.pp_print_string fmt (parse_error_to_string e)
+
+let parse_fail ~line ?field fmt =
+  Format.kasprintf
+    (fun message -> raise (Parse_error { line; field; message }))
+    fmt
+
 let to_string instance =
   let buf = Buffer.create 1024 in
   Buffer.add_string buf
@@ -16,38 +35,75 @@ let to_string instance =
   Buffer.contents buf
 
 let of_string text =
+  (* Keep the original 1-based line numbers through blank-line
+     filtering, so errors point at the actual file line. *)
   let lines =
     String.split_on_char '\n' text
-    |> List.map String.trim
-    |> List.filter (fun l -> l <> "")
+    |> List.mapi (fun i l -> (i + 1, String.trim l))
+    |> List.filter (fun (_, l) -> l <> "")
   in
-  let capacity, rows =
+  let rat_field ~line ~field s =
+    match Rat.of_string (String.trim s) with
+    | r -> r
+    | exception Failure _ ->
+        parse_fail ~line ~field "'%s' is not a rational number" (String.trim s)
+  in
+  let capacity, cap_line, rows =
     match lines with
-    | header :: rest when String.length header > 0 && header.[0] = '#' -> (
+    | (line, header) :: rest when header.[0] = '#' -> (
         match String.index_opt header '=' with
-        | None -> failwith "Trace.of_string: missing capacity"
+        | None ->
+            parse_fail ~line ~field:"capacity"
+              "header '%s' carries no 'capacity=<rational>'" header
         | Some i ->
             let cap =
-              Rat.of_string
+              rat_field ~line ~field:"capacity"
                 (String.sub header (i + 1) (String.length header - i - 1))
             in
-            (cap, rest))
-    | _ -> failwith "Trace.of_string: missing '# capacity=' header"
+            if Rat.sign cap <= 0 then
+              parse_fail ~line ~field:"capacity" "capacity %s is not positive"
+                (Rat.to_string cap);
+            (cap, line, rest))
+    | (line, header) :: _ ->
+        parse_fail ~line "expected '# capacity=<rational>' header, got '%s'"
+          header
+    | [] -> parse_fail ~line:1 "empty trace: missing '# capacity=' header"
   in
   let rows =
     match rows with
-    | col_header :: data when String.length col_header > 1 && col_header.[0] = 'i'
-      ->
+    | (_, col_header) :: data
+      when String.length col_header > 1 && col_header.[0] = 'i' ->
         data
-    | _ -> failwith "Trace.of_string: missing column header"
+    | (line, other) :: _ ->
+        parse_fail ~line
+          "expected column header 'id,size,arrival,departure', got '%s'" other
+    | [] ->
+        parse_fail ~line:cap_line
+          "trace ends after the capacity header: missing column header"
   in
-  let parse_row line =
-    match String.split_on_char ',' line with
+  if rows = [] then
+    parse_fail ~line:(cap_line + 1) "trace contains no item rows";
+  let parse_row (line, text) =
+    match String.split_on_char ',' text with
     | [ _id; size; arrival; departure ] ->
-        Item.make ~id:0 ~size:(Rat.of_string size)
-          ~arrival:(Rat.of_string arrival)
-          ~departure:(Rat.of_string departure)
-    | _ -> failwith ("Trace.of_string: malformed row: " ^ line)
+        let size = rat_field ~line ~field:"size" size in
+        let arrival = rat_field ~line ~field:"arrival" arrival in
+        let departure = rat_field ~line ~field:"departure" departure in
+        if Rat.sign size <= 0 then
+          parse_fail ~line ~field:"size" "size %s is not positive"
+            (Rat.to_string size);
+        if Rat.(size > capacity) then
+          parse_fail ~line ~field:"size"
+            "size %s exceeds the capacity %s: the item could never be packed"
+            (Rat.to_string size) (Rat.to_string capacity);
+        if Rat.(departure <= arrival) then
+          parse_fail ~line ~field:"departure"
+            "departure %s does not follow arrival %s" (Rat.to_string departure)
+            (Rat.to_string arrival);
+        Item.make ~id:0 ~size ~arrival ~departure
+    | fields ->
+        parse_fail ~line "expected 4 comma-separated fields, got %d: '%s'"
+          (List.length fields) text
   in
   Instance.create ~capacity (List.map parse_row rows)
 

@@ -3,13 +3,38 @@
     Format: a header line [# capacity=<rational>], then a column header
     [id,size,arrival,departure], then one row per item with exact
     rational fields ([3/10] style), in submission order.  Round-trips
-    losslessly. *)
+    losslessly.
+
+    Parsing never raises a bare [Failure]: every malformed input maps
+    to a {!Parse_error} carrying the 1-based line number and, where it
+    applies, the offending field — so the CLI can print a readable
+    diagnostic instead of a backtrace. *)
 
 open Dbp_core
 
+type parse_error = {
+  line : int;  (** 1-based line number in the input text/file. *)
+  field : string option;
+      (** ["size"], ["arrival"], ["departure"] or ["capacity"] when a
+          specific field is at fault; [None] for structural errors. *)
+  message : string;
+}
+
+exception Parse_error of parse_error
+
+val parse_error_to_string : parse_error -> string
+val pp_parse_error : Format.formatter -> parse_error -> unit
+
 val to_string : Instance.t -> string
+
 val of_string : string -> Instance.t
-(** @raise Failure on malformed input. *)
+(** @raise Parse_error on malformed input: missing/bad capacity header,
+    missing column header, wrong field count, non-rational fields,
+    non-positive or over-capacity sizes, and departure-before-arrival
+    rows. *)
 
 val save : Instance.t -> path:string -> unit
+
 val load : path:string -> Instance.t
+(** @raise Parse_error as {!of_string}; [Sys_error] on unreadable
+    paths. *)

@@ -64,6 +64,30 @@ Offline (non-migratory) planning on the same trace:
   least span increase     : 54.3457 (6 groups)
   longest first           : 54.081 (6 groups)
 
+Fault injection: kill the fullest bin at t=5 and t=9 and watch Best
+Fit recover.  Everything (plan, victims, restarts) is deterministic:
+
+  $ dbp faults --trace trace.csv --policy best-fit --kill-fullest-at 5,9 --seed 5
+  plan targeted-fullest: 2 faults over horizon [0, 19.5485]
+  best_fit: 17 bins, cost=287851/5000 (57.5702), max open=6, any-fit violations=0
+  faults          : 2 injected, 0 skipped
+  interrupted     : 3 sessions, 2.4584 session-seconds displaced
+  recovered       : 3 resumed, 0 lost, 0 shed
+  launch retries  : 0 failures, 0 retries
+  recovery latency: mean 0.25, p95 0.25, max 0.25
+  availability    : 0.99022 (served 75.941 / demanded 76.691)
+  cost            : 57.5702 faulty vs 59.6456 fault-free (overhead 0.965204)
+
+Malformed traces die with a readable diagnostic, not a backtrace:
+
+  $ printf '# capacity=1\nid,size,arrival,departure\n0,1/2,0,oops\n' > bad.csv
+  $ dbp simulate --trace bad.csv
+  bad.csv: trace parse error at line 3 (field 'departure'): 'oops' is not a rational number
+  [2]
+  $ dbp faults --trace bad.csv
+  bad.csv: trace parse error at line 3 (field 'departure'): 'oops' is not a rational number
+  [2]
+
 Unknown policies are rejected:
 
   $ dbp simulate --trace trace.csv --policy nope

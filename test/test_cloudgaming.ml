@@ -94,6 +94,51 @@ let test_dispatch_consistency () =
   Alcotest.(check bool) "peak <= used" true
     (report.Dispatcher.peak_servers <= report.Dispatcher.servers_used)
 
+let test_dispatch_faulty () =
+  let profile =
+    { Gaming_workload.default_profile with
+      Gaming_workload.duration_hours = 4.0;
+      base_rate = 15.0 }
+  in
+  let requests = Gaming_workload.generate ~seed:4L profile in
+  let plan =
+    Dbp_faults.Fault_plan.targeted_fullest ~times:[ Rat.one; Rat.two ]
+  in
+  let fr =
+    Dispatcher.dispatch_faulty ~plan ~policy:First_fit.policy requests
+  in
+  assert_valid_packing fr.Dispatcher.base.Dispatcher.packing;
+  let res = fr.Dispatcher.resilience in
+  Alcotest.(check int) "both faults landed" 2
+    res.Dbp_faults.Resilience.faults_injected;
+  Alcotest.(check bool) "sessions were interrupted" true
+    (res.Dbp_faults.Resilience.interrupted_sessions > 0);
+  Alcotest.(check bool) "availability at most 1" true
+    Rat.(Dbp_faults.Resilience.availability res <= Rat.one);
+  (* the base report reads its metrics off the effective hosting *)
+  check_rat "dollar cost = faulty server hours"
+    fr.Dispatcher.base.Dispatcher.server_hours
+    res.Dbp_faults.Resilience.faulty_cost;
+  (* empty plan: the faulty report degenerates to the plain one *)
+  let plain = Dispatcher.dispatch ~policy:First_fit.policy requests in
+  let nofault =
+    Dispatcher.dispatch_faulty ~plan:Dbp_faults.Fault_plan.empty
+      ~policy:First_fit.policy requests
+  in
+  check_rat "empty plan, same cost" plain.Dispatcher.dollar_cost
+    nofault.Dispatcher.base.Dispatcher.dollar_cost;
+  Alcotest.(check int) "empty plan, same fleet" plain.Dispatcher.servers_used
+    nofault.Dispatcher.base.Dispatcher.servers_used;
+  (* the comparison wrapper covers every policy on the same plan *)
+  let frs =
+    Dispatcher.compare_policies_faulty ~plan
+      ~policies:[ First_fit.policy; Worst_fit.policy ]
+      requests
+  in
+  Alcotest.(check int) "two faulty reports" 2 (List.length frs);
+  (* renders without raising *)
+  ignore (Format.asprintf "%a" Dispatcher.pp_fault_report fr)
+
 let test_compare_policies () =
   let profile =
     { Gaming_workload.default_profile with
@@ -152,6 +197,7 @@ let suite =
     Alcotest.test_case "workload generation" `Quick test_workload_generation;
     Alcotest.test_case "dispatch consistency" `Quick test_dispatch_consistency;
     Alcotest.test_case "compare policies" `Quick test_compare_policies;
+    Alcotest.test_case "faulty dispatch" `Quick test_dispatch_faulty;
     Alcotest.test_case "hourly billing dominates" `Quick
       test_hourly_billing_dominates;
     Alcotest.test_case "flat profile" `Quick test_flat_profile;

@@ -5,14 +5,14 @@
 open Dbp_experiments
 
 let test_registry_complete () =
-  Alcotest.(check int) "seventeen experiments" 17
+  Alcotest.(check int) "eighteen experiments" 18
     (List.length Registry.all_names);
   List.iter
     (fun n ->
       if not (List.mem n Registry.all_names) then
         Alcotest.failf "missing experiment %s" n)
     [ "E1"; "E2"; "E3"; "E4"; "E5"; "E6"; "E7"; "E8"; "E9"; "E10"; "E11";
-      "E12"; "E13"; "E14"; "E15"; "E16"; "E17" ];
+      "E12"; "E13"; "E14"; "E15"; "E16"; "E17"; "E18" ];
   Alcotest.(check bool) "unknown name" true (Registry.run "E99" = None)
 
 let run_clean name =
@@ -36,6 +36,7 @@ let test_e1 () = run_clean "e1"
 let test_e3 () = run_clean "E3"
 let test_e10 () = run_clean "e10"
 let test_e16 () = run_clean "e16"
+let test_e18 () = run_clean "e18"
 
 let test_render_outcome () =
   match Registry.run "e1" with
@@ -54,5 +55,6 @@ let suite =
     Alcotest.test_case "E3 clean" `Slow test_e3;
     Alcotest.test_case "E10 clean" `Slow test_e10;
     Alcotest.test_case "E16 clean" `Slow test_e16;
+    Alcotest.test_case "E18 clean" `Slow test_e18;
     Alcotest.test_case "render outcome" `Quick test_render_outcome;
   ]

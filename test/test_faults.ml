@@ -1,0 +1,297 @@
+(* The fault-injection subsystem: empty-plan equivalence with the plain
+   simulator, exact hand-checked accounting of crashes and recoveries,
+   retry/backoff, the admission gate, and qcheck invariants under
+   random fault plans. *)
+
+open Dbp_num
+open Dbp_core
+open Dbp_faults
+open Test_util
+
+let mk ?(size = r 1 2) a d =
+  Item.make ~id:0 ~size ~arrival:(ri a) ~departure:(ri d)
+
+let inst items = Instance.create ~capacity:Rat.one items
+
+let equivalence_policies () =
+  [
+    First_fit.policy;
+    Best_fit.policy;
+    Worst_fit.policy;
+    Modified_first_fit.policy_mu_oblivious;
+  ]
+
+(* With no faults the injector must reproduce [Simulator.run]
+   bit-for-bit: same bins with the same open intervals, same
+   assignment, same exact rational cost. *)
+let check_empty_plan_equivalence policy instance =
+  let name = policy.Policy.name in
+  let direct = Simulator.run ~policy instance in
+  let faulty = Injector.run ~plan:Fault_plan.empty ~policy instance in
+  let p = faulty.Injector.packing in
+  assert_valid_packing p;
+  check_rat (name ^ ": same total cost") direct.Packing.total_cost
+    p.Packing.total_cost;
+  Alcotest.(check int)
+    (name ^ ": same bin count")
+    (Packing.bins_used direct) (Packing.bins_used p);
+  Alcotest.(check (array int))
+    (name ^ ": same assignment")
+    direct.Packing.assignment p.Packing.assignment;
+  Array.iter2
+    (fun (a : Packing.bin_record) (b : Packing.bin_record) ->
+      check_rat (name ^ ": same bin opening") a.Packing.opened b.Packing.opened;
+      check_rat (name ^ ": same bin closing") a.Packing.closed b.Packing.closed;
+      Alcotest.(check (list int))
+        (name ^ ": same bin contents")
+        a.Packing.item_ids b.Packing.item_ids)
+    direct.Packing.bins p.Packing.bins;
+  let res = faulty.Injector.resilience in
+  Alcotest.(check int) (name ^ ": nothing interrupted") 0
+    res.Resilience.interrupted_sessions;
+  check_rat (name ^ ": overhead 1") Rat.one (Resilience.cost_overhead res);
+  check_rat (name ^ ": availability 1") Rat.one (Resilience.availability res)
+
+let test_empty_plan_bit_for_bit () =
+  List.iter
+    (fun seed ->
+      let instance =
+        Dbp_workload.Generator.generate ~seed
+          { Dbp_workload.Spec.default with Dbp_workload.Spec.count = 40 }
+      in
+      List.iter
+        (fun policy -> check_empty_plan_equivalence policy instance)
+        (equivalence_policies ()))
+    [ 11L; 12L; 13L ]
+
+(* Two half-size sessions share one FF bin over [0,4]; the fullest bin
+   is killed at t=2.  The dead bin pays exactly [0,2]; both sessions
+   restart after the 1/4 crash delay into one new bin over [9/4, 4].
+   Every number below is checkable by hand. *)
+let test_crash_accounting () =
+  let instance = inst [ mk 0 4; mk 0 4 ] in
+  let plan = Fault_plan.targeted_fullest ~times:[ Rat.two ] in
+  let { Injector.packing; resilience = res; effective } =
+    Injector.run ~plan ~policy:First_fit.policy instance
+  in
+  assert_valid_packing packing;
+  Alcotest.(check int) "two bins" 2 (Packing.bins_used packing);
+  check_rat "failed bin pays [0,2], replacement pays [9/4,4]" (r 15 4)
+    packing.Packing.total_cost;
+  Alcotest.(check int) "one fault injected" 1 res.Resilience.faults_injected;
+  Alcotest.(check int) "both sessions interrupted" 2
+    res.Resilience.interrupted_sessions;
+  check_rat "blast radius: 2 remaining seconds each" (ri 4)
+    res.Resilience.interrupted_session_seconds;
+  Alcotest.(check int) "both resumed" 2 res.Resilience.resumed_sessions;
+  Alcotest.(check int) "none lost" 0 res.Resilience.lost_sessions;
+  Alcotest.(check (list rat)) "restart-delay latencies"
+    [ r 1 4; r 1 4 ]
+    res.Resilience.recovery_latencies;
+  check_rat "served 2+2 then 7/4+7/4" (r 15 2)
+    res.Resilience.served_session_seconds;
+  check_rat "demanded 4+4" (ri 8) res.Resilience.demand_session_seconds;
+  check_rat "availability 15/16" (r 15 16) (Resilience.availability res);
+  (* effective instance: the two truncated originals + two recoveries *)
+  Alcotest.(check int) "four session segments" 4 (Instance.size effective)
+
+(* A preemption with warning restarts at the preemption instant
+   itself — no restart delay, zero recovery latency. *)
+let test_preemption_restarts_immediately () =
+  let instance = inst [ mk 0 4 ] in
+  let plan =
+    Fault_plan.make
+      [
+        {
+          Fault_plan.at = Rat.two;
+          victim = Fault_plan.Fullest;
+          kind = Fault_plan.Preemption { warning = r 1 2 };
+        };
+      ]
+  in
+  let { Injector.packing; resilience = res; _ } =
+    Injector.run ~plan ~policy:First_fit.policy instance
+  in
+  assert_valid_packing packing;
+  Alcotest.(check (list rat)) "zero latency" [ Rat.zero ]
+    res.Resilience.recovery_latencies;
+  check_rat "no session time lost" Rat.one (Resilience.availability res);
+  check_rat "bin [0,2] + bin [2,4]" (ri 4) packing.Packing.total_cost
+
+(* A crash so close to the session's departure that the restart delay
+   overshoots the window: the session is lost, not resumed. *)
+let test_lost_session () =
+  let instance = inst [ mk 0 1 ] in
+  let plan = Fault_plan.targeted_fullest ~times:[ r 7 8 ] in
+  let { Injector.packing; resilience = res; _ } =
+    Injector.run ~plan ~policy:First_fit.policy instance
+  in
+  assert_valid_packing packing;
+  Alcotest.(check int) "interrupted" 1 res.Resilience.interrupted_sessions;
+  Alcotest.(check int) "lost" 1 res.Resilience.lost_sessions;
+  Alcotest.(check int) "not resumed" 0 res.Resilience.resumed_sessions;
+  check_rat "only [0,7/8] was served" (r 7 8)
+    res.Resilience.served_session_seconds;
+  check_rat "availability 7/8" (r 7 8) (Resilience.availability res)
+
+(* Admission gate: with a one-bin fleet cap, a request that fits no
+   open bin is deferred under backoff and lands once the fleet drains.
+   Timeline: deferred at 0, 1/4, 3/4; the blocking session leaves at 1;
+   the retry at 7/4 finds an empty fleet and opens the second bin. *)
+let test_admission_gate_defers_then_places () =
+  let instance =
+    inst [ mk ~size:(r 3 5) 0 1; mk ~size:(r 3 5) 0 4 ]
+  in
+  let config = { Injector.default_config with Injector.max_fleet = Some 1 } in
+  let { Injector.packing; resilience = res; _ } =
+    Injector.run ~config ~plan:Fault_plan.empty ~policy:First_fit.policy
+      instance
+  in
+  assert_valid_packing packing;
+  Alcotest.(check int) "two bins, never concurrent" 2
+    (Packing.bins_used packing);
+  Alcotest.(check int) "fleet bound respected" 1 packing.Packing.max_bins;
+  Alcotest.(check int) "three backoff deferrals" 3 res.Resilience.retries;
+  Alcotest.(check int) "nothing shed" 0 res.Resilience.shed_requests;
+  check_rat "bin0 [0,1] + bin1 [7/4,4]" (r 13 4) packing.Packing.total_cost;
+  check_rat "served 1 + 9/4 of demanded 5" (r 13 20)
+    (Resilience.availability res)
+
+(* max_pending sheds the lowest-priority deferred request when the
+   queue overflows. *)
+let test_max_pending_sheds_lowest_priority () =
+  let instance =
+    inst
+      [
+        mk ~size:(r 3 5) 0 8;
+        mk ~size:(r 3 5) 0 4;
+        mk ~size:(r 3 5) 0 4;
+      ]
+  in
+  let config =
+    { Injector.default_config with
+      Injector.max_fleet = Some 1;
+      max_pending = Some 1 }
+  in
+  let priority (i : Item.t) = -i.Item.id in
+  let { Injector.resilience = res; _ } =
+    Injector.run ~config ~priority ~plan:Fault_plan.empty
+      ~policy:First_fit.policy instance
+  in
+  (* item 0 holds the only bin until t=8, past both other deadlines;
+     with one pending slot, the lower-priority item 2 is shed as soon
+     as both are queued. *)
+  Alcotest.(check bool) "at least one request shed" true
+    (res.Resilience.shed_requests >= 1);
+  Alcotest.(check bool) "shed demand dents availability" true
+    Rat.(Resilience.availability res < Rat.one)
+
+let test_launch_failures_deterministic () =
+  let instance =
+    Dbp_workload.Generator.generate ~seed:21L
+      { Dbp_workload.Spec.default with Dbp_workload.Spec.count = 30 }
+  in
+  let config =
+    { Injector.default_config with Injector.launch_failure_prob = 0.5 }
+  in
+  let run () =
+    Injector.run ~config ~plan:Fault_plan.empty ~policy:Best_fit.policy
+      instance
+  in
+  let a = run () and b = run () in
+  assert_valid_packing a.Injector.packing;
+  Alcotest.(check bool) "some launches failed" true
+    (a.Injector.resilience.Resilience.launch_failures > 0);
+  check_rat "same seed, same cost" a.Injector.packing.Packing.total_cost
+    b.Injector.packing.Packing.total_cost;
+  Alcotest.(check int) "same seed, same failure count"
+    a.Injector.resilience.Resilience.launch_failures
+    b.Injector.resilience.Resilience.launch_failures;
+  let c =
+    Injector.run
+      ~config:{ config with Injector.seed = 43L }
+      ~plan:Fault_plan.empty ~policy:Best_fit.policy instance
+  in
+  Alcotest.(check bool) "different seed, different rolls" true
+    (a.Injector.resilience.Resilience.launch_failures
+     <> c.Injector.resilience.Resilience.launch_failures
+    || not
+         (Rat.equal a.Injector.packing.Packing.total_cost
+            c.Injector.packing.Packing.total_cost))
+
+let test_all_shed_raises () =
+  let instance = inst [ mk 0 1 ] in
+  let config =
+    { Injector.default_config with Injector.launch_failure_prob = 1.0 }
+  in
+  Alcotest.(check bool) "nothing ever placed" true
+    (try
+       ignore
+         (Injector.run ~config ~plan:Fault_plan.empty ~policy:First_fit.policy
+            instance);
+       false
+     with Invalid_argument _ -> true)
+
+(* -- qcheck invariants under random fault plans --------------------- *)
+
+let faulty_gen =
+  QCheck2.Gen.(
+    map3
+      (fun instance crash_seed rate ->
+        (instance, Int64.of_int crash_seed, float_of_int rate /. 4.0))
+      (instance_gen ~max_items:25 ())
+      (int_range 0 10_000) (int_range 0 8))
+
+let run_faulty (instance, seed, rate) =
+  let horizon = Interval.hi (Instance.packing_period instance) in
+  let plan = Fault_plan.poisson_crashes ~seed ~rate ~horizon in
+  Injector.run
+    ~config:{ Injector.default_config with Injector.seed = seed }
+    ~plan ~policy:First_fit.policy instance
+
+let prop_tests =
+  [
+    qcheck ~count:150 "faulty packings validate" faulty_gen (fun input ->
+        match run_faulty input with
+        | { Injector.packing; _ } -> Packing.validate packing = Ok ()
+        | exception Invalid_argument _ -> true (* everything shed *));
+    qcheck ~count:150 "resilience accounting is conserved" faulty_gen
+      (fun input ->
+        match run_faulty input with
+        | exception Invalid_argument _ -> true
+        | { Injector.resilience = res; _ } ->
+            Rat.(Resilience.availability res <= Rat.one)
+            && Rat.(res.Resilience.served_session_seconds >= Rat.zero)
+            && res.Resilience.resumed_sessions + res.Resilience.lost_sessions
+               = res.Resilience.interrupted_sessions
+            && List.length res.Resilience.recovery_latencies
+               = res.Resilience.resumed_sessions
+            && List.for_all
+                 (fun l -> Rat.(l >= Rat.zero))
+                 res.Resilience.recovery_latencies);
+    qcheck ~count:100 "faulty cost equals its own timeline integral"
+      faulty_gen (fun input ->
+        match run_faulty input with
+        | exception Invalid_argument _ -> true
+        | { Injector.packing; _ } ->
+            Rat.equal packing.Packing.total_cost
+              (Step_fn.integral packing.Packing.timeline));
+  ]
+
+let suite =
+  [
+    Alcotest.test_case "empty plan is bit-for-bit Simulator.run" `Quick
+      test_empty_plan_bit_for_bit;
+    Alcotest.test_case "crash accounting" `Quick test_crash_accounting;
+    Alcotest.test_case "preemption restarts immediately" `Quick
+      test_preemption_restarts_immediately;
+    Alcotest.test_case "lost session" `Quick test_lost_session;
+    Alcotest.test_case "admission gate" `Quick
+      test_admission_gate_defers_then_places;
+    Alcotest.test_case "max_pending sheds" `Quick
+      test_max_pending_sheds_lowest_priority;
+    Alcotest.test_case "seeded launch failures" `Quick
+      test_launch_failures_deterministic;
+    Alcotest.test_case "all shed raises" `Quick test_all_shed_raises;
+  ]
+  @ prop_tests

@@ -11,6 +11,7 @@ let () =
       ("opt", Test_opt.suite);
       ("adversary", Test_adversary.suite);
       ("workload", Test_workload.suite);
+      ("faults", Test_faults.suite);
       ("cloudgaming", Test_cloudgaming.suite);
       ("analysis", Test_analysis.suite);
       ("extensions", Test_extensions.suite);

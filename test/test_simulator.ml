@@ -97,6 +97,69 @@ let test_online_protocol_errors () =
        false
      with Simulator.Invalid_step _ -> true)
 
+let raises_invalid_step name f =
+  Alcotest.(check bool) name true
+    (try
+       ignore (f ());
+       false
+     with Simulator.Invalid_step _ -> true)
+
+let test_fail_bin_protocol () =
+  let o =
+    Simulator.Online.create ~policy:First_fit.policy ~capacity:Rat.one ()
+  in
+  let b0 = Simulator.Online.arrive o ~now:Rat.zero ~size:(r 1 2) ~item_id:0 in
+  let b0' = Simulator.Online.arrive o ~now:Rat.zero ~size:(r 1 2) ~item_id:1 in
+  Alcotest.(check int) "FF stacks both in one bin" b0 b0';
+  raises_invalid_step "failing an unknown bin" (fun () ->
+      Simulator.Online.fail_bin o ~now:Rat.one ~bin_id:99);
+  let evicted = Simulator.Online.fail_bin o ~now:Rat.two ~bin_id:b0 in
+  Alcotest.(check (list (pair int rat)))
+    "evicted pairs in placement order"
+    [ (0, r 1 2); (1, r 1 2) ]
+    evicted;
+  Alcotest.(check int) "no open bins after failure" 0
+    (List.length (Simulator.Online.open_bins o));
+  raises_invalid_step "failing an already-failed bin" (fun () ->
+      Simulator.Online.fail_bin o ~now:Rat.two ~bin_id:b0);
+  raises_invalid_step "departing an evicted item" (fun () ->
+      Simulator.Online.depart o ~now:(ri 3) ~item_id:0);
+  raises_invalid_step "evicted ids stay used" (fun () ->
+      Simulator.Online.arrive o ~now:(ri 3) ~size:(r 1 2) ~item_id:1);
+  (* The simulator keeps stepping after a failure. *)
+  let b1 = Simulator.Online.arrive o ~now:(ri 3) ~size:(r 1 2) ~item_id:2 in
+  Alcotest.(check bool) "new bin after failure" true (b1 <> b0);
+  raises_invalid_step "fail_bin cannot move time backwards" (fun () ->
+      Simulator.Online.fail_bin o ~now:Rat.one ~bin_id:b1);
+  Simulator.Online.depart o ~now:(ri 5) ~item_id:2
+
+let test_fail_bin_accounting () =
+  (* Two half-size sessions share one FF bin over [0,4]; the bin fails
+     at t=2, so it pays exactly [0,2].  A replacement session then runs
+     in a second bin over [2,5].  Total = 2 + 3. *)
+  let o =
+    Simulator.Online.create ~policy:First_fit.policy ~capacity:Rat.one ()
+  in
+  let b0 = Simulator.Online.arrive o ~now:Rat.zero ~size:(r 1 2) ~item_id:0 in
+  ignore (Simulator.Online.arrive o ~now:Rat.zero ~size:(r 1 2) ~item_id:1);
+  let evicted = Simulator.Online.fail_bin o ~now:Rat.two ~bin_id:b0 in
+  Alcotest.(check int) "both sessions evicted" 2 (List.length evicted);
+  ignore (Simulator.Online.arrive o ~now:Rat.two ~size:(r 1 2) ~item_id:2);
+  Simulator.Online.depart o ~now:(ri 5) ~item_id:2;
+  let effective =
+    Instance.create ~capacity:Rat.one
+      [
+        Item.make ~id:0 ~size:(r 1 2) ~arrival:Rat.zero ~departure:Rat.two;
+        Item.make ~id:1 ~size:(r 1 2) ~arrival:Rat.zero ~departure:Rat.two;
+        Item.make ~id:2 ~size:(r 1 2) ~arrival:Rat.two ~departure:(ri 5);
+      ]
+  in
+  let packing = Simulator.Online.finish o ~instance:effective in
+  assert_valid_packing packing;
+  Alcotest.(check int) "two bins" 2 (Packing.bins_used packing);
+  check_rat "failed bin pays its open interval only" (ri 5)
+    packing.Packing.total_cost
+
 let test_invalid_policy_decision () =
   let bad_existing =
     Policy.stateless ~name:"bad-existing" (fun ~capacity:_ ~now:_ ~bins:_ ~size:_ ->
@@ -184,6 +247,57 @@ let prop_tests =
           (fun policy ->
             (Simulator.run ~policy instance).Packing.any_fit_violations = 0)
           (Algorithms.any_fit_family ()));
+    qcheck ~count:120 "fail_bin mid-run keeps the online state consistent"
+      (instance_gen ()) (fun instance ->
+        let items = Instance.items instance in
+        let events =
+          Array.to_list items
+          |> List.concat_map (fun (i : Item.t) ->
+                 [ (i.arrival, 1, i.id); (i.departure, 0, i.id) ])
+          |> List.sort (fun (t1, k1, i1) (t2, k2, i2) ->
+                 let c = Rat.compare t1 t2 in
+                 if c <> 0 then c
+                 else
+                   let c = compare k1 k2 in
+                   if c <> 0 then c else compare i1 i2)
+        in
+        let o =
+          Simulator.Online.create ~policy:First_fit.policy ~capacity:Rat.one ()
+        in
+        let n = List.length events in
+        let evicted = Hashtbl.create 8 in
+        let failed_once = ref false in
+        List.iteri
+          (fun k (t, kind, id) ->
+            (* Strike once, halfway through the event stream: the
+               documented invalid steps around a failure must all
+               raise, and the survivors must keep stepping. *)
+            (if (not !failed_once) && 2 * k >= n then
+               match Simulator.Online.open_bins o with
+               | [] -> ()
+               | (b : Bin.view) :: _ ->
+                   let b = b.Bin.bin_id in
+                   failed_once := true;
+                   (match Simulator.Online.fail_bin o ~now:t ~bin_id:(-1) with
+                   | _ -> Alcotest.fail "unknown bin accepted"
+                   | exception Simulator.Invalid_step _ -> ());
+                   List.iter
+                     (fun (vid, _) -> Hashtbl.replace evicted vid ())
+                     (Simulator.Online.fail_bin o ~now:t ~bin_id:b);
+                   (match Simulator.Online.fail_bin o ~now:t ~bin_id:b with
+                   | _ -> Alcotest.fail "double fail accepted"
+                   | exception Simulator.Invalid_step _ -> ()));
+            if kind = 1 then
+              ignore
+                (Simulator.Online.arrive o ~now:t ~size:items.(id).Item.size
+                   ~item_id:id)
+            else if Hashtbl.mem evicted id then (
+              match Simulator.Online.depart o ~now:t ~item_id:id with
+              | () -> Alcotest.fail "departing an evicted item accepted"
+              | exception Simulator.Invalid_step _ -> ())
+            else Simulator.Online.depart o ~now:t ~item_id:id)
+          events;
+        Simulator.Online.open_bins o = []);
     qcheck ~count:120 "max_bins at least peak demand ceiling" (instance_gen ())
       (fun instance ->
         (* at the busiest instant, active volume / capacity bins are
@@ -214,6 +328,8 @@ let suite =
       test_assignment_and_records;
     Alcotest.test_case "online protocol errors" `Quick
       test_online_protocol_errors;
+    Alcotest.test_case "fail_bin protocol" `Quick test_fail_bin_protocol;
+    Alcotest.test_case "fail_bin accounting" `Quick test_fail_bin_accounting;
     Alcotest.test_case "invalid policy decisions" `Quick
       test_invalid_policy_decision;
     Alcotest.test_case "online observability" `Quick test_online_observability;

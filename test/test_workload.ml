@@ -95,17 +95,65 @@ let test_trace_file_round_trip () =
       let back = Trace.load ~path in
       Alcotest.(check int) "size" (Instance.size instance) (Instance.size back))
 
+(* Every malformed trace must surface as a structured [Parse_error]
+   carrying the 1-based line and offending field, never a bare
+   [Failure] (which the CLI would render as a backtrace). *)
+let parse_error_of text =
+  match Trace.of_string text with
+  | _ -> Alcotest.failf "parse unexpectedly succeeded on %S" text
+  | exception Trace.Parse_error e -> e
+
 let test_trace_errors () =
-  Alcotest.(check bool) "missing header" true
-    (try
-       ignore (Trace.of_string "id,size,arrival,departure\n0,1/2,0,1\n");
-       false
-     with Failure _ -> true);
-  Alcotest.(check bool) "malformed row" true
-    (try
-       ignore (Trace.of_string "# capacity=1\nid,size,arrival,departure\nxx\n");
-       false
-     with Failure _ -> true)
+  let e = parse_error_of "id,size,arrival,departure\n0,1/2,0,1\n" in
+  Alcotest.(check int) "missing header: line" 1 e.Trace.line;
+  Alcotest.(check bool) "missing header: message mentions capacity" true
+    (contains ~sub:"capacity" e.Trace.message);
+  let e = parse_error_of "# capacity=1\nid,size,arrival,departure\nxx\n" in
+  Alcotest.(check int) "malformed row: line" 3 e.Trace.line;
+  let e = parse_error_of "# capacity=zero\nid,size,arrival,departure\n" in
+  Alcotest.(check (option string)) "bad capacity: field" (Some "capacity")
+    e.Trace.field;
+  let e = parse_error_of "# capacity=1\n0,1/2,0,1\n" in
+  Alcotest.(check int) "missing column header: line" 2 e.Trace.line;
+  Alcotest.(check bool) "missing column header: message" true
+    (contains ~sub:"column header" e.Trace.message)
+
+let test_trace_field_errors () =
+  (* Blank lines are skipped but must not shift reported line numbers. *)
+  let e =
+    parse_error_of "# capacity=1\n\nid,size,arrival,departure\n\n0,1/2,0,oops\n"
+  in
+  Alcotest.(check int) "non-rational departure: line" 5 e.Trace.line;
+  Alcotest.(check (option string)) "non-rational departure: field"
+    (Some "departure") e.Trace.field;
+  let e =
+    parse_error_of "# capacity=1\nid,size,arrival,departure\n0,1/2,3,2\n"
+  in
+  Alcotest.(check (option string)) "departure before arrival: field"
+    (Some "departure") e.Trace.field;
+  Alcotest.(check int) "departure before arrival: line" 3 e.Trace.line;
+  let e =
+    parse_error_of "# capacity=1\nid,size,arrival,departure\n0,3/2,0,1\n"
+  in
+  Alcotest.(check (option string)) "oversized item: field" (Some "size")
+    e.Trace.field;
+  let e =
+    parse_error_of "# capacity=1\nid,size,arrival,departure\n0,1/2,0\n"
+  in
+  Alcotest.(check bool) "wrong field count: message" true
+    (contains ~sub:"4 comma-separated fields" e.Trace.message);
+  let e = parse_error_of "# capacity=1\nid,size,arrival,departure\n" in
+  Alcotest.(check bool) "no data rows: message" true
+    (contains ~sub:"no item rows" e.Trace.message);
+  (* The rendered form carries line and field for CLI diagnostics. *)
+  let e =
+    parse_error_of "# capacity=1\nid,size,arrival,departure\n0,nope,0,1\n"
+  in
+  let rendered = Trace.parse_error_to_string e in
+  Alcotest.(check bool) "rendered error names the line" true
+    (contains ~sub:"line 3" rendered);
+  Alcotest.(check bool) "rendered error names the field" true
+    (contains ~sub:"'size'" rendered)
 
 let test_patterns () =
   let frag = Patterns.fragmentation ~k:3 ~mu:(ri 2) in
@@ -170,6 +218,7 @@ let suite =
     Alcotest.test_case "trace round trip" `Quick test_trace_round_trip;
     Alcotest.test_case "trace file round trip" `Quick test_trace_file_round_trip;
     Alcotest.test_case "trace errors" `Quick test_trace_errors;
+    Alcotest.test_case "trace field errors" `Quick test_trace_field_errors;
     Alcotest.test_case "patterns" `Quick test_patterns;
   ]
   @ prop_tests
