@@ -2,9 +2,15 @@
 
    Part 1 regenerates every paper artefact (the E1-E18 experiment
    tables and figures - see DESIGN.md's per-experiment index) and fails
-   the process if any experiment check fails.
+   the process if any experiment check fails.  The experiments fan out
+   over OCaml 5 domains; the rendered output is order-identical to a
+   sequential run.
 
-   Part 2 runs bechamel micro-benchmarks over the building blocks: the
+   Part 2 runs the simulator scaling benchmark (fast engine vs the
+   retained seed engine, per policy) and writes the perf-trajectory
+   artefact BENCH_simulator.json.
+
+   Part 3 runs bechamel micro-benchmarks over the building blocks: the
    simulator with each policy, the exact OPT machinery, the Section 4.3
    decomposition and the adversary constructions. *)
 
@@ -16,7 +22,9 @@ let regenerate_experiments () =
   print_endline "################################################################";
   print_endline "## Part 1: paper artefact regeneration (experiments E1-E18)  ##";
   print_endline "################################################################";
-  let outcomes = Dbp_experiments.Registry.run_all () in
+  let domains = Dbp_experiments.Registry.default_domains () in
+  Printf.printf "(running on %d domains)\n" domains;
+  let outcomes = Dbp_experiments.Registry.run_all ~domains () in
   List.iter
     (fun o -> print_string (Dbp_experiments.Exp_common.render_outcome o))
     outcomes;
@@ -31,7 +39,26 @@ let regenerate_experiments () =
   end;
   print_endline "All experiment checks passed."
 
-(* ---- part 2: micro-benchmarks --------------------------------------- *)
+(* ---- part 2: simulator scaling + perf trajectory -------------------- *)
+
+let scaling_bench () =
+  print_endline "";
+  print_endline "################################################################";
+  print_endline "## Part 2: simulator scaling (fast vs seed engine)           ##";
+  print_endline "################################################################";
+  let report = Dbp_experiments.Scaling_bench.run ~quick:false () in
+  print_string (Dbp_experiments.Scaling_bench.render report);
+  let path = "BENCH_simulator.json" in
+  let oc = open_out path in
+  output_string oc (Dbp_experiments.Scaling_bench.to_json report);
+  close_out oc;
+  Printf.printf "perf trajectory written to %s\n" path;
+  if not (Dbp_experiments.Scaling_bench.all_identical report) then begin
+    prerr_endline "engine equivalence violated: fast and seed packings differ";
+    exit 1
+  end
+
+(* ---- part 3: micro-benchmarks --------------------------------------- *)
 
 open Dbp_num
 open Dbp_core
@@ -49,7 +76,12 @@ let bench_policies =
           (Staged.stage (fun () -> Simulator.run ~policy instance)))
       (Algorithms.all ())
   in
-  Test.make_grouped ~name:"simulate-500-items" tests
+  let seed_engine =
+    Test.make ~name:"first_fit-seed-engine"
+      (Staged.stage (fun () ->
+           Simulator_naive.run ~policy:First_fit.policy instance))
+  in
+  Test.make_grouped ~name:"simulate-500-items" (seed_engine :: tests)
 
 let bench_opt =
   let small = workload 60 102L in
@@ -182,7 +214,7 @@ let all_micro =
 let run_micro () =
   print_endline "";
   print_endline "################################################################";
-  print_endline "## Part 2: micro-benchmarks (bechamel, monotonic clock)      ##";
+  print_endline "## Part 3: micro-benchmarks (bechamel, monotonic clock)      ##";
   print_endline "################################################################";
   let ols =
     Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:Measure.[| run |]
@@ -211,4 +243,5 @@ let run_micro () =
 
 let () =
   regenerate_experiments ();
+  scaling_bench ();
   run_micro ()

@@ -1,8 +1,8 @@
 (* mintotal-dbp: command-line front end.
 
    Subcommands: generate / simulate / opt / adversary / decompose /
-   offline / diff / stats / experiments / faults / gaming.  See
-   README.md for a tour. *)
+   offline / diff / stats / experiments / faults / gaming / bench.
+   See README.md for a tour. *)
 
 open Cmdliner
 open Dbp_num
@@ -366,10 +366,20 @@ let experiments_cmd =
     Arg.(value & opt (some string) None
          & info [ "out-dir" ] ~doc:"Also write every table as CSV (and charts as text) into this directory.")
   in
-  let run names markdown out_dir =
+  let jobs =
+    Arg.(value & opt int 1
+         & info [ "j"; "jobs" ]
+             ~doc:"Domains to spread E1..E18 over (0 = one per core, \
+                   capped).  Output is identical whatever the value.")
+  in
+  let run names markdown out_dir jobs =
+    let domains =
+      if jobs = 0 then Dbp_experiments.Registry.default_domains ()
+      else max 1 jobs
+    in
     let outcomes =
       match names with
-      | [] -> Dbp_experiments.Registry.run_all ()
+      | [] -> Dbp_experiments.Registry.run_all ~domains ()
       | names ->
           List.map
             (fun n ->
@@ -446,7 +456,7 @@ let experiments_cmd =
   Cmd.v
     (Cmd.info "experiments"
        ~doc:"Regenerate the paper's tables and figures (E1..E18).")
-    Term.(const run $ names $ markdown $ out_dir)
+    Term.(const run $ names $ markdown $ out_dir $ jobs)
 
 (* ---- faults --------------------------------------------------------- *)
 
@@ -598,6 +608,52 @@ let gaming_cmd =
     (Cmd.info "gaming" ~doc:"Run the cloud gaming dispatch comparison.")
     Term.(const run $ hours $ rate $ seed_arg)
 
+(* ---- bench ---------------------------------------------------------- *)
+
+let bench_cmd =
+  let quick =
+    Arg.(value & flag
+         & info [ "quick" ]
+             ~doc:"CI smoke profile: 500/2000-item traces instead of \
+                   5000/50000.")
+  in
+  let json =
+    Arg.(value & flag
+         & info [ "json" ]
+             ~doc:"Emit the BENCH_simulator.json document instead of tables.")
+  in
+  let out =
+    Arg.(value & opt (some string) None
+         & info [ "o"; "out" ]
+             ~doc:"Write the output here instead of stdout.")
+  in
+  let run quick json out seed =
+    let report = Dbp_experiments.Scaling_bench.run ~quick ~seed () in
+    let body =
+      if json then Dbp_experiments.Scaling_bench.to_json report
+      else Dbp_experiments.Scaling_bench.render report
+    in
+    (match out with
+    | Some path ->
+        let oc = open_out path in
+        output_string oc body;
+        close_out oc;
+        Format.printf "wrote %s@." path
+    | None -> print_string body);
+    if Dbp_experiments.Scaling_bench.all_identical report then 0
+    else begin
+      Format.eprintf
+        "engine equivalence violated: fast and seed packings differ@.";
+      1
+    end
+  in
+  Cmd.v
+    (Cmd.info "bench"
+       ~doc:
+         "Run the simulator scaling benchmark (fast vs seed engine, per \
+          policy) and emit the perf-trajectory artefact.")
+    Term.(const run $ quick $ json $ out $ seed_arg)
+
 (* ---- main ----------------------------------------------------------- *)
 
 let () =
@@ -618,4 +674,5 @@ let () =
             experiments_cmd;
             faults_cmd;
             gaming_cmd;
+            bench_cmd;
           ]))

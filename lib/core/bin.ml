@@ -7,13 +7,14 @@ type t = {
   opened : Rat.t;
   mutable closed : Rat.t option;
   mutable level : Rat.t;
-  mutable active : Item.t list;
+  active : (int, Item.t) Hashtbl.t;
   mutable max_level : Rat.t;
   mutable all_items : int list;
   mutable placements : (Rat.t * int) list;
+  mutable view_cache : view option;
 }
 
-type view = {
+and view = {
   bin_id : int;
   bin_tag : string;
   bin_capacity : Rat.t;
@@ -32,29 +33,44 @@ let open_bin ~id ~tag ~capacity ~now =
     opened = now;
     closed = None;
     level = Rat.zero;
-    active = [];
+    active = Hashtbl.create 8;
     max_level = Rat.zero;
     all_items = [];
     placements = [];
+    view_cache = None;
   }
 
 let is_open t = t.closed = None
 let residual t = Rat.sub t.capacity t.level
 let fits t ~size = Rat.(Rat.add t.level size <= t.capacity)
+let active_count t = Hashtbl.length t.active
+let find_active t item_id = Hashtbl.find_opt t.active item_id
+
+(* Ids ever packed, oldest placement first / most recent first,
+   filtered down to the still-active ones.  Each id enters a bin at
+   most once, so membership in [active] identifies the live subset. *)
+let active_oldest_first t =
+  List.rev t.all_items
+  |> List.filter_map (fun id -> Hashtbl.find_opt t.active id)
+
+let active_newest_first t =
+  t.all_items |> List.filter_map (fun id -> Hashtbl.find_opt t.active id)
 
 let insert t ~now (r : Item.t) =
   t.level <- Rat.add t.level r.size;
-  t.active <- r :: t.active;
+  Hashtbl.replace t.active r.id r;
   t.max_level <- Rat.max t.max_level t.level;
   t.all_items <- r.id :: t.all_items;
-  t.placements <- (now, r.id) :: t.placements
+  t.placements <- (now, r.id) :: t.placements;
+  t.view_cache <- None
 
 let remove t ~now (r : Item.t) =
-  if not (List.exists (fun (x : Item.t) -> x.id = r.id) t.active) then
+  if not (Hashtbl.mem t.active r.id) then
     invalid_arg "Bin.remove: item not in bin";
-  t.active <- List.filter (fun (x : Item.t) -> x.id <> r.id) t.active;
+  Hashtbl.remove t.active r.id;
   t.level <- Rat.sub t.level r.size;
-  if t.active = [] then begin
+  t.view_cache <- None;
+  if Hashtbl.length t.active = 0 then begin
     t.level <- Rat.zero;
     t.closed <- Some now
   end
@@ -67,8 +83,16 @@ let to_view t =
     bin_level = t.level;
     bin_residual = residual t;
     bin_opened = t.opened;
-    bin_count = List.length t.active;
+    bin_count = Hashtbl.length t.active;
   }
+
+let view t =
+  match t.view_cache with
+  | Some v -> v
+  | None ->
+      let v = to_view t in
+      t.view_cache <- Some v;
+      v
 
 let usage_period t =
   match t.closed with

@@ -1,20 +1,24 @@
 open Dbp_num
 
-let fitting bins ~size =
-  List.filter (fun (v : Bin.view) -> Rat.(size <= v.bin_residual)) bins
+let fits (v : Bin.view) ~size = Rat.(size <= v.bin_residual)
 
-let first bins ~size =
-  match fitting bins ~size with [] -> None | v :: _ -> Some v
+let fitting bins ~size = List.filter (fun v -> fits v ~size) bins
 
-(* Strict improvement only, so the earliest-opened bin wins ties. *)
+(* Single pass, no intermediate list: stop at the first fitting bin. *)
+let first bins ~size = List.find_opt (fun v -> fits v ~size) bins
+
+(* Strict improvement only, so the earliest-opened bin wins ties.
+   One fold over the raw views — the seed built the fitting sublist
+   first, which allocated a cons per candidate on every arrival. *)
 let select_by better bins ~size =
-  match fitting bins ~size with
-  | [] -> None
-  | v :: rest ->
-      Some
-        (List.fold_left
-           (fun acc cand -> if better cand acc then cand else acc)
-           v rest)
+  List.fold_left
+    (fun acc (cand : Bin.view) ->
+      if not (fits cand ~size) then acc
+      else
+        match acc with
+        | None -> Some cand
+        | Some best -> if better cand best then Some cand else acc)
+    None bins
 
 let best bins ~size =
   select_by
@@ -26,5 +30,8 @@ let worst bins ~size =
     (fun (a : Bin.view) (b : Bin.view) -> Rat.(a.bin_residual > b.bin_residual))
     bins ~size
 
+(* Last fitting bin = keep overwriting as the fold walks opening order. *)
 let last bins ~size =
-  match List.rev (fitting bins ~size) with [] -> None | v :: _ -> Some v
+  List.fold_left
+    (fun acc (v : Bin.view) -> if fits v ~size then Some v else acc)
+    None bins

@@ -2,6 +2,9 @@
 
 open Dbp_num
 
+val fits : Bin.view -> size:Rat.t -> bool
+(** The item fits in this bin's residual capacity. *)
+
 val fitting : Bin.view list -> size:Rat.t -> Bin.view list
 (** Open bins with enough residual capacity, opening order preserved. *)
 

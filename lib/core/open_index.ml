@@ -1,0 +1,98 @@
+(* Incrementally maintained set of open bins in opening order.
+
+   Bin ids are dense (the simulator allocates them sequentially), so
+   the doubly-linked list lives in flat int arrays indexed by bin id:
+   add/remove are O(1), and assembling the policy-facing view list is
+   O(open bins) with each untouched bin contributing its memoised
+   [Bin.view]. *)
+
+type t = {
+  mutable bins : Bin.t option array;  (* slot per id; Some iff member *)
+  mutable prev : int array;  (* id of the previous open bin, or -1 *)
+  mutable next : int array;  (* id of the next open bin, or -1 *)
+  mutable head : int;  (* oldest open bin id, or -1 *)
+  mutable tail : int;  (* newest open bin id, or -1 *)
+  mutable count : int;
+}
+
+let create () =
+  {
+    bins = Array.make 16 None;
+    prev = Array.make 16 (-1);
+    next = Array.make 16 (-1);
+    head = -1;
+    tail = -1;
+    count = 0;
+  }
+
+let ensure_capacity t id =
+  let n = Array.length t.bins in
+  if id >= n then begin
+    let n' = max (2 * n) (id + 1) in
+    let grow a fill =
+      let a' = Array.make n' fill in
+      Array.blit a 0 a' 0 n;
+      a'
+    in
+    t.bins <- grow t.bins None;
+    t.prev <- grow t.prev (-1);
+    t.next <- grow t.next (-1)
+  end
+
+let mem t (b : Bin.t) =
+  b.Bin.id < Array.length t.bins && t.bins.(b.Bin.id) <> None
+
+let cardinal t = t.count
+let is_empty t = t.count = 0
+
+let add t (b : Bin.t) =
+  let id = b.Bin.id in
+  ensure_capacity t id;
+  if t.bins.(id) <> None then invalid_arg "Open_index.add: bin already open";
+  if t.tail >= 0 && t.tail >= id then
+    invalid_arg "Open_index.add: bin ids must be appended in opening order";
+  t.bins.(id) <- Some b;
+  t.prev.(id) <- t.tail;
+  t.next.(id) <- -1;
+  if t.tail >= 0 then t.next.(t.tail) <- id else t.head <- id;
+  t.tail <- id;
+  t.count <- t.count + 1
+
+let remove t (b : Bin.t) =
+  let id = b.Bin.id in
+  if not (mem t b) then invalid_arg "Open_index.remove: bin not in index";
+  let p = t.prev.(id) and n = t.next.(id) in
+  if p >= 0 then t.next.(p) <- n else t.head <- n;
+  if n >= 0 then t.prev.(n) <- p else t.tail <- p;
+  t.bins.(id) <- None;
+  t.prev.(id) <- -1;
+  t.next.(id) <- -1;
+  t.count <- t.count - 1
+
+let fold f init t =
+  let rec go acc id =
+    if id < 0 then acc
+    else
+      match t.bins.(id) with
+      | None -> assert false
+      | Some b -> go (f acc b) t.next.(id)
+  in
+  go init t.head
+
+let iter f t = fold (fun () b -> f b) () t
+
+let to_list t = List.rev (fold (fun acc b -> b :: acc) [] t)
+
+(* Opening order, built back-to-front so no List.rev is needed. *)
+let views t =
+  let rec go acc id =
+    if id < 0 then acc
+    else
+      match t.bins.(id) with
+      | None -> assert false
+      | Some b -> go (Bin.view b :: acc) t.prev.(id)
+  in
+  go [] t.tail
+
+let newest t = if t.tail < 0 then None else t.bins.(t.tail)
+let oldest t = if t.head < 0 then None else t.bins.(t.head)

@@ -1,0 +1,42 @@
+(** Incrementally maintained set of open bins, in opening order.
+
+    The simulator opens bins with sequential ids, so opening order is
+    id order; the index keeps the open subset as a doubly-linked list
+    threaded through flat arrays indexed by bin id.  {!add} and
+    {!remove} are O(1); {!views} is O(open bins) and reuses each bin's
+    memoised {!Bin.view} (see [Bin.view_cache]) so untouched bins cost
+    one pointer chase, not a record rebuild. *)
+
+type t
+
+val create : unit -> t
+
+val add : t -> Bin.t -> unit
+(** Appends a freshly opened bin.
+    @raise Invalid_argument if the bin is already present or its id
+    does not exceed every id added before (opening order violated). *)
+
+val remove : t -> Bin.t -> unit
+(** Drops a bin that closed.
+    @raise Invalid_argument if the bin is not present. *)
+
+val mem : t -> Bin.t -> bool
+val cardinal : t -> int
+val is_empty : t -> bool
+
+val views : t -> Bin.view list
+(** Views of the member bins in opening order. *)
+
+val to_list : t -> Bin.t list
+(** Member bins in opening order. *)
+
+val fold : ('a -> Bin.t -> 'a) -> 'a -> t -> 'a
+(** Folds over members in opening order. *)
+
+val iter : (Bin.t -> unit) -> t -> unit
+
+val oldest : t -> Bin.t option
+(** Earliest-opened member. *)
+
+val newest : t -> Bin.t option
+(** Latest-opened member. *)

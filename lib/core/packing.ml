@@ -33,17 +33,27 @@ let validate t =
   let fail fmt = Format.kasprintf (fun s -> Error s) fmt in
   let instance = t.instance in
   let n = Instance.size instance in
-  (* 1. Assignment totality and containment of item intervals. *)
+  (* 1. Assignment totality and containment of item intervals.  One
+     hash set per bin replaces the seed's [List.mem] per item, which
+     made this pass quadratic in the bin population. *)
   let* () =
     if Array.length t.assignment <> n then fail "assignment length mismatch"
     else Ok ()
+  in
+  let recorded =
+    Array.map
+      (fun b ->
+        let set = Hashtbl.create (List.length b.item_ids) in
+        List.iter (fun id -> Hashtbl.replace set id ()) b.item_ids;
+        set)
+      t.bins
   in
   let rec check_items i =
     if i >= n then Ok ()
     else
       let r = Instance.item instance i in
       let b = t.bins.(t.assignment.(i)) in
-      if not (List.mem i b.item_ids) then
+      if not (Hashtbl.mem recorded.(t.assignment.(i)) i) then
         fail "item %d not recorded in its bin %d" i b.bin_id
       else if not (Interval.contains_interval (usage_period b) (Item.interval r))
       then fail "item %d interval outside bin %d usage period" i b.bin_id
@@ -58,12 +68,12 @@ let validate t =
         List.concat_map
           (fun item_id ->
             let r = Instance.item instance item_id in
-            [ (r.Item.arrival, 1, r.Item.size); (r.Item.departure, 1, Rat.neg r.Item.size) ])
+            [ (r.Item.arrival, r.Item.size); (r.Item.departure, Rat.neg r.Item.size) ])
           b.item_ids
       in
       let sorted =
         List.sort
-          (fun (t1, _, s1) (t2, _, s2) ->
+          (fun (t1, s1) (t2, s2) ->
             let c = Rat.compare t1 t2 in
             if c <> 0 then c
               (* departures (negative size deltas) first at equal times *)
@@ -72,7 +82,7 @@ let validate t =
       in
       let level = ref Rat.zero in
       List.iter
-        (fun (_, _, s) ->
+        (fun (_, s) ->
           level := Rat.add !level s;
           if Rat.(!level > b.capacity) then exceeded := Some b.bin_id)
         sorted)

@@ -1,37 +1,96 @@
+(* The seed (pre-index) engine, retained verbatim in behaviour as the
+   equivalence oracle and the "before" side of the scaling benchmark.
+
+   It is deliberately naive: all bins ever opened live in one list that
+   is re-scanned and re-viewed on every event, bin ids resolve by
+   linear search, and the active items of a bin are a list.  Per-event
+   cost is O(bins ever opened); [Simulator] replaces this with an
+   O(open bins) engine and the property tests in [test_engine.ml]
+   prove the two produce bit-identical packings. *)
+
 open Dbp_num
 
-let log_src = Logs.Src.create "dbp.simulator" ~doc:"MinTotal DBP simulator"
+exception Invalid_decision = Simulator.Invalid_decision
+exception Invalid_step = Simulator.Invalid_step
 
-module Log = (val Logs.src_log log_src : Logs.LOG)
+let invalid_decision fmt =
+  Format.kasprintf (fun s -> raise (Invalid_decision s)) fmt
 
-exception Invalid_decision of string
-exception Invalid_step of string
-
-let invalid_decision fmt = Format.kasprintf (fun s -> raise (Invalid_decision s)) fmt
 let invalid_step fmt = Format.kasprintf (fun s -> raise (Invalid_step s)) fmt
 
+(* The seed's list-based bin state.  [Bin] itself is now keyed and
+   memoised, so the old representation lives here, private to the
+   reference engine. *)
+module Nbin = struct
+  type t = {
+    id : int;
+    tag : string;
+    capacity : Rat.t;
+    opened : Rat.t;
+    mutable closed : Rat.t option;
+    mutable level : Rat.t;
+    mutable active : Item.t list;
+    mutable max_level : Rat.t;
+    mutable all_items : int list;
+    mutable placements : (Rat.t * int) list;
+  }
+
+  let open_bin ~id ~tag ~capacity ~now =
+    if Rat.sign capacity <= 0 then invalid_arg "Nbin.open_bin: capacity <= 0";
+    {
+      id;
+      tag;
+      capacity;
+      opened = now;
+      closed = None;
+      level = Rat.zero;
+      active = [];
+      max_level = Rat.zero;
+      all_items = [];
+      placements = [];
+    }
+
+  let is_open t = t.closed = None
+  let residual t = Rat.sub t.capacity t.level
+  let fits t ~size = Rat.(Rat.add t.level size <= t.capacity)
+
+  let insert t ~now (r : Item.t) =
+    t.level <- Rat.add t.level r.size;
+    t.active <- r :: t.active;
+    t.max_level <- Rat.max t.max_level t.level;
+    t.all_items <- r.id :: t.all_items;
+    t.placements <- (now, r.id) :: t.placements
+
+  let remove t ~now (r : Item.t) =
+    if not (List.exists (fun (x : Item.t) -> x.id = r.id) t.active) then
+      invalid_arg "Nbin.remove: item not in bin";
+    t.active <- List.filter (fun (x : Item.t) -> x.id <> r.id) t.active;
+    t.level <- Rat.sub t.level r.size;
+    if t.active = [] then begin
+      t.level <- Rat.zero;
+      t.closed <- Some now
+    end
+
+  let to_view t =
+    {
+      Bin.bin_id = t.id;
+      bin_tag = t.tag;
+      bin_capacity = t.capacity;
+      bin_level = t.level;
+      bin_residual = residual t;
+      bin_opened = t.opened;
+      bin_count = List.length t.active;
+    }
+end
+
 module Online = struct
-  (* Engine invariants (see DESIGN.md "Simulator engine"):
-
-     - [store.(id)] holds every bin ever opened, densely indexed by id,
-       so resolving a policy's [Existing id] is an array read.
-     - [open_index] tracks exactly the open subset in opening order;
-       the view list handed to policies is assembled from it in
-       O(open bins), with per-bin views memoised inside [Bin].
-     - [item_bin] maps each *active* item id to its bin; the item's
-       stub is recovered from the bin's keyed active table, so
-       [depart] does no list scan at all.
-
-     Per-event cost is therefore O(open bins) — independent of how
-     many bins the run has ever opened. *)
   type t = {
     capacity : Rat.t;
     tag_capacity : string -> Rat.t;
     handlers : Policy.handlers;
-    mutable store : Bin.t array;  (* all bins ever, dense by id *)
-    mutable bin_count : int;
-    open_index : Open_index.t;
-    item_bin : (int, Bin.t) Hashtbl.t;  (* active item -> its bin *)
+    mutable bins : Nbin.t list;  (* all bins ever, reverse opening order *)
+    mutable next_bin_id : int;
+    item_bin : (int, Nbin.t) Hashtbl.t;  (* active item -> its bin *)
     seen_items : (int, unit) Hashtbl.t;
     mutable clock : Rat.t option;
     mutable violations : int;
@@ -47,9 +106,8 @@ module Online = struct
       capacity;
       tag_capacity;
       handlers = policy.Policy.spawn ~capacity;
-      store = [||];
-      bin_count = 0;
-      open_index = Open_index.create ();
+      bins = [];
+      next_bin_id = 0;
       item_bin = Hashtbl.create 64;
       seen_items = Hashtbl.create 64;
       clock = None;
@@ -65,21 +123,15 @@ module Online = struct
 
   let now t = t.clock
 
-  let open_bins t = Open_index.views t.open_index
+  let open_bin_views t =
+    (* [t.bins] is in reverse opening order; present opening order. *)
+    List.rev t.bins
+    |> List.filter Nbin.is_open
+    |> List.map Nbin.to_view
 
-  let find_bin t id =
-    if id >= 0 && id < t.bin_count then Some t.store.(id) else None
+  let open_bins = open_bin_views
 
-  let register_bin t b =
-    let n = Array.length t.store in
-    if t.bin_count >= n then begin
-      let store = Array.make (max 16 (2 * n)) b in
-      Array.blit t.store 0 store 0 n;
-      t.store <- store
-    end;
-    t.store.(t.bin_count) <- b;
-    t.bin_count <- t.bin_count + 1;
-    Open_index.add t.open_index b
+  let find_bin t id = List.find_opt (fun (b : Nbin.t) -> b.id = id) t.bins
 
   let arrive t ~now ~size ~item_id =
     advance_clock t now;
@@ -87,7 +139,7 @@ module Online = struct
     if Hashtbl.mem t.seen_items item_id then
       invalid_step "item id %d reused" item_id;
     Hashtbl.add t.seen_items item_id ();
-    let views = open_bins t in
+    let views = open_bin_views t in
     let decision = t.handlers.Policy.on_arrival ~now ~bins:views ~size ~item_id in
     let target =
       match decision with
@@ -95,9 +147,9 @@ module Online = struct
           match find_bin t id with
           | None -> invalid_decision "policy chose unknown bin %d" id
           | Some b ->
-              if not (Bin.is_open b) then
+              if not (Nbin.is_open b) then
                 invalid_decision "policy chose closed bin %d" id
-              else if not (Bin.fits b ~size) then
+              else if not (Nbin.fits b ~size) then
                 invalid_decision "item %d does not fit in bin %d" item_id id
               else b)
       | Policy.New_bin tag ->
@@ -111,24 +163,18 @@ module Online = struct
             invalid_decision
               "item %d (size %s) exceeds the capacity %s of a new '%s' bin"
               item_id (Rat.to_string size) (Rat.to_string cap) tag;
-          let b = Bin.open_bin ~id:t.bin_count ~tag ~capacity:cap ~now in
-          register_bin t b;
+          let b = Nbin.open_bin ~id:t.next_bin_id ~tag ~capacity:cap ~now in
+          t.next_bin_id <- t.next_bin_id + 1;
+          t.bins <- b :: t.bins;
           b
     in
-    (* The item's true departure time is not known yet; record a
-       placeholder item and fix sizes/times from the instance at
-       [finish].  Only id and size matter to the bin state. *)
     let stub =
       Item.make ~id:item_id ~size ~arrival:now
         ~departure:(Rat.add now Rat.one)
     in
-    Bin.insert target ~now stub;
+    Nbin.insert target ~now stub;
     Hashtbl.replace t.item_bin item_id target;
-    Log.debug (fun m ->
-        m "t=%a item %d (size %a) -> bin %d [%s] level %a/%a" Rat.pp now
-          item_id Rat.pp size target.Bin.id target.Bin.tag Rat.pp
-          target.Bin.level Rat.pp target.Bin.capacity);
-    target.Bin.id
+    target.Nbin.id
 
   let depart t ~now ~item_id =
     advance_clock t now;
@@ -136,17 +182,11 @@ module Online = struct
     | None -> invalid_step "departure of unknown/inactive item %d" item_id
     | Some b ->
         let stub =
-          match Bin.find_active b item_id with
-          | Some stub -> stub
-          | None -> invalid_step "item %d not active in its bin %d" item_id b.Bin.id
+          List.find (fun (r : Item.t) -> r.id = item_id) b.Nbin.active
         in
-        Bin.remove b ~now stub;
-        if not (Bin.is_open b) then Open_index.remove t.open_index b;
+        Nbin.remove b ~now stub;
         Hashtbl.remove t.item_bin item_id;
-        Log.debug (fun m ->
-            m "t=%a item %d departs bin %d%s" Rat.pp now item_id b.Bin.id
-              (if Bin.is_open b then "" else " (bin closes)"));
-        let views = open_bins t in
+        let views = open_bin_views t in
         t.handlers.Policy.on_departure ~now ~bins:views ~item_id
 
   let fail_bin t ~now ~bin_id =
@@ -154,52 +194,40 @@ module Online = struct
     match find_bin t bin_id with
     | None -> invalid_step "fail_bin: unknown bin %d" bin_id
     | Some b ->
-        if not (Bin.is_open b) then
+        if not (Nbin.is_open b) then
           invalid_step "fail_bin: bin %d is already closed" bin_id;
-        (* Oldest-placement-first, so re-dispatch order is deterministic
-           and independent of table internals. *)
-        let stubs = Bin.active_oldest_first b in
         let victims =
-          List.map (fun (r : Item.t) -> (r.Item.id, r.Item.size)) stubs
+          List.rev_map (fun (r : Item.t) -> (r.Item.id, r.Item.size)) b.Nbin.active
         in
         List.iter
-          (fun (stub : Item.t) ->
-            Bin.remove b ~now stub;
-            Hashtbl.remove t.item_bin stub.Item.id)
-          stubs;
-        (* An open bin always holds at least one item, so the eviction
-           loop emptied it and [Bin.remove] closed it at [now]: the bin
-           is charged exactly for [opened, now]. *)
-        assert (not (Bin.is_open b));
-        Open_index.remove t.open_index b;
-        (* Departure handlers only observe the fleet, they cannot mutate
-           it, so every eviction notification sees the same post-crash
-           views: compute them once per fault, not once per victim. *)
-        let views = open_bins t in
+          (fun (item_id, _) ->
+            let stub =
+              List.find (fun (r : Item.t) -> r.Item.id = item_id) b.Nbin.active
+            in
+            Nbin.remove b ~now stub;
+            Hashtbl.remove t.item_bin item_id)
+          victims;
+        assert (not (Nbin.is_open b));
         List.iter
           (fun (item_id, _) ->
+            let views = open_bin_views t in
             t.handlers.Policy.on_departure ~now ~bins:views ~item_id)
           victims;
-        Log.debug (fun m ->
-            m "t=%a bin %d FAILS, %d items evicted" Rat.pp now bin_id
-              (List.length victims));
         victims
 
   let bin_of_item t item_id =
     Hashtbl.find_opt t.item_bin item_id
-    |> Option.map (fun (b : Bin.t) -> b.id)
+    |> Option.map (fun (b : Nbin.t) -> b.id)
 
   let active_items_in t bin_id =
     match find_bin t bin_id with
     | None -> []
     | Some b ->
-        List.map
-          (fun (r : Item.t) -> (r.id, r.size))
-          (Bin.active_newest_first b)
+        List.map (fun (r : Item.t) -> (r.id, r.size)) b.Nbin.active
 
   let level_of t bin_id =
     match find_bin t bin_id with
-    | Some b when Bin.is_open b -> Some b.Bin.level
+    | Some b when Nbin.is_open b -> Some b.Nbin.level
     | _ -> None
 
   let finish t ~instance =
@@ -210,24 +238,27 @@ module Online = struct
     if Hashtbl.length t.seen_items <> n then
       invalid_step "instance has %d items but %d were stepped" n
         (Hashtbl.length t.seen_items);
+    let bins_in_order = List.rev t.bins in
     let records =
-      Array.init t.bin_count (fun i ->
-          let b = t.store.(i) in
+      List.map
+        (fun (b : Nbin.t) ->
           let closed =
-            match b.Bin.closed with
+            match b.closed with
             | Some c -> c
-            | None -> invalid_step "bin %d never closed" b.Bin.id
+            | None -> invalid_step "bin %d never closed" b.id
           in
           {
-            Packing.bin_id = b.Bin.id;
-            tag = b.Bin.tag;
-            capacity = b.Bin.capacity;
-            opened = b.Bin.opened;
+            Packing.bin_id = b.id;
+            tag = b.tag;
+            capacity = b.capacity;
+            opened = b.opened;
             closed;
-            item_ids = List.rev b.Bin.all_items;
-            placements = List.rev b.Bin.placements;
-            max_level = b.Bin.max_level;
+            item_ids = List.rev b.all_items;
+            placements = List.rev b.placements;
+            max_level = b.max_level;
           })
+        bins_in_order
+      |> Array.of_list
     in
     let assignment = Array.make n (-1) in
     Array.iter
@@ -250,10 +281,9 @@ module Online = struct
       |> Step_fn.of_deltas
     in
     let total_cost =
-      Array.fold_left
-        (fun acc (b : Packing.bin_record) ->
-          Rat.add acc (Rat.sub b.closed b.opened))
-        Rat.zero records
+      Array.to_list records
+      |> List.map (fun (b : Packing.bin_record) -> Rat.sub b.closed b.opened)
+      |> Rat.sum
     in
     {
       Packing.instance;

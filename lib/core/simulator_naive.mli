@@ -1,0 +1,42 @@
+(** The seed (pre-index) simulator engine, retained as an oracle.
+
+    Behaviourally identical to {!Simulator} — same packings, same
+    costs, same any-fit violation counts, same protocol exceptions —
+    but with the original O(bins-ever-opened) per-event cost: one list
+    of all bins ever, rescanned and re-viewed on every arrival and
+    departure.  It exists so that
+
+    - the equivalence property tests ([test_engine.ml]) can prove the
+      fast engine bit-identical against it, and
+    - the scaling benchmark ([Dbp_experiments.Scaling_bench], [dbp
+      bench]) can keep reporting before/after numbers as the fast
+      engine evolves.
+
+    Raises the exceptions of {!Simulator} ([Simulator.Invalid_decision],
+    [Simulator.Invalid_step]). *)
+
+open Dbp_num
+
+module Online : sig
+  type t
+
+  val create :
+    ?tag_capacity:(string -> Rat.t) ->
+    policy:Policy.t ->
+    capacity:Rat.t ->
+    unit ->
+    t
+
+  val arrive : t -> now:Rat.t -> size:Rat.t -> item_id:int -> int
+  val depart : t -> now:Rat.t -> item_id:int -> unit
+  val fail_bin : t -> now:Rat.t -> bin_id:int -> (int * Rat.t) list
+  val now : t -> Rat.t option
+  val open_bins : t -> Bin.view list
+  val bin_of_item : t -> int -> int option
+  val active_items_in : t -> int -> (int * Rat.t) list
+  val level_of : t -> int -> Rat.t option
+  val finish : t -> instance:Instance.t -> Packing.t
+end
+
+val run :
+  ?tag_capacity:(string -> Rat.t) -> policy:Policy.t -> Instance.t -> Packing.t

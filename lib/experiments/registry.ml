@@ -26,4 +26,41 @@ let run name =
   List.assoc_opt (String.lowercase_ascii name) experiments
   |> Option.map (fun f -> f ())
 
-let run_all () = List.map (fun (_, f) -> f ()) experiments
+let default_domains () = max 1 (min 8 (Domain.recommended_domain_count ()))
+
+(* Work-stealing over a shared atomic cursor: each domain claims the
+   next unclaimed experiment index until the list drains.  Results land
+   in a slot array indexed by experiment, so the output order is E1..E18
+   regardless of which domain finished when.  Experiments are pure
+   (local PRNGs, local tables, sprintf only), so they need no locking;
+   distinct array slots are data-race-free under the OCaml 5 memory
+   model. *)
+let run_list ~domains jobs =
+  let jobs = Array.of_list jobs in
+  let n = Array.length jobs in
+  let results = Array.make n None in
+  let domains = max 1 (min domains n) in
+  if domains = 1 then
+    Array.iteri (fun i f -> results.(i) <- Some (f ())) jobs
+  else begin
+    let cursor = Atomic.make 0 in
+    let worker () =
+      let rec loop () =
+        let i = Atomic.fetch_and_add cursor 1 in
+        if i < n then begin
+          results.(i) <- Some (jobs.(i) ());
+          loop ()
+        end
+      in
+      loop ()
+    in
+    let spawned = List.init (domains - 1) (fun _ -> Domain.spawn worker) in
+    worker ();
+    List.iter Domain.join spawned
+  end;
+  Array.to_list results
+  |> List.map (function
+       | Some r -> r
+       | None -> assert false (* every slot was claimed exactly once *))
+
+let run_all ?(domains = 1) () = run_list ~domains (List.map snd experiments)

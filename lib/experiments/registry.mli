@@ -5,5 +5,20 @@ val all_names : string list
 val run : string -> Exp_common.outcome option
 (** Case-insensitive lookup by "E1".."E18". *)
 
-val run_all : unit -> Exp_common.outcome list
-(** In order E1..E18. *)
+val run_all : ?domains:int -> unit -> Exp_common.outcome list
+(** In order E1..E18.  [domains] (default 1) is the number of OCaml 5
+    domains the experiments are spread over; results are collected into
+    E1..E18 order whatever the completion order, so the output is
+    bit-identical to a sequential run.  Values above
+    {!default_domains} [()] rarely help. *)
+
+val default_domains : unit -> int
+(** [min 8 (Domain.recommended_domain_count ())], at least 1 — the
+    parallelism used by [dune runtest], [bench] and the CLI's
+    [--jobs 0]. *)
+
+val run_list : domains:int -> (unit -> 'a) list -> 'a list
+(** Generic deterministic fan-out underneath {!run_all}: runs the
+    thunks on [domains] domains (clamped to the list length; [<= 1]
+    means in this domain) and returns the results in input order.
+    Thunks must not share mutable state. *)

@@ -1,0 +1,243 @@
+(* Simulator scaling benchmark: the perf trajectory's data source.
+
+   Runs every registered policy through the fast engine ([Simulator])
+   at each trace size, and through the retained seed engine
+   ([Simulator_naive]) at the smallest size, asserting bit-identical
+   packings as it goes.  The seed engine is quadratic in bins ever
+   opened (per-event rescan of the full bin list), so its cost at the
+   largest size is extrapolated with the (max/naive)^2 law instead of
+   measured — at 50k items a single naive run is minutes, which is the
+   very reason the fast engine exists.
+
+   [to_json] emits the BENCH_simulator.json artefact; CI uploads it
+   from the quick profile and the committed copy at the repo root holds
+   full-profile numbers (see EXPERIMENTS.md "Engine scaling"). *)
+
+open Dbp_num
+open Dbp_core
+
+type row = {
+  policy : string;
+  engine : string;  (* "fast" | "naive" *)
+  items : int;
+  bins : int;
+  max_open : int;
+  wall_seconds : float;
+  events_per_second : float;
+  total_cost : float;
+  cost_exact : string;
+}
+
+type equivalence = {
+  eq_policy : string;
+  eq_items : int;
+  speedup : float;  (* naive wall / fast wall at eq_items *)
+  identical : bool;  (* same cost, assignment, bins, violations *)
+}
+
+type report = {
+  quick : bool;
+  seed : int64;
+  sizes : int list;  (* fast-engine trace sizes, ascending *)
+  naive_size : int;  (* the size the naive engine is measured at *)
+  rows : row list;
+  equivalences : equivalence list;
+  extrapolated : (string * float) list;
+      (* policy -> naive cost extrapolated to [max sizes] over measured
+         fast wall there *)
+}
+
+let default_sizes ~quick = if quick then [ 500; 2_000 ] else [ 5_000; 50_000 ]
+
+let instance_of ~seed n =
+  Dbp_workload.Generator.generate ~seed
+    { Dbp_workload.Spec.default with Dbp_workload.Spec.count = n }
+
+let time f =
+  let t0 = Unix.gettimeofday () in
+  let r = f () in
+  (r, Unix.gettimeofday () -. t0)
+
+let row_of ~engine ~items (p : Packing.t) wall =
+  {
+    policy = p.Packing.policy_name;
+    engine;
+    items;
+    bins = Packing.bins_used p;
+    max_open = p.Packing.max_bins;
+    wall_seconds = wall;
+    events_per_second = float_of_int (2 * items) /. Float.max wall 1e-9;
+    total_cost = Rat.to_float p.Packing.total_cost;
+    cost_exact = Rat.to_string p.Packing.total_cost;
+  }
+
+let packings_identical (a : Packing.t) (b : Packing.t) =
+  Rat.equal a.Packing.total_cost b.Packing.total_cost
+  && a.Packing.assignment = b.Packing.assignment
+  && a.Packing.max_bins = b.Packing.max_bins
+  && a.Packing.any_fit_violations = b.Packing.any_fit_violations
+  && Array.length a.Packing.bins = Array.length b.Packing.bins
+
+let run ?(quick = false) ?(seed = 77L) () =
+  let sizes = default_sizes ~quick in
+  let naive_size = List.hd sizes in
+  let max_size = List.fold_left max naive_size sizes in
+  let policies = Algorithms.all () in
+  let instances = List.map (fun n -> (n, instance_of ~seed n)) sizes in
+  let rows = ref [] in
+  let equivalences = ref [] in
+  let extrapolated = ref [] in
+  List.iter
+    (fun (policy : Policy.t) ->
+      let fast_walls =
+        List.map
+          (fun (n, instance) ->
+            let p, wall = time (fun () -> Simulator.run ~policy instance) in
+            rows := row_of ~engine:"fast" ~items:n p wall :: !rows;
+            (n, p, wall))
+          instances
+      in
+      let _, fast_small, fast_small_wall =
+        List.find (fun (n, _, _) -> n = naive_size) fast_walls
+      in
+      let naive, naive_wall =
+        time (fun () ->
+            Simulator_naive.run ~policy (List.assoc naive_size instances))
+      in
+      rows := row_of ~engine:"naive" ~items:naive_size naive naive_wall :: !rows;
+      equivalences :=
+        {
+          eq_policy = policy.Policy.name;
+          eq_items = naive_size;
+          speedup = naive_wall /. Float.max fast_small_wall 1e-9;
+          identical = packings_identical fast_small naive;
+        }
+        :: !equivalences;
+      let _, _, fast_max_wall =
+        List.find (fun (n, _, _) -> n = max_size) fast_walls
+      in
+      let scale = float_of_int max_size /. float_of_int naive_size in
+      let naive_max_extrapolated = naive_wall *. scale *. scale in
+      extrapolated :=
+        (policy.Policy.name, naive_max_extrapolated /. Float.max fast_max_wall 1e-9)
+        :: !extrapolated)
+    policies;
+  {
+    quick;
+    seed;
+    sizes;
+    naive_size;
+    rows = List.rev !rows;
+    equivalences = List.rev !equivalences;
+    extrapolated = List.rev !extrapolated;
+  }
+
+(* ---- rendering ----------------------------------------------------- *)
+
+let json_escape s =
+  let buf = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let to_json r =
+  let buf = Buffer.create 4096 in
+  let add fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
+  add "{\n";
+  add "  \"schema\": \"dbp-bench-simulator/1\",\n";
+  add "  \"quick\": %b,\n" r.quick;
+  add "  \"seed\": %Ld,\n" r.seed;
+  add "  \"sizes\": [%s],\n"
+    (String.concat ", " (List.map string_of_int r.sizes));
+  add "  \"naive_size\": %d,\n" r.naive_size;
+  add "  \"rows\": [\n";
+  let n_rows = List.length r.rows in
+  List.iteri
+    (fun i row ->
+      add
+        "    {\"policy\": \"%s\", \"engine\": \"%s\", \"items\": %d, \
+         \"bins\": %d, \"max_open\": %d, \"wall_seconds\": %.6f, \
+         \"events_per_second\": %.1f, \"total_cost\": %.4f, \
+         \"cost_exact\": \"%s\"}%s\n"
+        (json_escape row.policy) row.engine row.items row.bins row.max_open
+        row.wall_seconds row.events_per_second row.total_cost
+        (json_escape row.cost_exact)
+        (if i = n_rows - 1 then "" else ","))
+    r.rows;
+  add "  ],\n";
+  add "  \"equivalence\": [\n";
+  let n_eq = List.length r.equivalences in
+  List.iteri
+    (fun i e ->
+      add
+        "    {\"policy\": \"%s\", \"items\": %d, \"speedup\": %.2f, \
+         \"identical\": %b}%s\n"
+        (json_escape e.eq_policy) e.eq_items e.speedup e.identical
+        (if i = n_eq - 1 then "" else ","))
+    r.equivalences;
+  add "  ],\n";
+  add "  \"extrapolated_speedup_at_max\": [\n";
+  let n_ex = List.length r.extrapolated in
+  List.iteri
+    (fun i (p, s) ->
+      add "    {\"policy\": \"%s\", \"speedup\": %.1f}%s\n" (json_escape p) s
+        (if i = n_ex - 1 then "" else ","))
+    r.extrapolated;
+  add "  ]\n";
+  add "}\n";
+  Buffer.contents buf
+
+let tables r =
+  let scaling =
+    Dbp_analysis.Table.create ~title:"simulator scaling (wall-clock)"
+      ~columns:
+        [ "policy"; "engine"; "items"; "bins"; "max open"; "wall s"; "events/s" ]
+  in
+  List.iter
+    (fun row ->
+      Dbp_analysis.Table.add_row scaling
+        [
+          row.policy;
+          row.engine;
+          string_of_int row.items;
+          string_of_int row.bins;
+          string_of_int row.max_open;
+          Printf.sprintf "%.4f" row.wall_seconds;
+          Printf.sprintf "%.0f" row.events_per_second;
+        ])
+    r.rows;
+  let speedups =
+    Dbp_analysis.Table.create
+      ~title:
+        (Printf.sprintf
+           "fast vs seed engine (measured at %d items; extrapolated at %d)"
+           r.naive_size
+           (List.fold_left max r.naive_size r.sizes))
+      ~columns:[ "policy"; "speedup"; "identical"; "extrapolated speedup" ]
+  in
+  List.iter
+    (fun e ->
+      Dbp_analysis.Table.add_row speedups
+        [
+          e.eq_policy;
+          Printf.sprintf "%.1fx" e.speedup;
+          (if e.identical then "yes" else "NO");
+          (match List.assoc_opt e.eq_policy r.extrapolated with
+          | Some s -> Printf.sprintf "%.0fx" s
+          | None -> "-");
+        ])
+    r.equivalences;
+  [ scaling; speedups ]
+
+let render r =
+  String.concat "\n" (List.map Dbp_analysis.Table.render (tables r))
+
+let all_identical r = List.for_all (fun e -> e.identical) r.equivalences

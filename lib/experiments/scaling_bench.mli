@@ -1,0 +1,56 @@
+(** Simulator scaling benchmark: 5k/50k-item traces per policy, fast
+    engine vs the retained seed engine, emitted as the
+    [BENCH_simulator.json] perf-trajectory artefact.
+
+    The seed engine is measured at the smallest size only and
+    extrapolated quadratically to the largest (its per-event cost is
+    linear in bins ever opened, and bins grow linearly with items);
+    the fast engine is measured everywhere.  Each naive run is also an
+    equivalence check: the two engines must produce bit-identical
+    packings. *)
+
+type row = {
+  policy : string;
+  engine : string;  (** ["fast"] or ["naive"] *)
+  items : int;
+  bins : int;
+  max_open : int;
+  wall_seconds : float;
+  events_per_second : float;
+  total_cost : float;
+  cost_exact : string;
+}
+
+type equivalence = {
+  eq_policy : string;
+  eq_items : int;
+  speedup : float;  (** naive wall / fast wall at [eq_items] *)
+  identical : bool;
+}
+
+type report = {
+  quick : bool;
+  seed : int64;
+  sizes : int list;
+  naive_size : int;
+  rows : row list;
+  equivalences : equivalence list;
+  extrapolated : (string * float) list;
+}
+
+val default_sizes : quick:bool -> int list
+(** [quick] gives [500; 2000] (CI smoke), full gives [5000; 50000]. *)
+
+val run : ?quick:bool -> ?seed:int64 -> unit -> report
+(** Runs sequentially on purpose: wall-clock measurements must not
+    fight sibling domains for cores. *)
+
+val to_json : report -> string
+(** The [BENCH_simulator.json] document (schema
+    ["dbp-bench-simulator/1"]). *)
+
+val tables : report -> Dbp_analysis.Table.t list
+val render : report -> string
+
+val all_identical : report -> bool
+(** Every naive-vs-fast pair produced identical packings. *)

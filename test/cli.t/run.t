@@ -108,6 +108,36 @@ Policy comparison:
   $ dbp diff --trace trace.csv -a first-fit -b next-fit | tail -1
   cost 60.2405 vs 60.5233 (gap -0.2828); bins 14 vs 21; first divergence at item 7; 33 pairs split, 6 joined
 
+The scaling benchmark emits the perf-trajectory JSON.  Wall-clock
+numbers vary run to run, so the checks stick to the deterministic
+shape: the schema, the size grid, one fast row per policy and size
+plus one naive row per policy, and — the real assertion — every
+naive-vs-fast pair bit-identical:
+
+  $ dbp bench --quick --json -o bench.json
+  wrote bench.json
+  $ grep -o '"schema": "[^"]*"' bench.json
+  "schema": "dbp-bench-simulator/1"
+  $ grep -o '"quick": [a-z]*' bench.json; grep -o '"sizes": \[[0-9, ]*\]' bench.json; grep -o '"naive_size": [0-9]*' bench.json
+  "quick": true
+  "sizes": [500, 2000]
+  "naive_size": 500
+  $ grep -c '"engine": "fast"' bench.json; grep -c '"engine": "naive"' bench.json
+  16
+  8
+  $ grep -c '"identical": true' bench.json; grep -c '"identical": false' bench.json
+  8
+  0
+  [1]
+  $ grep -c '"speedup"' bench.json; grep -c '"extrapolated_speedup_at_max"' bench.json
+  16
+  1
+
+The human-readable rendering carries the same equivalence verdicts:
+
+  $ dbp bench --quick | grep -c '| yes'
+  8
+
 CSV artefact export:
 
   $ dbp experiments e1 --out-dir artefacts | tail -1

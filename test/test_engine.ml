@@ -1,0 +1,274 @@
+(* Engine equivalence: the O(open-bins) simulator must be bit-identical
+   to the retained seed engine ([Simulator_naive]) — same packings,
+   same costs, same any-fit violations — across every policy, random
+   seeds, and fail_bin storms.  Plus unit tests for the open-bin index
+   invariants (opening order, per-bin view-cache invalidation). *)
+
+open Dbp_num
+open Dbp_core
+open Test_util
+
+(* ---- deep packing equality ----------------------------------------- *)
+
+let bin_record_equal (a : Packing.bin_record) (b : Packing.bin_record) =
+  a.Packing.bin_id = b.Packing.bin_id
+  && String.equal a.tag b.tag
+  && Rat.equal a.capacity b.capacity
+  && Rat.equal a.opened b.opened
+  && Rat.equal a.closed b.closed
+  && a.item_ids = b.item_ids
+  && List.length a.placements = List.length b.placements
+  && List.for_all2
+       (fun (t1, i1) (t2, i2) -> Rat.equal t1 t2 && i1 = i2)
+       a.placements b.placements
+  && Rat.equal a.max_level b.max_level
+
+let packing_equal (a : Packing.t) (b : Packing.t) =
+  String.equal a.Packing.policy_name b.Packing.policy_name
+  && Rat.equal a.total_cost b.total_cost
+  && a.max_bins = b.max_bins
+  && a.any_fit_violations = b.any_fit_violations
+  && a.assignment = b.assignment
+  && Step_fn.equal a.timeline b.timeline
+  && Array.length a.bins = Array.length b.bins
+  && Array.for_all2 bin_record_equal a.bins b.bins
+
+let check_equivalent ~what instance policy =
+  let fast = Simulator.run ~policy instance in
+  let naive = Simulator_naive.run ~policy instance in
+  if not (packing_equal fast naive) then
+    Alcotest.failf "%s: engines diverge under %s (fast %a vs seed %a)" what
+      policy.Policy.name Packing.pp_summary fast Packing.pp_summary naive
+
+(* ---- equivalence on generated workloads ----------------------------- *)
+
+let equivalence_seeds = [ 7L; 19L; 23L; 31L; 42L ]
+
+let test_generated_equivalence () =
+  List.iter
+    (fun seed ->
+      let instance =
+        Dbp_workload.Generator.generate ~seed
+          { Dbp_workload.Spec.default with Dbp_workload.Spec.count = 400 }
+      in
+      List.iter
+        (check_equivalent
+           ~what:(Printf.sprintf "generated seed %Ld" seed)
+           instance)
+        (Algorithms.all ()))
+    equivalence_seeds
+
+let prop_equivalence =
+  qcheck ~count:60 "engines bit-identical on random instances"
+    (instance_gen ()) (fun instance ->
+      List.for_all
+        (fun policy ->
+          packing_equal
+            (Simulator.run ~policy instance)
+            (Simulator_naive.run ~policy instance))
+        (Algorithms.all ()))
+
+(* ---- equivalence under fail_bin storms ------------------------------ *)
+
+(* Drives both Online engines in lockstep through a seeded random
+   session workload with crashes striking between the integer steps,
+   asserting identical observable state throughout and identical
+   packings at the end.  Mirrors what [Dbp_faults.Injector] does to the
+   engine, without the retry machinery in the way. *)
+let run_storm ~seed ~steps policy =
+  let rng = Dbp_rand.Pcg32.create seed in
+  let fast = Simulator.Online.create ~policy ~capacity:Rat.one () in
+  let naive = Simulator_naive.Online.create ~policy ~capacity:Rat.one () in
+  let next_id = ref 0 in
+  let active : (int, Rat.t * Rat.t) Hashtbl.t = Hashtbl.create 64 in
+  (* id -> (size, arrival) *)
+  let stopped = ref [] in
+  (* (id, size, arrival, stop) *)
+  let stop ~at id =
+    let size, arrival = Hashtbl.find active id in
+    Hashtbl.remove active id;
+    stopped := (id, size, arrival, at) :: !stopped
+  in
+  let views_agree ~at =
+    let vf = Simulator.Online.open_bins fast in
+    let vn = Simulator_naive.Online.open_bins naive in
+    if vf <> vn then
+      Alcotest.failf "open-bin views diverge at t=%a under %s" Rat.pp at
+        policy.Policy.name
+  in
+  for step = 0 to steps - 1 do
+    let now = Rat.of_int step in
+    (* a few arrivals *)
+    let arrivals = 1 + Dbp_rand.Pcg32.next_int rng 3 in
+    for _ = 1 to arrivals do
+      let size = Rat.make (1 + Dbp_rand.Pcg32.next_int rng 12) 12 in
+      let id = !next_id in
+      incr next_id;
+      let bf = Simulator.Online.arrive fast ~now ~size ~item_id:id in
+      let bn = Simulator_naive.Online.arrive naive ~now ~size ~item_id:id in
+      Alcotest.(check int) "same placement" bf bn;
+      Hashtbl.replace active id (size, now)
+    done;
+    views_agree ~at:now;
+    (* maybe a departure of a random active item that arrived earlier *)
+    let departable =
+      Hashtbl.fold
+        (fun id (_, arrival) acc ->
+          if Rat.(arrival < now) then id :: acc else acc)
+        active []
+      |> List.sort compare
+    in
+    (match departable with
+    | [] -> ()
+    | ids ->
+        let id = List.nth ids (Dbp_rand.Pcg32.next_int rng (List.length ids)) in
+        Simulator.Online.depart fast ~now ~item_id:id;
+        Simulator_naive.Online.depart naive ~now ~item_id:id;
+        stop ~at:now id;
+        views_agree ~at:now);
+    (* crash between steps: strike the same bin in both engines *)
+    if Dbp_rand.Pcg32.next_int rng 3 = 0 then begin
+      let at = Rat.add now (Rat.make 1 2) in
+      match Simulator.Online.open_bins fast with
+      | [] -> ()
+      | views ->
+          let victim =
+            (List.nth views (Dbp_rand.Pcg32.next_int rng (List.length views)))
+              .Bin.bin_id
+          in
+          let ef = Simulator.Online.fail_bin fast ~now:at ~bin_id:victim in
+          let en = Simulator_naive.Online.fail_bin naive ~now:at ~bin_id:victim in
+          Alcotest.(check (list (pair int rat)))
+            "same evictions in same order" ef en;
+          List.iter (fun (id, _) -> stop ~at id) ef;
+          views_agree ~at
+    end
+  done;
+  (* drain the survivors *)
+  let finis = Rat.of_int steps in
+  Hashtbl.fold (fun id _ acc -> id :: acc) active []
+  |> List.sort compare
+  |> List.iter (fun id ->
+         Simulator.Online.depart fast ~now:finis ~item_id:id;
+         Simulator_naive.Online.depart naive ~now:finis ~item_id:id;
+         stop ~at:finis id);
+  views_agree ~at:finis;
+  let effective =
+    Instance.create ~capacity:Rat.one
+      (List.rev_map
+         (fun (id, size, arrival, stop) ->
+           Item.make ~id ~size ~arrival ~departure:stop)
+         (List.sort (fun (a, _, _, _) (b, _, _, _) -> compare b a) !stopped))
+  in
+  let pf = Simulator.Online.finish fast ~instance:effective in
+  let pn = Simulator_naive.Online.finish naive ~instance:effective in
+  if not (packing_equal pf pn) then
+    Alcotest.failf "storm packings diverge under %s (seed %Ld)"
+      policy.Policy.name seed
+
+let test_storm_equivalence () =
+  List.iter
+    (fun seed ->
+      List.iter (run_storm ~seed ~steps:40) (Algorithms.all ()))
+    [ 3L; 5L; 8L; 13L; 21L ]
+
+(* ---- open-bin index invariants -------------------------------------- *)
+
+let bin id = Bin.open_bin ~id ~tag:"t" ~capacity:Rat.one ~now:Rat.zero
+let view_ids ix = List.map (fun (v : Bin.view) -> v.Bin.bin_id) (Open_index.views ix)
+
+let test_index_opening_order () =
+  let ix = Open_index.create () in
+  Alcotest.(check bool) "empty" true (Open_index.is_empty ix);
+  let b0 = bin 0 and b1 = bin 1 and b2 = bin 2 and b3 = bin 3 in
+  List.iter (Open_index.add ix) [ b0; b1; b2; b3 ];
+  Alcotest.(check (list int)) "opening order" [ 0; 1; 2; 3 ] (view_ids ix);
+  Open_index.remove ix b1;
+  Alcotest.(check (list int)) "middle removal" [ 0; 2; 3 ] (view_ids ix);
+  Open_index.remove ix b0;
+  Alcotest.(check (list int)) "head removal" [ 2; 3 ] (view_ids ix);
+  Open_index.remove ix b3;
+  Alcotest.(check (list int)) "tail removal" [ 2 ] (view_ids ix);
+  Alcotest.(check int) "cardinal" 1 (Open_index.cardinal ix);
+  Alcotest.(check (option int)) "oldest" (Some 2)
+    (Option.map (fun (b : Bin.t) -> b.Bin.id) (Open_index.oldest ix));
+  Alcotest.(check (option int)) "newest" (Some 2)
+    (Option.map (fun (b : Bin.t) -> b.Bin.id) (Open_index.newest ix));
+  let b9 = bin 9 in
+  Open_index.add ix b9;
+  Alcotest.(check (list int)) "append after gaps" [ 2; 9 ] (view_ids ix)
+
+let raises_invalid_arg name f =
+  Alcotest.(check bool) name true
+    (try
+       f ();
+       false
+     with Invalid_argument _ -> true)
+
+let test_index_misuse () =
+  let ix = Open_index.create () in
+  let b5 = bin 5 in
+  Open_index.add ix b5;
+  raises_invalid_arg "double add" (fun () -> Open_index.add ix b5);
+  raises_invalid_arg "out-of-order id" (fun () -> Open_index.add ix (bin 3));
+  raises_invalid_arg "removing a non-member" (fun () ->
+      Open_index.remove ix (bin 7));
+  Open_index.remove ix b5;
+  raises_invalid_arg "double remove" (fun () -> Open_index.remove ix b5)
+
+let test_view_cache_invalidation () =
+  let b = bin 0 in
+  let v1 = Bin.view b in
+  Alcotest.(check bool) "memoised view physically reused" true
+    (v1 == Bin.view b);
+  let stub ~id =
+    Item.make ~id ~size:(r 1 4) ~arrival:Rat.zero ~departure:Rat.one
+  in
+  Bin.insert b ~now:Rat.zero (stub ~id:0);
+  let v2 = Bin.view b in
+  Alcotest.(check bool) "insert invalidates the cache" true (not (v1 == v2));
+  Alcotest.(check int) "fresh view sees the insert" 1 v2.Bin.bin_count;
+  check_rat "fresh view level" (r 1 4) v2.Bin.bin_level;
+  Alcotest.(check bool) "fresh view memoised again" true (v2 == Bin.view b);
+  Bin.insert b ~now:Rat.zero (stub ~id:1);
+  Bin.remove b ~now:Rat.one (stub ~id:0);
+  let v3 = Bin.view b in
+  Alcotest.(check bool) "remove invalidates the cache" true (not (v2 == v3));
+  Alcotest.(check int) "count after remove" 1 v3.Bin.bin_count;
+  Bin.remove b ~now:Rat.two (stub ~id:1);
+  Alcotest.(check bool) "empty bin closed" true (not (Bin.is_open b));
+  Alcotest.(check int) "closed view count" 0 (Bin.view b).Bin.bin_count
+
+let test_index_views_reuse_cached () =
+  let ix = Open_index.create () in
+  let b0 = bin 0 and b1 = bin 1 in
+  Open_index.add ix b0;
+  Open_index.add ix b1;
+  let first = Open_index.views ix in
+  Bin.insert b1 ~now:Rat.zero
+    (Item.make ~id:0 ~size:(r 1 2) ~arrival:Rat.zero ~departure:Rat.one);
+  let second = Open_index.views ix in
+  (match (first, second) with
+  | [ a0; _ ], [ c0; c1 ] ->
+      Alcotest.(check bool) "untouched bin's view physically reused" true
+        (a0 == c0);
+      Alcotest.(check int) "touched bin's view rebuilt" 1 c1.Bin.bin_count
+  | _ -> Alcotest.fail "expected two views");
+  Alcotest.(check bool) "list rebuilt each call" true
+    (Open_index.views ix <> [] )
+
+let suite =
+  [
+    Alcotest.test_case "generated workloads: engines bit-identical" `Quick
+      test_generated_equivalence;
+    prop_equivalence;
+    Alcotest.test_case "fail_bin storms: engines bit-identical" `Quick
+      test_storm_equivalence;
+    Alcotest.test_case "open-bin index: opening order" `Quick
+      test_index_opening_order;
+    Alcotest.test_case "open-bin index: misuse raises" `Quick test_index_misuse;
+    Alcotest.test_case "bin view cache invalidation" `Quick
+      test_view_cache_invalidation;
+    Alcotest.test_case "index views reuse cached bin views" `Quick
+      test_index_views_reuse_cached;
+  ]

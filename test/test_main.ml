@@ -7,6 +7,7 @@ let () =
       ("rand", Test_rand.suite);
       ("instance", Test_instance.suite);
       ("simulator", Test_simulator.suite);
+      ("engine", Test_engine.suite);
       ("algorithms", Test_algorithms.suite);
       ("opt", Test_opt.suite);
       ("adversary", Test_adversary.suite);
