@@ -1,8 +1,8 @@
 (* mintotal-dbp: command-line front end.
 
    Subcommands: generate / simulate / opt / adversary / decompose /
-   offline / diff / stats / experiments / faults / gaming / bench.
-   See README.md for a tour. *)
+   offline / diff / stats / experiments / faults / gaming / bench /
+   check.  See README.md for a tour. *)
 
 open Cmdliner
 open Dbp_num
@@ -654,6 +654,190 @@ let bench_cmd =
           policy) and emit the perf-trajectory artefact.")
     Term.(const run $ quick $ json $ out $ seed_arg)
 
+(* ---- check ---------------------------------------------------------- *)
+
+let check_cmd =
+  let lint_flag =
+    Arg.(value & flag
+         & info [ "lint" ]
+             ~doc:"Run the static lint pass (R1..R6) over the source roots.")
+  in
+  let audit_flag =
+    Arg.(value & flag
+         & info [ "audit" ]
+             ~doc:
+               "Run the engine self-audit: seeded workloads and fault \
+                storms under the runtime invariant auditor, asserting \
+                audited and unaudited runs are bit-identical.")
+  in
+  let json =
+    Arg.(value & flag & info [ "json" ] ~doc:"Emit machine-readable JSON.")
+  in
+  let strict =
+    Arg.(value & flag
+         & info [ "strict" ]
+             ~doc:
+               "Lint: fail on any non-baselined finding (default: only \
+                error-severity findings fail).")
+  in
+  let roots =
+    Arg.(value & opt_all string []
+         & info [ "root" ]
+             ~doc:"Source root(s) to lint (default: lib bin examples).")
+  in
+  let baseline_path =
+    Arg.(value & opt string "lint-baseline.txt"
+         & info [ "baseline" ] ~doc:"Baseline file of accepted findings.")
+  in
+  let no_baseline =
+    Arg.(value & flag
+         & info [ "no-baseline" ] ~doc:"Ignore the baseline file entirely.")
+  in
+  let update_baseline =
+    Arg.(value & flag
+         & info [ "update-baseline" ]
+             ~doc:"Rewrite the baseline to accept every current finding.")
+  in
+  let rules_flag =
+    Arg.(value & flag
+         & info [ "rules" ] ~doc:"List the lint rule set and exit.")
+  in
+  let run lint_flag audit_flag json strict roots baseline_path no_baseline
+      update_baseline rules_flag seed =
+    let open Dbp_lint in
+    if rules_flag then begin
+      List.iter
+        (fun (r : Rules.rule) ->
+          Format.printf "%s [%s] %s@.    %s@." r.Rules.id
+            (Finding.severity_to_string r.Rules.severity)
+            r.Rules.title r.Rules.what)
+        Rules.all_rules;
+      0
+    end
+    else begin
+      (* Neither flag: run both layers. *)
+      let lint_flag, audit_flag =
+        if lint_flag || audit_flag then (lint_flag, audit_flag)
+        else (true, true)
+      in
+      let lint_status =
+        if not lint_flag then 0
+        else begin
+          let roots = if roots = [] then [ "lib"; "bin"; "examples" ] else roots in
+          let baseline =
+            if no_baseline then [] else Lint.load_baseline baseline_path
+          in
+          let report =
+            match Lint.run ~baseline ~roots () with
+            | report -> report
+            | exception Failure msg ->
+                Format.eprintf "dbp check: %s@." msg;
+                exit 2
+          in
+          if update_baseline then begin
+            let all_current =
+              (Lint.run ~roots ()).Lint.findings
+            in
+            Lint.save_baseline ~path:baseline_path all_current;
+            Format.printf "baseline updated: %s (%d finding(s) accepted)@."
+              baseline_path (List.length all_current);
+            0
+          end
+          else begin
+            print_string
+              (if json then Lint.render_json report
+               else Lint.render_human report);
+            Lint.exit_code ~strict report
+          end
+        end
+      in
+      let audit_status =
+        if not audit_flag then 0
+        else begin
+          let open Dbp_core in
+          let runs = ref 0 in
+          let mismatches = ref 0 in
+          let violation = ref None in
+          let packing_identical (a : Packing.t) (b : Packing.t) =
+            Dbp_num.Rat.equal a.Packing.total_cost b.Packing.total_cost
+            && a.Packing.assignment = b.Packing.assignment
+            && a.Packing.max_bins = b.Packing.max_bins
+            && a.Packing.any_fit_violations = b.Packing.any_fit_violations
+          in
+          (try
+             (* Fault-free workloads: every policy, two seeds. *)
+             List.iter
+               (fun s ->
+                 let instance =
+                   Dbp_workload.Generator.generate ~seed:s
+                     { Dbp_workload.Spec.default with Dbp_workload.Spec.count = 300 }
+                 in
+                 List.iter
+                   (fun policy ->
+                     let audited = Simulator.run ~audit:true ~policy instance in
+                     let plain = Simulator.run ~audit:false ~policy instance in
+                     incr runs;
+                     if not (packing_identical audited plain) then
+                       incr mismatches)
+                   (Algorithms.all ()))
+               [ seed; Int64.add seed 19L ];
+             (* A crash storm through the injector, audited. *)
+             let instance =
+               Dbp_workload.Generator.generate ~seed
+                 { Dbp_workload.Spec.default with Dbp_workload.Spec.count = 200 }
+             in
+             let horizon =
+               Dbp_num.Interval.hi (Instance.packing_period instance)
+             in
+             let plan =
+               Dbp_faults.Fault_plan.poisson_crashes ~seed ~rate:1.5 ~horizon
+             in
+             List.iter
+               (fun policy ->
+                 let r =
+                   Dbp_faults.Injector.run ~audit:true ~plan ~policy instance
+                 in
+                 incr runs;
+                 match Packing.validate r.Dbp_faults.Injector.packing with
+                 | Ok () -> ()
+                 | Error _ -> incr mismatches)
+               (Algorithms.all ())
+           with Audit.Audit_violation v -> violation := Some v);
+          let ok = !violation = None && !mismatches = 0 in
+          if json then
+            Format.printf
+              "{\"audit\": {\"runs\": %d, \"mismatches\": %d, \
+               \"violation\": %s}}@."
+              !runs !mismatches
+              (match !violation with
+              | None -> "null"
+              | Some v ->
+                  Printf.sprintf "\"%s\""
+                    (Dbp_lint.Finding.json_escape (Audit.violation_to_string v)))
+          else begin
+            Format.printf
+              "audit: %d run(s) under the invariant auditor, %d \
+               audited-vs-plain mismatch(es)@."
+              !runs !mismatches;
+            match !violation with
+            | None -> Format.printf "audit: no invariant violations@."
+            | Some v -> Format.printf "audit: %s@." (Audit.violation_to_string v)
+          end;
+          if ok then 0 else 1
+        end
+      in
+      max lint_status audit_status
+    end
+  in
+  Cmd.v
+    (Cmd.info "check"
+       ~doc:
+         "Correctness tooling: static lint pass (R1..R6) over the sources \
+          and/or the engine's runtime invariant self-audit.")
+    Term.(
+      const run $ lint_flag $ audit_flag $ json $ strict $ roots
+      $ baseline_path $ no_baseline $ update_baseline $ rules_flag $ seed_arg)
+
 (* ---- main ----------------------------------------------------------- *)
 
 let () =
@@ -675,4 +859,5 @@ let () =
             faults_cmd;
             gaming_cmd;
             bench_cmd;
+            check_cmd;
           ]))

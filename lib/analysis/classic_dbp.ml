@@ -17,7 +17,7 @@ let measure (packing : Packing.t) ~opt =
     ratio = Rat.make packing.Packing.max_bins opt_max;
   }
 
-let coffman_ff_upper_bound = 2.897
+let coffman_ff_upper_bound = Rat.make 2897 1000
 
 let pp fmt t =
   Format.fprintf fmt "max-bins %d vs OPT %d (ratio %a)" t.algorithm_max_bins

@@ -20,8 +20,8 @@ type t = {
 val measure : Packing.t -> opt:Opt_total.t -> t
 (** @raise Invalid_argument if the OPT profile is empty. *)
 
-val coffman_ff_upper_bound : float
-(** 2.897 — the classical First Fit competitive-ratio upper bound for
-    the max-bins objective, quoted for context. *)
+val coffman_ff_upper_bound : Dbp_num.Rat.t
+(** 2897/1000 — the classical First Fit competitive-ratio upper bound
+    for the max-bins objective, quoted for context. *)
 
 val pp : Format.formatter -> t -> unit

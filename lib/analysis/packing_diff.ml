@@ -18,7 +18,7 @@ let cohort (packing : Packing.t) item_id =
   let bin = packing.Packing.assignment.(item_id) in
   packing.Packing.bins.(bin).Packing.item_ids
   |> List.filter (fun id -> id < item_id)
-  |> List.sort compare
+  |> List.sort Int.compare
 
 let compare (a : Packing.t) (b : Packing.t) =
   let n = Array.length a.Packing.assignment in

@@ -40,7 +40,7 @@ let ensure_capacity t id =
   end
 
 let mem t (b : Bin.t) =
-  b.Bin.id < Array.length t.bins && t.bins.(b.Bin.id) <> None
+  b.Bin.id < Array.length t.bins && Option.is_some t.bins.(b.Bin.id)
 
 let cardinal t = t.count
 let is_empty t = t.count = 0
@@ -48,7 +48,8 @@ let is_empty t = t.count = 0
 let add t (b : Bin.t) =
   let id = b.Bin.id in
   ensure_capacity t id;
-  if t.bins.(id) <> None then invalid_arg "Open_index.add: bin already open";
+  if Option.is_some t.bins.(id) then
+    invalid_arg "Open_index.add: bin already open";
   if t.tail >= 0 && t.tail >= id then
     invalid_arg "Open_index.add: bin ids must be appended in opening order";
   t.bins.(id) <- Some b;
@@ -96,3 +97,59 @@ let views t =
 
 let newest t = if t.tail < 0 then None else t.bins.(t.tail)
 let oldest t = if t.head < 0 then None else t.bins.(t.head)
+
+(* Full structural re-verification of the doubly-linked list, for the
+   runtime auditor: every memoised invariant the O(1) add/remove paths
+   rely on is re-derived from scratch.  O(capacity of the arrays). *)
+let validate t =
+  let fail fmt = Format.kasprintf (fun s -> Error s) fmt in
+  let n = Array.length t.bins in
+  if Array.length t.prev <> n || Array.length t.next <> n then
+    fail "array lengths diverge (%d bins, %d prev, %d next)" n
+      (Array.length t.prev) (Array.length t.next)
+  else if t.count < 0 then fail "negative count %d" t.count
+  else if (t.head < 0) <> (t.tail < 0) then
+    fail "head %d and tail %d disagree about emptiness" t.head t.tail
+  else if t.head >= 0 && t.prev.(t.head) >= 0 then
+    fail "head %d has a predecessor" t.head
+  else if t.tail >= 0 && t.next.(t.tail) >= 0 then
+    fail "tail %d has a successor" t.tail
+  else begin
+    (* Walk head -> tail checking link symmetry, membership, id and
+       opening-order monotonicity; bound the walk by [n] so a cycle
+       cannot hang the auditor. *)
+    let rec walk seen prev_id id =
+      if id < 0 then
+        if prev_id <> t.tail then
+          fail "walk ended at %d but tail is %d" prev_id t.tail
+        else Ok seen
+      else if seen > n then fail "cycle detected in the open list"
+      else if id >= n then fail "link to out-of-range id %d" id
+      else
+        match t.bins.(id) with
+        | None -> fail "linked bin %d has no slot entry" id
+        | Some b ->
+            if b.Bin.id <> id then
+              fail "slot %d holds bin with id %d" id b.Bin.id
+            else if not (Bin.is_open b) then
+              fail "closed bin %d still in the open index" id
+            else if t.prev.(id) <> prev_id then
+              fail "bin %d: prev link %d, expected %d" id t.prev.(id) prev_id
+            else if prev_id >= 0 && prev_id >= id then
+              fail "opening order violated: %d before %d" prev_id id
+            else walk (seen + 1) id t.next.(id)
+    in
+    match walk 0 (-1) t.head with
+    | Error _ as e -> e
+    | Ok reachable ->
+        if reachable <> t.count then
+          fail "count %d but %d bins reachable from head" t.count reachable
+        else
+          let members = ref 0 in
+          Array.iter
+            (fun slot -> if Option.is_some slot then incr members)
+            t.bins;
+          if !members <> t.count then
+            fail "count %d but %d occupied slots" t.count !members
+          else Ok ()
+  end

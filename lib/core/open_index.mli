@@ -40,3 +40,8 @@ val oldest : t -> Bin.t option
 
 val newest : t -> Bin.t option
 (** Latest-opened member. *)
+
+val validate : t -> (unit, string) result
+(** Re-derives every linked-list invariant from scratch (link
+    symmetry, membership vs slots, opening order, count, cycle
+    freedom), for the runtime auditor ({!Audit}). *)

@@ -35,9 +35,65 @@ module Online = struct
     seen_items : (int, unit) Hashtbl.t;
     mutable clock : Rat.t option;
     mutable violations : int;
+    audit : bool;  (* re-verify every invariant after every event *)
   }
 
-  let create ?tag_capacity ~policy ~capacity () =
+  (* Sanitizer pass (audit mode): re-derive the memoised engine state
+     from scratch after an event and compare.  O(total bins + active
+     items) per call, so audit runs cost O(n) per event where the
+     production path is O(open bins) — acceptable for tests/CI, which
+     is what the mode is for. *)
+  let audit_state t =
+    let time = t.clock in
+    let fail ?bin_id ~check fmt = Audit.fail ?time ?bin_id ~check fmt in
+    (* 1. Open-index doubly-linked invariants. *)
+    (match Open_index.validate t.open_index with
+    | Ok () -> ()
+    | Error msg -> fail ~check:"open-index" "%s" msg);
+    (* 2. Store vs index agreement: the index holds exactly the open
+       subset of the store, and slots alias the stored bins. *)
+    for id = 0 to t.bin_count - 1 do
+      let b = t.store.(id) in
+      if b.Bin.id <> id then
+        fail ~check:"store" ~bin_id:id "store slot %d holds bin id %d" id
+          b.Bin.id;
+      if Bin.is_open b && not (Open_index.mem t.open_index b) then
+        fail ~check:"store" ~bin_id:id "open bin missing from the open index";
+      if (not (Bin.is_open b)) && Open_index.mem t.open_index b then
+        fail ~check:"store" ~bin_id:id "closed bin still in the open index"
+    done;
+    (* 3. Per-bin memoised state (level, view cache, capacity). *)
+    Open_index.iter
+      (fun b ->
+        if not (b == t.store.(b.Bin.id)) then
+          fail ~check:"store" ~bin_id:b.Bin.id
+            "index member is not the stored bin";
+        Audit.check_bin ?time b)
+      t.open_index;
+    (* 4. item_bin consistency: active items and bins agree both ways. *)
+    let active_total = ref 0 in
+    Open_index.iter
+      (fun b -> active_total := !active_total + Bin.active_count b)
+      t.open_index;
+    if Hashtbl.length t.item_bin <> !active_total then
+      fail ~check:"item-bin" "%d tracked items but %d active across open bins"
+        (Hashtbl.length t.item_bin) !active_total;
+    Hashtbl.iter
+      (fun item_id (b : Bin.t) ->
+        if not (Bin.is_open b) then
+          fail ~check:"item-bin" ~bin_id:b.Bin.id
+            "item %d tracked in a closed bin" item_id;
+        match Bin.find_active b item_id with
+        | Some _ -> ()
+        | None ->
+            fail ~check:"item-bin" ~bin_id:b.Bin.id
+              "item %d tracked but not active in its bin" item_id)
+      t.item_bin
+
+  let audit = audit_state
+  let after_event t = if t.audit then audit_state t
+
+  let create ?(audit = false) ?tag_capacity ~policy ~capacity () =
     if Rat.sign capacity <= 0 then
       invalid_arg "Online.create: capacity must be positive";
     let tag_capacity =
@@ -54,6 +110,7 @@ module Online = struct
       seen_items = Hashtbl.create 64;
       clock = None;
       violations = 0;
+      audit;
     }
 
   let advance_clock t now =
@@ -128,6 +185,7 @@ module Online = struct
         m "t=%a item %d (size %a) -> bin %d [%s] level %a/%a" Rat.pp now
           item_id Rat.pp size target.Bin.id target.Bin.tag Rat.pp
           target.Bin.level Rat.pp target.Bin.capacity);
+    after_event t;
     target.Bin.id
 
   let depart t ~now ~item_id =
@@ -147,7 +205,8 @@ module Online = struct
             m "t=%a item %d departs bin %d%s" Rat.pp now item_id b.Bin.id
               (if Bin.is_open b then "" else " (bin closes)"));
         let views = open_bins t in
-        t.handlers.Policy.on_departure ~now ~bins:views ~item_id
+        t.handlers.Policy.on_departure ~now ~bins:views ~item_id;
+        after_event t
 
   let fail_bin t ~now ~bin_id =
     advance_clock t now;
@@ -183,6 +242,7 @@ module Online = struct
         Log.debug (fun m ->
             m "t=%a bin %d FAILS, %d items evicted" Rat.pp now bin_id
               (List.length victims));
+        after_event t;
         victims
 
   let bin_of_item t item_id =
@@ -255,21 +315,32 @@ module Online = struct
           Rat.add acc (Rat.sub b.closed b.opened))
         Rat.zero records
     in
-    {
-      Packing.instance;
-      policy_name = "";
-      bins = records;
-      assignment;
-      timeline;
-      total_cost;
-      max_bins = Step_fn.max_value timeline;
-      any_fit_violations = t.violations;
-    }
+    let packing =
+      {
+        Packing.instance;
+        policy_name = "";
+        bins = records;
+        assignment;
+        timeline;
+        total_cost;
+        max_bins = Step_fn.max_value timeline;
+        any_fit_violations = t.violations;
+      }
+    in
+    if t.audit then Audit.check_packing packing;
+    packing
+
+  let bin_handle t bin_id = find_bin t bin_id
 end
 
-let run ?tag_capacity ~policy instance =
+let run ?audit ?tag_capacity ~policy instance =
+  let audit =
+    (* Default from the environment so [DBP_AUDIT=1 dune runtest]
+       audits the whole suite without touching any call site. *)
+    match audit with Some b -> b | None -> Audit.enabled_from_env ()
+  in
   let online =
-    Online.create ?tag_capacity ~policy
+    Online.create ~audit ?tag_capacity ~policy
       ~capacity:(Instance.capacity instance) ()
   in
   List.iter

@@ -28,6 +28,7 @@ module Online : sig
   type t
 
   val create :
+    ?audit:bool ->
     ?tag_capacity:(string -> Rat.t) ->
     policy:Policy.t ->
     capacity:Rat.t ->
@@ -36,7 +37,10 @@ module Online : sig
   (** [capacity] is the base (the paper's uniform [W]); [tag_capacity]
       optionally gives bins opened under a tag their own capacity
       (heterogeneous server types).  Defaults to the base for every
-      tag. *)
+      tag.  [audit] (default [false]) turns on the sanitizer: every
+      event re-verifies the engine's memoised state and raises
+      {!Audit.Audit_violation} on the first divergence (see
+      {!Audit}). *)
 
   val arrive : t -> now:Rat.t -> size:Rat.t -> item_id:int -> int
   (** Feeds an arrival to the policy; returns the id of the bin the
@@ -77,11 +81,30 @@ module Online : sig
   val finish : t -> instance:Instance.t -> Packing.t
   (** Assembles the packing result.  The instance must contain exactly
       the items that were stepped through (same ids, sizes and times);
-      all items must have departed. *)
+      all items must have departed.  In audit mode the assembled
+      packing is additionally checked for cost conservation
+      ({!Audit.check_packing}). *)
+
+  val audit : t -> unit
+  (** Runs the full invariant audit immediately, regardless of the
+      [?audit] flag: open-index structure, store/index agreement,
+      memoised per-bin state vs recompute, item-tracking consistency.
+      @raise Audit.Audit_violation on the first divergence. *)
+
+  val bin_handle : t -> int -> Bin.t option
+  (** The underlying mutable bin record.  Exposed for the auditor's
+      negative tests (corrupt a field, assert {!audit} catches it);
+      mutating it from anywhere else breaks the engine's invariants
+      for real. *)
 end
 
 val run :
-  ?tag_capacity:(string -> Rat.t) -> policy:Policy.t -> Instance.t -> Packing.t
+  ?audit:bool ->
+  ?tag_capacity:(string -> Rat.t) ->
+  policy:Policy.t ->
+  Instance.t ->
+  Packing.t
 (** Replays the instance's event stream (departures before arrivals at
     equal times, arrivals in submission order) and assembles the
-    result. *)
+    result.  [audit] defaults to {!Audit.enabled_from_env}, so setting
+    [DBP_AUDIT=1] audits every run in the process. *)

@@ -17,10 +17,11 @@ let run () =
     let ratio = Ratio.measure packing in
     let classic = Classic_dbp.measure packing ~opt:ratio.Ratio.opt in
     check c
-      (float_of_int classic.Classic_dbp.algorithm_max_bins
-      <= Classic_dbp.coffman_ff_upper_bound
-         *. float_of_int classic.Classic_dbp.opt_max_bins
-         +. 1.0);
+      Rat.(
+        of_int classic.Classic_dbp.algorithm_max_bins
+        <= (Classic_dbp.coffman_ff_upper_bound
+            * of_int classic.Classic_dbp.opt_max_bins)
+           + one);
     Table.add_row table
       [
         name;

@@ -59,7 +59,7 @@ let run () =
      constrained FF makes exactly the unconstrained FF's choices up to
      region splitting; at budget >= sqrt 2 every region is allowed. *)
   let free = Geo.constrain ~seed ~latency_budget:2.0 instance in
-  check c (Geo.mean_allowed free = 4.0);
+  check c (Float.equal (Geo.mean_allowed free) 4.0);
   let total, failed = totals c in
   {
     experiment = "E9";

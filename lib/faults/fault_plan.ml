@@ -43,7 +43,7 @@ let merge a b =
 let poisson_times ~seed ~rate ~horizon =
   if rate < 0.0 then invalid_arg "Fault_plan: rate < 0";
   let horizon_f = Rat.to_float horizon in
-  if rate = 0.0 || horizon_f <= 0.0 then []
+  if rate <= 0.0 || horizon_f <= 0.0 then []
   else begin
     let rng = Splitmix64.create seed in
     let rec go clock acc =

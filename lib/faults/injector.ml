@@ -85,7 +85,7 @@ let backoff_delay cfg ~attempt =
   let e = Stdlib.min attempt 20 in
   Rat.min cfg.backoff_cap (Rat.mul_int cfg.base_backoff (1 lsl e))
 
-let run ?(config = default_config) ?(priority = fun _ -> 0)
+let run ?(audit = false) ?(config = default_config) ?(priority = fun _ -> 0)
     ~(plan : Fault_plan.t) ~(policy : Policy.t) instance =
   let cfg = config in
   if cfg.launch_failure_prob < 0.0 || cfg.launch_failure_prob > 1.0 then
@@ -96,7 +96,8 @@ let run ?(config = default_config) ?(priority = fun _ -> 0)
   if Rat.sign cfg.restart_delay < 0 then
     invalid_arg "Injector.run: restart_delay < 0";
   let online =
-    Simulator.Online.create ~policy ~capacity:(Instance.capacity instance) ()
+    Simulator.Online.create ~audit ~policy
+      ~capacity:(Instance.capacity instance) ()
   in
   let rng = Pcg32.create cfg.seed in
   (* -- state ------------------------------------------------------- *)

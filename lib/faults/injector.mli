@@ -68,6 +68,7 @@ type result = {
 }
 
 val run :
+  ?audit:bool ->
   ?config:config ->
   ?priority:(Item.t -> int) ->
   plan:Fault_plan.t ->
@@ -75,6 +76,9 @@ val run :
   Instance.t ->
   result
 (** [priority] maps an original item to its admission priority (higher
-    keeps it longer under shedding; default: all 0).
+    keeps it longer under shedding; default: all 0).  [audit] (default
+    [false]) runs the underlying engine with the runtime auditor
+    enabled ({!Dbp_core.Audit}), re-verifying every invariant after
+    each arrival, departure and bin failure.
     @raise Invalid_argument if every session was shed (nothing was ever
     placed, so there is no packing to report). *)

@@ -1,0 +1,57 @@
+type severity = Error | Warning
+
+type t = {
+  rule : string;
+  severity : severity;
+  path : string;
+  line : int;
+  col : int;
+  message : string;
+}
+
+let severity_to_string = function Error -> "error" | Warning -> "warning"
+
+let make ~rule ~severity ~path ~line ~col message =
+  { rule; severity; path; line; col; message }
+
+let compare a b =
+  let c = String.compare a.path b.path in
+  if c <> 0 then c
+  else
+    let c = Int.compare a.line b.line in
+    if c <> 0 then c
+    else
+      let c = Int.compare a.col b.col in
+      if c <> 0 then c else String.compare a.rule b.rule
+
+(* Stable identity of a finding across runs: the message is excluded so
+   rewording a rule does not invalidate a checked-in baseline. *)
+let fingerprint t = Printf.sprintf "%s|%s|%d|%d" t.rule t.path t.line t.col
+
+let to_human t =
+  Printf.sprintf "%s:%d:%d: [%s/%s] %s" t.path t.line t.col t.rule
+    (severity_to_string t.severity)
+    t.message
+
+let json_escape s =
+  let buf = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | c when Char.code c < 32 ->
+          Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let to_json t =
+  Printf.sprintf
+    "{\"rule\": \"%s\", \"severity\": \"%s\", \"path\": \"%s\", \"line\": \
+     %d, \"col\": %d, \"message\": \"%s\"}"
+    (json_escape t.rule)
+    (severity_to_string t.severity)
+    (json_escape t.path) t.line t.col (json_escape t.message)

@@ -1,0 +1,34 @@
+(** A single lint finding: rule, severity, position, message. *)
+
+type severity = Error | Warning
+
+type t = {
+  rule : string;  (** "R1".."R6", or "parse" for unreadable sources. *)
+  severity : severity;
+  path : string;  (** As given to the scanner (cwd-relative in the CLI). *)
+  line : int;  (** 1-based. *)
+  col : int;  (** 0-based, matching compiler locations. *)
+  message : string;
+}
+
+val make :
+  rule:string ->
+  severity:severity ->
+  path:string ->
+  line:int ->
+  col:int ->
+  string ->
+  t
+
+val compare : t -> t -> int
+(** Orders by path, then line, column and rule — the report order. *)
+
+val fingerprint : t -> string
+(** [rule|path|line|col] — the baseline-file identity of a finding.
+    The message is deliberately excluded so rule rewording does not
+    invalidate baselines. *)
+
+val severity_to_string : severity -> string
+val to_human : t -> string
+val to_json : t -> string
+val json_escape : string -> string

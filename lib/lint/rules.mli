@@ -1,0 +1,32 @@
+(** The seeded lint rules (R1..R6) over the compiler-libs parsetree.
+
+    The pass is syntactic — no type inference — so each rule is a
+    conservative heuristic: R1 bans float literals/operators/[Float.*]
+    in the exact-arithmetic libraries; R2 bans [=]/[<>] against float
+    literals anywhere; R3 flags polymorphic [=]/[<>]/[compare]/
+    [Hashtbl.hash] where a [Rat.t] could flow; R4 flags
+    [try ... with _]; R5 confines [Domain]/[Atomic]/[Mutex] to the
+    approved parallel runner; R6 bans [List.mem]/[find]/[assoc] in the
+    hot-path engine modules.  See DESIGN.md "Correctness tooling" for
+    the rule-by-rule rationale and blind spots. *)
+
+type rule = {
+  id : string;
+  severity : Finding.severity;
+  title : string;
+  what : string;
+}
+
+val all_rules : rule list
+val find_rule : string -> rule
+
+val check : path:string -> Parsetree.structure -> Finding.t list
+(** Runs every applicable rule over one parsed implementation.  [path]
+    drives the per-rule scoping (it is matched on [lib/core/] etc.
+    segments), so fixture trees reproduce real scoping by mirroring
+    the repo layout. *)
+
+val r1_applies : string -> bool
+val r5_allowlisted : string -> bool
+val r6_applies : string -> bool
+(** Exposed for the test suite's scoping checks. *)

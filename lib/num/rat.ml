@@ -77,7 +77,7 @@ let to_float_unchecked x = float_of_int x.num /. float_of_int x.den
    Euclidean algorithm; never overflows. *)
 let rec compare_pos a b c d =
   let q1 = a / b and q2 = c / d in
-  if q1 <> q2 then Stdlib.compare q1 q2
+  if q1 <> q2 then Int.compare q1 q2
   else
     let r1 = a mod b and r2 = c mod d in
     if r1 = 0 && r2 = 0 then 0
@@ -90,16 +90,16 @@ let compare x y =
      continued-fraction comparison (no float fallback — floats would
      misorder close rationals). *)
   match (mul_exn x.num y.den, mul_exn y.num x.den) with
-  | a, b -> Stdlib.compare a b
+  | a, b -> Int.compare a b
   | exception Overflow -> (
-      match (Stdlib.compare x.num 0, Stdlib.compare y.num 0) with
-      | sx, sy when sx <> sy -> Stdlib.compare sx sy
+      match (Int.compare x.num 0, Int.compare y.num 0) with
+      | sx, sy when sx <> sy -> Int.compare sx sy
       | 1, _ -> compare_pos x.num x.den y.num y.den
       | -1, _ -> compare_pos (-y.num) y.den (-x.num) x.den
       | _ -> 0)
 
 let equal x y = x.num = y.num && x.den = y.den
-let sign x = Stdlib.compare x.num 0
+let sign x = Int.compare x.num 0
 let min x y = if compare x y <= 0 then x else y
 let max x y = if compare x y >= 0 then x else y
 
@@ -158,7 +158,16 @@ let of_string s =
 
 let pp fmt x = Format.pp_print_string fmt (to_string x)
 let pp_float fmt x = Format.fprintf fmt "%.6g" (to_float x)
-let hash x = Stdlib.( + ) (Hashtbl.hash x.num) (Stdlib.( * ) 31 (Hashtbl.hash x.den))
+(* Typed splitmix-style mixer over the two int fields: avoids the
+   polymorphic [Hashtbl.hash] (R3) and avalanches small numerators and
+   denominators better than it. *)
+let hash x =
+  let mix h k =
+    let k = k * 0x2545F4914F6CDD1D in
+    let k = k lxor (k lsr 29) in
+    ((h * 31) lxor k) land max_int
+  in
+  mix (mix 0 x.num) x.den
 let abs x = if Stdlib.( < ) x.num 0 then neg x else x
 
 let ( = ) = equal

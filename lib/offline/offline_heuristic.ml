@@ -69,7 +69,7 @@ let validate instance { groups; cost } =
   let assigned =
     List.concat_map (fun g -> List.map (fun (r : Item.t) -> r.id) (Group.items g)) groups
   in
-  let sorted = List.sort compare assigned in
+  let sorted = List.sort Int.compare assigned in
   let expected = List.init (Instance.size instance) Fun.id in
   if sorted <> expected then fail "not a partition of the items"
   else if

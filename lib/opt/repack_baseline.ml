@@ -45,7 +45,7 @@ let identify ~prev_assignment bins ~next_identity =
       (fun ids ->
         List.map (fun (identity, n) -> (n, identity, ids)) (overlap ids))
     bins
-    |> List.sort (fun (n1, _, _) (n2, _, _) -> compare n2 n1)
+    |> List.sort (fun (n1, _, _) (n2, _, _) -> Int.compare n2 n1)
   in
   let taken_identity = Hashtbl.create 16 in
   let assigned : (int list, int) Hashtbl.t = Hashtbl.create 16 in

@@ -145,3 +145,44 @@ CSV artefact export:
   $ ls artefacts | head -2
   e1-0-e1--any-fit-vs-the-figure-2-adversary--policy---.csv
   e1-1-e1b--same-trap--all-deterministic-any-fit-polici.csv
+
+The lint pass: a fixture tree with one violation of each rule R1-R6.
+Paths drive the rule scoping, so the tree mirrors the repo layout:
+
+  $ mkdir -p lintfx/lib/core lintfx/lib/workload lintfx/lib/opt lintfx/lib/faults
+  $ printf 'let x = 1.5\n' > lintfx/lib/core/fx_r1.ml
+  $ printf 'let bad r = r = 0.0\n' > lintfx/lib/workload/fx_r2.ml
+  $ printf 'let f a = a = Rat.zero\n' > lintfx/lib/opt/fx_r3.ml
+  $ printf 'let f g = try g () with _ -> 0\n' > lintfx/lib/opt/fx_r4.ml
+  $ printf 'let a = Atomic.make 0\n' > lintfx/lib/faults/fx_r5.ml
+  $ printf 'let f x xs = List.mem x xs\n' > lintfx/lib/core/simulator.ml
+
+  $ dbp check --lint --root lintfx --no-baseline --json
+  {
+    "version": 1,
+    "findings": [
+      {"rule": "R1", "severity": "error", "path": "lintfx/lib/core/fx_r1.ml", "line": 1, "col": 8, "message": "float literal in exact-arithmetic library; use Rat.make"},
+      {"rule": "R6", "severity": "warning", "path": "lintfx/lib/core/simulator.ml", "line": 1, "col": 13, "message": "List.mem in a hot-path engine module (O(n) scan); use the dense store / Open_index / a hashtable"},
+      {"rule": "R5", "severity": "error", "path": "lintfx/lib/faults/fx_r5.ml", "line": 1, "col": 8, "message": "Atomic.make outside the approved parallel runner (lib/experiments/registry.ml)"},
+      {"rule": "R3", "severity": "warning", "path": "lintfx/lib/opt/fx_r3.ml", "line": 1, "col": 10, "message": "polymorphic = on a Rat.t-bearing expression; use Rat.equal"},
+      {"rule": "R4", "severity": "warning", "path": "lintfx/lib/opt/fx_r4.ml", "line": 1, "col": 24, "message": "catch-all try ... with _ swallows every exception; match the exceptions you mean"},
+      {"rule": "R2", "severity": "error", "path": "lintfx/lib/workload/fx_r2.ml", "line": 1, "col": 12, "message": "float = comparison against a literal; use an epsilon test or Float.equal deliberately"}
+    ],
+    "summary": {"files_scanned": 6, "findings": 6, "errors": 3, "baselined": 0, "stale_baseline": 0}
+  }
+  [1]
+
+Strict mode fails on warnings too; a baseline accepts the findings:
+
+  $ dbp check --lint --root lintfx --no-baseline --strict > /dev/null
+  [1]
+  $ dbp check --lint --root lintfx --baseline accepted.txt --update-baseline
+  baseline updated: accepted.txt (6 finding(s) accepted)
+  $ dbp check --lint --root lintfx --baseline accepted.txt --strict
+  lint: 6 file(s) scanned, 0 finding(s) (0 error(s)), 6 baselined
+
+The runtime auditor replays seeded workloads and crash storms with the
+invariant sanitizer on, and cross-checks audited vs plain packings:
+
+  $ dbp check --audit --json
+  {"audit": {"runs": 24, "mismatches": 0, "violation": null}}

@@ -8,6 +8,8 @@ let () =
       ("instance", Test_instance.suite);
       ("simulator", Test_simulator.suite);
       ("engine", Test_engine.suite);
+      ("audit", Test_audit.suite);
+      ("lint", Test_lint.suite);
       ("algorithms", Test_algorithms.suite);
       ("opt", Test_opt.suite);
       ("adversary", Test_adversary.suite);
