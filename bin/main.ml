@@ -654,6 +654,106 @@ let bench_cmd =
           policy) and emit the perf-trajectory artefact.")
     Term.(const run $ quick $ json $ out $ seed_arg)
 
+(* ---- trace ---------------------------------------------------------- *)
+
+let trace_cmd =
+  let trace = trace_arg ~doc:"Input trace CSV (see $(b,generate))." in
+  let out =
+    Arg.(value & opt (some string) None
+         & info [ "o"; "out" ]
+             ~doc:"Write the NDJSON event stream here (default stdout).")
+  in
+  let validate =
+    Arg.(value & flag
+         & info [ "validate" ]
+             ~doc:
+               "Parse every emitted line back against the dbp-trace schema \
+                and assert the traced run's packing is bit-identical to an \
+                untraced one.")
+  in
+  let run trace policy_name out validate verbose =
+    setup_verbose verbose;
+    let instance = load_trace trace in
+    let policy = resolve_policy ~mu:(Instance.mu instance) policy_name in
+    let buf = Buffer.create 65536 in
+    let sink = Dbp_obs.Sink.to_buffer buf in
+    let traced = Simulator.run ~sink ~policy instance in
+    let body = Buffer.contents buf in
+    let status = ref 0 in
+    (match out with
+    | Some path ->
+        let oc = open_out path in
+        output_string oc body;
+        close_out oc;
+        Format.printf "wrote %d events to %s@." (Dbp_obs.Sink.emitted sink) path
+    | None -> if not validate then print_string body);
+    if validate then begin
+      (match Dbp_obs.Trace_event.parse_all body with
+      | Ok events ->
+          Format.printf "trace: %d events validate against %s@."
+            (List.length events) Dbp_obs.Trace_event.schema
+      | Error msg ->
+          Format.eprintf "trace: schema violation: %s@." msg;
+          status := 1);
+      let untraced = Simulator.run ~policy instance in
+      if
+        Rat.equal traced.Packing.total_cost untraced.Packing.total_cost
+        && traced.Packing.assignment = untraced.Packing.assignment
+      then
+        Format.printf "trace: traced run bit-identical to untraced (cost %s)@."
+          (Rat.to_string traced.Packing.total_cost)
+      else begin
+        Format.eprintf "trace: traced and untraced packings DIFFER@.";
+        status := 1
+      end
+    end;
+    !status
+  in
+  Cmd.v
+    (Cmd.info "trace"
+       ~doc:
+         "Replay a trace with the structured event sink on and emit the \
+          NDJSON event stream (arrive/pack/depart/bin_open/bin_close).")
+    Term.(const run $ trace $ policy_arg $ out $ validate $ verbose_arg)
+
+(* ---- metrics -------------------------------------------------------- *)
+
+let metrics_cmd =
+  let trace = trace_arg ~doc:"Input trace CSV (see $(b,generate))." in
+  let profile =
+    Arg.(value & flag
+         & info [ "profile" ]
+             ~doc:
+               "Also print per-phase wall-time spans (non-deterministic; \
+                off by default so the metric output stays reproducible).")
+  in
+  let run trace policy_name profile verbose =
+    setup_verbose verbose;
+    let instance = load_trace trace in
+    let policy = resolve_policy ~mu:(Instance.mu instance) policy_name in
+    let metrics = Dbp_obs.Metrics.create () in
+    let prof = if profile then Some (Dbp_obs.Profile.create ()) else None in
+    let packing = Simulator.run ~metrics ?profile:prof ~policy instance in
+    Format.printf "%a@." Packing.pp_summary packing;
+    List.iter
+      (fun t -> print_string (Dbp_analysis.Table.render t))
+      (Dbp_experiments.Exp_common.metrics_tables metrics);
+    Option.iter
+      (fun p ->
+        print_string
+          (Dbp_analysis.Table.render
+             (Dbp_experiments.Exp_common.profile_table
+                (Dbp_obs.Profile.spans p))))
+      prof;
+    0
+  in
+  Cmd.v
+    (Cmd.info "metrics"
+       ~doc:
+         "Replay a trace with the metrics registry on and print counters, \
+          gauges, exact sums and histogram summaries.")
+    Term.(const run $ trace $ policy_arg $ profile $ verbose_arg)
+
 (* ---- check ---------------------------------------------------------- *)
 
 let check_cmd =
@@ -859,5 +959,7 @@ let () =
             faults_cmd;
             gaming_cmd;
             bench_cmd;
+            trace_cmd;
+            metrics_cmd;
             check_cmd;
           ]))

@@ -9,8 +9,11 @@ let policy ~seed =
             match Fit.fitting bins ~size with
             | [] -> Policy.New_bin "rf"
             | candidates ->
-                let n = List.length candidates in
-                let chosen = List.nth candidates (Splitmix64.next_int rng n) in
+                (* One array build + O(1) index instead of List.nth's
+                   second O(n) walk; exactly one RNG draw either way,
+                   so packings are bit-identical to the old code. *)
+                let arr = Array.of_list candidates in
+                let chosen = arr.(Splitmix64.next_int rng (Array.length arr)) in
                 Policy.Existing chosen.Bin.bin_id);
         on_departure = Policy.no_departure_handler;
       })

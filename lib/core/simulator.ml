@@ -36,6 +36,13 @@ module Online = struct
     mutable clock : Rat.t option;
     mutable violations : int;
     audit : bool;  (* re-verify every invariant after every event *)
+    (* Observability taps (lib/obs).  All three default to [None]; the
+       disabled cost is one pattern match per event, so production
+       runs pay nothing measurable (the acceptance bound is <= 5% on
+       events/second, see test/test_obs.ml and the bench). *)
+    sink : Dbp_obs.Sink.t option;
+    metrics : Dbp_obs.Metrics.t option;
+    profile : Dbp_obs.Profile.t option;
   }
 
   (* Sanitizer pass (audit mode): re-derive the memoised engine state
@@ -93,7 +100,8 @@ module Online = struct
   let audit = audit_state
   let after_event t = if t.audit then audit_state t
 
-  let create ?(audit = false) ?tag_capacity ~policy ~capacity () =
+  let create ?(audit = false) ?sink ?metrics ?profile ?tag_capacity ~policy
+      ~capacity () =
     if Rat.sign capacity <= 0 then
       invalid_arg "Online.create: capacity must be positive";
     let tag_capacity =
@@ -111,6 +119,9 @@ module Online = struct
       clock = None;
       violations = 0;
       audit;
+      sink;
+      metrics;
+      profile;
     }
 
   let advance_clock t now =
@@ -138,14 +149,51 @@ module Online = struct
     t.bin_count <- t.bin_count + 1;
     Open_index.add t.open_index b
 
+  (* Observability emission helpers.  Each is one pattern match when
+     the corresponding tap is off; event construction happens only
+     inside the [Some] branch. *)
+  module Obs = struct
+    module E = Dbp_obs.Trace_event
+
+    let emit t ~now kind_of =
+      match t.sink with
+      | None -> ()
+      | Some s -> Dbp_obs.Sink.emit s ~time:now (kind_of ())
+
+    let with_metrics t f =
+      match t.metrics with None -> () | Some m -> f m
+
+    (* Common to every event: the open-fleet gauge and its
+       distribution over events (the "open-bin count" histogram). *)
+    let fleet_metrics t m =
+      let open_now = Open_index.cardinal t.open_index in
+      Dbp_obs.Metrics.set_gauge m "open_bins" open_now;
+      Dbp_obs.Metrics.observe_int m "open_bins" open_now
+
+    (* A bin's usage period just ended (departure-close or failure):
+       account its exact MinTotal contribution. *)
+    let close_metrics m ~cost =
+      Dbp_obs.Metrics.incr m "bins_closed";
+      Dbp_obs.Metrics.add_rat m "bin_seconds" cost;
+      Dbp_obs.Metrics.observe_rat m "bin_lifetime" cost
+  end
+
   let arrive t ~now ~size ~item_id =
     advance_clock t now;
     if Rat.sign size <= 0 then invalid_step "item %d has size <= 0" item_id;
     if Hashtbl.mem t.seen_items item_id then
       invalid_step "item id %d reused" item_id;
     Hashtbl.add t.seen_items item_id ();
+    let tok = Dbp_obs.Profile.enter t.profile in
     let views = open_bins t in
+    Dbp_obs.Profile.leave t.profile "views" tok;
+    let tok = Dbp_obs.Profile.enter t.profile in
     let decision = t.handlers.Policy.on_arrival ~now ~bins:views ~size ~item_id in
+    Dbp_obs.Profile.leave t.profile "policy" tok;
+    let tok = Dbp_obs.Profile.enter t.profile in
+    let opened_new =
+      match decision with Policy.New_bin _ -> true | Policy.Existing _ -> false
+    in
     let target =
       match decision with
       | Policy.Existing id -> (
@@ -181,6 +229,30 @@ module Online = struct
     in
     Bin.insert target ~now stub;
     Hashtbl.replace t.item_bin item_id target;
+    Dbp_obs.Profile.leave t.profile "commit" tok;
+    Obs.emit t ~now (fun () -> Obs.E.Arrive { item = item_id; size });
+    if opened_new then
+      Obs.emit t ~now (fun () ->
+          Obs.E.Bin_open
+            {
+              bin = target.Bin.id;
+              tag = target.Bin.tag;
+              capacity = target.Bin.capacity;
+            });
+    Obs.emit t ~now (fun () ->
+        Obs.E.Pack
+          {
+            item = item_id;
+            bin = target.Bin.id;
+            level = target.Bin.level;
+            residual = Bin.residual target;
+          });
+    Obs.with_metrics t (fun m ->
+        Dbp_obs.Metrics.incr m "arrivals";
+        if opened_new then Dbp_obs.Metrics.incr m "bins_opened";
+        Dbp_obs.Metrics.observe_rat m "utilisation_at_pack"
+          (Rat.div target.Bin.level target.Bin.capacity);
+        Obs.fleet_metrics t m);
     Log.debug (fun m ->
         m "t=%a item %d (size %a) -> bin %d [%s] level %a/%a" Rat.pp now
           item_id Rat.pp size target.Bin.id target.Bin.tag Rat.pp
@@ -193,19 +265,48 @@ module Online = struct
     match Hashtbl.find_opt t.item_bin item_id with
     | None -> invalid_step "departure of unknown/inactive item %d" item_id
     | Some b ->
+        let tok = Dbp_obs.Profile.enter t.profile in
         let stub =
           match Bin.find_active b item_id with
           | Some stub -> stub
           | None -> invalid_step "item %d not active in its bin %d" item_id b.Bin.id
         in
         Bin.remove b ~now stub;
-        if not (Bin.is_open b) then Open_index.remove t.open_index b;
+        let bin_closed = not (Bin.is_open b) in
+        if bin_closed then Open_index.remove t.open_index b;
         Hashtbl.remove t.item_bin item_id;
+        Dbp_obs.Profile.leave t.profile "commit" tok;
         Log.debug (fun m ->
             m "t=%a item %d departs bin %d%s" Rat.pp now item_id b.Bin.id
-              (if Bin.is_open b then "" else " (bin closes)"));
+              (if bin_closed then " (bin closes)" else ""));
+        let tok = Dbp_obs.Profile.enter t.profile in
         let views = open_bins t in
+        Dbp_obs.Profile.leave t.profile "views" tok;
+        let tok = Dbp_obs.Profile.enter t.profile in
         t.handlers.Policy.on_departure ~now ~bins:views ~item_id;
+        Dbp_obs.Profile.leave t.profile "policy" tok;
+        Obs.emit t ~now (fun () ->
+            Obs.E.Depart
+              {
+                item = item_id;
+                bin = b.Bin.id;
+                held = Rat.sub now stub.Item.arrival;
+              });
+        if bin_closed then
+          Obs.emit t ~now (fun () ->
+              Obs.E.Bin_close
+                {
+                  bin = b.Bin.id;
+                  opened = b.Bin.opened;
+                  cost = Rat.sub now b.Bin.opened;
+                });
+        Obs.with_metrics t (fun m ->
+            Dbp_obs.Metrics.incr m "departures";
+            Dbp_obs.Metrics.observe_rat m "item_held"
+              (Rat.sub now stub.Item.arrival);
+            if bin_closed then
+              Obs.close_metrics m ~cost:(Rat.sub now b.Bin.opened);
+            Obs.fleet_metrics t m);
         after_event t
 
   let fail_bin t ~now ~bin_id =
@@ -239,6 +340,25 @@ module Online = struct
           (fun (item_id, _) ->
             t.handlers.Policy.on_departure ~now ~bins:views ~item_id)
           victims;
+        Obs.emit t ~now (fun () ->
+            Obs.E.Fail_bin
+              {
+                bin = bin_id;
+                victims = List.length victims;
+                lost_level = Rat.sum (List.map snd victims);
+              });
+        Obs.emit t ~now (fun () ->
+            Obs.E.Bin_close
+              {
+                bin = bin_id;
+                opened = b.Bin.opened;
+                cost = Rat.sub now b.Bin.opened;
+              });
+        Obs.with_metrics t (fun m ->
+            Dbp_obs.Metrics.incr m "bin_failures";
+            Dbp_obs.Metrics.add m "items_evicted" (List.length victims);
+            Obs.close_metrics m ~cost:(Rat.sub now b.Bin.opened);
+            Obs.fleet_metrics t m);
         Log.debug (fun m ->
             m "t=%a bin %d FAILS, %d items evicted" Rat.pp now bin_id
               (List.length victims));
@@ -333,14 +453,14 @@ module Online = struct
   let bin_handle t bin_id = find_bin t bin_id
 end
 
-let run ?audit ?tag_capacity ~policy instance =
+let run ?audit ?sink ?metrics ?profile ?tag_capacity ~policy instance =
   let audit =
     (* Default from the environment so [DBP_AUDIT=1 dune runtest]
        audits the whole suite without touching any call site. *)
     match audit with Some b -> b | None -> Audit.enabled_from_env ()
   in
   let online =
-    Online.create ~audit ?tag_capacity ~policy
+    Online.create ~audit ?sink ?metrics ?profile ?tag_capacity ~policy
       ~capacity:(Instance.capacity instance) ()
   in
   List.iter

@@ -29,6 +29,9 @@ module Online : sig
 
   val create :
     ?audit:bool ->
+    ?sink:Dbp_obs.Sink.t ->
+    ?metrics:Dbp_obs.Metrics.t ->
+    ?profile:Dbp_obs.Profile.t ->
     ?tag_capacity:(string -> Rat.t) ->
     policy:Policy.t ->
     capacity:Rat.t ->
@@ -40,7 +43,18 @@ module Online : sig
       tag.  [audit] (default [false]) turns on the sanitizer: every
       event re-verifies the engine's memoised state and raises
       {!Audit.Audit_violation} on the first divergence (see
-      {!Audit}). *)
+      {!Audit}).
+
+      The three observability taps all default to off and are
+      guaranteed not to change any packing decision: [sink] receives
+      every engine event as a structured {!Dbp_obs.Trace_event.t}
+      (arrive / pack / depart / bin_open / bin_close / fail_bin),
+      [metrics] accumulates counters, gauges and histograms
+      (arrivals, departures, bins opened/closed, open-bin counts,
+      per-bin utilisation at pack time, item held times, exact
+      bin-seconds), and [profile] accrues per-phase wall time
+      ("views" — open-fleet view assembly, "policy" — the policy
+      handler, "commit" — state mutation). *)
 
   val arrive : t -> now:Rat.t -> size:Rat.t -> item_id:int -> int
   (** Feeds an arrival to the policy; returns the id of the bin the
@@ -100,6 +114,9 @@ end
 
 val run :
   ?audit:bool ->
+  ?sink:Dbp_obs.Sink.t ->
+  ?metrics:Dbp_obs.Metrics.t ->
+  ?profile:Dbp_obs.Profile.t ->
   ?tag_capacity:(string -> Rat.t) ->
   policy:Policy.t ->
   Instance.t ->
@@ -107,4 +124,7 @@ val run :
 (** Replays the instance's event stream (departures before arrivals at
     equal times, arrivals in submission order) and assembles the
     result.  [audit] defaults to {!Audit.enabled_from_env}, so setting
-    [DBP_AUDIT=1] audits every run in the process. *)
+    [DBP_AUDIT=1] audits every run in the process.  [sink], [metrics]
+    and [profile] are the observability taps of {!Online.create}; a
+    traced or metered run produces a bit-identical packing to an
+    untraced one. *)

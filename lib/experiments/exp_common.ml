@@ -27,6 +27,67 @@ let check c ok =
 
 let totals c = (c.total, c.failed)
 
+(* ---- observability rendering ---------------------------------------- *)
+
+let profile_table ?(title = "profile (per-phase wall time)") spans =
+  let t =
+    Table.create ~title ~columns:[ "phase"; "seconds"; "calls"; "us/call" ]
+  in
+  List.iter
+    (fun (phase, seconds, calls) ->
+      Table.add_row t
+        [
+          phase;
+          Printf.sprintf "%.6f" seconds;
+          string_of_int calls;
+          (if calls = 0 then "-"
+           else Printf.sprintf "%.3f" (seconds *. 1e6 /. float_of_int calls));
+        ])
+    spans;
+  t
+
+let metrics_tables (m : Dbp_obs.Metrics.t) =
+  let scalars =
+    Table.create ~title:"metrics (counters, gauges, exact sums)"
+      ~columns:[ "metric"; "kind"; "value" ]
+  in
+  List.iter
+    (fun (name, v) ->
+      Table.add_row scalars [ name; "counter"; string_of_int v ])
+    (Dbp_obs.Metrics.counters m);
+  List.iter
+    (fun (name, v) -> Table.add_row scalars [ name; "gauge"; string_of_int v ])
+    (Dbp_obs.Metrics.gauges m);
+  List.iter
+    (fun (name, v) ->
+      Table.add_row scalars
+        [ name; "rat sum"; Printf.sprintf "%s (%s)" (fmt_rat v) (fmt_exact v) ])
+    (Dbp_obs.Metrics.rat_sums m);
+  let hists =
+    Table.create ~title:"metrics (histograms)"
+      ~columns:[ "histogram"; "n"; "mean"; "p50"; "p95"; "min"; "max" ]
+  in
+  List.iter
+    (fun (name, data) ->
+      (* single-sort summary path: sort once, every statistic from the
+         same sorted snapshot. *)
+      let sorted = Array.copy data in
+      Array.sort Float.compare sorted;
+      let s = Stats.summarise_sorted sorted in
+      Table.add_row hists
+        [
+          name;
+          string_of_int s.Stats.count;
+          Printf.sprintf "%.4g" s.Stats.mean;
+          Printf.sprintf "%.4g" s.Stats.median;
+          Printf.sprintf "%.4g" (Stats.quantile_sorted sorted ~q:0.95);
+          Printf.sprintf "%.4g" s.Stats.minimum;
+          Printf.sprintf "%.4g" s.Stats.maximum;
+        ])
+    (Dbp_obs.Metrics.histograms m);
+  let tables = if Dbp_obs.Metrics.histograms m = [] then [] else [ hists ] in
+  scalars :: tables
+
 let render_outcome o =
   let buf = Buffer.create 2048 in
   Buffer.add_string buf

@@ -35,3 +35,14 @@ val totals : check_counter -> int * int
 
 val render_outcome : outcome -> string
 (** Human-readable block: tables, charts and the verdict line. *)
+
+val profile_table :
+  ?title:string -> (string * float * int) list -> Dbp_analysis.Table.t
+(** Renders {!Dbp_obs.Profile.spans} output — [(phase, seconds,
+    calls)] rows with a derived microseconds-per-call column. *)
+
+val metrics_tables : Dbp_obs.Metrics.t -> Dbp_analysis.Table.t list
+(** A scalar table (counters, gauges, exact rational sums) plus, when
+    any histogram has observations, a histogram summary table produced
+    through the single-sort {!Dbp_analysis.Stats.summarise_sorted}
+    path (n, mean, p50, p95, min, max). *)

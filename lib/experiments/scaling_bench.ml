@@ -45,6 +45,10 @@ type report = {
   extrapolated : (string * float) list;
       (* policy -> naive cost extrapolated to [max sizes] over measured
          fast wall there *)
+  profiles : (string * (string * float * int) list) list;
+      (* policy -> per-phase (name, seconds, calls) from a separately
+         profiled fast-engine run at [max sizes]; the timed rows above
+         stay unprofiled so the hooks cannot skew them *)
 }
 
 let default_sizes ~quick = if quick then [ 500; 2_000 ] else [ 5_000; 50_000 ]
@@ -87,6 +91,7 @@ let run ?(quick = false) ?(seed = 77L) () =
   let rows = ref [] in
   let equivalences = ref [] in
   let extrapolated = ref [] in
+  let profiles = ref [] in
   List.iter
     (fun (policy : Policy.t) ->
       let fast_walls =
@@ -120,7 +125,12 @@ let run ?(quick = false) ?(seed = 77L) () =
       let naive_max_extrapolated = naive_wall *. scale *. scale in
       extrapolated :=
         (policy.Policy.name, naive_max_extrapolated /. Float.max fast_max_wall 1e-9)
-        :: !extrapolated)
+        :: !extrapolated;
+      let profile = Dbp_obs.Profile.create () in
+      ignore
+        (Simulator.run ~profile ~policy (List.assoc max_size instances));
+      profiles :=
+        (policy.Policy.name, Dbp_obs.Profile.spans profile) :: !profiles)
     policies;
   {
     quick;
@@ -130,6 +140,7 @@ let run ?(quick = false) ?(seed = 77L) () =
     rows = List.rev !rows;
     equivalences = List.rev !equivalences;
     extrapolated = List.rev !extrapolated;
+    profiles = List.rev !profiles;
   }
 
 (* ---- rendering ----------------------------------------------------- *)
@@ -152,7 +163,7 @@ let to_json r =
   let buf = Buffer.create 4096 in
   let add fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
   add "{\n";
-  add "  \"schema\": \"dbp-bench-simulator/1\",\n";
+  add "  \"schema\": \"dbp-bench-simulator/2\",\n";
   add "  \"quick\": %b,\n" r.quick;
   add "  \"seed\": %Ld,\n" r.seed;
   add "  \"sizes\": [%s],\n"
@@ -191,6 +202,24 @@ let to_json r =
       add "    {\"policy\": \"%s\", \"speedup\": %.1f}%s\n" (json_escape p) s
         (if i = n_ex - 1 then "" else ","))
     r.extrapolated;
+  add "  ],\n";
+  add "  \"profiles\": [\n";
+  let n_pr = List.length r.profiles in
+  List.iteri
+    (fun i (p, spans) ->
+      let span_json =
+        String.concat ", "
+          (List.map
+             (fun (phase, seconds, calls) ->
+               Printf.sprintf
+                 "{\"phase\": \"%s\", \"seconds\": %.6f, \"calls\": %d}"
+                 (json_escape phase) seconds calls)
+             spans)
+      in
+      add "    {\"policy\": \"%s\", \"spans\": [%s]}%s\n" (json_escape p)
+        span_json
+        (if i = n_pr - 1 then "" else ","))
+    r.profiles;
   add "  ]\n";
   add "}\n";
   Buffer.contents buf
@@ -235,7 +264,30 @@ let tables r =
           | None -> "-");
         ])
     r.equivalences;
-  [ scaling; speedups ]
+  let profile =
+    Dbp_analysis.Table.create
+      ~title:
+        (Printf.sprintf "per-phase engine profile at %d items"
+           (List.fold_left max r.naive_size r.sizes))
+      ~columns:[ "policy"; "phase"; "seconds"; "calls"; "us/call" ]
+  in
+  List.iter
+    (fun (p, spans) ->
+      List.iter
+        (fun (phase, seconds, calls) ->
+          Dbp_analysis.Table.add_row profile
+            [
+              p;
+              phase;
+              Printf.sprintf "%.4f" seconds;
+              string_of_int calls;
+              (if calls = 0 then "-"
+               else
+                 Printf.sprintf "%.2f" (seconds *. 1e6 /. float_of_int calls));
+            ])
+        spans)
+    r.profiles;
+  [ scaling; speedups; profile ]
 
 let render r =
   String.concat "\n" (List.map Dbp_analysis.Table.render (tables r))

@@ -36,6 +36,11 @@ type report = {
   rows : row list;
   equivalences : equivalence list;
   extrapolated : (string * float) list;
+  profiles : (string * (string * float * int) list) list;
+      (** Per-policy {!Dbp_obs.Profile.spans} — [(phase, seconds,
+          calls)] — from a separately profiled fast-engine run at the
+          largest size.  The timed {!field:rows} are measured with the
+          hooks off so profiling overhead never skews them. *)
 }
 
 val default_sizes : quick:bool -> int list
@@ -47,7 +52,8 @@ val run : ?quick:bool -> ?seed:int64 -> unit -> report
 
 val to_json : report -> string
 (** The [BENCH_simulator.json] document (schema
-    ["dbp-bench-simulator/1"]). *)
+    ["dbp-bench-simulator/2"], which added the per-policy
+    ["profiles"] section). *)
 
 val tables : report -> Dbp_analysis.Table.t list
 val render : report -> string

@@ -85,8 +85,9 @@ let backoff_delay cfg ~attempt =
   let e = Stdlib.min attempt 20 in
   Rat.min cfg.backoff_cap (Rat.mul_int cfg.base_backoff (1 lsl e))
 
-let run ?(audit = false) ?(config = default_config) ?(priority = fun _ -> 0)
-    ~(plan : Fault_plan.t) ~(policy : Policy.t) instance =
+let run ?(audit = false) ?sink ?metrics ?profile ?(config = default_config)
+    ?(priority = fun _ -> 0) ~(plan : Fault_plan.t) ~(policy : Policy.t)
+    instance =
   let cfg = config in
   if cfg.launch_failure_prob < 0.0 || cfg.launch_failure_prob > 1.0 then
     invalid_arg "Injector.run: launch_failure_prob outside [0, 1]";
@@ -96,9 +97,18 @@ let run ?(audit = false) ?(config = default_config) ?(priority = fun _ -> 0)
   if Rat.sign cfg.restart_delay < 0 then
     invalid_arg "Injector.run: restart_delay < 0";
   let online =
-    Simulator.Online.create ~audit ~policy
+    (* The sink is shared with the engine, so injector events (retry /
+       shed / resume) interleave with pack/depart/fail_bin events in
+       one totally ordered stream. *)
+    Simulator.Online.create ~audit ?sink ?metrics ?profile ~policy
       ~capacity:(Instance.capacity instance) ()
   in
+  let emit ~now kind_of =
+    match sink with
+    | None -> ()
+    | Some s -> Dbp_obs.Sink.emit s ~time:now (kind_of ())
+  in
+  let with_metrics f = match metrics with None -> () | Some m -> f m in
   let rng = Pcg32.create cfg.seed in
   (* -- state ------------------------------------------------------- *)
   let queue = ref Q.empty in
@@ -125,12 +135,17 @@ let run ?(audit = false) ?(config = default_config) ?(priority = fun _ -> 0)
   let recovery_latencies = ref [] (* reverse recovery order *) in
   (* -- queue helpers ------------------------------------------------ *)
   let enqueue key ev = queue := Q.add key ev !queue in
-  let give_up (a : attempt) =
+  let give_up (a : attempt) ~now =
+    emit ~now (fun () -> Dbp_obs.Trace_event.Shed { item = a.a_orig_id });
     match a.a_evicted_at with
-    | None -> incr shed
-    | Some _ -> incr lost
+    | None ->
+        incr shed;
+        with_metrics (fun m -> Dbp_obs.Metrics.incr m "shed_requests")
+    | Some _ ->
+        incr lost;
+        with_metrics (fun m -> Dbp_obs.Metrics.incr m "lost_sessions")
   in
-  let shed_excess_pending () =
+  let shed_excess_pending ~now =
     match cfg.max_pending with
     | None -> ()
     | Some bound ->
@@ -155,23 +170,27 @@ let run ?(audit = false) ?(config = default_config) ?(priority = fun _ -> 0)
           | Some v ->
               v.a_cancelled <- true;
               Hashtbl.remove pending v.a_key;
-              give_up v
+              give_up v ~now
         done
   in
   let retry (a : attempt) ~now =
-    if a.a_attempt >= cfg.max_retries then give_up a
+    if a.a_attempt >= cfg.max_retries then give_up a ~now
     else
       let delay = backoff_delay cfg ~attempt:a.a_attempt in
       let at = Rat.add now delay in
-      if Rat.(at >= a.a_deadline) then give_up a
+      if Rat.(at >= a.a_deadline) then give_up a ~now
       else begin
         incr retries;
+        emit ~now (fun () ->
+            Dbp_obs.Trace_event.Retry
+              { item = a.a_orig_id; attempt = a.a_attempt + 1 });
+        with_metrics (fun m -> Dbp_obs.Metrics.incr m "retries");
         let a' =
           { a with a_attempt = a.a_attempt + 1; a_key = fresh_seq () }
         in
         Hashtbl.replace pending a'.a_key a';
         enqueue (at, rank_dispatch, a'.a_key) (Dispatch a');
-        shed_excess_pending ()
+        shed_excess_pending ~now
       end
   in
   let place (a : attempt) ~now =
@@ -196,7 +215,13 @@ let run ?(audit = false) ?(config = default_config) ?(priority = fun _ -> 0)
     | None -> ()
     | Some te ->
         incr resumed;
-        recovery_latencies := Rat.sub now te :: !recovery_latencies
+        let latency = Rat.sub now te in
+        emit ~now (fun () ->
+            Dbp_obs.Trace_event.Resume { item = a.a_orig_id; latency });
+        with_metrics (fun m ->
+            Dbp_obs.Metrics.incr m "resumed_sessions";
+            Dbp_obs.Metrics.observe_rat m "recovery_latency" latency);
+        recovery_latencies := latency :: !recovery_latencies
   in
   let dispatch (a : attempt) ~now =
     if not a.a_cancelled then begin
@@ -218,6 +243,7 @@ let run ?(audit = false) ?(config = default_config) ?(priority = fun _ -> 0)
         && Pcg32.next_float rng < cfg.launch_failure_prob
       then begin
         incr launch_failures;
+        with_metrics (fun m -> Dbp_obs.Metrics.incr m "launch_failures");
         retry a ~now
       end
       else place a ~now
@@ -272,7 +298,13 @@ let run ?(audit = false) ?(config = default_config) ?(priority = fun _ -> 0)
               | Fault_plan.Crash -> Rat.add now cfg.restart_delay
               | Fault_plan.Preemption _ -> now
             in
-            if Rat.(restart_at >= seg.seg_deadline) then incr lost
+            if Rat.(restart_at >= seg.seg_deadline) then begin
+              incr lost;
+              emit ~now (fun () ->
+                  Dbp_obs.Trace_event.Shed { item = seg.orig_id });
+              with_metrics (fun m ->
+                  Dbp_obs.Metrics.incr m "lost_sessions")
+            end
             else begin
               let a =
                 {
@@ -289,7 +321,7 @@ let run ?(audit = false) ?(config = default_config) ?(priority = fun _ -> 0)
               in
               Hashtbl.replace pending a.a_key a;
               enqueue (restart_at, rank_dispatch, a.a_key) (Dispatch a);
-              shed_excess_pending ()
+              shed_excess_pending ~now
             end)
           evicted
   in

@@ -69,6 +69,9 @@ type result = {
 
 val run :
   ?audit:bool ->
+  ?sink:Dbp_obs.Sink.t ->
+  ?metrics:Dbp_obs.Metrics.t ->
+  ?profile:Dbp_obs.Profile.t ->
   ?config:config ->
   ?priority:(Item.t -> int) ->
   plan:Fault_plan.t ->
@@ -80,5 +83,15 @@ val run :
     [false]) runs the underlying engine with the runtime auditor
     enabled ({!Dbp_core.Audit}), re-verifying every invariant after
     each arrival, departure and bin failure.
+
+    The observability taps are shared with the underlying engine, so a
+    [sink] sees one totally ordered stream: engine events
+    (arrive/pack/depart/bin_open/bin_close/fail_bin) interleaved with
+    the injector's own [Retry] (a dispatch attempt backed off), [Shed]
+    (a session permanently dropped — never served, or evicted past its
+    deadline) and [Resume] (an evicted session re-placed, with its
+    recovery latency).  [metrics] additionally accrues
+    [retries]/[shed_requests]/[lost_sessions]/[launch_failures]/
+    [resumed_sessions] counters and a [recovery_latency] histogram.
     @raise Invalid_argument if every session was shed (nothing was ever
     placed, so there is no packing to report). *)

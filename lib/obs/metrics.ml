@@ -1,0 +1,122 @@
+open Dbp_num
+
+(* Histograms keep the raw observations (growable array) plus running
+   aggregates.  The aggregates are cheap per observation; quantiles
+   are computed on demand from one sort of a snapshot (see
+   [Dbp_analysis.Stats.summarise]), never incrementally — a single
+   sort per summary is the whole cost model. *)
+
+type hist = {
+  mutable data : float array;
+  mutable len : int;
+  mutable sum : float;
+  mutable minv : float;
+  mutable maxv : float;
+}
+
+type t = {
+  counters : (string, int ref) Hashtbl.t;
+  gauges : (string, int ref) Hashtbl.t;
+  rat_sums : (string, Rat.t ref) Hashtbl.t;
+  hists : (string, hist) Hashtbl.t;
+}
+
+let create () =
+  {
+    counters = Hashtbl.create 16;
+    gauges = Hashtbl.create 16;
+    rat_sums = Hashtbl.create 16;
+    hists = Hashtbl.create 16;
+  }
+
+let cell tbl name init =
+  match Hashtbl.find_opt tbl name with
+  | Some c -> c
+  | None ->
+      let c = init () in
+      Hashtbl.add tbl name c;
+      c
+
+let add t name n =
+  let c = cell t.counters name (fun () -> ref 0) in
+  c := !c + n
+
+let incr t name = add t name 1
+
+let set_gauge t name v =
+  let c = cell t.gauges name (fun () -> ref 0) in
+  c := v
+
+let add_rat t name r =
+  let c = cell t.rat_sums name (fun () -> ref Rat.zero) in
+  c := Rat.add !c r
+
+let observe t name x =
+  let h =
+    cell t.hists name (fun () ->
+        { data = Array.make 64 0.0; len = 0; sum = 0.0; minv = x; maxv = x })
+  in
+  if h.len >= Array.length h.data then begin
+    let grown = Array.make (2 * Array.length h.data) 0.0 in
+    Array.blit h.data 0 grown 0 h.len;
+    h.data <- grown
+  end;
+  h.data.(h.len) <- x;
+  h.len <- h.len + 1;
+  h.sum <- h.sum +. x;
+  if x < h.minv then h.minv <- x;
+  if x > h.maxv then h.maxv <- x
+
+let observe_int t name n = observe t name (float_of_int n)
+let observe_rat t name r = observe t name (Rat.to_float r)
+
+(* ---- snapshots ------------------------------------------------------ *)
+
+let sorted_bindings tbl value =
+  Hashtbl.fold (fun k v acc -> (k, value v) :: acc) tbl []
+  |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+
+let counters t = sorted_bindings t.counters ( ! )
+let gauges t = sorted_bindings t.gauges ( ! )
+let rat_sums t = sorted_bindings t.rat_sums ( ! )
+
+let counter t name =
+  match Hashtbl.find_opt t.counters name with Some c -> !c | None -> 0
+
+let gauge t name =
+  match Hashtbl.find_opt t.gauges name with Some c -> Some !c | None -> None
+
+let rat_sum t name =
+  match Hashtbl.find_opt t.rat_sums name with
+  | Some c -> Some !c
+  | None -> None
+
+type hist_aggregates = {
+  agg_count : int;
+  agg_sum : float;
+  agg_min : float;
+  agg_max : float;
+}
+
+let observations t name =
+  match Hashtbl.find_opt t.hists name with
+  | None -> None
+  | Some h -> Some (Array.sub h.data 0 h.len)
+
+let hist_aggregates t name =
+  match Hashtbl.find_opt t.hists name with
+  | None -> None
+  | Some h ->
+      if h.len = 0 then None
+      else
+        Some
+          { agg_count = h.len; agg_sum = h.sum; agg_min = h.minv; agg_max = h.maxv }
+
+let histograms t =
+  sorted_bindings t.hists (fun h -> Array.sub h.data 0 h.len)
+
+let is_empty t =
+  Hashtbl.length t.counters = 0
+  && Hashtbl.length t.gauges = 0
+  && Hashtbl.length t.rat_sums = 0
+  && Hashtbl.length t.hists = 0

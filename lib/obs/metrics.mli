@@ -1,0 +1,60 @@
+(** In-process metrics registry: counters, gauges, exact rational
+    sums and raw-observation histograms, keyed by name.
+
+    All write paths are O(1) amortised (a hashtable hit plus a bump);
+    histograms store every observation and are summarised on demand by
+    one sort of a snapshot — see [Dbp_analysis.Stats.summarise] for
+    the single-sort summary path.  Costs that must stay exact
+    (bin-seconds of the MinTotal objective) go into {!add_rat} sums,
+    which never touch floats. *)
+
+open Dbp_num
+
+type t
+
+val create : unit -> t
+
+(** {1 Writing} *)
+
+val incr : t -> string -> unit
+val add : t -> string -> int -> unit
+val set_gauge : t -> string -> int -> unit
+
+val add_rat : t -> string -> Rat.t -> unit
+(** Exact accumulating sum; use for costs and other [Rat.t] totals. *)
+
+val observe : t -> string -> float -> unit
+val observe_int : t -> string -> int -> unit
+val observe_rat : t -> string -> Rat.t -> unit
+
+(** {1 Reading} *)
+
+val counters : t -> (string * int) list
+(** Sorted by name; likewise below. *)
+
+val gauges : t -> (string * int) list
+val rat_sums : t -> (string * Rat.t) list
+
+val counter : t -> string -> int
+(** 0 for a name never incremented. *)
+
+val gauge : t -> string -> int option
+val rat_sum : t -> string -> Rat.t option
+
+type hist_aggregates = {
+  agg_count : int;
+  agg_sum : float;
+  agg_min : float;
+  agg_max : float;
+}
+
+val observations : t -> string -> float array option
+(** Snapshot of a histogram's raw observations, in insertion order. *)
+
+val hist_aggregates : t -> string -> hist_aggregates option
+(** The incrementally maintained aggregates; the test suite checks
+    them against a brute-force recomputation over {!observations}. *)
+
+val histograms : t -> (string * float array) list
+
+val is_empty : t -> bool

@@ -1,0 +1,44 @@
+(* Per-phase wall-time accounting.  The API is shaped for a hot loop
+   that is usually NOT being profiled: [enter]/[leave] take the
+   engine's [t option] directly, so the disabled path is one pattern
+   match and no clock read, and call sites in the exact-arithmetic
+   core never mention floats (the token is abstract). *)
+
+type span = { mutable seconds : float; mutable calls : int }
+type t = { spans : (string, span) Hashtbl.t }
+type token = float
+
+let create () = { spans = Hashtbl.create 8 }
+let disabled_token = 0.0
+
+let enter = function
+  | None -> disabled_token
+  | Some _ -> Unix.gettimeofday ()
+
+let leave opt name token =
+  match opt with
+  | None -> ()
+  | Some t ->
+      let s =
+        match Hashtbl.find_opt t.spans name with
+        | Some s -> s
+        | None ->
+            let s = { seconds = 0.0; calls = 0 } in
+            Hashtbl.add t.spans name s;
+            s
+      in
+      s.seconds <- s.seconds +. (Unix.gettimeofday () -. token);
+      s.calls <- s.calls + 1
+
+let time t name f =
+  let opt = Some t in
+  let token = enter opt in
+  Fun.protect ~finally:(fun () -> leave opt name token) f
+
+let spans t =
+  Hashtbl.fold (fun name s acc -> (name, s.seconds, s.calls) :: acc) t.spans []
+  |> List.sort (fun (a, _, _) (b, _, _) -> String.compare a b)
+
+let total t = Hashtbl.fold (fun _ s acc -> acc +. s.seconds) t.spans 0.0
+
+let reset t = Hashtbl.reset t.spans

@@ -1,0 +1,28 @@
+(** Per-phase wall-time spans for the engine's profiling hooks.
+
+    Shaped for a hot loop that is usually {e not} being profiled:
+    {!enter} and {!leave} take the profiled component's [t option]
+    directly, so the disabled path ([None]) is a single pattern match
+    with no clock read — and the token is abstract, so call sites in
+    the float-banned exact-arithmetic core (lint rule R1) never
+    mention a float. *)
+
+type t
+type token
+
+val create : unit -> t
+
+val enter : t option -> token
+(** Reads the clock only when profiling is on. *)
+
+val leave : t option -> string -> token -> unit
+(** Accrues the elapsed time since {!enter} to the named phase. *)
+
+val time : t -> string -> (unit -> 'a) -> 'a
+(** Convenience wrapper for cold paths; exception-safe. *)
+
+val spans : t -> (string * float * int) list
+(** [(phase, total seconds, calls)], sorted by phase name. *)
+
+val total : t -> float
+val reset : t -> unit

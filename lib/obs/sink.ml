@@ -1,0 +1,33 @@
+(* A sink owns the monotonic sequence counter, so one sink shared
+   between the engine and the fault injector yields a single totally
+   ordered stream.  [enabled = false] (the null sink) skips the
+   formatting work entirely; the truly free path is not passing a sink
+   to the engine at all. *)
+
+type t = {
+  mutable seq : int;
+  enabled : bool;
+  write : string -> unit;
+  flush_fn : unit -> unit;
+}
+
+let make ~enabled write flush_fn = { seq = 0; enabled; write; flush_fn }
+
+let to_channel oc =
+  make ~enabled:true
+    (fun line -> output_string oc line)
+    (fun () -> Stdlib.flush oc)
+
+let to_buffer buf = make ~enabled:true (Buffer.add_string buf) (fun () -> ())
+let null () = make ~enabled:false (fun _ -> ()) (fun () -> ())
+
+let emit t ~time kind =
+  if t.enabled then begin
+    let ev = { Trace_event.seq = t.seq; time; kind } in
+    t.write (Trace_event.to_ndjson ev);
+    t.write "\n"
+  end;
+  t.seq <- t.seq + 1
+
+let emitted t = t.seq
+let flush t = t.flush_fn ()

@@ -1,0 +1,27 @@
+(** Pluggable destinations for the structured event trace.
+
+    A sink owns the stream's monotonic sequence counter: share one
+    sink between the engine and the fault injector and the combined
+    stream stays totally ordered.  The [null] sink counts events but
+    skips all formatting; leaving the engine's [?sink] unset costs
+    one branch per event. *)
+
+open Dbp_num
+
+type t
+
+val to_channel : out_channel -> t
+(** NDJSON lines straight to the channel; {!flush} flushes it.  The
+    caller keeps ownership of the channel (and closes it). *)
+
+val to_buffer : Buffer.t -> t
+
+val null : unit -> t
+(** Counts sequence numbers, writes nothing, never formats. *)
+
+val emit : t -> time:Rat.t -> Trace_event.kind -> unit
+
+val emitted : t -> int
+(** Events emitted so far (= the next sequence number). *)
+
+val flush : t -> unit

@@ -1,0 +1,286 @@
+open Dbp_num
+
+(* The structured trace schema ("dbp-trace/1", see DESIGN.md
+   "Observability").  One event per NDJSON line; timestamps are exact
+   rationals rendered as strings, never floats, so a consumer can
+   reconstruct bin usage periods bit-exactly. *)
+
+type kind =
+  | Arrive of { item : int; size : Rat.t }
+  | Pack of { item : int; bin : int; level : Rat.t; residual : Rat.t }
+  | Depart of { item : int; bin : int; held : Rat.t }
+  | Bin_open of { bin : int; tag : string; capacity : Rat.t }
+  | Bin_close of { bin : int; opened : Rat.t; cost : Rat.t }
+  | Fail_bin of { bin : int; victims : int; lost_level : Rat.t }
+  | Retry of { item : int; attempt : int }
+  | Shed of { item : int }
+  | Resume of { item : int; latency : Rat.t }
+
+type t = { seq : int; time : Rat.t; kind : kind }
+
+let schema = "dbp-trace/1"
+
+let kind_name = function
+  | Arrive _ -> "arrive"
+  | Pack _ -> "pack"
+  | Depart _ -> "depart"
+  | Bin_open _ -> "bin_open"
+  | Bin_close _ -> "bin_close"
+  | Fail_bin _ -> "fail_bin"
+  | Retry _ -> "retry"
+  | Shed _ -> "shed"
+  | Resume _ -> "resume"
+
+(* ---- emission ------------------------------------------------------- *)
+
+let escape s =
+  let buf = Buffer.create (String.length s + 2) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let to_ndjson t =
+  let buf = Buffer.create 96 in
+  let add fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
+  add "{\"seq\":%d,\"t\":\"%s\",\"kind\":\"%s\"" t.seq
+    (Rat.to_string t.time) (kind_name t.kind);
+  (match t.kind with
+  | Arrive { item; size } ->
+      add ",\"item\":%d,\"size\":\"%s\"" item (Rat.to_string size)
+  | Pack { item; bin; level; residual } ->
+      add ",\"item\":%d,\"bin\":%d,\"level\":\"%s\",\"residual\":\"%s\"" item
+        bin (Rat.to_string level) (Rat.to_string residual)
+  | Depart { item; bin; held } ->
+      add ",\"item\":%d,\"bin\":%d,\"held\":\"%s\"" item bin
+        (Rat.to_string held)
+  | Bin_open { bin; tag; capacity } ->
+      add ",\"bin\":%d,\"tag\":\"%s\",\"capacity\":\"%s\"" bin (escape tag)
+        (Rat.to_string capacity)
+  | Bin_close { bin; opened; cost } ->
+      add ",\"bin\":%d,\"opened\":\"%s\",\"cost\":\"%s\"" bin
+        (Rat.to_string opened) (Rat.to_string cost)
+  | Fail_bin { bin; victims; lost_level } ->
+      add ",\"bin\":%d,\"victims\":%d,\"lost_level\":\"%s\"" bin victims
+        (Rat.to_string lost_level)
+  | Retry { item; attempt } -> add ",\"item\":%d,\"attempt\":%d" item attempt
+  | Shed { item } -> add ",\"item\":%d" item
+  | Resume { item; latency } ->
+      add ",\"item\":%d,\"latency\":\"%s\"" item (Rat.to_string latency));
+  Buffer.add_char buf '}';
+  Buffer.contents buf
+
+(* ---- strict parsing (schema validation) ----------------------------- *)
+
+(* A deliberately minimal JSON-object reader: the schema only ever
+   emits one flat object per line whose values are integers or
+   strings, so that is all the validator accepts.  Anything else —
+   nesting, floats, booleans, duplicate or unknown keys — is a schema
+   violation by construction. *)
+
+type value = Int of int | Str of string
+
+exception Bad of string
+
+let bad fmt = Printf.ksprintf (fun m -> raise (Bad m)) fmt
+
+let parse_object line =
+  let n = String.length line in
+  let pos = ref 0 in
+  let peek () = if !pos >= n then bad "unexpected end of line" else line.[!pos] in
+  let advance () = incr pos in
+  let expect c =
+    if peek () <> c then bad "expected '%c' at column %d" c !pos else advance ()
+  in
+  let parse_string () =
+    expect '"';
+    let buf = Buffer.create 16 in
+    let rec go () =
+      match peek () with
+      | '"' -> advance ()
+      | '\\' ->
+          advance ();
+          (match peek () with
+          | '"' -> Buffer.add_char buf '"'
+          | '\\' -> Buffer.add_char buf '\\'
+          | 'n' -> Buffer.add_char buf '\n'
+          | 'u' ->
+              advance ();
+              if !pos + 3 >= n then bad "truncated \\u escape";
+              let hex = String.sub line !pos 4 in
+              pos := !pos + 3;
+              (match int_of_string_opt ("0x" ^ hex) with
+              | Some code when code < 0x80 -> Buffer.add_char buf (Char.chr code)
+              | _ -> bad "unsupported \\u escape '\\u%s'" hex)
+          | c -> bad "unsupported escape '\\%c'" c);
+          advance ();
+          go ()
+      | c ->
+          Buffer.add_char buf c;
+          advance ();
+          go ()
+    in
+    go ();
+    Buffer.contents buf
+  in
+  let parse_int () =
+    let start = !pos in
+    if peek () = '-' then advance ();
+    while !pos < n && line.[!pos] >= '0' && line.[!pos] <= '9' do
+      advance ()
+    done;
+    if !pos = start || (!pos = start + 1 && line.[start] = '-') then
+      bad "expected an integer at column %d" start;
+    match int_of_string_opt (String.sub line start (!pos - start)) with
+    | Some i -> i
+    | None -> bad "integer out of range at column %d" start
+  in
+  expect '{';
+  let fields = ref [] in
+  let rec members () =
+    let key = parse_string () in
+    if List.mem_assoc key !fields then bad "duplicate key \"%s\"" key;
+    expect ':';
+    let v =
+      match peek () with
+      | '"' -> Str (parse_string ())
+      | '-' | '0' .. '9' -> Int (parse_int ())
+      | c -> bad "unsupported value starting with '%c' (only ints and strings)" c
+    in
+    fields := (key, v) :: !fields;
+    match peek () with
+    | ',' ->
+        advance ();
+        members ()
+    | '}' -> advance ()
+    | c -> bad "expected ',' or '}' but found '%c'" c
+  in
+  (match peek () with
+  | '}' -> advance ()
+  | _ -> members ());
+  if !pos <> n then bad "trailing characters after the closing '}'";
+  List.rev !fields
+
+let of_ndjson line =
+  try
+    let fields = parse_object line in
+    let consumed = ref [] in
+    let take key =
+      consumed := key :: !consumed;
+      match List.assoc_opt key fields with
+      | Some v -> v
+      | None -> bad "missing key \"%s\"" key
+    in
+    let int_field key =
+      match take key with
+      | Int i -> i
+      | Str _ -> bad "key \"%s\" must be an integer" key
+    in
+    let str_field key =
+      match take key with
+      | Str s -> s
+      | Int _ -> bad "key \"%s\" must be a string" key
+    in
+    let rat_field key =
+      let s = str_field key in
+      match Rat.of_string s with
+      | r -> r
+      | exception (Failure _ | Division_by_zero) ->
+          bad "key \"%s\" is not a rational: '%s'" key s
+    in
+    let seq = int_field "seq" in
+    if seq < 0 then bad "negative sequence number %d" seq;
+    let time = rat_field "t" in
+    let kname = str_field "kind" in
+    let kind =
+      match kname with
+      | "arrive" ->
+          Arrive { item = int_field "item"; size = rat_field "size" }
+      | "pack" ->
+          Pack
+            {
+              item = int_field "item";
+              bin = int_field "bin";
+              level = rat_field "level";
+              residual = rat_field "residual";
+            }
+      | "depart" ->
+          Depart
+            {
+              item = int_field "item";
+              bin = int_field "bin";
+              held = rat_field "held";
+            }
+      | "bin_open" ->
+          Bin_open
+            {
+              bin = int_field "bin";
+              tag = str_field "tag";
+              capacity = rat_field "capacity";
+            }
+      | "bin_close" ->
+          Bin_close
+            {
+              bin = int_field "bin";
+              opened = rat_field "opened";
+              cost = rat_field "cost";
+            }
+      | "fail_bin" ->
+          Fail_bin
+            {
+              bin = int_field "bin";
+              victims = int_field "victims";
+              lost_level = rat_field "lost_level";
+            }
+      | "retry" ->
+          Retry { item = int_field "item"; attempt = int_field "attempt" }
+      | "shed" -> Shed { item = int_field "item" }
+      | "resume" ->
+          Resume { item = int_field "item"; latency = rat_field "latency" }
+      | other -> bad "unknown event kind \"%s\"" other
+    in
+    List.iter
+      (fun (key, _) ->
+        if not (List.mem key !consumed) then
+          bad "unknown key \"%s\" for kind \"%s\"" key kname)
+      fields;
+    Ok { seq; time; kind }
+  with Bad msg -> Error msg
+
+(* Whole-stream validation: every line parses, sequence numbers are
+   exactly 0, 1, 2, ... and time never goes backwards. *)
+let parse_all text =
+  let lines =
+    String.split_on_char '\n' text |> List.filter (fun l -> l <> "")
+  in
+  let rec go i prev_time acc = function
+    | [] -> Ok (List.rev acc)
+    | line :: rest -> (
+        match of_ndjson line with
+        | Error msg -> Error (Printf.sprintf "line %d: %s" (i + 1) msg)
+        | Ok ev ->
+            if ev.seq <> i then
+              Error
+                (Printf.sprintf "line %d: sequence number %d, expected %d"
+                   (i + 1) ev.seq i)
+            else if
+              match prev_time with
+              | Some p -> Rat.(ev.time < p)
+              | None -> false
+            then
+              Error
+                (Printf.sprintf "line %d: time %s precedes the previous event"
+                   (i + 1) (Rat.to_string ev.time))
+            else go (i + 1) (Some ev.time) (ev :: acc) rest)
+  in
+  go 0 None [] lines
+
+let pp fmt t =
+  Format.fprintf fmt "#%d t=%a %s" t.seq Rat.pp t.time (kind_name t.kind)

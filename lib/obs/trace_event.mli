@@ -1,0 +1,55 @@
+(** The structured engine-event trace: schema ["dbp-trace/1"].
+
+    Every event the simulator (and the fault injector) can produce,
+    stamped with a monotonic sequence number and the exact rational
+    simulation time.  Events serialise to NDJSON — one flat JSON
+    object per line, integers and strings only, rationals rendered as
+    strings ([3/10] style) so nothing is ever rounded.
+
+    The kinds map onto the paper's event model (see DESIGN.md
+    "Observability"): [Arrive]/[Depart] are the endpoints of an item's
+    active interval [I(r)], [Bin_open]/[Bin_close] delimit a bin's
+    usage period (the quantity Theorem 4 decomposes), [Pack] records
+    the placement decision with the post-insert level, and
+    [Fail_bin]/[Retry]/[Shed]/[Resume] come from the fault-injection
+    layer. *)
+
+open Dbp_num
+
+type kind =
+  | Arrive of { item : int; size : Rat.t }
+  | Pack of { item : int; bin : int; level : Rat.t; residual : Rat.t }
+      (** [level]/[residual] are the bin's state {e after} the insert:
+          the per-bin utilisation at pack time. *)
+  | Depart of { item : int; bin : int; held : Rat.t }
+      (** [held] is the time the item spent packed (departure minus
+          placement instant). *)
+  | Bin_open of { bin : int; tag : string; capacity : Rat.t }
+  | Bin_close of { bin : int; opened : Rat.t; cost : Rat.t }
+      (** [cost] is the closed usage period's length — exactly what
+          the bin contributes to the MinTotal objective. *)
+  | Fail_bin of { bin : int; victims : int; lost_level : Rat.t }
+  | Retry of { item : int; attempt : int }
+  | Shed of { item : int }
+  | Resume of { item : int; latency : Rat.t }
+
+type t = { seq : int; time : Rat.t; kind : kind }
+
+val schema : string
+(** ["dbp-trace/1"]. *)
+
+val kind_name : kind -> string
+
+val to_ndjson : t -> string
+(** One JSON object, no trailing newline. *)
+
+val of_ndjson : string -> (t, string) result
+(** Strict schema validation: unknown kinds, missing/extra/duplicate
+    keys, wrong value types and malformed rationals are all errors. *)
+
+val parse_all : string -> (t list, string) result
+(** Validates a whole NDJSON document (blank lines ignored): every
+    line parses, sequence numbers are exactly [0, 1, 2, ...] and
+    timestamps never decrease.  Errors carry the 1-based line. *)
+
+val pp : Format.formatter -> t -> unit

@@ -71,8 +71,7 @@ let of_string text =
   in
   let rows =
     match rows with
-    | (_, col_header) :: data
-      when String.length col_header > 1 && col_header.[0] = 'i' ->
+    | (_, col_header) :: data when col_header = "id,size,arrival,departure" ->
         data
     | (line, other) :: _ ->
         parse_fail ~line
@@ -85,7 +84,15 @@ let of_string text =
     parse_fail ~line:(cap_line + 1) "trace contains no item rows";
   let parse_row (line, text) =
     match String.split_on_char ',' text with
-    | [ _id; size; arrival; departure ] ->
+    | [ id; size; arrival; departure ] ->
+        let id =
+          match int_of_string_opt (String.trim id) with
+          | Some id when id >= 0 -> id
+          | Some id -> parse_fail ~line ~field:"id" "id %d is negative" id
+          | None ->
+              parse_fail ~line ~field:"id" "'%s' is not an integer id"
+                (String.trim id)
+        in
         let size = rat_field ~line ~field:"size" size in
         let arrival = rat_field ~line ~field:"arrival" arrival in
         let departure = rat_field ~line ~field:"departure" departure in
@@ -100,12 +107,37 @@ let of_string text =
           parse_fail ~line ~field:"departure"
             "departure %s does not follow arrival %s" (Rat.to_string departure)
             (Rat.to_string arrival);
-        Item.make ~id:0 ~size ~arrival ~departure
+        (line, Item.make ~id ~size ~arrival ~departure)
     | fields ->
         parse_fail ~line "expected 4 comma-separated fields, got %d: '%s'"
           (List.length fields) text
   in
-  Instance.create ~capacity (List.map parse_row rows)
+  let parsed = List.map parse_row rows in
+  (* [Instance.create] renumbers items 0..n-1 by list position, so ids
+     survive a round-trip only if they already are a permutation of
+     0..n-1 handed over in id order — validate exactly that instead of
+     silently discarding the column. *)
+  let n = List.length parsed in
+  let first_line = Hashtbl.create n in
+  List.iter
+    (fun (line, (r : Item.t)) ->
+      (match Hashtbl.find_opt first_line r.id with
+      | Some earlier ->
+          parse_fail ~line ~field:"id" "duplicate id %d (first used at line %d)"
+            r.id earlier
+      | None -> Hashtbl.replace first_line r.id line);
+      if r.id >= n then
+        parse_fail ~line ~field:"id"
+          "id %d out of range: %d ids must form a permutation of 0..%d" r.id n
+          (n - 1))
+    parsed;
+  let items =
+    List.sort
+      (fun (_, (a : Item.t)) (_, (b : Item.t)) -> Int.compare a.id b.id)
+      parsed
+    |> List.map snd
+  in
+  Instance.create ~capacity items
 
 let save instance ~path =
   let oc = open_out path in

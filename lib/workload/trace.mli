@@ -15,8 +15,9 @@ open Dbp_core
 type parse_error = {
   line : int;  (** 1-based line number in the input text/file. *)
   field : string option;
-      (** ["size"], ["arrival"], ["departure"] or ["capacity"] when a
-          specific field is at fault; [None] for structural errors. *)
+      (** ["id"], ["size"], ["arrival"], ["departure"] or ["capacity"]
+          when a specific field is at fault; [None] for structural
+          errors. *)
   message : string;
 }
 
@@ -28,8 +29,14 @@ val pp_parse_error : Format.formatter -> parse_error -> unit
 val to_string : Instance.t -> string
 
 val of_string : string -> Instance.t
-(** @raise Parse_error on malformed input: missing/bad capacity header,
-    missing column header, wrong field count, non-rational fields,
+(** Ids are parsed and preserved: rows may appear in any order, but
+    their ids must be distinct and form a permutation of [0..n-1]
+    (what {!to_string} always writes, and the only id assignment
+    [Instance.create]'s positional renumbering can keep stable).
+    Duplicate ids are reported with the line that first used the id.
+    @raise Parse_error on malformed input: missing/bad capacity header,
+    wrong column header (the exact text [id,size,arrival,departure] is
+    required), wrong field count, bad id column, non-rational fields,
     non-positive or over-capacity sizes, and departure-before-arrival
     rows. *)
 

@@ -99,8 +99,8 @@ Trace statistics:
   $ dbp stats --trace trace.csv | head -5
   instance: 30 items, W=1, mu=6, span=194883/10000, u(R)=3559358987/100000000
   
-  sizes    : 0.483 +- 0.079 [0.0068, 0.8945]
-  durations: 2.556 +- 0.65 [1, 6]
+  sizes    : 0.483 +- 0.082 [0.0068, 0.8945]
+  durations: 2.556 +- 0.68 [1, 6]
   
 
 Policy comparison:
@@ -117,7 +117,7 @@ naive-vs-fast pair bit-identical:
   $ dbp bench --quick --json -o bench.json
   wrote bench.json
   $ grep -o '"schema": "[^"]*"' bench.json
-  "schema": "dbp-bench-simulator/1"
+  "schema": "dbp-bench-simulator/2"
   $ grep -o '"quick": [a-z]*' bench.json; grep -o '"sizes": \[[0-9, ]*\]' bench.json; grep -o '"naive_size": [0-9]*' bench.json
   "quick": true
   "sizes": [500, 2000]
@@ -137,6 +137,59 @@ The human-readable rendering carries the same equivalence verdicts:
 
   $ dbp bench --quick | grep -c '| yes'
   8
+
+Since schema /2 the JSON also carries per-policy engine profiles:
+
+  $ grep -c '"spans"' bench.json
+  8
+
+Structured event tracing: every engine event as one NDJSON line, with
+a monotonic sequence number and exact rational timestamps.  The
+--validate flag re-parses every line against the schema and asserts
+the traced packing is bit-identical to an untraced run:
+
+  $ dbp trace --trace trace.csv -o events.ndjson --validate
+  wrote 118 events to events.ndjson
+  trace: 118 events validate against dbp-trace/1
+  trace: traced run bit-identical to untraced (cost 120481/2000)
+  $ head -1 events.ndjson
+  {"seq":0,"t":"301/5000","kind":"arrive","item":0,"size":"869/1250"}
+  $ grep -c '"kind":"pack"' events.ndjson
+  30
+
+The metrics registry: counters and exact sums are deterministic, so
+the whole report is pinned (the bin_seconds exact sum must equal the
+simulate cost above):
+
+  $ dbp metrics --trace trace.csv
+  first_fit: 14 bins, cost=120481/2000 (60.2405), max open=6, any-fit violations=0
+  == metrics (counters, gauges, exact sums) ==
+  metric      | kind    | value
+  ------------+---------+--------------------
+  arrivals    | counter | 30
+  bins_closed | counter | 14
+  bins_opened | counter | 14
+  departures  | counter | 30
+  open_bins   | gauge   | 0
+  bin_seconds | rat sum | 60.24 (120481/2000)
+  == metrics (histograms) ==
+  histogram           | n  | mean   | p50    | p95    | min    | max
+  --------------------+----+--------+--------+--------+--------+-------
+  bin_lifetime        | 14 | 4.303  | 3.925  | 10.61  | 1      | 11.62
+  item_held           | 30 | 2.556  | 1.711  | 6      | 1      | 6
+  open_bins           | 60 | 3.4    | 3.5    | 5      | 0      | 6
+  utilisation_at_pack | 30 | 0.7139 | 0.7449 | 0.8985 | 0.3784 | 0.9577
+
+A trace with shuffled but valid ids loads (ids are preserved), while
+duplicate ids die with a diagnostic naming both lines:
+
+  $ printf '# capacity=1\nid,size,arrival,departure\n1,1/2,0,2\n0,1/3,1,3\n' > shuffled.csv
+  $ dbp simulate --trace shuffled.csv | head -1
+  first_fit: 1 bins, cost=3 (3), max open=1, any-fit violations=0
+  $ printf '# capacity=1\nid,size,arrival,departure\n0,1/2,0,2\n0,1/3,1,3\n' > dup.csv
+  $ dbp simulate --trace dup.csv
+  dup.csv: trace parse error at line 4 (field 'id'): duplicate id 0 (first used at line 3)
+  [2]
 
 CSV artefact export:
 

@@ -75,6 +75,57 @@ let test_stats_quantile () =
        false
      with Invalid_argument _ -> true)
 
+let test_stats_student_t () =
+  (* small-n confidence intervals use Student-t, not z = 1.96 *)
+  Alcotest.(check (float 1e-9)) "df 1" 12.706 (Stats.t_critical_95 ~df:1);
+  Alcotest.(check (float 1e-9)) "df 4" 2.776 (Stats.t_critical_95 ~df:4);
+  Alcotest.(check (float 1e-9)) "df 19" 2.093 (Stats.t_critical_95 ~df:19);
+  Alcotest.(check (float 1e-9)) "df 30" 1.96 (Stats.t_critical_95 ~df:30);
+  Alcotest.(check bool) "df 0 rejected" true
+    (try
+       ignore (Stats.t_critical_95 ~df:0);
+       false
+     with Invalid_argument _ -> true);
+  (* n = 5: half-width = t_4 * sd / sqrt 5 exactly *)
+  let xs = [ 1.0; 2.0; 3.0; 4.0; 5.0 ] in
+  let s = Stats.summarise xs in
+  Alcotest.(check (float 1e-9)) "n=5 half-width"
+    (2.776 *. s.Stats.stddev /. sqrt 5.0)
+    s.Stats.ci95_half_width;
+  (* n >= 30 falls back to the normal approximation *)
+  let many = List.init 40 (fun i -> float_of_int i) in
+  let s40 = Stats.summarise many in
+  Alcotest.(check (float 1e-9)) "n=40 half-width"
+    (1.96 *. s40.Stats.stddev /. sqrt 40.0)
+    s40.Stats.ci95_half_width
+
+(* one pass over one sorted array must agree with naive recomputation *)
+let test_stats_single_pass_vs_brute () =
+  let xs = [ 3.5; -2.0; 7.25; 0.0; 3.5; -2.0; 11.0; 0.5 ] in
+  let s = Stats.summarise xs in
+  let n = List.length xs in
+  let brute_mean = List.fold_left ( +. ) 0.0 xs /. float_of_int n in
+  let brute_sd =
+    sqrt
+      (List.fold_left (fun acc x -> acc +. ((x -. brute_mean) ** 2.0)) 0.0 xs
+      /. float_of_int (n - 1))
+  in
+  Alcotest.(check (float 1e-9)) "mean vs brute" brute_mean s.Stats.mean;
+  Alcotest.(check (float 1e-9)) "stddev vs brute" brute_sd s.Stats.stddev;
+  Alcotest.(check (float 1e-9)) "min vs brute"
+    (List.fold_left Float.min infinity xs)
+    s.Stats.minimum;
+  Alcotest.(check (float 1e-9)) "max vs brute"
+    (List.fold_left Float.max neg_infinity xs)
+    s.Stats.maximum;
+  (* the sorted-array entry points agree with the list wrappers *)
+  let sorted = Array.of_list (List.sort Float.compare xs) in
+  Alcotest.(check (float 1e-9)) "summarise_sorted mean" s.Stats.mean
+    (Stats.summarise_sorted sorted).Stats.mean;
+  Alcotest.(check (float 1e-9)) "quantile_sorted p75"
+    (Stats.quantile xs ~q:0.75)
+    (Stats.quantile_sorted sorted ~q:0.75)
+
 let stats_props =
   let open QCheck2 in
   let xs_gen =
@@ -207,6 +258,9 @@ let suite =
     Alcotest.test_case "harmonic validation" `Quick test_harmonic_validation;
     Alcotest.test_case "stats known values" `Quick test_stats_known_values;
     Alcotest.test_case "stats quantile" `Quick test_stats_quantile;
+    Alcotest.test_case "stats student-t" `Quick test_stats_student_t;
+    Alcotest.test_case "stats single pass vs brute" `Quick
+      test_stats_single_pass_vs_brute;
     Alcotest.test_case "timeline render" `Quick test_timeline_render;
   ]
   @ stats_props @ fuzz_props

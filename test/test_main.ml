@@ -23,5 +23,6 @@ let () =
       ("clairvoyant", Test_clairvoyant.suite);
       ("fleet", Test_fleet.suite);
       ("validation", Test_validation.suite);
+      ("obs", Test_obs.suite);
       ("experiments", Test_experiments.suite);
     ]

@@ -155,6 +155,68 @@ let test_trace_field_errors () =
   Alcotest.(check bool) "rendered error names the field" true
     (contains ~sub:"'size'" rendered)
 
+(* The id column is parsed and preserved: rows may arrive shuffled, as
+   long as the ids form a permutation of 0..n-1. *)
+let test_trace_ids_preserved () =
+  let shuffled =
+    "# capacity=1\n\
+     id,size,arrival,departure\n\
+     2,1/4,2,5\n\
+     0,1/2,0,2\n\
+     1,1/3,1,3\n"
+  in
+  let instance = Trace.of_string shuffled in
+  Alcotest.(check int) "three items" 3 (Instance.size instance);
+  let item i = Instance.item instance i in
+  check_rat "id 0 keeps its size" (r 1 2) (item 0).Item.size;
+  check_rat "id 1 keeps its arrival" Rat.one (item 1).Item.arrival;
+  check_rat "id 2 keeps its departure" (ri 5) (item 2).Item.departure;
+  (* shuffling rows changes nothing: same instance as the sorted text *)
+  let sorted =
+    "# capacity=1\n\
+     id,size,arrival,departure\n\
+     0,1/2,0,2\n\
+     1,1/3,1,3\n\
+     2,1/4,2,5\n"
+  in
+  Alcotest.(check bool) "row order is irrelevant" true
+    (Array.for_all2 Item.equal (Instance.items instance)
+       (Instance.items (Trace.of_string sorted)))
+
+let test_trace_id_errors () =
+  let e =
+    parse_error_of
+      "# capacity=1\nid,size,arrival,departure\n0,1/2,0,1\n0,1/3,0,1\n"
+  in
+  Alcotest.(check (option string)) "duplicate id: field" (Some "id")
+    e.Trace.field;
+  Alcotest.(check int) "duplicate id: reported at the second use" 4
+    e.Trace.line;
+  Alcotest.(check bool) "duplicate id: names the first line" true
+    (contains ~sub:"line 3" e.Trace.message);
+  let e =
+    parse_error_of "# capacity=1\nid,size,arrival,departure\n5,1/2,0,1\n"
+  in
+  Alcotest.(check (option string)) "out-of-range id: field" (Some "id")
+    e.Trace.field;
+  Alcotest.(check bool) "out-of-range id: message mentions permutation" true
+    (contains ~sub:"permutation" e.Trace.message);
+  let e =
+    parse_error_of "# capacity=1\nid,size,arrival,departure\n-1,1/2,0,1\n"
+  in
+  Alcotest.(check bool) "negative id rejected" true
+    (contains ~sub:"negative" e.Trace.message);
+  let e =
+    parse_error_of "# capacity=1\nid,size,arrival,departure\nx,1/2,0,1\n"
+  in
+  Alcotest.(check (option string)) "non-integer id: field" (Some "id")
+    e.Trace.field;
+  (* the column header must match exactly, not just start with 'i' *)
+  let e = parse_error_of "# capacity=1\nignored,junk\n0,1/2,0,1\n" in
+  Alcotest.(check int) "wrong column header: line" 2 e.Trace.line;
+  Alcotest.(check bool) "wrong column header: message" true
+    (contains ~sub:"id,size,arrival,departure" e.Trace.message)
+
 let test_patterns () =
   let frag = Patterns.fragmentation ~k:3 ~mu:(ri 2) in
   Alcotest.(check int) "fragmentation items" 9 (Instance.size frag);
@@ -204,6 +266,21 @@ let prop_tests =
         let back = Trace.of_string (Trace.to_string instance) in
         Array.for_all2 Item.equal (Instance.items instance)
           (Instance.items back));
+    qcheck ~count:80 "reversed trace rows load identically" spec_gen
+      (fun (spec, seed) ->
+        (* ids are preserved, so any row permutation — reversal is one —
+           must reproduce the same instance, item for item *)
+        let instance = Generator.generate ~seed spec in
+        match String.split_on_char '\n' (Trace.to_string instance) with
+        | cap :: header :: rows ->
+            let rows = List.filter (fun l -> l <> "") rows in
+            let shuffled =
+              String.concat "\n" (cap :: header :: List.rev rows) ^ "\n"
+            in
+            let back = Trace.of_string shuffled in
+            Array.for_all2 Item.equal (Instance.items instance)
+              (Instance.items back)
+        | _ -> false);
   ]
 
 let suite =
@@ -219,6 +296,8 @@ let suite =
     Alcotest.test_case "trace file round trip" `Quick test_trace_file_round_trip;
     Alcotest.test_case "trace errors" `Quick test_trace_errors;
     Alcotest.test_case "trace field errors" `Quick test_trace_field_errors;
+    Alcotest.test_case "trace ids preserved" `Quick test_trace_ids_preserved;
+    Alcotest.test_case "trace id errors" `Quick test_trace_id_errors;
     Alcotest.test_case "patterns" `Quick test_patterns;
   ]
   @ prop_tests
