@@ -1,6 +1,6 @@
 (* Benchmark harness.
 
-   Part 1 regenerates every paper artefact (the E1-E18 experiment
+   Part 1 regenerates every paper artefact (the E1-E19 experiment
    tables and figures - see DESIGN.md's per-experiment index) and fails
    the process if any experiment check fails.  The experiments fan out
    over OCaml 5 domains; the rendered output is order-identical to a
@@ -20,7 +20,7 @@ open Bechamel
 
 let regenerate_experiments () =
   print_endline "################################################################";
-  print_endline "## Part 1: paper artefact regeneration (experiments E1-E18)  ##";
+  print_endline "## Part 1: paper artefact regeneration (experiments E1-E19)  ##";
   print_endline "################################################################";
   let domains = Dbp_experiments.Registry.default_domains () in
   Printf.printf "(running on %d domains)\n" domains;

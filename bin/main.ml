@@ -357,7 +357,7 @@ let diff_cmd =
 
 let experiments_cmd =
   let names =
-    Arg.(value & pos_all string [] & info [] ~docv:"EXPERIMENT" ~doc:"E1..E18 (default: all).")
+    Arg.(value & pos_all string [] & info [] ~docv:"EXPERIMENT" ~doc:"E1..E19 (default: all).")
   in
   let markdown =
     Arg.(value & flag & info [ "markdown" ] ~doc:"Render tables as markdown.")
@@ -369,7 +369,7 @@ let experiments_cmd =
   let jobs =
     Arg.(value & opt int 1
          & info [ "j"; "jobs" ]
-             ~doc:"Domains to spread E1..E18 over (0 = one per core, \
+             ~doc:"Domains to spread E1..E19 over (0 = one per core, \
                    capped).  Output is identical whatever the value.")
   in
   let run names markdown out_dir jobs =
@@ -455,7 +455,7 @@ let experiments_cmd =
   in
   Cmd.v
     (Cmd.info "experiments"
-       ~doc:"Regenerate the paper's tables and figures (E1..E18).")
+       ~doc:"Regenerate the paper's tables and figures (E1..E19).")
     Term.(const run $ names $ markdown $ out_dir $ jobs)
 
 (* ---- faults --------------------------------------------------------- *)
@@ -716,6 +716,138 @@ let trace_cmd =
           NDJSON event stream (arrive/pack/depart/bin_open/bin_close).")
     Term.(const run $ trace $ policy_arg $ out $ validate $ verbose_arg)
 
+(* ---- checkpoint ------------------------------------------------------ *)
+
+let checkpoint_cmd =
+  let trace =
+    Arg.(value & opt (some file) None
+         & info [ "trace" ]
+             ~doc:"Input trace CSV (required for --save/--resume/--verify).")
+  in
+  let save =
+    Arg.(value & opt (some string) None
+         & info [ "save" ] ~docv:"SNAPSHOT"
+             ~doc:"Freeze the run after --at events and write the snapshot here.")
+  in
+  let at =
+    Arg.(value & opt (some int) None
+         & info [ "at" ] ~docv:"N" ~doc:"Event index to checkpoint at (with --save).")
+  in
+  let resume_path =
+    Arg.(value & opt (some file) None
+         & info [ "resume" ] ~docv:"SNAPSHOT"
+             ~doc:"Resume from this snapshot and finish the run.")
+  in
+  let inspect_path =
+    Arg.(value & opt (some file) None
+         & info [ "inspect" ] ~docv:"SNAPSHOT"
+             ~doc:"Print a snapshot summary (no trace needed) and exit.")
+  in
+  let verify_path =
+    Arg.(value & opt (some file) None
+         & info [ "verify" ] ~docv:"SNAPSHOT"
+             ~doc:
+               "Prove the snapshot resumes bit-identically: packing, exact \
+                cost and trace suffix all equal the uninterrupted run's.")
+  in
+  let trace_out =
+    Arg.(value & opt (some string) None
+         & info [ "trace-out" ]
+             ~doc:"Write the resumed run's NDJSON event stream here (with \
+                   --resume); its sequence numbers continue the snapshot's.")
+  in
+  let run trace policy_name save at resume_path inspect_path verify_path
+      trace_out seed =
+    let usage msg =
+      Format.eprintf "dbp checkpoint: %s@." msg;
+      exit 2
+    in
+    let load_snapshot path =
+      match Dbp_checkpoint.Checkpoint.load_file path with
+      | Ok snap -> snap
+      | Error msg ->
+          Format.eprintf "%s: corrupt snapshot: %s@." path msg;
+          exit 2
+    in
+    let need_trace () =
+      match trace with
+      | Some t -> load_trace t
+      | None -> usage "--trace is required for this mode"
+    in
+    match (save, resume_path, inspect_path, verify_path) with
+    | Some path, None, None, None ->
+        let at =
+          match at with Some n -> n | None -> usage "--save requires --at N"
+        in
+        let instance = need_trace () in
+        let snap =
+          Dbp_checkpoint.Checkpoint.save_at ~mu:(Instance.mu instance) ~seed
+            ~policy_name ~at instance
+        in
+        Dbp_checkpoint.Checkpoint.save_file path snap;
+        Format.printf "checkpoint: froze %s after %d event(s) to %s@."
+          policy_name at path;
+        0
+    | None, Some spath, None, None ->
+        let instance = need_trace () in
+        let snap = load_snapshot spath in
+        let buf = Buffer.create 65536 in
+        let sink =
+          Option.map (fun _ -> Dbp_obs.Sink.to_buffer buf) trace_out
+        in
+        let resumed =
+          Dbp_checkpoint.Checkpoint.resume ?sink ~mu:(Instance.mu instance)
+            instance snap
+        in
+        (match Packing.validate resumed.Dbp_checkpoint.Checkpoint.packing with
+        | Ok () -> ()
+        | Error msg ->
+            Format.eprintf "internal error: invalid resumed packing: %s@." msg;
+            exit 1);
+        Option.iter
+          (fun path ->
+            let oc = open_out path in
+            output_string oc (Buffer.contents buf);
+            close_out oc;
+            Format.printf "wrote resumed event stream to %s@." path)
+          trace_out;
+        Format.printf "%a@." Packing.pp_summary
+          resumed.Dbp_checkpoint.Checkpoint.packing;
+        0
+    | None, None, Some path, None ->
+        print_string (Dbp_checkpoint.Checkpoint.inspect (load_snapshot path));
+        0
+    | None, None, None, Some path ->
+        let instance = need_trace () in
+        let snap = load_snapshot path in
+        let v =
+          Dbp_checkpoint.Checkpoint.verify ~mu:(Instance.mu instance) instance
+            snap
+        in
+        if v.Dbp_checkpoint.Checkpoint.ok then begin
+          Format.printf
+            "verify: resumed run bit-identical to the uninterrupted one@.";
+          0
+        end
+        else begin
+          List.iter
+            (fun m -> Format.eprintf "verify: MISMATCH: %s@." m)
+            v.Dbp_checkpoint.Checkpoint.mismatches;
+          1
+        end
+    | None, None, None, None ->
+        usage "pick one of --save / --resume / --inspect / --verify"
+    | _ -> usage "--save / --resume / --inspect / --verify are mutually exclusive"
+  in
+  Cmd.v
+    (Cmd.info "checkpoint"
+       ~doc:
+         "Freeze a run mid-stream into a dbp-checkpoint/1 snapshot, resume \
+          one, summarise one, or prove a resume bit-identical.")
+    Term.(
+      const run $ trace $ policy_arg $ save $ at $ resume_path $ inspect_path
+      $ verify_path $ trace_out $ seed_arg)
+
 (* ---- metrics -------------------------------------------------------- *)
 
 let metrics_cmd =
@@ -943,23 +1075,43 @@ let check_cmd =
 let () =
   let doc = "MinTotal Dynamic Bin Packing (SPAA 2014) reproduction toolkit" in
   let info = Cmd.info "dbp" ~version:"1.0.0" ~doc in
-  exit
-    (Cmd.eval'
-       (Cmd.group info
-          [
-            generate_cmd;
-            simulate_cmd;
-            opt_cmd;
-            adversary_cmd;
-            decompose_cmd;
-            offline_cmd;
-            diff_cmd;
-            stats_cmd;
-            experiments_cmd;
-            faults_cmd;
-            gaming_cmd;
-            bench_cmd;
-            trace_cmd;
-            metrics_cmd;
-            check_cmd;
-          ]))
+  let group =
+    Cmd.group info
+      [
+        generate_cmd;
+        simulate_cmd;
+        opt_cmd;
+        adversary_cmd;
+        decompose_cmd;
+        offline_cmd;
+        diff_cmd;
+        stats_cmd;
+        experiments_cmd;
+        faults_cmd;
+        gaming_cmd;
+        bench_cmd;
+        trace_cmd;
+        checkpoint_cmd;
+        metrics_cmd;
+        check_cmd;
+      ]
+  in
+  (* Validation failures are exit code 2 everywhere, never an uncaught
+     exception: a scripted caller can rely on 0 = ok, 1 = semantic
+     mismatch (failed checks), 2 = invalid input/usage. *)
+  let code =
+    try Cmd.eval' ~catch:false group with
+    | Dbp_workload.Spec.Invalid_spec { field; reason } ->
+        Format.eprintf "dbp: invalid spec: %s: %s@." field reason;
+        2
+    | Dbp_checkpoint.Checkpoint.Error msg ->
+        Format.eprintf "dbp: %s@." msg;
+        2
+    | Simulator.Invalid_step msg | Simulator.Invalid_decision msg ->
+        Format.eprintf "dbp: %s@." msg;
+        2
+    | Invalid_argument msg | Failure msg ->
+        Format.eprintf "dbp: %s@." msg;
+        2
+  in
+  exit code

@@ -1,0 +1,274 @@
+open Dbp_num
+open Dbp_core
+
+(* Drivers around Snapshot: cut a run at an exact event index, resume
+   one from an image, and prove a resumed run bit-identical to an
+   uninterrupted one.  All determinism arguments live in the engine
+   (Simulator.Online.freeze/thaw) and the injector; this layer only
+   replays the instance's canonical event stream around them. *)
+
+exception Error of string
+
+let error fmt = Printf.ksprintf (fun m -> raise (Error m)) fmt
+
+let audit_default = function
+  | Some b -> b
+  | None -> Audit.enabled_from_env ()
+
+let policy_of ?mu (meta : Snapshot.meta) =
+  match Algorithms.find ~seed:meta.seed ?mu meta.policy with
+  | Some p -> p
+  | None -> error "snapshot names an unknown policy %S" meta.policy
+
+let save_at ?audit ?sink ?metrics ?mu ?(seed = Algorithms.default_seed)
+    ~policy_name ~at instance =
+  let policy =
+    match Algorithms.find ~seed ?mu policy_name with
+    | Some p -> p
+    | None -> error "unknown policy %S" policy_name
+  in
+  let events = Event.of_instance instance in
+  let total = List.length events in
+  if at < 0 || at > total then
+    error "checkpoint index %d outside [0, %d]" at total;
+  let sink = match sink with Some s -> s | None -> Dbp_obs.Sink.null () in
+  let online =
+    Simulator.Online.create ~audit:(audit_default audit) ~sink ?metrics
+      ~policy
+      ~capacity:(Instance.capacity instance)
+      ()
+  in
+  List.iteri (fun i e -> if i < at then Simulator.apply_event online e) events;
+  let frozen = Simulator.Online.freeze online in
+  {
+    Snapshot.meta =
+      {
+        policy = policy_name;
+        seed;
+        events_applied = at;
+        trace_seq = Dbp_obs.Sink.emitted sink;
+      };
+    metrics = Option.map Dbp_obs.Metrics.dump metrics;
+    payload = Engine frozen;
+  }
+
+type resumed = { packing : Packing.t; metrics : Dbp_obs.Metrics.t option }
+
+let resume ?audit ?sink ?mu instance (snap : Snapshot.t) =
+  let frozen =
+    match snap.payload with
+    | Snapshot.Engine f -> f
+    | Snapshot.Faults _ ->
+        error "snapshot holds a fault-injected run; use resume_faults"
+  in
+  let policy = policy_of ?mu snap.meta in
+  (match sink with
+  | Some s -> Dbp_obs.Sink.set_seq s snap.meta.trace_seq
+  | None -> ());
+  let metrics = Option.map Dbp_obs.Metrics.restore snap.metrics in
+  let online =
+    Simulator.Online.thaw ~audit:(audit_default audit) ?sink ?metrics ~policy
+      frozen
+  in
+  let events = Event.of_instance instance in
+  let total = List.length events in
+  let at = snap.meta.events_applied in
+  if at > total then
+    error "snapshot is %d events deep but the instance has only %d" at total;
+  List.iteri (fun i e -> if i >= at then Simulator.apply_event online e) events;
+  let packing =
+    {
+      (Simulator.Online.finish online ~instance) with
+      Packing.policy_name = policy.Policy.name;
+    }
+  in
+  { packing; metrics }
+
+type resumed_faults = {
+  fresult : Dbp_faults.Injector.result;
+  fmetrics : Dbp_obs.Metrics.t option;
+}
+
+let resume_faults ?audit ?sink ?priority ?mu instance (snap : Snapshot.t) =
+  let frozen =
+    match snap.payload with
+    | Snapshot.Faults f -> f
+    | Snapshot.Engine _ ->
+        error "snapshot holds a plain engine run; use resume"
+  in
+  let policy = policy_of ?mu snap.meta in
+  (match sink with
+  | Some s -> Dbp_obs.Sink.set_seq s snap.meta.trace_seq
+  | None -> ());
+  let metrics = Option.map Dbp_obs.Metrics.restore snap.metrics in
+  let st =
+    Dbp_faults.Injector.thaw ~audit:(audit_default audit) ?sink ?metrics
+      ?priority ~policy ~instance frozen
+  in
+  Dbp_faults.Injector.drain st;
+  { fresult = Dbp_faults.Injector.finish st; fmetrics = metrics }
+
+(* ---- verification --------------------------------------------------- *)
+
+type verdict = { ok : bool; mismatches : string list }
+
+let placements_equal a b =
+  List.length a = List.length b
+  && List.for_all2
+       (fun (t1, i1) (t2, i2) -> i1 = i2 && Rat.equal t1 t2)
+       a b
+
+let packing_mismatches (full : Packing.t) (res : Packing.t) =
+  let out = ref [] in
+  let miss fmt = Printf.ksprintf (fun m -> out := m :: !out) fmt in
+  if not (Rat.equal full.total_cost res.total_cost) then
+    miss "total cost: uninterrupted %s, resumed %s"
+      (Rat.to_string full.total_cost)
+      (Rat.to_string res.total_cost);
+  if full.max_bins <> res.max_bins then
+    miss "max open bins: uninterrupted %d, resumed %d" full.max_bins
+      res.max_bins;
+  if full.any_fit_violations <> res.any_fit_violations then
+    miss "any-fit violations: uninterrupted %d, resumed %d"
+      full.any_fit_violations res.any_fit_violations;
+  if Array.length full.bins <> Array.length res.bins then
+    miss "bin count: uninterrupted %d, resumed %d" (Array.length full.bins)
+      (Array.length res.bins)
+  else
+    Array.iteri
+      (fun i (fb : Packing.bin_record) ->
+        let rb = res.bins.(i) in
+        if
+          fb.tag <> rb.tag
+          || (not (Rat.equal fb.capacity rb.capacity))
+          || (not (Rat.equal fb.opened rb.opened))
+          || (not (Rat.equal fb.closed rb.closed))
+          || (not (Rat.equal fb.max_level rb.max_level))
+          || fb.item_ids <> rb.item_ids
+          || not (placements_equal fb.placements rb.placements)
+        then miss "bin %d diverges between uninterrupted and resumed runs" i)
+      full.bins;
+  if full.assignment <> res.assignment then
+    miss "item-to-bin assignment diverges";
+  List.rev !out
+
+let nonempty_lines text =
+  String.split_on_char '\n' text |> List.filter (fun l -> l <> "")
+
+let verify ?audit ?mu instance (snap : Snapshot.t) =
+  (match snap.payload with
+  | Snapshot.Faults _ ->
+      error
+        "verify compares against an uninterrupted Simulator.run, which a \
+         fault snapshot cannot reconstruct (the remaining plan lives in its \
+         queue); engine snapshots only"
+  | Snapshot.Engine _ -> ());
+  let audit = audit_default audit in
+  let policy = policy_of ?mu snap.meta in
+  let buf_full = Buffer.create 4096 in
+  let full =
+    Simulator.run ~audit ~sink:(Dbp_obs.Sink.to_buffer buf_full) ~policy
+      instance
+  in
+  let buf_res = Buffer.create 4096 in
+  let { packing = res; _ } =
+    resume ~audit ~sink:(Dbp_obs.Sink.to_buffer buf_res) ?mu instance snap
+  in
+  let mismatches = packing_mismatches full res in
+  let full_lines = nonempty_lines (Buffer.contents buf_full) in
+  let res_lines = nonempty_lines (Buffer.contents buf_res) in
+  let k = snap.meta.trace_seq in
+  let trace_mismatches =
+    if List.length full_lines < k then
+      [
+        Printf.sprintf
+          "snapshot trace position %d exceeds the uninterrupted run's %d \
+           events"
+          k (List.length full_lines);
+      ]
+    else
+      let suffix = List.filteri (fun i _ -> i >= k) full_lines in
+      if suffix <> res_lines then
+        [ "resumed trace diverges from the uninterrupted run's suffix" ]
+      else []
+  in
+  let mismatches = mismatches @ trace_mismatches in
+  { ok = mismatches = []; mismatches }
+
+(* ---- inspection ----------------------------------------------------- *)
+
+let inspect (snap : Snapshot.t) =
+  let b = Buffer.create 256 in
+  let line fmt =
+    Printf.ksprintf
+      (fun s ->
+        Buffer.add_string b s;
+        Buffer.add_char b '\n')
+      fmt
+  in
+  let e = Snapshot.engine_of snap in
+  let open_bins =
+    List.filter
+      (fun (bin : Simulator.Online.Frozen.bin) -> Option.is_none bin.b_closed)
+      e.Simulator.Online.Frozen.s_bins
+  in
+  let active =
+    List.fold_left
+      (fun acc (bin : Simulator.Online.Frozen.bin) ->
+        acc + List.length bin.b_active)
+      0 open_bins
+  in
+  let closed_cost =
+    List.fold_left
+      (fun acc (bin : Simulator.Online.Frozen.bin) ->
+        match bin.b_closed with
+        | Some c -> Rat.add acc (Rat.sub c bin.b_opened)
+        | None -> acc)
+      Rat.zero e.s_bins
+  in
+  line "schema:             %s (%s)" Snapshot.schema (Snapshot.kind_name snap);
+  line "policy:             %s (seed %Ld)" snap.meta.policy snap.meta.seed;
+  line "events applied:     %d" snap.meta.events_applied;
+  line "trace position:     %d" snap.meta.trace_seq;
+  line "clock:              %s"
+    (match e.s_clock with
+    | None -> "not started"
+    | Some t -> Rat.to_string t);
+  line "bins:               %d total, %d open" (List.length e.s_bins)
+    (List.length open_bins);
+  line "active items:       %d" active;
+  line "closed-bin cost:    %s" (Rat.to_string closed_cost);
+  line "any-fit violations: %d" e.s_violations;
+  line "metrics:            %s"
+    (match snap.metrics with Some _ -> "captured" | None -> "none");
+  (match snap.payload with
+  | Snapshot.Engine _ -> ()
+  | Snapshot.Faults f ->
+      let open Dbp_faults.Injector.Frozen in
+      line "injector:           %d events done, %d queued, %d segments (%d live)"
+        f.f_events_done (List.length f.f_queue) (List.length f.f_segments)
+        (List.length (List.filter (fun s -> s.fs_active) f.f_segments));
+      line "faults so far:      %d injected, %d skipped; %d interrupted, %d \
+            resumed, %d lost, %d shed"
+        f.f_faults_injected f.f_faults_skipped f.f_interrupted f.f_resumed
+        f.f_lost f.f_shed);
+  Buffer.contents b
+
+(* ---- file IO -------------------------------------------------------- *)
+
+let save_file path snap =
+  let oc = open_out_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc (Snapshot.to_string snap))
+
+let load_file path =
+  match open_in_bin path with
+  | exception Sys_error msg -> Result.Error msg
+  | ic ->
+      let text =
+        Fun.protect
+          ~finally:(fun () -> close_in ic)
+          (fun () -> really_input_string ic (in_channel_length ic))
+      in
+      Snapshot.of_string text

@@ -1,0 +1,110 @@
+(** Checkpoint/restore drivers: cut a run at an exact event index,
+    resume one from a {!Snapshot}, and prove the resumed run
+    bit-identical to never having stopped.
+
+    The contract (tested over every registry policy in
+    [test/test_checkpoint.ml] and smoked in CI): for any engine
+    snapshot cut at event [k], resuming and replaying events
+    [k..n-1] yields the same packing (bins, placements, exact total
+    cost, violation count) {e and} the same trace — the resumed sink,
+    positioned at the snapshot's [trace_seq], emits exactly the
+    uninterrupted run's line suffix, so prefix + suffix validates as
+    one [dbp-trace/1] stream.  Fault-injected runs checkpoint through
+    {!Dbp_faults.Injector.freeze} with the same guarantee.
+
+    Volatile policies ({!Dbp_core.Policy.Volatile}) cannot checkpoint;
+    {!save_at} propagates the engine's
+    {!Dbp_core.Simulator.Invalid_step}.  Heterogeneous [tag_capacity]
+    functions are not serialisable and are not supported here — a
+    snapshot records each bin's own capacity, but resumes re-open new
+    bins at the instance capacity only. *)
+
+open Dbp_num
+open Dbp_core
+
+exception Error of string
+(** Driver-level failures: unknown policy names, event indices out of
+    range, payload kind mismatches.  Corrupt snapshot {e files} are
+    reported as [Error _] results by {!load_file} instead; engine-level
+    inconsistencies raise {!Dbp_core.Simulator.Invalid_step}. *)
+
+val save_at :
+  ?audit:bool ->
+  ?sink:Dbp_obs.Sink.t ->
+  ?metrics:Dbp_obs.Metrics.t ->
+  ?mu:Rat.t ->
+  ?seed:int64 ->
+  policy_name:string ->
+  at:int ->
+  Instance.t ->
+  Snapshot.t
+(** Replays the first [at] events of the instance's canonical stream
+    through the named policy (registry lookup as in
+    {!Dbp_core.Algorithms.find}; [seed] defaults to the registry
+    default, [mu] is for ["mff-known-mu"]) and freezes.  A [sink]
+    passed here sees the replayed prefix and its position is recorded
+    as the snapshot's [trace_seq]; without one a null sink counts
+    events so [trace_seq] is correct either way.  [audit] defaults to
+    {!Dbp_core.Audit.enabled_from_env}. *)
+
+type resumed = { packing : Packing.t; metrics : Dbp_obs.Metrics.t option }
+
+val resume :
+  ?audit:bool ->
+  ?sink:Dbp_obs.Sink.t ->
+  ?mu:Rat.t ->
+  Instance.t ->
+  Snapshot.t ->
+  resumed
+(** Thaws an [Engine] snapshot, replays the remaining events and
+    assembles the packing.  The instance must be the one the snapshot
+    was cut from.  A [sink] is positioned at the snapshot's
+    [trace_seq] before any event fires; [metrics] is the restored
+    registry (when the snapshot carried one) with the tail of the run
+    accrued on top.
+    @raise Error on a [Faults] snapshot or an unknown policy. *)
+
+type resumed_faults = {
+  fresult : Dbp_faults.Injector.result;
+  fmetrics : Dbp_obs.Metrics.t option;
+}
+
+val resume_faults :
+  ?audit:bool ->
+  ?sink:Dbp_obs.Sink.t ->
+  ?priority:(Item.t -> int) ->
+  ?mu:Rat.t ->
+  Instance.t ->
+  Snapshot.t ->
+  resumed_faults
+(** Thaws a [Faults] snapshot and drains the injector to completion.
+    [priority] must be the run's original admission priority (it only
+    affects future shedding decisions).
+    @raise Error on an [Engine] snapshot or an unknown policy. *)
+
+type verdict = { ok : bool; mismatches : string list }
+
+val verify :
+  ?audit:bool -> ?mu:Rat.t -> Instance.t -> Snapshot.t -> verdict
+(** The bit-identity proof for an [Engine] snapshot: runs the
+    uninterrupted traced simulation, resumes the snapshot with its own
+    sink, and compares exact total cost, max open bins, violation
+    counts, every bin record (tag, capacity, usage period, max level,
+    placements, item ids), the item-to-bin assignment, and the trace
+    (resumed lines = uninterrupted suffix after [trace_seq]).
+    [mismatches] is empty iff [ok].
+    @raise Error on a [Faults] snapshot — the uninterrupted faulty run
+    is not reconstructible from the snapshot alone (the remaining plan
+    lives in its queue); the test suite checks those round trips
+    directly. *)
+
+val inspect : Snapshot.t -> string
+(** A human-readable summary derived from the snapshot alone (no
+    instance needed): policy, progress, clock, fleet shape, accrued
+    closed-bin cost, and the injector's counters for fault
+    snapshots. *)
+
+val save_file : string -> Snapshot.t -> unit
+val load_file : string -> (Snapshot.t, string) result
+(** [load_file] returns [Error] for unreadable files and corrupt or
+    truncated snapshots (see {!Snapshot.of_string}). *)

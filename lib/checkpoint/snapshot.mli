@@ -1,0 +1,64 @@
+(** Versioned on-disk images of a running simulation: schema
+    ["dbp-checkpoint/1"].
+
+    A snapshot is the serialisable closure of a run mid-flight: the
+    engine's {!Dbp_core.Simulator.Online.Frozen.t} (dense bin store,
+    accumulated any-fit violations, policy state blob), optionally the
+    fault injector's {!Dbp_faults.Injector.Frozen.t} wrapped around it
+    (event queue, segment ledger, PRNG position, resilience counters),
+    plus the {!Dbp_obs.Metrics.dump} of an attached registry and the
+    resume metadata (policy name and seed, events applied, trace
+    sequence position).
+
+    The format follows the trace's NDJSON discipline: one flat JSON
+    object per line, integers and strings only, every rational an
+    exact string — so a decoded snapshot thaws into a run that is
+    bit-identical to never having stopped.  Floats (histogram
+    observations, launch-failure probability) are stored as ["%h"] hex
+    floats, which round-trip exactly.  The final line is a footer with
+    the line count: a file truncated by the very crash the subsystem
+    guards against is always rejected, never half-loaded. *)
+
+open Dbp_core
+open Dbp_faults
+
+val schema : string
+(** ["dbp-checkpoint/1"]. *)
+
+type meta = {
+  policy : string;  (** Registry name ({!Dbp_core.Algorithms.find}). *)
+  seed : int64;  (** Policy seed (Random Fit's PRNG stream). *)
+  events_applied : int;
+      (** Instance events already replayed; resume starts here. *)
+  trace_seq : int;
+      (** Trace events emitted so far; a resumed sink is positioned
+          here so the combined stream stays a valid [dbp-trace/1]. *)
+}
+
+type payload =
+  | Engine of Simulator.Online.Frozen.t
+      (** A plain [Simulator.run] checkpoint. *)
+  | Faults of Injector.Frozen.t
+      (** A fault-injected run checkpoint (includes its engine). *)
+
+type t = {
+  meta : meta;
+  metrics : Dbp_obs.Metrics.dump option;
+  payload : payload;
+}
+
+val engine_of : t -> Simulator.Online.Frozen.t
+(** The engine image of either payload. *)
+
+val kind_name : t -> string
+(** ["engine"] or ["faults"]. *)
+
+val to_string : t -> string
+(** The NDJSON document, trailing newline included. *)
+
+val of_string : string -> (t, string) result
+(** Strict structural validation: unknown schema/kind/keys, type
+    mismatches, malformed rationals, duplicate or missing sections,
+    count mismatches and missing footers are all errors.  Semantic
+    consistency (dense bin ids, capacity bounds, policy-state
+    agreement) is checked by the thaw path, not here. *)

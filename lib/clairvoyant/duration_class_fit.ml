@@ -37,4 +37,7 @@ let policy ?(base = Rat.one) predictor =
             | Some v -> Policy.Existing v.bin_id
             | None -> Policy.New_bin tag);
         on_departure = Policy.no_departure_handler;
+        (* Reads only the immutable predictor: a fresh spawn resumes
+           exactly. *)
+        persistence = Policy.Stateless;
       })

@@ -84,6 +84,9 @@ let scored_policy ~name ~score ~too_poor predictor =
                 end);
         on_departure =
           (fun ~now:_ ~bins:_ ~item_id -> forget state ~item_id);
+        (* The placement tables depend on the whole run history and
+           have no serialisation; such a run cannot checkpoint. *)
+        persistence = Policy.Volatile;
       })
 
 (* Misalignment worse than half the item's predicted remaining lifetime

@@ -37,6 +37,8 @@ let make_policy ~name ~select ?(rule = First_allowed)
             | Some (v : Bin.view) -> Policy.Existing v.bin_id
             | None -> Policy.New_bin (pick_region rule ci ~bins ~item_id));
         on_departure = Policy.no_departure_handler;
+        (* Reads only the immutable constraint table. *)
+        persistence = Policy.Stateless;
       })
 
 let first_fit ?rule ci =

@@ -2,6 +2,10 @@
 
 open Dbp_num
 
+val default_seed : int64
+(** The seed every [?seed] below defaults to (1); checkpoint metadata
+    records it so a resume re-derives the same Random Fit stream. *)
+
 val all : ?seed:int64 -> unit -> Policy.t list
 (** Every built-in policy: first/best/worst/last/next/random fit, MFF
     with the paper's default [k = 8], and Harmonic with 4 classes.

@@ -40,6 +40,41 @@ let open_bin ~id ~tag ~capacity ~now =
     view_cache = None;
   }
 
+(* Thaw path of checkpoint/restore: rebuild a bin from its frozen
+   image.  [placements] oldest first (the serialised order);
+   [active_items] are the stubs still inside, oldest placement first.
+   [all_items] is re-derived from the placements, and [level] from the
+   active stubs, so a corrupt snapshot cannot smuggle in an
+   inconsistent cache. *)
+let restore ~id ~tag ~capacity ~opened ~closed ~max_level ~placements
+    ~active_items =
+  if Rat.sign capacity <= 0 then invalid_arg "Bin.restore: capacity <= 0";
+  let active = Hashtbl.create (max 8 (List.length active_items)) in
+  List.iter
+    (fun (r : Item.t) ->
+      if Hashtbl.mem active r.id then
+        invalid_arg "Bin.restore: duplicate active item";
+      Hashtbl.replace active r.id r)
+    active_items;
+  let level =
+    if closed <> None then Rat.zero
+    else List.fold_left (fun acc (r : Item.t) -> Rat.add acc r.size) Rat.zero
+        active_items
+  in
+  {
+    id;
+    tag;
+    capacity;
+    opened;
+    closed;
+    level;
+    active;
+    max_level;
+    all_items = List.rev_map snd placements;
+    placements = List.rev placements;
+    view_cache = None;
+  }
+
 let is_open t = t.closed = None
 let residual t = Rat.sub t.capacity t.level
 let fits t ~size = Rat.(Rat.add t.level size <= t.capacity)

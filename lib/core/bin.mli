@@ -48,6 +48,23 @@ and view = {
 val open_bin : id:int -> tag:string -> capacity:Rat.t -> now:Rat.t -> t
 (** @raise Invalid_argument if [capacity <= 0]. *)
 
+val restore :
+  id:int ->
+  tag:string ->
+  capacity:Rat.t ->
+  opened:Rat.t ->
+  closed:Rat.t option ->
+  max_level:Rat.t ->
+  placements:(Rat.t * int) list ->
+  active_items:Item.t list ->
+  t
+(** Rebuilds a bin from its checkpointed image ([placements] and
+    [active_items] both oldest placement first, the serialised order).
+    [level] and [all_items] are re-derived rather than trusted, so the
+    result is internally consistent by construction.
+    @raise Invalid_argument on [capacity <= 0] or a duplicate active
+    item. *)
+
 val is_open : t -> bool
 val residual : t -> Rat.t
 val fits : t -> size:Rat.t -> bool

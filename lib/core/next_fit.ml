@@ -14,4 +14,5 @@ let policy =
                 Policy.Existing current.bin_id
             | _ -> Policy.New_bin "nf");
         on_departure = Policy.no_departure_handler;
+        persistence = Policy.Stateless;
       })

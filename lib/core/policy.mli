@@ -16,12 +16,30 @@ type decision =
   | Existing of int  (** Bin id of an open bin the item fits into. *)
   | New_bin of string  (** Open a fresh bin with this tag. *)
 
+type state_io = { save : unit -> string; load : string -> unit }
+(** Serialisation hooks over a spawned handler pair's internal state.
+    [save] renders the state as an opaque string; [load] overwrites the
+    state from a previously saved string (raising [Invalid_argument] on
+    a corrupt blob).  The contract backing checkpoint/restore: after
+    [load (save ())] the handlers behave bit-identically to the
+    original. *)
+
+type persistence =
+  | Stateless  (** No internal state: a fresh spawn resumes exactly. *)
+  | Persistent of state_io
+      (** Internal state (e.g. an RNG) with full save/load support. *)
+  | Volatile
+      (** Internal state that cannot be serialised; such a policy
+          refuses to checkpoint ([Simulator.Online.freeze] raises). *)
+
 type handlers = {
   on_arrival :
     now:Rat.t -> bins:Bin.view list -> size:Rat.t -> item_id:int -> decision;
       (** [bins] lists all open bins in opening order. *)
   on_departure : now:Rat.t -> bins:Bin.view list -> item_id:int -> unit;
       (** Called after the item left (and its bin possibly closed). *)
+  persistence : persistence;
+      (** How this spawn's internal state checkpoints. *)
 }
 
 type t = { name : string; spawn : capacity:Rat.t -> handlers }

@@ -16,4 +16,16 @@ let policy ~seed =
                 let chosen = arr.(Splitmix64.next_int rng (Array.length arr)) in
                 Policy.Existing chosen.Bin.bin_id);
         on_departure = Policy.no_departure_handler;
+        persistence =
+          (* The run state is exactly the RNG stream position. *)
+          Policy.Persistent
+            {
+              save = (fun () -> Int64.to_string (Splitmix64.state rng));
+              load =
+                (fun blob ->
+                  match Int64.of_string_opt blob with
+                  | Some s -> Splitmix64.set_state rng s
+                  | None ->
+                      invalid_arg "random_fit: corrupt RNG state blob");
+            };
       })

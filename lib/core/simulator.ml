@@ -451,26 +451,179 @@ module Online = struct
     packing
 
   let bin_handle t bin_id = find_bin t bin_id
+
+  (* ---- checkpoint/restore ------------------------------------------- *)
+
+  (* The frozen image keeps only the non-derivable engine state.  Per
+     bin that is the identity, the lifecycle times and the placement
+     history; [level], [all_items], the open index, [item_bin] and
+     [seen_items] are all re-derived on thaw, so a snapshot cannot
+     carry an internally inconsistent cache.  Active stubs are stored
+     as (item id, size): the stub's arrival is its placement time by
+     construction (see [arrive]), so it comes back from the placement
+     list. *)
+  module Frozen = struct
+    type bin = {
+      b_id : int;
+      b_tag : string;
+      b_capacity : Rat.t;
+      b_opened : Rat.t;
+      b_closed : Rat.t option;
+      b_max_level : Rat.t;
+      b_placements : (Rat.t * int) list;  (* oldest placement first *)
+      b_active : (int * Rat.t) list;  (* (item, size), oldest first *)
+    }
+
+    type t = {
+      s_capacity : Rat.t;
+      s_clock : Rat.t option;
+      s_violations : int;
+      s_bins : bin list;  (* id order *)
+      s_policy_state : string option;
+    }
+  end
+
+  let freeze t : Frozen.t =
+    let policy_state =
+      match t.handlers.Policy.persistence with
+      | Policy.Stateless -> None
+      | Policy.Persistent io -> Some (io.Policy.save ())
+      | Policy.Volatile ->
+          invalid_step
+            "freeze: the policy's internal state is volatile (no \
+             save/load support), this run cannot checkpoint"
+    in
+    let bins =
+      List.init t.bin_count (fun id ->
+          let b = t.store.(id) in
+          {
+            Frozen.b_id = b.Bin.id;
+            b_tag = b.Bin.tag;
+            b_capacity = b.Bin.capacity;
+            b_opened = b.Bin.opened;
+            b_closed = b.Bin.closed;
+            b_max_level = b.Bin.max_level;
+            b_placements = List.rev b.Bin.placements;
+            b_active =
+              Bin.active_oldest_first b
+              |> List.map (fun (r : Item.t) -> (r.Item.id, r.Item.size));
+          })
+    in
+    {
+      Frozen.s_capacity = t.capacity;
+      s_clock = t.clock;
+      s_violations = t.violations;
+      s_bins = bins;
+      s_policy_state = policy_state;
+    }
+
+  let thaw ?(audit = false) ?sink ?metrics ?profile ?tag_capacity ~policy
+      (frozen : Frozen.t) =
+    let t =
+      create ~audit ?sink ?metrics ?profile ?tag_capacity ~policy
+        ~capacity:frozen.Frozen.s_capacity ()
+    in
+    (match (t.handlers.Policy.persistence, frozen.Frozen.s_policy_state) with
+    | Policy.Stateless, None -> ()
+    | Policy.Persistent io, Some blob -> io.Policy.load blob
+    | Policy.Persistent _, None ->
+        invalid_step
+          "thaw: snapshot carries no state for stateful policy %s"
+          policy.Policy.name
+    | Policy.Stateless, Some _ ->
+        invalid_step "thaw: snapshot carries state but policy %s is stateless"
+          policy.Policy.name
+    | Policy.Volatile, _ ->
+        invalid_step "thaw: policy %s has volatile (unrestorable) state"
+          policy.Policy.name);
+    List.iteri
+      (fun expected_id (fb : Frozen.bin) ->
+        if fb.Frozen.b_id <> expected_id then
+          invalid_step "thaw: bin ids not dense (found %d, expected %d)"
+            fb.Frozen.b_id expected_id;
+        let placed_at = Hashtbl.create 16 in
+        List.iter
+          (fun (time, item_id) -> Hashtbl.replace placed_at item_id time)
+          fb.Frozen.b_placements;
+        let active_items =
+          List.map
+            (fun (item_id, size) ->
+              if Rat.sign size <= 0 then
+                invalid_step "thaw: active item %d has size <= 0" item_id;
+              match Hashtbl.find_opt placed_at item_id with
+              | None ->
+                  invalid_step
+                    "thaw: active item %d has no placement in bin %d"
+                    item_id fb.Frozen.b_id
+              | Some arrival ->
+                  (* Same placeholder departure as [arrive]'s stub. *)
+                  Item.make ~id:item_id ~size ~arrival
+                    ~departure:(Rat.add arrival Rat.one))
+            fb.Frozen.b_active
+        in
+        (if fb.Frozen.b_closed = None && active_items = [] then
+           invalid_step "thaw: open bin %d has no active items"
+             fb.Frozen.b_id);
+        (if fb.Frozen.b_closed <> None && active_items <> [] then
+           invalid_step "thaw: closed bin %d still has active items"
+             fb.Frozen.b_id);
+        let b =
+          Bin.restore ~id:fb.Frozen.b_id ~tag:fb.Frozen.b_tag
+            ~capacity:fb.Frozen.b_capacity ~opened:fb.Frozen.b_opened
+            ~closed:fb.Frozen.b_closed ~max_level:fb.Frozen.b_max_level
+            ~placements:fb.Frozen.b_placements ~active_items
+        in
+        if Rat.(b.Bin.level > b.Bin.capacity) then
+          invalid_step "thaw: bin %d over capacity" fb.Frozen.b_id;
+        register_bin t b;
+        if not (Bin.is_open b) then Open_index.remove t.open_index b;
+        List.iter
+          (fun (r : Item.t) -> Hashtbl.replace t.item_bin r.Item.id b)
+          active_items;
+        List.iter
+          (fun (_, item_id) ->
+            if Hashtbl.mem t.seen_items item_id then
+              invalid_step "thaw: item id %d placed in two bins" item_id;
+            Hashtbl.add t.seen_items item_id ())
+          fb.Frozen.b_placements)
+      frozen.Frozen.s_bins;
+    t.clock <- frozen.Frozen.s_clock;
+    t.violations <- frozen.Frozen.s_violations;
+    (* Always re-audit the rebuilt state: thaw is rare, corruption
+       expensive. *)
+    audit_state t;
+    t
 end
 
-let run ?audit ?sink ?metrics ?profile ?tag_capacity ~policy instance =
+let apply_event online (e : Event.t) =
+  match e.kind with
+  | Event.Arrival ->
+      ignore
+        (Online.arrive online ~now:e.time ~size:e.item.Item.size
+           ~item_id:e.item.Item.id)
+  | Event.Departure -> Online.depart online ~now:e.time ~item_id:e.item.Item.id
+
+let run ?audit ?sink ?metrics ?profile ?tag_capacity ?checkpoint_every
+    ?on_checkpoint ~policy instance =
   let audit =
     (* Default from the environment so [DBP_AUDIT=1 dune runtest]
        audits the whole suite without touching any call site. *)
     match audit with Some b -> b | None -> Audit.enabled_from_env ()
   in
+  (match checkpoint_every with
+  | Some k when k <= 0 -> invalid_arg "Simulator.run: checkpoint_every <= 0"
+  | _ -> ());
   let online =
     Online.create ~audit ?sink ?metrics ?profile ?tag_capacity ~policy
       ~capacity:(Instance.capacity instance) ()
   in
-  List.iter
-    (fun (e : Event.t) ->
-      match e.kind with
-      | Event.Arrival ->
-          ignore
-            (Online.arrive online ~now:e.time ~size:e.item.Item.size
-               ~item_id:e.item.Item.id)
-      | Event.Departure -> Online.depart online ~now:e.time ~item_id:e.item.Item.id)
+  List.iteri
+    (fun i e ->
+      apply_event online e;
+      match (checkpoint_every, on_checkpoint) with
+      | Some k, Some hook when (i + 1) mod k = 0 ->
+          hook ~events_done:(i + 1) online
+      | _ -> ())
     (Event.of_instance instance);
   let packing = Online.finish online ~instance in
   { packing with Packing.policy_name = policy.Policy.name }

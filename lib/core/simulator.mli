@@ -110,7 +110,69 @@ module Online : sig
       negative tests (corrupt a field, assert {!audit} catches it);
       mutating it from anywhere else breaks the engine's invariants
       for real. *)
+
+  (** The checkpointable image of a running engine: exactly the
+      non-derivable state.  Levels, the open index, item tracking and
+      item-seen sets are re-derived on {!thaw}, so a frozen image (or
+      a snapshot file decoded into one) can never rebuild an engine
+      with an inconsistent cache. *)
+  module Frozen : sig
+    type bin = {
+      b_id : int;
+      b_tag : string;
+      b_capacity : Rat.t;
+      b_opened : Rat.t;
+      b_closed : Rat.t option;
+      b_max_level : Rat.t;
+      b_placements : (Rat.t * int) list;
+          (** Every placement ever, oldest first. *)
+      b_active : (int * Rat.t) list;
+          (** [(item_id, size)] still inside, oldest placement
+              first.  An active item's arrival is its placement time,
+              so it is not stored separately. *)
+    }
+
+    type t = {
+      s_capacity : Rat.t;
+      s_clock : Rat.t option;
+      s_violations : int;
+      s_bins : bin list;  (** In id order; ids are dense from 0. *)
+      s_policy_state : string option;
+          (** The policy's {!Policy.state_io} blob, if stateful. *)
+    }
+  end
+
+  val freeze : t -> Frozen.t
+  (** Captures the full engine state between events.
+      @raise Invalid_step if the policy's state is
+      {!Policy.Volatile} — such a run cannot checkpoint. *)
+
+  val thaw :
+    ?audit:bool ->
+    ?sink:Dbp_obs.Sink.t ->
+    ?metrics:Dbp_obs.Metrics.t ->
+    ?profile:Dbp_obs.Profile.t ->
+    ?tag_capacity:(string -> Rat.t) ->
+    policy:Policy.t ->
+    Frozen.t ->
+    t
+  (** Rebuilds an engine that continues the frozen run bit-identically:
+      feeding it the remaining events yields the same packing, cost and
+      trace events as the uninterrupted run.  The policy must be the
+      same as the frozen run's (same name, same seed); its internal
+      state is restored through {!Policy.state_io}.  The rebuilt state
+      is always re-audited (the full {!audit} pass), regardless of
+      [?audit].
+      @raise Invalid_step on an inconsistent image (non-dense bin ids,
+      active items without placements, over-capacity bins, policy
+      state present/absent against the policy's declared persistence,
+      or a volatile policy). *)
 end
+
+val apply_event : Online.t -> Event.t -> unit
+(** Feeds one instance event (arrival or departure) to the engine —
+    the replay step {!run} is built from, exposed so checkpoint
+    drivers can stop after, and resume from, an exact event index. *)
 
 val run :
   ?audit:bool ->
@@ -118,6 +180,8 @@ val run :
   ?metrics:Dbp_obs.Metrics.t ->
   ?profile:Dbp_obs.Profile.t ->
   ?tag_capacity:(string -> Rat.t) ->
+  ?checkpoint_every:int ->
+  ?on_checkpoint:(events_done:int -> Online.t -> unit) ->
   policy:Policy.t ->
   Instance.t ->
   Packing.t
@@ -127,4 +191,11 @@ val run :
     [DBP_AUDIT=1] audits every run in the process.  [sink], [metrics]
     and [profile] are the observability taps of {!Online.create}; a
     traced or metered run produces a bit-identical packing to an
-    untraced one. *)
+    untraced one.
+
+    [checkpoint_every] (with [on_checkpoint]) calls the hook after
+    every [k]-th event with the engine mid-run — the periodic
+    checkpoint tap; the hook typically calls {!Online.freeze} and
+    hands the image to [Dbp_checkpoint].  Neither option changes any
+    packing decision.
+    @raise Invalid_argument if [checkpoint_every <= 0]. *)

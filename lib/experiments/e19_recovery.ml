@@ -1,0 +1,209 @@
+open Dbp_num
+open Dbp_core
+open Dbp_faults
+open Dbp_checkpoint
+open Exp_common
+
+let seed = 20260806L
+
+(* Big enough that a mid-run checkpoint carries real state (tens of
+   open bins, hundreds of live sessions), small enough that every
+   (policy, cut) pair affords a full uninterrupted replay for the
+   bit-identity verdict. *)
+let spec = { Dbp_workload.Spec.default with Dbp_workload.Spec.count = 400 }
+
+(* Cut points as fractions of the 2n-event trace. *)
+let cuts = [ (1, 4); (1, 2); (3, 4) ]
+
+let policy_names =
+  [
+    "first-fit";
+    "best-fit";
+    "worst-fit";
+    "last-fit";
+    "next-fit";
+    "random-fit";
+    "mff";
+    "harmonic:4";
+  ]
+
+let fault_policy_names = [ "first-fit"; "random-fit" ]
+
+let time f =
+  let t0 = Unix.gettimeofday () in
+  let r = f () in
+  (r, Unix.gettimeofday () -. t0)
+
+let fmt_s = Printf.sprintf "%.4f"
+
+let policy_of name =
+  match Algorithms.find name with
+  | Some p -> p
+  | None -> invalid_arg ("E19: unknown policy " ^ name)
+
+let packings_identical (a : Packing.t) (b : Packing.t) =
+  Rat.equal a.Packing.total_cost b.Packing.total_cost
+  && a.Packing.assignment = b.Packing.assignment
+  && a.Packing.max_bins = b.Packing.max_bins
+  && a.Packing.any_fit_violations = b.Packing.any_fit_violations
+  && Array.length a.Packing.bins = Array.length b.Packing.bins
+
+let run () =
+  let c = counter () in
+  let instance = Dbp_workload.Generator.generate ~seed spec in
+  let total_events = List.length (Event.of_instance instance) in
+  check c (total_events = 2 * spec.Dbp_workload.Spec.count);
+  (* -- (a) engine checkpoints: cut every policy at 1/4, 1/2, 3/4 ----- *)
+  let t1 =
+    Dbp_analysis.Table.create
+      ~title:
+        (Printf.sprintf
+           "E19a: checkpoint/resume fidelity and cost (%d items, %d \
+            events; resume wall vs full-replay wall)"
+           spec.Dbp_workload.Spec.count total_events)
+      ~columns:
+        [
+          "policy";
+          "cut";
+          "snapshot B";
+          "save s";
+          "resume s";
+          "full s";
+          "resume/full";
+          "identical";
+        ]
+  in
+  List.iter
+    (fun name ->
+      let policy = policy_of name in
+      let _, full_wall = time (fun () -> Simulator.run ~policy instance) in
+      List.iter
+        (fun (num, den) ->
+          let at = total_events * num / den in
+          let snap, save_wall =
+            time (fun () ->
+                Checkpoint.save_at ~policy_name:name ~at instance)
+          in
+          (* Round-trip through the wire format so the verdict covers
+             the serialiser and parser, not just the in-memory image. *)
+          let text = Snapshot.to_string snap in
+          let snap =
+            match Snapshot.of_string text with
+            | Ok s -> s
+            | Result.Error m -> invalid_arg ("E19: round trip failed: " ^ m)
+          in
+          check c (snap.Snapshot.meta.Snapshot.events_applied = at);
+          let _, resume_wall =
+            time (fun () -> Checkpoint.resume instance snap)
+          in
+          let verdict = Checkpoint.verify instance snap in
+          check c verdict.Checkpoint.ok;
+          Dbp_analysis.Table.add_row t1
+            [
+              name;
+              Printf.sprintf "%d/%d" num den;
+              string_of_int (String.length text);
+              fmt_s save_wall;
+              fmt_s resume_wall;
+              fmt_s full_wall;
+              Printf.sprintf "%.2f" (resume_wall /. Float.max full_wall 1e-9);
+              (if verdict.Checkpoint.ok then "yes" else "NO");
+            ])
+        cuts)
+    policy_names;
+  (* -- (b) crash-recovery images: freeze a fault-injected run -------- *)
+  let horizon = Interval.hi (Instance.packing_period instance) in
+  let plan =
+    Fault_plan.poisson_crashes ~seed:(Int64.add seed 11L) ~rate:2.0 ~horizon
+  in
+  let t2 =
+    Dbp_analysis.Table.create
+      ~title:
+        (Printf.sprintf
+           "E19b: mid-drain injector freeze/thaw under %d planned crashes \
+            (resume vs uninterrupted)"
+           (Fault_plan.count plan))
+      ~columns:
+        [
+          "policy";
+          "cut events";
+          "interrupted";
+          "resumed";
+          "lost";
+          "cost";
+          "identical";
+        ]
+  in
+  List.iter
+    (fun name ->
+      let policy = policy_of name in
+      let straight = Injector.run ~plan ~policy instance in
+      let st = Injector.create ~plan ~policy instance in
+      let target = total_events / 2 in
+      let rec advance n = if n > 0 && Injector.step st then advance (n - 1) in
+      advance target;
+      let frozen = Injector.freeze st in
+      let snap =
+        {
+          Snapshot.meta =
+            {
+              Snapshot.policy = name;
+              seed = Algorithms.default_seed;
+              events_applied = Injector.events_done st;
+              trace_seq = 0;
+            };
+          metrics = None;
+          payload = Snapshot.Faults frozen;
+        }
+      in
+      let snap =
+        match Snapshot.of_string (Snapshot.to_string snap) with
+        | Ok s -> s
+        | Result.Error m -> invalid_arg ("E19: round trip failed: " ^ m)
+      in
+      let { Checkpoint.fresult = resumed; _ } =
+        Checkpoint.resume_faults instance snap
+      in
+      check c (Packing.validate resumed.Injector.packing = Ok ());
+      let identical =
+        packings_identical straight.Injector.packing resumed.Injector.packing
+      in
+      check c identical;
+      let sz (r : Injector.result) = r.Injector.resilience in
+      check c
+        ((sz straight).Resilience.interrupted_sessions
+        = (sz resumed).Resilience.interrupted_sessions);
+      check c
+        ((sz straight).Resilience.resumed_sessions
+        = (sz resumed).Resilience.resumed_sessions);
+      check c
+        ((sz straight).Resilience.lost_sessions
+        = (sz resumed).Resilience.lost_sessions);
+      check c
+        (List.length (sz straight).Resilience.recovery_latencies
+        = List.length (sz resumed).Resilience.recovery_latencies
+        && List.for_all2 Rat.equal
+             (sz straight).Resilience.recovery_latencies
+             (sz resumed).Resilience.recovery_latencies);
+      Dbp_analysis.Table.add_row t2
+        [
+          name;
+          string_of_int snap.Snapshot.meta.Snapshot.events_applied;
+          string_of_int (sz resumed).Resilience.interrupted_sessions;
+          string_of_int (sz resumed).Resilience.resumed_sessions;
+          string_of_int (sz resumed).Resilience.lost_sessions;
+          fmt_rat resumed.Injector.packing.Packing.total_cost;
+          (if identical then "yes" else "NO");
+        ])
+    fault_policy_names;
+  let total, failed = totals c in
+  {
+    experiment = "E19";
+    artefact =
+      "Checkpoint/restore: deterministic resume fidelity and recovery \
+       cost (extension)";
+    tables = [ t1; t2 ];
+    charts = [];
+    checks_total = total;
+    checks_failed = failed;
+  }

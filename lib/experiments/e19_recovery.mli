@@ -1,0 +1,12 @@
+(** E19 (extension): checkpoint/restore with deterministic resume.
+
+    (a) Cuts every registry policy's run at 1/4, 1/2 and 3/4 of the
+    event trace, round-trips the snapshot through the wire format and
+    asserts the resumed run bit-identical to an uninterrupted one
+    ([Checkpoint.verify]: packing, exact cost and trace suffix), while
+    reporting snapshot size and resume-vs-full-replay wall time.
+    (b) Freezes a fault-injected run mid-drain, thaws the crash-recovery
+    image and checks packing and every resilience counter match the
+    never-stopped run exactly. *)
+
+val run : unit -> Exp_common.outcome

@@ -1,4 +1,4 @@
-(** Shared infrastructure for the E1–E17 experiments (see DESIGN.md's
+(** Shared infrastructure for the E1–E19 experiments (see DESIGN.md's
     per-experiment index).  Each experiment module exposes a [run]
     returning {!outcome}: the tables/charts that regenerate the
     corresponding paper artefact, plus a pass/fail verdict aggregate

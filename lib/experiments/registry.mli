@@ -1,4 +1,4 @@
-(** Experiment registry: run E1–E18 by name or all at once. *)
+(** Experiment registry: run E1–E19 by name or all at once. *)
 
 val all_names : string list
 

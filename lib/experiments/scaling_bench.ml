@@ -35,6 +35,15 @@ type equivalence = {
   identical : bool;  (* same cost, assignment, bins, violations *)
 }
 
+type segmented = {
+  sg_policy : string;
+  sg_items : int;
+  sg_cut : int;  (* event index the run was checkpointed at *)
+  sg_snapshot_bytes : int;
+  sg_identical : bool;
+      (* straight run vs save_at-then-resume through the wire format *)
+}
+
 type report = {
   quick : bool;
   seed : int64;
@@ -42,6 +51,11 @@ type report = {
   naive_size : int;  (* the size the naive engine is measured at *)
   rows : row list;
   equivalences : equivalence list;
+  segmented : segmented list;
+      (* per-policy segmented-identity proof at [naive_size]: the run
+         is cut in half with [Dbp_checkpoint.Checkpoint.save_at], the
+         snapshot round-trips through its NDJSON wire format, and the
+         resumed packing must be bit-identical to the straight run *)
   extrapolated : (string * float) list;
       (* policy -> naive cost extrapolated to [max sizes] over measured
          fast wall there *)
@@ -82,18 +96,35 @@ let packings_identical (a : Packing.t) (b : Packing.t) =
   && a.Packing.any_fit_violations = b.Packing.any_fit_violations
   && Array.length a.Packing.bins = Array.length b.Packing.bins
 
+(* CLI registry names in [Algorithms.all] order, so the segmented
+   checkpoint leg can rebuild each policy by name through
+   [Checkpoint.save_at]. *)
+let cli_names =
+  [
+    "first-fit";
+    "best-fit";
+    "worst-fit";
+    "last-fit";
+    "next-fit";
+    "random-fit";
+    "mff";
+    "harmonic:4";
+  ]
+
 let run ?(quick = false) ?(seed = 77L) () =
   let sizes = default_sizes ~quick in
   let naive_size = List.hd sizes in
   let max_size = List.fold_left max naive_size sizes in
   let policies = Algorithms.all () in
+  assert (List.length policies = List.length cli_names);
   let instances = List.map (fun n -> (n, instance_of ~seed n)) sizes in
   let rows = ref [] in
   let equivalences = ref [] in
+  let segmented = ref [] in
   let extrapolated = ref [] in
   let profiles = ref [] in
   List.iter
-    (fun (policy : Policy.t) ->
+    (fun (cli_name, (policy : Policy.t)) ->
       let fast_walls =
         List.map
           (fun (n, instance) ->
@@ -118,6 +149,34 @@ let run ?(quick = false) ?(seed = 77L) () =
           identical = packings_identical fast_small naive;
         }
         :: !equivalences;
+      (* Segmented identity: cut the smallest run at its event-stream
+         midpoint, push the snapshot through the wire format, resume,
+         and demand the same packing the straight run produced.  The
+         random-fit leg proves the RNG state itself round-trips. *)
+      let cut = naive_size in
+      let snap =
+        Dbp_checkpoint.Checkpoint.save_at ~seed:Algorithms.default_seed
+          ~policy_name:cli_name ~at:cut
+          (List.assoc naive_size instances)
+      in
+      let text = Dbp_checkpoint.Snapshot.to_string snap in
+      let resumed =
+        match Dbp_checkpoint.Snapshot.of_string text with
+        | Ok snap ->
+            (Dbp_checkpoint.Checkpoint.resume (List.assoc naive_size instances)
+               snap)
+              .Dbp_checkpoint.Checkpoint.packing
+        | Result.Error m -> failwith ("scaling bench: corrupt snapshot: " ^ m)
+      in
+      segmented :=
+        {
+          sg_policy = policy.Policy.name;
+          sg_items = naive_size;
+          sg_cut = cut;
+          sg_snapshot_bytes = String.length text;
+          sg_identical = packings_identical fast_small resumed;
+        }
+        :: !segmented;
       let _, _, fast_max_wall =
         List.find (fun (n, _, _) -> n = max_size) fast_walls
       in
@@ -131,7 +190,7 @@ let run ?(quick = false) ?(seed = 77L) () =
         (Simulator.run ~profile ~policy (List.assoc max_size instances));
       profiles :=
         (policy.Policy.name, Dbp_obs.Profile.spans profile) :: !profiles)
-    policies;
+    (List.combine cli_names policies);
   {
     quick;
     seed;
@@ -139,6 +198,7 @@ let run ?(quick = false) ?(seed = 77L) () =
     naive_size;
     rows = List.rev !rows;
     equivalences = List.rev !equivalences;
+    segmented = List.rev !segmented;
     extrapolated = List.rev !extrapolated;
     profiles = List.rev !profiles;
   }
@@ -163,7 +223,7 @@ let to_json r =
   let buf = Buffer.create 4096 in
   let add fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
   add "{\n";
-  add "  \"schema\": \"dbp-bench-simulator/2\",\n";
+  add "  \"schema\": \"dbp-bench-simulator/3\",\n";
   add "  \"quick\": %b,\n" r.quick;
   add "  \"seed\": %Ld,\n" r.seed;
   add "  \"sizes\": [%s],\n"
@@ -194,6 +254,18 @@ let to_json r =
         (json_escape e.eq_policy) e.eq_items e.speedup e.identical
         (if i = n_eq - 1 then "" else ","))
     r.equivalences;
+  add "  ],\n";
+  add "  \"segmented\": [\n";
+  let n_sg = List.length r.segmented in
+  List.iteri
+    (fun i s ->
+      add
+        "    {\"policy\": \"%s\", \"items\": %d, \"cut\": %d, \
+         \"snapshot_bytes\": %d, \"identical\": %b}%s\n"
+        (json_escape s.sg_policy) s.sg_items s.sg_cut s.sg_snapshot_bytes
+        s.sg_identical
+        (if i = n_sg - 1 then "" else ","))
+    r.segmented;
   add "  ],\n";
   add "  \"extrapolated_speedup_at_max\": [\n";
   let n_ex = List.length r.extrapolated in
@@ -264,6 +336,25 @@ let tables r =
           | None -> "-");
         ])
     r.equivalences;
+  let seg =
+    Dbp_analysis.Table.create
+      ~title:
+        (Printf.sprintf
+           "segmented checkpoint identity at %d items (cut at the event \
+            midpoint, resumed through the wire format)"
+           r.naive_size)
+      ~columns:[ "policy"; "cut"; "snapshot bytes"; "identical" ]
+  in
+  List.iter
+    (fun s ->
+      Dbp_analysis.Table.add_row seg
+        [
+          s.sg_policy;
+          string_of_int s.sg_cut;
+          string_of_int s.sg_snapshot_bytes;
+          (if s.sg_identical then "yes" else "NO");
+        ])
+    r.segmented;
   let profile =
     Dbp_analysis.Table.create
       ~title:
@@ -287,9 +378,11 @@ let tables r =
             ])
         spans)
     r.profiles;
-  [ scaling; speedups; profile ]
+  [ scaling; speedups; seg; profile ]
 
 let render r =
   String.concat "\n" (List.map Dbp_analysis.Table.render (tables r))
 
-let all_identical r = List.for_all (fun e -> e.identical) r.equivalences
+let all_identical r =
+  List.for_all (fun e -> e.identical) r.equivalences
+  && List.for_all (fun s -> s.sg_identical) r.segmented

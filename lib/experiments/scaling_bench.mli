@@ -28,6 +28,16 @@ type equivalence = {
   identical : bool;
 }
 
+type segmented = {
+  sg_policy : string;
+  sg_items : int;
+  sg_cut : int;  (** Event index the run was checkpointed at. *)
+  sg_snapshot_bytes : int;
+  sg_identical : bool;
+      (** Straight run vs [Checkpoint.save_at]-then-[resume] through
+          the serialised wire format. *)
+}
+
 type report = {
   quick : bool;
   seed : int64;
@@ -35,6 +45,10 @@ type report = {
   naive_size : int;
   rows : row list;
   equivalences : equivalence list;
+  segmented : segmented list;
+      (** Per-policy proof that a run cut at its event midpoint and
+          resumed from the snapshot file format is bit-identical to
+          the uninterrupted run. *)
   extrapolated : (string * float) list;
   profiles : (string * (string * float * int) list) list;
       (** Per-policy {!Dbp_obs.Profile.spans} — [(phase, seconds,
@@ -52,11 +66,13 @@ val run : ?quick:bool -> ?seed:int64 -> unit -> report
 
 val to_json : report -> string
 (** The [BENCH_simulator.json] document (schema
-    ["dbp-bench-simulator/2"], which added the per-policy
-    ["profiles"] section). *)
+    ["dbp-bench-simulator/3"], which added the per-policy
+    ["segmented"] checkpoint-identity section; ["/2"] added
+    ["profiles"]). *)
 
 val tables : report -> Dbp_analysis.Table.t list
 val render : report -> string
 
 val all_identical : report -> bool
-(** Every naive-vs-fast pair produced identical packings. *)
+(** Every naive-vs-fast pair AND every segmented checkpoint resume
+    produced identical packings. *)

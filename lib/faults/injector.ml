@@ -85,17 +85,252 @@ let backoff_delay cfg ~attempt =
   let e = Stdlib.min attempt 20 in
   Rat.min cfg.backoff_cap (Rat.mul_int cfg.base_backoff (1 lsl e))
 
-let run ?(audit = false) ?sink ?metrics ?profile ?(config = default_config)
-    ?(priority = fun _ -> 0) ~(plan : Fault_plan.t) ~(policy : Policy.t)
-    instance =
-  let cfg = config in
+(* The whole run state, explicit so it can be frozen mid-drain and
+   thawed in a different process: the engine, the PRNG, the event
+   queue, the segment ledger and every counter.  [pending] aliases the
+   queued [Dispatch] attempts (an attempt is shed by flipping its
+   [a_cancelled] through either handle), and [active] aliases the
+   members of [segments] — [thaw] rebuilds both aliasings. *)
+type state = {
+  cfg : config;
+  policy : Policy.t;
+  instance : Instance.t;
+  online : Simulator.Online.t;
+  rng : Pcg32.t;
+  sink : Dbp_obs.Sink.t option;
+  metrics : Dbp_obs.Metrics.t option;
+  priority : Item.t -> int;
+  mutable queue : ev Q.t;
+  mutable seq : int;
+  mutable segments : seg list;  (* reverse seg_id order *)
+  mutable next_seg : int;
+  active : (int, seg) Hashtbl.t;
+  pending : (int, attempt) Hashtbl.t;
+  mutable events_done : int;
+  mutable faults_injected : int;
+  mutable faults_skipped : int;
+  mutable interrupted : int;
+  mutable interrupted_seconds : Rat.t;
+  mutable resumed : int;
+  mutable lost : int;
+  mutable launch_failures : int;
+  mutable retries : int;
+  mutable shed : int;
+  mutable recovery_latencies : Rat.t list;  (* reverse recovery order *)
+}
+
+let validate_config cfg =
   if cfg.launch_failure_prob < 0.0 || cfg.launch_failure_prob > 1.0 then
     invalid_arg "Injector.run: launch_failure_prob outside [0, 1]";
   if cfg.max_retries < 0 then invalid_arg "Injector.run: max_retries < 0";
   if Rat.sign cfg.base_backoff <= 0 then
     invalid_arg "Injector.run: base_backoff <= 0";
   if Rat.sign cfg.restart_delay < 0 then
-    invalid_arg "Injector.run: restart_delay < 0";
+    invalid_arg "Injector.run: restart_delay < 0"
+
+let emit st ~now kind_of =
+  match st.sink with
+  | None -> ()
+  | Some s -> Dbp_obs.Sink.emit s ~time:now (kind_of ())
+
+let with_metrics st f = match st.metrics with None -> () | Some m -> f m
+
+let enqueue st key ev = st.queue <- Q.add key ev st.queue
+
+let fresh_seq st =
+  let s = st.seq in
+  st.seq <- st.seq + 1;
+  s
+
+let give_up st (a : attempt) ~now =
+  emit st ~now (fun () -> Dbp_obs.Trace_event.Shed { item = a.a_orig_id });
+  match a.a_evicted_at with
+  | None ->
+      st.shed <- st.shed + 1;
+      with_metrics st (fun m -> Dbp_obs.Metrics.incr m "shed_requests")
+  | Some _ ->
+      st.lost <- st.lost + 1;
+      with_metrics st (fun m -> Dbp_obs.Metrics.incr m "lost_sessions")
+
+let shed_excess_pending st ~now =
+  match st.cfg.max_pending with
+  | None -> ()
+  | Some bound ->
+      while Hashtbl.length st.pending > bound do
+        (* lowest priority goes first; ties shed the most recently
+           queued (highest key). *)
+        let victim =
+          Hashtbl.fold
+            (fun _ (a : attempt) acc ->
+              match acc with
+              | None -> Some a
+              | Some (b : attempt) ->
+                  if
+                    a.a_priority < b.a_priority
+                    || (a.a_priority = b.a_priority && a.a_key > b.a_key)
+                  then Some a
+                  else acc)
+            st.pending None
+        in
+        match victim with
+        | None -> ()
+        | Some v ->
+            v.a_cancelled <- true;
+            Hashtbl.remove st.pending v.a_key;
+            give_up st v ~now
+      done
+
+let retry st (a : attempt) ~now =
+  if a.a_attempt >= st.cfg.max_retries then give_up st a ~now
+  else
+    let delay = backoff_delay st.cfg ~attempt:a.a_attempt in
+    let at = Rat.add now delay in
+    if Rat.(at >= a.a_deadline) then give_up st a ~now
+    else begin
+      st.retries <- st.retries + 1;
+      emit st ~now (fun () ->
+          Dbp_obs.Trace_event.Retry
+            { item = a.a_orig_id; attempt = a.a_attempt + 1 });
+      with_metrics st (fun m -> Dbp_obs.Metrics.incr m "retries");
+      let a' = { a with a_attempt = a.a_attempt + 1; a_key = fresh_seq st } in
+      Hashtbl.replace st.pending a'.a_key a';
+      enqueue st (at, rank_dispatch, a'.a_key) (Dispatch a');
+      shed_excess_pending st ~now
+    end
+
+let place st (a : attempt) ~now =
+  let seg_id = st.next_seg in
+  st.next_seg <- st.next_seg + 1;
+  ignore (Simulator.Online.arrive st.online ~now ~size:a.a_size ~item_id:seg_id);
+  let seg =
+    {
+      seg_id;
+      orig_id = a.a_orig_id;
+      seg_size = a.a_size;
+      seg_start = now;
+      seg_deadline = a.a_deadline;
+      stop = a.a_deadline;
+    }
+  in
+  st.segments <- seg :: st.segments;
+  Hashtbl.replace st.active seg_id seg;
+  enqueue st (a.a_deadline, rank_depart, seg_id) (Depart seg_id);
+  match a.a_evicted_at with
+  | None -> ()
+  | Some te ->
+      st.resumed <- st.resumed + 1;
+      let latency = Rat.sub now te in
+      emit st ~now (fun () ->
+          Dbp_obs.Trace_event.Resume { item = a.a_orig_id; latency });
+      with_metrics st (fun m ->
+          Dbp_obs.Metrics.incr m "resumed_sessions";
+          Dbp_obs.Metrics.observe_rat m "recovery_latency" latency);
+      st.recovery_latencies <- latency :: st.recovery_latencies
+
+let dispatch st (a : attempt) ~now =
+  if not a.a_cancelled then begin
+    Hashtbl.remove st.pending a.a_key;
+    let views = Simulator.Online.open_bins st.online in
+    let fits_somewhere =
+      List.exists
+        (fun (v : Bin.view) -> Rat.(a.a_size <= v.bin_residual))
+        views
+    in
+    let saturated =
+      match st.cfg.max_fleet with
+      | Some m -> List.length views >= m && not fits_somewhere
+      | None -> false
+    in
+    if saturated then retry st a ~now
+    else if
+      st.cfg.launch_failure_prob > 0.0
+      && Pcg32.next_float st.rng < st.cfg.launch_failure_prob
+    then begin
+      st.launch_failures <- st.launch_failures + 1;
+      with_metrics st (fun m -> Dbp_obs.Metrics.incr m "launch_failures");
+      retry st a ~now
+    end
+    else place st a ~now
+  end
+
+let resolve_victim st (views : Bin.view list) = function
+  | Fault_plan.Bin id ->
+      if List.exists (fun (v : Bin.view) -> v.Bin.bin_id = id) views then
+        Some id
+      else None
+  | Fault_plan.Any_open ->
+      let arr = Array.of_list views in
+      Some arr.(Pcg32.next_int st.rng (Array.length arr)).Bin.bin_id
+  | Fault_plan.Fullest ->
+      List.fold_left
+        (fun acc (v : Bin.view) ->
+          match acc with
+          | None -> Some v
+          | Some (b : Bin.view) ->
+              if Rat.(v.bin_level > b.bin_level) then Some v else acc)
+        None views
+      |> Option.map (fun (v : Bin.view) -> v.Bin.bin_id)
+  | Fault_plan.Emptiest ->
+      List.fold_left
+        (fun acc (v : Bin.view) ->
+          match acc with
+          | None -> Some v
+          | Some (b : Bin.view) ->
+              if Rat.(v.bin_level < b.bin_level) then Some v else acc)
+        None views
+      |> Option.map (fun (v : Bin.view) -> v.Bin.bin_id)
+
+let strike st (e : Fault_plan.event) ~now =
+  let views = Simulator.Online.open_bins st.online in
+  match
+    (if views = [] then None else resolve_victim st views e.Fault_plan.victim)
+  with
+  | None -> st.faults_skipped <- st.faults_skipped + 1
+  | Some bin_id ->
+      st.faults_injected <- st.faults_injected + 1;
+      let evicted = Simulator.Online.fail_bin st.online ~now ~bin_id in
+      List.iter
+        (fun (seg_id, _) ->
+          let seg = Hashtbl.find st.active seg_id in
+          Hashtbl.remove st.active seg_id;
+          seg.stop <- now;
+          st.interrupted <- st.interrupted + 1;
+          st.interrupted_seconds <-
+            Rat.add st.interrupted_seconds (Rat.sub seg.seg_deadline now);
+          let restart_at =
+            match e.Fault_plan.kind with
+            | Fault_plan.Crash -> Rat.add now st.cfg.restart_delay
+            | Fault_plan.Preemption _ -> now
+          in
+          if Rat.(restart_at >= seg.seg_deadline) then begin
+            st.lost <- st.lost + 1;
+            emit st ~now (fun () ->
+                Dbp_obs.Trace_event.Shed { item = seg.orig_id });
+            with_metrics st (fun m -> Dbp_obs.Metrics.incr m "lost_sessions")
+          end
+          else begin
+            let a =
+              {
+                a_orig_id = seg.orig_id;
+                a_size = seg.seg_size;
+                a_priority = st.priority (Instance.item st.instance seg.orig_id);
+                a_deadline = seg.seg_deadline;
+                a_attempt = 0;
+                a_evicted_at = Some now;
+                a_key = fresh_seq st;
+                a_cancelled = false;
+              }
+            in
+            Hashtbl.replace st.pending a.a_key a;
+            enqueue st (restart_at, rank_dispatch, a.a_key) (Dispatch a);
+            shed_excess_pending st ~now
+          end)
+        evicted
+
+let create ?(audit = false) ?sink ?metrics ?profile ?(config = default_config)
+    ?(priority = fun _ -> 0) ~(plan : Fault_plan.t) ~(policy : Policy.t)
+    instance =
+  validate_config config;
   let online =
     (* The sink is shared with the engine, so injector events (retry /
        shed / resume) interleave with pack/depart/fail_bin events in
@@ -103,227 +338,34 @@ let run ?(audit = false) ?sink ?metrics ?profile ?(config = default_config)
     Simulator.Online.create ~audit ?sink ?metrics ?profile ~policy
       ~capacity:(Instance.capacity instance) ()
   in
-  let emit ~now kind_of =
-    match sink with
-    | None -> ()
-    | Some s -> Dbp_obs.Sink.emit s ~time:now (kind_of ())
-  in
-  let with_metrics f = match metrics with None -> () | Some m -> f m in
-  let rng = Pcg32.create cfg.seed in
-  (* -- state ------------------------------------------------------- *)
-  let queue = ref Q.empty in
-  let seq = ref (Instance.size instance) in
-  let fresh_seq () =
-    let s = !seq in
-    incr seq;
-    s
-  in
-  let segments = ref [] (* reverse seg_id order *) in
-  let next_seg = ref 0 in
-  let active : (int, seg) Hashtbl.t = Hashtbl.create 64 in
-  let pending : (int, attempt) Hashtbl.t = Hashtbl.create 16 in
-  (* -- counters ----------------------------------------------------- *)
-  let faults_injected = ref 0 in
-  let faults_skipped = ref 0 in
-  let interrupted = ref 0 in
-  let interrupted_seconds = ref Rat.zero in
-  let resumed = ref 0 in
-  let lost = ref 0 in
-  let launch_failures = ref 0 in
-  let retries = ref 0 in
-  let shed = ref 0 in
-  let recovery_latencies = ref [] (* reverse recovery order *) in
-  (* -- queue helpers ------------------------------------------------ *)
-  let enqueue key ev = queue := Q.add key ev !queue in
-  let give_up (a : attempt) ~now =
-    emit ~now (fun () -> Dbp_obs.Trace_event.Shed { item = a.a_orig_id });
-    match a.a_evicted_at with
-    | None ->
-        incr shed;
-        with_metrics (fun m -> Dbp_obs.Metrics.incr m "shed_requests")
-    | Some _ ->
-        incr lost;
-        with_metrics (fun m -> Dbp_obs.Metrics.incr m "lost_sessions")
-  in
-  let shed_excess_pending ~now =
-    match cfg.max_pending with
-    | None -> ()
-    | Some bound ->
-        while Hashtbl.length pending > bound do
-          (* lowest priority goes first; ties shed the most recently
-             queued (highest key). *)
-          let victim =
-            Hashtbl.fold
-              (fun _ (a : attempt) acc ->
-                match acc with
-                | None -> Some a
-                | Some (b : attempt) ->
-                    if
-                      a.a_priority < b.a_priority
-                      || (a.a_priority = b.a_priority && a.a_key > b.a_key)
-                    then Some a
-                    else acc)
-              pending None
-          in
-          match victim with
-          | None -> ()
-          | Some v ->
-              v.a_cancelled <- true;
-              Hashtbl.remove pending v.a_key;
-              give_up v ~now
-        done
-  in
-  let retry (a : attempt) ~now =
-    if a.a_attempt >= cfg.max_retries then give_up a ~now
-    else
-      let delay = backoff_delay cfg ~attempt:a.a_attempt in
-      let at = Rat.add now delay in
-      if Rat.(at >= a.a_deadline) then give_up a ~now
-      else begin
-        incr retries;
-        emit ~now (fun () ->
-            Dbp_obs.Trace_event.Retry
-              { item = a.a_orig_id; attempt = a.a_attempt + 1 });
-        with_metrics (fun m -> Dbp_obs.Metrics.incr m "retries");
-        let a' =
-          { a with a_attempt = a.a_attempt + 1; a_key = fresh_seq () }
-        in
-        Hashtbl.replace pending a'.a_key a';
-        enqueue (at, rank_dispatch, a'.a_key) (Dispatch a');
-        shed_excess_pending ~now
-      end
-  in
-  let place (a : attempt) ~now =
-    let seg_id = !next_seg in
-    incr next_seg;
-    ignore
-      (Simulator.Online.arrive online ~now ~size:a.a_size ~item_id:seg_id);
-    let seg =
-      {
-        seg_id;
-        orig_id = a.a_orig_id;
-        seg_size = a.a_size;
-        seg_start = now;
-        seg_deadline = a.a_deadline;
-        stop = a.a_deadline;
-      }
-    in
-    segments := seg :: !segments;
-    Hashtbl.replace active seg_id seg;
-    enqueue (a.a_deadline, rank_depart, seg_id) (Depart seg_id);
-    match a.a_evicted_at with
-    | None -> ()
-    | Some te ->
-        incr resumed;
-        let latency = Rat.sub now te in
-        emit ~now (fun () ->
-            Dbp_obs.Trace_event.Resume { item = a.a_orig_id; latency });
-        with_metrics (fun m ->
-            Dbp_obs.Metrics.incr m "resumed_sessions";
-            Dbp_obs.Metrics.observe_rat m "recovery_latency" latency);
-        recovery_latencies := latency :: !recovery_latencies
-  in
-  let dispatch (a : attempt) ~now =
-    if not a.a_cancelled then begin
-      Hashtbl.remove pending a.a_key;
-      let views = Simulator.Online.open_bins online in
-      let fits_somewhere =
-        List.exists
-          (fun (v : Bin.view) -> Rat.(a.a_size <= v.bin_residual))
-          views
-      in
-      let saturated =
-        match cfg.max_fleet with
-        | Some m -> List.length views >= m && not fits_somewhere
-        | None -> false
-      in
-      if saturated then retry a ~now
-      else if
-        cfg.launch_failure_prob > 0.0
-        && Pcg32.next_float rng < cfg.launch_failure_prob
-      then begin
-        incr launch_failures;
-        with_metrics (fun m -> Dbp_obs.Metrics.incr m "launch_failures");
-        retry a ~now
-      end
-      else place a ~now
-    end
-  in
-  let resolve_victim (views : Bin.view list) = function
-    | Fault_plan.Bin id ->
-        if List.exists (fun (v : Bin.view) -> v.Bin.bin_id = id) views then
-          Some id
-        else None
-    | Fault_plan.Any_open ->
-        let arr = Array.of_list views in
-        Some arr.(Pcg32.next_int rng (Array.length arr)).Bin.bin_id
-    | Fault_plan.Fullest ->
-        List.fold_left
-          (fun acc (v : Bin.view) ->
-            match acc with
-            | None -> Some v
-            | Some (b : Bin.view) ->
-                if Rat.(v.bin_level > b.bin_level) then Some v else acc)
-          None views
-        |> Option.map (fun (v : Bin.view) -> v.Bin.bin_id)
-    | Fault_plan.Emptiest ->
-        List.fold_left
-          (fun acc (v : Bin.view) ->
-            match acc with
-            | None -> Some v
-            | Some (b : Bin.view) ->
-                if Rat.(v.bin_level < b.bin_level) then Some v else acc)
-          None views
-        |> Option.map (fun (v : Bin.view) -> v.Bin.bin_id)
-  in
-  let strike (e : Fault_plan.event) ~now =
-    let views = Simulator.Online.open_bins online in
-    match
-      (if views = [] then None else resolve_victim views e.Fault_plan.victim)
-    with
-    | None -> incr faults_skipped
-    | Some bin_id ->
-        incr faults_injected;
-        let evicted = Simulator.Online.fail_bin online ~now ~bin_id in
-        List.iter
-          (fun (seg_id, _) ->
-            let seg = Hashtbl.find active seg_id in
-            Hashtbl.remove active seg_id;
-            seg.stop <- now;
-            incr interrupted;
-            interrupted_seconds :=
-              Rat.add !interrupted_seconds (Rat.sub seg.seg_deadline now);
-            let restart_at =
-              match e.Fault_plan.kind with
-              | Fault_plan.Crash -> Rat.add now cfg.restart_delay
-              | Fault_plan.Preemption _ -> now
-            in
-            if Rat.(restart_at >= seg.seg_deadline) then begin
-              incr lost;
-              emit ~now (fun () ->
-                  Dbp_obs.Trace_event.Shed { item = seg.orig_id });
-              with_metrics (fun m ->
-                  Dbp_obs.Metrics.incr m "lost_sessions")
-            end
-            else begin
-              let a =
-                {
-                  a_orig_id = seg.orig_id;
-                  a_size = seg.seg_size;
-                  a_priority =
-                    priority (Instance.item instance seg.orig_id);
-                  a_deadline = seg.seg_deadline;
-                  a_attempt = 0;
-                  a_evicted_at = Some now;
-                  a_key = fresh_seq ();
-                  a_cancelled = false;
-                }
-              in
-              Hashtbl.replace pending a.a_key a;
-              enqueue (restart_at, rank_dispatch, a.a_key) (Dispatch a);
-              shed_excess_pending ~now
-            end)
-          evicted
+  let st =
+    {
+      cfg = config;
+      policy;
+      instance;
+      online;
+      rng = Pcg32.create config.seed;
+      sink;
+      metrics;
+      priority;
+      queue = Q.empty;
+      seq = Instance.size instance;
+      segments = [];
+      next_seg = 0;
+      active = Hashtbl.create 64;
+      pending = Hashtbl.create 16;
+      events_done = 0;
+      faults_injected = 0;
+      faults_skipped = 0;
+      interrupted = 0;
+      interrupted_seconds = Rat.zero;
+      resumed = 0;
+      lost = 0;
+      launch_failures = 0;
+      retries = 0;
+      shed = 0;
+      recovery_latencies = [];
+    }
   in
   (* -- seed the queue ----------------------------------------------- *)
   Array.iter
@@ -340,34 +382,53 @@ let run ?(audit = false) ?sink ?metrics ?profile ?(config = default_config)
           a_cancelled = false;
         }
       in
-      enqueue (r.arrival, rank_dispatch, r.id) (Dispatch a))
+      enqueue st (r.arrival, rank_dispatch, r.id) (Dispatch a))
     (Instance.items instance);
   List.iteri
     (fun i (e : Fault_plan.event) ->
-      enqueue (e.Fault_plan.at, rank_fault, i) (Fault e))
+      enqueue st (e.Fault_plan.at, rank_fault, i) (Fault e))
     plan.Fault_plan.events;
-  (* -- main loop ----------------------------------------------------- *)
-  let rec drain () =
-    match Q.min_binding_opt !queue with
-    | None -> ()
-    | Some (((now, _, _) as key), ev) ->
-        queue := Q.remove key !queue;
-        (match ev with
-        | Depart seg_id -> (
-            match Hashtbl.find_opt active seg_id with
-            | None -> () (* evicted earlier *)
-            | Some seg ->
-                Simulator.Online.depart online ~now ~item_id:seg_id;
-                seg.stop <- now;
-                Hashtbl.remove active seg_id)
-        | Fault e -> strike e ~now
-        | Dispatch a -> dispatch a ~now);
-        drain ()
-  in
-  drain ();
-  assert (Hashtbl.length active = 0);
+  st
+
+let events_done st = st.events_done
+let engine st = st.online
+
+let step st =
+  match Q.min_binding_opt st.queue with
+  | None -> false
+  | Some (((now, _, _) as key), ev) ->
+      st.queue <- Q.remove key st.queue;
+      (match ev with
+      | Depart seg_id -> (
+          match Hashtbl.find_opt st.active seg_id with
+          | None -> () (* evicted earlier *)
+          | Some seg ->
+              Simulator.Online.depart st.online ~now ~item_id:seg_id;
+              seg.stop <- now;
+              Hashtbl.remove st.active seg_id)
+      | Fault e -> strike st e ~now
+      | Dispatch a -> dispatch st a ~now);
+      st.events_done <- st.events_done + 1;
+      true
+
+let drain ?checkpoint_every ?on_checkpoint st =
+  (match checkpoint_every with
+  | Some k when k <= 0 -> invalid_arg "Injector.drain: checkpoint_every <= 0"
+  | _ -> ());
+  let continue = ref true in
+  while !continue do
+    if step st then (
+      match (checkpoint_every, on_checkpoint) with
+      | Some k, Some hook when st.events_done mod k = 0 ->
+          hook ~events_done:st.events_done st
+      | _ -> ())
+    else continue := false
+  done
+
+let finish st =
+  assert (Hashtbl.length st.active = 0);
   (* -- assemble the effective instance and the packing --------------- *)
-  let segs = List.rev !segments in
+  let segs = List.rev st.segments in
   if segs = [] then
     invalid_arg "Injector.run: every session was shed, nothing was packed";
   let items =
@@ -377,31 +438,33 @@ let run ?(audit = false) ?sink ?metrics ?profile ?(config = default_config)
           ~departure:s.stop)
       segs
   in
-  let effective = Instance.create ~capacity:(Instance.capacity instance) items in
-  let packing =
-    { (Simulator.Online.finish online ~instance:effective) with
-      Packing.policy_name = policy.Policy.name }
+  let effective =
+    Instance.create ~capacity:(Instance.capacity st.instance) items
   in
-  let fault_free = Simulator.run ~policy instance in
+  let packing =
+    { (Simulator.Online.finish st.online ~instance:effective) with
+      Packing.policy_name = st.policy.Policy.name }
+  in
+  let fault_free = Simulator.run ~policy:st.policy st.instance in
   let served =
     Rat.sum (List.map (fun s -> Rat.sub s.stop s.seg_start) segs)
   in
   let demand =
     Rat.sum
-      (Array.to_list (Instance.items instance) |> List.map Item.length)
+      (Array.to_list (Instance.items st.instance) |> List.map Item.length)
   in
   let resilience =
     {
-      Resilience.faults_injected = !faults_injected;
-      faults_skipped = !faults_skipped;
-      interrupted_sessions = !interrupted;
-      interrupted_session_seconds = !interrupted_seconds;
-      resumed_sessions = !resumed;
-      lost_sessions = !lost;
-      launch_failures = !launch_failures;
-      retries = !retries;
-      shed_requests = !shed;
-      recovery_latencies = List.rev !recovery_latencies;
+      Resilience.faults_injected = st.faults_injected;
+      faults_skipped = st.faults_skipped;
+      interrupted_sessions = st.interrupted;
+      interrupted_session_seconds = st.interrupted_seconds;
+      resumed_sessions = st.resumed;
+      lost_sessions = st.lost;
+      launch_failures = st.launch_failures;
+      retries = st.retries;
+      shed_requests = st.shed;
+      recovery_latencies = List.rev st.recovery_latencies;
       served_session_seconds = served;
       demand_session_seconds = demand;
       faulty_cost = packing.Packing.total_cost;
@@ -409,3 +472,223 @@ let run ?(audit = false) ?sink ?metrics ?profile ?(config = default_config)
     }
   in
   { packing; effective; resilience }
+
+let run ?audit ?sink ?metrics ?profile ?config ?priority ?checkpoint_every
+    ?on_checkpoint ~plan ~policy instance =
+  let st =
+    create ?audit ?sink ?metrics ?profile ?config ?priority ~plan ~policy
+      instance
+  in
+  drain ?checkpoint_every ?on_checkpoint st;
+  finish st
+
+(* ---- checkpoint/restore --------------------------------------------- *)
+
+(* The frozen image mirrors [state] minus everything re-suppliable at
+   thaw (the instance, the policy, the taps, the priority function).
+   Queue entries carry their exact keys: dispatch keys embed fire
+   times (arrival, backoff landing, restart) that are not derivable
+   from the attempt alone. *)
+module Frozen = struct
+  type fattempt = {
+    fa_orig : int;
+    fa_size : Rat.t;
+    fa_priority : int;
+    fa_deadline : Rat.t;
+    fa_attempt : int;
+    fa_evicted_at : Rat.t option;
+    fa_key : int;
+    fa_cancelled : bool;
+    fa_pending : bool;  (* member of the pending table at freeze *)
+  }
+
+  type fev =
+    | F_depart of int
+    | F_fault of Fault_plan.event
+    | F_dispatch of fattempt
+
+  type fseg = {
+    fs_id : int;
+    fs_orig : int;
+    fs_size : Rat.t;
+    fs_start : Rat.t;
+    fs_deadline : Rat.t;
+    fs_stop : Rat.t;
+    fs_active : bool;
+  }
+
+  type t = {
+    f_engine : Simulator.Online.Frozen.t;
+    f_config : config;
+    f_rng : int64 * int64;  (* Pcg32 (state, increment) *)
+    f_seq : int;
+    f_next_seg : int;
+    f_events_done : int;
+    f_segments : fseg list;  (* seg_id order *)
+    f_queue : (Key.t * fev) list;  (* ascending key order *)
+    f_faults_injected : int;
+    f_faults_skipped : int;
+    f_interrupted : int;
+    f_interrupted_seconds : Rat.t;
+    f_resumed : int;
+    f_lost : int;
+    f_launch_failures : int;
+    f_retries : int;
+    f_shed : int;
+    f_recovery_latencies : Rat.t list;  (* chronological *)
+  }
+end
+
+let freeze st : Frozen.t =
+  let fatt (a : attempt) =
+    {
+      Frozen.fa_orig = a.a_orig_id;
+      fa_size = a.a_size;
+      fa_priority = a.a_priority;
+      fa_deadline = a.a_deadline;
+      fa_attempt = a.a_attempt;
+      fa_evicted_at = a.a_evicted_at;
+      fa_key = a.a_key;
+      fa_cancelled = a.a_cancelled;
+      fa_pending = Hashtbl.mem st.pending a.a_key;
+    }
+  in
+  {
+    Frozen.f_engine = Simulator.Online.freeze st.online;
+    f_config = st.cfg;
+    f_rng = Pcg32.dump st.rng;
+    f_seq = st.seq;
+    f_next_seg = st.next_seg;
+    f_events_done = st.events_done;
+    f_segments =
+      List.rev_map
+        (fun s ->
+          {
+            Frozen.fs_id = s.seg_id;
+            fs_orig = s.orig_id;
+            fs_size = s.seg_size;
+            fs_start = s.seg_start;
+            fs_deadline = s.seg_deadline;
+            fs_stop = s.stop;
+            fs_active = Hashtbl.mem st.active s.seg_id;
+          })
+        st.segments;
+    f_queue =
+      Q.fold
+        (fun key ev acc ->
+          let fev =
+            match ev with
+            | Depart seg_id -> Frozen.F_depart seg_id
+            | Fault e -> Frozen.F_fault e
+            | Dispatch a -> Frozen.F_dispatch (fatt a)
+          in
+          (key, fev) :: acc)
+        st.queue []
+      |> List.rev;
+    f_faults_injected = st.faults_injected;
+    f_faults_skipped = st.faults_skipped;
+    f_interrupted = st.interrupted;
+    f_interrupted_seconds = st.interrupted_seconds;
+    f_resumed = st.resumed;
+    f_lost = st.lost;
+    f_launch_failures = st.launch_failures;
+    f_retries = st.retries;
+    f_shed = st.shed;
+    f_recovery_latencies = List.rev st.recovery_latencies;
+  }
+
+let thaw ?(audit = false) ?sink ?metrics ?profile ?(priority = fun _ -> 0)
+    ~(policy : Policy.t) ~instance (frozen : Frozen.t) =
+  validate_config frozen.Frozen.f_config;
+  let online =
+    Simulator.Online.thaw ~audit ?sink ?metrics ?profile ~policy
+      frozen.Frozen.f_engine
+  in
+  let state_r, increment = frozen.Frozen.f_rng in
+  let st =
+    {
+      cfg = frozen.Frozen.f_config;
+      policy;
+      instance;
+      online;
+      rng = Pcg32.of_dump ~state:state_r ~increment;
+      sink;
+      metrics;
+      priority;
+      queue = Q.empty;
+      seq = frozen.Frozen.f_seq;
+      segments = [];
+      next_seg = frozen.Frozen.f_next_seg;
+      active = Hashtbl.create 64;
+      pending = Hashtbl.create 16;
+      events_done = frozen.Frozen.f_events_done;
+      faults_injected = frozen.Frozen.f_faults_injected;
+      faults_skipped = frozen.Frozen.f_faults_skipped;
+      interrupted = frozen.Frozen.f_interrupted;
+      interrupted_seconds = frozen.Frozen.f_interrupted_seconds;
+      resumed = frozen.Frozen.f_resumed;
+      lost = frozen.Frozen.f_lost;
+      launch_failures = frozen.Frozen.f_launch_failures;
+      retries = frozen.Frozen.f_retries;
+      shed = frozen.Frozen.f_shed;
+      recovery_latencies = List.rev frozen.Frozen.f_recovery_latencies;
+    }
+  in
+  (* Segments come back in seg_id order; the in-memory list is newest
+     first, and [active] aliases the still-running members. *)
+  List.iter
+    (fun (fs : Frozen.fseg) ->
+      let seg =
+        {
+          seg_id = fs.Frozen.fs_id;
+          orig_id = fs.Frozen.fs_orig;
+          seg_size = fs.Frozen.fs_size;
+          seg_start = fs.Frozen.fs_start;
+          seg_deadline = fs.Frozen.fs_deadline;
+          stop = fs.Frozen.fs_stop;
+        }
+      in
+      st.segments <- seg :: st.segments;
+      if fs.Frozen.fs_active then begin
+        if Hashtbl.mem st.active seg.seg_id then
+          invalid_arg "Injector.thaw: duplicate active segment";
+        Hashtbl.replace st.active seg.seg_id seg
+      end)
+    frozen.Frozen.f_segments;
+  let seg_ids = Hashtbl.create 64 in
+  List.iter (fun s -> Hashtbl.replace seg_ids s.seg_id ()) st.segments;
+  (* Queued dispatch attempts alias the pending table exactly as the
+     live run's did: the pending-marked subset is shared, so a future
+     shedding cancels the queued copy too. *)
+  List.iter
+    (fun (key, fev) ->
+      let ev =
+        match fev with
+        | Frozen.F_depart seg_id ->
+            (* departures of already-evicted segments are legal queue
+               residents (they no-op), but the segment must exist *)
+            if not (Hashtbl.mem seg_ids seg_id) then
+              invalid_arg "Injector.thaw: departure of unknown segment";
+            Depart seg_id
+        | Frozen.F_fault e -> Fault e
+        | Frozen.F_dispatch fa ->
+            let a =
+              {
+                a_orig_id = fa.Frozen.fa_orig;
+                a_size = fa.Frozen.fa_size;
+                a_priority = fa.Frozen.fa_priority;
+                a_deadline = fa.Frozen.fa_deadline;
+                a_attempt = fa.Frozen.fa_attempt;
+                a_evicted_at = fa.Frozen.fa_evicted_at;
+                a_key = fa.Frozen.fa_key;
+                a_cancelled = fa.Frozen.fa_cancelled;
+              }
+            in
+            if fa.Frozen.fa_pending then Hashtbl.replace st.pending a.a_key a;
+            Dispatch a
+      in
+      if Q.mem key st.queue then
+        invalid_arg "Injector.thaw: duplicate queue key";
+      enqueue st key ev)
+    frozen.Frozen.f_queue;
+  st

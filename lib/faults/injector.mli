@@ -67,6 +67,134 @@ type result = {
   resilience : Resilience.t;
 }
 
+type state
+(** A fault-injected run in flight: the engine, the PRNG, the event
+    queue, the segment ledger and every resilience counter.  Built by
+    {!create}, advanced by {!step}/{!drain}, finalised by {!finish} —
+    and checkpointable mid-drain via {!freeze}/{!thaw}. *)
+
+val create :
+  ?audit:bool ->
+  ?sink:Dbp_obs.Sink.t ->
+  ?metrics:Dbp_obs.Metrics.t ->
+  ?profile:Dbp_obs.Profile.t ->
+  ?config:config ->
+  ?priority:(Item.t -> int) ->
+  plan:Fault_plan.t ->
+  policy:Policy.t ->
+  Instance.t ->
+  state
+(** Seeds the event queue with every trace arrival, departure and
+    planned fault; nothing has executed yet.
+    @raise Invalid_argument on a malformed config. *)
+
+val step : state -> bool
+(** Executes the earliest queued event; [false] when the queue is
+    empty. *)
+
+val drain :
+  ?checkpoint_every:int ->
+  ?on_checkpoint:(events_done:int -> state -> unit) ->
+  state ->
+  unit
+(** Runs {!step} to exhaustion.  [checkpoint_every] (with
+    [on_checkpoint]) calls the hook after every [k]-th queue event —
+    the periodic checkpoint tap, typically {!freeze} + serialisation.
+    @raise Invalid_argument if [checkpoint_every <= 0]. *)
+
+val finish : state -> result
+(** Assembles the effective instance, the packing and the resilience
+    report; call after {!drain}.
+    @raise Invalid_argument if every session was shed. *)
+
+val events_done : state -> int
+(** Queue events executed so far. *)
+
+val engine : state -> Simulator.Online.t
+(** The underlying engine (shared taps, open-fleet inspection). *)
+
+(** The serialisable image of a mid-drain {!state}: the frozen engine
+    plus the injector's own queue, segments, PRNG position and
+    counters.  Everything re-suppliable at thaw (instance, policy,
+    observability taps, priority function) stays out. *)
+module Frozen : sig
+  type fattempt = {
+    fa_orig : int;
+    fa_size : Rat.t;
+    fa_priority : int;
+    fa_deadline : Rat.t;
+    fa_attempt : int;
+    fa_evicted_at : Rat.t option;
+    fa_key : int;
+    fa_cancelled : bool;
+    fa_pending : bool;
+        (** Member of the pending (shed-eligible) table at freeze. *)
+  }
+
+  type fev =
+    | F_depart of int
+    | F_fault of Fault_plan.event
+    | F_dispatch of fattempt
+
+  type fseg = {
+    fs_id : int;
+    fs_orig : int;
+    fs_size : Rat.t;
+    fs_start : Rat.t;
+    fs_deadline : Rat.t;
+    fs_stop : Rat.t;
+    fs_active : bool;
+  }
+
+  type t = {
+    f_engine : Simulator.Online.Frozen.t;
+    f_config : config;
+    f_rng : int64 * int64;  (** Pcg32 (state, increment). *)
+    f_seq : int;
+    f_next_seg : int;
+    f_events_done : int;
+    f_segments : fseg list;  (** In seg_id order. *)
+    f_queue : ((Rat.t * int * int) * fev) list;
+        (** (time, rank, seq) keys with their events, ascending.
+            Ranks: 0 departures, 1 faults, 2 dispatches. *)
+    f_faults_injected : int;
+    f_faults_skipped : int;
+    f_interrupted : int;
+    f_interrupted_seconds : Rat.t;
+    f_resumed : int;
+    f_lost : int;
+    f_launch_failures : int;
+    f_retries : int;
+    f_shed : int;
+    f_recovery_latencies : Rat.t list;  (** Chronological. *)
+  }
+end
+
+val freeze : state -> Frozen.t
+(** Captures the whole run mid-drain (crash-recovery image): engine
+    state including mid-failure bin accounting, pending recoveries,
+    backoff retries in flight, PRNG position and all counters.
+    @raise Dbp_core.Simulator.Invalid_step if the policy's state is
+    volatile. *)
+
+val thaw :
+  ?audit:bool ->
+  ?sink:Dbp_obs.Sink.t ->
+  ?metrics:Dbp_obs.Metrics.t ->
+  ?profile:Dbp_obs.Profile.t ->
+  ?priority:(Item.t -> int) ->
+  policy:Policy.t ->
+  instance:Instance.t ->
+  Frozen.t ->
+  state
+(** Rebuilds the run: {!drain} + {!finish} on the result is
+    bit-identical to never having stopped (same packing, cost,
+    resilience counters and trace events).  [policy] and [instance]
+    must be the ones the frozen run was created with; [priority] is
+    re-supplied (it only affects future evictions' recovery
+    attempts).
+    @raise Invalid_argument on an internally inconsistent image. *)
+
 val run :
   ?audit:bool ->
   ?sink:Dbp_obs.Sink.t ->
@@ -74,6 +202,8 @@ val run :
   ?profile:Dbp_obs.Profile.t ->
   ?config:config ->
   ?priority:(Item.t -> int) ->
+  ?checkpoint_every:int ->
+  ?on_checkpoint:(events_done:int -> state -> unit) ->
   plan:Fault_plan.t ->
   policy:Policy.t ->
   Instance.t ->

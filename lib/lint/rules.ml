@@ -69,9 +69,10 @@ let all_rules =
       title = "no-list-scans-in-hot-path";
       what =
         "List.mem / List.find / List.assoc / List.nth (and variants) \
-         in the O(open-bins) engine and policy modules reintroduce \
-         linear scans the engine was rewritten to avoid (fit.ml's \
-         vetted open-fleet scan is the allowed primitive)";
+         in the O(open-bins) engine and policy modules, and in the \
+         per-draw workload sampler, reintroduce linear scans those \
+         paths were rewritten to avoid (fit.ml's vetted open-fleet \
+         scan is the allowed primitive)";
     };
   ]
 
@@ -117,8 +118,15 @@ let r6_hot_modules =
     "modified_first_fit.ml"; "policy.ml";
   ]
 
+(* The workload sampler draws once per generated item, so a linear
+   scan there is O(catalog) per draw — the Discrete_sizes List.nth
+   regression this extension was added to catch. *)
+let r6_workload_modules = [ "generator.ml" ]
+
 let r6_applies path =
-  has_infix ~infix:"lib/core/" path && List.mem (basename path) r6_hot_modules
+  (has_infix ~infix:"lib/core/" path && List.mem (basename path) r6_hot_modules)
+  || has_infix ~infix:"lib/workload/" path
+     && List.mem (basename path) r6_workload_modules
 
 (* ---- longident helpers ---------------------------------------------- *)
 

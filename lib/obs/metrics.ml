@@ -115,6 +115,38 @@ let hist_aggregates t name =
 let histograms t =
   sorted_bindings t.hists (fun h -> Array.sub h.data 0 h.len)
 
+(* ---- checkpointing -------------------------------------------------- *)
+
+type dump = {
+  d_counters : (string * int) list;
+  d_gauges : (string * int) list;
+  d_rat_sums : (string * Rat.t) list;
+  d_hists : (string * float array) list;
+}
+
+let dump t =
+  {
+    d_counters = counters t;
+    d_gauges = gauges t;
+    d_rat_sums = rat_sums t;
+    d_hists = histograms t;
+  }
+
+(* Restoring replays every observation in insertion order, so the
+   incrementally maintained float aggregates (notably [sum], a
+   left-to-right chain of additions) come out bit-identical to the
+   original registry's — continuing a restored registry is
+   indistinguishable from never having stopped. *)
+let restore d =
+  let t = create () in
+  List.iter (fun (name, v) -> add t name v) d.d_counters;
+  List.iter (fun (name, v) -> set_gauge t name v) d.d_gauges;
+  List.iter (fun (name, v) -> add_rat t name v) d.d_rat_sums;
+  List.iter
+    (fun (name, values) -> Array.iter (fun x -> observe t name x) values)
+    d.d_hists;
+  t
+
 let is_empty t =
   Hashtbl.length t.counters = 0
   && Hashtbl.length t.gauges = 0

@@ -58,3 +58,25 @@ val hist_aggregates : t -> string -> hist_aggregates option
 val histograms : t -> (string * float array) list
 
 val is_empty : t -> bool
+
+(** {1 Checkpointing} *)
+
+type dump = {
+  d_counters : (string * int) list;
+  d_gauges : (string * int) list;
+  d_rat_sums : (string * Rat.t) list;
+  d_hists : (string * float array) list;
+      (** Raw observations in insertion order — order matters, see
+          {!restore}. *)
+}
+
+val dump : t -> dump
+(** A full snapshot of the registry (names sorted, observations in
+    insertion order). *)
+
+val restore : dump -> t
+(** A fresh registry holding the dumped state.  Histogram aggregates
+    are rebuilt by replaying the observations in their original
+    insertion order, so the float [sum] (a left-to-right addition
+    chain) is bit-identical to the dumped registry's — a restored
+    registry continues exactly where the dump stopped. *)

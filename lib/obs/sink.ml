@@ -31,3 +31,7 @@ let emit t ~time kind =
 
 let emitted t = t.seq
 let flush t = t.flush_fn ()
+
+let set_seq t seq =
+  if seq < 0 then invalid_arg "Sink.set_seq: negative sequence number";
+  t.seq <- seq

@@ -168,6 +168,11 @@ let parse_object line =
   if !pos <> n then bad "trailing characters after the closing '}'";
   List.rev !fields
 
+let parse_flat_object line =
+  match parse_object line with
+  | fields -> Ok fields
+  | exception Bad msg -> Error msg
+
 let of_ndjson line =
   try
     let fields = parse_object line in

@@ -47,6 +47,15 @@ val of_ndjson : string -> (t, string) result
 (** Strict schema validation: unknown kinds, missing/extra/duplicate
     keys, wrong value types and malformed rationals are all errors. *)
 
+type value = Int of int | Str of string
+
+val parse_flat_object : string -> ((string * value) list, string) result
+(** The strict minimal JSON reader behind {!of_ndjson}: one flat
+    object whose values are integers or strings; nesting, floats,
+    booleans and duplicate keys are rejected.  Exposed so sibling
+    NDJSON schemas (the checkpoint format) parse with the same
+    strictness.  Fields come back in source order. *)
+
 val parse_all : string -> (t list, string) result
 (** Validates a whole NDJSON document (blank lines ignored): every
     line parses, sequence numbers are exactly [0, 1, 2, ...] and

@@ -45,3 +45,11 @@ let next_int t bound =
 
 let next_float t = float_of_int (next_uint_as_int t) *. (1.0 /. 4294967296.0)
 let next_bool t = next_uint_as_int t land 1 = 1
+
+(* Checkpoint support: state advances per draw, the increment selects
+   the stream and never changes after [create]. *)
+let dump t = (t.state, t.increment)
+let of_dump ~state ~increment =
+  if Int64.logand increment 1L = 0L then
+    invalid_arg "Pcg32.of_dump: increment must be odd";
+  { state; increment }

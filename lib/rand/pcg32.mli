@@ -21,3 +21,13 @@ val next_float : t -> float
 (** Uniform in [[0, 1)) with 32 bits of precision. *)
 
 val next_bool : t -> bool
+
+val dump : t -> int64 * int64
+(** [(state, increment)] — the full generator state, for
+    checkpointing. *)
+
+val of_dump : state:int64 -> increment:int64 -> t
+(** Rebuilds a generator that continues the dumped stream
+    bit-identically.
+    @raise Invalid_argument if the increment is even (no PCG32 stream
+    has an even increment). *)

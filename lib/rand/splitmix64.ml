@@ -37,3 +37,8 @@ let next_int t bound =
     draw ()
 
 let next_bool t = Int64.logand (next_int64 t) 1L = 1L
+
+(* Checkpoint support: the whole generator is its 64-bit state, so a
+   snapshot is one int64 and restore is one store. *)
+let state t = t.state
+let set_state t s = t.state <- s

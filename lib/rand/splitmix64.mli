@@ -26,3 +26,9 @@ val next_int : t -> int -> int
     @raise Invalid_argument if [bound <= 0]. *)
 
 val next_bool : t -> bool
+
+val state : t -> int64
+(** The full generator state (checkpointing); feed back through
+    {!set_state} to resume the stream bit-identically. *)
+
+val set_state : t -> int64 -> unit

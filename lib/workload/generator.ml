@@ -27,15 +27,20 @@ let duration_on_grid (spec : Spec.t) raw =
   let hi = Rat.of_float ~den:q spec.max_duration in
   Rat.max lo (Rat.min hi d)
 
-let sample_size (spec : Spec.t) rng =
+(* Built once per generation run: the old per-draw sampler rebuilt the
+   weight array and walked the catalog with List.nth on every draw,
+   making Discrete_sizes generation O(catalog) per item.  The draw
+   sequence is unchanged (same single Dist.discrete call), so seeded
+   workloads are bit-identical to before. *)
+let size_sampler (spec : Spec.t) =
   match spec.sizes with
-  | Spec.Constant_size s -> s
+  | Spec.Constant_size s -> fun _rng -> s
   | Spec.Uniform_sizes { lo; hi } ->
-      size_on_grid spec (Dist.uniform rng ~lo ~hi)
+      fun rng -> size_on_grid spec (Dist.uniform rng ~lo ~hi)
   | Spec.Discrete_sizes catalog ->
+      let sizes = Array.of_list (List.map fst catalog) in
       let weights = Array.of_list (List.map snd catalog) in
-      let idx = Dist.discrete rng ~weights in
-      fst (List.nth catalog idx)
+      fun rng -> sizes.(Dist.discrete rng ~weights)
 
 let sample_duration (spec : Spec.t) rng =
   match spec.durations with
@@ -66,22 +71,19 @@ let sample_arrivals (spec : Spec.t) rng =
           Rat.of_float ~den:q (float_of_int b *. gap))
 
 let validate (spec : Spec.t) =
-  if spec.count <= 0 then invalid_arg "Generator: count <= 0";
-  if spec.min_duration <= 0.0 then invalid_arg "Generator: min_duration <= 0";
-  if spec.max_duration < spec.min_duration then
-    invalid_arg "Generator: max_duration < min_duration";
-  if spec.quantum <= 0 then invalid_arg "Generator: quantum <= 0";
+  Spec.validate spec;
   if spec.min_duration < 2.0 /. float_of_int spec.quantum then
     invalid_arg "Generator: quantum too coarse for min_duration"
 
 let generate ?(seed = 42L) (spec : Spec.t) =
   validate spec;
   let rng = Splitmix64.create seed in
+  let sample_size = size_sampler spec in
   let arrivals = sample_arrivals spec rng in
   let items =
     List.map
       (fun arrival ->
-        let size = sample_size spec rng in
+        let size = sample_size rng in
         let duration = sample_duration spec rng in
         Item.make ~id:0 ~size ~arrival ~departure:(Rat.add arrival duration))
       arrivals

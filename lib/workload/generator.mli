@@ -10,9 +10,11 @@ open Dbp_num
 open Dbp_core
 
 val generate : ?seed:int64 -> Spec.t -> Instance.t
-(** @raise Invalid_argument on a degenerate spec (count <= 0,
-    min_duration <= 0, max < min, quantum too coarse to separate
-    sizes from zero). *)
+(** @raise Spec.Invalid_spec on a degenerate spec (see
+    {!Spec.validate}: empty/inverted models, bounds that collapse or
+    invert on the rational grid).
+    @raise Invalid_argument when the quantum is too coarse for the
+    minimum duration. *)
 
 val generate_many : ?seed:int64 -> Spec.t -> runs:int -> Instance.t list
 (** Independent instances (seed split per run). *)

@@ -39,19 +39,127 @@ let default =
     quantum = 10_000;
   }
 
+exception Invalid_spec of { field : string; reason : string }
+
+let invalid ~field fmt =
+  Printf.ksprintf (fun reason -> raise (Invalid_spec { field; reason })) fmt
+
+(* Construction-time validation.  The float parameters only become
+   exact once Generator snaps them onto the 1/quantum grid, so the
+   dangerous specs are the ones whose bounds are fine as floats but
+   collapse to zero or cross each other after snapping — those used to
+   surface as silently degenerate workloads (every size equal to one
+   grid step, durations clamped to a point). *)
+let validate t =
+  if t.count <= 0 then invalid ~field:"count" "%d items (need at least 1)" t.count;
+  if t.quantum <= 0 then
+    invalid ~field:"quantum" "grid denominator %d (need >= 1)" t.quantum;
+  if Rat.sign t.capacity <= 0 then
+    invalid ~field:"capacity" "capacity %s is not positive"
+      (Rat.to_string t.capacity);
+  let q = t.quantum in
+  let step = Rat.make 1 q in
+  if t.min_duration <= 0.0 then
+    invalid ~field:"min_duration" "%g is not positive" t.min_duration;
+  if t.max_duration < t.min_duration then
+    invalid ~field:"max_duration" "clamp [%g, %g] is inverted" t.min_duration
+      t.max_duration;
+  let dlo = Rat.of_float ~den:q t.min_duration in
+  let dhi = Rat.of_float ~den:q t.max_duration in
+  if Rat.sign dlo <= 0 then
+    invalid ~field:"min_duration" "%g collapses to zero on the 1/%d grid"
+      t.min_duration q;
+  if Rat.compare dhi dlo < 0 then
+    invalid ~field:"max_duration"
+      "clamp [%g, %g] inverts after 1/%d grid snapping" t.min_duration
+      t.max_duration q;
+  if t.max_duration > t.min_duration && Rat.equal dlo dhi then
+    invalid ~field:"max_duration"
+      "clamp [%g, %g] collapses to a point on the 1/%d grid" t.min_duration
+      t.max_duration q;
+  (match t.durations with
+  | Uniform_durations { lo; hi } ->
+      if hi < lo then
+        invalid ~field:"durations" "uniform(%g, %g) is inverted" lo hi
+  | Lognormal_durations { log_stddev; _ } ->
+      if log_stddev < 0.0 then
+        invalid ~field:"durations" "lognormal stddev %g is negative" log_stddev
+  | Exponential_durations { mean } ->
+      if mean <= 0.0 then
+        invalid ~field:"durations" "exponential mean %g is not positive" mean
+  | Constant_duration d ->
+      if d <= 0.0 then
+        invalid ~field:"durations" "constant duration %g is not positive" d);
+  match t.sizes with
+  | Constant_size s ->
+      if Rat.sign s <= 0 then
+        invalid ~field:"sizes" "constant size %s is not positive"
+          (Rat.to_string s);
+      if Rat.compare s t.capacity > 0 then
+        invalid ~field:"sizes" "constant size %s exceeds capacity %s"
+          (Rat.to_string s) (Rat.to_string t.capacity)
+  | Discrete_sizes [] -> invalid ~field:"sizes" "empty size catalog"
+  | Discrete_sizes catalog ->
+      List.iter
+        (fun (s, w) ->
+          if Rat.sign s <= 0 then
+            invalid ~field:"sizes" "catalog size %s is not positive"
+              (Rat.to_string s);
+          if Rat.compare s t.capacity > 0 then
+            invalid ~field:"sizes" "catalog size %s exceeds capacity %s"
+              (Rat.to_string s) (Rat.to_string t.capacity);
+          if w < 0.0 || not (Float.is_finite w) then
+            invalid ~field:"sizes" "catalog weight %g is negative or not finite"
+              w)
+        catalog;
+      if List.for_all (fun (_, w) -> w <= 0.0) catalog then
+        invalid ~field:"sizes" "every catalog weight is zero"
+  | Uniform_sizes { lo; hi } ->
+      if lo < 0.0 then invalid ~field:"sizes" "lower bound %g is negative" lo;
+      if hi <= lo then
+        invalid ~field:"sizes" "uniform(%g, %g) is inverted or empty" lo hi;
+      let lo_q = Rat.of_float ~den:q lo in
+      let hi_q = Rat.of_float ~den:q hi in
+      if Rat.sign hi_q <= 0 then
+        invalid ~field:"sizes" "upper bound %g collapses to zero on the 1/%d grid"
+          hi q;
+      if Rat.compare hi_q t.capacity < 0 then begin
+        (* Sub-capacity bound: Generator keeps draws strictly below it,
+           snapping them down onto [step, hi_q - step]. *)
+        if Rat.compare hi_q step <= 0 then
+          invalid ~field:"sizes"
+            "upper bound %g leaves no grid point strictly below it (1/%d grid)"
+            hi q;
+        if Rat.compare lo_q (Rat.sub hi_q step) > 0 then
+          invalid ~field:"sizes"
+            "bounds [%g, %g) collapse after 1/%d grid snapping" lo hi q
+      end
+
+let check t =
+  match validate t with
+  | () -> Ok ()
+  | exception Invalid_spec { field; reason } ->
+      Error (Printf.sprintf "%s: %s" field reason)
+
 let with_target_mu t ~mu =
   if mu < 1.0 then invalid_arg "Spec.with_target_mu: mu < 1";
-  { t with max_duration = t.min_duration *. mu }
+  let t = { t with max_duration = t.min_duration *. mu } in
+  validate t;
+  t
 
 let small_items t ~k =
   if k <= 1 then invalid_arg "Spec.small_items: k <= 1";
   let hi = Rat.to_float t.capacity /. float_of_int k in
-  { t with sizes = Uniform_sizes { lo = 0.0; hi } }
+  let t = { t with sizes = Uniform_sizes { lo = 0.0; hi } } in
+  validate t;
+  t
 
 let large_items t ~k =
   if k <= 1 then invalid_arg "Spec.large_items: k <= 1";
   let lo = Rat.to_float t.capacity /. float_of_int k in
-  { t with sizes = Uniform_sizes { lo; hi = Rat.to_float t.capacity } }
+  let t = { t with sizes = Uniform_sizes { lo; hi = Rat.to_float t.capacity } } in
+  validate t;
+  t
 
 let pp_sizes fmt = function
   | Uniform_sizes { lo; hi } -> Format.fprintf fmt "uniform(%g, %g)" lo hi

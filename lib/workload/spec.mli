@@ -46,6 +46,23 @@ val default : t
     exponential durations clamped to [[1, 10]] (target [mu = 10]),
     quantum 10000. *)
 
+exception Invalid_spec of { field : string; reason : string }
+(** Structured construction-time rejection: which spec field is broken
+    and why. *)
+
+val validate : t -> unit
+(** Rejects degenerate specs {e before} any sampling happens: empty or
+    inverted models, non-positive counts/quanta/capacities, and —
+    the subtle class — bounds that are fine as floats but collapse or
+    invert once [Rat.of_float ~den:quantum] snaps them onto the grid
+    (a duration clamp collapsing to a point, a size upper bound with
+    no grid point strictly below it).  Called by the constructors
+    below and by [Generator.generate].
+    @raise Invalid_spec with the offending field. *)
+
+val check : t -> (unit, string) result
+(** {!validate} as a result, message ["field: reason"]. *)
+
 val with_target_mu : t -> mu:float -> t
 (** Rescales the duration clamps to [[Delta, mu * Delta]] keeping
     [Delta = min_duration]. *)

@@ -111,13 +111,15 @@ Policy comparison:
 The scaling benchmark emits the perf-trajectory JSON.  Wall-clock
 numbers vary run to run, so the checks stick to the deterministic
 shape: the schema, the size grid, one fast row per policy and size
-plus one naive row per policy, and — the real assertion — every
-naive-vs-fast pair bit-identical:
+plus one naive row per policy, and — the real assertions — every
+naive-vs-fast pair bit-identical, and (schema /3) every run cut at
+its event midpoint and resumed from a checkpoint snapshot
+bit-identical to the straight run:
 
   $ dbp bench --quick --json -o bench.json
   wrote bench.json
   $ grep -o '"schema": "[^"]*"' bench.json
-  "schema": "dbp-bench-simulator/2"
+  "schema": "dbp-bench-simulator/3"
   $ grep -o '"quick": [a-z]*' bench.json; grep -o '"sizes": \[[0-9, ]*\]' bench.json; grep -o '"naive_size": [0-9]*' bench.json
   "quick": true
   "sizes": [500, 2000]
@@ -126,17 +128,20 @@ naive-vs-fast pair bit-identical:
   16
   8
   $ grep -c '"identical": true' bench.json; grep -c '"identical": false' bench.json
-  8
+  16
   0
   [1]
+  $ grep -c '"snapshot_bytes"' bench.json
+  8
   $ grep -c '"speedup"' bench.json; grep -c '"extrapolated_speedup_at_max"' bench.json
   16
   1
 
-The human-readable rendering carries the same equivalence verdicts:
+The human-readable rendering carries the same equivalence and
+segmented-checkpoint verdicts (8 policies each):
 
   $ dbp bench --quick | grep -c '| yes'
-  8
+  16
 
 Since schema /2 the JSON also carries per-policy engine profiles:
 
@@ -179,6 +184,57 @@ simulate cost above):
   item_held           | 30 | 2.556  | 1.711  | 6      | 1      | 6
   open_bins           | 60 | 3.4    | 3.5    | 5      | 0      | 6
   utilisation_at_pack | 30 | 0.7139 | 0.7449 | 0.8985 | 0.3784 | 0.9577
+
+Checkpoint/restore: freeze the First Fit run mid-stream (event 33 of
+60), inspect the image, resume it — the summary matches the
+uninterrupted simulate line above — and have --verify prove the
+bit-identity (packing, exact cost and trace suffix):
+
+  $ dbp checkpoint --trace trace.csv --policy first-fit --save snap.ndjson --at 33
+  checkpoint: froze first-fit after 33 event(s) to snap.ndjson
+  $ head -1 snap.ndjson
+  {"schema":"dbp-checkpoint/1","kind":"engine","policy":"first-fit","seed":"42","events_applied":33,"trace_seq":68,"capacity":"1","clock":"8371/1000","violations":0,"bins":10,"metered":0}
+  $ dbp checkpoint --inspect snap.ndjson
+  schema:             dbp-checkpoint/1 (engine)
+  policy:             first-fit (seed 42)
+  events applied:     33
+  trace position:     68
+  clock:              8371/1000
+  bins:               10 total, 5 open
+  active items:       7
+  closed-bin cost:    30459/2000
+  any-fit violations: 0
+  metrics:            none
+  $ dbp checkpoint --trace trace.csv --resume snap.ndjson --trace-out resumed.ndjson
+  wrote resumed event stream to resumed.ndjson
+  first_fit: 14 bins, cost=120481/2000 (60.2405), max open=6, any-fit violations=0
+  $ head -1 resumed.ndjson
+  {"seq":68,"t":"85877/10000","kind":"depart","item":10,"bin":5,"held":"7161/2000"}
+  $ dbp checkpoint --trace trace.csv --verify snap.ndjson
+  verify: resumed run bit-identical to the uninterrupted one
+
+Random Fit round-trips its RNG state through the snapshot — the
+resumed stream keeps drawing exactly where the frozen one stopped:
+
+  $ dbp checkpoint --trace trace.csv --policy random-fit --save rsnap.ndjson --at 41
+  checkpoint: froze random-fit after 41 event(s) to rsnap.ndjson
+  $ dbp checkpoint --trace trace.csv --verify rsnap.ndjson
+  verify: resumed run bit-identical to the uninterrupted one
+
+Corrupt or unusable snapshots exit 2 with a diagnostic, never a
+half-resumed run:
+
+  $ sed '$d' snap.ndjson > truncated.ndjson
+  $ dbp checkpoint --inspect truncated.ndjson
+  truncated.ndjson: corrupt snapshot: missing footer line (truncated snapshot?)
+  [2]
+  $ sed 's/"policy":"first-fit"/"policy":"bogus"/' snap.ndjson > bogus.ndjson
+  $ dbp checkpoint --trace trace.csv --resume bogus.ndjson
+  dbp: snapshot names an unknown policy "bogus"
+  [2]
+  $ dbp checkpoint
+  dbp checkpoint: pick one of --save / --resume / --inspect / --verify
+  [2]
 
 A trace with shuffled but valid ids loads (ids are preserved), while
 duplicate ids die with a diagnostic naming both lines:

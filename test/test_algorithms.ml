@@ -144,8 +144,111 @@ let test_ff_on_fragmentation () =
   Alcotest.(check int) "k bins" k (Packing.bins_used packing);
   check_rat "cost k*mu" (Rat.mul_int mu k) packing.Packing.total_cost
 
+(* Harmonic class boundaries are exact rationals: W/j itself belongs
+   to class j (classes are (W/(j+1), W/j], the last one catch-all), at
+   any capacity, with the just-inside neighbours on the expected side. *)
+let test_harmonic_boundaries () =
+  List.iter
+    (fun capacity ->
+      List.iter
+        (fun m ->
+          for j = 1 to 2 * m do
+            Alcotest.(check int)
+              (Printf.sprintf "W/%d, %d classes" j m)
+              (min j m)
+              (Harmonic_fit.class_of ~capacity ~classes:m
+                 (Rat.div_int capacity j))
+          done;
+          let eps = Rat.div_int capacity 1000 in
+          for j = 1 to m - 1 do
+            (* still above W/(j+1): class j *)
+            Alcotest.(check int)
+              (Printf.sprintf "W/%d - eps, %d classes" j m)
+              j
+              (Harmonic_fit.class_of ~capacity ~classes:m
+                 (Rat.sub (Rat.div_int capacity j) eps));
+            (* just above W/(j+1): still class j *)
+            Alcotest.(check int)
+              (Printf.sprintf "W/%d + eps, %d classes" (j + 1) m)
+              j
+              (Harmonic_fit.class_of ~capacity ~classes:m
+                 (Rat.add (Rat.div_int capacity (j + 1)) eps))
+          done)
+        [ 2; 3; 4; 6 ])
+    [ Rat.one; r 3 2; r 7 10 ];
+  let oob size =
+    match Harmonic_fit.class_of ~capacity:Rat.one ~classes:4 size with
+    | exception Invalid_argument _ -> true
+    | _ -> false
+  in
+  Alcotest.(check bool) "zero rejected" true (oob Rat.zero);
+  Alcotest.(check bool) "negative rejected" true (oob (r (-1) 2));
+  Alcotest.(check bool) "oversize rejected" true (oob (r 3 2))
+
+(* MFF's pool split at exactly size = W/k: the Theorem 3 premise is
+   "large" means size >= W/k, so the boundary item is large. *)
+let test_mff_boundary_item_is_large () =
+  let instance =
+    inst
+      [
+        mk ~size:(r 1 8) 0 10;  (* exactly W/k for k = 8: large pool *)
+        mk ~size:(r 1 16) 0 10; (* strictly below W/k: small pool *)
+      ]
+  in
+  let packing =
+    Simulator.run ~policy:Modified_first_fit.policy_mu_oblivious instance
+  in
+  assert_valid_packing packing;
+  Alcotest.(check int) "pools never share a bin" 2 (Packing.bins_used packing);
+  Alcotest.(check string)
+    "boundary item in the large pool" Modified_first_fit.large_tag
+    packing.Packing.bins.(packing.Packing.assignment.(0)).Packing.tag;
+  Alcotest.(check string)
+    "sub-boundary item in the small pool" Modified_first_fit.small_tag
+    packing.Packing.bins.(packing.Packing.assignment.(1)).Packing.tag
+
+(* Sizes n/16 with n >= 2 are all >= W/8 on capacity 1 — the large
+   pool swallows the whole load, boundary items included. *)
+let all_large_instance_gen ?(max_items = 30) ?(mu_max = 8) () =
+  QCheck2.Gen.(
+    let item_gen =
+      map3
+        (fun size_num arr dur_frac ->
+          let size = Rat.make size_num 16 in
+          let arrival = Rat.make arr 4 in
+          let duration =
+            Rat.add Rat.one (Rat.make (dur_frac mod ((mu_max - 1) * 4)) 4)
+          in
+          Item.make ~id:0 ~size ~arrival ~departure:(Rat.add arrival duration))
+        (int_range 2 16) (int_range 0 80) (int_range 0 1000)
+    in
+    map
+      (fun items -> Instance.create ~capacity:Rat.one items)
+      (list_size (int_range 1 max_items) item_gen))
+
 let prop_tests =
   [
+    qcheck ~count:300 "harmonic class_of total over (0, W]"
+      QCheck2.Gen.(
+        triple (int_range 2 6) (int_range 1 60) (int_range 1 60))
+      (fun (classes, a, b) ->
+        (* size = min(a,b)/max(a,b) lies in (0, 1] *)
+        let size = Rat.make (min a b) (max a b) in
+        let cls = Harmonic_fit.class_of ~capacity:Rat.one ~classes size in
+        (* total and in range, and the defining window holds exactly *)
+        let next = Rat.make 1 (cls + 1) in
+        1 <= cls && cls <= classes
+        && Rat.(size <= Rat.make 1 cls)
+        && (cls = classes || Rat.(size > next)));
+    qcheck ~count:150 "MFF = FF when every item is large (boundary incl.)"
+      (all_large_instance_gen ()) (fun instance ->
+        (* all sizes >= W/8: MFF's large pool is the whole load *)
+        let ff = Simulator.run ~policy:First_fit.policy instance in
+        let mff =
+          Simulator.run ~policy:Modified_first_fit.policy_mu_oblivious instance
+        in
+        mff.Packing.assignment = ff.Packing.assignment
+        && Rat.equal mff.Packing.total_cost ff.Packing.total_cost);
     qcheck ~count:150 "MFF never mixes pools" (instance_gen ())
       (fun instance ->
         let threshold = Rat.div (Instance.capacity instance) (ri 8) in
@@ -202,5 +305,9 @@ let suite =
     Alcotest.test_case "MFF validation" `Quick test_mff_parameter_validation;
     Alcotest.test_case "registry" `Quick test_registry;
     Alcotest.test_case "FF on fragmentation" `Quick test_ff_on_fragmentation;
+    Alcotest.test_case "harmonic class boundaries" `Quick
+      test_harmonic_boundaries;
+    Alcotest.test_case "MFF boundary size W/k is large" `Quick
+      test_mff_boundary_item_is_large;
   ]
   @ prop_tests

@@ -1,0 +1,266 @@
+(* Checkpoint/restore: a resumed run must be bit-identical to one that
+   never stopped — packing, exact cost, trace stream, metrics registry
+   and (for fault-injected runs) every resilience counter.  Also pins
+   the wire format's rejection of corrupt images. *)
+
+open Dbp_num
+open Dbp_core
+open Dbp_checkpoint
+
+let workload ?(count = 60) ?(seed = 9L) () =
+  Dbp_workload.Generator.generate ~seed
+    { Dbp_workload.Spec.default with Dbp_workload.Spec.count = count }
+
+let registry_names =
+  [
+    "first-fit";
+    "best-fit";
+    "worst-fit";
+    "last-fit";
+    "next-fit";
+    "random-fit";
+    "mff";
+    "harmonic:4";
+  ]
+
+let policy_exn name =
+  match Algorithms.find name with
+  | Some p -> p
+  | None -> Alcotest.failf "unknown policy %s" name
+
+(* -- file round trip across every registry policy -------------------- *)
+
+let test_round_trip_all_policies () =
+  let instance = workload () in
+  let events = List.length (Event.of_instance instance) in
+  List.iter
+    (fun name ->
+      let snap =
+        Checkpoint.save_at ~policy_name:name ~at:(events / 2) instance
+      in
+      let path = Filename.temp_file "dbp-ckpt" ".ndjson" in
+      Fun.protect
+        ~finally:(fun () -> Sys.remove path)
+        (fun () ->
+          Checkpoint.save_file path snap;
+          match Checkpoint.load_file path with
+          | Result.Error msg ->
+              Alcotest.failf "%s: reload failed: %s" name msg
+          | Ok snap ->
+              let verdict = Checkpoint.verify instance snap in
+              if not verdict.Checkpoint.ok then
+                Alcotest.failf "%s: %s" name
+                  (String.concat "; " verdict.Checkpoint.mismatches)))
+    registry_names
+
+(* The serialiser is canonical: parse-then-print is the identity. *)
+let test_canonical_round_trip () =
+  let instance = workload () in
+  let snap = Checkpoint.save_at ~policy_name:"best-fit" ~at:37 instance in
+  let text = Snapshot.to_string snap in
+  match Snapshot.of_string text with
+  | Result.Error msg -> Alcotest.fail msg
+  | Ok snap ->
+      Alcotest.(check string) "canonical" text (Snapshot.to_string snap)
+
+(* -- checkpoint at the extremes: nothing applied, everything applied -- *)
+
+let test_boundary_cuts () =
+  let instance = workload ~count:20 () in
+  let events = List.length (Event.of_instance instance) in
+  List.iter
+    (fun at ->
+      let snap = Checkpoint.save_at ~policy_name:"first-fit" ~at instance in
+      let verdict = Checkpoint.verify instance snap in
+      if not verdict.Checkpoint.ok then
+        Alcotest.failf "cut %d: %s" at
+          (String.concat "; " verdict.Checkpoint.mismatches))
+    [ 0; 1; events - 1; events ];
+  Alcotest.check_raises "negative cut"
+    (Checkpoint.Error
+       (Printf.sprintf "checkpoint index -1 outside [0, %d]" events))
+    (fun () ->
+      ignore (Checkpoint.save_at ~policy_name:"first-fit" ~at:(-1) instance))
+
+(* -- the trace stream continues seamlessly ---------------------------- *)
+
+let test_trace_stream_continues () =
+  let instance = workload () in
+  let policy = policy_exn "first-fit" in
+  let buf_full = Buffer.create 1024 in
+  let full =
+    Simulator.run ~sink:(Dbp_obs.Sink.to_buffer buf_full) ~policy instance
+  in
+  let buf_head = Buffer.create 1024 in
+  let snap =
+    Checkpoint.save_at
+      ~sink:(Dbp_obs.Sink.to_buffer buf_head)
+      ~policy_name:"first-fit" ~at:41 instance
+  in
+  let buf_tail = Buffer.create 1024 in
+  let { Checkpoint.packing; _ } =
+    Checkpoint.resume ~sink:(Dbp_obs.Sink.to_buffer buf_tail) instance snap
+  in
+  Alcotest.check Test_util.rat "same cost" full.Packing.total_cost
+    packing.Packing.total_cost;
+  Alcotest.(check string)
+    "head + tail = uninterrupted stream"
+    (Buffer.contents buf_full)
+    (Buffer.contents buf_head ^ Buffer.contents buf_tail)
+
+(* -- metrics registry restores bit-identically ------------------------ *)
+
+let test_metrics_round_trip () =
+  let instance = workload () in
+  let policy = policy_exn "best-fit" in
+  let m_full = Dbp_obs.Metrics.create () in
+  ignore (Simulator.run ~metrics:m_full ~policy instance);
+  let m_head = Dbp_obs.Metrics.create () in
+  let snap =
+    Checkpoint.save_at ~metrics:m_head ~policy_name:"best-fit" ~at:53 instance
+  in
+  Alcotest.(check bool) "dump captured" true (snap.Snapshot.metrics <> None);
+  let resumed = Checkpoint.resume instance snap in
+  match resumed.Checkpoint.metrics with
+  | None -> Alcotest.fail "resume dropped the metrics registry"
+  | Some m_res ->
+      let df = Dbp_obs.Metrics.dump m_full in
+      let dr = Dbp_obs.Metrics.dump m_res in
+      Alcotest.(check (list (pair string int)))
+        "counters" df.Dbp_obs.Metrics.d_counters dr.Dbp_obs.Metrics.d_counters;
+      Alcotest.(check (list (pair string int)))
+        "gauges" df.Dbp_obs.Metrics.d_gauges dr.Dbp_obs.Metrics.d_gauges;
+      Alcotest.(check (list (pair string Test_util.rat)))
+        "exact sums" df.Dbp_obs.Metrics.d_rat_sums
+        dr.Dbp_obs.Metrics.d_rat_sums;
+      Alcotest.(check (list (pair string (array (float 0.0)))))
+        "histogram observations" df.Dbp_obs.Metrics.d_hists
+        dr.Dbp_obs.Metrics.d_hists
+
+(* -- crash-recovery image: fault-injected run, frozen mid-drain ------- *)
+
+let test_faults_round_trip () =
+  let instance = workload ~count:80 ~seed:17L () in
+  let policy = policy_exn "random-fit" in
+  let horizon = Interval.hi (Instance.packing_period instance) in
+  let plan =
+    Dbp_faults.Fault_plan.poisson_crashes ~seed:23L ~rate:1.5 ~horizon
+  in
+  let straight = Dbp_faults.Injector.run ~plan ~policy instance in
+  let st = Dbp_faults.Injector.create ~plan ~policy instance in
+  let rec advance n =
+    if n > 0 && Dbp_faults.Injector.step st then advance (n - 1)
+  in
+  advance 70;
+  let snap =
+    {
+      Snapshot.meta =
+        {
+          Snapshot.policy = "random-fit";
+          seed = Algorithms.default_seed;
+          events_applied = Dbp_faults.Injector.events_done st;
+          trace_seq = 0;
+        };
+      metrics = None;
+      payload = Snapshot.Faults (Dbp_faults.Injector.freeze st);
+    }
+  in
+  let snap =
+    match Snapshot.of_string (Snapshot.to_string snap) with
+    | Ok s -> s
+    | Result.Error msg -> Alcotest.failf "fault round trip: %s" msg
+  in
+  let { Checkpoint.fresult = resumed; _ } =
+    Checkpoint.resume_faults instance snap
+  in
+  let sp = straight.Dbp_faults.Injector.packing in
+  let rp = resumed.Dbp_faults.Injector.packing in
+  Alcotest.check Test_util.rat "same faulty cost" sp.Packing.total_cost
+    rp.Packing.total_cost;
+  Alcotest.(check int) "same bins" (Packing.bins_used sp) (Packing.bins_used rp);
+  let sz = straight.Dbp_faults.Injector.resilience in
+  let rz = resumed.Dbp_faults.Injector.resilience in
+  let open Dbp_faults in
+  Alcotest.(check int)
+    "interrupted" sz.Resilience.interrupted_sessions
+    rz.Resilience.interrupted_sessions;
+  Alcotest.(check int)
+    "resumed" sz.Resilience.resumed_sessions rz.Resilience.resumed_sessions;
+  Alcotest.(check int)
+    "lost" sz.Resilience.lost_sessions rz.Resilience.lost_sessions;
+  Alcotest.(check (list Test_util.rat))
+    "recovery latencies" sz.Resilience.recovery_latencies
+    rz.Resilience.recovery_latencies
+
+(* -- corrupt images are rejected, not half-loaded --------------------- *)
+
+(* Replace every occurrence of [sub] with [by] (no regex dependency). *)
+let replace ~sub ~by text =
+  let n = String.length sub in
+  let buf = Buffer.create (String.length text) in
+  let i = ref 0 in
+  while !i <= String.length text - n do
+    if String.sub text !i n = sub then begin
+      Buffer.add_string buf by;
+      i := !i + n
+    end
+    else begin
+      Buffer.add_char buf text.[!i];
+      incr i
+    end
+  done;
+  Buffer.add_string buf (String.sub text !i (String.length text - !i));
+  Buffer.contents buf
+
+let expect_corrupt what text =
+  match Snapshot.of_string text with
+  | Ok _ -> Alcotest.failf "%s: corrupt snapshot accepted" what
+  | Result.Error _ -> ()
+
+let test_corrupt_rejected () =
+  let instance = workload ~count:20 () in
+  let snap = Checkpoint.save_at ~policy_name:"first-fit" ~at:11 instance in
+  let text = Snapshot.to_string snap in
+  let lines = String.split_on_char '\n' text in
+  let without p =
+    String.concat "\n" (List.filter (fun l -> not (p l)) lines)
+  in
+  (* truncation: the footer is gone *)
+  expect_corrupt "no footer"
+    (without (fun l ->
+         String.length l >= 7 && String.sub l 0 7 = {|{"end":|}));
+  (* a body line vanished but the footer still promises it *)
+  expect_corrupt "missing bin line"
+    (without (fun l ->
+         String.length l >= 8 && String.sub l 0 8 = {|{"bin":0|}));
+  (* wrong schema *)
+  expect_corrupt "alien schema" (replace ~sub:Snapshot.schema ~by:"dbp-nope/9" text);
+  (* not NDJSON at all *)
+  expect_corrupt "garbage" "not a snapshot\n";
+  expect_corrupt "empty" "";
+  (* an unknown policy parses but cannot resume *)
+  let renamed =
+    replace ~sub:{|"policy":"first-fit"|} ~by:{|"policy":"bogus"|} text
+  in
+  match Snapshot.of_string renamed with
+  | Result.Error msg -> Alcotest.failf "rename should parse: %s" msg
+  | Ok snap -> (
+      match Checkpoint.resume instance snap with
+      | exception Checkpoint.Error _ -> ()
+      | _ -> Alcotest.fail "unknown policy resumed")
+
+let suite =
+  [
+    Alcotest.test_case "round trip, every registry policy" `Slow
+      test_round_trip_all_policies;
+    Alcotest.test_case "canonical serialisation" `Quick
+      test_canonical_round_trip;
+    Alcotest.test_case "boundary cuts" `Quick test_boundary_cuts;
+    Alcotest.test_case "trace stream continues" `Quick
+      test_trace_stream_continues;
+    Alcotest.test_case "metrics round trip" `Quick test_metrics_round_trip;
+    Alcotest.test_case "fault-injected round trip" `Slow
+      test_faults_round_trip;
+    Alcotest.test_case "corrupt snapshots rejected" `Quick
+      test_corrupt_rejected;
+  ]

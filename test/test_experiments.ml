@@ -5,14 +5,14 @@
 open Dbp_experiments
 
 let test_registry_complete () =
-  Alcotest.(check int) "eighteen experiments" 18
+  Alcotest.(check int) "nineteen experiments" 19
     (List.length Registry.all_names);
   List.iter
     (fun n ->
       if not (List.mem n Registry.all_names) then
         Alcotest.failf "missing experiment %s" n)
     [ "E1"; "E2"; "E3"; "E4"; "E5"; "E6"; "E7"; "E8"; "E9"; "E10"; "E11";
-      "E12"; "E13"; "E14"; "E15"; "E16"; "E17"; "E18" ];
+      "E12"; "E13"; "E14"; "E15"; "E16"; "E17"; "E18"; "E19" ];
   Alcotest.(check bool) "unknown name" true (Registry.run "E99" = None)
 
 let run_clean name =
@@ -37,6 +37,7 @@ let test_e3 () = run_clean "E3"
 let test_e10 () = run_clean "e10"
 let test_e16 () = run_clean "e16"
 let test_e18 () = run_clean "e18"
+let test_e19 () = run_clean "e19"
 
 let test_render_outcome () =
   match Registry.run "e1" with
@@ -56,5 +57,6 @@ let suite =
     Alcotest.test_case "E10 clean" `Slow test_e10;
     Alcotest.test_case "E16 clean" `Slow test_e16;
     Alcotest.test_case "E18 clean" `Slow test_e18;
+    Alcotest.test_case "E19 clean" `Slow test_e19;
     Alcotest.test_case "render outcome" `Quick test_render_outcome;
   ]

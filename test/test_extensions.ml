@@ -179,6 +179,7 @@ let chaotic_policy ~seed =
               Policy.Existing
                 (List.nth fitting (Splitmix64.next_int rng n)).Bin.bin_id);
         on_departure = Policy.no_departure_handler;
+        persistence = Policy.Volatile;
       })
 
 let fuzz_props =

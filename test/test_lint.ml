@@ -87,8 +87,14 @@ let test_r6 () =
   check_fires "R6" "lib/core/simulator.ml" "let f x xs = List.mem x xs\n";
   check_fires "R6" "lib/core/open_index.ml" "let f k l = List.assoc k l\n";
   (* fit.ml's O(open-bins) policy scan is by design; analysis is cold *)
+  (* the per-draw workload sampler is hot too (O(catalog) List.nth
+     regression) *)
+  check_fires "R6" "lib/workload/generator.ml" "let f n xs = List.nth xs n\n";
   check_silent "R6" "lib/core/fit.ml" "let f x xs = List.mem x xs\n";
   check_silent "R6" "lib/analysis/fixture.ml" "let f x xs = List.mem x xs\n";
+  (* spec construction/validation is cold: workload scoping is
+     generator.ml only *)
+  check_silent "R6" "lib/workload/spec.ml" "let f x xs = List.mem x xs\n";
   check_silent "R6" "lib/core/simulator.ml" "let f x xs = List.map x xs\n"
 
 (* ---- scoping predicates, as the rules see the real tree ------------- *)

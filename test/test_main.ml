@@ -24,5 +24,6 @@ let () =
       ("fleet", Test_fleet.suite);
       ("validation", Test_validation.suite);
       ("obs", Test_obs.suite);
+      ("checkpoint", Test_checkpoint.suite);
       ("experiments", Test_experiments.suite);
     ]

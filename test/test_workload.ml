@@ -63,18 +63,91 @@ let test_arrival_models () =
        (fun (i : Item.t) -> Rat.(i.arrival <= Rat.of_float 10.0))
        (Instance.items u))
 
+let rejects_spec ~field spec =
+  try
+    ignore (Generator.generate spec);
+    false
+  with Spec.Invalid_spec { field = f; _ } -> String.equal f field
+
 let test_spec_validation () =
   Alcotest.(check bool) "count 0" true
-    (try
-       ignore (Generator.generate { Spec.default with Spec.count = 0 });
-       false
-     with Invalid_argument _ -> true);
+    (rejects_spec ~field:"count" { Spec.default with Spec.count = 0 });
   Alcotest.(check bool) "bad clamps" true
-    (try
-       ignore
-         (Generator.generate { Spec.default with Spec.max_duration = 0.1 });
-       false
-     with Invalid_argument _ -> true)
+    (rejects_spec ~field:"max_duration"
+       { Spec.default with Spec.max_duration = 0.1 })
+
+(* The grid-collapse family: bounds that are fine as floats but
+   degenerate once snapped onto the 1/quantum grid, each rejected with
+   a structured error naming the offending field. *)
+let test_spec_validation_grid () =
+  Alcotest.(check bool) "clamp collapses to a grid point" true
+    (rejects_spec ~field:"max_duration"
+       {
+         Spec.default with
+         Spec.min_duration = 1.0;
+         Spec.max_duration = 1.0000001;
+       });
+  Alcotest.(check bool) "min duration collapses to zero" true
+    (rejects_spec ~field:"min_duration"
+       { Spec.default with Spec.min_duration = 1e-9 });
+  Alcotest.(check bool) "inverted duration model" true
+    (rejects_spec ~field:"durations"
+       {
+         Spec.default with
+         Spec.durations = Spec.Uniform_durations { lo = 5.0; hi = 2.0 };
+       });
+  Alcotest.(check bool) "empty size catalog" true
+    (rejects_spec ~field:"sizes"
+       { Spec.default with Spec.sizes = Spec.Discrete_sizes [] });
+  Alcotest.(check bool) "all-zero catalog weights" true
+    (rejects_spec ~field:"sizes"
+       { Spec.default with Spec.sizes = Spec.Discrete_sizes [ (r 1 2, 0.0) ] });
+  Alcotest.(check bool) "oversized catalog entry" true
+    (rejects_spec ~field:"sizes"
+       { Spec.default with Spec.sizes = Spec.Discrete_sizes [ (ri 2, 1.0) ] });
+  Alcotest.(check bool) "uniform sizes collapse on the grid" true
+    (rejects_spec ~field:"sizes"
+       {
+         Spec.default with
+         Spec.sizes = Spec.Uniform_sizes { lo = 0.0; hi = 1e-9 };
+       });
+  (* the healthy default passes, and Spec.check mirrors the exception *)
+  Spec.validate Spec.default;
+  Alcotest.(check bool) "check Ok" true (Spec.check Spec.default = Ok ());
+  Alcotest.(check bool) "check Error carries the field" true
+    (match Spec.check { Spec.default with Spec.count = 0 } with
+    | Error msg -> String.length msg >= 5 && String.sub msg 0 5 = "count"
+    | Ok () -> false)
+
+(* Exact snapping at the grid boundaries (quantum 10000, W = 1,
+   clamp [1, 10]): sizes land in (0, W], durations in [min, max], and
+   a sub-capacity uniform upper bound is exclusive. *)
+let test_grid_boundaries () =
+  let spec = Spec.default in
+  let step = r 1 10_000 in
+  check_rat "zero size draw snaps up one step" step
+    (Generator.size_on_grid spec 0.0);
+  check_rat "negative size draw snaps up one step" step
+    (Generator.size_on_grid spec (-3.0));
+  check_rat "oversized draw clamps to capacity" Rat.one
+    (Generator.size_on_grid spec 2.0);
+  let sub =
+    { spec with Spec.sizes = Spec.Uniform_sizes { lo = 0.0; hi = 0.5 } }
+  in
+  check_rat "draw at a sub-capacity hi lands one step below"
+    (Rat.sub (r 1 2) step)
+    (Generator.size_on_grid sub 0.5);
+  check_rat "draw above a sub-capacity hi lands one step below"
+    (Rat.sub (r 1 2) step)
+    (Generator.size_on_grid sub 0.9);
+  check_rat "draw below hi is kept exactly" (r 1 4)
+    (Generator.size_on_grid sub 0.25);
+  check_rat "short duration clamps to min" Rat.one
+    (Generator.duration_on_grid spec 0.2);
+  check_rat "long duration clamps to max" (ri 10)
+    (Generator.duration_on_grid spec 99.0);
+  check_rat "interior duration snaps exactly" (r 5 2)
+    (Generator.duration_on_grid spec 2.5)
 
 let test_trace_round_trip () =
   let instance = Generator.generate ~seed:9L { Spec.default with Spec.count = 25 } in
@@ -292,6 +365,9 @@ let suite =
     Alcotest.test_case "generate_many" `Quick test_generate_many_independent;
     Alcotest.test_case "arrival models" `Quick test_arrival_models;
     Alcotest.test_case "spec validation" `Quick test_spec_validation;
+    Alcotest.test_case "spec validation on the grid" `Quick
+      test_spec_validation_grid;
+    Alcotest.test_case "grid boundaries" `Quick test_grid_boundaries;
     Alcotest.test_case "trace round trip" `Quick test_trace_round_trip;
     Alcotest.test_case "trace file round trip" `Quick test_trace_file_round_trip;
     Alcotest.test_case "trace errors" `Quick test_trace_errors;
