@@ -2,7 +2,8 @@
 
    Subcommands: generate / simulate / opt / adversary / decompose /
    offline / diff / stats / experiments / faults / gaming / bench /
-   check.  See README.md for a tour. *)
+   trace / checkpoint / repack / metrics / check.  See README.md for a
+   tour. *)
 
 open Cmdliner
 open Dbp_num
@@ -511,14 +512,41 @@ let faults_cmd =
              ~doc:"Bound on queued retries; beyond it the lowest-priority \
                    pending request is shed.")
   in
+  let repack_budget =
+    Arg.(value & opt (some string) None
+         & info [ "repack-budget" ] ~docv:"SPEC"
+             ~doc:
+               "Arm the live-migration rung: on a crash, migrate the \
+                victim server's sessions into the surviving fleet while \
+                this recourse budget lasts (see $(b,dbp repack) for the \
+                spec grammar); the rest fall down the \
+                restart/backoff/shed ladder.")
+  in
+  let repack_policy =
+    Arg.(value & opt string "consolidate"
+         & info [ "repack-policy" ]
+             ~doc:"Repack policy for the migration rung (with \
+                   --repack-budget): consolidate, ffd.")
+  in
   let run trace policy_name crash_rate preempt_rate warning targeted
-      launch_failure retries restart_delay max_fleet max_pending seed verbose
-      =
+      launch_failure retries restart_delay max_fleet max_pending
+      repack_budget repack_policy seed verbose =
     setup_verbose verbose;
     let open Dbp_faults in
     let invalid msg =
       Format.eprintf "dbp faults: %s@." msg;
       exit 2
+    in
+    let repack =
+      Option.map
+        (fun s ->
+          match
+            ( Dbp_repack.Budget.spec_of_string s,
+              Dbp_repack.Repack_policy.of_string repack_policy )
+          with
+          | Ok spec, Ok rp -> (spec, rp)
+          | Error msg, _ | _, Error msg -> invalid msg)
+        repack_budget
     in
     let instance = load_trace trace in
     let policy = resolve_policy ~mu:(Instance.mu instance) policy_name in
@@ -550,7 +578,7 @@ let faults_cmd =
     Format.printf "plan %s: %d faults over horizon [0, %a]@."
       plan.Fault_plan.label (Fault_plan.count plan) Rat.pp_float horizon;
     let r =
-      match Injector.run ~config ~plan ~policy instance with
+      match Injector.run ?repack ~config ~plan ~policy instance with
       | r -> r
       | exception Invalid_argument msg -> invalid msg
     in
@@ -571,7 +599,7 @@ let faults_cmd =
     Term.(
       const run $ trace $ policy_arg $ crash_rate $ preempt_rate $ warning
       $ targeted $ launch_failure $ retries $ restart_delay $ max_fleet
-      $ max_pending $ seed_arg $ verbose_arg)
+      $ max_pending $ repack_budget $ repack_policy $ seed_arg $ verbose_arg)
 
 (* ---- gaming --------------------------------------------------------- *)
 
@@ -848,6 +876,201 @@ let checkpoint_cmd =
       const run $ trace $ policy_arg $ save $ at $ resume_path $ inspect_path
       $ verify_path $ trace_out $ seed_arg)
 
+(* ---- repack --------------------------------------------------------- *)
+
+let repack_cmd =
+  let trace = trace_arg ~doc:"Input trace CSV (see $(b,generate))." in
+  let budget =
+    Arg.(value & opt string "inf"
+         & info [ "budget" ] ~docv:"SPEC"
+             ~doc:
+               "Recourse budget: $(b,8) (8 item-moves total), \
+                $(b,items:total:8), $(b,volume:event:1/2), \
+                $(b,items:bucket:1/4:8) (rate then burst), or \
+                $(b,inf).  Invalid or negative specs exit 2.")
+  in
+  let repack =
+    Arg.(value & opt string "consolidate"
+         & info [ "repack" ] ~docv:"POLICY"
+             ~doc:"Repack policy: none, consolidate, ffd.")
+  in
+  let sweep =
+    Arg.(value & opt (some string) None
+         & info [ "sweep" ] ~docv:"SPECS"
+             ~doc:
+               "Comma-separated budget specs; replay the trace once per \
+                spec and tabulate cost against migrations spent.")
+  in
+  let assert_monotone =
+    Arg.(value & flag
+         & info [ "assert-monotone" ]
+             ~doc:
+               "With --sweep: exit 1 unless the exact cost is \
+                non-increasing across the sweep order.")
+  in
+  let json =
+    Arg.(value & flag
+         & info [ "json" ]
+             ~doc:
+               "Machine-readable output: one JSON object (or, with \
+                --sweep, one per line) with exact rationals as strings.")
+  in
+  let verify =
+    Arg.(value & flag
+         & info [ "verify" ]
+             ~doc:
+               "Checkpoint-kill-resume proof: freeze the run at its \
+                midpoint, round-trip the snapshot through the wire \
+                format, resume, and exit 1 unless packing, exact cost \
+                and trace suffix are bit-identical to the uninterrupted \
+                run.")
+  in
+  let run trace policy_name budget_s repack_s sweep assert_monotone json
+      verify verbose =
+    setup_verbose verbose;
+    let open Dbp_repack in
+    let usage msg =
+      Format.eprintf "dbp repack: %s@." msg;
+      exit 2
+    in
+    let budget_of s =
+      match Budget.spec_of_string s with
+      | Ok spec -> spec
+      | Error msg -> usage msg
+    in
+    let rp =
+      match Repack_policy.of_string repack_s with
+      | Ok rp -> rp
+      | Error msg -> usage msg
+    in
+    let instance = load_trace trace in
+    let policy = resolve_policy ~mu:(Instance.mu instance) policy_name in
+    let run_one budget =
+      let r = Runner.run ~budget ~repack:rp ~policy instance in
+      (match Packing.validate r.Runner.packing with
+      | Ok () -> ()
+      | Error msg ->
+          Format.eprintf "internal error: invalid repacked packing: %s@." msg;
+          exit 1);
+      r
+    in
+    let json_line spec (r : Runner.result) =
+      Printf.printf
+        "{\"schema\":\"dbp-repack/1\",\"policy\":%S,\"repack\":%S,\
+         \"budget\":%S,\"cost\":%S,\"max_bins\":%d,\"migrations\":%d,\
+         \"moved_volume\":%S,\"bins_drained\":%d,\"reclaimed\":%S,\
+         \"denied\":%d}\n"
+        policy_name
+        (Repack_policy.name rp)
+        (Budget.spec_to_string spec)
+        (Rat.to_string r.Runner.packing.Packing.total_cost)
+        r.Runner.packing.Packing.max_bins r.Runner.stats.Runner.migrations
+        (Rat.to_string r.Runner.stats.Runner.migrated_volume)
+        r.Runner.stats.Runner.bins_closed_by_repack
+        (Rat.to_string r.Runner.stats.Runner.reclaimed_bin_seconds)
+        r.Runner.stats.Runner.denied_triggers
+    in
+    let text_summary spec (r : Runner.result) =
+      Format.printf "%a@." Packing.pp_summary r.Runner.packing;
+      Format.printf
+        "repack %s, budget %s: %d migration(s), %a volume moved, %d bin(s) \
+         drained shut, %a bin-seconds reclaimed, %d denied trigger(s)@."
+        (Repack_policy.name rp)
+        (Budget.spec_to_string spec)
+        r.Runner.stats.Runner.migrations Rat.pp_float
+        r.Runner.stats.Runner.migrated_volume
+        r.Runner.stats.Runner.bins_closed_by_repack Rat.pp_float
+        r.Runner.stats.Runner.reclaimed_bin_seconds
+        r.Runner.stats.Runner.denied_triggers
+    in
+    match (sweep, verify) with
+    | Some _, true -> usage "--sweep and --verify are mutually exclusive"
+    | Some specs, false ->
+        let specs =
+          String.split_on_char ',' specs
+          |> List.filter (fun s -> String.trim s <> "")
+          |> List.map (fun s -> budget_of (String.trim s))
+        in
+        if specs = [] then usage "--sweep needs at least one budget spec";
+        let results = List.map (fun spec -> (spec, run_one spec)) specs in
+        List.iter
+          (fun (spec, r) ->
+            if json then json_line spec r
+            else
+              Format.printf
+                "budget %-16s cost %-12s migrations %-5d drained %d@."
+                (Budget.spec_to_string spec)
+                (Rat.to_string r.Runner.packing.Packing.total_cost)
+                r.Runner.stats.Runner.migrations
+                r.Runner.stats.Runner.bins_closed_by_repack)
+          results;
+        let costs =
+          List.map
+            (fun (_, r) -> r.Runner.packing.Packing.total_cost)
+            results
+        in
+        let rec monotone = function
+          | a :: (b :: _ as rest) -> Rat.(b <= a) && monotone rest
+          | _ -> true
+        in
+        if assert_monotone && not (monotone costs) then begin
+          Format.eprintf
+            "repack: cost is NOT non-increasing across the sweep@.";
+          1
+        end
+        else 0
+    | None, true ->
+        let spec = budget_of budget_s in
+        let total = 2 * Instance.size instance in
+        let at = total / 2 in
+        let snap =
+          Dbp_checkpoint.Checkpoint.save_repack_at
+            ~mu:(Instance.mu instance) ~policy_name ~at ~budget:spec
+            ~repack:rp instance
+        in
+        let snap =
+          match
+            Dbp_checkpoint.Snapshot.of_string
+              (Dbp_checkpoint.Snapshot.to_string snap)
+          with
+          | Ok s -> s
+          | Error msg ->
+              Format.eprintf "repack: snapshot round trip failed: %s@." msg;
+              exit 1
+        in
+        let v =
+          Dbp_checkpoint.Checkpoint.verify ~mu:(Instance.mu instance)
+            instance snap
+        in
+        if v.Dbp_checkpoint.Checkpoint.ok then begin
+          Format.printf
+            "verify: repack run killed at event %d/%d resumes \
+             bit-identically@."
+            at total;
+          0
+        end
+        else begin
+          List.iter
+            (fun m -> Format.eprintf "verify: MISMATCH: %s@." m)
+            v.Dbp_checkpoint.Checkpoint.mismatches;
+          1
+        end
+    | None, false ->
+        let spec = budget_of budget_s in
+        let r = run_one spec in
+        if json then json_line spec r else text_summary spec r;
+        0
+  in
+  Cmd.v
+    (Cmd.info "repack"
+       ~doc:
+         "Replay a trace with budget-constrained repacking: migrate \
+          sessions to drain sparse servers early, metered by a recourse \
+          budget.")
+    Term.(
+      const run $ trace $ policy_arg $ budget $ repack $ sweep
+      $ assert_monotone $ json $ verify $ verbose_arg)
+
 (* ---- metrics -------------------------------------------------------- *)
 
 let metrics_cmd =
@@ -1092,6 +1315,7 @@ let () =
         bench_cmd;
         trace_cmd;
         checkpoint_cmd;
+        repack_cmd;
         metrics_cmd;
         check_cmd;
       ]

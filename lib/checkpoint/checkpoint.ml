@@ -52,6 +52,38 @@ let save_at ?audit ?sink ?metrics ?mu ?(seed = Algorithms.default_seed)
     payload = Engine frozen;
   }
 
+let save_repack_at ?audit ?sink ?metrics ?mu ?(seed = Algorithms.default_seed)
+    ?(budget = Dbp_repack.Budget.zero)
+    ?(repack = Dbp_repack.Repack_policy.No_repack) ~policy_name ~at instance =
+  let policy =
+    match Algorithms.find ~seed ?mu policy_name with
+    | Some p -> p
+    | None -> error "unknown policy %S" policy_name
+  in
+  let sink = match sink with Some s -> s | None -> Dbp_obs.Sink.null () in
+  let runner =
+    Dbp_repack.Runner.create ~audit:(audit_default audit) ~sink ?metrics
+      ~budget ~repack ~policy instance
+  in
+  let total = Dbp_repack.Runner.events_total runner in
+  if at < 0 || at > total then
+    error "checkpoint index %d outside [0, %d]" at total;
+  for _ = 1 to at do
+    ignore (Dbp_repack.Runner.step runner)
+  done;
+  let frozen = Dbp_repack.Runner.freeze runner in
+  {
+    Snapshot.meta =
+      {
+        policy = policy_name;
+        seed;
+        events_applied = at;
+        trace_seq = Dbp_obs.Sink.emitted sink;
+      };
+    metrics = Option.map Dbp_obs.Metrics.dump metrics;
+    payload = Repack frozen;
+  }
+
 type resumed = { packing : Packing.t; metrics : Dbp_obs.Metrics.t option }
 
 let resume ?audit ?sink ?mu instance (snap : Snapshot.t) =
@@ -60,6 +92,8 @@ let resume ?audit ?sink ?mu instance (snap : Snapshot.t) =
     | Snapshot.Engine f -> f
     | Snapshot.Faults _ ->
         error "snapshot holds a fault-injected run; use resume_faults"
+    | Snapshot.Repack _ ->
+        error "snapshot holds a repacking run; use resume_repack"
   in
   let policy = policy_of ?mu snap.meta in
   (match sink with
@@ -95,6 +129,8 @@ let resume_faults ?audit ?sink ?priority ?mu instance (snap : Snapshot.t) =
     | Snapshot.Faults f -> f
     | Snapshot.Engine _ ->
         error "snapshot holds a plain engine run; use resume"
+    | Snapshot.Repack _ ->
+        error "snapshot holds a repacking run; use resume_repack"
   in
   let policy = policy_of ?mu snap.meta in
   (match sink with
@@ -107,6 +143,32 @@ let resume_faults ?audit ?sink ?priority ?mu instance (snap : Snapshot.t) =
   in
   Dbp_faults.Injector.drain st;
   { fresult = Dbp_faults.Injector.finish st; fmetrics = metrics }
+
+type resumed_repack = {
+  rresult : Dbp_repack.Runner.result;
+  rmetrics : Dbp_obs.Metrics.t option;
+}
+
+let resume_repack ?audit ?sink ?mu instance (snap : Snapshot.t) =
+  let frozen =
+    match snap.payload with
+    | Snapshot.Repack r -> r
+    | Snapshot.Engine _ ->
+        error "snapshot holds a plain engine run; use resume"
+    | Snapshot.Faults _ ->
+        error "snapshot holds a fault-injected run; use resume_faults"
+  in
+  let policy = policy_of ?mu snap.meta in
+  (match sink with
+  | Some s -> Dbp_obs.Sink.set_seq s snap.meta.trace_seq
+  | None -> ());
+  let metrics = Option.map Dbp_obs.Metrics.restore snap.metrics in
+  let runner =
+    Dbp_repack.Runner.thaw ~audit:(audit_default audit) ?sink ?metrics ~policy
+      ~instance frozen
+  in
+  Dbp_repack.Runner.drain runner;
+  { rresult = Dbp_repack.Runner.finish runner; rmetrics = metrics }
 
 (* ---- verification --------------------------------------------------- *)
 
@@ -161,18 +223,46 @@ let verify ?audit ?mu instance (snap : Snapshot.t) =
       error
         "verify compares against an uninterrupted Simulator.run, which a \
          fault snapshot cannot reconstruct (the remaining plan lives in its \
-         queue); engine snapshots only"
-  | Snapshot.Engine _ -> ());
+         queue); engine and repack snapshots only"
+  | Snapshot.Engine _ | Snapshot.Repack _ -> ());
   let audit = audit_default audit in
   let policy = policy_of ?mu snap.meta in
   let buf_full = Buffer.create 4096 in
-  let full =
-    Simulator.run ~audit ~sink:(Dbp_obs.Sink.to_buffer buf_full) ~policy
-      instance
-  in
   let buf_res = Buffer.create 4096 in
-  let { packing = res; _ } =
-    resume ~audit ~sink:(Dbp_obs.Sink.to_buffer buf_res) ?mu instance snap
+  let full, res =
+    match snap.payload with
+    | Snapshot.Faults _ -> assert false
+    | Snapshot.Engine _ ->
+        let full =
+          Simulator.run ~audit
+            ~sink:(Dbp_obs.Sink.to_buffer buf_full)
+            ~policy instance
+        in
+        let { packing = res; _ } =
+          resume ~audit ~sink:(Dbp_obs.Sink.to_buffer buf_res) ?mu instance
+            snap
+        in
+        (full, res)
+    | Snapshot.Repack r ->
+        (* A repack snapshot carries its own budget spec and repack
+           policy, so the uninterrupted run is reconstructible: replay
+           the whole instance through a fresh Runner under the same
+           configuration. *)
+        let budget =
+          r.Dbp_repack.Runner.Frozen.r_budget.Dbp_repack.Budget.Frozen.fb_spec
+        in
+        let full =
+          Dbp_repack.Runner.run ~audit
+            ~sink:(Dbp_obs.Sink.to_buffer buf_full)
+            ~budget ~repack:r.Dbp_repack.Runner.Frozen.r_repack ~policy
+            instance
+        in
+        let { rresult; _ } =
+          resume_repack ~audit
+            ~sink:(Dbp_obs.Sink.to_buffer buf_res)
+            ?mu instance snap
+        in
+        (full.Dbp_repack.Runner.packing, rresult.Dbp_repack.Runner.packing)
   in
   let mismatches = packing_mismatches full res in
   let full_lines = nonempty_lines (Buffer.contents buf_full) in
@@ -251,7 +341,38 @@ let inspect (snap : Snapshot.t) =
       line "faults so far:      %d injected, %d skipped; %d interrupted, %d \
             resumed, %d lost, %d shed"
         f.f_faults_injected f.f_faults_skipped f.f_interrupted f.f_resumed
-        f.f_lost f.f_shed);
+        f.f_lost f.f_shed;
+      (match f.f_repack with
+      | None -> ()
+      | Some (bf, rp) ->
+          let open Dbp_repack in
+          line "recourse budget:    %s (%s left); %d migrated, %s volume, %d \
+                denied"
+            (Budget.spec_to_string bf.Budget.Frozen.fb_spec)
+            (Rat.to_string bf.fb_tokens)
+            bf.fb_moves
+            (Rat.to_string bf.fb_moved_volume)
+            bf.fb_denied;
+          line "migration rung:     %s" (Repack_policy.name rp))
+  | Snapshot.Repack r ->
+      let open Dbp_repack in
+      let bf = r.Runner.Frozen.r_budget in
+      line "repacker:           %d events done, policy %s"
+        r.Runner.Frozen.r_events_done
+        (Repack_policy.name r.Runner.Frozen.r_repack)
+      ;
+      line "recourse budget:    %s (%s left); %d migrated, %s volume, %d \
+            denied"
+        (Budget.spec_to_string bf.Budget.Frozen.fb_spec)
+        (Rat.to_string bf.fb_tokens)
+        bf.fb_moves
+        (Rat.to_string bf.fb_moved_volume)
+        bf.fb_denied;
+      line "repack so far:      %d moves logged, %d bins drained shut, %s \
+            bin-seconds reclaimed"
+        (List.length r.Runner.Frozen.r_log)
+        r.Runner.Frozen.r_bins_closed
+        (Rat.to_string r.Runner.Frozen.r_reclaimed));
   Buffer.contents b
 
 (* ---- file IO -------------------------------------------------------- *)

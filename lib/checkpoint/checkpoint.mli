@@ -47,6 +47,26 @@ val save_at :
     events so [trace_seq] is correct either way.  [audit] defaults to
     {!Dbp_core.Audit.enabled_from_env}. *)
 
+val save_repack_at :
+  ?audit:bool ->
+  ?sink:Dbp_obs.Sink.t ->
+  ?metrics:Dbp_obs.Metrics.t ->
+  ?mu:Rat.t ->
+  ?seed:int64 ->
+  ?budget:Dbp_repack.Budget.spec ->
+  ?repack:Dbp_repack.Repack_policy.t ->
+  policy_name:string ->
+  at:int ->
+  Instance.t ->
+  Snapshot.t
+(** The {!save_at} analogue for budget-constrained repacking runs:
+    replays the first [at] instance events through a
+    {!Dbp_repack.Runner} under [budget] (default
+    {!Dbp_repack.Budget.zero}) and [repack] (default [No_repack]) and
+    freezes — budget balance, migration log and odometers included.
+    The snapshot is self-describing: {!verify} and {!resume_repack}
+    recover the budget spec and repack policy from the image. *)
+
 type resumed = { packing : Packing.t; metrics : Dbp_obs.Metrics.t option }
 
 val resume :
@@ -82,14 +102,34 @@ val resume_faults :
     affects future shedding decisions).
     @raise Error on an [Engine] snapshot or an unknown policy. *)
 
+type resumed_repack = {
+  rresult : Dbp_repack.Runner.result;
+  rmetrics : Dbp_obs.Metrics.t option;
+}
+
+val resume_repack :
+  ?audit:bool ->
+  ?sink:Dbp_obs.Sink.t ->
+  ?mu:Rat.t ->
+  Instance.t ->
+  Snapshot.t ->
+  resumed_repack
+(** Thaws a [Repack] snapshot and drains the runner to completion:
+    packing, effective instance and migration stats are the frozen
+    run's continuation, bit-identical to never having stopped.
+    @raise Error on an [Engine] or [Faults] snapshot or an unknown
+    policy. *)
+
 type verdict = { ok : bool; mismatches : string list }
 
 val verify :
   ?audit:bool -> ?mu:Rat.t -> Instance.t -> Snapshot.t -> verdict
-(** The bit-identity proof for an [Engine] snapshot: runs the
-    uninterrupted traced simulation, resumes the snapshot with its own
-    sink, and compares exact total cost, max open bins, violation
-    counts, every bin record (tag, capacity, usage period, max level,
+(** The bit-identity proof for an [Engine] or [Repack] snapshot: runs
+    the uninterrupted traced simulation (for [Repack], a fresh
+    {!Dbp_repack.Runner.run} under the budget spec and repack policy
+    recorded in the image), resumes the snapshot with its own sink,
+    and compares exact total cost, max open bins, violation counts,
+    every bin record (tag, capacity, usage period, max level,
     placements, item ids), the item-to-bin assignment, and the trace
     (resumed lines = uninterrupted suffix after [trace_seq]).
     [mismatches] is empty iff [ok].

@@ -25,6 +25,7 @@ type meta = {
 type payload =
   | Engine of Simulator.Online.Frozen.t
   | Faults of Injector.Frozen.t
+  | Repack of Dbp_repack.Runner.Frozen.t
 
 type t = {
   meta : meta;
@@ -36,9 +37,13 @@ let engine_of t =
   match t.payload with
   | Engine e -> e
   | Faults f -> f.Injector.Frozen.f_engine
+  | Repack r -> r.Dbp_repack.Runner.Frozen.r_engine
 
 let kind_name t =
-  match t.payload with Engine _ -> "engine" | Faults _ -> "faults"
+  match t.payload with
+  | Engine _ -> "engine"
+  | Faults _ -> "faults"
+  | Repack _ -> "repack"
 
 (* ---- emission ------------------------------------------------------- *)
 
@@ -71,6 +76,18 @@ let active_str xs =
 
 let rats_str rs = String.concat " " (List.map rat rs)
 let floats_str fs = String.concat " " (List.map hex (Array.to_list fs))
+
+(* Shared between the injector's optional budget line and the repack
+   core line: spec in its canonical string form, balance and odometers
+   exact. *)
+let budget_fields (b : Dbp_repack.Budget.Frozen.t) =
+  Printf.sprintf
+    "\"budget\":\"%s\",\"tokens\":\"%s\",\"moves\":%d,\"moved_volume\":\"%s\",\"denied\":%d"
+    (escape (Dbp_repack.Budget.spec_to_string b.Dbp_repack.Budget.Frozen.fb_spec))
+    (rat b.Dbp_repack.Budget.Frozen.fb_tokens)
+    b.Dbp_repack.Budget.Frozen.fb_moves
+    (rat b.Dbp_repack.Budget.Frozen.fb_moved_volume)
+    b.Dbp_repack.Budget.Frozen.fb_denied
 
 let victim_str = function
   | Fault_plan.Any_open -> "any"
@@ -134,7 +151,7 @@ let to_string snap =
             (escape name) (floats_str obs))
         d.d_hists);
   (match snap.payload with
-  | Engine _ -> ()
+  | Engine _ | Repack _ -> ()
   | Faults f ->
       let open Injector.Frozen in
       let c = f.f_config in
@@ -156,6 +173,11 @@ let to_string snap =
         (rat f.f_interrupted_seconds)
         f.f_resumed f.f_lost f.f_launch_failures f.f_retries f.f_shed
         (rats_str f.f_recovery_latencies);
+      (match f.f_repack with
+      | None -> ()
+      | Some (b, rp) ->
+          line "{\"inj\":\"repack\",%s,\"rpolicy\":\"%s\"}" (budget_fields b)
+            (Dbp_repack.Repack_policy.name rp));
       List.iter
         (fun (s : fseg) ->
           line
@@ -189,6 +211,22 @@ let to_string snap =
                 (int_of_bool a.fa_cancelled)
                 (int_of_bool a.fa_pending))
         f.f_queue);
+  (match snap.payload with
+  | Engine _ | Faults _ -> ()
+  | Repack r ->
+      let open Dbp_repack.Runner.Frozen in
+      line
+        "{\"rp\":\"core\",%s,\"rpolicy\":\"%s\",\"events_done\":%d,\"next_seg\":%d,\"log\":%d,\"bins_closed\":%d,\"reclaimed\":\"%s\"}"
+        (budget_fields r.r_budget)
+        (Dbp_repack.Repack_policy.name r.r_repack)
+        r.r_events_done r.r_next_seg
+        (List.length r.r_log)
+        r.r_bins_closed (rat r.r_reclaimed);
+      List.iteri
+        (fun i (old_id, new_id, t) ->
+          line "{\"mv\":%d,\"old\":%d,\"new\":%d,\"at\":\"%s\"}" i old_id
+            new_id (rat t))
+        r.r_log);
   Printf.ksprintf
     (fun s ->
       Buffer.add_string buf s;
@@ -324,6 +362,37 @@ let victim_of key s =
 (* The injector core line, held until the whole file is read so its
    declared segment/queue counts can be checked against the actual
    lines. *)
+let budget_frozen_of c =
+  let spec =
+    match Dbp_repack.Budget.spec_of_string (fstr c "budget") with
+    | Ok s -> s
+    | Error msg -> corrupt "key \"budget\": %s" msg
+  in
+  {
+    Dbp_repack.Budget.Frozen.fb_spec = spec;
+    fb_tokens = frat c "tokens";
+    fb_moves = fint c "moves";
+    fb_moved_volume = frat c "moved_volume";
+    fb_denied = fint c "denied";
+  }
+
+let rpolicy_of c =
+  match Dbp_repack.Repack_policy.of_string (fstr c "rpolicy") with
+  | Ok p -> p
+  | Error msg -> corrupt "key \"rpolicy\": %s" msg
+
+(* The repack core line, held like the injector's so its declared
+   migration-log length can be checked against the [mv] lines. *)
+type rp_line = {
+  rl_budget : Dbp_repack.Budget.Frozen.t;
+  rl_policy : Dbp_repack.Repack_policy.t;
+  rl_events_done : int;
+  rl_next_seg : int;
+  rl_log : int;
+  rl_bins_closed : int;
+  rl_reclaimed : Rat.t;
+}
+
 type core_line = {
   cl_rng : int64 * int64;
   cl_seq : int;
@@ -358,7 +427,7 @@ let of_string text =
     if sch <> schema then
       corrupt "unsupported schema \"%s\" (expected \"%s\")" sch schema;
     let kind = fstr c "kind" in
-    if kind <> "engine" && kind <> "faults" then
+    if kind <> "engine" && kind <> "faults" && kind <> "repack" then
       corrupt "unknown snapshot kind \"%s\"" kind;
     let policy = fstr c "policy" in
     let seed = fint64 c "seed" in
@@ -385,6 +454,9 @@ let of_string text =
     and hists = ref [] in
     let config = ref None and core = ref None in
     let segs = ref [] and queue = ref [] in
+    let inj_repack = ref None in
+    let rp_core = ref None in
+    let mvs = ref [] (* reverse order *) and mv_count = ref 0 in
     let body_lines = ref 0 in
     let footer_seen = ref false in
     List.iter
@@ -495,8 +567,45 @@ let of_string text =
                           cl_shed = fint c "shed";
                           cl_latencies = decode_rats "latencies" (fstr c "latencies");
                         }
+                | "repack" ->
+                    if Option.is_some !inj_repack then
+                      corrupt "duplicate injector repack line";
+                    let budget = budget_frozen_of c in
+                    let rp = rpolicy_of c in
+                    inj_repack := Some (budget, rp)
                 | other -> corrupt "unknown injector line \"%s\"" other);
                 finish_line c
+            | "rp" ->
+                incr body_lines;
+                (match fstr c "rp" with
+                | "core" ->
+                    if Option.is_some !rp_core then
+                      corrupt "duplicate repack core line";
+                    rp_core :=
+                      Some
+                        {
+                          rl_budget = budget_frozen_of c;
+                          rl_policy = rpolicy_of c;
+                          rl_events_done = fint c "events_done";
+                          rl_next_seg = fint c "next_seg";
+                          rl_log = fint c "log";
+                          rl_bins_closed = fint c "bins_closed";
+                          rl_reclaimed = frat c "reclaimed";
+                        }
+                | other -> corrupt "unknown repack line \"%s\"" other);
+                finish_line c
+            | "mv" ->
+                incr body_lines;
+                let i = fint c "mv" in
+                if i <> !mv_count then
+                  corrupt "migration log out of order: entry %d at position %d"
+                    i !mv_count;
+                incr mv_count;
+                let old_id = fint c "old" in
+                let new_id = fint c "new" in
+                let t = frat c "at" in
+                finish_line c;
+                mvs := (old_id, new_id, t) :: !mvs
             | "seg" ->
                 incr body_lines;
                 let fs_id = fint c "seg" in
@@ -615,9 +724,40 @@ let of_string text =
           if
             Option.is_some !config || Option.is_some !core || !segs <> []
             || !queue <> []
+            || Option.is_some !inj_repack
           then corrupt "fault-injector lines in an engine snapshot";
+          if Option.is_some !rp_core || !mvs <> [] then
+            corrupt "repack lines in an engine snapshot";
           Engine engine
+      | "repack" ->
+          if
+            Option.is_some !config || Option.is_some !core || !segs <> []
+            || !queue <> []
+            || Option.is_some !inj_repack
+          then corrupt "fault-injector lines in a repack snapshot";
+          let rl =
+            match !rp_core with
+            | Some rl -> rl
+            | None -> corrupt "missing the repack core line"
+          in
+          let log = List.rev !mvs in
+          if List.length log <> rl.rl_log then
+            corrupt "repack core line declares %d log entries, found %d"
+              rl.rl_log (List.length log);
+          Repack
+            {
+              Dbp_repack.Runner.Frozen.r_engine = engine;
+              r_budget = rl.rl_budget;
+              r_repack = rl.rl_policy;
+              r_events_done = rl.rl_events_done;
+              r_next_seg = rl.rl_next_seg;
+              r_log = log;
+              r_bins_closed = rl.rl_bins_closed;
+              r_reclaimed = rl.rl_reclaimed;
+            }
       | _ ->
+          if Option.is_some !rp_core || !mvs <> [] then
+            corrupt "repack lines in a faults snapshot";
           let config =
             match !config with
             | Some c -> c
@@ -656,6 +796,7 @@ let of_string text =
               f_retries = core.cl_retries;
               f_shed = core.cl_shed;
               f_recovery_latencies = core.cl_latencies;
+              f_repack = !inj_repack;
             }
     in
     Ok { meta = { policy; seed; events_applied; trace_seq }; metrics; payload }

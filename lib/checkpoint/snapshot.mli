@@ -39,7 +39,13 @@ type payload =
   | Engine of Simulator.Online.Frozen.t
       (** A plain [Simulator.run] checkpoint. *)
   | Faults of Injector.Frozen.t
-      (** A fault-injected run checkpoint (includes its engine). *)
+      (** A fault-injected run checkpoint (includes its engine, and —
+          when the live-migration rung is armed — the recourse budget
+          balance). *)
+  | Repack of Dbp_repack.Runner.Frozen.t
+      (** A budget-constrained repacking run checkpoint
+          ({!Dbp_repack.Runner}): its engine plus the budget balance,
+          repack policy and migration log. *)
 
 type t = {
   meta : meta;
@@ -51,7 +57,7 @@ val engine_of : t -> Simulator.Online.Frozen.t
 (** The engine image of either payload. *)
 
 val kind_name : t -> string
-(** ["engine"] or ["faults"]. *)
+(** ["engine"], ["faults"] or ["repack"]. *)
 
 val to_string : t -> string
 (** The NDJSON document, trailing newline included. *)

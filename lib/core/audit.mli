@@ -20,8 +20,8 @@ open Dbp_num
 type violation = {
   check : string;
       (** Which invariant family: ["bin"], ["open-index"],
-          ["item-bin"], ["store"], ["cost-conservation"],
-          ["packing"]. *)
+          ["item-bin"], ["store"], ["migration"],
+          ["cost-conservation"], ["packing"]. *)
   time : Rat.t option;  (** Simulation clock when detected. *)
   bin_id : int option;
   detail : string;
@@ -48,6 +48,27 @@ val check_bin : ?time:Rat.t -> Bin.t -> unit
 (** Memoised level/view/max-level vs a recompute from the active
     table; capacity; open-implies-nonempty.
     @raise Audit_violation on the first divergence. *)
+
+val check_move :
+  ?time:Rat.t ->
+  size:Rat.t ->
+  src:Bin.t ->
+  dst:Bin.t ->
+  src_level_before:Rat.t ->
+  dst_level_before:Rat.t ->
+  item_id:int ->
+  new_item_id:int ->
+  unit ->
+  unit
+(** Migration-conservation invariants, checked by the engine after
+    every {!Simulator.Online.migrate} in audit mode: the moved volume
+    left the source exactly (or the source closed holding exactly the
+    moved item), entered the destination exactly, capacity still
+    holds, and the item is tracked in exactly one bin — active in the
+    destination under [new_item_id], absent from the source.
+    [src_level_before]/[dst_level_before] are the levels immediately
+    before the move.  @raise Audit_violation on the first
+    divergence. *)
 
 val check_packing : Packing.t -> unit
 (** Cost conservation plus full structural re-validation of a finished

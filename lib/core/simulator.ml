@@ -67,7 +67,17 @@ module Online = struct
       if Bin.is_open b && not (Open_index.mem t.open_index b) then
         fail ~check:"store" ~bin_id:id "open bin missing from the open index";
       if (not (Bin.is_open b)) && Open_index.mem t.open_index b then
-        fail ~check:"store" ~bin_id:id "closed bin still in the open index"
+        fail ~check:"store" ~bin_id:id "closed bin still in the open index";
+      (* A closed bin holds nothing: a migration or eviction that
+         closed it must have drained its active table and level. *)
+      if not (Bin.is_open b) then begin
+        if Bin.active_count b <> 0 then
+          fail ~check:"item-bin" ~bin_id:id
+            "closed bin still holds %d active items" (Bin.active_count b);
+        if not (Rat.is_zero b.Bin.level) then
+          fail ~check:"item-bin" ~bin_id:id "closed bin retains level %s"
+            (Rat.to_string b.Bin.level)
+      end
     done;
     (* 3. Per-bin memoised state (level, view cache, capacity). *)
     Open_index.iter
@@ -95,7 +105,26 @@ module Online = struct
         | None ->
             fail ~check:"item-bin" ~bin_id:b.Bin.id
               "item %d tracked but not active in its bin" item_id)
-      t.item_bin
+      t.item_bin;
+    (* Reverse direction: every active item is tracked, and tracked in
+       the bin that holds it — together with the count equality above
+       this pins each item to exactly one bin (the migration-
+       conservation invariant: a move re-points, never duplicates). *)
+    Open_index.iter
+      (fun b ->
+        Hashtbl.iter
+          (fun item_id _ ->
+            match Hashtbl.find_opt t.item_bin item_id with
+            | Some owner when owner == b -> ()
+            | Some (owner : Bin.t) ->
+                fail ~check:"item-bin" ~bin_id:b.Bin.id
+                  "item %d active here but tracked in bin %d" item_id
+                  owner.Bin.id
+            | None ->
+                fail ~check:"item-bin" ~bin_id:b.Bin.id
+                  "item %d active but untracked" item_id)
+          b.Bin.active)
+      t.open_index
 
   let audit = audit_state
   let after_event t = if t.audit then audit_state t
@@ -364,6 +393,94 @@ module Online = struct
               (List.length victims));
         after_event t;
         victims
+
+  (* Live migration: the limited-recourse repacking primitive
+     (lib/repack).  The active item leaves its bin and re-enters
+     [to_bin] at the same instant under a fresh id, so the effective
+     instance stays segment-shaped (each id occupies exactly one bin
+     over one interval) and [finish]/[Packing.validate] need no new
+     cases.  Accounting splits exactly at [now]: if the move empties
+     the source it closes and is charged for [opened, now] — precisely
+     the bin-seconds a consolidation reclaims.  O(1): two hashtable
+     updates, one doubly-linked unlink, no policy callback (migration
+     is the repacker's decision, not the packing policy's; the policy
+     observes the new fleet through its next views). *)
+  let migrate t ~now ~item_id ~to_bin ~new_item_id =
+    advance_clock t now;
+    let src =
+      match Hashtbl.find_opt t.item_bin item_id with
+      | Some b -> b
+      | None -> invalid_step "migrate: unknown/inactive item %d" item_id
+    in
+    let dst =
+      match find_bin t to_bin with
+      | Some b -> b
+      | None -> invalid_step "migrate: unknown destination bin %d" to_bin
+    in
+    if dst.Bin.id = src.Bin.id then
+      invalid_step "migrate: item %d already lives in bin %d" item_id to_bin;
+    if not (Bin.is_open dst) then
+      invalid_step "migrate: destination bin %d is closed" to_bin;
+    let stub =
+      match Bin.find_active src item_id with
+      | Some stub -> stub
+      | None ->
+          invalid_step "migrate: item %d not active in its bin %d" item_id
+            src.Bin.id
+    in
+    let size = stub.Item.size in
+    if not (Bin.fits dst ~size) then
+      invalid_step "migrate: item %d (size %a) does not fit bin %d (residual %a)"
+        item_id Rat.pp size to_bin Rat.pp (Bin.residual dst);
+    if Hashtbl.mem t.seen_items new_item_id then
+      invalid_step "migrate: item id %d reused" new_item_id;
+    Hashtbl.add t.seen_items new_item_id ();
+    let src_level_before = src.Bin.level
+    and dst_level_before = dst.Bin.level in
+    let tok = Dbp_obs.Profile.enter t.profile in
+    Bin.remove src ~now stub;
+    let src_closed = not (Bin.is_open src) in
+    if src_closed then Open_index.remove t.open_index src;
+    Hashtbl.remove t.item_bin item_id;
+    let stub' =
+      Item.make ~id:new_item_id ~size ~arrival:now
+        ~departure:(Rat.add now Rat.one)
+    in
+    Bin.insert dst ~now stub';
+    Hashtbl.replace t.item_bin new_item_id dst;
+    Dbp_obs.Profile.leave t.profile "commit" tok;
+    Obs.emit t ~now (fun () ->
+        Obs.E.Migrate
+          {
+            item = item_id;
+            new_item = new_item_id;
+            from_bin = src.Bin.id;
+            to_bin = dst.Bin.id;
+            size;
+          });
+    if src_closed then
+      Obs.emit t ~now (fun () ->
+          Obs.E.Bin_close
+            {
+              bin = src.Bin.id;
+              opened = src.Bin.opened;
+              cost = Rat.sub now src.Bin.opened;
+            });
+    Obs.with_metrics t (fun m ->
+        Dbp_obs.Metrics.incr m "migrations";
+        Dbp_obs.Metrics.add_rat m "migrated_volume" size;
+        if src_closed then
+          Obs.close_metrics m ~cost:(Rat.sub now src.Bin.opened);
+        Obs.fleet_metrics t m);
+    Log.debug (fun m ->
+        m "t=%a item %d (size %a) migrates bin %d -> bin %d as item %d%s"
+          Rat.pp now item_id Rat.pp size src.Bin.id dst.Bin.id new_item_id
+          (if src_closed then " (source closes)" else ""));
+    if t.audit then
+      Audit.check_move ~time:now ~size ~src ~dst ~src_level_before
+        ~dst_level_before ~item_id ~new_item_id ();
+    after_event t;
+    src_closed
 
   let bin_of_item t item_id =
     Hashtbl.find_opt t.item_bin item_id

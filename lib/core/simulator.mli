@@ -77,6 +77,28 @@ module Online : sig
       @raise Invalid_step if the bin is unknown or already closed, or
       if [now] precedes an earlier step. *)
 
+  val migrate :
+    t -> now:Rat.t -> item_id:int -> to_bin:int -> new_item_id:int -> bool
+  (** Live migration — the limited-recourse repacking primitive
+      ([Dbp_repack]): atomically moves the active item [item_id] into
+      the open bin [to_bin], where it continues as the fresh id
+      [new_item_id].  The old id retires (stays used); exact
+      accounting splits at [now]: the item's first segment ends here,
+      and if the move emptied the source bin, the bin closes and is
+      charged exactly for [[opened, now]].  Returns [true] iff the
+      source closed.  O(1) per move; no policy handler runs —
+      migration is the caller's (repacker's) decision, and the policy
+      sees the new fleet through its next views.  Emits a [Migrate]
+      trace event (plus [Bin_close] if the source closed) and accrues
+      [migrations]/[migrated_volume] metrics.  Callers building an
+      effective instance must end [item_id]'s segment and start
+      [new_item_id]'s at [now] — that is what [Dbp_repack.Runner] and
+      the fault injector's migration ladder do.
+      @raise Invalid_step if the item is not active, the destination
+      is unknown, closed or the item's own bin, the item does not fit,
+      [new_item_id] was already used, or [now] precedes an earlier
+      step. *)
+
   val now : t -> Rat.t option
   (** Time of the latest step. *)
 

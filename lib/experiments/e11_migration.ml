@@ -36,6 +36,18 @@ let run () =
         Rat.(
           repack.Dbp_opt.Repack_baseline.cost
           >= Dbp_opt.Bounds.opt_lower_bound instance);
+      (* Cross-check against the online budget-constrained repacker: at
+         budget=inf it drains bins whenever doing so closes one early,
+         so it lands between the every-instant FFD baseline (which also
+         repacks mid-life) and plain first-fit. *)
+      let online =
+        Dbp_repack.Runner.run ~budget:Dbp_repack.Budget.unlimited
+          ~repack:Dbp_repack.Repack_policy.Consolidate_sparsest
+          ~policy:First_fit.policy instance
+      in
+      let online_cost = online.Dbp_repack.Runner.packing.Packing.total_cost in
+      check c Rat.(repack.Dbp_opt.Repack_baseline.cost <= online_cost);
+      check c Rat.(online_cost <= ff.Packing.total_cost);
       let overhead =
         Rat.div ff.Packing.total_cost repack.Dbp_opt.Repack_baseline.cost
       in

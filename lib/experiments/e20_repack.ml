@@ -1,0 +1,193 @@
+open Dbp_num
+open Dbp_core
+open Dbp_repack
+open Dbp_faults
+open Exp_common
+
+let seed = 20260808L
+
+(* Large enough for a real fleet (tens of open bins) so the sparsest-bin
+   drains have somewhere to go; small enough that the whole 2-policy ×
+   7-budget sweep replays in seconds. *)
+let spec = { Dbp_workload.Spec.default with Dbp_workload.Spec.count = 300 }
+
+let total_budget n =
+  { Budget.kind = Budget.Items; mode = Budget.Total (Rat.of_int n) }
+
+(* The recourse axis: no budget, geometric token steps, free repacking. *)
+let budgets =
+  [
+    ("0", Budget.zero);
+    ("1", total_budget 1);
+    ("2", total_budget 2);
+    ("4", total_budget 4);
+    ("8", total_budget 8);
+    ("16", total_budget 16);
+    ("inf", Budget.unlimited);
+  ]
+
+let repack_policies = [ Repack_policy.Consolidate_sparsest; Repack_policy.Ffd_sparsest ]
+
+let run () =
+  let c = counter () in
+  let instance = Dbp_workload.Generator.generate ~seed spec in
+  let policy = First_fit.policy in
+  let plain = Simulator.run ~policy instance in
+  (* -- (a) cost vs recourse: sweep the budget 0 -> inf per policy ----- *)
+  let t1 =
+    Dbp_analysis.Table.create
+      ~title:
+        (Printf.sprintf
+           "E20a: limited-recourse repacking under first-fit (%d items; \
+            plain FF cost %s)"
+           spec.Dbp_workload.Spec.count
+           (fmt_rat plain.Packing.total_cost))
+      ~columns:
+        [
+          "repack";
+          "budget";
+          "cost";
+          "vs FF";
+          "migrations";
+          "moved volume";
+          "bins drained";
+          "reclaimed bin-s";
+          "denied";
+        ]
+  in
+  List.iter
+    (fun rp ->
+      let costs = ref [] in
+      List.iter
+        (fun (label, budget) ->
+          let r = Runner.run ~budget ~repack:rp ~policy instance in
+          check c (Packing.validate r.Runner.packing = Ok ());
+          let cost = r.Runner.packing.Packing.total_cost in
+          (* Budget 0 is the bit-identical fast path. *)
+          if Budget.never_affords budget then begin
+            check c (Rat.equal cost plain.Packing.total_cost);
+            check c (r.Runner.stats.Runner.migrations = 0);
+            check c
+              (r.Runner.packing.Packing.assignment
+              = plain.Packing.assignment)
+          end;
+          costs := cost :: !costs;
+          (* Conservation: what the odometers metered is what moved. *)
+          check c
+            (r.Runner.stats.Runner.migrations = 0
+            || Rat.(r.Runner.stats.Runner.migrated_volume > Rat.zero));
+          Dbp_analysis.Table.add_row t1
+            [
+              Repack_policy.name rp;
+              label;
+              fmt_rat cost;
+              Printf.sprintf "%.4f"
+                (Rat.to_float (Rat.div cost plain.Packing.total_cost));
+              string_of_int r.Runner.stats.Runner.migrations;
+              fmt_rat r.Runner.stats.Runner.migrated_volume;
+              string_of_int r.Runner.stats.Runner.bins_closed_by_repack;
+              fmt_rat r.Runner.stats.Runner.reclaimed_bin_seconds;
+              string_of_int r.Runner.stats.Runner.denied_triggers;
+            ])
+        budgets;
+      (* Limited greedy recourse is NOT per-step monotone: a sliver of
+         budget drains one bin, which perturbs every later first-fit
+         placement and can cost slightly more than no recourse at all
+         (visible in the budget-1/2 rows).  What does hold, and what we
+         assert: free repacking is the column minimum and beats plain
+         first-fit. *)
+      match !costs with
+      | [] -> check c false
+      | inf_cost :: rest ->
+          check c Rat.(inf_cost <= plain.Packing.total_cost);
+          List.iter (fun cost -> check c Rat.(inf_cost <= cost)) rest)
+    repack_policies;
+  (* -- (b) graceful degradation: the injector's migration rung -------- *)
+  let horizon = Interval.hi (Instance.packing_period instance) in
+  let plan =
+    Fault_plan.poisson_crashes ~seed:(Int64.add seed 7L) ~rate:2.0 ~horizon
+  in
+  let t2 =
+    Dbp_analysis.Table.create
+      ~title:
+        (Printf.sprintf
+           "E20b: degradation ladder under %d planned crashes (migrate -> \
+            restart/backoff -> shed)"
+           (Fault_plan.count plan))
+      ~columns:
+        [
+          "budget";
+          "migrated";
+          "interrupted";
+          "resumed";
+          "lost";
+          "shed";
+          "cost";
+        ]
+  in
+  let no_repack = Injector.run ~plan ~policy instance in
+  List.iter
+    (fun (label, budget) ->
+      let r =
+        Injector.run ~repack:(budget, Repack_policy.Consolidate_sparsest)
+          ~plan ~policy instance
+      in
+      check c (Packing.validate r.Injector.packing = Ok ());
+      let z = r.Injector.resilience in
+      (* Budget 0 never arms the rung: bit-identical to the evict-only
+         injector, counters included. *)
+      if Budget.never_affords budget then begin
+        check c
+          (Rat.equal r.Injector.packing.Packing.total_cost
+             no_repack.Injector.packing.Packing.total_cost);
+        check c (z.Resilience.migrated_sessions = 0);
+        check c
+          (z.Resilience.interrupted_sessions
+          = no_repack.Injector.resilience.Resilience.interrupted_sessions)
+      end;
+      (* Every session the rung saves is one the ladder never has to
+         restart or shed. *)
+      check c
+        (z.Resilience.migrated_sessions = 0
+        || z.Resilience.interrupted_sessions
+           <= no_repack.Injector.resilience.Resilience.interrupted_sessions);
+      Dbp_analysis.Table.add_row t2
+        [
+          label;
+          string_of_int z.Resilience.migrated_sessions;
+          string_of_int z.Resilience.interrupted_sessions;
+          string_of_int z.Resilience.resumed_sessions;
+          string_of_int z.Resilience.lost_sessions;
+          string_of_int z.Resilience.shed_requests;
+          fmt_rat r.Injector.packing.Packing.total_cost;
+        ])
+    [ ("0", Budget.zero); ("4", total_budget 4); ("inf", Budget.unlimited) ];
+  (* -- (c) checkpoint fidelity under recourse ------------------------- *)
+  let total_events = 2 * spec.Dbp_workload.Spec.count in
+  let at = total_events / 2 in
+  let snap =
+    Dbp_checkpoint.Checkpoint.save_repack_at ~policy_name:"first-fit" ~at
+      ~budget:(total_budget 8) ~repack:Repack_policy.Consolidate_sparsest
+      instance
+  in
+  let snap =
+    match
+      Dbp_checkpoint.Snapshot.of_string
+        (Dbp_checkpoint.Snapshot.to_string snap)
+    with
+    | Ok s -> s
+    | Result.Error m -> invalid_arg ("E20: round trip failed: " ^ m)
+  in
+  let verdict = Dbp_checkpoint.Checkpoint.verify instance snap in
+  check c verdict.Dbp_checkpoint.Checkpoint.ok;
+  let total, failed = totals c in
+  {
+    experiment = "E20";
+    artefact =
+      "Budget-aware repacking: cost/recourse trade-off and graceful \
+       degradation (extension)";
+    tables = [ t1; t2 ];
+    charts = [];
+    checks_total = total;
+    checks_failed = failed;
+  }

@@ -1,0 +1,14 @@
+(** E20: the cost/recourse trade-off of budget-constrained repacking
+    (extension; see DESIGN.md "Repacking").
+
+    Sweeps the migration budget 0 [->] [inf] for each
+    {!Dbp_repack.Repack_policy} over a seeded workload under first-fit
+    and tabulates exact cost against migrations spent — asserting the
+    budget=0 bit-identity, cost monotonicity in the budget, and that
+    repacking never exceeds the plain first-fit cost.  A second table
+    walks the fault injector's degradation ladder (migrate ->
+    restart/backoff -> shed) at budgets 0, 4 and [inf]; a final check
+    round-trips a mid-run repack checkpoint through the wire format
+    and {!Dbp_checkpoint.Checkpoint.verify}. *)
+
+val run : unit -> Exp_common.outcome

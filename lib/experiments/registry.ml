@@ -19,6 +19,7 @@ let experiments : (string * (unit -> Exp_common.outcome)) list =
     ("e17", E17_seed_sweep.run);
     ("e18", E18_faults.run);
     ("e19", E19_recovery.run);
+    ("e20", E20_repack.run);
   ]
 
 let all_names = List.map (fun (n, _) -> String.uppercase_ascii n) experiments
@@ -31,7 +32,7 @@ let default_domains () = max 1 (min 8 (Domain.recommended_domain_count ()))
 
 (* Work-stealing over a shared atomic cursor: each domain claims the
    next unclaimed experiment index until the list drains.  Results land
-   in a slot array indexed by experiment, so the output order is E1..E19
+   in a slot array indexed by experiment, so the output order is E1..E20
    regardless of which domain finished when.  Experiments are pure
    (local PRNGs, local tables, sprintf only), so they need no locking;
    distinct array slots are data-race-free under the OCaml 5 memory

@@ -96,6 +96,10 @@ type state = {
   policy : Policy.t;
   instance : Instance.t;
   online : Simulator.Online.t;
+  repack : (Dbp_repack.Budget.t * Dbp_repack.Repack_policy.t) option;
+      (* Recourse budget + policy for the live-migration rung of the
+         degradation ladder; [None] (and budget zero, and [No_repack])
+         reproduce the evict-only injector bit-for-bit. *)
   rng : Pcg32.t;
   sink : Dbp_obs.Sink.t option;
   metrics : Dbp_obs.Metrics.t option;
@@ -280,6 +284,77 @@ let resolve_victim st (views : Bin.view list) = function
         None views
       |> Option.map (fun (v : Bin.view) -> v.Bin.bin_id)
 
+(* Rung 1 of the graceful-degradation ladder: live-migrate sessions
+   out of the failing bin, oldest placement first, first-fit into the
+   surviving fleet, while the recourse budget lasts.  The bin is
+   charged for [opened, now] whether it crashes or drains, so every
+   migrated session is pure blast-radius reduction.  Whoever the
+   budget (or the fleet's free space) cannot cover falls down to the
+   existing rungs: eviction -> restart/backoff retries -> shed. *)
+(* All dispatches at an instant run after all faults at that instant
+   (rank order), so during a strike every active segment started
+   strictly earlier — unless a previous same-instant fault migrated it.
+   A later fault in the same burst could then strike the landing bin
+   and end the fresh segment at zero length, which the effective
+   instance cannot express.  Migration is therefore unsafe while more
+   faults are pending at this instant. *)
+let same_instant_fault_pending st ~now =
+  match Q.min_binding_opt st.queue with
+  | Some ((t, rank, _), _) -> rank = rank_fault && Rat.equal t now
+  | None -> false
+
+let migrate_out st ~now ~bin_id =
+  match st.repack with
+  | None | Some (_, Dbp_repack.Repack_policy.No_repack) -> ()
+  | Some _ when same_instant_fault_pending st ~now ->
+      () (* correlated burst: ride the eviction rungs instead *)
+  | Some (budget, _) ->
+      let victims =
+        List.rev (Simulator.Online.active_items_in st.online bin_id)
+      in
+      List.iter
+        (fun (seg_id, size) ->
+          if
+            Dbp_repack.Budget.affords budget
+              ~cost:(Dbp_repack.Budget.cost_of budget ~size)
+          then begin
+            let rec first_fit = function
+              | [] -> None
+              | (v : Bin.view) :: rest ->
+                  if v.Bin.bin_id <> bin_id && Rat.(size <= v.bin_residual)
+                  then Some v.Bin.bin_id
+                  else first_fit rest
+            in
+            match first_fit (Simulator.Online.open_bins st.online) with
+            | None -> () (* nowhere to go: this one rides the crash *)
+            | Some to_bin ->
+                let seg = Hashtbl.find st.active seg_id in
+                let new_id = st.next_seg in
+                st.next_seg <- st.next_seg + 1;
+                ignore
+                  (Simulator.Online.migrate st.online ~now ~item_id:seg_id
+                     ~to_bin ~new_item_id:new_id);
+                seg.stop <- now;
+                Hashtbl.remove st.active seg_id;
+                let seg' =
+                  {
+                    seg_id = new_id;
+                    orig_id = seg.orig_id;
+                    seg_size = size;
+                    seg_start = now;
+                    seg_deadline = seg.seg_deadline;
+                    stop = seg.seg_deadline;
+                  }
+                in
+                st.segments <- seg' :: st.segments;
+                Hashtbl.replace st.active new_id seg';
+                enqueue st (seg'.seg_deadline, rank_depart, new_id)
+                  (Depart new_id);
+                Dbp_repack.Budget.spend budget ~size
+          end
+          else Dbp_repack.Budget.note_denied budget)
+        victims
+
 let strike st (e : Fault_plan.event) ~now =
   let views = Simulator.Online.open_bins st.online in
   match
@@ -288,6 +363,19 @@ let strike st (e : Fault_plan.event) ~now =
   | None -> st.faults_skipped <- st.faults_skipped + 1
   | Some bin_id ->
       st.faults_injected <- st.faults_injected + 1;
+      migrate_out st ~now ~bin_id;
+      if
+        match Simulator.Online.active_items_in st.online bin_id with
+        | [] -> true
+        | _ :: _ -> false
+      then
+        (* Every session was migrated out: the last move already
+           closed the bin, charged exactly as a crash at [now] would
+           have.  Mark the fault in the trace; nothing to evict. *)
+        emit st ~now (fun () ->
+            Dbp_obs.Trace_event.Fail_bin
+              { bin = bin_id; victims = 0; lost_level = Rat.zero })
+      else
       let evicted = Simulator.Online.fail_bin st.online ~now ~bin_id in
       List.iter
         (fun (seg_id, _) ->
@@ -328,9 +416,14 @@ let strike st (e : Fault_plan.event) ~now =
         evicted
 
 let create ?(audit = false) ?sink ?metrics ?profile ?(config = default_config)
-    ?(priority = fun _ -> 0) ~(plan : Fault_plan.t) ~(policy : Policy.t)
-    instance =
+    ?(priority = fun _ -> 0) ?repack ~(plan : Fault_plan.t)
+    ~(policy : Policy.t) instance =
   validate_config config;
+  let repack =
+    Option.map
+      (fun (spec, rp) -> (Dbp_repack.Budget.create spec, rp))
+      repack
+  in
   let online =
     (* The sink is shared with the engine, so injector events (retry /
        shed / resume) interleave with pack/depart/fail_bin events in
@@ -344,6 +437,7 @@ let create ?(audit = false) ?sink ?metrics ?profile ?(config = default_config)
       policy;
       instance;
       online;
+      repack;
       rng = Pcg32.create config.seed;
       sink;
       metrics;
@@ -398,6 +492,9 @@ let step st =
   | None -> false
   | Some (((now, _, _) as key), ev) ->
       st.queue <- Q.remove key st.queue;
+      (match st.repack with
+      | None -> ()
+      | Some (budget, _) -> Dbp_repack.Budget.tick budget);
       (match ev with
       | Depart seg_id -> (
           match Hashtbl.find_opt st.active seg_id with
@@ -460,6 +557,14 @@ let finish st =
       interrupted_sessions = st.interrupted;
       interrupted_session_seconds = st.interrupted_seconds;
       resumed_sessions = st.resumed;
+      migrated_sessions =
+        (match st.repack with
+        | None -> 0
+        | Some (budget, _) -> Dbp_repack.Budget.moves budget);
+      migrated_volume =
+        (match st.repack with
+        | None -> Rat.zero
+        | Some (budget, _) -> Dbp_repack.Budget.moved_volume budget);
       lost_sessions = st.lost;
       launch_failures = st.launch_failures;
       retries = st.retries;
@@ -473,11 +578,11 @@ let finish st =
   in
   { packing; effective; resilience }
 
-let run ?audit ?sink ?metrics ?profile ?config ?priority ?checkpoint_every
-    ?on_checkpoint ~plan ~policy instance =
+let run ?audit ?sink ?metrics ?profile ?config ?priority ?repack
+    ?checkpoint_every ?on_checkpoint ~plan ~policy instance =
   let st =
-    create ?audit ?sink ?metrics ?profile ?config ?priority ~plan ~policy
-      instance
+    create ?audit ?sink ?metrics ?profile ?config ?priority ?repack ~plan
+      ~policy instance
   in
   drain ?checkpoint_every ?on_checkpoint st;
   finish st
@@ -536,6 +641,7 @@ module Frozen = struct
     f_retries : int;
     f_shed : int;
     f_recovery_latencies : Rat.t list;  (* chronological *)
+    f_repack : (Dbp_repack.Budget.Frozen.t * Dbp_repack.Repack_policy.t) option;
   }
 end
 
@@ -595,6 +701,10 @@ let freeze st : Frozen.t =
     f_retries = st.retries;
     f_shed = st.shed;
     f_recovery_latencies = List.rev st.recovery_latencies;
+    f_repack =
+      Option.map
+        (fun (budget, rp) -> (Dbp_repack.Budget.freeze budget, rp))
+        st.repack;
   }
 
 let thaw ?(audit = false) ?sink ?metrics ?profile ?(priority = fun _ -> 0)
@@ -611,6 +721,10 @@ let thaw ?(audit = false) ?sink ?metrics ?profile ?(priority = fun _ -> 0)
       policy;
       instance;
       online;
+      repack =
+        Option.map
+          (fun (bf, rp) -> (Dbp_repack.Budget.thaw bf, rp))
+          frozen.Frozen.f_repack;
       rng = Pcg32.of_dump ~state:state_r ~increment;
       sink;
       metrics;

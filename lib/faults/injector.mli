@@ -80,13 +80,27 @@ val create :
   ?profile:Dbp_obs.Profile.t ->
   ?config:config ->
   ?priority:(Item.t -> int) ->
+  ?repack:Dbp_repack.Budget.spec * Dbp_repack.Repack_policy.t ->
   plan:Fault_plan.t ->
   policy:Policy.t ->
   Instance.t ->
   state
 (** Seeds the event queue with every trace arrival, departure and
     planned fault; nothing has executed yet.
-    @raise Invalid_argument on a malformed config. *)
+
+    [repack] arms the live-migration rung of the degradation ladder:
+    when a fault strikes, the victim bin's sessions are first migrated
+    out (oldest placement first, first-fit into the surviving fleet)
+    while the recourse budget lasts — these sessions are never
+    interrupted at all.  Only what the budget or the fleet's free
+    space cannot cover is evicted into the usual
+    restart/backoff/shed rungs.  The budget ticks once per injector
+    queue event (so [Per_event]/[Token_bucket] replenish on the same
+    deterministic clock as the repack {!Dbp_repack.Runner}).  With the
+    budget {!Dbp_repack.Budget.zero} (or policy [No_repack], or
+    [repack] unset) the injector is bit-identical to the evict-only
+    one.
+    @raise Invalid_argument on a malformed config or budget spec. *)
 
 val step : state -> bool
 (** Executes the earliest queued event; [false] when the queue is
@@ -167,6 +181,10 @@ module Frozen : sig
     f_retries : int;
     f_shed : int;
     f_recovery_latencies : Rat.t list;  (** Chronological. *)
+    f_repack :
+      (Dbp_repack.Budget.Frozen.t * Dbp_repack.Repack_policy.t) option;
+        (** Recourse budget balance and repack policy, when the
+            live-migration rung is armed. *)
   }
 end
 
@@ -202,6 +220,7 @@ val run :
   ?profile:Dbp_obs.Profile.t ->
   ?config:config ->
   ?priority:(Item.t -> int) ->
+  ?repack:Dbp_repack.Budget.spec * Dbp_repack.Repack_policy.t ->
   ?checkpoint_every:int ->
   ?on_checkpoint:(events_done:int -> state -> unit) ->
   plan:Fault_plan.t ->

@@ -6,6 +6,8 @@ type t = {
   interrupted_sessions : int;
   interrupted_session_seconds : Rat.t;
   resumed_sessions : int;
+  migrated_sessions : int;
+  migrated_volume : Rat.t;
   lost_sessions : int;
   launch_failures : int;
   retries : int;
@@ -55,13 +57,15 @@ let pp fmt t =
   Format.fprintf fmt
     "@[<v>faults          : %d injected, %d skipped@,\
      interrupted     : %d sessions, %a session-seconds displaced@,\
+     live-migrated   : %d sessions, %a volume@,\
      recovered       : %d resumed, %d lost, %d shed@,\
      launch retries  : %d failures, %d retries@,\
      recovery latency: mean %a, p95 %a, max %a@,\
      availability    : %a (served %a / demanded %a)@,\
      cost            : %a faulty vs %a fault-free (overhead %a)@]"
     t.faults_injected t.faults_skipped t.interrupted_sessions Rat.pp_float
-    t.interrupted_session_seconds t.resumed_sessions t.lost_sessions
+    t.interrupted_session_seconds t.migrated_sessions Rat.pp_float
+    t.migrated_volume t.resumed_sessions t.lost_sessions
     t.shed_requests t.launch_failures t.retries opt_lat
     (mean_recovery_latency t) opt_lat
     (quantile_recovery_latency t ~q:0.95)

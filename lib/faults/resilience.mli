@@ -22,6 +22,11 @@ type t = {
           eviction, summed.  A consolidating policy concentrates
           sessions on few bins and so loses more here per fault. *)
   resumed_sessions : int;  (** Evictions that re-dispatched successfully. *)
+  migrated_sessions : int;
+      (** Sessions carried out of a failing bin by live migration (the
+          recourse-budgeted first rung of the degradation ladder) —
+          never interrupted at all. *)
+  migrated_volume : Rat.t;  (** Total size live-migrated, exact. *)
   lost_sessions : int;
       (** Evictions never recovered: the session window closed during
           backoff, retries were exhausted, or the gate shed the retry. *)

@@ -25,8 +25,9 @@ let all_rules =
       what =
         "float literals, float operators (+. etc.), Float.* and bare \
          float conversions are banned in the exact-arithmetic \
-         libraries (lib/core, lib/analysis, lib/adversary); use Rat \
-         (display-only modules stats/chart/timeline_render are exempt)";
+         libraries (lib/core, lib/analysis, lib/adversary, \
+         lib/repack); use Rat (display-only modules \
+         stats/chart/timeline_render are exempt)";
     };
     {
       id = "R2";
@@ -69,8 +70,9 @@ let all_rules =
       title = "no-list-scans-in-hot-path";
       what =
         "List.mem / List.find / List.assoc / List.nth (and variants) \
-         in the O(open-bins) engine and policy modules, and in the \
-         per-draw workload sampler, reintroduce linear scans those \
+         in the O(open-bins) engine and policy modules, the per-draw \
+         workload sampler, and the per-event repacker \
+         (budget/planner/runner) reintroduce linear scans those \
          paths were rewritten to avoid (fit.ml's vetted open-fleet \
          scan is the allowed primitive)";
     };
@@ -101,7 +103,8 @@ let r1_display_exempt path =
 let r1_applies path =
   (has_infix ~infix:"lib/core/" path
   || has_infix ~infix:"lib/analysis/" path
-  || has_infix ~infix:"lib/adversary/" path)
+  || has_infix ~infix:"lib/adversary/" path
+  || has_infix ~infix:"lib/repack/" path)
   && not (r1_display_exempt path)
 
 let r5_allowlisted path = has_infix ~infix:"lib/experiments/registry.ml" path
@@ -123,10 +126,17 @@ let r6_hot_modules =
    regression this extension was added to catch. *)
 let r6_workload_modules = [ "generator.ml" ]
 
+(* The repacker plans after every departure instant and meters every
+   move, so its budget, planner and runner sit on the same per-event
+   path as the engine. *)
+let r6_repack_modules = [ "budget.ml"; "repack_policy.ml"; "runner.ml" ]
+
 let r6_applies path =
   (has_infix ~infix:"lib/core/" path && List.mem (basename path) r6_hot_modules)
   || has_infix ~infix:"lib/workload/" path
      && List.mem (basename path) r6_workload_modules
+  || has_infix ~infix:"lib/repack/" path
+     && List.mem (basename path) r6_repack_modules
 
 (* ---- longident helpers ---------------------------------------------- *)
 

@@ -12,6 +12,13 @@ type kind =
   | Bin_open of { bin : int; tag : string; capacity : Rat.t }
   | Bin_close of { bin : int; opened : Rat.t; cost : Rat.t }
   | Fail_bin of { bin : int; victims : int; lost_level : Rat.t }
+  | Migrate of {
+      item : int;
+      new_item : int;
+      from_bin : int;
+      to_bin : int;
+      size : Rat.t;
+    }
   | Retry of { item : int; attempt : int }
   | Shed of { item : int }
   | Resume of { item : int; latency : Rat.t }
@@ -27,6 +34,7 @@ let kind_name = function
   | Bin_open _ -> "bin_open"
   | Bin_close _ -> "bin_close"
   | Fail_bin _ -> "fail_bin"
+  | Migrate _ -> "migrate"
   | Retry _ -> "retry"
   | Shed _ -> "shed"
   | Resume _ -> "resume"
@@ -70,6 +78,9 @@ let to_ndjson t =
   | Fail_bin { bin; victims; lost_level } ->
       add ",\"bin\":%d,\"victims\":%d,\"lost_level\":\"%s\"" bin victims
         (Rat.to_string lost_level)
+  | Migrate { item; new_item; from_bin; to_bin; size } ->
+      add ",\"item\":%d,\"new_item\":%d,\"from\":%d,\"to\":%d,\"size\":\"%s\""
+        item new_item from_bin to_bin (Rat.to_string size)
   | Retry { item; attempt } -> add ",\"item\":%d,\"attempt\":%d" item attempt
   | Shed { item } -> add ",\"item\":%d" item
   | Resume { item; latency } ->
@@ -243,6 +254,15 @@ let of_ndjson line =
               bin = int_field "bin";
               victims = int_field "victims";
               lost_level = rat_field "lost_level";
+            }
+      | "migrate" ->
+          Migrate
+            {
+              item = int_field "item";
+              new_item = int_field "new_item";
+              from_bin = int_field "from";
+              to_bin = int_field "to";
+              size = rat_field "size";
             }
       | "retry" ->
           Retry { item = int_field "item"; attempt = int_field "attempt" }

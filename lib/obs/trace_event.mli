@@ -29,6 +29,17 @@ type kind =
       (** [cost] is the closed usage period's length — exactly what
           the bin contributes to the MinTotal objective. *)
   | Fail_bin of { bin : int; victims : int; lost_level : Rat.t }
+  | Migrate of {
+      item : int;
+      new_item : int;
+      from_bin : int;
+      to_bin : int;
+      size : Rat.t;
+    }
+      (** A live migration (limited-recourse repacking): the active
+          item left [from_bin] and re-entered [to_bin] at the same
+          instant under the fresh id [new_item] — both bins' exact
+          accounting splits at this timestamp. *)
   | Retry of { item : int; attempt : int }
   | Shed of { item : int }
   | Resume of { item : int; latency : Rat.t }

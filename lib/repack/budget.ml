@@ -1,0 +1,202 @@
+open Dbp_num
+
+(* Recourse budgets for limited-repacking (see DESIGN.md "Repacking"):
+   how much migration a run may buy.  Everything is exact [Rat.t]
+   arithmetic — a budget decision is a packing decision, and the
+   repeatability guarantees (budget=0 bit-identity, checkpoint/resume
+   bit-identity) would not survive floating point. *)
+
+type kind = Items | Volume
+
+type mode =
+  | Unlimited
+  | Total of Rat.t
+  | Per_event of Rat.t
+  | Token_bucket of { rate : Rat.t; burst : Rat.t }
+
+type spec = { kind : kind; mode : mode }
+
+let zero = { kind = Items; mode = Total Rat.zero }
+let unlimited = { kind = Items; mode = Unlimited }
+
+let validate spec =
+  match spec.mode with
+  | Unlimited -> ()
+  | Total limit ->
+      if Rat.sign limit < 0 then invalid_arg "Budget: negative total budget"
+  | Per_event limit ->
+      if Rat.sign limit < 0 then invalid_arg "Budget: negative per-event budget"
+  | Token_bucket { rate; burst } ->
+      if Rat.sign rate < 0 then invalid_arg "Budget: negative refill rate";
+      if Rat.sign burst < 0 then invalid_arg "Budget: negative burst"
+
+(* The largest token balance the mode can ever reach: [Total]/[Per_event]
+   start there, and a token bucket starts full and is capped at its
+   burst.  A spec whose peak cannot pay for a single move never
+   repacks — callers use this to take the exact budget=0 fast path. *)
+let peak_tokens spec =
+  match spec.mode with
+  | Unlimited -> None
+  | Total limit -> Some limit
+  | Per_event limit -> Some limit
+  | Token_bucket { burst; _ } -> Some burst
+
+let never_affords spec =
+  match peak_tokens spec with
+  | None -> false
+  | Some peak -> (
+      match spec.kind with
+      | Items -> Rat.(peak < Rat.one)
+      | Volume -> Rat.sign peak <= 0)
+
+let kind_name = function Items -> "items" | Volume -> "volume"
+
+let spec_to_string spec =
+  let k = kind_name spec.kind in
+  match spec.mode with
+  | Unlimited -> k ^ ":inf"
+  | Total limit -> Printf.sprintf "%s:total:%s" k (Rat.to_string limit)
+  | Per_event limit -> Printf.sprintf "%s:event:%s" k (Rat.to_string limit)
+  | Token_bucket { rate; burst } ->
+      Printf.sprintf "%s:bucket:%s:%s" k (Rat.to_string rate)
+        (Rat.to_string burst)
+
+let rat_of_string s =
+  match Rat.of_string s with
+  | r -> Ok r
+  | exception (Failure _ | Division_by_zero) ->
+      Error (Printf.sprintf "not a rational: '%s'" s)
+
+let spec_of_string s =
+  let nonneg what r =
+    if Rat.sign r < 0 then
+      Error (Printf.sprintf "negative %s budget: %s" what (Rat.to_string r))
+    else Ok r
+  in
+  let with_kind kind parts =
+    match parts with
+    | [ "inf" ] | [ "unlimited" ] -> Ok { kind; mode = Unlimited }
+    | [ "total"; limit ] ->
+        Result.bind (rat_of_string limit) (fun r ->
+            Result.map (fun r -> { kind; mode = Total r }) (nonneg "total" r))
+    | [ "event"; limit ] ->
+        Result.bind (rat_of_string limit) (fun r ->
+            Result.map
+              (fun r -> { kind; mode = Per_event r })
+              (nonneg "per-event" r))
+    | [ "bucket"; rate; burst ] ->
+        Result.bind (rat_of_string rate) (fun rate ->
+            Result.bind (nonneg "refill-rate" rate) (fun rate ->
+                Result.bind (rat_of_string burst) (fun burst ->
+                    Result.map
+                      (fun burst ->
+                        { kind; mode = Token_bucket { rate; burst } })
+                      (nonneg "burst" burst))))
+    | [ limit ] ->
+        Result.bind (rat_of_string limit) (fun r ->
+            Result.map (fun r -> { kind; mode = Total r }) (nonneg "total" r))
+    | _ -> Error (Printf.sprintf "malformed budget spec: '%s'" s)
+  in
+  match String.split_on_char ':' s with
+  | "items" :: rest -> with_kind Items rest
+  | "volume" :: rest -> with_kind Volume rest
+  | rest -> with_kind Items rest
+
+(* ---- live state ------------------------------------------------------ *)
+
+type t = {
+  spec : spec;
+  mutable tokens : Rat.t;  (* ignored when Unlimited *)
+  mutable moves : int;
+  mutable moved_volume : Rat.t;
+  mutable denied : int;
+}
+
+let initial_tokens spec =
+  match spec.mode with
+  | Unlimited -> Rat.zero
+  | Total limit | Per_event limit -> limit
+  | Token_bucket { burst; _ } -> burst
+
+let create spec =
+  validate spec;
+  {
+    spec;
+    tokens = initial_tokens spec;
+    moves = 0;
+    moved_volume = Rat.zero;
+    denied = 0;
+  }
+
+let spec t = t.spec
+
+let tick t =
+  match t.spec.mode with
+  | Unlimited | Total _ -> ()
+  | Per_event limit -> t.tokens <- limit
+  | Token_bucket { rate; burst } ->
+      t.tokens <- Rat.min burst (Rat.add t.tokens rate)
+
+let cost_of t ~size =
+  match t.spec.kind with Items -> Rat.one | Volume -> size
+
+let affords t ~cost =
+  match t.spec.mode with Unlimited -> true | _ -> Rat.(cost <= t.tokens)
+
+let note_denied t = t.denied <- t.denied + 1
+
+let spend t ~size =
+  let cost = cost_of t ~size in
+  (match t.spec.mode with
+  | Unlimited -> ()
+  | _ ->
+      if Rat.(cost > t.tokens) then
+        invalid_arg "Budget.spend: insufficient tokens";
+      t.tokens <- Rat.sub t.tokens cost);
+  t.moves <- t.moves + 1;
+  t.moved_volume <- Rat.add t.moved_volume size
+
+let tokens_left t =
+  match t.spec.mode with Unlimited -> None | _ -> Some t.tokens
+
+let moves t = t.moves
+let moved_volume t = t.moved_volume
+let denied t = t.denied
+
+(* ---- checkpoint image ------------------------------------------------ *)
+
+module Frozen = struct
+  type t = {
+    fb_spec : spec;
+    fb_tokens : Rat.t;
+    fb_moves : int;
+    fb_moved_volume : Rat.t;
+    fb_denied : int;
+  }
+end
+
+let freeze t =
+  {
+    Frozen.fb_spec = t.spec;
+    fb_tokens = t.tokens;
+    fb_moves = t.moves;
+    fb_moved_volume = t.moved_volume;
+    fb_denied = t.denied;
+  }
+
+let thaw (f : Frozen.t) =
+  validate f.Frozen.fb_spec;
+  if Rat.sign f.Frozen.fb_tokens < 0 then
+    invalid_arg "Budget.thaw: negative token balance";
+  if f.Frozen.fb_moves < 0 then invalid_arg "Budget.thaw: negative move count";
+  if Rat.sign f.Frozen.fb_moved_volume < 0 then
+    invalid_arg "Budget.thaw: negative moved volume";
+  if f.Frozen.fb_denied < 0 then
+    invalid_arg "Budget.thaw: negative denial count";
+  {
+    spec = f.Frozen.fb_spec;
+    tokens = f.Frozen.fb_tokens;
+    moves = f.Frozen.fb_moves;
+    moved_volume = f.Frozen.fb_moved_volume;
+    denied = f.Frozen.fb_denied;
+  }

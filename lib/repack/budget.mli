@@ -1,0 +1,115 @@
+(** Recourse budgets for limited repacking.
+
+    A budget bounds how much migration a repacker may perform — the
+    recourse axis of the cost/recourse trade-off mapped by experiment
+    E20.  Two cost metrics ({!kind}): [Items] charges one token per
+    item moved (the "number of moved items" recourse of the
+    limited-repacking literature), [Volume] charges the item's size
+    (moved volume / migration bytes).  Four replenishment disciplines
+    ({!mode}): [Unlimited], a [Total] allowance for the whole run, a
+    [Per_event] allowance that resets at every instance event, and an
+    amortized [Token_bucket] that accrues [rate] tokens per event up
+    to [burst].
+
+    All accounting is exact {!Dbp_num.Rat} arithmetic and the state is
+    checkpointable ({!freeze}/{!thaw}), so budget-constrained runs
+    keep the engine's bit-identical replay guarantees. *)
+
+open Dbp_num
+
+type kind = Items | Volume
+
+type mode =
+  | Unlimited
+  | Total of Rat.t
+  | Per_event of Rat.t
+  | Token_bucket of { rate : Rat.t; burst : Rat.t }
+
+type spec = { kind : kind; mode : mode }
+
+val zero : spec
+(** [{kind = Items; mode = Total 0}] — no recourse at all.  A run
+    under {!zero} is bit-identical to one without a repacker. *)
+
+val unlimited : spec
+(** [{kind = Items; mode = Unlimited}] — free repacking. *)
+
+val validate : spec -> unit
+(** @raise Invalid_argument on a negative allowance, rate or burst. *)
+
+val never_affords : spec -> bool
+(** True iff the spec can never pay for any move (its peak token
+    balance is below the cheapest possible cost).  Repackers use this
+    to take the exact budget=0 fast path: no planning, no trace
+    perturbation. *)
+
+val spec_to_string : spec -> string
+(** Canonical form, e.g. ["items:total:8"], ["volume:event:1/2"],
+    ["items:bucket:1/4:8"] (rate then burst), ["items:inf"].
+    {!spec_of_string} inverts it. *)
+
+val spec_of_string : string -> (spec, string) result
+(** Parses {!spec_to_string} plus the CLI shorthands: a bare rational
+    ["8"] means [items:total:8], ["inf"]/["unlimited"] mean
+    [items:inf], and the kind prefix may be dropped (defaults to
+    [items]).  Rejects negative amounts. *)
+
+(** {1 Live state} *)
+
+type t
+
+val create : spec -> t
+(** Fresh budget: [Total]/[Per_event] start with their allowance, a
+    token bucket starts full (at [burst]).
+    @raise Invalid_argument on an invalid spec. *)
+
+val spec : t -> spec
+
+val tick : t -> unit
+(** Advances one instance event: resets a [Per_event] allowance,
+    accrues [rate] (capped at [burst]) into a token bucket.  No-op for
+    [Unlimited]/[Total]. *)
+
+val cost_of : t -> size:Rat.t -> Rat.t
+(** Token cost of moving one item of [size]: 1 under [Items], [size]
+    under [Volume]. *)
+
+val affords : t -> cost:Rat.t -> bool
+(** Whether the current balance covers [cost] (always true for
+    [Unlimited]).  Pure — safe to probe speculatively while
+    planning. *)
+
+val spend : t -> size:Rat.t -> unit
+(** Pays for one committed move and records it in the
+    {!moves}/{!moved_volume} odometers.
+    @raise Invalid_argument if the balance cannot cover it — callers
+    must gate on {!affords}. *)
+
+val note_denied : t -> unit
+(** Records a repacking opportunity that was declined for lack of
+    budget (the {!denied} counter). *)
+
+val tokens_left : t -> Rat.t option
+(** Current balance; [None] for [Unlimited]. *)
+
+val moves : t -> int
+val moved_volume : t -> Rat.t
+val denied : t -> int
+
+(** {1 Checkpointing} *)
+
+module Frozen : sig
+  type t = {
+    fb_spec : spec;
+    fb_tokens : Rat.t;
+    fb_moves : int;
+    fb_moved_volume : Rat.t;
+    fb_denied : int;
+  }
+end
+
+val freeze : t -> Frozen.t
+
+val thaw : Frozen.t -> t
+(** @raise Invalid_argument on an invalid spec or negative
+    balances/counters. *)

@@ -1,0 +1,127 @@
+open Dbp_num
+open Dbp_core
+
+(* Budget-constrained repacking policies.  Under MinTotal cost the only
+   move that ever helps is one that lets a bin CLOSE earlier — shuffling
+   items between bins that both stay open changes nothing, since an
+   open bin costs the same at any level.  So every policy here proposes
+   whole-bin-emptying batches: drain one source bin completely into the
+   surviving fleet, or do nothing.  A batch is proposed only if the
+   budget can pay for all of it; partial drains are pure waste. *)
+
+type t = No_repack | Consolidate_sparsest | Ffd_sparsest
+
+type move = { mv_item : int; mv_from : int; mv_to : int; mv_size : Rat.t }
+
+let name = function
+  | No_repack -> "none"
+  | Consolidate_sparsest -> "consolidate"
+  | Ffd_sparsest -> "ffd"
+
+let all = [ No_repack; Consolidate_sparsest; Ffd_sparsest ]
+
+let of_string s =
+  match String.lowercase_ascii s with
+  | "none" | "no" | "off" -> Ok No_repack
+  | "consolidate" | "sparsest" -> Ok Consolidate_sparsest
+  | "ffd" -> Ok Ffd_sparsest
+  | _ ->
+      Error
+        (Printf.sprintf
+           "unknown repack policy '%s' (expected none, consolidate or ffd)" s)
+
+(* The emptiest open bin is the cheapest to drain and the most likely
+   to fit elsewhere; ties break to the earliest-opened (views arrive in
+   opening order), keeping planning deterministic. *)
+let sparsest views =
+  match views with
+  | [] -> None
+  | v :: rest ->
+      Some
+        (List.fold_left
+           (fun best v ->
+             if Rat.(v.Bin.bin_level < best.Bin.bin_level) then v else best)
+           v rest)
+
+(* First-fit the batch into the survivors against simulated residuals:
+   the plan must stay feasible as its own earlier moves land. *)
+let place_all ~targets items =
+  let residuals = Array.map (fun v -> v.Bin.bin_residual) targets in
+  let rec place acc = function
+    | [] -> Some (List.rev acc)
+    | (item_id, size, from_bin) :: rest ->
+        let n = Array.length targets in
+        let rec scan i =
+          if i >= n then None
+          else if Rat.(size <= residuals.(i)) then Some i
+          else scan (i + 1)
+        in
+        (match scan 0 with
+        | None -> None
+        | Some i ->
+            residuals.(i) <- Rat.sub residuals.(i) size;
+            place
+              ({
+                 mv_item = item_id;
+                 mv_from = from_bin;
+                 mv_to = targets.(i).Bin.bin_id;
+                 mv_size = size;
+               }
+               :: acc)
+              rest)
+  in
+  place [] items
+
+let plan ?(forbidden_src = fun _ -> false) policy ~budget ~views ~items_of =
+  match policy with
+  | No_repack -> []
+  | Consolidate_sparsest | Ffd_sparsest -> (
+      match views with
+      | [] | [ _ ] -> []
+      | views -> (
+          (* Bins barred from being the source (e.g. bins that already
+             received a migration at this instant) still serve as
+             targets below. *)
+          let candidates =
+            List.filter (fun v -> not (forbidden_src v.Bin.bin_id)) views
+          in
+          match sparsest candidates with
+          | None -> []
+          | Some src ->
+              let targets =
+                Array.of_list
+                  (List.filter
+                     (fun v -> v.Bin.bin_id <> src.Bin.bin_id)
+                     views)
+              in
+              (* Oldest placement first keeps the batch deterministic;
+                 FFD additionally re-sorts by size, largest first. *)
+              let items =
+                List.map
+                  (fun (id, size) -> (id, size, src.Bin.bin_id))
+                  (items_of src.Bin.bin_id)
+              in
+              let items =
+                match policy with
+                | Ffd_sparsest ->
+                    List.stable_sort
+                      (fun (id1, s1, _) (id2, s2, _) ->
+                        let c = Rat.compare s2 s1 in
+                        if c <> 0 then c else Int.compare id1 id2)
+                      items
+                | _ -> items
+              in
+              (match place_all ~targets items with
+              | None -> []
+              | Some moves ->
+                  let total_cost =
+                    Rat.sum
+                      (List.map
+                         (fun mv -> Budget.cost_of budget ~size:mv.mv_size)
+                         moves)
+                  in
+                  if Budget.affords budget ~cost:total_cost then moves
+                  else begin
+                    Budget.note_denied budget;
+                    []
+                  end)))

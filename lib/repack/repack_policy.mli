@@ -1,0 +1,63 @@
+(** Budget-constrained repacking policies.
+
+    Under MinTotal cost (total bin-seconds) the only migration that
+    ever pays is one that closes a bin early — moving items between
+    bins that both stay open is free to the adversary and costly to
+    the budget.  Every policy here therefore plans
+    {b whole-bin-emptying batches}: completely drain one source bin
+    into the surviving open bins, or propose nothing.
+
+    Policies are pure planners over view snapshots; committing the
+    moves (through {!Dbp_core.Simulator.Online.migrate}) and paying
+    the {!Budget} is the caller's job ({!Runner}, or the fault
+    injector's recovery ladder). *)
+
+open Dbp_num
+open Dbp_core
+
+type t =
+  | No_repack  (** Never proposes a move. *)
+  | Consolidate_sparsest
+      (** Drain the emptiest open bin, oldest placements first,
+          first-fit into the survivors. *)
+  | Ffd_sparsest
+      (** Drain the emptiest open bin largest-item-first (first-fit
+          decreasing) — fits tight residuals that defeat
+          [Consolidate_sparsest]'s arrival order. *)
+
+type move = { mv_item : int; mv_from : int; mv_to : int; mv_size : Rat.t }
+(** One planned migration: engine item [mv_item] of size [mv_size]
+    from bin [mv_from] to bin [mv_to]. *)
+
+val name : t -> string
+(** ["none"], ["consolidate"], ["ffd"] — the CLI names. *)
+
+val of_string : string -> (t, string) result
+val all : t list
+
+val plan :
+  ?forbidden_src:(int -> bool) ->
+  t ->
+  budget:Budget.t ->
+  views:Bin.view list ->
+  items_of:(int -> (int * Rat.t) list) ->
+  move list
+(** Plans one affordable whole-bin-emptying batch against the open
+    fleet [views] (opening order, as {!Dbp_core.Simulator.Online.open_bins}
+    returns them).  [items_of bin_id] must list the bin's active
+    [(item_id, size)] pairs oldest placement first.  Source selection
+    is deterministic: the lowest-level bin, ties to the
+    earliest-opened.  Targets are tried first-fit in opening order
+    against residuals that account for the batch's own earlier moves.
+
+    [forbidden_src] (default: nothing forbidden) excludes bins from
+    {b source} selection only — they remain valid migration targets.
+    {!Runner} forbids bins that already received a migration at the
+    current instant: re-moving a just-landed item would give it a
+    zero-length segment in the effective instance.
+
+    Returns [[]] when there is nothing to gain (fewer than two open
+    bins), the drain does not fit, or the budget cannot pay for the
+    whole batch — in the last case the budget's denial counter is
+    bumped ({!Budget.note_denied}).  Never spends from the budget:
+    callers pay per committed move with {!Budget.spend}. *)

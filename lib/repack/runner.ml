@@ -1,0 +1,352 @@
+open Dbp_num
+open Dbp_core
+
+(* Budget-constrained repacking over an instance replay.
+   The runner drives the O(open-bins) engine exactly like
+   [Simulator.run], but after the last departure of each timestamp it
+   lets the repack policy propose whole-bin-emptying migration batches
+   and commits every batch the budget can pay for.  Migrated items
+   continue under fresh segment ids (>= the instance size); a compact
+   migration log [(old engine id, new engine id, time)] is enough to
+   reconstruct the effective instance at [finish].
+
+   When no migration ever happens the effective instance IS the input
+   instance and every engine call matches [Simulator.run] one for one,
+   so a budget=0 run is bit-identical to the plain engine — packing,
+   exact cost and trace stream. *)
+
+type stats = {
+  migrations : int;
+  migrated_volume : Rat.t;
+  bins_closed_by_repack : int;
+  reclaimed_bin_seconds : Rat.t;
+  denied_triggers : int;
+}
+
+type result = { packing : Packing.t; effective : Instance.t; stats : stats }
+
+type t = {
+  instance : Instance.t;
+  n : int;  (* Instance.size; first fresh segment id *)
+  policy : Policy.t;
+  repack : Repack_policy.t;
+  budget : Budget.t;
+  enabled : bool;  (* false = exact budget=0 fast path: never plan *)
+  online : Simulator.Online.t;
+  events : Event.t array;
+  mutable idx : int;  (* events fully processed (triggers included) *)
+  current : (int, int) Hashtbl.t;  (* orig id -> engine id hosting it *)
+  origin : (int, int) Hashtbl.t;  (* segment id (>= n) -> orig id *)
+  mutable next_seg : int;
+  mutable log : (int * int * Rat.t) list;  (* (old, new, time), newest first *)
+  mutable bins_closed : int;
+  mutable reclaimed : Rat.t;
+}
+
+let orig_of st id = if id < st.n then id else Hashtbl.find st.origin id
+
+let create ?(audit = false) ?sink ?metrics ?profile ~budget ~repack ~policy
+    instance =
+  Budget.validate budget;
+  let online =
+    Simulator.Online.create ~audit ?sink ?metrics ?profile ~policy
+      ~capacity:(Instance.capacity instance) ()
+  in
+  let n = Instance.size instance in
+  {
+    instance;
+    n;
+    policy;
+    repack;
+    budget = Budget.create budget;
+    enabled =
+      (match repack with
+      | Repack_policy.No_repack -> false
+      | _ -> not (Budget.never_affords budget));
+    online;
+    events = Array.of_list (Event.of_instance instance);
+    idx = 0;
+    current = Hashtbl.create (max 16 n);
+    origin = Hashtbl.create 16;
+    next_seg = n;
+    log = [];
+    bins_closed = 0;
+    reclaimed = Rat.zero;
+  }
+
+(* Commit one planned batch.  [place_all] guaranteed the whole source
+   drains, so the last move must close it; the bin would otherwise
+   have stayed open until its last survivor departed, which bounds the
+   bin-seconds reclaimed from below. *)
+let apply_batch st ~now moves =
+  let latest =
+    List.fold_left
+      (fun acc mv ->
+        Rat.max acc
+          (Instance.item st.instance (orig_of st mv.Repack_policy.mv_item))
+            .Item.departure)
+      now moves
+  in
+  let closed_src = ref false in
+  List.iter
+    (fun mv ->
+      let new_id = st.next_seg in
+      st.next_seg <- st.next_seg + 1;
+      let closed =
+        Simulator.Online.migrate st.online ~now
+          ~item_id:mv.Repack_policy.mv_item ~to_bin:mv.Repack_policy.mv_to
+          ~new_item_id:new_id
+      in
+      let orig = orig_of st mv.Repack_policy.mv_item in
+      Hashtbl.replace st.current orig new_id;
+      Hashtbl.replace st.origin new_id orig;
+      st.log <- (mv.Repack_policy.mv_item, new_id, now) :: st.log;
+      Budget.spend st.budget ~size:mv.Repack_policy.mv_size;
+      if closed then closed_src := true)
+    moves;
+  if not !closed_src then
+    invalid_arg "Runner: repack batch did not empty its source bin";
+  st.bins_closed <- st.bins_closed + 1;
+  st.reclaimed <- Rat.add st.reclaimed (Rat.sub latest now)
+
+(* Keep draining the sparsest bin while a whole drain is affordable —
+   closing one bin can make the next one drainable.  Bins that received
+   a migration at this instant are barred from being drained until the
+   next instant: re-moving a just-landed item would give it a
+   zero-length segment, which the effective instance cannot express. *)
+let rec trigger ?(landed = []) st ~now =
+  if st.enabled then begin
+    let views = Simulator.Online.open_bins st.online in
+    let moves =
+      Repack_policy.plan
+        ~forbidden_src:(fun id -> List.exists (fun b -> b = id) landed)
+        st.repack ~budget:st.budget ~views
+        ~items_of:(fun bin_id ->
+          List.rev (Simulator.Online.active_items_in st.online bin_id))
+    in
+    match moves with
+    | [] -> ()
+    | moves ->
+        apply_batch st ~now moves;
+        let landed =
+          List.fold_left
+            (fun acc mv -> mv.Repack_policy.mv_to :: acc)
+            landed moves
+        in
+        trigger ~landed st ~now
+  end
+
+(* Repack only once all departures of a timestamp have landed:
+   same-instant departures would otherwise leave zero-length segments,
+   and the fleet is not in its settled state until they drain. *)
+let last_departure_of_instant st e =
+  match e.Event.kind with
+  | Event.Arrival -> false
+  | Event.Departure ->
+      st.idx >= Array.length st.events
+      ||
+      let next = st.events.(st.idx) in
+      (match next.Event.kind with
+      | Event.Arrival -> true
+      | Event.Departure -> not (Rat.equal next.Event.time e.Event.time))
+
+let step st =
+  if st.idx >= Array.length st.events then false
+  else begin
+    let e = st.events.(st.idx) in
+    st.idx <- st.idx + 1;
+    Budget.tick st.budget;
+    (match e.Event.kind with
+    | Event.Arrival ->
+        let item = e.Event.item in
+        ignore
+          (Simulator.Online.arrive st.online ~now:e.Event.time
+             ~size:item.Item.size ~item_id:item.Item.id);
+        Hashtbl.replace st.current item.Item.id item.Item.id
+    | Event.Departure ->
+        let orig = e.Event.item.Item.id in
+        let cur =
+          match Hashtbl.find_opt st.current orig with
+          | Some c -> c
+          | None -> orig
+        in
+        Simulator.Online.depart st.online ~now:e.Event.time ~item_id:cur;
+        Hashtbl.remove st.current orig;
+        if last_departure_of_instant st e then trigger st ~now:e.Event.time);
+    true
+  end
+
+let events_done st = st.idx
+let events_total st = Array.length st.events
+
+let drain ?checkpoint_every ?on_checkpoint st =
+  (match checkpoint_every with
+  | Some k when k <= 0 ->
+      invalid_arg "Runner.drain: checkpoint_every must be positive"
+  | _ -> ());
+  let hook () =
+    match (checkpoint_every, on_checkpoint) with
+    | Some k, Some f when st.idx mod k = 0 -> f ~events_done:st.idx st
+    | _ -> ()
+  in
+  while step st do
+    hook ()
+  done
+
+let stats st =
+  {
+    migrations = Budget.moves st.budget;
+    migrated_volume = Budget.moved_volume st.budget;
+    bins_closed_by_repack = st.bins_closed;
+    reclaimed_bin_seconds = st.reclaimed;
+    denied_triggers = Budget.denied st.budget;
+  }
+
+let budget_state st = st.budget
+
+(* Replay the migration log over the original items: each migration
+   ends one segment at the move time and starts the fresh one there,
+   inheriting the original departure until a later move cuts it again. *)
+let effective_instance st =
+  if st.next_seg = st.n then st.instance
+  else begin
+    let total = st.next_seg in
+    let starts = Array.make total Rat.zero in
+    let stops = Array.make total Rat.zero in
+    let sizes = Array.make total Rat.zero in
+    for i = 0 to st.n - 1 do
+      let it = Instance.item st.instance i in
+      starts.(i) <- it.Item.arrival;
+      stops.(i) <- it.Item.departure;
+      sizes.(i) <- it.Item.size
+    done;
+    List.iter
+      (fun (old_id, new_id, time) ->
+        let it = Instance.item st.instance (orig_of st new_id) in
+        stops.(old_id) <- time;
+        starts.(new_id) <- time;
+        stops.(new_id) <- it.Item.departure;
+        sizes.(new_id) <- it.Item.size)
+      (List.rev st.log);
+    let items =
+      List.init total (fun id ->
+          Item.make ~id ~size:sizes.(id) ~arrival:starts.(id)
+            ~departure:stops.(id))
+    in
+    Instance.create ~capacity:(Instance.capacity st.instance) items
+  end
+
+let finish st =
+  if st.idx < Array.length st.events then
+    invalid_arg "Runner.finish: events remain — drain the run first";
+  let effective = effective_instance st in
+  let packing =
+    {
+      (Simulator.Online.finish st.online ~instance:effective) with
+      Packing.policy_name = st.policy.Policy.name;
+    }
+  in
+  { packing; effective; stats = stats st }
+
+let run ?audit ?sink ?metrics ?profile ?(budget = Budget.zero)
+    ?(repack = Repack_policy.No_repack) ?checkpoint_every ?on_checkpoint
+    ~policy instance =
+  let audit =
+    match audit with Some a -> a | None -> Audit.enabled_from_env ()
+  in
+  let st =
+    create ~audit ?sink ?metrics ?profile ~budget ~repack ~policy instance
+  in
+  drain ?checkpoint_every ?on_checkpoint st;
+  finish st
+
+(* ---- checkpoint/restore --------------------------------------------- *)
+
+module Frozen = struct
+  type t = {
+    r_engine : Simulator.Online.Frozen.t;
+    r_budget : Budget.Frozen.t;
+    r_repack : Repack_policy.t;
+    r_events_done : int;
+    r_next_seg : int;
+    r_log : (int * int * Rat.t) list;  (** Chronological. *)
+    r_bins_closed : int;
+    r_reclaimed : Rat.t;
+  }
+end
+
+let freeze st =
+  {
+    Frozen.r_engine = Simulator.Online.freeze st.online;
+    r_budget = Budget.freeze st.budget;
+    r_repack = st.repack;
+    r_events_done = st.idx;
+    r_next_seg = st.next_seg;
+    r_log = List.rev st.log;
+    r_bins_closed = st.bins_closed;
+    r_reclaimed = st.reclaimed;
+  }
+
+let thaw ?(audit = false) ?sink ?metrics ?profile ~policy ~instance
+    (f : Frozen.t) =
+  let n = Instance.size instance in
+  let budget = Budget.thaw f.Frozen.r_budget in
+  if f.Frozen.r_events_done < 0 then
+    invalid_arg "Runner.thaw: negative event count";
+  if f.Frozen.r_next_seg <> n + List.length f.Frozen.r_log then
+    invalid_arg "Runner.thaw: segment counter disagrees with migration log";
+  if f.Frozen.r_bins_closed < 0 then
+    invalid_arg "Runner.thaw: negative bins-closed count";
+  if Rat.sign f.Frozen.r_reclaimed < 0 then
+    invalid_arg "Runner.thaw: negative reclaimed bin-seconds";
+  let online =
+    Simulator.Online.thaw ~audit ?sink ?metrics ?profile ~policy
+      f.Frozen.r_engine
+  in
+  let events = Array.of_list (Event.of_instance instance) in
+  if f.Frozen.r_events_done > Array.length events then
+    invalid_arg "Runner.thaw: more events done than the instance has";
+  let origin = Hashtbl.create 16 in
+  let seg_orig id = if id < n then id else Hashtbl.find origin id in
+  List.iter
+    (fun (old_id, new_id, _) ->
+      if new_id < n then
+        invalid_arg "Runner.thaw: migration log reuses an instance id";
+      let orig =
+        match seg_orig old_id with
+        | orig -> orig
+        | exception Not_found ->
+            invalid_arg "Runner.thaw: migration log is not chronological"
+      in
+      Hashtbl.replace origin new_id orig)
+    f.Frozen.r_log;
+  let current = Hashtbl.create (max 16 n) in
+  List.iter
+    (fun (b : Simulator.Online.Frozen.bin) ->
+      match b.Simulator.Online.Frozen.b_closed with
+      | Some _ -> ()
+      | None ->
+          List.iter
+            (fun (id, _) -> Hashtbl.replace current (seg_orig id) id)
+            b.Simulator.Online.Frozen.b_active)
+    f.Frozen.r_engine.Simulator.Online.Frozen.s_bins;
+  {
+    instance;
+    n;
+    policy;
+    repack = f.Frozen.r_repack;
+    budget;
+    enabled =
+      (match f.Frozen.r_repack with
+      | Repack_policy.No_repack -> false
+      | _ -> not (Budget.never_affords (Budget.spec budget)));
+    online;
+    events;
+    idx = f.Frozen.r_events_done;
+    current;
+    origin;
+    next_seg = f.Frozen.r_next_seg;
+    log = List.rev f.Frozen.r_log;
+    bins_closed = f.Frozen.r_bins_closed;
+    reclaimed = f.Frozen.r_reclaimed;
+  }

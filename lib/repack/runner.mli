@@ -1,0 +1,134 @@
+(** Budget-constrained repacking over an instance replay.
+
+    Drives the O(open-bins) engine through an instance exactly like
+    {!Dbp_core.Simulator.run}, but after the last departure of each
+    timestamp the {!Repack_policy} may propose whole-bin-emptying
+    migration batches, committed through
+    {!Dbp_core.Simulator.Online.migrate} while the {!Budget} can pay.
+    Migrated items continue under fresh segment ids (numbered from the
+    instance size upward); {!finish} reconstructs the {e effective}
+    instance — each migration splits an item into exactly-accounted
+    segments — and assembles the packing against it, so
+    [Packing.validate] and cost conservation hold exactly.
+
+    Guarantees, exercised by the test suite and the [repack-smoke] CI
+    job: a run under {!Budget.zero} (or [No_repack]) makes exactly the
+    same engine calls as [Simulator.run] — bit-identical packing,
+    exact cost and trace stream; and {!freeze}/{!thaw} resume
+    mid-run bit-identically. *)
+
+open Dbp_num
+open Dbp_core
+
+type stats = {
+  migrations : int;  (** Committed moves. *)
+  migrated_volume : Rat.t;  (** Total size moved, exact. *)
+  bins_closed_by_repack : int;  (** Sources drained shut. *)
+  reclaimed_bin_seconds : Rat.t;
+      (** Lower bound on bin-seconds saved: for each drained source,
+          the time from the drain to the departure of its
+          longest-staying occupant — the interval the bin would have
+          stayed open for. *)
+  denied_triggers : int;  (** Drains declined for lack of budget. *)
+}
+
+type result = { packing : Packing.t; effective : Instance.t; stats : stats }
+(** [effective] is physically the input instance when no migration
+    happened. *)
+
+type t
+
+val create :
+  ?audit:bool ->
+  ?sink:Dbp_obs.Sink.t ->
+  ?metrics:Dbp_obs.Metrics.t ->
+  ?profile:Dbp_obs.Profile.t ->
+  budget:Budget.spec ->
+  repack:Repack_policy.t ->
+  policy:Policy.t ->
+  Instance.t ->
+  t
+(** [audit] defaults to [false]; the taps are the engine's
+    ({!Dbp_core.Simulator.Online.create}).
+    @raise Invalid_argument on an invalid budget spec. *)
+
+val step : t -> bool
+(** Feeds the next instance event (ticking the budget first) and, after
+    the last departure of a timestamp, runs the repack trigger loop.
+    Returns [false] when the event stream is exhausted. *)
+
+val drain :
+  ?checkpoint_every:int ->
+  ?on_checkpoint:(events_done:int -> t -> unit) ->
+  t ->
+  unit
+(** Steps to the end.  [checkpoint_every]/[on_checkpoint] mirror
+    {!Dbp_core.Simulator.run}'s periodic checkpoint tap and change no
+    packing decision.
+    @raise Invalid_argument if [checkpoint_every <= 0]. *)
+
+val events_done : t -> int
+val events_total : t -> int
+
+val stats : t -> stats
+(** Odometers so far; also embedded in {!finish}'s result. *)
+
+val budget_state : t -> Budget.t
+
+val finish : t -> result
+(** @raise Invalid_argument if events remain. *)
+
+val run :
+  ?audit:bool ->
+  ?sink:Dbp_obs.Sink.t ->
+  ?metrics:Dbp_obs.Metrics.t ->
+  ?profile:Dbp_obs.Profile.t ->
+  ?budget:Budget.spec ->
+  ?repack:Repack_policy.t ->
+  ?checkpoint_every:int ->
+  ?on_checkpoint:(events_done:int -> t -> unit) ->
+  policy:Policy.t ->
+  Instance.t ->
+  result
+(** [create] + [drain] + [finish].  [budget] defaults to
+    {!Budget.zero} and [repack] to [No_repack] — the defaults
+    reproduce {!Dbp_core.Simulator.run} exactly.  [audit] defaults to
+    {!Dbp_core.Audit.enabled_from_env}. *)
+
+(** {1 Checkpointing} *)
+
+module Frozen : sig
+  type t = {
+    r_engine : Simulator.Online.Frozen.t;
+    r_budget : Budget.Frozen.t;
+    r_repack : Repack_policy.t;
+    r_events_done : int;
+    r_next_seg : int;
+    r_log : (int * int * Rat.t) list;
+        (** Migration log [(old engine id, fresh id, time)],
+            chronological — enough to rebuild the id maps and the
+            effective instance. *)
+    r_bins_closed : int;
+    r_reclaimed : Rat.t;
+  }
+end
+
+val freeze : t -> Frozen.t
+(** Captures the runner between events (engine, budget, id maps via
+    the log, odometers).
+    @raise Dbp_core.Simulator.Invalid_step if the packing policy is
+    volatile (cannot checkpoint). *)
+
+val thaw :
+  ?audit:bool ->
+  ?sink:Dbp_obs.Sink.t ->
+  ?metrics:Dbp_obs.Metrics.t ->
+  ?profile:Dbp_obs.Profile.t ->
+  policy:Policy.t ->
+  instance:Instance.t ->
+  Frozen.t ->
+  t
+(** Rebuilds a runner that continues the frozen run bit-identically.
+    [instance] and [policy] must be the frozen run's.
+    @raise Invalid_argument on an inconsistent image (segment counter
+    vs log, non-chronological log, negative counters). *)

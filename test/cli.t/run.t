@@ -72,6 +72,7 @@ Fit recover.  Everything (plan, victims, restarts) is deterministic:
   best_fit: 17 bins, cost=287851/5000 (57.5702), max open=6, any-fit violations=0
   faults          : 2 injected, 0 skipped
   interrupted     : 3 sessions, 2.4584 session-seconds displaced
+  live-migrated   : 0 sessions, 0 volume
   recovered       : 3 resumed, 0 lost, 0 shed
   launch retries  : 0 failures, 0 retries
   recovery latency: mean 0.25, p95 0.25, max 0.25
@@ -235,6 +236,60 @@ half-resumed run:
   $ dbp checkpoint
   dbp checkpoint: pick one of --save / --resume / --inspect / --verify
   [2]
+
+Budget-aware repacking: with budget 0 the repacker is bit-identical to
+plain First Fit (same cost as the simulate line above, nothing moved);
+with a 4-move allowance it drains four sparse bins early; unlimited,
+it keeps consolidating and the cost only drops:
+
+  $ dbp repack --trace trace.csv --budget 0 --json
+  {"schema":"dbp-repack/1","policy":"first-fit","repack":"consolidate","budget":"items:total:0","cost":"120481/2000","max_bins":6,"migrations":0,"moved_volume":"0","bins_drained":0,"reclaimed":"0","denied":0}
+  $ dbp repack --trace trace.csv --budget 4
+  first_fit: 17 bins, cost=557539/10000 (55.7539), max open=6, any-fit violations=0
+  repack consolidate, budget items:total:4: 4 migration(s), 1.004 volume moved, 4 bin(s) drained shut, 5.4272 bin-seconds reclaimed, 12 denied trigger(s)
+  $ dbp repack --trace trace.csv --budget inf --json
+  {"schema":"dbp-repack/1","policy":"first-fit","repack":"consolidate","budget":"items:inf","cost":"484669/10000","max_bins":6,"migrations":10,"moved_volume":"931/400","bins_drained":9,"reclaimed":"144549/10000","denied":0}
+  $ dbp repack --trace trace.csv --sweep 0,4,inf --assert-monotone
+  budget items:total:0    cost 120481/2000  migrations 0     drained 0
+  budget items:total:4    cost 557539/10000 migrations 4     drained 4
+  budget items:inf        cost 484669/10000 migrations 10    drained 9
+
+Kill the repacking run at its midpoint and prove the resumed run
+bit-identical (budget balance and migration log ride the snapshot):
+
+  $ dbp repack --trace trace.csv --verify
+  verify: repack run killed at event 30/60 resumes bit-identically
+
+Invalid or negative budgets and unknown repack policies exit 2:
+
+  $ dbp repack --trace trace.csv --budget=-1
+  dbp repack: negative total budget: -1
+  [2]
+  $ dbp repack --trace trace.csv --budget nonsense:x
+  dbp repack: malformed budget spec: 'nonsense:x'
+  [2]
+  $ dbp repack --trace trace.csv --budget volume:bucket:1:-1
+  dbp repack: negative burst budget: -1
+  [2]
+  $ dbp repack --trace trace.csv --repack bogus
+  dbp repack: unknown repack policy 'bogus' (expected none, consolidate or ffd)
+  [2]
+
+The fault injector's migration rung: with a recourse budget armed, a
+crash victim's sessions migrate into the surviving fleet before the
+evict/restart/shed ladder sees them:
+
+  $ dbp faults --trace trace.csv --policy best-fit --kill-fullest-at 5,9 --seed 5 --repack-budget inf
+  plan targeted-fullest: 2 faults over horizon [0, 19.5485]
+  best_fit: 17 bins, cost=59027/1000 (59.027), max open=6, any-fit violations=0
+  faults          : 2 injected, 0 skipped
+  interrupted     : 2 sessions, 0.7957 session-seconds displaced
+  live-migrated   : 1 sessions, 0.189 volume
+  recovered       : 2 resumed, 0 lost, 0 shed
+  launch retries  : 0 failures, 0 retries
+  recovery latency: mean 0.25, p95 0.25, max 0.25
+  availability    : 0.99348 (served 76.191 / demanded 76.691)
+  cost            : 59.027 faulty vs 59.6456 fault-free (overhead 0.989629)
 
 A trace with shuffled but valid ids loads (ids are preserved), while
 duplicate ids die with a diagnostic naming both lines:

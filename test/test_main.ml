@@ -25,5 +25,6 @@ let () =
       ("validation", Test_validation.suite);
       ("obs", Test_obs.suite);
       ("checkpoint", Test_checkpoint.suite);
+      ("repack", Test_repack.suite);
       ("experiments", Test_experiments.suite);
     ]

@@ -1,0 +1,459 @@
+(* Budget-aware repacking: budget=0 runs are bit-identical to the plain
+   engine (packing, exact cost, trace stream), consolidation under
+   budget only ever helps, budgets meter recourse exactly, and a
+   repack run resumed from a frozen image matches the uninterrupted
+   one. *)
+
+open Dbp_num
+open Dbp_core
+open Dbp_repack
+
+let workload ?(count = 80) ?(seed = 31L) () =
+  Dbp_workload.Generator.generate ~seed
+    { Dbp_workload.Spec.default with Dbp_workload.Spec.count = count }
+
+let registry_names =
+  [
+    "first-fit";
+    "best-fit";
+    "worst-fit";
+    "last-fit";
+    "next-fit";
+    "random-fit";
+    "mff";
+    "harmonic:4";
+  ]
+
+let policy_exn name =
+  match Algorithms.find name with
+  | Some p -> p
+  | None -> Alcotest.failf "unknown policy %s" name
+
+let traced_run ~policy instance =
+  let buf = Buffer.create 4096 in
+  let sink = Dbp_obs.Sink.to_buffer buf in
+  let packing = Simulator.run ~audit:true ~sink ~policy instance in
+  (packing, Buffer.contents buf)
+
+let traced_repack ?(budget = Budget.zero) ?(repack = Repack_policy.No_repack)
+    ~policy instance =
+  let buf = Buffer.create 4096 in
+  let sink = Dbp_obs.Sink.to_buffer buf in
+  let result =
+    Runner.run ~audit:true ~sink ~budget ~repack ~policy instance
+  in
+  (result, Buffer.contents buf)
+
+(* -- budget=0 bit-identity across the whole registry ------------------ *)
+
+let test_zero_budget_bit_identity () =
+  let instance = workload () in
+  List.iter
+    (fun name ->
+      let plain, plain_trace =
+        traced_run ~policy:(policy_exn name) instance
+      in
+      let repacked, repack_trace =
+        traced_repack ~budget:Budget.zero ~repack:Repack_policy.Consolidate_sparsest
+          ~policy:(policy_exn name) instance
+      in
+      Alcotest.(check bool)
+        (name ^ ": effective is the input instance")
+        true
+        (repacked.Runner.effective == instance);
+      Test_util.check_rat
+        (name ^ ": exact cost")
+        plain.Packing.total_cost repacked.Runner.packing.Packing.total_cost;
+      Alcotest.(check (array int))
+        (name ^ ": assignment")
+        plain.Packing.assignment repacked.Runner.packing.Packing.assignment;
+      Alcotest.(check string) (name ^ ": trace") plain_trace repack_trace;
+      Alcotest.(check int)
+        (name ^ ": no migrations")
+        0 repacked.Runner.stats.Runner.migrations)
+    registry_names
+
+(* -- consolidation only ever helps, and the result still validates ---- *)
+
+let test_unlimited_consolidation_helps () =
+  List.iter
+    (fun seed ->
+      let instance = workload ~count:120 ~seed () in
+      let plain = Simulator.run ~policy:(policy_exn "first-fit") instance in
+      List.iter
+        (fun repack ->
+          let result, _ =
+            traced_repack ~budget:Budget.unlimited ~repack
+              ~policy:(policy_exn "first-fit") instance
+          in
+          (match Packing.validate result.Runner.packing with
+          | Ok () -> ()
+          | Error msg -> Alcotest.failf "invalid repacked packing: %s" msg);
+          let name = Repack_policy.name repack in
+          Alcotest.(check bool)
+            (name ^ ": repacked cost <= plain cost")
+            true
+            Rat.(
+              result.Runner.packing.Packing.total_cost
+              <= plain.Packing.total_cost);
+          Alcotest.(check int)
+            (name ^ ": nothing denied at unlimited budget")
+            0 result.Runner.stats.Runner.denied_triggers;
+          if result.Runner.stats.Runner.migrations > 0 then
+            Alcotest.(check bool)
+              (name ^ ": reclaimed bin-seconds positive")
+              true
+              (Rat.sign result.Runner.stats.Runner.reclaimed_bin_seconds > 0))
+        [ Repack_policy.Consolidate_sparsest; Repack_policy.Ffd_sparsest ])
+    [ 3L; 7L; 11L ]
+
+(* -- cost is monotone non-increasing in the budget -------------------- *)
+
+let test_budget_monotonicity () =
+  let instance = workload ~count:100 ~seed:5L () in
+  let cost_at budget =
+    let result, _ =
+      traced_repack ~budget ~repack:Repack_policy.Consolidate_sparsest
+        ~policy:(policy_exn "first-fit") instance
+    in
+    result.Runner.packing.Packing.total_cost
+  in
+  let budgets =
+    [
+      Budget.zero;
+      { Budget.kind = Budget.Items; mode = Budget.Total Rat.one };
+      { Budget.kind = Budget.Items; mode = Budget.Total (Rat.of_int 4) };
+      { Budget.kind = Budget.Items; mode = Budget.Total (Rat.of_int 16) };
+      Budget.unlimited;
+    ]
+  in
+  let costs = List.map cost_at budgets in
+  let rec check = function
+    | a :: (b :: _ as rest) ->
+        Alcotest.(check bool)
+          "cost non-increasing in budget" true
+          Rat.(b <= a);
+        check rest
+    | _ -> ()
+  in
+  check costs
+
+(* -- the budget meters recourse exactly ------------------------------- *)
+
+let test_budget_metering () =
+  let instance = workload ~count:100 ~seed:5L () in
+  let limit = 4 in
+  let result, _ =
+    traced_repack
+      ~budget:
+        { Budget.kind = Budget.Items; mode = Budget.Total (Rat.of_int limit) }
+      ~repack:Repack_policy.Consolidate_sparsest
+      ~policy:(policy_exn "first-fit") instance
+  in
+  Alcotest.(check bool)
+    "moves within the item budget" true
+    (result.Runner.stats.Runner.migrations <= limit);
+  let unlimited, _ =
+    traced_repack ~budget:Budget.unlimited
+      ~repack:Repack_policy.Consolidate_sparsest
+      ~policy:(policy_exn "first-fit") instance
+  in
+  (* Volume accounting agrees with the item count odometer. *)
+  Alcotest.(check bool)
+    "volume positive iff items moved" true
+    (Rat.sign unlimited.Runner.stats.Runner.migrated_volume > 0
+    = (unlimited.Runner.stats.Runner.migrations > 0))
+
+let test_spec_strings () =
+  let round s =
+    match Budget.spec_of_string s with
+    | Error e -> Alcotest.failf "%s: %s" s e
+    | Ok spec -> Budget.spec_to_string spec
+  in
+  Alcotest.(check string) "total" "items:total:8" (round "8");
+  Alcotest.(check string) "inf" "items:inf" (round "inf");
+  Alcotest.(check string) "volume event" "volume:event:1/2"
+    (round "volume:event:1/2");
+  Alcotest.(check string) "bucket" "items:bucket:1/4:8"
+    (round "items:bucket:1/4:8");
+  List.iter
+    (fun bad ->
+      match Budget.spec_of_string bad with
+      | Ok _ -> Alcotest.failf "accepted malformed budget '%s'" bad
+      | Error _ -> ())
+    [ "-1"; "items:total:-3"; "volume:bucket:1:-1"; "nonsense:x"; "" ]
+
+(* -- freeze/thaw mid-run is bit-identical ----------------------------- *)
+
+let test_checkpoint_resume_bit_identity () =
+  let instance = workload ~count:100 ~seed:13L () in
+  let budget =
+    { Budget.kind = Budget.Items; mode = Budget.Total (Rat.of_int 8) }
+  in
+  let repack = Repack_policy.Consolidate_sparsest in
+  let policy () = policy_exn "best-fit" in
+  let straight, straight_trace =
+    traced_repack ~budget ~repack ~policy:(policy ()) instance
+  in
+  let events = List.length (Event.of_instance instance) in
+  List.iter
+    (fun cut ->
+      let pre_buf = Buffer.create 4096 in
+      let pre_sink = Dbp_obs.Sink.to_buffer pre_buf in
+      let st =
+        Runner.create ~sink:pre_sink ~budget ~repack ~policy:(policy ())
+          instance
+      in
+      let steps = ref 0 in
+      while !steps < cut && Runner.step st do
+        incr steps
+      done;
+      let frozen = Runner.freeze st in
+      let buf = Buffer.create 4096 in
+      let sink = Dbp_obs.Sink.to_buffer buf in
+      Dbp_obs.Sink.set_seq sink (Dbp_obs.Sink.emitted pre_sink);
+      let resumed =
+        Runner.thaw ~audit:true ~sink ~policy:(policy ()) ~instance frozen
+      in
+      Runner.drain resumed;
+      let result = Runner.finish resumed in
+      Test_util.check_rat
+        (Printf.sprintf "cut %d: exact cost" cut)
+        straight.Runner.packing.Packing.total_cost
+        result.Runner.packing.Packing.total_cost;
+      Alcotest.(check (array int))
+        (Printf.sprintf "cut %d: assignment" cut)
+        straight.Runner.packing.Packing.assignment
+        result.Runner.packing.Packing.assignment;
+      Alcotest.(check int)
+        (Printf.sprintf "cut %d: migrations" cut)
+        straight.Runner.stats.Runner.migrations
+        result.Runner.stats.Runner.migrations;
+      (* Pre-cut trace ++ resumed trace must be byte-identical to the
+         straight-through stream. *)
+      Alcotest.(check string)
+        (Printf.sprintf "cut %d: trace stream" cut)
+        straight_trace
+        (Buffer.contents pre_buf ^ Buffer.contents buf))
+    [ 0; 17; events / 2; events - 1 ]
+
+(* -- the injector's migration rung ------------------------------------ *)
+
+let crash_plan ~seed ~rate instance =
+  let horizon = Interval.hi (Instance.packing_period instance) in
+  Dbp_faults.Fault_plan.poisson_crashes ~seed ~rate ~horizon
+
+let test_injector_ladder () =
+  let open Dbp_faults in
+  let instance = workload ~count:120 ~seed:5L () in
+  let plan = crash_plan ~seed:55L ~rate:2.0 instance in
+  let policy () = policy_exn "first-fit" in
+  let evict_only = Injector.run ~audit:true ~plan ~policy:(policy ()) instance in
+  (* A disarmed rung — budget 0 or policy none — is bit-identical to the
+     evict-only injector, counters included. *)
+  List.iter
+    (fun (label, repack) ->
+      let r = Injector.run ~audit:true ~repack ~plan ~policy:(policy ()) instance in
+      Test_util.check_rat (label ^ ": cost")
+        evict_only.Injector.packing.Packing.total_cost
+        r.Injector.packing.Packing.total_cost;
+      Alcotest.(check (array int))
+        (label ^ ": assignment")
+        evict_only.Injector.packing.Packing.assignment
+        r.Injector.packing.Packing.assignment;
+      Alcotest.(check int)
+        (label ^ ": nothing migrated")
+        0
+        r.Injector.resilience.Resilience.migrated_sessions;
+      Alcotest.(check int)
+        (label ^ ": same interruptions")
+        evict_only.Injector.resilience.Resilience.interrupted_sessions
+        r.Injector.resilience.Resilience.interrupted_sessions)
+    [
+      ("budget=0", (Budget.zero, Repack_policy.Consolidate_sparsest));
+      ("no-repack", (Budget.unlimited, Repack_policy.No_repack));
+    ];
+  (* An unlimited budget walks the top rung: sessions migrate instead of
+     being interrupted, and the ladder's conservation law still holds. *)
+  let r =
+    Injector.run ~audit:true
+      ~repack:(Budget.unlimited, Repack_policy.Consolidate_sparsest)
+      ~plan ~policy:(policy ()) instance
+  in
+  (match Packing.validate r.Injector.packing with
+  | Ok () -> ()
+  | Error msg -> Alcotest.failf "migrated packing invalid: %s" msg);
+  let z = r.Injector.resilience in
+  Alcotest.(check bool) "some sessions migrated" true
+    (z.Resilience.migrated_sessions > 0);
+  Alcotest.(check bool) "migrated volume positive" true
+    Rat.(z.Resilience.migrated_volume > Rat.zero);
+  Alcotest.(check bool) "migration spares interruptions" true
+    (z.Resilience.interrupted_sessions
+    < evict_only.Injector.resilience.Resilience.interrupted_sessions);
+  Alcotest.(check int) "conservation: resumed + lost = interrupted"
+    z.Resilience.interrupted_sessions
+    (z.Resilience.resumed_sessions + z.Resilience.lost_sessions)
+
+(* -- snapshot wire format: repack payload and the inj:repack line ----- *)
+
+let test_snapshot_round_trip () =
+  let open Dbp_checkpoint in
+  let instance = workload ~count:60 ~seed:21L () in
+  let budget =
+    { Budget.kind = Budget.Items; mode = Budget.Total (Rat.of_int 4) }
+  in
+  let repack = Repack_policy.Consolidate_sparsest in
+  (* A "repack" payload re-serialises canonically and verifies. *)
+  let snap =
+    Checkpoint.save_repack_at ~policy_name:"first-fit" ~at:60 ~budget ~repack
+      instance
+  in
+  let text = Snapshot.to_string snap in
+  (match Snapshot.of_string text with
+  | Error msg -> Alcotest.failf "repack snapshot rejected: %s" msg
+  | Ok snap' ->
+      Alcotest.(check string) "kind" "repack" (Snapshot.kind_name snap');
+      Alcotest.(check string) "canonical re-serialisation" text
+        (Snapshot.to_string snap');
+      let v = Checkpoint.verify instance snap' in
+      Alcotest.(check (list string)) "verify mismatches" []
+        v.Checkpoint.mismatches);
+  (* A faults payload with the migration rung armed carries the budget
+     balance through its optional inj:repack line. *)
+  let open Dbp_faults in
+  let plan = crash_plan ~seed:7L ~rate:2.0 instance in
+  let straight =
+    Injector.run ~repack:(budget, repack) ~plan ~policy:(policy_exn "first-fit")
+      instance
+  in
+  let st =
+    Injector.create ~repack:(budget, repack) ~plan
+      ~policy:(policy_exn "first-fit") instance
+  in
+  let rec advance n = if n > 0 && Injector.step st then advance (n - 1) in
+  advance 60;
+  let snap =
+    {
+      Snapshot.meta =
+        {
+          Snapshot.policy = "first-fit";
+          seed = Algorithms.default_seed;
+          events_applied = Injector.events_done st;
+          trace_seq = 0;
+        };
+      metrics = None;
+      payload = Snapshot.Faults (Injector.freeze st);
+    }
+  in
+  let text = Snapshot.to_string snap in
+  match Snapshot.of_string text with
+  | Error msg -> Alcotest.failf "faults+repack snapshot rejected: %s" msg
+  | Ok snap' ->
+      Alcotest.(check string) "canonical re-serialisation" text
+        (Snapshot.to_string snap');
+      let { Checkpoint.fresult = resumed; _ } =
+        Checkpoint.resume_faults instance snap'
+      in
+      Test_util.check_rat "resumed cost"
+        straight.Injector.packing.Packing.total_cost
+        resumed.Injector.packing.Packing.total_cost;
+      Alcotest.(check int) "resumed migrations"
+        straight.Injector.resilience.Resilience.migrated_sessions
+        resumed.Injector.resilience.Resilience.migrated_sessions;
+      Alcotest.(check int) "resumed interruptions"
+        straight.Injector.resilience.Resilience.interrupted_sessions
+        resumed.Injector.resilience.Resilience.interrupted_sessions
+
+(* -- qcheck: migration storms ----------------------------------------- *)
+
+let storm_gen =
+  QCheck2.Gen.(
+    map3
+      (fun instance seed rate ->
+        (instance, Int64.of_int seed, float_of_int rate /. 2.0))
+      (Test_util.instance_gen ~max_items:25 ())
+      (int_range 0 10_000) (int_range 0 8))
+
+let run_storm ?repack (instance, seed, rate) =
+  let plan = crash_plan ~seed ~rate instance in
+  Dbp_faults.Injector.run ~audit:true ?repack
+    ~config:
+      { Dbp_faults.Injector.default_config with Dbp_faults.Injector.seed }
+    ~plan ~policy:First_fit.policy instance
+
+let storm_props =
+  let open Dbp_faults in
+  [
+    Test_util.qcheck ~count:100
+      "storm: migrated packings validate, accounting conserved" storm_gen
+      (fun input ->
+        match
+          run_storm
+            ~repack:(Budget.unlimited, Repack_policy.Consolidate_sparsest)
+            input
+        with
+        | exception Invalid_argument _ -> true (* everything shed *)
+        | { Injector.packing; resilience = z; _ } ->
+            Packing.validate packing = Ok ()
+            && z.Resilience.resumed_sessions + z.Resilience.lost_sessions
+               = z.Resilience.interrupted_sessions
+            && (z.Resilience.migrated_sessions = 0
+               || Rat.(z.Resilience.migrated_volume > Rat.zero)));
+    Test_util.qcheck ~count:100
+      "storm: token-bucket budget validates under ffd" storm_gen
+      (fun input ->
+        let budget =
+          {
+            Budget.kind = Budget.Volume;
+            mode =
+              Budget.Token_bucket
+                { rate = Rat.make 1 4; burst = Rat.of_int 2 };
+          }
+        in
+        match
+          run_storm ~repack:(budget, Repack_policy.Ffd_sparsest) input
+        with
+        | exception Invalid_argument _ -> true
+        | { Injector.packing; _ } -> Packing.validate packing = Ok ());
+    Test_util.qcheck ~count:100
+      "storm: budget=0 is bit-identical to the evict-only injector"
+      storm_gen
+      (fun input ->
+        match
+          ( run_storm input,
+            run_storm
+              ~repack:(Budget.zero, Repack_policy.Consolidate_sparsest)
+              input )
+        with
+        | exception Invalid_argument _ -> true
+        | evict_only, zero ->
+            Rat.equal evict_only.Injector.packing.Packing.total_cost
+              zero.Injector.packing.Packing.total_cost
+            && evict_only.Injector.packing.Packing.assignment
+               = zero.Injector.packing.Packing.assignment
+            && zero.Injector.resilience.Resilience.migrated_sessions = 0
+            && evict_only.Injector.resilience.Resilience.interrupted_sessions
+               = zero.Injector.resilience.Resilience.interrupted_sessions
+            && evict_only.Injector.resilience.Resilience.shed_requests
+               = zero.Injector.resilience.Resilience.shed_requests);
+  ]
+
+let suite =
+  [
+    Alcotest.test_case "budget=0 bit-identical across registry" `Quick
+      test_zero_budget_bit_identity;
+    Alcotest.test_case "unlimited consolidation helps" `Quick
+      test_unlimited_consolidation_helps;
+    Alcotest.test_case "cost monotone in budget" `Quick
+      test_budget_monotonicity;
+    Alcotest.test_case "budget meters recourse" `Quick test_budget_metering;
+    Alcotest.test_case "budget spec strings" `Quick test_spec_strings;
+    Alcotest.test_case "freeze/thaw bit-identity" `Quick
+      test_checkpoint_resume_bit_identity;
+    Alcotest.test_case "injector degradation ladder" `Quick
+      test_injector_ladder;
+    Alcotest.test_case "snapshot wire round trip" `Quick
+      test_snapshot_round_trip;
+  ]
+  @ storm_props
