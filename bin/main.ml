@@ -655,7 +655,32 @@ let bench_cmd =
          & info [ "o"; "out" ]
              ~doc:"Write the output here instead of stdout.")
   in
-  let run quick json out seed =
+  let assert_floor =
+    Arg.(value & opt (some file) None
+         & info [ "assert-floor" ] ~docv:"FILE"
+             ~doc:
+               "Perf-regression gate: fail unless every fast-engine \
+                policy at the largest trace size clears the \
+                events-per-second floor read from $(docv) (first \
+                non-comment line, see bench-floor.txt).")
+  in
+  let read_floor path =
+    let ic = open_in path in
+    Fun.protect
+      ~finally:(fun () -> close_in_noerr ic)
+      (fun () ->
+        let rec go () =
+          match input_line ic with
+          | line ->
+              let line = String.trim line in
+              if line = "" || line.[0] = '#' then go ()
+              else float_of_string line
+          | exception End_of_file ->
+              failwith (path ^ ": no floor value found")
+        in
+        go ())
+  in
+  let run quick json out assert_floor seed =
     let report = Dbp_experiments.Scaling_bench.run ~quick ~seed () in
     let body =
       if json then Dbp_experiments.Scaling_bench.to_json report
@@ -668,19 +693,40 @@ let bench_cmd =
         close_out oc;
         Format.printf "wrote %s@." path
     | None -> print_string body);
-    if Dbp_experiments.Scaling_bench.all_identical report then 0
-    else begin
+    if not (Dbp_experiments.Scaling_bench.all_identical report) then begin
       Format.eprintf
         "engine equivalence violated: fast and seed packings differ@.";
       1
     end
+    else
+      match assert_floor with
+      | None -> 0
+      | Some path ->
+          let floor = read_floor path in
+          let slowest =
+            Dbp_experiments.Scaling_bench.min_fast_throughput report
+          in
+          if slowest >= floor then begin
+            Format.printf
+              "perf floor ok: slowest fast-engine policy at %.0f events/s \
+               (floor %.0f)@."
+              slowest floor;
+            0
+          end
+          else begin
+            Format.eprintf
+              "perf regression: slowest fast-engine policy at %.0f \
+               events/s is below the %.0f floor in %s@."
+              slowest floor path;
+            1
+          end
   in
   Cmd.v
     (Cmd.info "bench"
        ~doc:
          "Run the simulator scaling benchmark (fast vs seed engine, per \
           policy) and emit the perf-trajectory artefact.")
-    Term.(const run $ quick $ json $ out $ seed_arg)
+    Term.(const run $ quick $ json $ out $ assert_floor $ seed_arg)
 
 (* ---- trace ---------------------------------------------------------- *)
 
@@ -1115,7 +1161,7 @@ let check_cmd =
   let lint_flag =
     Arg.(value & flag
          & info [ "lint" ]
-             ~doc:"Run the static lint pass (R1..R6) over the source roots.")
+             ~doc:"Run the static lint pass (R1..R7) over the source roots.")
   in
   let audit_flag =
     Arg.(value & flag
@@ -1287,7 +1333,7 @@ let check_cmd =
   Cmd.v
     (Cmd.info "check"
        ~doc:
-         "Correctness tooling: static lint pass (R1..R6) over the sources \
+         "Correctness tooling: static lint pass (R1..R7) over the sources \
           and/or the engine's runtime invariant self-audit.")
     Term.(
       const run $ lint_flag $ audit_flag $ json $ strict $ roots

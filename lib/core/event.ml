@@ -13,14 +13,27 @@ let compare a b =
     let c = Int.compare (kind_rank a.kind) (kind_rank b.kind) in
     if c <> 0 then c else Int.compare a.item.Item.id b.item.Item.id
 
-let of_instance instance =
-  Instance.items instance |> Array.to_list
-  |> List.concat_map (fun (r : Item.t) ->
-         [
-           { time = r.arrival; kind = Arrival; item = r };
-           { time = r.departure; kind = Departure; item = r };
-         ])
-  |> List.sort compare
+let sorted_array_of_instance instance =
+  let items = Instance.items instance in
+  let n = Array.length items in
+  if n = 0 then [||]
+  else begin
+    let seed = { time = items.(0).Item.arrival; kind = Arrival; item = items.(0) } in
+    let evs = Array.make (2 * n) seed in
+    Array.iteri
+      (fun i (r : Item.t) ->
+        evs.(2 * i) <- { time = r.arrival; kind = Arrival; item = r };
+        evs.((2 * i) + 1) <- { time = r.departure; kind = Departure; item = r })
+      items;
+    (* [compare] is a total order (time, kind, item id with ids
+       unique), so the unstable array sort yields exactly the order
+       the stable list sort used to — event indices, and with them
+       checkpoint cut points, are preserved. *)
+    Array.sort compare evs;
+    evs
+  end
+
+let of_instance instance = Array.to_list (sorted_array_of_instance instance)
 
 let pp fmt e =
   Format.fprintf fmt "%s@%a %a"

@@ -14,7 +14,15 @@ type kind = Departure | Arrival
 type t = { time : Rat.t; kind : kind; item : Item.t }
 
 val compare : t -> t -> int
+
 val of_instance : Instance.t -> t list
 (** The full sorted event stream of an instance. *)
+
+val sorted_array_of_instance : Instance.t -> t array
+(** Same stream, same order, as an array: [compare] is a total order,
+    so sorting in place yields exactly [of_instance]'s sequence while
+    sparing the hot replay loop the list sort's allocation.  Indices
+    therefore agree with [of_instance] positions — checkpoint cut
+    points carry over unchanged. *)
 
 val pp : Format.formatter -> t -> unit

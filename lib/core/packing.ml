@@ -104,9 +104,9 @@ let validate t =
   in
   (* 4. Cost consistency: integral of timeline = sum of period lengths. *)
   let by_periods =
-    Array.to_list t.bins
-    |> List.map (fun b -> Interval.length (usage_period b))
-    |> Rat.sum
+    Array.fold_left
+      (fun acc b -> Rat.add acc (Interval.length (usage_period b)))
+      Rat.zero t.bins
   in
   let by_integral = Step_fn.integral t.timeline in
   if not (Rat.equal by_periods t.total_cost) then

@@ -32,6 +32,7 @@ module Online : sig
     ?sink:Dbp_obs.Sink.t ->
     ?metrics:Dbp_obs.Metrics.t ->
     ?profile:Dbp_obs.Profile.t ->
+    ?grid:Fixed.scale ->
     ?tag_capacity:(string -> Rat.t) ->
     policy:Policy.t ->
     capacity:Rat.t ->
@@ -54,7 +55,18 @@ module Online : sig
       per-bin utilisation at pack time, item held times, exact
       bin-seconds), and [profile] accrues per-phase wall time
       ("views" — open-fleet view assembly, "policy" — the policy
-      handler, "commit" — state mutation). *)
+      handler, "commit" — state mutation).
+
+      [grid] (usually {!grid_of_instance}) opts the engine onto the
+      fixed-point fast track: all sizes, times and levels become
+      native ints scaled by the grid denominator, stored unboxed in
+      struct-of-arrays form, and the commit path does no rational
+      arithmetic at all.  Admission is exact-or-refuse — the track is
+      taken only if [capacity] converts exactly, and any later input
+      off the grid (a time, a tag capacity, an out-of-range id) makes
+      the engine fall back to exact arithmetic by losslessly
+      materialising its state, so results are bit-identical either
+      way.  A [sink] or [metrics] tap forces the exact track. *)
 
   val arrive : t -> now:Rat.t -> size:Rat.t -> item_id:int -> int
   (** Feeds an arrival to the policy; returns the id of the bin the
@@ -189,7 +201,19 @@ module Online : sig
       active items without placements, over-capacity bins, policy
       state present/absent against the policy's declared persistence,
       or a volatile policy). *)
+
+  val track_name : t -> string
+  (** ["fixed"] while the engine runs on the scaled-integer fast
+      track, ["exact"] otherwise (including after a fallback).  For
+      benchmarks and tests; results never depend on it. *)
 end
+
+val grid_of_instance : Instance.t -> Fixed.scale option
+(** The instance's common grid: the least denominator under which the
+    capacity and every item size, arrival and departure are exactly
+    representable scaled integers within {!Fixed.bound}.  [None] if no
+    such affordable grid exists — the run then stays on exact
+    arithmetic.  Pass the result to {!Online.create}'s [?grid]. *)
 
 val apply_event : Online.t -> Event.t -> unit
 (** Feeds one instance event (arrival or departure) to the engine —
@@ -201,6 +225,7 @@ val run :
   ?sink:Dbp_obs.Sink.t ->
   ?metrics:Dbp_obs.Metrics.t ->
   ?profile:Dbp_obs.Profile.t ->
+  ?grid:Fixed.scale option ->
   ?tag_capacity:(string -> Rat.t) ->
   ?checkpoint_every:int ->
   ?on_checkpoint:(events_done:int -> Online.t -> unit) ->
@@ -213,7 +238,10 @@ val run :
     [DBP_AUDIT=1] audits every run in the process.  [sink], [metrics]
     and [profile] are the observability taps of {!Online.create}; a
     traced or metered run produces a bit-identical packing to an
-    untraced one.
+    untraced one.  [grid] overrides the numeric track choice
+    ([Some None] forces exact arithmetic); by default the run computes
+    {!grid_of_instance} itself and takes the fast track whenever the
+    instance lies on a grid.
 
     [checkpoint_every] (with [on_checkpoint]) calls the hook after
     every [k]-th event with the engine mid-run — the periodic

@@ -26,6 +26,11 @@ type row = {
   events_per_second : float;
   total_cost : float;
   cost_exact : string;
+  phases : (string * float * int) list;
+      (* per-phase (name, seconds, calls) from a second, profiled run
+         of the same policy/size; empty for naive rows.  The timed
+         wall/events figures above come from the unprofiled run, so
+         the hooks never skew them. *)
 }
 
 type equivalence = {
@@ -76,7 +81,7 @@ let time f =
   let r = f () in
   (r, Unix.gettimeofday () -. t0)
 
-let row_of ~engine ~items (p : Packing.t) wall =
+let row_of ?(phases = []) ~engine ~items (p : Packing.t) wall =
   {
     policy = p.Packing.policy_name;
     engine;
@@ -87,6 +92,7 @@ let row_of ~engine ~items (p : Packing.t) wall =
     events_per_second = float_of_int (2 * items) /. Float.max wall 1e-9;
     total_cost = Rat.to_float p.Packing.total_cost;
     cost_exact = Rat.to_string p.Packing.total_cost;
+    phases;
   }
 
 let packings_identical (a : Packing.t) (b : Packing.t) =
@@ -112,6 +118,11 @@ let cli_names =
   ]
 
 let run ?(quick = false) ?(seed = 77L) () =
+  (* A roomy minor heap keeps the measurements about the engine, not
+     about minor-collection cadence; restored on the way out. *)
+  let gc0 = Gc.get () in
+  Fun.protect ~finally:(fun () -> Gc.set gc0) @@ fun () ->
+  Gc.set { gc0 with Gc.minor_heap_size = 4 * 1024 * 1024 };
   let sizes = default_sizes ~quick in
   let naive_size = List.hd sizes in
   let max_size = List.fold_left max naive_size sizes in
@@ -129,12 +140,21 @@ let run ?(quick = false) ?(seed = 77L) () =
         List.map
           (fun (n, instance) ->
             let p, wall = time (fun () -> Simulator.run ~policy instance) in
-            rows := row_of ~engine:"fast" ~items:n p wall :: !rows;
-            (n, p, wall))
+            let profile = Dbp_obs.Profile.create () in
+            ignore (Simulator.run ~profile ~policy instance);
+            let phases = Dbp_obs.Profile.spans profile in
+            rows := row_of ~phases ~engine:"fast" ~items:n p wall :: !rows;
+            (n, p, wall, phases))
           instances
       in
-      let _, fast_small, fast_small_wall =
-        List.find (fun (n, _, _) -> n = naive_size) fast_walls
+      let phases_at_max =
+        let _, _, _, phases =
+          List.find (fun (n, _, _, _) -> n = max_size) fast_walls
+        in
+        phases
+      in
+      let _, fast_small, fast_small_wall, _ =
+        List.find (fun (n, _, _, _) -> n = naive_size) fast_walls
       in
       let naive, naive_wall =
         time (fun () ->
@@ -177,19 +197,15 @@ let run ?(quick = false) ?(seed = 77L) () =
           sg_identical = packings_identical fast_small resumed;
         }
         :: !segmented;
-      let _, _, fast_max_wall =
-        List.find (fun (n, _, _) -> n = max_size) fast_walls
+      let _, _, fast_max_wall, _ =
+        List.find (fun (n, _, _, _) -> n = max_size) fast_walls
       in
       let scale = float_of_int max_size /. float_of_int naive_size in
       let naive_max_extrapolated = naive_wall *. scale *. scale in
       extrapolated :=
         (policy.Policy.name, naive_max_extrapolated /. Float.max fast_max_wall 1e-9)
         :: !extrapolated;
-      let profile = Dbp_obs.Profile.create () in
-      ignore
-        (Simulator.run ~profile ~policy (List.assoc max_size instances));
-      profiles :=
-        (policy.Policy.name, Dbp_obs.Profile.spans profile) :: !profiles)
+      profiles := (policy.Policy.name, phases_at_max) :: !profiles)
     (List.combine cli_names policies);
   {
     quick;
@@ -223,7 +239,7 @@ let to_json r =
   let buf = Buffer.create 4096 in
   let add fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
   add "{\n";
-  add "  \"schema\": \"dbp-bench-simulator/3\",\n";
+  add "  \"schema\": \"dbp-bench-simulator/4\",\n";
   add "  \"quick\": %b,\n" r.quick;
   add "  \"seed\": %Ld,\n" r.seed;
   add "  \"sizes\": [%s],\n"
@@ -233,14 +249,23 @@ let to_json r =
   let n_rows = List.length r.rows in
   List.iteri
     (fun i row ->
+      let phases_json =
+        String.concat ", "
+          (List.map
+             (fun (phase, seconds, calls) ->
+               Printf.sprintf
+                 "{\"phase\": \"%s\", \"seconds\": %.6f, \"calls\": %d}"
+                 (json_escape phase) seconds calls)
+             row.phases)
+      in
       add
         "    {\"policy\": \"%s\", \"engine\": \"%s\", \"items\": %d, \
          \"bins\": %d, \"max_open\": %d, \"wall_seconds\": %.6f, \
          \"events_per_second\": %.1f, \"total_cost\": %.4f, \
-         \"cost_exact\": \"%s\"}%s\n"
+         \"cost_exact\": \"%s\", \"phases\": [%s]}%s\n"
         (json_escape row.policy) row.engine row.items row.bins row.max_open
         row.wall_seconds row.events_per_second row.total_cost
-        (json_escape row.cost_exact)
+        (json_escape row.cost_exact) phases_json
         (if i = n_rows - 1 then "" else ","))
     r.rows;
   add "  ],\n";
@@ -386,3 +411,14 @@ let render r =
 let all_identical r =
   List.for_all (fun e -> e.identical) r.equivalences
   && List.for_all (fun s -> s.sg_identical) r.segmented
+
+(* The CI perf-regression gate: the slowest fast-engine policy at the
+   largest trace size, in events/second. *)
+let min_fast_throughput r =
+  let max_size = List.fold_left max r.naive_size r.sizes in
+  List.fold_left
+    (fun acc row ->
+      if row.engine = "fast" && row.items = max_size then
+        Float.min acc row.events_per_second
+      else acc)
+    infinity r.rows

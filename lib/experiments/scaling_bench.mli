@@ -19,6 +19,11 @@ type row = {
   events_per_second : float;
   total_cost : float;
   cost_exact : string;
+  phases : (string * float * int) list;
+      (** Per-phase [(name, seconds, calls)] breakdown — policy /
+          commit / views — from a second, profiled run of the same
+          policy and size; empty for naive rows.  The wall-clock
+          figures above come from the unprofiled run. *)
 }
 
 type equivalence = {
@@ -66,7 +71,8 @@ val run : ?quick:bool -> ?seed:int64 -> unit -> report
 
 val to_json : report -> string
 (** The [BENCH_simulator.json] document (schema
-    ["dbp-bench-simulator/3"], which added the per-policy
+    ["dbp-bench-simulator/4"], which added per-row ["phases"]
+    breakdowns for the fast engine; ["/3"] added the per-policy
     ["segmented"] checkpoint-identity section; ["/2"] added
     ["profiles"]). *)
 
@@ -76,3 +82,8 @@ val render : report -> string
 val all_identical : report -> bool
 (** Every naive-vs-fast pair AND every segmented checkpoint resume
     produced identical packings. *)
+
+val min_fast_throughput : report -> float
+(** Events/second of the slowest fast-engine policy at the largest
+    trace size — the quantity the CI perf gate compares against the
+    checked-in [bench-floor.txt]. *)

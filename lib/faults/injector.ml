@@ -428,8 +428,9 @@ let create ?(audit = false) ?sink ?metrics ?profile ?(config = default_config)
     (* The sink is shared with the engine, so injector events (retry /
        shed / resume) interleave with pack/depart/fail_bin events in
        one totally ordered stream. *)
-    Simulator.Online.create ~audit ?sink ?metrics ?profile ~policy
-      ~capacity:(Instance.capacity instance) ()
+    Simulator.Online.create ~audit ?sink ?metrics ?profile
+      ?grid:(Simulator.grid_of_instance instance)
+      ~policy ~capacity:(Instance.capacity instance) ()
   in
   let st =
     {

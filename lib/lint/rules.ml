@@ -1,4 +1,4 @@
-(* The seeded rule set (R1..R6) over the compiler-libs parsetree.
+(* The seeded rule set (R1..R7) over the compiler-libs parsetree.
 
    The pass is purely syntactic: no type information is available, so
    every rule is a conservative heuristic with its blind spots
@@ -70,11 +70,22 @@ let all_rules =
       title = "no-list-scans-in-hot-path";
       what =
         "List.mem / List.find / List.assoc / List.nth (and variants) \
-         in the O(open-bins) engine and policy modules, the per-draw \
-         workload sampler, and the per-event repacker \
-         (budget/planner/runner) reintroduce linear scans those \
-         paths were rewritten to avoid (fit.ml's vetted open-fleet \
-         scan is the allowed primitive)";
+         and Rat.sum-over-a-list in the O(open-bins) engine and \
+         policy modules, the per-draw workload sampler, and the \
+         per-event repacker (budget/planner/runner) reintroduce \
+         linear scans and per-element rational folds those paths \
+         were rewritten to avoid (fit.ml's vetted open-fleet scan is \
+         the allowed primitive; fold the dense array instead)";
+    };
+    {
+      id = "R7";
+      severity = Finding.Error;
+      title = "confine-fixed-point";
+      what =
+        "Fixed.t construction and scaled-integer arithmetic are \
+         confined to lib/num and lib/core/simulator.ml (the \
+         two-track engine); everywhere else stays on exact Rat so a \
+         raw scaled int can never leak into results";
     };
   ]
 
@@ -130,6 +141,10 @@ let r6_workload_modules = [ "generator.ml" ]
    move, so its budget, planner and runner sit on the same per-event
    path as the engine. *)
 let r6_repack_modules = [ "budget.ml"; "repack_policy.ml"; "runner.ml" ]
+
+let r7_allowlisted path =
+  has_infix ~infix:"lib/num/" path
+  || has_infix ~infix:"lib/core/simulator.ml" path
 
 let r6_applies path =
   (has_infix ~infix:"lib/core/" path && List.mem (basename path) r6_hot_modules)
@@ -268,6 +283,15 @@ let check_ident ctx ~loc txt =
         "Stdlib.compare is the polymorphic comparison; use Rat.compare / \
          Int.compare / a typed comparison"
   | _ -> ());
+  (* R7: the fixed-point module must not leak out of the numeric
+     kernel and the engine that owns the fallback contract. *)
+  if List.mem "Fixed" (Longident.flatten txt) && not (r7_allowlisted ctx.path)
+  then
+    report ctx ~rule:"R7" ~loc
+      "%s outside lib/num and the two-track engine \
+       (lib/core/simulator.ml); pass exact Rat values and let the \
+       engine decide the representation"
+      name;
   (* R6: linear list scans in the hot-path engine modules. *)
   match txt with
   | Longident.Ldot (Longident.Lident "List", fn)
@@ -276,6 +300,10 @@ let check_ident ctx ~loc txt =
         "List.%s in a hot-path engine module (O(n) scan); use the dense \
          store / Open_index / a hashtable"
         fn
+  | Longident.Ldot (Longident.Lident "Rat", "sum") when r6_applies ctx.path ->
+      report ctx ~rule:"R6" ~loc
+        "Rat.sum folds a list on a hot path; fold the dense array with \
+         Rat.add instead"
   | _ -> ()
 
 let is_float_literal e =
@@ -364,6 +392,14 @@ let check ~path structure =
             when r1_applies ctx.path ->
               report ctx ~rule:"R1" ~loc:t.ptyp_loc
                 "float type annotation in exact-arithmetic library; use Rat.t"
+          | Ptyp_constr ({ txt; _ }, _)
+            when List.mem "Fixed" (Longident.flatten txt)
+                 && not (r7_allowlisted ctx.path) ->
+              report ctx ~rule:"R7" ~loc:t.ptyp_loc
+                "%s type outside lib/num and the two-track engine \
+                 (lib/core/simulator.ml); keep scaled integers behind the \
+                 engine boundary"
+                (longident_to_string txt)
           | _ -> ());
           default.typ self t);
     }

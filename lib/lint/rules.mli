@@ -1,4 +1,4 @@
-(** The seeded lint rules (R1..R6) over the compiler-libs parsetree.
+(** The seeded lint rules (R1..R7) over the compiler-libs parsetree.
 
     The pass is syntactic — no type inference — so each rule is a
     conservative heuristic: R1 bans float literals/operators/[Float.*]
@@ -6,9 +6,12 @@
     literals anywhere; R3 flags polymorphic [=]/[<>]/[compare]/
     [Hashtbl.hash] where a [Rat.t] could flow; R4 flags
     [try ... with _]; R5 confines [Domain]/[Atomic]/[Mutex] to the
-    approved parallel runner; R6 bans [List.mem]/[find]/[assoc] in the
-    hot-path engine modules.  See DESIGN.md "Correctness tooling" for
-    the rule-by-rule rationale and blind spots. *)
+    approved parallel runner; R6 bans [List.mem]/[find]/[assoc] and
+    [Rat.sum]-over-a-list in the hot-path engine modules; R7 confines
+    [Fixed] (scaled-integer fixed point) to [lib/num] and the
+    two-track engine [lib/core/simulator.ml].  See DESIGN.md
+    "Correctness tooling" for the rule-by-rule rationale and blind
+    spots. *)
 
 type rule = {
   id : string;
@@ -29,4 +32,5 @@ val check : path:string -> Parsetree.structure -> Finding.t list
 val r1_applies : string -> bool
 val r5_allowlisted : string -> bool
 val r6_applies : string -> bool
+val r7_allowlisted : string -> bool
 (** Exposed for the test suite's scoping checks. *)

@@ -1,0 +1,54 @@
+(* Scaled-integer fixed-point values over a per-run common
+   denominator.  See fixed.mli for the exactness contract; the short
+   version: conversions either succeed exactly or return [None], and
+   admitted values are small enough (|v| <= max_int/4) that a single
+   add/sub can never wrap, which is what lets the simulator's commit
+   path run on raw int arithmetic. *)
+
+type scale = int
+type t = int
+
+exception Overflow
+
+let max_den = 1 lsl 30
+let bound = max_int / 4
+let unit = 1
+let den s = s
+let scale_of_den d = if d >= 1 && d <= max_den then Some d else None
+
+let rec gcd a b = if b = 0 then a else gcd b (a mod b)
+
+let including s r =
+  let d = Rat.den r in
+  (* Rat.t is normalised with den >= 1, so [d >= 1] here. *)
+  if s mod d = 0 then Some s
+  else
+    let q = d / gcd d s in
+    if s > max_den / q then None else Some (s * q)
+
+let of_rat s r =
+  let d = Rat.den r in
+  if s mod d <> 0 then None
+  else
+    let m = s / d in
+    let n = Rat.num r in
+    if n > 0 then if n > bound / m then None else Some (n * m)
+    else if n < 0 then if n < -(bound / m) then None else Some (n * m)
+    else Some 0
+
+let fits s r = match of_rat s r with Some _ -> true | None -> false
+let to_rat s v = Rat.make v s
+let zero = 0
+
+let add a b =
+  let c = a + b in
+  if (a >= 0 && b >= 0 && c < 0) || (a < 0 && b < 0 && c >= 0) then
+    raise Overflow
+  else c
+
+let sub a b =
+  if b = min_int then if a < 0 then a - b else raise Overflow
+  else add a (-b)
+
+let compare : t -> t -> int = Int.compare
+let equal (a : t) (b : t) = a = b

@@ -1,0 +1,85 @@
+(** Scaled-integer fixed-point values: the engine's numeric fast path.
+
+    A {!scale} is a per-run common denominator [D] computed from the
+    workload's size/time grid; a fixed-point value is the native int
+    [n] representing the exact rational [n/D].  Conversions are exact
+    or refused: {!of_rat} returns [None] whenever a rational does not
+    lie on the [1/D] grid or its scaled magnitude would exceed
+    {!bound}, and {!to_rat} re-normalises through {!Rat.make}, so
+    [to_rat s (of_rat s r) = r] bit-for-bit whenever [of_rat]
+    succeeds.  The engine degrades to exact {!Rat} arithmetic on the
+    first [None] — fixed-point is an accelerator, never an
+    approximation.
+
+    Values admitted by {!of_rat} satisfy [|v| <= bound = max_int/4],
+    so a single sum or difference of two admitted values cannot wrap;
+    the checked {!add}/{!sub} exist for arbitrary operands (and for
+    the property tests that pin the overflow contract).
+
+    Lint rule R7 confines this interface to [lib/num] and
+    [lib/core/simulator.ml]: policies, experiments and analysis code
+    only ever see exact rationals. *)
+
+type scale
+(** A strictly positive common denominator, at most {!max_den}. *)
+
+type t = int
+(** A value scaled by some {!scale}'s denominator.  The type is
+    transparent so the simulator's dense arrays stay unboxed; rule R7
+    polices the blast radius. *)
+
+exception Overflow
+(** Raised by {!add}/{!sub} when the mathematical result does not fit
+    a native int. *)
+
+val max_den : int
+(** Largest denominator a scale accepts ([2^30]); beyond it the lcm
+    chase is hopeless and the engine should stay exact. *)
+
+val bound : int
+(** Magnitude ceiling enforced by {!of_rat} ([max_int/4]), chosen so
+    [a + b] and [a - b] of admitted values can never wrap. *)
+
+val unit : scale
+(** The integer grid ([D = 1]). *)
+
+val den : scale -> int
+(** The denominator [D] itself. *)
+
+val scale_of_den : int -> scale option
+(** [scale_of_den d] is the scale with denominator [d], or [None]
+    unless [1 <= d <= max_den]. *)
+
+val including : scale -> Rat.t -> scale option
+(** [including s r] is the smallest scale refining [s] whose grid
+    contains [r] (the lcm of [den s] and [r]'s denominator), or
+    [None] if that lcm exceeds {!max_den}.  Folding [including] over
+    a workload computes the run's common denominator. *)
+
+val zero : t
+
+val of_rat : scale -> Rat.t -> t option
+(** Exact conversion: [Some (num r * (D / den r))] when [den r]
+    divides [D] and the result's magnitude is at most {!bound};
+    [None] otherwise.  Never rounds. *)
+
+val fits : scale -> Rat.t -> bool
+(** [fits s r] iff [of_rat s r] succeeds. *)
+
+val to_rat : scale -> t -> Rat.t
+(** [to_rat s v] is the canonical (gcd-normalised) rational [v/D] —
+    bit-identical to the value exact arithmetic would have produced,
+    because {!Rat.make} always normalises. *)
+
+val add : t -> t -> t
+(** Overflow-checked sum of two same-scale values.
+    @raise Overflow when the result wraps. *)
+
+val sub : t -> t -> t
+(** Overflow-checked difference of two same-scale values.
+    @raise Overflow when the result wraps. *)
+
+val compare : t -> t -> int
+(** Same order as {!Rat.compare} on the represented rationals. *)
+
+val equal : t -> t -> bool

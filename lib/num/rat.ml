@@ -12,7 +12,12 @@ let add_exn a b =
   else s
 
 let mul_exn a b =
-  if a = 0 || b = 0 then 0
+  (* Both factors below 2^31 in magnitude cannot overflow a 63-bit
+     product; one [lor]+compare decides it, sparing the hot path the
+     division-based check.  [abs min_int] is negative, so min_int
+     lands in the slow branch and raises there. *)
+  if Stdlib.abs a lor Stdlib.abs b < 0x4000_0000 then a * b
+  else if a = 0 || b = 0 then 0
   else
     let p = a * b in
     if p / b <> a || a = min_int || b = min_int then raise Overflow else p
@@ -86,9 +91,12 @@ let rec compare_pos a b c d =
     else compare_pos d r2 b r1
 
 let compare x y =
-  (* Fast path: cross-multiply when it fits; otherwise the exact
-     continued-fraction comparison (no float fallback — floats would
-     misorder close rationals). *)
+  (* Fast paths: equal denominators (both operands are normalised, so
+     comparing numerators is exact), then cross-multiplication when it
+     fits; otherwise the exact continued-fraction comparison (no float
+     fallback — floats would misorder close rationals). *)
+  if x.den = y.den then Int.compare x.num y.num
+  else
   match (mul_exn x.num y.den, mul_exn y.num x.den) with
   | a, b -> Int.compare a b
   | exception Overflow -> (

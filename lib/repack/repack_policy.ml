@@ -115,10 +115,10 @@ let plan ?(forbidden_src = fun _ -> false) policy ~budget ~views ~items_of =
               | None -> []
               | Some moves ->
                   let total_cost =
-                    Rat.sum
-                      (List.map
-                         (fun mv -> Budget.cost_of budget ~size:mv.mv_size)
-                         moves)
+                    List.fold_left
+                      (fun acc mv ->
+                        Rat.add acc (Budget.cost_of budget ~size:mv.mv_size))
+                      Rat.zero moves
                   in
                   if Budget.affords budget ~cost:total_cost then moves
                   else begin

@@ -49,8 +49,9 @@ let create ?(audit = false) ?sink ?metrics ?profile ~budget ~repack ~policy
     instance =
   Budget.validate budget;
   let online =
-    Simulator.Online.create ~audit ?sink ?metrics ?profile ~policy
-      ~capacity:(Instance.capacity instance) ()
+    Simulator.Online.create ~audit ?sink ?metrics ?profile
+      ?grid:(Simulator.grid_of_instance instance)
+      ~policy ~capacity:(Instance.capacity instance) ()
   in
   let n = Instance.size instance in
   {

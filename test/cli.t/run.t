@@ -120,7 +120,7 @@ bit-identical to the straight run:
   $ dbp bench --quick --json -o bench.json
   wrote bench.json
   $ grep -o '"schema": "[^"]*"' bench.json
-  "schema": "dbp-bench-simulator/3"
+  "schema": "dbp-bench-simulator/4"
   $ grep -o '"quick": [a-z]*' bench.json; grep -o '"sizes": \[[0-9, ]*\]' bench.json; grep -o '"naive_size": [0-9]*' bench.json
   "quick": true
   "sizes": [500, 2000]
@@ -148,6 +148,26 @@ Since schema /2 the JSON also carries per-policy engine profiles:
 
   $ grep -c '"spans"' bench.json
   8
+
+Since schema /4 every fast row carries its own per-phase breakdown
+(policy / commit / views) from a second, profiled run of the same
+size, and naive rows carry an empty list:
+
+  $ grep -c '"phases": \[{' bench.json
+  16
+  $ grep -c '"phases": \[\]' bench.json
+  8
+
+The perf-regression gate compares the slowest fast-engine policy at
+the largest size against a checked-in events/second floor
+(bench-floor.txt at the repo root in CI; any figure is fine here):
+
+  $ printf '# floor\n1\n' > floor.txt
+  $ dbp bench --quick --assert-floor floor.txt | tail -1 | sed 's/at [0-9]* events/at N events/'
+  perf floor ok: slowest fast-engine policy at N events/s (floor 1)
+  $ printf '99000000\n' > ceiling.txt
+  $ dbp bench --quick --assert-floor ceiling.txt 2>&1 > /dev/null | sed 's/at [0-9]* events/at N events/'
+  perf regression: slowest fast-engine policy at N events/s is below the 99000000 floor in ceiling.txt
 
 Structured event tracing: every engine event as one NDJSON line, with
 a monotonic sequence number and exact rational timestamps.  The
@@ -310,7 +330,7 @@ CSV artefact export:
   e1-0-e1--any-fit-vs-the-figure-2-adversary--policy---.csv
   e1-1-e1b--same-trap--all-deterministic-any-fit-polici.csv
 
-The lint pass: a fixture tree with one violation of each rule R1-R6.
+The lint pass: a fixture tree with one violation of each rule R1-R7.
 Paths drive the rule scoping, so the tree mirrors the repo layout:
 
   $ mkdir -p lintfx/lib/core lintfx/lib/workload lintfx/lib/opt lintfx/lib/faults
@@ -320,6 +340,7 @@ Paths drive the rule scoping, so the tree mirrors the repo layout:
   $ printf 'let f g = try g () with _ -> 0\n' > lintfx/lib/opt/fx_r4.ml
   $ printf 'let a = Atomic.make 0\n' > lintfx/lib/faults/fx_r5.ml
   $ printf 'let f x xs = List.mem x xs\n' > lintfx/lib/core/simulator.ml
+  $ printf 'let f s r = Fixed.of_rat s r\n' > lintfx/lib/opt/fx_r7.ml
 
   $ dbp check --lint --root lintfx --no-baseline --json
   {
@@ -330,9 +351,10 @@ Paths drive the rule scoping, so the tree mirrors the repo layout:
       {"rule": "R5", "severity": "error", "path": "lintfx/lib/faults/fx_r5.ml", "line": 1, "col": 8, "message": "Atomic.make outside the approved parallel runner (lib/experiments/registry.ml)"},
       {"rule": "R3", "severity": "warning", "path": "lintfx/lib/opt/fx_r3.ml", "line": 1, "col": 10, "message": "polymorphic = on a Rat.t-bearing expression; use Rat.equal"},
       {"rule": "R4", "severity": "warning", "path": "lintfx/lib/opt/fx_r4.ml", "line": 1, "col": 24, "message": "catch-all try ... with _ swallows every exception; match the exceptions you mean"},
+      {"rule": "R7", "severity": "error", "path": "lintfx/lib/opt/fx_r7.ml", "line": 1, "col": 12, "message": "Fixed.of_rat outside lib/num and the two-track engine (lib/core/simulator.ml); pass exact Rat values and let the engine decide the representation"},
       {"rule": "R2", "severity": "error", "path": "lintfx/lib/workload/fx_r2.ml", "line": 1, "col": 12, "message": "float = comparison against a literal; use an epsilon test or Float.equal deliberately"}
     ],
-    "summary": {"files_scanned": 6, "findings": 6, "errors": 3, "baselined": 0, "stale_baseline": 0}
+    "summary": {"files_scanned": 7, "findings": 7, "errors": 4, "baselined": 0, "stale_baseline": 0}
   }
   [1]
 
@@ -341,9 +363,9 @@ Strict mode fails on warnings too; a baseline accepts the findings:
   $ dbp check --lint --root lintfx --no-baseline --strict > /dev/null
   [1]
   $ dbp check --lint --root lintfx --baseline accepted.txt --update-baseline
-  baseline updated: accepted.txt (6 finding(s) accepted)
+  baseline updated: accepted.txt (7 finding(s) accepted)
   $ dbp check --lint --root lintfx --baseline accepted.txt --strict
-  lint: 6 file(s) scanned, 0 finding(s) (0 error(s)), 6 baselined
+  lint: 7 file(s) scanned, 0 finding(s) (0 error(s)), 7 baselined
 
 The runtime auditor replays seeded workloads and crash storms with the
 invariant sanitizer on, and cross-checks audited vs plain packings:

@@ -75,9 +75,9 @@ let prop_equivalence =
    asserting identical observable state throughout and identical
    packings at the end.  Mirrors what [Dbp_faults.Injector] does to the
    engine, without the retry machinery in the way. *)
-let run_storm ~seed ~steps policy =
+let run_storm ?grid ~seed ~steps policy =
   let rng = Dbp_rand.Pcg32.create seed in
-  let fast = Simulator.Online.create ~policy ~capacity:Rat.one () in
+  let fast = Simulator.Online.create ?grid ~policy ~capacity:Rat.one () in
   let naive = Simulator_naive.Online.create ~policy ~capacity:Rat.one () in
   let next_id = ref 0 in
   let active : (int, Rat.t * Rat.t) Hashtbl.t = Hashtbl.create 64 in
@@ -172,6 +172,91 @@ let test_storm_equivalence () =
       List.iter (run_storm ~seed ~steps:40) (Algorithms.all ()))
     [ 3L; 5L; 8L; 13L; 21L ]
 
+(* Same storms on the fixed-point track: sizes are twelfths and crash
+   instants halves, so a 1/24 grid admits every input and the fast
+   store's arrive/depart/fail_bin paths run scaled end to end. *)
+let test_fixed_storm_equivalence () =
+  let grid =
+    match Fixed.scale_of_den 24 with Some s -> s | None -> assert false
+  in
+  List.iter
+    (fun seed ->
+      List.iter (run_storm ~grid ~seed ~steps:40) (Algorithms.all ()))
+    [ 3L; 13L; 21L ]
+
+(* ---- two-track engine: fixed fast path vs forced exact -------------- *)
+
+(* [run] picks the fixed-point track by itself (grid_of_instance);
+   [~grid:None] pins the exact track.  The packings must be
+   bit-identical — cost strings, timelines, placements, the lot. *)
+let test_fixed_vs_exact_runs () =
+  List.iter
+    (fun seed ->
+      let instance =
+        Dbp_workload.Generator.generate ~seed
+          { Dbp_workload.Spec.default with Dbp_workload.Spec.count = 300 }
+      in
+      Alcotest.(check bool)
+        "workload grid found" true
+        (Simulator.grid_of_instance instance <> None);
+      List.iter
+        (fun policy ->
+          let fast = Simulator.run ~policy instance in
+          let exact = Simulator.run ~grid:None ~policy instance in
+          if not (packing_equal fast exact) then
+            Alcotest.failf "fixed/exact tracks diverge under %s (seed %Ld)"
+              policy.Policy.name seed)
+        (Algorithms.all ()))
+    [ 11L; 42L ]
+
+(* Mid-run degrade: the first off-grid size must flip the engine to
+   the exact track without disturbing any observable state. *)
+let test_degrade_mid_run () =
+  let grid =
+    match Fixed.scale_of_den 4 with Some s -> s | None -> assert false
+  in
+  let policy = Best_fit.policy in
+  let fast = Simulator.Online.create ~grid ~policy ~capacity:Rat.one () in
+  let exact = Simulator.Online.create ~policy ~capacity:Rat.one () in
+  Alcotest.(check string)
+    "starts fixed" "fixed"
+    (Simulator.Online.track_name fast);
+  Alcotest.(check string)
+    "no grid means exact" "exact"
+    (Simulator.Online.track_name exact);
+  let drive o =
+    ignore (Simulator.Online.arrive o ~now:Rat.zero ~size:(r 1 2) ~item_id:0);
+    ignore (Simulator.Online.arrive o ~now:(r 1 2) ~size:(r 1 4) ~item_id:1);
+    (* 1/3 is off the 1/4 grid: this arrival degrades the fast engine *)
+    ignore (Simulator.Online.arrive o ~now:Rat.one ~size:(r 1 3) ~item_id:2);
+    Simulator.Online.depart o ~now:(ri 2) ~item_id:0;
+    ignore (Simulator.Online.arrive o ~now:(ri 2) ~size:(r 3 4) ~item_id:3);
+    Simulator.Online.depart o ~now:(ri 3) ~item_id:1;
+    Simulator.Online.depart o ~now:(ri 3) ~item_id:2;
+    Simulator.Online.depart o ~now:(ri 4) ~item_id:3
+  in
+  drive fast;
+  drive exact;
+  Alcotest.(check string)
+    "degraded to exact" "exact"
+    (Simulator.Online.track_name fast);
+  let vf = Simulator.Online.open_bins fast
+  and ve = Simulator.Online.open_bins exact in
+  Alcotest.(check bool) "views identical after degrade" true (vf = ve);
+  let instance =
+    Instance.create ~capacity:Rat.one
+      [
+        Item.make ~id:0 ~size:(r 1 2) ~arrival:Rat.zero ~departure:(ri 2);
+        Item.make ~id:1 ~size:(r 1 4) ~arrival:(r 1 2) ~departure:(ri 3);
+        Item.make ~id:2 ~size:(r 1 3) ~arrival:Rat.one ~departure:(ri 3);
+        Item.make ~id:3 ~size:(r 3 4) ~arrival:(ri 2) ~departure:(ri 4);
+      ]
+  in
+  let pf = Simulator.Online.finish fast ~instance
+  and pe = Simulator.Online.finish exact ~instance in
+  if not (packing_equal pf pe) then
+    Alcotest.fail "degraded packing diverges from always-exact"
+
 (* ---- open-bin index invariants -------------------------------------- *)
 
 let bin id = Bin.open_bin ~id ~tag:"t" ~capacity:Rat.one ~now:Rat.zero
@@ -264,6 +349,12 @@ let suite =
     prop_equivalence;
     Alcotest.test_case "fail_bin storms: engines bit-identical" `Quick
       test_storm_equivalence;
+    Alcotest.test_case "fixed-track storms: engines bit-identical" `Quick
+      test_fixed_storm_equivalence;
+    Alcotest.test_case "fixed vs forced-exact runs bit-identical" `Quick
+      test_fixed_vs_exact_runs;
+    Alcotest.test_case "mid-run degrade is invisible" `Quick
+      test_degrade_mid_run;
     Alcotest.test_case "open-bin index: opening order" `Quick
       test_index_opening_order;
     Alcotest.test_case "open-bin index: misuse raises" `Quick test_index_misuse;

@@ -1,0 +1,127 @@
+(* Property tests for the fixed-point fast path (lib/num/fixed.ml):
+   the engine's bit-exactness argument rests on [of_rat] being
+   exact-or-refused and [to_rat] renormalising through [Rat.make], so
+   those contracts are pinned here with QCheck over random grids. *)
+
+open Dbp_num
+open Test_util
+
+let scale_of_den_exn d =
+  match Fixed.scale_of_den d with
+  | Some s -> s
+  | None -> Alcotest.failf "scale_of_den %d refused" d
+
+(* A random grid denominator and an on-grid rational: den divides D
+   by construction (Rat.make may reduce it further, which stays on
+   the grid). *)
+let grid_gen =
+  QCheck2.Gen.(
+    int_range 1 720 >>= fun d ->
+    map
+      (fun n -> (d, Rat.make n d))
+      (int_range (-100_000) 100_000))
+
+(* An arbitrary rational, same grid: off-grid inputs arise whenever
+   the generated den does not divide D. *)
+let any_gen =
+  QCheck2.Gen.(
+    map2
+      (fun d r -> (d, r))
+      (int_range 1 720)
+      (rat_gen ~lo_num:(-10_000) ~hi_num:10_000 ~max_den:997 ()))
+
+let pair_grid_gen =
+  QCheck2.Gen.(
+    grid_gen >>= fun (d, a) ->
+    map (fun n -> (d, a, Rat.make n d)) (int_range (-100_000) 100_000))
+
+let test_scales () =
+  Alcotest.(check int) "unit den" 1 (Fixed.den Fixed.unit);
+  Alcotest.(check bool) "den 0 refused" true (Fixed.scale_of_den 0 = None);
+  Alcotest.(check bool) "den < 0 refused" true (Fixed.scale_of_den (-3) = None);
+  Alcotest.(check bool)
+    "max_den accepted" true
+    (Fixed.scale_of_den Fixed.max_den <> None);
+  Alcotest.(check bool)
+    "beyond max_den refused" true
+    (Fixed.scale_of_den (Fixed.max_den + 1) = None);
+  (* [including] is an lcm chase: 1/4 and 1/6 land on the 1/12 grid. *)
+  (match Fixed.including Fixed.unit (r 1 4) with
+  | None -> Alcotest.fail "including 1/4 refused"
+  | Some s -> (
+      Alcotest.(check int) "lcm(1,4)" 4 (Fixed.den s);
+      match Fixed.including s (r 1 6) with
+      | None -> Alcotest.fail "including 1/6 refused"
+      | Some s -> Alcotest.(check int) "lcm(4,6)" 12 (Fixed.den s)));
+  (* The chase refuses rather than rounds once the lcm leaves range. *)
+  Alcotest.(check bool)
+    "oversized lcm refused" true
+    (Fixed.including
+       (scale_of_den_exn Fixed.max_den)
+       (r 1 (Fixed.max_den - 1))
+    = None)
+
+let test_overflow_edges () =
+  let s = Fixed.unit in
+  Alcotest.(check bool)
+    "bound admitted" true
+    (Fixed.of_rat s (ri Fixed.bound) = Some Fixed.bound);
+  Alcotest.(check bool)
+    "bound+1 refused" true
+    (Fixed.of_rat s (ri (Fixed.bound + 1)) = None);
+  Alcotest.(check bool)
+    "-bound admitted" true
+    (Fixed.of_rat s (ri (-Fixed.bound)) = Some (-Fixed.bound));
+  Alcotest.(check bool)
+    "-(bound+1) refused" true
+    (Fixed.of_rat s (ri (-(Fixed.bound + 1))) = None);
+  (* Two admitted values can always be added; the checked ops only
+     raise on genuinely unrepresentable sums. *)
+  Alcotest.(check int)
+    "bound + bound" (2 * Fixed.bound)
+    (Fixed.add Fixed.bound Fixed.bound);
+  Alcotest.check_raises "add wraps" Fixed.Overflow (fun () ->
+      ignore (Fixed.add max_int 1));
+  Alcotest.check_raises "sub wraps" Fixed.Overflow (fun () ->
+      ignore (Fixed.sub min_int 1))
+
+let prop_tests =
+  [
+    qcheck ~count:2000 "of_rat/to_rat round-trips on the grid" grid_gen
+      (fun (d, a) ->
+        let s = scale_of_den_exn d in
+        match Fixed.of_rat s a with
+        | None -> Alcotest.failf "on-grid %s refused" (Rat.to_string a)
+        | Some v ->
+            let back = Fixed.to_rat s v in
+            (* Bit-exact: same canonical num/den, not just equal value. *)
+            Rat.equal back a
+            && Rat.num back = Rat.num a
+            && Rat.den back = Rat.den a);
+    qcheck ~count:2000 "of_rat refuses exactly the off-grid/oversized" any_gen
+      (fun (d, a) ->
+        let s = scale_of_den_exn d in
+        let on_grid = d mod Rat.den a = 0 in
+        let scaled_small =
+          on_grid && abs (Rat.num a * (d / Rat.den a)) <= Fixed.bound
+        in
+        (Fixed.of_rat s a <> None) = scaled_small
+        && Fixed.fits s a = scaled_small);
+    qcheck ~count:10_000 "add/sub/compare agree with Rat" pair_grid_gen
+      (fun (d, a, b) ->
+        let s = scale_of_den_exn d in
+        match (Fixed.of_rat s a, Fixed.of_rat s b) with
+        | Some va, Some vb ->
+            Rat.equal (Fixed.to_rat s (Fixed.add va vb)) (Rat.add a b)
+            && Rat.equal (Fixed.to_rat s (Fixed.sub va vb)) (Rat.sub a b)
+            && Fixed.compare va vb = Rat.compare a b
+            && Fixed.equal va vb = Rat.equal a b
+        | _ -> false);
+  ]
+
+let suite =
+  [
+    Alcotest.test_case "scales and lcm chase" `Quick test_scales;
+    Alcotest.test_case "overflow edges" `Quick test_overflow_edges;
+  ]
+  @ prop_tests

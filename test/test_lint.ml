@@ -1,4 +1,4 @@
-(* Fixture tests for the lint pass (R1..R6): every rule gets a
+(* Fixture tests for the lint pass (R1..R7): every rule gets a
    must-flag / must-not-flag pair, fed through [Lint.run_sources] with
    paths mirroring the repo layout (the rules scope on path infixes
    like "lib/core/", so fixture paths reproduce the real scoping).
@@ -95,7 +95,25 @@ let test_r6 () =
   (* spec construction/validation is cold: workload scoping is
      generator.ml only *)
   check_silent "R6" "lib/workload/spec.ml" "let f x xs = List.mem x xs\n";
-  check_silent "R6" "lib/core/simulator.ml" "let f x xs = List.map x xs\n"
+  check_silent "R6" "lib/core/simulator.ml" "let f x xs = List.map x xs\n";
+  (* the Rat.sum extension: a list fold of rationals on the event path *)
+  check_fires "R6" "lib/core/packing.ml" "let f xs = Rat.sum xs\n";
+  check_fires "R6" "lib/repack/budget.ml" "let f xs = Rat.sum xs\n";
+  check_silent "R6" "lib/analysis/fixture.ml" "let f xs = Rat.sum xs\n"
+
+(* ---- R7: fixed-point arithmetic confined to num + engine ------------ *)
+
+let test_r7 () =
+  check_fires "R7" "lib/core/packing.ml" "let f s r = Fixed.of_rat s r\n";
+  check_fires "R7" "lib/opt/fixture.ml" "let f s v = Fixed.to_rat s v\n";
+  check_fires "R7" "bin/fixture.ml" "let f s v = Dbp_num.Fixed.to_rat s v\n";
+  check_fires "R7" "lib/repack/runner.ml" "let f (s : Fixed.scale) = s\n";
+  (* the numeric kernel and the two-track engine own the representation *)
+  check_silent "R7" "lib/num/fixed.ml" "let f s r = Fixed.of_rat s r\n";
+  check_silent "R7" "lib/core/simulator.ml" "let f s r = Fixed.of_rat s r\n";
+  (* grid plumbing through the engine API never names Fixed *)
+  check_silent "R7" "lib/repack/runner.ml"
+    "let f i = Simulator.grid_of_instance i\n"
 
 (* ---- scoping predicates, as the rules see the real tree ------------- *)
 
@@ -112,7 +130,16 @@ let test_scoping () =
     "r5 elsewhere" false
     (Rules.r5_allowlisted "lib/experiments/e1_figure2.ml");
   Alcotest.(check bool) "r6 hot" true (Rules.r6_applies "lib/core/simulator.ml");
-  Alcotest.(check bool) "r6 fit" false (Rules.r6_applies "lib/core/fit.ml")
+  Alcotest.(check bool) "r6 fit" false (Rules.r6_applies "lib/core/fit.ml");
+  Alcotest.(check bool)
+    "r7 num" true
+    (Rules.r7_allowlisted "lib/num/fixed.ml");
+  Alcotest.(check bool)
+    "r7 engine" true
+    (Rules.r7_allowlisted "lib/core/simulator.ml");
+  Alcotest.(check bool)
+    "r7 elsewhere" false
+    (Rules.r7_allowlisted "lib/core/packing.ml")
 
 (* ---- one violation of each rule across a fixture tree --------------- *)
 
@@ -124,6 +151,7 @@ let fixture_tree =
     ("lib/opt/fx_r4.ml", "let f g = try g () with _ -> 0\n");
     ("lib/faults/fx_r5.ml", "let a = Atomic.make 0\n");
     ("lib/core/simulator.ml", "let f x xs = List.mem x xs\n");
+    ("lib/opt/fx_r7.ml", "let f s r = Fixed.of_rat s r\n");
   ]
 
 let test_all_rules_fire () =
@@ -135,10 +163,10 @@ let test_all_rules_fire () =
   in
   Alcotest.(check (list string))
     "every rule fires exactly once over the fixture tree"
-    [ "R1"; "R2"; "R3"; "R4"; "R5"; "R6" ]
+    [ "R1"; "R2"; "R3"; "R4"; "R5"; "R6"; "R7" ]
     fired;
-  Alcotest.(check int) "six findings" 6 (List.length report.Lint.findings);
-  Alcotest.(check int) "six files" 6 report.Lint.files_scanned;
+  Alcotest.(check int) "seven findings" 7 (List.length report.Lint.findings);
+  Alcotest.(check int) "seven files" 7 report.Lint.files_scanned;
   Alcotest.(check int) "strict fails" 1 (Lint.exit_code ~strict:true report)
 
 (* ---- baseline bookkeeping ------------------------------------------- *)
@@ -199,6 +227,7 @@ let suite =
     Alcotest.test_case "R4 no catch-all try" `Quick test_r4;
     Alcotest.test_case "R5 domain primitives confined" `Quick test_r5;
     Alcotest.test_case "R6 no list scans in hot path" `Quick test_r6;
+    Alcotest.test_case "R7 fixed-point confined" `Quick test_r7;
     Alcotest.test_case "rule scoping predicates" `Quick test_scoping;
     Alcotest.test_case "all rules fire on fixture tree" `Quick test_all_rules_fire;
     Alcotest.test_case "baseline suppresses and reports stale" `Quick test_baseline;

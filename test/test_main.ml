@@ -2,6 +2,7 @@ let () =
   Alcotest.run "mintotal-dbp"
     [
       ("rat", Test_rat.suite);
+      ("fixed", Test_fixed.suite);
       ("interval", Test_interval.suite);
       ("step_fn", Test_step_fn.suite);
       ("rand", Test_rand.suite);
