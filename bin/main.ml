@@ -1171,6 +1171,15 @@ let check_cmd =
                 storms under the runtime invariant auditor, asserting \
                 audited and unaudited runs are bit-identical.")
   in
+  let typed_flag =
+    Arg.(value & flag
+         & info [ "typed" ]
+             ~doc:
+               "Run the type-aware lint tier (T1..T4) over the .cmt \
+                typedtrees dune left under _build (build first).  \
+                Combines with --lint into one report against one \
+                baseline.")
+  in
   let json =
     Arg.(value & flag & info [ "json" ] ~doc:"Emit machine-readable JSON.")
   in
@@ -1203,8 +1212,8 @@ let check_cmd =
     Arg.(value & flag
          & info [ "rules" ] ~doc:"List the lint rule set and exit.")
   in
-  let run lint_flag audit_flag json strict roots baseline_path no_baseline
-      update_baseline rules_flag seed =
+  let run lint_flag audit_flag typed_flag json strict roots baseline_path
+      no_baseline update_baseline rules_flag seed =
     let open Dbp_lint in
     if rules_flag then begin
       List.iter
@@ -1212,39 +1221,50 @@ let check_cmd =
           Format.printf "%s [%s] %s@.    %s@." r.Rules.id
             (Finding.severity_to_string r.Rules.severity)
             r.Rules.title r.Rules.what)
-        Rules.all_rules;
+        (Rules.all_rules @ Typed_rules.all_typed_rules);
       0
     end
     else begin
-      (* Neither flag: run both layers. *)
+      (* No tier selected: run the syntactic lint and the audit, as
+         before --typed existed (the typed tier needs build artifacts,
+         so it stays opt-in; dune's @lint alias supplies them). *)
       let lint_flag, audit_flag =
-        if lint_flag || audit_flag then (lint_flag, audit_flag)
+        if lint_flag || audit_flag || typed_flag then (lint_flag, audit_flag)
         else (true, true)
       in
       let lint_status =
-        if not lint_flag then 0
+        if not (lint_flag || typed_flag) then 0
         else begin
           let roots = if roots = [] then [ "lib"; "bin"; "examples" ] else roots in
           let baseline =
             if no_baseline then [] else Lint.load_baseline baseline_path
           in
-          let report =
-            match Lint.run ~baseline ~roots () with
-            | report -> report
+          (* Both tiers feed ONE report against one baseline, so
+             neither tier sees the other's accepted entries as stale. *)
+          let collect_all () =
+            let syntactic =
+              if lint_flag then Lint.collect ~roots () else ([], 0)
+            in
+            let typed =
+              if typed_flag then Typed_lint.collect ~roots () else ([], 0)
+            in
+            (fst syntactic @ fst typed, snd syntactic + snd typed)
+          in
+          let findings, files_scanned =
+            match collect_all () with
+            | r -> r
             | exception Failure msg ->
                 Format.eprintf "dbp check: %s@." msg;
                 exit 2
           in
           if update_baseline then begin
-            let all_current =
-              (Lint.run ~roots ()).Lint.findings
-            in
-            Lint.save_baseline ~path:baseline_path all_current;
+            Lint.save_baseline ~path:baseline_path findings;
             Format.printf "baseline updated: %s (%d finding(s) accepted)@."
-              baseline_path (List.length all_current);
+              baseline_path (List.length findings);
             0
           end
           else begin
+            let report = Lint.report_of ~baseline ~files_scanned findings in
             print_string
               (if json then Lint.render_json report
                else Lint.render_human report);
@@ -1333,10 +1353,11 @@ let check_cmd =
   Cmd.v
     (Cmd.info "check"
        ~doc:
-         "Correctness tooling: static lint pass (R1..R7) over the sources \
+         "Correctness tooling: static lint pass (R1..R7) over the sources, \
+          type-aware lint tier (T1..T4) over dune's .cmt typedtrees, \
           and/or the engine's runtime invariant self-audit.")
     Term.(
-      const run $ lint_flag $ audit_flag $ json $ strict $ roots
+      const run $ lint_flag $ audit_flag $ typed_flag $ json $ strict $ roots
       $ baseline_path $ no_baseline $ update_baseline $ rules_flag $ seed_arg)
 
 (* ---- main ----------------------------------------------------------- *)

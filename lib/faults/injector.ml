@@ -545,11 +545,15 @@ let finish st =
   in
   let fault_free = Simulator.run ~policy:st.policy st.instance in
   let served =
-    Rat.sum (List.map (fun s -> Rat.sub s.stop s.seg_start) segs)
+    List.fold_left
+      (fun acc s -> Rat.add acc (Rat.sub s.stop s.seg_start))
+      Rat.zero segs
   in
   let demand =
-    Rat.sum
-      (Array.to_list (Instance.items st.instance) |> List.map Item.length)
+    Array.fold_left
+      (fun acc it -> Rat.add acc (Item.length it))
+      Rat.zero
+      (Instance.items st.instance)
   in
   let resilience =
     {

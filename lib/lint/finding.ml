@@ -24,9 +24,31 @@ let compare a b =
       let c = Int.compare a.col b.col in
       if c <> 0 then c else String.compare a.rule b.rule
 
-(* Stable identity of a finding across runs: the message is excluded so
-   rewording a rule does not invalidate a checked-in baseline. *)
-let fingerprint t = Printf.sprintf "%s|%s|%d|%d" t.rule t.path t.line t.col
+(* Stable identity of a finding across runs.  Positions are excluded:
+   the old [rule|path|line|col] scheme meant any unrelated edit above a
+   baselined finding shifted its line and invalidated the whole file's
+   baseline.  The identity is now the message content itself —
+   [rule|path|m<hash>] — made unique by an occurrence index appended at
+   the report level ([Lint.fingerprints]) when the same message fires
+   more than once in one file. *)
+let message_hash t =
+  (* First 8 hex chars of the MD5 — stable across runs and OCaml
+     versions, unlike [Hashtbl.hash]. *)
+  String.sub (Digest.to_hex (Digest.string t.message)) 0 8
+
+let fingerprint t = Printf.sprintf "%s|%s|m%s" t.rule t.path (message_hash t)
+
+(* The pre-PR-8 positional format, still accepted when *reading* a
+   baseline so existing files keep working (with a deprecation note);
+   never written. *)
+let legacy_fingerprint t = Printf.sprintf "%s|%s|%d|%d" t.rule t.path t.line t.col
+
+let is_legacy_fingerprint s =
+  match String.split_on_char '|' s with
+  | [ _; _; line; col ] ->
+      let numeric x = x <> "" && String.for_all (fun c -> c >= '0' && c <= '9') x in
+      numeric line && numeric col
+  | _ -> false
 
 let to_human t =
   Printf.sprintf "%s:%d:%d: [%s/%s] %s" t.path t.line t.col t.rule

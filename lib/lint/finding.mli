@@ -23,10 +23,25 @@ val make :
 val compare : t -> t -> int
 (** Orders by path, then line, column and rule — the report order. *)
 
+val message_hash : t -> string
+(** First 8 hex chars of the MD5 of the message — the stable,
+    position-independent core of the fingerprint. *)
+
 val fingerprint : t -> string
-(** [rule|path|line|col] — the baseline-file identity of a finding.
-    The message is deliberately excluded so rule rewording does not
-    invalidate baselines. *)
+(** [rule|path|m<message-hash>] — the baseline-file identity of a
+    finding.  Positions are deliberately excluded so edits above a
+    baselined finding do not invalidate it; [Lint.fingerprints]
+    appends an occurrence index ([|0], [|1], …) when the same message
+    fires more than once in one file. *)
+
+val legacy_fingerprint : t -> string
+(** The pre-PR-8 positional format [rule|path|line|col].  Still
+    matched when reading a baseline (with a deprecation note); never
+    written by {!Lint.save_baseline}. *)
+
+val is_legacy_fingerprint : string -> bool
+(** Recognises an old positional baseline entry (numeric third and
+    fourth fields). *)
 
 val severity_to_string : severity -> string
 val to_human : t -> string

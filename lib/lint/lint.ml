@@ -6,6 +6,7 @@ type report = {
   findings : Finding.t list;  (* new findings, not in the baseline *)
   baselined : int;  (* findings suppressed by the baseline *)
   stale_baseline : string list;  (* baseline entries that no longer fire *)
+  legacy_baseline : int;  (* old-format (line/col) entries that matched *)
   files_scanned : int;
 }
 
@@ -87,8 +88,28 @@ let load_baseline path =
 
 let baseline_header =
   "# dbp lint baseline — accepted findings, one fingerprint per line:\n\
-   # rule|path|line|col\n\
+   # rule|path|m<message-hash>|<occurrence>\n\
+   # (position-independent: edits above a finding do not invalidate it;\n\
+   #  the old rule|path|line|col format is still read, with a\n\
+   #  deprecation note)\n\
    # Regenerate with: dbp check --lint --update-baseline\n"
+
+(* ---- fingerprints ---------------------------------------------------- *)
+
+(* Occurrence-indexed fingerprints: [rule|path|m<hash>|k] where [k]
+   numbers findings sharing the same rule, path and message, in
+   position order.  Position-independent (an edit above a finding does
+   not shift its identity), yet unique when the same message fires
+   several times in one file. *)
+let fingerprints findings =
+  let seen = Hashtbl.create 16 in
+  List.map
+    (fun f ->
+      let base = Finding.fingerprint f in
+      let k = match Hashtbl.find_opt seen base with Some k -> k | None -> 0 in
+      Hashtbl.replace seen base (k + 1);
+      (f, Printf.sprintf "%s|%d" base k))
+    (List.sort Finding.compare findings)
 
 let save_baseline ~path findings =
   let oc = open_out path in
@@ -97,30 +118,52 @@ let save_baseline ~path findings =
     (fun () ->
       output_string oc baseline_header;
       List.iter
-        (fun f -> output_string oc (Finding.fingerprint f ^ "\n"))
-        (List.sort Finding.compare findings))
+        (fun (_, fp) -> output_string oc (fp ^ "\n"))
+        (fingerprints findings))
 
 (* ---- running -------------------------------------------------------- *)
 
 let report_of ~baseline ~files_scanned all =
-  let all = List.sort Finding.compare all in
-  let fired = List.map Finding.fingerprint all in
+  let with_fps = fingerprints all in
+  let matched = Hashtbl.create 16 in
+  let legacy_matched = ref 0 in
   let findings, baselined =
     List.fold_left
-      (fun (fresh, n) f ->
-        if List.mem (Finding.fingerprint f) baseline then (fresh, n + 1)
-        else (f :: fresh, n))
-      ([], 0) all
+      (fun (fresh, n) (f, fp) ->
+        if List.mem fp baseline then begin
+          Hashtbl.replace matched fp ();
+          (fresh, n + 1)
+        end
+        else
+          (* Old positional entries still suppress, with a
+             deprecation note in the report. *)
+          let legacy = Finding.legacy_fingerprint f in
+          if List.mem legacy baseline then begin
+            Hashtbl.replace matched legacy ();
+            incr legacy_matched;
+            (fresh, n + 1)
+          end
+          else (f :: fresh, n))
+      ([], 0) with_fps
   in
   let stale_baseline =
-    List.filter (fun fp -> not (List.mem fp fired)) baseline
+    List.filter (fun fp -> not (Hashtbl.mem matched fp)) baseline
   in
-  { findings = List.rev findings; baselined; stale_baseline; files_scanned }
+  {
+    findings = List.rev findings;
+    baselined;
+    stale_baseline;
+    legacy_baseline = !legacy_matched;
+    files_scanned;
+  }
+
+let collect ~roots () =
+  let files = discover ~roots in
+  (List.concat_map lint_file files, List.length files)
 
 let run ?(baseline = []) ~roots () =
-  let files = discover ~roots in
-  report_of ~baseline ~files_scanned:(List.length files)
-    (List.concat_map lint_file files)
+  let all, files_scanned = collect ~roots () in
+  report_of ~baseline ~files_scanned all
 
 let run_sources ?(baseline = []) sources =
   report_of ~baseline ~files_scanned:(List.length sources)
@@ -147,6 +190,12 @@ let render_human report =
       Buffer.add_string buf
         (Printf.sprintf "stale baseline entry (no longer fires): %s\n" fp))
     report.stale_baseline;
+  if report.legacy_baseline > 0 then
+    Buffer.add_string buf
+      (Printf.sprintf
+         "deprecated: %d baseline entr(y/ies) use the old rule|path|line|col \
+          format; regenerate with --update-baseline\n"
+         report.legacy_baseline);
   Buffer.add_string buf
     (Printf.sprintf
        "lint: %d file(s) scanned, %d finding(s) (%d error(s)), %d baselined\n"

@@ -8,6 +8,9 @@ type report = {
   stale_baseline : string list;
       (** Baseline fingerprints that no longer fire (fixed or moved —
           time to regenerate the baseline). *)
+  legacy_baseline : int;
+      (** Matched entries still in the deprecated positional
+          [rule|path|line|col] format — regenerate the baseline. *)
   files_scanned : int;
 }
 
@@ -27,6 +30,22 @@ val load_baseline : string -> string list
     Lines starting with [#] and blank lines are ignored. *)
 
 val save_baseline : path:string -> Finding.t list -> unit
+(** Writes occurrence-indexed [rule|path|m<hash>|k] fingerprints. *)
+
+val fingerprints : Finding.t list -> (Finding.t * string) list
+(** Occurrence-indexed fingerprints in report order: [rule|path|m<hash>|k]
+    where [k] numbers findings sharing rule, path and message. *)
+
+val report_of :
+  baseline:string list -> files_scanned:int -> Finding.t list -> report
+(** Baseline bookkeeping over an already-collected finding set — shared
+    by the syntactic tier, the typed tier ({!Typed_lint}) and combined
+    runs.  Accepts both fingerprint formats; legacy positional matches
+    are counted in [legacy_baseline]. *)
+
+val collect : roots:string list -> unit -> Finding.t list * int
+(** Raw findings plus the number of files scanned, without baseline
+    bookkeeping — combine with {!report_of} to merge tiers. *)
 
 val run : ?baseline:string list -> roots:string list -> unit -> report
 val run_sources : ?baseline:string list -> (string * string) list -> report

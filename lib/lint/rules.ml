@@ -71,8 +71,9 @@ let all_rules =
       what =
         "List.mem / List.find / List.assoc / List.nth (and variants) \
          and Rat.sum-over-a-list in the O(open-bins) engine and \
-         policy modules, the per-draw workload sampler, and the \
-         per-event repacker (budget/planner/runner) reintroduce \
+         policy modules, the per-draw workload sampler, the \
+         per-event repacker (budget/planner/runner), and the fault \
+         injector's per-event degradation ladder reintroduce \
          linear scans and per-element rational folds those paths \
          were rewritten to avoid (fit.ml's vetted open-fleet scan is \
          the allowed primitive; fold the dense array instead)";
@@ -142,6 +143,11 @@ let r6_workload_modules = [ "generator.ml" ]
    path as the engine. *)
 let r6_repack_modules = [ "budget.ml"; "repack_policy.ml"; "runner.ml" ]
 
+(* The degradation ladder (migrate -> evict/retry -> shed) runs per
+   fault event, putting the injector on the same hot path as the
+   repack runner. *)
+let r6_faults_modules = [ "injector.ml" ]
+
 let r7_allowlisted path =
   has_infix ~infix:"lib/num/" path
   || has_infix ~infix:"lib/core/simulator.ml" path
@@ -152,6 +158,8 @@ let r6_applies path =
      && List.mem (basename path) r6_workload_modules
   || has_infix ~infix:"lib/repack/" path
      && List.mem (basename path) r6_repack_modules
+  || has_infix ~infix:"lib/faults/" path
+     && List.mem (basename path) r6_faults_modules
 
 (* ---- longident helpers ---------------------------------------------- *)
 
@@ -221,9 +229,15 @@ let mentions_rat expr =
 type ctx = {
   path : string;
   mutable findings : Finding.t list;
-  (* Earliest line at which a local [compare] binding shadows
-     Stdlib.compare; bare-compare uses beyond it are the file's own. *)
-  mutable compare_shadowed_from : int option;
+  (* Earliest line of a *structure-level* [let compare] binding: from
+     there on, bare [compare] is the file's own.  Local bindings do
+     not touch this — they are tracked by [compare_shadow_depth]
+     while their scope is being visited, so a shadow inside one
+     function no longer suppresses findings in later functions. *)
+  mutable toplevel_compare_from : int option;
+  (* Depth of enclosing scopes (let-in, fun parameter, match case)
+     that rebind [compare]. *)
+  mutable compare_shadow_depth : int;
   (* Depth of enclosing [Rat.(...)] / [let open Rat in] scopes, where
      (=) is Rat's own exact comparison, not the polymorphic one. *)
   mutable rat_open_depth : int;
@@ -243,9 +257,9 @@ let report ctx ~rule ~loc fmt =
     fmt
 
 let compare_is_shadowed ctx line =
-  match ctx.compare_shadowed_from with
-  | Some l -> line >= l
-  | None -> false
+  ctx.compare_shadow_depth > 0
+  ||
+  match ctx.toplevel_compare_from with Some l -> line >= l | None -> false
 
 let check_ident ctx ~loc txt =
   let root = longident_root txt in
@@ -339,9 +353,53 @@ let is_rat_open_expr ctx e =
       longident_root txt = "Rat"
   | _ -> false
 
+(* Does the pattern bind the name [compare] anywhere (var, alias,
+   inside a tuple/record/or-pattern)? *)
+let pat_binds_compare pat =
+  let found = ref false in
+  let it =
+    {
+      Ast_iterator.default_iterator with
+      pat =
+        (fun self p ->
+          (match p.ppat_desc with
+          | Ppat_var { txt = "compare"; _ }
+          | Ppat_alias (_, { txt = "compare"; _ }) ->
+              found := true
+          | _ -> ());
+          Ast_iterator.default_iterator.pat self p);
+    }
+  in
+  it.pat it pat;
+  !found
+
+let with_compare_shadow ctx f =
+  ctx.compare_shadow_depth <- ctx.compare_shadow_depth + 1;
+  f ();
+  ctx.compare_shadow_depth <- ctx.compare_shadow_depth - 1
+
+(* A match/function/try case: the rebinding is in scope for the guard
+   and the right-hand side only. *)
+let visit_case ctx (self : Ast_iterator.iterator) c =
+  self.pat self c.pc_lhs;
+  let visit () =
+    Option.iter (self.expr self) c.pc_guard;
+    self.expr self c.pc_rhs
+  in
+  if pat_binds_compare c.pc_lhs then with_compare_shadow ctx visit
+  else visit ()
+
+let case_rebinds c = pat_binds_compare c.pc_lhs
+
 let check ~path structure =
   let ctx =
-    { path; findings = []; compare_shadowed_from = None; rat_open_depth = 0 }
+    {
+      path;
+      findings = [];
+      toplevel_compare_from = None;
+      compare_shadow_depth = 0;
+      rat_open_depth = 0;
+    }
   in
   let default = Ast_iterator.default_iterator in
   let it =
@@ -371,20 +429,50 @@ let check ~path structure =
             default.expr self e;
             ctx.rat_open_depth <- ctx.rat_open_depth - 1
           end
-          else default.expr self e);
-      value_binding =
-        (fun self vb ->
-          (match vb.pvb_pat.ppat_desc with
-          | Ppat_var { txt = "compare"; _ } ->
-              let line =
-                vb.pvb_pat.ppat_loc.Location.loc_start.Lexing.pos_lnum
-              in
-              ctx.compare_shadowed_from <-
-                (match ctx.compare_shadowed_from with
+          else
+            (* Local [compare] rebindings shadow only their own scope
+               (binding extents), not the rest of the file. *)
+            match e.pexp_desc with
+            | Pexp_let (rf, vbs, body)
+              when List.exists (fun vb -> pat_binds_compare vb.pvb_pat) vbs ->
+                let visit_vbs () = List.iter (self.value_binding self) vbs in
+                if rf = Asttypes.Recursive then
+                  with_compare_shadow ctx (fun () ->
+                      visit_vbs ();
+                      self.expr self body)
+                else begin
+                  visit_vbs ();
+                  with_compare_shadow ctx (fun () -> self.expr self body)
+                end
+            | Pexp_fun (_, default_arg, pat, body) when pat_binds_compare pat
+              ->
+                Option.iter (self.expr self) default_arg;
+                self.pat self pat;
+                with_compare_shadow ctx (fun () -> self.expr self body)
+            | Pexp_function cases when List.exists case_rebinds cases ->
+                List.iter (visit_case ctx self) cases
+            | Pexp_match (scrut, cases) when List.exists case_rebinds cases ->
+                self.expr self scrut;
+                List.iter (visit_case ctx self) cases
+            | Pexp_try (body, cases) when List.exists case_rebinds cases ->
+                self.expr self body;
+                List.iter (visit_case ctx self) cases
+            | _ -> default.expr self e);
+      structure_item =
+        (fun self item ->
+          (* A structure-level [let compare] genuinely shadows the rest
+             of the file (modulo its own non-recursive RHS, where the
+             watermark is conservative). *)
+          (match item.pstr_desc with
+          | Pstr_value (_, vbs)
+            when List.exists (fun vb -> pat_binds_compare vb.pvb_pat) vbs ->
+              let line = item.pstr_loc.Location.loc_start.Lexing.pos_lnum in
+              ctx.toplevel_compare_from <-
+                (match ctx.toplevel_compare_from with
                 | Some l -> Some (min l line)
                 | None -> Some line)
           | _ -> ());
-          default.value_binding self vb);
+          default.structure_item self item);
       typ =
         (fun self t ->
           (match t.ptyp_desc with

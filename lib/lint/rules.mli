@@ -33,4 +33,8 @@ val r1_applies : string -> bool
 val r5_allowlisted : string -> bool
 val r6_applies : string -> bool
 val r7_allowlisted : string -> bool
-(** Exposed for the test suite's scoping checks. *)
+(** Exposed for the test suite's scoping checks, and shared with the
+    typed tier's scoping ({!Typed_rules}). *)
+
+val has_infix : infix:string -> string -> bool
+(** Path-segment matching used by every scoping predicate. *)

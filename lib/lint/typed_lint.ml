@@ -1,0 +1,207 @@
+(* Driver for the typed lint tier: .cmt discovery and loading for
+   `dbp check --typed` / the dune `@lint-typed` alias, plus an
+   in-memory typechecking front end for the fixture tests (the typed
+   twin of [Lint.run_sources]).
+
+   Dune always compiles with -bin-annot, so building the repo leaves a
+   typedtree for every module under
+   [_build/default/<dir>/.<lib>.objs/byte/*.cmt]; each cmt records the
+   relative source path it was compiled from, which drives the same
+   path-based rule scoping as the syntactic tier. *)
+
+(* ---- cmt discovery --------------------------------------------------- *)
+
+let is_cmt path =
+  String.length path > 4 && String.sub path (String.length path - 4) 4 = ".cmt"
+
+let rec collect_cmts acc dir =
+  Sys.readdir dir |> Array.to_list |> List.sort String.compare
+  |> List.fold_left
+       (fun acc entry ->
+         let p = Filename.concat dir entry in
+         if Sys.is_directory p then
+           if entry = ".git" || entry = "node_modules" then acc
+           else collect_cmts acc p
+         else if is_cmt p then p :: acc
+         else acc)
+       acc
+
+(* The build root holding the artifacts: [_build/default] when invoked
+   from the workspace root, the current directory when already inside
+   it (how a dune rule action runs). *)
+let default_build_dir () =
+  if Sys.file_exists "_build/default" && Sys.is_directory "_build/default"
+  then "_build/default"
+  else "."
+
+let source_under ~roots src =
+  List.exists
+    (fun root ->
+      let root = if Filename.check_suffix root "/" then root else root ^ "/" in
+      String.length src >= String.length root
+      && String.sub src 0 (String.length root) = root)
+    roots
+
+type loaded = {
+  l_path : string;  (* relative source path, e.g. "lib/core/simulator.ml" *)
+  l_unit : string;  (* normalised unit name, e.g. "Simulator" *)
+  l_str : Typedtree.structure;
+}
+
+let load_cmt cmt_path =
+  match Cmt_format.read_cmt cmt_path with
+  | {
+      Cmt_format.cmt_annots = Cmt_format.Implementation str;
+      cmt_sourcefile = Some src;
+      cmt_modname;
+      _;
+    } ->
+      Some
+        {
+          l_path = src;
+          l_unit = Typed_rules.norm_unit cmt_modname;
+          l_str = str;
+        }
+  | _ -> None
+  | exception _ ->
+      (* A cmt from another compiler version, or a truncated artifact:
+         skip it rather than kill the whole pass. *)
+      None
+
+let load_all ?build_dir ~roots () =
+  let build_dir =
+    match build_dir with Some d -> d | None -> default_build_dir ()
+  in
+  if not (Sys.file_exists build_dir && Sys.is_directory build_dir) then
+    failwith
+      (Printf.sprintf "typed lint: build dir %s does not exist (run dune \
+                       build first)" build_dir)
+  else begin
+    let candidates =
+      List.filter
+        (fun r ->
+          let d = Filename.concat build_dir r in
+          Sys.file_exists d && Sys.is_directory d)
+        roots
+    in
+    let cmts =
+      List.fold_left
+        (fun acc r -> collect_cmts acc (Filename.concat build_dir r))
+        [] candidates
+      |> List.sort String.compare
+    in
+    (* One typedtree per source file: dune can leave several cmts for
+       one module (e.g. under different contexts); keep the first. *)
+    let seen = Hashtbl.create 64 in
+    List.filter_map
+      (fun cmt ->
+        match load_cmt cmt with
+        | Some l
+          when source_under ~roots l.l_path && not (Hashtbl.mem seen l.l_path)
+          ->
+            Hashtbl.replace seen l.l_path ();
+            Some l
+        | _ -> None)
+      cmts
+  end
+
+let discover_cmts ?build_dir ~roots () =
+  List.map (fun l -> (l.l_path, l.l_unit)) (load_all ?build_dir ~roots ())
+
+(* ---- running over loaded trees --------------------------------------- *)
+
+let findings_of_loaded loaded =
+  let decls =
+    List.concat_map
+      (fun l ->
+        Typed_rules.collect_decls ~unit_name:l.l_unit ~path:l.l_path l.l_str)
+      loaded
+  in
+  let taint = Typed_rules.close_taint decls in
+  List.concat_map
+    (fun l -> Typed_rules.check ~path:l.l_path ~unit_name:l.l_unit ~taint l.l_str)
+    loaded
+
+let collect ?build_dir ~roots () =
+  let loaded = load_all ?build_dir ~roots () in
+  if loaded = [] then
+    failwith
+      "typed lint: no .cmt artifacts found under the requested roots (run \
+       dune build first)";
+  (findings_of_loaded loaded, List.length loaded)
+
+let run ?(baseline = []) ?build_dir ~roots () =
+  let all, files_scanned = collect ?build_dir ~roots () in
+  Lint.report_of ~baseline ~files_scanned all
+
+(* ---- in-memory typechecking (fixture tests) -------------------------- *)
+
+(* Typechecks a source string against the ambient initial environment
+   (stdlib only).  Fixtures bring their own stub modules (a local
+   [module Rat : sig ... end] etc.) — the typed rules key on the last
+   module component, so a stub [Rat.t] and the real [Dbp_num__Rat.t]
+   normalise to the same "Rat.t". *)
+
+let init_typecheck =
+  lazy
+    (Clflags.dont_write_files := true;
+     Compmisc.init_path ();
+     Compmisc.initial_env ())
+
+let unit_name_of_path path =
+  let base = Filename.remove_extension (Filename.basename path) in
+  String.capitalize_ascii base
+
+let typecheck_source ~path ~source =
+  let env = Lazy.force init_typecheck in
+  let lexbuf = Lexing.from_string source in
+  Lexing.set_filename lexbuf path;
+  let parsed = Parse.implementation lexbuf in
+  let str, _, _, _, _ = Typemod.type_structure env parsed in
+  str
+
+let run_typed_sources ?(baseline = []) sources =
+  (* Two passes, mirroring the cmt driver: first collect declarations
+     from every fixture that typechecks (for the cross-file taint),
+     then run the rules. *)
+  let typed =
+    List.map
+      (fun (path, source) ->
+        match typecheck_source ~path ~source with
+        | str -> (path, Ok str)
+        | exception e -> (path, Error e))
+      sources
+  in
+  let decls =
+    List.concat_map
+      (fun (path, r) ->
+        match r with
+        | Ok str ->
+            Typed_rules.collect_decls
+              ~unit_name:(unit_name_of_path path) ~path str
+        | Error _ -> [])
+      typed
+  in
+  let taint = Typed_rules.close_taint decls in
+  let findings =
+    List.concat_map
+      (fun (path, r) ->
+        match r with
+        | Ok str ->
+            Typed_rules.check ~path ~unit_name:(unit_name_of_path path) ~taint
+              str
+        | Error e ->
+            let msg =
+              match Location.error_of_exn e with
+              | Some (`Ok report) ->
+                  Format.asprintf "%a" Location.print_report report
+              | _ -> Printexc.to_string e
+            in
+            [
+              Finding.make ~rule:"typecheck" ~severity:Finding.Error ~path
+                ~line:1 ~col:0
+                (Printf.sprintf "fixture does not typecheck: %s" msg);
+            ])
+      typed
+  in
+  Lint.report_of ~baseline ~files_scanned:(List.length sources) findings

@@ -1,0 +1,40 @@
+(** Driver for the typed lint tier: loads [.cmt] typedtrees dune left
+    under [_build] and runs {!Typed_rules} over them, sharing
+    {!Finding} / baseline plumbing with the syntactic tier.  Also
+    exposes an in-memory typechecking front end so the test suite can
+    lint fixture strings without touching the filesystem. *)
+
+val discover_cmts :
+  ?build_dir:string ->
+  roots:string list ->
+  unit ->
+  (string * string) list
+(** [(source_path, unit_name)] for every implementation cmt found under
+    [build_dir] (default: [_build/default] if present, else ["."]) whose
+    recorded source lives under one of [roots].  Deduplicated by source
+    path.  @raise Failure if [build_dir] does not exist. *)
+
+val collect :
+  ?build_dir:string -> roots:string list -> unit -> Finding.t list * int
+(** All typed findings plus the number of files scanned.
+    @raise Failure if no cmt artifacts were found (build first). *)
+
+val run :
+  ?baseline:string list ->
+  ?build_dir:string ->
+  roots:string list ->
+  unit ->
+  Lint.report
+
+val typecheck_source : path:string -> source:string -> Typedtree.structure
+(** Typechecks one source string against the initial (stdlib-only)
+    environment.  Fixtures carry their own stub modules; {!Typed_rules}
+    keys on the last module component, so a stub [Rat.t] matches the
+    real one.  Raises the compiler's typing exception on error. *)
+
+val run_typed_sources :
+  ?baseline:string list -> (string * string) list -> Lint.report
+(** The typed twin of [Lint.run_sources]: typechecks each
+    [(path, source)] fixture in-memory (a failure to typecheck becomes
+    a ["typecheck"] error finding), closes the taint over all fixtures'
+    declarations, then runs T1..T4 on each. *)

@@ -367,6 +367,34 @@ Strict mode fails on warnings too; a baseline accepts the findings:
   $ dbp check --lint --root lintfx --baseline accepted.txt --strict
   lint: 7 file(s) scanned, 0 finding(s) (0 error(s)), 7 baselined
 
+Old positional baseline entries (rule|path|line|col) still suppress,
+with a deprecation note pointing at --update-baseline:
+
+  $ printf 'R2|lintfx/lib/workload/fx_r2.ml|1|12\n' > legacy.txt
+  $ dbp check --lint --root lintfx/lib/workload --baseline legacy.txt
+  deprecated: 1 baseline entr(y/ies) use the old rule|path|line|col format; regenerate with --update-baseline
+  lint: 1 file(s) scanned, 0 finding(s) (0 error(s)), 1 baselined
+
+The typed tier (T1-T4) reads the .cmt typedtrees a dune build leaves
+under _build; without one it degrades with a pointer, not a crash:
+
+  $ dbp check --typed
+  dbp check: typed lint: no .cmt artifacts found under the requested roots (run dune build first)
+  [2]
+
+  $ dbp check --rules | grep -o '^[RT][0-9] \[[a-z]*\]'
+  R1 [error]
+  R2 [error]
+  R3 [warning]
+  R4 [warning]
+  R5 [error]
+  R6 [warning]
+  R7 [error]
+  T1 [error]
+  T2 [error]
+  T3 [error]
+  T4 [warning]
+
 The runtime auditor replays seeded workloads and crash storms with the
 invariant sanitizer on, and cross-checks audited vs plain packings:
 

@@ -61,7 +61,25 @@ let test_r3 () =
   (* a local compare definition shadows the polymorphic one *)
   check_silent "R3" "lib/opt/fixture.ml"
     "let compare a b = Int.compare a b\nlet f xs = List.sort compare xs\n";
-  check_silent "R3" "lib/opt/fixture.ml" "let f a b = Rat.equal a b\n"
+  check_silent "R3" "lib/opt/fixture.ml" "let f a b = Rat.equal a b\n";
+  (* shadowing is scoped to the binding's extent, not a file-global
+     watermark: a compare local to [f] does not license [g] below *)
+  check_fires "R3" "lib/opt/fixture.ml"
+    "let f xs = let compare a b = Int.compare a b in List.sort compare xs\n\
+     let g ys = List.sort compare ys\n";
+  check_silent "R3" "lib/opt/fixture.ml"
+    "let f xs = let compare a b = Int.compare a b in List.sort compare xs\n";
+  (* a function parameter named compare shadows inside that function
+     only *)
+  check_fires "R3" "lib/opt/fixture.ml"
+    "let f compare xs = List.sort compare xs\n\
+     let g ys = List.sort compare ys\n";
+  check_silent "R3" "lib/opt/fixture.ml"
+    "let f compare xs = List.sort compare xs\n";
+  (* a match case binding compare shadows its own right-hand side only *)
+  check_silent "R3" "lib/opt/fixture.ml"
+    "let f x xs = match x with Some compare -> List.sort compare xs | None \
+     -> []\n"
 
 (* ---- R4: no catch-all exception handlers ---------------------------- *)
 
@@ -99,7 +117,12 @@ let test_r6 () =
   (* the Rat.sum extension: a list fold of rationals on the event path *)
   check_fires "R6" "lib/core/packing.ml" "let f xs = Rat.sum xs\n";
   check_fires "R6" "lib/repack/budget.ml" "let f xs = Rat.sum xs\n";
-  check_silent "R6" "lib/analysis/fixture.ml" "let f xs = Rat.sum xs\n"
+  check_silent "R6" "lib/analysis/fixture.ml" "let f xs = Rat.sum xs\n";
+  (* the fault injector's per-event degradation ladder is hot; plan
+     construction is cold *)
+  check_fires "R6" "lib/faults/injector.ml" "let f xs = Rat.sum xs\n";
+  check_fires "R6" "lib/faults/injector.ml" "let f x xs = List.mem x xs\n";
+  check_silent "R6" "lib/faults/fault_plan.ml" "let f x xs = List.mem x xs\n"
 
 (* ---- R7: fixed-point arithmetic confined to num + engine ------------ *)
 
@@ -131,6 +154,12 @@ let test_scoping () =
     (Rules.r5_allowlisted "lib/experiments/e1_figure2.ml");
   Alcotest.(check bool) "r6 hot" true (Rules.r6_applies "lib/core/simulator.ml");
   Alcotest.(check bool) "r6 fit" false (Rules.r6_applies "lib/core/fit.ml");
+  Alcotest.(check bool)
+    "r6 injector" true
+    (Rules.r6_applies "lib/faults/injector.ml");
+  Alcotest.(check bool)
+    "r6 fault plan" false
+    (Rules.r6_applies "lib/faults/fault_plan.ml");
   Alcotest.(check bool)
     "r7 num" true
     (Rules.r7_allowlisted "lib/num/fixed.ml");
@@ -176,14 +205,24 @@ let test_baseline () =
   let src = "let bad r = r = 0.0\n" in
   (match (Lint.run_sources [ (path, src) ]).Lint.findings with
   | [ f ] ->
-      let fp = Finding.fingerprint f in
-      Alcotest.(check string) "fingerprint shape" "R2|lib/workload/fixture.ml|1|12" fp;
+      let base = Finding.fingerprint f in
+      Alcotest.(check string)
+        "fingerprint shape"
+        (Printf.sprintf "R2|%s|m%s" path (Finding.message_hash f))
+        base;
+      let fp =
+        match Lint.fingerprints [ f ] with
+        | [ (_, fp) ] -> fp
+        | _ -> Alcotest.fail "one indexed fingerprint"
+      in
+      Alcotest.(check string) "occurrence index" (base ^ "|0") fp;
       let suppressed = Lint.run_sources ~baseline:[ fp ] [ (path, src) ] in
       Alcotest.(check int)
         "suppressed" 0
         (List.length suppressed.Lint.findings);
       Alcotest.(check int) "baselined" 1 suppressed.Lint.baselined;
       Alcotest.(check (list string)) "no stale" [] suppressed.Lint.stale_baseline;
+      Alcotest.(check int) "not legacy" 0 suppressed.Lint.legacy_baseline;
       Alcotest.(check int) "exit ok" 0 (Lint.exit_code suppressed);
       Alcotest.(check int)
         "strict exit ok" 0
@@ -196,6 +235,50 @@ let test_baseline () =
     "stale entry reported"
     [ "R2|gone.ml|1|0" ]
     stale.Lint.stale_baseline
+
+(* The fingerprint survives edits above the finding (the point of the
+   position-independent scheme), and the old positional format still
+   suppresses — with the deprecation counter ticking. *)
+let test_fingerprint_stability () =
+  let path = "lib/workload/fixture.ml" in
+  let fp_of src =
+    match (Lint.run_sources [ (path, src) ]).Lint.findings with
+    | [ f ] -> Finding.fingerprint f
+    | fs -> Alcotest.failf "expected one finding, got %d" (List.length fs)
+  in
+  Alcotest.(check string)
+    "stable under edits above"
+    (fp_of "let bad r = r = 0.0\n")
+    (fp_of "(* new comment *)\nlet unrelated = 1\nlet bad r = r = 0.0\n");
+  (* same message twice in one file: occurrence indices disambiguate *)
+  (match
+     Lint.fingerprints
+       (Lint.run_sources
+          [ (path, "let bad r = r = 0.0\nlet bad2 r = r = 0.0\n") ])
+         .Lint.findings
+   with
+  | [ (_, fp0); (_, fp1) ] ->
+      Alcotest.(check bool) "distinct" true (fp0 <> fp1);
+      Alcotest.(check string) "first indexed 0" "|0"
+        (String.sub fp0 (String.length fp0 - 2) 2);
+      Alcotest.(check string) "second indexed 1" "|1"
+        (String.sub fp1 (String.length fp1 - 2) 2)
+  | fps -> Alcotest.failf "expected two fingerprints, got %d" (List.length fps));
+  (* legacy positional entries still match, flagged as deprecated *)
+  let legacy =
+    Lint.run_sources
+      ~baseline:[ "R2|lib/workload/fixture.ml|1|12" ]
+      [ (path, "let bad r = r = 0.0\n") ]
+  in
+  Alcotest.(check int) "legacy suppresses" 0 (List.length legacy.Lint.findings);
+  Alcotest.(check int) "legacy counted" 1 legacy.Lint.legacy_baseline;
+  Alcotest.(check (list string)) "legacy not stale" [] legacy.Lint.stale_baseline;
+  Alcotest.(check bool)
+    "legacy format recognised" true
+    (Finding.is_legacy_fingerprint "R2|lib/workload/fixture.ml|1|12");
+  Alcotest.(check bool)
+    "new format not legacy" false
+    (Finding.is_legacy_fingerprint "R2|lib/workload/fixture.ml|mdeadbeef|0")
 
 (* ---- exit codes track severity -------------------------------------- *)
 
@@ -231,6 +314,8 @@ let suite =
     Alcotest.test_case "rule scoping predicates" `Quick test_scoping;
     Alcotest.test_case "all rules fire on fixture tree" `Quick test_all_rules_fire;
     Alcotest.test_case "baseline suppresses and reports stale" `Quick test_baseline;
+    Alcotest.test_case "fingerprints are position-independent" `Quick
+      test_fingerprint_stability;
     Alcotest.test_case "exit codes track severity" `Quick test_exit_codes;
     Alcotest.test_case "parse failures become findings" `Quick test_parse_failure;
   ]

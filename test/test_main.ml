@@ -11,6 +11,7 @@ let () =
       ("engine", Test_engine.suite);
       ("audit", Test_audit.suite);
       ("lint", Test_lint.suite);
+      ("typed_lint", Test_typed_lint.suite);
       ("algorithms", Test_algorithms.suite);
       ("opt", Test_opt.suite);
       ("adversary", Test_adversary.suite);
