@@ -1,9 +1,9 @@
 (* mintotal-dbp: command-line front end.
 
    Subcommands: generate / simulate / opt / adversary / decompose /
-   offline / diff / stats / experiments / faults / gaming / bench /
-   trace / checkpoint / repack / metrics / check.  See README.md for a
-   tour. *)
+   offline / diff / stats / experiments / faults / gaming / dvbp /
+   bench / trace / checkpoint / repack / metrics / check.  See
+   README.md for a tour. *)
 
 open Cmdliner
 open Dbp_num
@@ -636,6 +636,92 @@ let gaming_cmd =
     (Cmd.info "gaming" ~doc:"Run the cloud gaming dispatch comparison.")
     Term.(const run $ hours $ rate $ seed_arg)
 
+(* ---- dvbp ----------------------------------------------------------- *)
+
+let dvbp_cmd =
+  let hours =
+    Arg.(value & opt float 8.0 & info [ "hours" ] ~doc:"Trace horizon in hours.")
+  in
+  let rate =
+    Arg.(value & opt float 25.0 & info [ "rate" ] ~doc:"Mean arrivals per hour.")
+  in
+  let dims =
+    Arg.(value
+         & opt int Dbp_cloudgaming.Game.resource_dims
+         & info [ "d"; "dims" ] ~docv:"D"
+             ~doc:
+               "Resource dimensions per game server, 1-4: GPU, then CPU, \
+                RAM, network bandwidth.  $(b,--dims 1) is the paper's \
+                scalar model.")
+  in
+  let policy =
+    Arg.(value
+         & opt (some string) None
+         & info [ "p"; "policy" ]
+             ~doc:
+               "Vector policy: first-fit, best-fit[:max|:sum], \
+                worst-fit[:max|:sum], next-fit; at $(b,--dims 1) every \
+                scalar registry policy works too.  Omitted: compare the \
+                whole native family.")
+  in
+  let run hours rate dims policy seed =
+    let open Dbp_cloudgaming in
+    if dims < 1 || dims > Game.resource_dims then begin
+      Format.eprintf "dvbp: --dims must be in 1..%d@." Game.resource_dims;
+      exit 2
+    end;
+    let profile =
+      { Gaming_workload.default_profile with
+        Gaming_workload.duration_hours = hours;
+        base_rate = rate }
+    in
+    let policies =
+      match policy with
+      | None -> Vec_policy.all
+      | Some name -> (
+          match Vec_policy.find ~seed name with
+          | Some p -> [ p ]
+          | None ->
+              Format.eprintf "unknown vector policy %s (known: %s)@." name
+                (String.concat ", " Vec_policy.names);
+              exit 2)
+    in
+    let requests = Gaming_workload.generate ~seed profile in
+    let vinstance = Gaming_workload.to_vec_instance ~dims requests in
+    let lb = Dbp_opt.Bounds.vec_segment_lower_bound vinstance in
+    Format.printf "dvbp: %d requests, d=%d (%s), lower bound %a@."
+      (List.length requests) dims
+      (String.concat "+"
+         (List.filteri (fun i _ -> i < dims) Game.resource_names))
+      Rat.pp_float lb;
+    let code = ref 0 in
+    List.iter
+      (fun policy ->
+        let result = Vec_simulator.run ~policy vinstance in
+        (match Vec_simulator.validate result with
+        | Ok () -> ()
+        | Error msg ->
+            Format.eprintf "dvbp: %s fails validation: %s@."
+              result.Vec_simulator.r_policy_name msg;
+            code := 1);
+        Format.printf
+          "%s: cost=%s (%a), max open=%d, any-fit violations=%d, vs LB %a@."
+          result.Vec_simulator.r_policy_name
+          (Rat.to_string result.Vec_simulator.r_total_cost)
+          Rat.pp_float result.Vec_simulator.r_total_cost
+          result.Vec_simulator.r_max_bins
+          result.Vec_simulator.r_any_fit_violations Rat.pp_float
+          (Rat.div result.Vec_simulator.r_total_cost lb))
+      policies;
+    !code
+  in
+  Cmd.v
+    (Cmd.info "dvbp"
+       ~doc:
+         "Dynamic Vector Bin Packing: pack the cloud-gaming workload's \
+          multi-resource server profiles.")
+    Term.(const run $ hours $ rate $ dims $ policy $ seed_arg)
+
 (* ---- bench ---------------------------------------------------------- *)
 
 let bench_cmd =
@@ -669,16 +755,24 @@ let bench_cmd =
     Fun.protect
       ~finally:(fun () -> close_in_noerr ic)
       (fun () ->
-        let rec go () =
+        let rec go lineno =
           match input_line ic with
-          | line ->
+          | line -> (
               let line = String.trim line in
-              if line = "" || line.[0] = '#' then go ()
-              else float_of_string line
+              if line = "" || line.[0] = '#' then go (lineno + 1)
+              else
+                (* [float_of_string] alone fails with the unhelpful
+                   "float_of_string"; name the offending line. *)
+                match float_of_string_opt line with
+                | Some f -> f
+                | None ->
+                    failwith
+                      (Printf.sprintf "%s: line %d is not a number: %S" path
+                         lineno line))
           | exception End_of_file ->
               failwith (path ^ ": no floor value found")
         in
-        go ())
+        go 1)
   in
   let run quick json out assert_floor seed =
     let report = Dbp_experiments.Scaling_bench.run ~quick ~seed () in
@@ -1379,6 +1473,7 @@ let () =
         experiments_cmd;
         faults_cmd;
         gaming_cmd;
+        dvbp_cmd;
         bench_cmd;
         trace_cmd;
         checkpoint_cmd;

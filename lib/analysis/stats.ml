@@ -27,13 +27,19 @@ let quantile_sorted sorted ~q =
   let n = Array.length sorted in
   if n = 0 then invalid_arg "Stats.quantile: empty";
   if q < 0.0 || q > 1.0 then invalid_arg "Stats.quantile: q out of range";
-  if n = 1 then sorted.(0)
+  (* Exact endpoints, and no interpolation when [pos] lands on an
+     element: the blend [x *. 1.0 +. y *. 0.0] is NaN whenever the
+     unweighted neighbour is infinite, so [quantile ~q:0.0] of
+     [1.0; infinity] used to be NaN instead of the minimum (and
+     [~q:1.0] NaN instead of the maximum). *)
+  if n = 1 || Float.equal q 0.0 then sorted.(0)
+  else if Float.equal q 1.0 then sorted.(n - 1)
   else begin
     let pos = q *. float_of_int (n - 1) in
-    let lo = int_of_float (Float.floor pos) in
-    let hi = min (n - 1) (lo + 1) in
+    let lo = min (n - 2) (int_of_float (Float.floor pos)) in
     let frac = pos -. float_of_int lo in
-    (sorted.(lo) *. (1.0 -. frac)) +. (sorted.(hi) *. frac)
+    if frac <= 0.0 then sorted.(lo)
+    else (sorted.(lo) *. (1.0 -. frac)) +. (sorted.(lo + 1) *. frac)
   end
 
 let summarise_sorted sorted =

@@ -84,6 +84,45 @@ let save_repack_at ?audit ?sink ?metrics ?mu ?(seed = Algorithms.default_seed)
     payload = Repack frozen;
   }
 
+let vec_policy_of (meta : Snapshot.meta) =
+  match Vec_policy.find ~seed:meta.seed meta.policy with
+  | Some p -> p
+  | None -> error "snapshot names an unknown vector policy %S" meta.policy
+
+let save_vector_at ?audit ?sink ?metrics ?(seed = Algorithms.default_seed)
+    ~policy_name ~at instance =
+  let policy =
+    match Vec_policy.find ~seed policy_name with
+    | Some p -> p
+    | None -> error "unknown vector policy %S" policy_name
+  in
+  let events = Vec_instance.sorted_events instance in
+  let total = Array.length events in
+  if at < 0 || at > total then
+    error "checkpoint index %d outside [0, %d]" at total;
+  let sink = match sink with Some s -> s | None -> Dbp_obs.Sink.null () in
+  let online =
+    Vec_simulator.Online.create ~audit:(audit_default audit) ~sink ?metrics
+      ~policy
+      ~capacity:(Vec_instance.capacity instance)
+      ()
+  in
+  Array.iteri
+    (fun i e -> if i < at then Vec_simulator.apply_event online e)
+    events;
+  let frozen = Vec_simulator.Online.freeze online in
+  {
+    Snapshot.meta =
+      {
+        policy = policy_name;
+        seed;
+        events_applied = at;
+        trace_seq = Dbp_obs.Sink.emitted sink;
+      };
+    metrics = Option.map Dbp_obs.Metrics.dump metrics;
+    payload = Vector frozen;
+  }
+
 type resumed = { packing : Packing.t; metrics : Dbp_obs.Metrics.t option }
 
 let resume ?audit ?sink ?mu instance (snap : Snapshot.t) =
@@ -94,6 +133,8 @@ let resume ?audit ?sink ?mu instance (snap : Snapshot.t) =
         error "snapshot holds a fault-injected run; use resume_faults"
     | Snapshot.Repack _ ->
         error "snapshot holds a repacking run; use resume_repack"
+    | Snapshot.Vector _ ->
+        error "snapshot holds a vector run; use resume_vector"
   in
   let policy = policy_of ?mu snap.meta in
   (match sink with
@@ -131,6 +172,8 @@ let resume_faults ?audit ?sink ?priority ?mu instance (snap : Snapshot.t) =
         error "snapshot holds a plain engine run; use resume"
     | Snapshot.Repack _ ->
         error "snapshot holds a repacking run; use resume_repack"
+    | Snapshot.Vector _ ->
+        error "snapshot holds a vector run; use resume_vector"
   in
   let policy = policy_of ?mu snap.meta in
   (match sink with
@@ -157,6 +200,8 @@ let resume_repack ?audit ?sink ?mu instance (snap : Snapshot.t) =
         error "snapshot holds a plain engine run; use resume"
     | Snapshot.Faults _ ->
         error "snapshot holds a fault-injected run; use resume_faults"
+    | Snapshot.Vector _ ->
+        error "snapshot holds a vector run; use resume_vector"
   in
   let policy = policy_of ?mu snap.meta in
   (match sink with
@@ -169,6 +214,47 @@ let resume_repack ?audit ?sink ?mu instance (snap : Snapshot.t) =
   in
   Dbp_repack.Runner.drain runner;
   { rresult = Dbp_repack.Runner.finish runner; rmetrics = metrics }
+
+type resumed_vector = {
+  vresult : Vec_simulator.result;
+  vmetrics : Dbp_obs.Metrics.t option;
+}
+
+let resume_vector ?audit ?sink instance (snap : Snapshot.t) =
+  let frozen =
+    match snap.payload with
+    | Snapshot.Vector v -> v
+    | Snapshot.Engine _ ->
+        error "snapshot holds a plain engine run; use resume"
+    | Snapshot.Faults _ ->
+        error "snapshot holds a fault-injected run; use resume_faults"
+    | Snapshot.Repack _ ->
+        error "snapshot holds a repacking run; use resume_repack"
+  in
+  let policy = vec_policy_of snap.meta in
+  (match sink with
+  | Some s -> Dbp_obs.Sink.set_seq s snap.meta.trace_seq
+  | None -> ());
+  let metrics = Option.map Dbp_obs.Metrics.restore snap.metrics in
+  let online =
+    Vec_simulator.Online.thaw ~audit:(audit_default audit) ?sink ?metrics
+      ~policy frozen
+  in
+  let events = Vec_instance.sorted_events instance in
+  let total = Array.length events in
+  let at = snap.meta.events_applied in
+  if at > total then
+    error "snapshot is %d events deep but the instance has only %d" at total;
+  Array.iteri
+    (fun i e -> if i >= at then Vec_simulator.apply_event online e)
+    events;
+  let vresult =
+    {
+      (Vec_simulator.Online.finish online ~instance) with
+      Vec_simulator.r_policy_name = policy.Vec_policy.name;
+    }
+  in
+  { vresult; vmetrics = metrics }
 
 (* ---- verification --------------------------------------------------- *)
 
@@ -224,6 +310,8 @@ let verify ?audit ?mu instance (snap : Snapshot.t) =
         "verify compares against an uninterrupted Simulator.run, which a \
          fault snapshot cannot reconstruct (the remaining plan lives in its \
          queue); engine and repack snapshots only"
+  | Snapshot.Vector _ ->
+      error "snapshot holds a vector run; use verify_vector"
   | Snapshot.Engine _ | Snapshot.Repack _ -> ());
   let audit = audit_default audit in
   let policy = policy_of ?mu snap.meta in
@@ -231,7 +319,7 @@ let verify ?audit ?mu instance (snap : Snapshot.t) =
   let buf_res = Buffer.create 4096 in
   let full, res =
     match snap.payload with
-    | Snapshot.Faults _ -> assert false
+    | Snapshot.Faults _ | Snapshot.Vector _ -> assert false
     | Snapshot.Engine _ ->
         let full =
           Simulator.run ~audit
@@ -285,6 +373,80 @@ let verify ?audit ?mu instance (snap : Snapshot.t) =
   let mismatches = mismatches @ trace_mismatches in
   { ok = mismatches = []; mismatches }
 
+let vector_mismatches (full : Vec_simulator.result) (res : Vec_simulator.result)
+    =
+  let out = ref [] in
+  let miss fmt = Printf.ksprintf (fun m -> out := m :: !out) fmt in
+  if not (Rat.equal full.r_total_cost res.r_total_cost) then
+    miss "total cost: uninterrupted %s, resumed %s"
+      (Rat.to_string full.r_total_cost)
+      (Rat.to_string res.r_total_cost);
+  if full.r_max_bins <> res.r_max_bins then
+    miss "max open bins: uninterrupted %d, resumed %d" full.r_max_bins
+      res.r_max_bins;
+  if full.r_any_fit_violations <> res.r_any_fit_violations then
+    miss "any-fit violations: uninterrupted %d, resumed %d"
+      full.r_any_fit_violations res.r_any_fit_violations;
+  if Array.length full.r_bins <> Array.length res.r_bins then
+    miss "bin count: uninterrupted %d, resumed %d"
+      (Array.length full.r_bins)
+      (Array.length res.r_bins)
+  else
+    Array.iteri
+      (fun i (fb : Vec_simulator.bin_record) ->
+        let rb = res.r_bins.(i) in
+        if
+          fb.vr_tag <> rb.vr_tag
+          || (not (Vec.equal fb.vr_capacity rb.vr_capacity))
+          || (not (Rat.equal fb.vr_opened rb.vr_opened))
+          || (not (Rat.equal fb.vr_closed rb.vr_closed))
+          || (not (Vec.equal fb.vr_max_level rb.vr_max_level))
+          || fb.vr_item_ids <> rb.vr_item_ids
+          || not (placements_equal fb.vr_placements rb.vr_placements)
+        then miss "bin %d diverges between uninterrupted and resumed runs" i)
+      full.r_bins;
+  if full.r_assignment <> res.r_assignment then
+    miss "item-to-bin assignment diverges";
+  List.rev !out
+
+let verify_vector ?audit instance (snap : Snapshot.t) =
+  (match snap.payload with
+  | Snapshot.Vector _ -> ()
+  | Snapshot.Engine _ | Snapshot.Repack _ | Snapshot.Faults _ ->
+      error "snapshot holds a scalar run; use verify");
+  let audit = audit_default audit in
+  let policy = vec_policy_of snap.meta in
+  let buf_full = Buffer.create 4096 in
+  let buf_res = Buffer.create 4096 in
+  let full =
+    Vec_simulator.run ~audit
+      ~sink:(Dbp_obs.Sink.to_buffer buf_full)
+      ~policy instance
+  in
+  let { vresult = res; _ } =
+    resume_vector ~audit ~sink:(Dbp_obs.Sink.to_buffer buf_res) instance snap
+  in
+  let mismatches = vector_mismatches full res in
+  let full_lines = nonempty_lines (Buffer.contents buf_full) in
+  let res_lines = nonempty_lines (Buffer.contents buf_res) in
+  let k = snap.meta.trace_seq in
+  let trace_mismatches =
+    if List.length full_lines < k then
+      [
+        Printf.sprintf
+          "snapshot trace position %d exceeds the uninterrupted run's %d \
+           events"
+          k (List.length full_lines);
+      ]
+    else
+      let suffix = List.filteri (fun i _ -> i >= k) full_lines in
+      if suffix <> res_lines then
+        [ "resumed trace diverges from the uninterrupted run's suffix" ]
+      else []
+  in
+  let mismatches = mismatches @ trace_mismatches in
+  { ok = mismatches = []; mismatches }
+
 (* ---- inspection ----------------------------------------------------- *)
 
 let inspect (snap : Snapshot.t) =
@@ -296,43 +458,85 @@ let inspect (snap : Snapshot.t) =
         Buffer.add_char b '\n')
       fmt
   in
-  let e = Snapshot.engine_of snap in
-  let open_bins =
-    List.filter
-      (fun (bin : Simulator.Online.Frozen.bin) -> Option.is_none bin.b_closed)
-      e.Simulator.Online.Frozen.s_bins
+  let clock, bin_total, bin_open, active, closed_cost, violations =
+    match snap.payload with
+    | Snapshot.Vector v ->
+        let bins = v.Vec_simulator.Online.Frozen.s_bins in
+        let open_bins =
+          List.filter
+            (fun (bin : Vec_simulator.Online.Frozen.bin) ->
+              Option.is_none bin.b_closed)
+            bins
+        in
+        let active =
+          List.fold_left
+            (fun acc (bin : Vec_simulator.Online.Frozen.bin) ->
+              acc + List.length bin.b_active)
+            0 open_bins
+        in
+        let closed_cost =
+          List.fold_left
+            (fun acc (bin : Vec_simulator.Online.Frozen.bin) ->
+              match bin.b_closed with
+              | Some c -> Rat.add acc (Rat.sub c bin.b_opened)
+              | None -> acc)
+            Rat.zero bins
+        in
+        ( v.s_clock,
+          List.length bins,
+          List.length open_bins,
+          active,
+          closed_cost,
+          v.s_violations )
+    | Snapshot.Engine _ | Snapshot.Faults _ | Snapshot.Repack _ ->
+        let e = Snapshot.engine_of snap in
+        let open_bins =
+          List.filter
+            (fun (bin : Simulator.Online.Frozen.bin) ->
+              Option.is_none bin.b_closed)
+            e.Simulator.Online.Frozen.s_bins
+        in
+        let active =
+          List.fold_left
+            (fun acc (bin : Simulator.Online.Frozen.bin) ->
+              acc + List.length bin.b_active)
+            0 open_bins
+        in
+        let closed_cost =
+          List.fold_left
+            (fun acc (bin : Simulator.Online.Frozen.bin) ->
+              match bin.b_closed with
+              | Some c -> Rat.add acc (Rat.sub c bin.b_opened)
+              | None -> acc)
+            Rat.zero e.s_bins
+        in
+        ( e.s_clock,
+          List.length e.s_bins,
+          List.length open_bins,
+          active,
+          closed_cost,
+          e.s_violations )
   in
-  let active =
-    List.fold_left
-      (fun acc (bin : Simulator.Online.Frozen.bin) ->
-        acc + List.length bin.b_active)
-      0 open_bins
-  in
-  let closed_cost =
-    List.fold_left
-      (fun acc (bin : Simulator.Online.Frozen.bin) ->
-        match bin.b_closed with
-        | Some c -> Rat.add acc (Rat.sub c bin.b_opened)
-        | None -> acc)
-      Rat.zero e.s_bins
-  in
-  line "schema:             %s (%s)" Snapshot.schema (Snapshot.kind_name snap);
+  line "schema:             %s (%s)" (Snapshot.schema_of snap)
+    (Snapshot.kind_name snap);
   line "policy:             %s (seed %Ld)" snap.meta.policy snap.meta.seed;
   line "events applied:     %d" snap.meta.events_applied;
   line "trace position:     %d" snap.meta.trace_seq;
   line "clock:              %s"
-    (match e.s_clock with
+    (match clock with
     | None -> "not started"
     | Some t -> Rat.to_string t);
-  line "bins:               %d total, %d open" (List.length e.s_bins)
-    (List.length open_bins);
+  line "bins:               %d total, %d open" bin_total bin_open;
   line "active items:       %d" active;
   line "closed-bin cost:    %s" (Rat.to_string closed_cost);
-  line "any-fit violations: %d" e.s_violations;
+  line "any-fit violations: %d" violations;
   line "metrics:            %s"
     (match snap.metrics with Some _ -> "captured" | None -> "none");
   (match snap.payload with
   | Snapshot.Engine _ -> ()
+  | Snapshot.Vector v ->
+      line "dimensions:         %d"
+        (Vec.dim v.Vec_simulator.Online.Frozen.s_capacity)
   | Snapshot.Faults f ->
       let open Dbp_faults.Injector.Frozen in
       line "injector:           %d events done, %d queued, %d segments (%d live)"

@@ -9,7 +9,7 @@
     cost, violation count) {e and} the same trace — the resumed sink,
     positioned at the snapshot's [trace_seq], emits exactly the
     uninterrupted run's line suffix, so prefix + suffix validates as
-    one [dbp-trace/1] stream.  Fault-injected runs checkpoint through
+    one [dbp-trace/2] stream.  Fault-injected runs checkpoint through
     {!Dbp_faults.Injector.freeze} with the same guarantee.
 
     Volatile policies ({!Dbp_core.Policy.Volatile}) cannot checkpoint;
@@ -120,6 +120,36 @@ val resume_repack :
     @raise Error on an [Engine] or [Faults] snapshot or an unknown
     policy. *)
 
+val save_vector_at :
+  ?audit:bool ->
+  ?sink:Dbp_obs.Sink.t ->
+  ?metrics:Dbp_obs.Metrics.t ->
+  ?seed:int64 ->
+  policy_name:string ->
+  at:int ->
+  Vec_instance.t ->
+  Snapshot.t
+(** The {!save_at} analogue for multi-resource runs: replays the first
+    [at] events of {!Dbp_core.Vec_instance.sorted_events} through the
+    named vector policy ({!Dbp_core.Vec_policy.find} — native DVBP
+    names plus every scalar registry name at [d = 1]) and freezes.
+    The snapshot serialises under {!Snapshot.schema_v2}. *)
+
+type resumed_vector = {
+  vresult : Vec_simulator.result;
+  vmetrics : Dbp_obs.Metrics.t option;
+}
+
+val resume_vector :
+  ?audit:bool ->
+  ?sink:Dbp_obs.Sink.t ->
+  Vec_instance.t ->
+  Snapshot.t ->
+  resumed_vector
+(** Thaws a [Vector] snapshot, replays the remaining events and
+    assembles the result, bit-identically to never having stopped.
+    @raise Error on a scalar snapshot or an unknown policy. *)
+
 type verdict = { ok : bool; mismatches : string list }
 
 val verify :
@@ -137,6 +167,13 @@ val verify :
     is not reconstructible from the snapshot alone (the remaining plan
     lives in its queue); the test suite checks those round trips
     directly. *)
+
+val verify_vector :
+  ?audit:bool -> Vec_instance.t -> Snapshot.t -> verdict
+(** The {!verify} analogue for [Vector] snapshots: uninterrupted
+    {!Dbp_core.Vec_simulator.run} vs resume, packings and trace
+    suffix compared exactly.
+    @raise Error on a scalar snapshot. *)
 
 val inspect : Snapshot.t -> string
 (** A human-readable summary derived from the snapshot alone (no

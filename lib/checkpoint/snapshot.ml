@@ -4,7 +4,7 @@ open Dbp_faults
 
 (* The versioned checkpoint image: schema "dbp-checkpoint/1".
 
-   Same NDJSON discipline as the trace ("dbp-trace/1"): one flat JSON
+   Same NDJSON discipline as the trace ("dbp-trace/2"): one flat JSON
    object per line, integers and strings only, rationals rendered as
    exact strings so a decoded snapshot reconstructs the engine
    bit-identically.  Float-valued state (histogram observations, the
@@ -14,6 +14,7 @@ open Dbp_faults
    subsystem exists for) is always detected. *)
 
 let schema = "dbp-checkpoint/1"
+let schema_v2 = "dbp-checkpoint/2"
 
 type meta = {
   policy : string;
@@ -26,6 +27,7 @@ type payload =
   | Engine of Simulator.Online.Frozen.t
   | Faults of Injector.Frozen.t
   | Repack of Dbp_repack.Runner.Frozen.t
+  | Vector of Vec_simulator.Online.Frozen.t
 
 type t = {
   meta : meta;
@@ -33,17 +35,23 @@ type t = {
   payload : payload;
 }
 
+let schema_of t =
+  match t.payload with Vector _ -> schema_v2 | _ -> schema
+
 let engine_of t =
   match t.payload with
   | Engine e -> e
   | Faults f -> f.Injector.Frozen.f_engine
   | Repack r -> r.Dbp_repack.Runner.Frozen.r_engine
+  | Vector _ ->
+      invalid_arg "Snapshot.engine_of: a vector snapshot has no scalar engine"
 
 let kind_name t =
   match t.payload with
   | Engine _ -> "engine"
   | Faults _ -> "faults"
   | Repack _ -> "repack"
+  | Vector _ -> "vector"
 
 (* ---- emission ------------------------------------------------------- *)
 
@@ -73,6 +81,10 @@ let placements_str ps =
 let active_str xs =
   String.concat " "
     (List.map (fun (id, s) -> Printf.sprintf "%d:%s" id (rat s)) xs)
+
+let vactive_str xs =
+  String.concat " "
+    (List.map (fun (id, s) -> Printf.sprintf "%d:%s" id (Vec.to_string s)) xs)
 
 let rats_str rs = String.concat " " (List.map rat rs)
 let floats_str fs = String.concat " " (List.map hex (Array.to_list fs))
@@ -106,27 +118,55 @@ let to_string snap =
         Buffer.add_char buf '\n')
       fmt
   in
-  let e = engine_of snap in
+  let capacity_str, clock, violations, bin_count, policy_state =
+    match snap.payload with
+    | Vector v ->
+        ( Vec.to_string v.Vec_simulator.Online.Frozen.s_capacity,
+          v.s_clock,
+          v.s_violations,
+          List.length v.s_bins,
+          v.s_policy_state )
+    | Engine _ | Faults _ | Repack _ ->
+        let e = engine_of snap in
+        ( rat e.Simulator.Online.Frozen.s_capacity,
+          e.s_clock,
+          e.s_violations,
+          List.length e.s_bins,
+          e.s_policy_state )
+  in
   line
     "{\"schema\":\"%s\",\"kind\":\"%s\",\"policy\":\"%s\",\"seed\":\"%Ld\",\"events_applied\":%d,\"trace_seq\":%d,\"capacity\":\"%s\",\"clock\":\"%s\",\"violations\":%d,\"bins\":%d,\"metered\":%d%s}"
-    schema (kind_name snap) (escape snap.meta.policy) snap.meta.seed
-    snap.meta.events_applied snap.meta.trace_seq
-    (rat e.Simulator.Online.Frozen.s_capacity)
-    (opt_rat e.s_clock)
-    e.s_violations (List.length e.s_bins)
+    (schema_of snap) (kind_name snap) (escape snap.meta.policy) snap.meta.seed
+    snap.meta.events_applied snap.meta.trace_seq capacity_str (opt_rat clock)
+    violations bin_count
     (int_of_bool (Option.is_some snap.metrics))
-    (match e.s_policy_state with
+    (match policy_state with
     | None -> ""
     | Some blob -> Printf.sprintf ",\"policy_state\":\"%s\"" (escape blob));
-  List.iter
-    (fun (b : Simulator.Online.Frozen.bin) ->
-      line
-        "{\"bin\":%d,\"tag\":\"%s\",\"cap\":\"%s\",\"opened\":\"%s\",\"closed\":\"%s\",\"max_level\":\"%s\",\"placements\":\"%s\",\"active\":\"%s\"}"
-        b.b_id (escape b.b_tag) (rat b.b_capacity) (rat b.b_opened)
-        (opt_rat b.b_closed) (rat b.b_max_level)
-        (placements_str b.b_placements)
-        (active_str b.b_active))
-    e.s_bins;
+  (match snap.payload with
+  | Vector v ->
+      List.iter
+        (fun (b : Vec_simulator.Online.Frozen.bin) ->
+          line
+            "{\"vbin\":%d,\"tag\":\"%s\",\"cap\":\"%s\",\"opened\":\"%s\",\"closed\":\"%s\",\"max_level\":\"%s\",\"placements\":\"%s\",\"active\":\"%s\"}"
+            b.b_id (escape b.b_tag)
+            (Vec.to_string b.b_capacity)
+            (rat b.b_opened) (opt_rat b.b_closed)
+            (Vec.to_string b.b_max_level)
+            (placements_str b.b_placements)
+            (vactive_str b.b_active))
+        v.Vec_simulator.Online.Frozen.s_bins
+  | Engine _ | Faults _ | Repack _ ->
+      let e = engine_of snap in
+      List.iter
+        (fun (b : Simulator.Online.Frozen.bin) ->
+          line
+            "{\"bin\":%d,\"tag\":\"%s\",\"cap\":\"%s\",\"opened\":\"%s\",\"closed\":\"%s\",\"max_level\":\"%s\",\"placements\":\"%s\",\"active\":\"%s\"}"
+            b.b_id (escape b.b_tag) (rat b.b_capacity) (rat b.b_opened)
+            (opt_rat b.b_closed) (rat b.b_max_level)
+            (placements_str b.b_placements)
+            (active_str b.b_active))
+        e.s_bins);
   (match snap.metrics with
   | None -> ()
   | Some d ->
@@ -151,7 +191,7 @@ let to_string snap =
             (escape name) (floats_str obs))
         d.d_hists);
   (match snap.payload with
-  | Engine _ | Repack _ -> ()
+  | Engine _ | Repack _ | Vector _ -> ()
   | Faults f ->
       let open Injector.Frozen in
       let c = f.f_config in
@@ -212,7 +252,7 @@ let to_string snap =
                 (int_of_bool a.fa_pending))
         f.f_queue);
   (match snap.payload with
-  | Engine _ | Faults _ -> ()
+  | Engine _ | Faults _ | Vector _ -> ()
   | Repack r ->
       let open Dbp_repack.Runner.Frozen in
       line
@@ -231,7 +271,7 @@ let to_string snap =
     (fun s ->
       Buffer.add_string buf s;
       Buffer.add_char buf '\n')
-    "{\"end\":\"%s\",\"lines\":%d}" schema !lines;
+    "{\"end\":\"%s\",\"lines\":%d}" (schema_of snap) !lines;
   Buffer.contents buf
 
 (* ---- strict parsing ------------------------------------------------- *)
@@ -276,6 +316,12 @@ let rat_of key s =
   | r -> r
   | exception (Failure _ | Division_by_zero) ->
       corrupt "key \"%s\" is not a rational: '%s'" key s
+
+let vec_of key s =
+  match Vec.of_string s with
+  | v -> v
+  | exception (Failure _ | Division_by_zero | Invalid_argument _) ->
+      corrupt "key \"%s\" is not a rational vector: '%s'" key s
 
 let frat c key = rat_of key (fstr c key)
 
@@ -333,6 +379,18 @@ let decode_active key s =
           match int_of_string_opt (String.sub tok 0 i) with
           | Some id ->
               (id, rat_of key (String.sub tok (i + 1) (String.length tok - i - 1)))
+          | None -> corrupt "key \"%s\": malformed active item '%s'" key tok))
+    (split_tokens s)
+
+let decode_vactive key s =
+  List.map
+    (fun tok ->
+      match String.index_opt tok ':' with
+      | None -> corrupt "key \"%s\": malformed active item '%s'" key tok
+      | Some i -> (
+          match int_of_string_opt (String.sub tok 0 i) with
+          | Some id ->
+              (id, vec_of key (String.sub tok (i + 1) (String.length tok - i - 1)))
           | None -> corrupt "key \"%s\": malformed active item '%s'" key tok))
     (split_tokens s)
 
@@ -424,18 +482,25 @@ let of_string text =
     in
     let c = cursor_of_line header in
     let sch = fstr c "schema" in
-    if sch <> schema then
-      corrupt "unsupported schema \"%s\" (expected \"%s\")" sch schema;
+    if sch <> schema && sch <> schema_v2 then
+      corrupt "unsupported schema \"%s\" (expected \"%s\" or \"%s\")" sch
+        schema schema_v2;
     let kind = fstr c "kind" in
-    if kind <> "engine" && kind <> "faults" && kind <> "repack" then
-      corrupt "unknown snapshot kind \"%s\"" kind;
+    (match kind with
+    | "engine" | "faults" | "repack" ->
+        if sch <> schema then
+          corrupt "snapshot kind \"%s\" belongs to schema \"%s\"" kind schema
+    | "vector" ->
+        if sch <> schema_v2 then
+          corrupt "snapshot kind \"vector\" belongs to schema \"%s\"" schema_v2
+    | _ -> corrupt "unknown snapshot kind \"%s\"" kind);
     let policy = fstr c "policy" in
     let seed = fint64 c "seed" in
     let events_applied = fint c "events_applied" in
     let trace_seq = fint c "trace_seq" in
     if events_applied < 0 then corrupt "negative events_applied";
     if trace_seq < 0 then corrupt "negative trace_seq";
-    let capacity = frat c "capacity" in
+    let capacity_str = fstr c "capacity" in
     let clock = fopt_rat c "clock" in
     let violations = fint c "violations" in
     let bin_count = fint c "bins" in
@@ -448,6 +513,7 @@ let of_string text =
     in
     finish_line c;
     let bins = ref [] in
+    let vbins = ref [] in
     let counters = ref []
     and gauges = ref []
     and rat_sums = ref []
@@ -492,6 +558,31 @@ let of_string text =
                     b_active;
                   }
                   :: !bins
+            | "vbin" ->
+                incr body_lines;
+                let b_id = fint c "vbin" in
+                let b_tag = fstr c "tag" in
+                let b_capacity = vec_of "cap" (fstr c "cap") in
+                let b_opened = frat c "opened" in
+                let b_closed = fopt_rat c "closed" in
+                let b_max_level = vec_of "max_level" (fstr c "max_level") in
+                let b_placements =
+                  decode_placements "placements" (fstr c "placements")
+                in
+                let b_active = decode_vactive "active" (fstr c "active") in
+                finish_line c;
+                vbins :=
+                  {
+                    Vec_simulator.Online.Frozen.b_id;
+                    b_tag;
+                    b_capacity;
+                    b_opened;
+                    b_closed;
+                    b_max_level;
+                    b_placements;
+                    b_active;
+                  }
+                  :: !vbins
             | "metric" ->
                 incr body_lines;
                 (match fstr c "metric" with
@@ -677,9 +768,9 @@ let of_string text =
                 finish_line c;
                 queue := ((t, rank, qseq), ev) :: !queue
             | "end" ->
-                let sch = fstr c "end" in
-                if sch <> schema then
-                  corrupt "footer schema \"%s\" does not match" sch;
+                let fsch = fstr c "end" in
+                if fsch <> sch then
+                  corrupt "footer schema \"%s\" does not match" fsch;
                 let declared = fint c "lines" in
                 let actual = !body_lines + 1 in
                 if declared <> actual then
@@ -691,8 +782,17 @@ let of_string text =
       rest;
     if not !footer_seen then corrupt "missing footer line (truncated snapshot?)";
     let bins = List.rev !bins in
-    if List.length bins <> bin_count then
-      corrupt "header declares %d bins, found %d" bin_count (List.length bins);
+    let vbins = List.rev !vbins in
+    (if kind = "vector" then (
+       if bins <> [] then corrupt "scalar bin lines in a vector snapshot";
+       if List.length vbins <> bin_count then
+         corrupt "header declares %d bins, found %d" bin_count
+           (List.length vbins))
+     else (
+       if vbins <> [] then corrupt "vector bin lines in a scalar snapshot";
+       if List.length bins <> bin_count then
+         corrupt "header declares %d bins, found %d" bin_count
+           (List.length bins)));
     let have_metric_lines =
       !counters <> [] || !gauges <> [] || !rat_sums <> [] || !hists <> []
     in
@@ -709,17 +809,40 @@ let of_string text =
           }
       else None
     in
-    let engine =
+    let engine () =
       {
-        Simulator.Online.Frozen.s_capacity = capacity;
+        Simulator.Online.Frozen.s_capacity = rat_of "capacity" capacity_str;
         s_clock = clock;
         s_violations = violations;
         s_bins = bins;
         s_policy_state = policy_state;
       }
     in
+    let no_fault_lines what =
+      if
+        Option.is_some !config || Option.is_some !core || !segs <> []
+        || !queue <> []
+        || Option.is_some !inj_repack
+      then corrupt "fault-injector lines in %s snapshot" what
+    in
+    let no_repack_lines what =
+      if Option.is_some !rp_core || !mvs <> [] then
+        corrupt "repack lines in %s snapshot" what
+    in
     let payload =
       match kind with
+      | "vector" ->
+          no_fault_lines "a vector";
+          no_repack_lines "a vector";
+          Vector
+            {
+              Vec_simulator.Online.Frozen.s_capacity =
+                vec_of "capacity" capacity_str;
+              s_clock = clock;
+              s_violations = violations;
+              s_bins = vbins;
+              s_policy_state = policy_state;
+            }
       | "engine" ->
           if
             Option.is_some !config || Option.is_some !core || !segs <> []
@@ -728,7 +851,7 @@ let of_string text =
           then corrupt "fault-injector lines in an engine snapshot";
           if Option.is_some !rp_core || !mvs <> [] then
             corrupt "repack lines in an engine snapshot";
-          Engine engine
+          Engine (engine ())
       | "repack" ->
           if
             Option.is_some !config || Option.is_some !core || !segs <> []
@@ -746,7 +869,7 @@ let of_string text =
               rl.rl_log (List.length log);
           Repack
             {
-              Dbp_repack.Runner.Frozen.r_engine = engine;
+              Dbp_repack.Runner.Frozen.r_engine = engine ();
               r_budget = rl.rl_budget;
               r_repack = rl.rl_policy;
               r_events_done = rl.rl_events_done;
@@ -778,7 +901,7 @@ let of_string text =
               core.cl_queue (List.length queue);
           Faults
             {
-              Injector.Frozen.f_engine = engine;
+              Injector.Frozen.f_engine = engine ();
               f_config = config;
               f_rng = core.cl_rng;
               f_seq = core.cl_seq;

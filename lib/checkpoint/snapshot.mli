@@ -23,7 +23,15 @@ open Dbp_core
 open Dbp_faults
 
 val schema : string
-(** ["dbp-checkpoint/1"]. *)
+(** ["dbp-checkpoint/1"] — the scalar baseline.  Snapshots of scalar
+    runs still emit (and parse as) this schema byte-for-byte. *)
+
+val schema_v2 : string
+(** ["dbp-checkpoint/2"] — the vector extension: a [Vector] payload
+    (multi-resource engine image) is stamped with this schema, and
+    its capacities/levels/demands are
+    {!Dbp_num.Vec.to_string}-rendered per-dimension rationals.  The
+    parser accepts both versions. *)
 
 type meta = {
   policy : string;  (** Registry name ({!Dbp_core.Algorithms.find}). *)
@@ -32,7 +40,7 @@ type meta = {
       (** Instance events already replayed; resume starts here. *)
   trace_seq : int;
       (** Trace events emitted so far; a resumed sink is positioned
-          here so the combined stream stays a valid [dbp-trace/1]. *)
+          here so the combined stream stays a valid [dbp-trace/2]. *)
 }
 
 type payload =
@@ -46,6 +54,9 @@ type payload =
       (** A budget-constrained repacking run checkpoint
           ({!Dbp_repack.Runner}): its engine plus the budget balance,
           repack policy and migration log. *)
+  | Vector of Vec_simulator.Online.Frozen.t
+      (** A multi-resource ([Vec_simulator.run]) checkpoint; stamps
+          the file {!schema_v2}. *)
 
 type t = {
   meta : meta;
@@ -53,11 +64,16 @@ type t = {
   payload : payload;
 }
 
+val schema_of : t -> string
+(** The schema the snapshot serialises under: {!schema_v2} for
+    [Vector] payloads, {!schema} otherwise. *)
+
 val engine_of : t -> Simulator.Online.Frozen.t
-(** The engine image of either payload. *)
+(** The scalar engine image of a scalar payload.
+    @raise Invalid_argument on a [Vector] snapshot. *)
 
 val kind_name : t -> string
-(** ["engine"], ["faults"] or ["repack"]. *)
+(** ["engine"], ["faults"], ["repack"] or ["vector"]. *)
 
 val to_string : t -> string
 (** The NDJSON document, trailing newline included. *)

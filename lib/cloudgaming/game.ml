@@ -1,11 +1,39 @@
 open Dbp_num
 
-type t = { title : string; gpu_share : Rat.t }
+type t = {
+  title : string;
+  gpu_share : Rat.t;
+  cpu_share : Rat.t;
+  ram_share : Rat.t;
+  bw_share : Rat.t;
+}
 
-let make ~title ~gpu_share =
-  if Rat.sign gpu_share <= 0 || Rat.(gpu_share > Rat.one) then
-    invalid_arg "Game.make: gpu_share must be in (0, 1]";
-  { title; gpu_share }
+let check_share name share =
+  if Rat.sign share <= 0 || Rat.(share > Rat.one) then
+    invalid_arg (Printf.sprintf "Game.make: %s must be in (0, 1]" name)
+
+let make ~title ~gpu_share ?cpu_share ?ram_share ?bw_share () =
+  (* Defaults scale the secondary resources off the GPU share, so a
+     scalar catalog entry keeps a well-formed profile. *)
+  let default num den = Rat.mul gpu_share (Rat.make num den) in
+  let cpu_share = Option.value cpu_share ~default:(default 3 4) in
+  let ram_share = Option.value ram_share ~default:(default 1 2) in
+  let bw_share = Option.value bw_share ~default:(default 2 5) in
+  check_share "gpu_share" gpu_share;
+  check_share "cpu_share" cpu_share;
+  check_share "ram_share" ram_share;
+  check_share "bw_share" bw_share;
+  { title; gpu_share; cpu_share; ram_share; bw_share }
+
+let resource_dims = 4
+let resource_names = [ "gpu"; "cpu"; "ram"; "bw" ]
+
+let resources ?(dims = resource_dims) t =
+  if dims < 1 || dims > resource_dims then
+    invalid_arg "Game.resources: dims out of range";
+  Vec.truncate
+    (Vec.make [ t.gpu_share; t.cpu_share; t.ram_share; t.bw_share ])
+    ~dims
 
 type catalog = { games : t array; popularity : float array }
 
@@ -20,17 +48,25 @@ let catalog entries =
   }
 
 let default_catalog =
-  let g title num den = make ~title ~gpu_share:(Rat.make num den) in
+  let g title num den ~cpu ~ram ~bw =
+    make ~title ~gpu_share:(Rat.make num den)
+      ~cpu_share:(Rat.make (fst cpu) (snd cpu))
+      ~ram_share:(Rat.make (fst ram) (snd ram))
+      ~bw_share:(Rat.make (fst bw) (snd bw))
+      ()
+  in
   catalog
     [
-      (g "puzzle-2d" 1 10, 1.00);
-      (g "card-arena" 1 8, 0.47);
-      (g "indie-platformer" 1 6, 0.29);
-      (g "moba" 1 5, 0.21);
-      (g "racing" 1 4, 0.16);
-      (g "open-world" 1 3, 0.13);
-      (g "fps-competitive" 2 5, 0.11);
-      (g "aaa-rpg" 1 2, 0.09);
+      (g "puzzle-2d" 1 10 ~cpu:(1, 12) ~ram:(1, 16) ~bw:(1, 25), 1.00);
+      (g "card-arena" 1 8 ~cpu:(1, 10) ~ram:(1, 12) ~bw:(1, 16), 0.47);
+      (g "indie-platformer" 1 6 ~cpu:(1, 8) ~ram:(1, 10) ~bw:(1, 12), 0.29);
+      (* MOBAs lean on simulation and netcode more than rendering. *)
+      (g "moba" 1 5 ~cpu:(1, 4) ~ram:(1, 6) ~bw:(1, 6), 0.21);
+      (g "racing" 1 4 ~cpu:(1, 5) ~ram:(1, 4) ~bw:(1, 5), 0.16);
+      (* Open-world streaming is RAM-bound before it is GPU-bound. *)
+      (g "open-world" 1 3 ~cpu:(1, 4) ~ram:(2, 5) ~bw:(1, 6), 0.13);
+      (g "fps-competitive" 2 5 ~cpu:(1, 3) ~ram:(1, 4) ~bw:(3, 10), 0.11);
+      (g "aaa-rpg" 1 2 ~cpu:(2, 5) ~ram:(1, 2) ~bw:(1, 4), 0.09);
     ]
 
 let pp fmt t = Format.fprintf fmt "%s(gpu=%a)" t.title Rat.pp t.gpu_share

@@ -1,13 +1,47 @@
 (** Game catalog for the cloud gaming application (Section 1 of the
     paper): each game title demands a fixed share of a game server's
-    GPU when an instance of it runs. *)
+    resources when an instance of it runs.
+
+    The scalar model keeps only the GPU share — the binding resource
+    of the paper's setting.  The DVBP extension gives every title a
+    full per-server profile over {!resource_names} (GPU, CPU, RAM,
+    network); component 0 is always [gpu_share], so truncating a
+    profile to one dimension recovers the scalar catalog exactly. *)
 
 open Dbp_num
 
-type t = { title : string; gpu_share : Rat.t }
+type t = {
+  title : string;
+  gpu_share : Rat.t;
+  cpu_share : Rat.t;
+  ram_share : Rat.t;
+  bw_share : Rat.t;
+}
 
-val make : title:string -> gpu_share:Rat.t -> t
-(** @raise Invalid_argument unless [0 < gpu_share <= 1]. *)
+val make :
+  title:string ->
+  gpu_share:Rat.t ->
+  ?cpu_share:Rat.t ->
+  ?ram_share:Rat.t ->
+  ?bw_share:Rat.t ->
+  unit ->
+  t
+(** Omitted secondary shares default to fixed fractions of the GPU
+    share (3/4, 1/2 and 2/5 of it), so a scalar-era catalog entry
+    gains a sensible profile without new data.
+    @raise Invalid_argument unless every share is in [(0, 1]]. *)
+
+val resource_dims : int
+(** 4. *)
+
+val resource_names : string list
+(** [["gpu"; "cpu"; "ram"; "bw"]], in component order. *)
+
+val resources : ?dims:int -> t -> Vec.t
+(** The demand vector over the first [dims] (default all
+    {!resource_dims}) resources; [resources ~dims:1] is exactly
+    [[gpu_share]].
+    @raise Invalid_argument unless [1 <= dims <= resource_dims]. *)
 
 type catalog = { games : t array; popularity : float array }
 (** [popularity] weights the request mix (not necessarily
@@ -18,6 +52,8 @@ val catalog : (t * float) list -> catalog
 
 val default_catalog : catalog
 (** Eight titles with GPU shares from 1/10 (casual 2D) to 1/2 (AAA 3D)
-    and Zipf(1.1)-like popularity — heavier games are rarer. *)
+    and Zipf(1.1)-like popularity — heavier games are rarer.  Each
+    carries a hand-set CPU/RAM/network profile (MOBAs lean on CPU and
+    netcode, open-world streaming on RAM). *)
 
 val pp : Format.formatter -> t -> unit

@@ -73,6 +73,13 @@ let to_instance requests =
   Dbp_core.Instance.create ~capacity:Rat.one
     (List.map Request.to_item requests)
 
+let to_vec_instance ?dims requests =
+  if requests = [] then
+    invalid_arg "Gaming_workload.to_vec_instance: empty trace";
+  let dims = Option.value dims ~default:Game.resource_dims in
+  Dbp_core.Vec_instance.create ~capacity:(Vec.ones ~dims)
+    (List.map (Request.to_vec_item ~dims) requests)
+
 let mu_of = function
   | [] -> invalid_arg "Gaming_workload.mu_of: empty trace"
   | requests ->

@@ -34,4 +34,11 @@ val to_instance : Request.t list -> Dbp_core.Instance.t
 (** GPU capacity 1 per server; request GPU shares as item sizes.
     @raise Invalid_argument on an empty trace. *)
 
+val to_vec_instance : ?dims:int -> Request.t list -> Dbp_core.Vec_instance.t
+(** The DVBP instance: unit capacity in each of the first [dims]
+    (default {!Game.resource_dims}) resources, each request's
+    {!Game.resources} profile as its demand vector.  At [~dims:1] this
+    is exactly [Vec_instance.of_scalar (to_instance requests)].
+    @raise Invalid_argument on an empty trace. *)
+
 val mu_of : Request.t list -> Rat.t

@@ -17,6 +17,14 @@ let to_item t =
   Dbp_core.Item.make ~id:t.request_id ~size:t.game.Game.gpu_share
     ~arrival:t.start ~departure:t.stop
 
+let to_vec_item ?dims t =
+  {
+    Dbp_core.Vec_instance.id = t.request_id;
+    size = Game.resources ?dims t.game;
+    arrival = t.start;
+    departure = t.stop;
+  }
+
 let pp fmt t =
   Format.fprintf fmt "req#%d %a [%a, %a]" t.request_id Game.pp t.game Rat.pp
     t.start Rat.pp t.stop

@@ -20,4 +20,9 @@ val to_item : t -> Dbp_core.Item.t
 (** Item with the request's id, GPU share as size, session as
     interval. *)
 
+val to_vec_item : ?dims:int -> t -> Dbp_core.Vec_instance.item
+(** The multi-resource item: the game's {!Game.resources} profile
+    over the first [dims] (default all) resources as the demand
+    vector.  [~dims:1] is {!to_item} embedded in one dimension. *)
+
 val pp : Format.formatter -> t -> unit

@@ -1,0 +1,138 @@
+open Dbp_num
+
+type item = { id : int; size : Vec.t; arrival : Rat.t; departure : Rat.t }
+
+type t = { items : item array; capacity : Vec.t }
+
+let create ~capacity items =
+  let d = Vec.dim capacity in
+  if not (Vec.is_nonneg capacity && Vec.has_positive capacity) then
+    invalid_arg "Vec_instance.create: capacity must be positive";
+  for j = 0 to d - 1 do
+    if Rat.sign (Vec.get capacity j) <= 0 then
+      invalid_arg
+        (Printf.sprintf
+           "Vec_instance.create: capacity component %d is not positive" j)
+  done;
+  if items = [] then invalid_arg "Vec_instance.create: empty item list";
+  List.iter
+    (fun r ->
+      if Vec.dim r.size <> d then
+        invalid_arg
+          (Printf.sprintf
+             "Vec_instance.create: item has %d dimensions, capacity has %d"
+             (Vec.dim r.size) d);
+      if not (Vec.is_nonneg r.size) then
+        invalid_arg "Vec_instance.create: item size has a negative component";
+      if not (Vec.has_positive r.size) then
+        invalid_arg "Vec_instance.create: item size is all-zero";
+      if not (Vec.le r.size capacity) then
+        invalid_arg
+          (Format.asprintf "Vec_instance.create: size %a exceeds capacity %a"
+             Vec.pp r.size Vec.pp capacity);
+      if Rat.(r.departure <= r.arrival) then
+        invalid_arg "Vec_instance.create: departure must follow arrival")
+    items;
+  let items =
+    Array.of_list
+      (List.mapi
+         (fun id r ->
+           { id; size = r.size; arrival = r.arrival; departure = r.departure })
+         items)
+  in
+  { items; capacity }
+
+let of_scalar instance =
+  let items =
+    Instance.items instance |> Array.to_list
+    |> List.map (fun (r : Item.t) ->
+           {
+             id = r.Item.id;
+             size = Vec.scalar r.Item.size;
+             arrival = r.Item.arrival;
+             departure = r.Item.departure;
+           })
+  in
+  create ~capacity:(Vec.scalar (Instance.capacity instance)) items
+
+let to_scalar t =
+  if Vec.dim t.capacity <> 1 then None
+  else
+    Some
+      (Instance.create
+         ~capacity:(Vec.get t.capacity 0)
+         (Array.to_list t.items
+         |> List.map (fun r ->
+                Item.make ~id:r.id ~size:(Vec.get r.size 0) ~arrival:r.arrival
+                  ~departure:r.departure)))
+
+let dims t = Vec.dim t.capacity
+let capacity t = t.capacity
+let items t = t.items
+let size t = Array.length t.items
+let item t i = t.items.(i)
+
+let length r = Rat.sub r.departure r.arrival
+
+let span t =
+  Interval.union_measure
+    (Array.to_list
+       (Array.map (fun r -> Interval.make r.arrival r.departure) t.items))
+
+let demand_per_dim t =
+  let d = dims t in
+  let acc = Array.make d Rat.zero in
+  Array.iter
+    (fun r ->
+      let len = length r in
+      for j = 0 to d - 1 do
+        acc.(j) <- Rat.add acc.(j) (Rat.mul (Vec.get r.size j) len)
+      done)
+    t.items;
+  Vec.of_array acc
+
+let max_interval_length t =
+  Array.fold_left
+    (fun acc r -> Rat.max acc (length r))
+    (length t.items.(0))
+    t.items
+
+let min_interval_length t =
+  Array.fold_left
+    (fun acc r -> Rat.min acc (length r))
+    (length t.items.(0))
+    t.items
+
+let mu t = Rat.div (max_interval_length t) (min_interval_length t)
+
+type event_kind = Departure | Arrival
+
+type event = { ev_time : Rat.t; ev_kind : event_kind; ev_item : item }
+
+let kind_rank = function Departure -> 0 | Arrival -> 1
+
+let compare_event a b =
+  let c = Rat.compare a.ev_time b.ev_time in
+  if c <> 0 then c
+  else
+    let c = Int.compare (kind_rank a.ev_kind) (kind_rank b.ev_kind) in
+    if c <> 0 then c else Int.compare a.ev_item.id b.ev_item.id
+
+let sorted_events t =
+  let n = Array.length t.items in
+  let seed =
+    { ev_time = t.items.(0).arrival; ev_kind = Arrival; ev_item = t.items.(0) }
+  in
+  let evs = Array.make (2 * n) seed in
+  Array.iteri
+    (fun i r ->
+      evs.(2 * i) <- { ev_time = r.arrival; ev_kind = Arrival; ev_item = r };
+      evs.((2 * i) + 1) <-
+        { ev_time = r.departure; ev_kind = Departure; ev_item = r })
+    t.items;
+  Array.sort compare_event evs;
+  evs
+
+let pp fmt t =
+  Format.fprintf fmt "@[<v>vec instance: %d items, d=%d, W=%a, mu=%a@]"
+    (size t) (dims t) Vec.pp t.capacity Rat.pp (mu t)

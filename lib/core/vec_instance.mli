@@ -1,0 +1,61 @@
+(** A DVBP instance: items demanding a {!Dbp_num.Vec.t} in each
+    resource dimension over an active interval, packed into bins with
+    per-dimension capacity.
+
+    The scalar model is exactly the [d = 1] slice: {!of_scalar} and
+    {!to_scalar} convert without loss, and the vector engine
+    ({!Vec_simulator}) reproduces {!Simulator}'s packings bit for bit
+    on embedded scalar instances. *)
+
+open Dbp_num
+
+type item = { id : int; size : Vec.t; arrival : Rat.t; departure : Rat.t }
+
+type t
+(** Immutable; items are re-numbered densely from 0 on creation. *)
+
+val create : capacity:Vec.t -> item list -> t
+(** @raise Invalid_argument on an empty item list, a non-positive
+    capacity component, a dimension mismatch, a size with a negative
+    component or no positive component, a size exceeding capacity in
+    some dimension, or a departure not after its arrival. *)
+
+val of_scalar : Instance.t -> t
+(** The [d = 1] embedding (sizes and capacity become 1-vectors). *)
+
+val to_scalar : t -> Instance.t option
+(** The inverse projection; [None] unless [dims t = 1]. *)
+
+val dims : t -> int
+val capacity : t -> Vec.t
+val items : t -> item array
+val size : t -> int
+val item : t -> int -> item
+
+val length : item -> Rat.t
+(** The active interval's length. *)
+
+val span : t -> Rat.t
+(** Measure of the union of active intervals — the span lower bound's
+    numerator, identical to the scalar {!Instance.span} notion. *)
+
+val demand_per_dim : t -> Vec.t
+(** Component [j] is [sum_r size_j(r) * len(r)]: the dimension's total
+    resource-time demand. *)
+
+val mu : t -> Rat.t
+(** Max over min active-interval length. *)
+
+val max_interval_length : t -> Rat.t
+val min_interval_length : t -> Rat.t
+
+type event_kind = Departure | Arrival
+
+type event = { ev_time : Rat.t; ev_kind : event_kind; ev_item : item }
+
+val sorted_events : t -> event array
+(** The replay order: by time, departures before arrivals at equal
+    times, then item id — exactly the scalar {!Event.compare} order,
+    so [d = 1] replays are event-for-event identical. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,11 @@
+(** E21: Dynamic Vector Bin Packing on the cloud-gaming workload.
+
+    Packs the same request trace at d = 1 (GPU only — the paper's
+    scalar model), d = 2 (GPU + CPU) and d = 4 (+ RAM, network) with
+    the native vector Any Fit family, and reports each cost against
+    the per-dimension segment lower bound.  Asserts that every packing
+    validates, that the lower bound tightens monotonically with d, and
+    that the d = 1 run of first-fit is bit-identical to the scalar
+    engine. *)
+
+val run : unit -> Exp_common.outcome

@@ -20,6 +20,7 @@ let experiments : (string * (unit -> Exp_common.outcome)) list =
     ("e18", E18_faults.run);
     ("e19", E19_recovery.run);
     ("e20", E20_repack.run);
+    ("e21", E21_dvbp.run);
   ]
 
 let all_names = List.map (fun (n, _) -> String.uppercase_ascii n) experiments
@@ -32,7 +33,7 @@ let default_domains () = max 1 (min 8 (Domain.recommended_domain_count ()))
 
 (* Work-stealing over a shared atomic cursor: each domain claims the
    next unclaimed experiment index until the list drains.  Results land
-   in a slot array indexed by experiment, so the output order is E1..E20
+   in a slot array indexed by experiment, so the output order is E1..E21
    regardless of which domain finished when.  Experiments are pure
    (local PRNGs, local tables, sprintf only), so they need no locking;
    distinct array slots are data-race-free under the OCaml 5 memory

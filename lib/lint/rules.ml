@@ -26,8 +26,9 @@ let all_rules =
         "float literals, float operators (+. etc.), Float.* and bare \
          float conversions are banned in the exact-arithmetic \
          libraries (lib/core, lib/analysis, lib/adversary, \
-         lib/repack); use Rat (display-only modules \
-         stats/chart/timeline_render are exempt)";
+         lib/repack, and lib/num/vec.ml's exact vector kernel); use \
+         Rat (display-only modules stats/chart/timeline_render are \
+         exempt)";
     };
     {
       id = "R2";
@@ -116,7 +117,10 @@ let r1_applies path =
   (has_infix ~infix:"lib/core/" path
   || has_infix ~infix:"lib/analysis/" path
   || has_infix ~infix:"lib/adversary/" path
-  || has_infix ~infix:"lib/repack/" path)
+  || has_infix ~infix:"lib/repack/" path
+  (* The vector kernel shares Rat's exactness contract; the rest of
+     lib/num (rat.ml's own conversions, fixed.ml) stays exempt. *)
+  || has_infix ~infix:"lib/num/vec.ml" path)
   && not (r1_display_exempt path)
 
 let r5_allowlisted path = has_infix ~infix:"lib/experiments/registry.ml" path
@@ -131,6 +135,10 @@ let r6_hot_modules =
     "first_fit.ml"; "best_fit.ml"; "worst_fit.ml"; "last_fit.ml";
     "next_fit.ml"; "random_fit.ml"; "harmonic_fit.ml";
     "modified_first_fit.ml"; "policy.ml";
+    (* The vector engine and its policy family replay the same
+       O(open bins) per-event path; the instance module feeds their
+       event loop. *)
+    "vec_simulator.ml"; "vec_policy.ml"; "vec_instance.ml";
   ]
 
 (* The workload sampler draws once per generated item, so a linear

@@ -29,5 +29,5 @@ val flush : t -> unit
 val set_seq : t -> int -> unit
 (** Positions the sequence counter, so a sink attached to a resumed
     run continues the stream of the interrupted one: the concatenation
-    of the two outputs validates as a single [dbp-trace/1] stream.
+    of the two outputs validates as a single [dbp-trace/2] stream.
     @raise Invalid_argument on a negative sequence number. *)

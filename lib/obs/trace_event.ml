@@ -1,9 +1,13 @@
 open Dbp_num
 
-(* The structured trace schema ("dbp-trace/1", see DESIGN.md
+(* The structured trace schema ("dbp-trace/2", see DESIGN.md
    "Observability").  One event per NDJSON line; timestamps are exact
    rationals rendered as strings, never floats, so a consumer can
-   reconstruct bin usage periods bit-exactly. *)
+   reconstruct bin usage periods bit-exactly.  Version 2 adds the
+   vector kinds (varrive/vpack/vbin_open) for multi-resource runs,
+   whose per-dimension payloads are comma-joined rational strings;
+   the scalar kinds are byte-identical to version 1, so every
+   dbp-trace/1 stream is a valid dbp-trace/2 stream. *)
 
 type kind =
   | Arrive of { item : int; size : Rat.t }
@@ -22,10 +26,13 @@ type kind =
   | Retry of { item : int; attempt : int }
   | Shed of { item : int }
   | Resume of { item : int; latency : Rat.t }
+  | Varrive of { item : int; sizes : Vec.t }
+  | Vpack of { item : int; bin : int; levels : Vec.t; residuals : Vec.t }
+  | Vbin_open of { bin : int; tag : string; capacities : Vec.t }
 
 type t = { seq : int; time : Rat.t; kind : kind }
 
-let schema = "dbp-trace/1"
+let schema = "dbp-trace/2"
 
 let kind_name = function
   | Arrive _ -> "arrive"
@@ -38,6 +45,9 @@ let kind_name = function
   | Retry _ -> "retry"
   | Shed _ -> "shed"
   | Resume _ -> "resume"
+  | Varrive _ -> "varrive"
+  | Vpack _ -> "vpack"
+  | Vbin_open _ -> "vbin_open"
 
 (* ---- emission ------------------------------------------------------- *)
 
@@ -84,7 +94,15 @@ let to_ndjson t =
   | Retry { item; attempt } -> add ",\"item\":%d,\"attempt\":%d" item attempt
   | Shed { item } -> add ",\"item\":%d" item
   | Resume { item; latency } ->
-      add ",\"item\":%d,\"latency\":\"%s\"" item (Rat.to_string latency));
+      add ",\"item\":%d,\"latency\":\"%s\"" item (Rat.to_string latency)
+  | Varrive { item; sizes } ->
+      add ",\"item\":%d,\"sizes\":\"%s\"" item (Vec.to_string sizes)
+  | Vpack { item; bin; levels; residuals } ->
+      add ",\"item\":%d,\"bin\":%d,\"levels\":\"%s\",\"residuals\":\"%s\"" item
+        bin (Vec.to_string levels) (Vec.to_string residuals)
+  | Vbin_open { bin; tag; capacities } ->
+      add ",\"bin\":%d,\"tag\":\"%s\",\"capacities\":\"%s\"" bin (escape tag)
+        (Vec.to_string capacities));
   Buffer.add_char buf '}';
   Buffer.contents buf
 
@@ -211,6 +229,13 @@ let of_ndjson line =
       | exception (Failure _ | Division_by_zero) ->
           bad "key \"%s\" is not a rational: '%s'" key s
     in
+    let vec_field key =
+      let s = str_field key in
+      match Vec.of_string s with
+      | v -> v
+      | exception (Failure _ | Division_by_zero) ->
+          bad "key \"%s\" is not a rational vector: '%s'" key s
+    in
     let seq = int_field "seq" in
     if seq < 0 then bad "negative sequence number %d" seq;
     let time = rat_field "t" in
@@ -269,6 +294,23 @@ let of_ndjson line =
       | "shed" -> Shed { item = int_field "item" }
       | "resume" ->
           Resume { item = int_field "item"; latency = rat_field "latency" }
+      | "varrive" ->
+          Varrive { item = int_field "item"; sizes = vec_field "sizes" }
+      | "vpack" ->
+          Vpack
+            {
+              item = int_field "item";
+              bin = int_field "bin";
+              levels = vec_field "levels";
+              residuals = vec_field "residuals";
+            }
+      | "vbin_open" ->
+          Vbin_open
+            {
+              bin = int_field "bin";
+              tag = str_field "tag";
+              capacities = vec_field "capacities";
+            }
       | other -> bad "unknown event kind \"%s\"" other
     in
     List.iter

@@ -1,4 +1,4 @@
-(** The structured engine-event trace: schema ["dbp-trace/1"].
+(** The structured engine-event trace: schema ["dbp-trace/2"].
 
     Every event the simulator (and the fault injector) can produce,
     stamped with a monotonic sequence number and the exact rational
@@ -12,7 +12,14 @@
     usage period (the quantity Theorem 4 decomposes), [Pack] records
     the placement decision with the post-insert level, and
     [Fail_bin]/[Retry]/[Shed]/[Resume] come from the fault-injection
-    layer. *)
+    layer.
+
+    Version 2 adds the vector kinds [Varrive]/[Vpack]/[Vbin_open] for
+    multi-resource (DVBP) runs; their per-dimension payloads are
+    {!Dbp_num.Vec.to_string} comma-joined rationals.  The scalar kinds
+    serialise byte-identically to version 1, so every [dbp-trace/1]
+    stream validates as [dbp-trace/2] — and a [d = 1] vector run emits
+    exactly the scalar kinds, keeping the embedding bit-identical. *)
 
 open Dbp_num
 
@@ -43,11 +50,17 @@ type kind =
   | Retry of { item : int; attempt : int }
   | Shed of { item : int }
   | Resume of { item : int; latency : Rat.t }
+  | Varrive of { item : int; sizes : Vec.t }
+      (** A multi-resource arrival: the item's demand vector. *)
+  | Vpack of { item : int; bin : int; levels : Vec.t; residuals : Vec.t }
+      (** Vector placement; [levels]/[residuals] are per-dimension
+          state {e after} the insert. *)
+  | Vbin_open of { bin : int; tag : string; capacities : Vec.t }
 
 type t = { seq : int; time : Rat.t; kind : kind }
 
 val schema : string
-(** ["dbp-trace/1"]. *)
+(** ["dbp-trace/2"]. *)
 
 val kind_name : kind -> string
 

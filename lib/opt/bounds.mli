@@ -31,3 +31,25 @@ val segment_lower_bound : Instance.t -> Rat.t
 (** The integrated per-instant volume bound
     [integral of max(min(1, |active|), ceil(S(t)/W)) dt].
     Dominates both (b.1) and (b.2); much cheaper than {!Opt_total}. *)
+
+(** {1 Vector (DVBP) bounds}
+
+    Each scalar bound vectorises per dimension, and the tightest
+    dimension wins: a feasible packing satisfies every resource at
+    once, so [OPT_total] is bounded below by the scalar bound of each
+    [d = 1] projection.  At [d = 1] each function agrees exactly with
+    its scalar twin. *)
+
+val vec_demand_bound : Vec_instance.t -> Rat.t
+(** (b.1) per dimension: [max_j demand_j / W_j]. *)
+
+val vec_span_bound : Vec_instance.t -> Rat.t
+(** (b.2): the span does not depend on the dimension. *)
+
+val vec_opt_lower_bound : Vec_instance.t -> Rat.t
+(** [max (vec_demand_bound) (vec_span_bound)]. *)
+
+val vec_segment_lower_bound : Vec_instance.t -> Rat.t
+(** The integrated per-instant bound with the per-dimension volume:
+    [integral of max(min(1, |active|), max_j ceil(S_j(t)/W_j)) dt].
+    Dominates both vector bounds above. *)

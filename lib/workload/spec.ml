@@ -147,16 +147,30 @@ let with_target_mu t ~mu =
   validate t;
   t
 
+(* The class boundary W/k is generally not a 1/quantum grid point, and
+   [Rat.to_float W /. float k] is not W/k either; snapping draws near
+   that float used to cross the exact boundary (W = 1, k = 3: raw
+   draws just above 1/3 rounded down to 3333/10000 < 1/3, breaking
+   the "every size >= W/k" premise of the large-items regime).  Place
+   the boundary with exact Rat arithmetic on the smallest grid point
+   >= W/k instead: a grid point survives the float round-trip because
+   round-to-nearest snapping moves a value by at most 1/(2 quantum). *)
+let class_boundary t ~k =
+  let wk = Rat.div_int t.capacity k in
+  Rat.make (Rat.ceil (Rat.mul_int wk t.quantum)) t.quantum
+
 let small_items t ~k =
   if k <= 1 then invalid_arg "Spec.small_items: k <= 1";
-  let hi = Rat.to_float t.capacity /. float_of_int k in
+  (* Generator keeps draws strictly below a sub-capacity [hi], so the
+     admissible grid sizes are exactly those strictly below W/k. *)
+  let hi = Rat.to_float (class_boundary t ~k) in
   let t = { t with sizes = Uniform_sizes { lo = 0.0; hi } } in
   validate t;
   t
 
 let large_items t ~k =
   if k <= 1 then invalid_arg "Spec.large_items: k <= 1";
-  let lo = Rat.to_float t.capacity /. float_of_int k in
+  let lo = Rat.to_float (class_boundary t ~k) in
   let t = { t with sizes = Uniform_sizes { lo; hi = Rat.to_float t.capacity } } in
   validate t;
   t

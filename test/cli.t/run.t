@@ -64,6 +64,28 @@ Offline (non-migratory) planning on the same trace:
   least span increase     : 54.3457 (6 groups)
   longest first           : 54.081 (6 groups)
 
+Dynamic Vector Bin Packing: the cloud-gaming titles carry a full
+GPU/CPU/RAM/network profile, packed component-wise at any --dims
+prefix.  --dims 1 is the paper's scalar GPU-only model:
+
+  $ dbp dvbp --dims 2 --rate 12 --hours 4
+  dvbp: 29 requests, d=2 (gpu+cpu), lower bound 11.2524
+  first_fit: cost=29893/2000 (14.9465), max open=2, any-fit violations=0, vs LB 1.32829
+  best_fit:max: cost=65793/5000 (13.1586), max open=2, any-fit violations=0, vs LB 1.1694
+  best_fit:sum: cost=65793/5000 (13.1586), max open=2, any-fit violations=0, vs LB 1.1694
+  worst_fit:max: cost=29893/2000 (14.9465), max open=2, any-fit violations=0, vs LB 1.32829
+  worst_fit:sum: cost=29893/2000 (14.9465), max open=2, any-fit violations=0, vs LB 1.32829
+  next_fit: cost=196507/10000 (19.6507), max open=4, any-fit violations=2, vs LB 1.74636
+  $ dbp dvbp --dims 1 --policy best-fit --rate 12 --hours 4
+  dvbp: 29 requests, d=1 (gpu), lower bound 11.2524
+  best_fit:max: cost=65793/5000 (13.1586), max open=2, any-fit violations=0, vs LB 1.1694
+  $ dbp dvbp --dims 5
+  dvbp: --dims must be in 1..4
+  [2]
+  $ dbp dvbp --dims 2 --policy nope
+  unknown vector policy nope (known: first-fit, best-fit:max, best-fit:sum, worst-fit:max, worst-fit:sum, next-fit)
+  [2]
+
 Fault injection: kill the fullest bin at t=5 and t=9 and watch Best
 Fit recover.  Everything (plan, victims, restarts) is deterministic:
 
@@ -169,6 +191,14 @@ the largest size against a checked-in events/second floor
   $ dbp bench --quick --assert-floor ceiling.txt 2>&1 > /dev/null | sed 's/at [0-9]* events/at N events/'
   perf regression: slowest fast-engine policy at N events/s is below the 99000000 floor in ceiling.txt
 
+A malformed floor file is invalid input (exit 2), and the error names
+the offending line rather than echoing float_of_string's bare failure:
+
+  $ printf '# events/s floor\nfast\n' > bad-floor.txt
+  $ dbp bench --quick --assert-floor bad-floor.txt > /dev/null
+  dbp: bad-floor.txt: line 2 is not a number: "fast"
+  [2]
+
 Structured event tracing: every engine event as one NDJSON line, with
 a monotonic sequence number and exact rational timestamps.  The
 --validate flag re-parses every line against the schema and asserts
@@ -176,7 +206,7 @@ the traced packing is bit-identical to an untraced run:
 
   $ dbp trace --trace trace.csv -o events.ndjson --validate
   wrote 118 events to events.ndjson
-  trace: 118 events validate against dbp-trace/1
+  trace: 118 events validate against dbp-trace/2
   trace: traced run bit-identical to untraced (cost 120481/2000)
   $ head -1 events.ndjson
   {"seq":0,"t":"301/5000","kind":"arrive","item":0,"size":"869/1250"}

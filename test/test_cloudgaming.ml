@@ -3,17 +3,17 @@ open Dbp_core
 open Dbp_cloudgaming
 open Test_util
 
-let game = Game.make ~title:"test" ~gpu_share:(r 1 4)
+let game = Game.make ~title:"test" ~gpu_share:(r 1 4) ()
 
 let test_game_validation () =
   Alcotest.(check bool) "zero share" true
     (try
-       ignore (Game.make ~title:"x" ~gpu_share:Rat.zero);
+       ignore (Game.make ~title:"x" ~gpu_share:Rat.zero ());
        false
      with Invalid_argument _ -> true);
   Alcotest.(check bool) "share > 1" true
     (try
-       ignore (Game.make ~title:"x" ~gpu_share:Rat.two);
+       ignore (Game.make ~title:"x" ~gpu_share:Rat.two ());
        false
      with Invalid_argument _ -> true);
   Alcotest.(check int) "default catalog" 8
@@ -179,6 +179,68 @@ let test_hourly_billing_dominates () =
   Alcotest.(check bool) "hourly costs at least exact" true
     Rat.(hourly.Dispatcher.dollar_cost >= exact.Dispatcher.dollar_cost)
 
+let test_resource_profiles () =
+  (* Every catalog title's profile fits one server in every dimension,
+     and the first component is the scalar-era gpu share. *)
+  Array.iter
+    (fun g ->
+      let v = Game.resources g in
+      Alcotest.(check int) "dims" Game.resource_dims (Vec.dim v);
+      Alcotest.(check bool) "within capacity" true
+        (Vec.le v (Vec.ones ~dims:Game.resource_dims));
+      Alcotest.(check bool) "positive shares" true
+        (List.for_all (fun s -> Rat.(s > Rat.zero)) (Vec.to_list v));
+      check_rat "dim 0 is the gpu share" g.Game.gpu_share (Vec.get v 0))
+    Game.default_catalog.Game.games;
+  (* ~dims truncates, and dims = 1 is exactly the scalar model. *)
+  let v2 = Game.resources ~dims:2 game in
+  Alcotest.(check int) "truncated dims" 2 (Vec.dim v2);
+  check_rat "gpu survives truncation" (r 1 4) (Vec.get v2 0);
+  Alcotest.(check bool) "d=1 is the scalar size" true
+    (Vec.equal (Game.resources ~dims:1 game) (Vec.scalar (r 1 4)));
+  (* Defaulted secondary shares scale with the gpu share. *)
+  let heavy = Game.make ~title:"heavy" ~gpu_share:(r 1 2) () in
+  let light = Game.make ~title:"light" ~gpu_share:(r 1 8) () in
+  Alcotest.(check bool) "defaults ordered by gpu share" true
+    (Vec.le (Game.resources light) (Game.resources heavy))
+
+let test_gaming_vec_conversion () =
+  let profile =
+    { Gaming_workload.default_profile with
+      Gaming_workload.duration_hours = 3.0;
+      base_rate = 15.0 }
+  in
+  let requests = Gaming_workload.generate ~seed:11L profile in
+  let same_instance a b =
+    let ia = Vec_instance.items a and ib = Vec_instance.items b in
+    Vec.equal (Vec_instance.capacity a) (Vec_instance.capacity b)
+    && Array.length ia = Array.length ib
+    && Array.for_all2
+         (fun x y ->
+           x.Vec_instance.id = y.Vec_instance.id
+           && Vec.equal x.Vec_instance.size y.Vec_instance.size
+           && Rat.equal x.Vec_instance.arrival y.Vec_instance.arrival
+           && Rat.equal x.Vec_instance.departure y.Vec_instance.departure)
+         ia ib
+  in
+  (* The d = 1 conversion is the scalar instance, embedded. *)
+  let scalar = Gaming_workload.to_instance requests in
+  let v1 = Gaming_workload.to_vec_instance ~dims:1 requests in
+  Alcotest.(check bool) "d=1 = of_scalar" true
+    (same_instance v1 (Vec_instance.of_scalar scalar));
+  (* The full conversion keeps ids/intervals and widens only the size. *)
+  let v4 = Gaming_workload.to_vec_instance requests in
+  Alcotest.(check int) "item count" (List.length requests)
+    (Array.length (Vec_instance.items v4));
+  List.iter2
+    (fun req it ->
+      Alcotest.(check int) "id" req.Request.request_id
+        it.Vec_instance.id;
+      Alcotest.(check bool) "size is the game profile" true
+        (Vec.equal it.Vec_instance.size (Game.resources req.Request.game)))
+    requests
+    (Array.to_list (Vec_instance.items v4))
+
 let test_flat_profile () =
   let profile =
     { Gaming_workload.default_profile with
@@ -201,6 +263,9 @@ let suite =
     Alcotest.test_case "hourly billing dominates" `Quick
       test_hourly_billing_dominates;
     Alcotest.test_case "flat profile" `Quick test_flat_profile;
+    Alcotest.test_case "resource profiles" `Quick test_resource_profiles;
+    Alcotest.test_case "gaming vec conversion" `Quick
+      test_gaming_vec_conversion;
   ]
 
 (* ---- additional billing/workload edges ------------------------------- *)

@@ -5,14 +5,14 @@
 open Dbp_experiments
 
 let test_registry_complete () =
-  Alcotest.(check int) "twenty experiments" 20
+  Alcotest.(check int) "twenty-one experiments" 21
     (List.length Registry.all_names);
   List.iter
     (fun n ->
       if not (List.mem n Registry.all_names) then
         Alcotest.failf "missing experiment %s" n)
     [ "E1"; "E2"; "E3"; "E4"; "E5"; "E6"; "E7"; "E8"; "E9"; "E10"; "E11";
-      "E12"; "E13"; "E14"; "E15"; "E16"; "E17"; "E18"; "E19"; "E20" ];
+      "E12"; "E13"; "E14"; "E15"; "E16"; "E17"; "E18"; "E19"; "E20"; "E21" ];
   Alcotest.(check bool) "unknown name" true (Registry.run "E99" = None)
 
 let run_clean name =

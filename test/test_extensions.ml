@@ -75,6 +75,28 @@ let test_stats_quantile () =
        false
      with Invalid_argument _ -> true)
 
+(* Regression: the interpolation blend [x *. 1.0 +. y *. 0.0] is NaN
+   whenever the unweighted neighbour is infinite, so [quantile ~q:0.0]
+   of a series with an infinite maximum came back NaN instead of the
+   minimum.  Endpoints must be exact order statistics, even when the
+   other end of the array is not finite. *)
+let test_stats_quantile_endpoints () =
+  let check_q name want xs q =
+    Alcotest.(check (float 0.0)) name want (Stats.quantile xs ~q)
+  in
+  check_q "single q0" 5.0 [ 5.0 ] 0.0;
+  check_q "single q0.5" 5.0 [ 5.0 ] 0.5;
+  check_q "single q1" 5.0 [ 5.0 ] 1.0;
+  check_q "pair q0" 1.0 [ 3.0; 1.0 ] 0.0;
+  check_q "pair q0.5" 2.0 [ 3.0; 1.0 ] 0.5;
+  check_q "pair q1" 3.0 [ 3.0; 1.0 ] 1.0;
+  check_q "infinite max, q0 is the min" 1.0 [ 1.0; infinity ] 0.0;
+  check_q "infinite max, q1 is the max" infinity [ 1.0; infinity ] 1.0;
+  check_q "infinite min, q1 is the max" 1.0 [ neg_infinity; 1.0 ] 1.0;
+  (* An interior position landing exactly on an element interpolates
+     with weight zero: that neighbour must not poison the result. *)
+  check_q "exact interior position" 2.0 [ 1.0; 2.0; infinity ] 0.5
+
 let test_stats_student_t () =
   (* small-n confidence intervals use Student-t, not z = 1.96 *)
   Alcotest.(check (float 1e-9)) "df 1" 12.706 (Stats.t_critical_95 ~df:1);
@@ -259,6 +281,8 @@ let suite =
     Alcotest.test_case "harmonic validation" `Quick test_harmonic_validation;
     Alcotest.test_case "stats known values" `Quick test_stats_known_values;
     Alcotest.test_case "stats quantile" `Quick test_stats_quantile;
+    Alcotest.test_case "stats quantile endpoints" `Quick
+      test_stats_quantile_endpoints;
     Alcotest.test_case "stats student-t" `Quick test_stats_student_t;
     Alcotest.test_case "stats single pass vs brute" `Quick
       test_stats_single_pass_vs_brute;

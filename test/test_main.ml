@@ -29,4 +29,5 @@ let () =
       ("checkpoint", Test_checkpoint.suite);
       ("repack", Test_repack.suite);
       ("experiments", Test_experiments.suite);
+      ("vec", Test_vec.suite);
     ]

@@ -87,6 +87,25 @@ let test_t1 () =
      \  in\n\
      \  List.sort compare xs\n")
 
+(* The DVBP vectors: [Vec.t] is a [Rat.t array] under the hood, so a
+   polymorphic comparison on whole vectors (or on the vector-engine
+   views that embed them) is exactly the array-buried-Rat case the
+   typed tier exists to catch. *)
+let test_t1_vec () =
+  let vec_stub = rat_stub ^ "module Vec = struct type t = Rat.t array end\n" in
+  check_fires "T1" "lib/opt/fixture.ml"
+    (vec_stub ^ "let f (a : Vec.t) b = a = b\n");
+  check_fires "T1" "lib/opt/fixture.ml"
+    (vec_stub
+   ^ "type view = { id : int; level : Vec.t }\n"
+   ^ "let same (a : view) (b : view) = compare a b\n");
+  (* component-wise exact comparison is the sanctioned spelling *)
+  check_silent "T1" "lib/opt/fixture.ml"
+    (vec_stub
+   ^ "let f (a : Vec.t) (b : Vec.t) =\n\
+     \  Array.length a = Array.length b\n\
+     \  && Array.for_all2 Rat.equal a b\n")
+
 (* The tier-defining regression: a Rat two levels deep in the inferred
    type, with no [Rat] token anywhere near the comparison — the
    syntactic R3 is blind, T1 is not. *)
@@ -268,6 +287,7 @@ let test_plumbing () =
 let suite =
   [
     Alcotest.test_case "T1 typed Rat compare" `Quick test_t1;
+    Alcotest.test_case "T1 vector-buried Rat" `Quick test_t1_vec;
     Alcotest.test_case "T1 catches what R3 misses" `Quick
       test_t1_catches_what_r3_misses;
     Alcotest.test_case "T2 Fixed escape" `Quick test_t2;

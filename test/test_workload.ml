@@ -33,6 +33,30 @@ let test_large_items_regime () =
   Alcotest.(check bool) "at least W/4" true
     (Instance.sizes_at_least instance (r 1 4))
 
+(* Regression: when k does not divide capacity * quantum (k = 3 on a
+   1/10 grid here) the class boundary W/k is not a grid point, and the
+   old float bounds [to_float capacity /. float k] let snapped draws
+   land on the grid point just below it — items of size 3/10 < 1/3 in
+   a "large items" instance.  The boundary must be placed by exact Rat
+   division on the smallest grid point >= W/k. *)
+let test_class_boundary_exact () =
+  let spec = { Spec.default with Spec.quantum = 10; count = 400 } in
+  let wk = r 1 3 in
+  (match (Spec.large_items spec ~k:3).Spec.sizes with
+  | Spec.Uniform_sizes { lo; _ } ->
+      Alcotest.(check bool) "spec bound is a grid point at least W/3" true
+        Rat.(Rat.of_float ~den:10 lo >= wk)
+  | _ -> Alcotest.fail "expected uniform sizes");
+  List.iter
+    (fun seed ->
+      let large = Generator.generate ~seed (Spec.large_items spec ~k:3) in
+      Alcotest.(check bool) "large: every size at least W/3" true
+        (Instance.sizes_at_least large wk);
+      let small = Generator.generate ~seed (Spec.small_items spec ~k:3) in
+      Alcotest.(check bool) "small: every size strictly below W/3" true
+        (Instance.sizes_below small wk))
+    [ 1L; 2L; 3L ]
+
 let test_generate_many_independent () =
   let runs = Generator.generate_many ~seed:6L Spec.default ~runs:3 in
   Alcotest.(check int) "three runs" 3 (List.length runs);
@@ -362,6 +386,8 @@ let suite =
     Alcotest.test_case "clamps respected" `Quick test_generator_respects_clamps;
     Alcotest.test_case "small-items regime" `Quick test_small_items_regime;
     Alcotest.test_case "large-items regime" `Quick test_large_items_regime;
+    Alcotest.test_case "class boundary off-grid" `Quick
+      test_class_boundary_exact;
     Alcotest.test_case "generate_many" `Quick test_generate_many_independent;
     Alcotest.test_case "arrival models" `Quick test_arrival_models;
     Alcotest.test_case "spec validation" `Quick test_spec_validation;
