@@ -2,8 +2,8 @@
 
    Subcommands: generate / simulate / opt / adversary / decompose /
    offline / diff / stats / experiments / faults / gaming / dvbp /
-   bench / trace / checkpoint / repack / metrics / check.  See
-   README.md for a tour. *)
+   bench / trace / checkpoint / repack / metrics / check / serve.
+   See README.md for a tour. *)
 
 open Cmdliner
 open Dbp_num
@@ -57,6 +57,32 @@ let resolve_policy ?mu name =
       Format.eprintf "unknown policy %s (known: %s)@." name
         (String.concat ", " Algorithms.names);
       exit 2
+
+(* Perf-floor files (bench-floor.txt, serve-floor.txt): first
+   non-comment line is the floor, in events per second. *)
+let read_floor path =
+  let ic = open_in path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () ->
+      let rec go lineno =
+        match input_line ic with
+        | line -> (
+            let line = String.trim line in
+            if line = "" || line.[0] = '#' then go (lineno + 1)
+            else
+              (* [float_of_string] alone fails with the unhelpful
+                 "float_of_string"; name the offending line. *)
+              match float_of_string_opt line with
+              | Some f -> f
+              | None ->
+                  failwith
+                    (Printf.sprintf "%s: line %d is not a number: %S" path
+                       lineno line))
+        | exception End_of_file ->
+            failwith (path ^ ": no floor value found")
+      in
+      go 1)
 
 (* ---- generate ------------------------------------------------------ *)
 
@@ -750,30 +776,6 @@ let bench_cmd =
                 events-per-second floor read from $(docv) (first \
                 non-comment line, see bench-floor.txt).")
   in
-  let read_floor path =
-    let ic = open_in path in
-    Fun.protect
-      ~finally:(fun () -> close_in_noerr ic)
-      (fun () ->
-        let rec go lineno =
-          match input_line ic with
-          | line -> (
-              let line = String.trim line in
-              if line = "" || line.[0] = '#' then go (lineno + 1)
-              else
-                (* [float_of_string] alone fails with the unhelpful
-                   "float_of_string"; name the offending line. *)
-                match float_of_string_opt line with
-                | Some f -> f
-                | None ->
-                    failwith
-                      (Printf.sprintf "%s: line %d is not a number: %S" path
-                         lineno line))
-          | exception End_of_file ->
-              failwith (path ^ ": no floor value found")
-        in
-        go 1)
-  in
   let run quick json out assert_floor seed =
     let report = Dbp_experiments.Scaling_bench.run ~quick ~seed () in
     let body =
@@ -1454,6 +1456,271 @@ let check_cmd =
       const run $ lint_flag $ audit_flag $ typed_flag $ json $ strict $ roots
       $ baseline_path $ no_baseline $ update_baseline $ rules_flag $ seed_arg)
 
+(* ---- serve ---------------------------------------------------------- *)
+
+let serve_cmd =
+  let shards =
+    Arg.(value & opt int 1
+         & info [ "shards" ]
+             ~doc:"Shard the fleet across $(docv) domains (>= 1)." ~docv:"N")
+  in
+  let capacity =
+    Arg.(value & opt rat_conv Rat.one
+         & info [ "capacity" ] ~doc:"Bin capacity W (a rational).")
+  in
+  let route =
+    Arg.(value & opt string "size-class"
+         & info [ "route" ]
+             ~doc:
+               "Shard router: $(b,size-class) (MFF's large/small pool split; \
+                large items own shard 0) or $(b,hash).")
+  in
+  let split_k =
+    Arg.(value & opt rat_conv Rat.two
+         & info [ "split-k" ]
+             ~doc:
+               "Size-class router divisor k (> 1): items of size >= \
+                capacity/k are large.")
+  in
+  let grid_den =
+    Arg.(value & opt (some int) None
+         & info [ "grid-den" ] ~docv:"D"
+             ~doc:
+               "Run the shard engines on the fixed-point fast track with \
+                size/time grid 1/$(docv) (default: exact rationals).")
+  in
+  let budget =
+    Arg.(value & opt string "unlimited"
+         & info [ "migration-budget" ] ~docv:"SPEC"
+             ~doc:
+               "Recourse budget for shard-loss migration (same specs as \
+                $(b,dbp repack --budget)): $(b,8) (8 item-moves total), \
+                $(b,items:total:8), $(b,volume:event:1/2), \
+                $(b,items:bucket:1/4:8) (rate then burst), or \
+                $(b,unlimited).")
+  in
+  let stdio =
+    Arg.(value & flag
+         & info [ "stdio" ]
+             ~doc:"Serve a single NDJSON stream on stdin/stdout (default).")
+  in
+  let socket =
+    Arg.(value & opt (some string) None
+         & info [ "socket" ] ~docv:"PATH"
+             ~doc:"Daemon mode: listen on a Unix domain socket at $(docv).")
+  in
+  let tcp =
+    Arg.(value & opt (some int) None
+         & info [ "tcp" ] ~docv:"PORT"
+             ~doc:"Daemon mode: listen on 127.0.0.1:$(docv).")
+  in
+  let replay =
+    Arg.(value & opt (some file) None
+         & info [ "replay" ] ~docv:"FILE"
+             ~doc:
+               "Client mode: stream the trace CSV $(docv) through an \
+                in-process daemon (or a running one, with $(b,--connect)) \
+                and print its summary line.")
+  in
+  let connect =
+    Arg.(value & opt (some string) None
+         & info [ "connect" ] ~docv:"PATH"
+             ~doc:
+               "With $(b,--replay): connect to a running daemon's Unix \
+                socket instead of spawning one in-process.")
+  in
+  let echo =
+    Arg.(value & flag
+         & info [ "echo-placements" ]
+             ~doc:"In replay mode, print every placement line.")
+  in
+  let bench =
+    Arg.(value & flag
+         & info [ "bench" ]
+             ~doc:
+               "Soak benchmark: drive $(b,--sessions) concurrent sessions \
+                through a socketpair against a live daemon and emit the \
+                dbp-bench-serve/1 JSON document.")
+  in
+  let sessions =
+    Arg.(value & opt int 1_000_000
+         & info [ "sessions" ] ~docv:"N"
+             ~doc:
+               "Soak sessions; each is one arrival and one departure, and \
+                all $(docv) are resident at peak.")
+  in
+  let assert_floor =
+    Arg.(value & opt (some file) None
+         & info [ "assert-floor" ] ~docv:"FILE"
+             ~doc:
+               "With $(b,--bench): fail (exit 1) unless the soak sustains \
+                the events-per-second floor read from $(docv) (first \
+                non-comment line, see serve-floor.txt).")
+  in
+  let out =
+    Arg.(value & opt (some string) None
+         & info [ "o"; "out" ]
+             ~doc:"With $(b,--bench): write the JSON here instead of stdout.")
+  in
+  let checkpoint =
+    Arg.(value & opt (some string) None
+         & info [ "checkpoint" ] ~docv:"PREFIX"
+             ~doc:
+               "On shutdown (SIGTERM or end of stream), write one \
+                dbp-checkpoint/1 snapshot per shard to $(docv).shard<k>.")
+  in
+  let run shards policy_name capacity seed route_name split_k grid_den
+      budget_spec stdio socket tcp replay connect echo bench sessions
+      assert_floor out checkpoint =
+    let module S = Dbp_serve.Serve in
+    let usage fmt =
+      Format.kasprintf
+        (fun m ->
+          Format.eprintf "dbp serve: %s@." m;
+          exit 2)
+        fmt
+    in
+    if shards < 1 then usage "--shards must be >= 1, got %d" shards;
+    let route =
+      match Dbp_serve.Router.policy_of_string route_name with
+      | Ok r -> r
+      | Error msg -> usage "%s" msg
+    in
+    let budget =
+      match Dbp_repack.Budget.spec_of_string budget_spec with
+      | Ok spec -> spec
+      | Error msg -> usage "--migration-budget: %s" msg
+    in
+    let cfg =
+      {
+        S.shards;
+        policy = resolve_policy policy_name;
+        policy_name;
+        capacity;
+        seed;
+        route;
+        split_k;
+        grid_den;
+        budget;
+      }
+    in
+    let fail msg =
+      Format.eprintf "dbp serve: %s@." msg;
+      exit 2
+    in
+    let modes =
+      (if stdio then 1 else 0)
+      + (if Option.is_some socket then 1 else 0)
+      + (if Option.is_some tcp then 1 else 0)
+      + (if Option.is_some replay then 1 else 0)
+      + (if bench then 1 else 0)
+    in
+    if modes > 1 then
+      usage "choose one of --stdio, --socket, --tcp, --replay, --bench";
+    if Option.is_some connect && Option.is_none replay then
+      usage "--connect requires --replay";
+    let echo_fn = if echo then Some print_endline else None in
+    let serve_listener lfd cleanup =
+      let should_stop = S.install_sigterm () in
+      let result =
+        Fun.protect ~finally:cleanup (fun () ->
+            S.run_listener cfg ?checkpoint ~should_stop lfd)
+      in
+      match result with
+      | Ok su ->
+          print_endline (S.summary_line cfg su);
+          0
+      | Error msg -> fail msg
+    in
+    match (socket, tcp, replay, bench) with
+    | Some path, None, None, false ->
+        (try if Sys.file_exists path then Sys.remove path
+         with Sys_error _ -> ());
+        let lfd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+        Unix.bind lfd (Unix.ADDR_UNIX path);
+        Unix.listen lfd 16;
+        serve_listener lfd (fun () ->
+            (try Unix.close lfd with Unix.Unix_error _ -> ());
+            try Sys.remove path with Sys_error _ -> ())
+    | None, Some port, None, false ->
+        if port < 0 || port > 0xffff then usage "--tcp port out of range";
+        let lfd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+        Unix.setsockopt lfd Unix.SO_REUSEADDR true;
+        Unix.bind lfd (Unix.ADDR_INET (Unix.inet_addr_loopback, port));
+        Unix.listen lfd 16;
+        serve_listener lfd (fun () ->
+            try Unix.close lfd with Unix.Unix_error _ -> ())
+    | None, None, Some trace, false -> (
+        let instance = load_trace trace in
+        let result =
+          match connect with
+          | None -> S.replay cfg ?echo:echo_fn instance
+          | Some path ->
+              let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+              Fun.protect
+                ~finally:(fun () ->
+                  try Unix.close fd with Unix.Unix_error _ -> ())
+                (fun () ->
+                  Unix.connect fd (Unix.ADDR_UNIX path);
+                  S.replay_client ?echo:echo_fn fd instance)
+        in
+        match result with
+        | Ok summary ->
+            print_endline summary;
+            0
+        | Error msg -> fail msg)
+    | None, None, None, true -> (
+        if sessions < 1 then usage "--sessions must be >= 1";
+        match S.bench cfg ~sessions with
+        | Error msg -> fail msg
+        | Ok r -> (
+            let body = S.bench_json cfg r in
+            (match out with
+            | Some path ->
+                let oc = open_out path in
+                output_string oc body;
+                output_char oc '\n';
+                close_out oc;
+                Format.printf "wrote %s@." path
+            | None -> print_endline body);
+            match assert_floor with
+            | None -> 0
+            | Some path ->
+                let floor = read_floor path in
+                if r.S.br_events_per_s >= floor then begin
+                  Format.printf "serve floor ok: %.0f events/s (floor %.0f)@."
+                    r.S.br_events_per_s floor;
+                  0
+                end
+                else begin
+                  Format.eprintf
+                    "serve perf regression: %.0f events/s is below the %.0f \
+                     floor in %s@."
+                    r.S.br_events_per_s floor path;
+                  1
+                end))
+    | None, None, None, false -> (
+        let should_stop = S.install_sigterm () in
+        match
+          S.run_stream cfg ?checkpoint ~should_stop ~input:Unix.stdin
+            ~output:Unix.stdout ()
+        with
+        | Ok _ -> 0 (* the summary already went to the stream *)
+        | Error msg -> fail msg)
+    | _ -> usage "choose one of --stdio, --socket, --tcp, --replay, --bench"
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:
+         "Long-running sharded allocator daemon: stream dbp-trace/2 \
+          arrive/depart events over stdio or a socket, answer each arrival \
+          with a placement, shard bins across domains, and degrade \
+          gracefully on shard loss via budget-aware migration.")
+    Term.(
+      const run $ shards $ policy_arg $ capacity $ seed_arg $ route $ split_k
+      $ grid_den $ budget $ stdio $ socket $ tcp $ replay $ connect $ echo
+      $ bench $ sessions $ assert_floor $ out $ checkpoint)
+
 (* ---- main ----------------------------------------------------------- *)
 
 let () =
@@ -1480,6 +1747,7 @@ let () =
         repack_cmd;
         metrics_cmd;
         check_cmd;
+        serve_cmd;
       ]
   in
   (* Validation failures are exit code 2 everywhere, never an uncaught
@@ -1498,6 +1766,9 @@ let () =
         2
     | Invalid_argument msg | Failure msg ->
         Format.eprintf "dbp: %s@." msg;
+        2
+    | Unix.Unix_error (err, fn, arg) ->
+        Format.eprintf "dbp: %s: %s %s@." (Unix.error_message err) fn arg;
         2
   in
   exit code

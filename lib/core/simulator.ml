@@ -14,6 +14,39 @@ let invalid_step fmt = Format.kasprintf (fun s -> raise (Invalid_step s)) fmt
    dense in item id, so a huge id would force a huge allocation. *)
 let max_fast_item = (1 lsl 23) - 1
 
+(* Fast-track replay packs each event into one int:
+   [(time_s << 25) | (kind << 24) | id].  The id field is 24 bits
+   wide; [max_fast_item] (2^23 - 1) keeps every admissible id strictly
+   below the kind bit, so an id can never carry into — and silently
+   flip — the kind or time fields.  Ids above the bound (and off-grid
+   or out-of-range times) must take the comparison-sorted event-array
+   path instead; [pack_event_key] enforces both bounds so the
+   invariant is checked at the packing site, not trusted from afar. *)
+let event_key_id_bits = 24
+let event_key_id_mask = (1 lsl event_key_id_bits) - 1
+let event_key_kind_bit = 1 lsl event_key_id_bits
+let event_key_time_shift = event_key_id_bits + 1
+
+(* Scaled times must stay under 2^37 so the key (37 + 25 = 62 bits)
+   remains a positive OCaml int for the radix sort. *)
+let event_key_time_limit = 1 lsl 37
+
+let () = assert (max_fast_item < event_key_id_mask)
+
+let pack_event_key ~time_s ~arrival ~id =
+  if id < 0 || id > max_fast_item then
+    invalid_arg "Simulator.pack_event_key: id outside [0, max_fast_item]";
+  if time_s < 0 || time_s >= event_key_time_limit then
+    invalid_arg "Simulator.pack_event_key: scaled time out of range";
+  (time_s lsl event_key_time_shift)
+  lor (if arrival then event_key_kind_bit else 0)
+  lor id
+
+let unpack_event_key k =
+  ( k lsr event_key_time_shift,
+    k land event_key_kind_bit <> 0,
+    k land event_key_id_mask )
+
 (* LSD radix sort of non-negative keys, 16-bit digits.  Linear in the
    input against the comparison sort's n log n closure calls — the
    event stream and the finish-time timeline both sort scaled-integer
@@ -1630,6 +1663,10 @@ let grid_of_instance instance =
       in
       if ok then Some s else None
 
+(* Streaming drivers (lib/serve) pick a grid by denominator up front;
+   keeping the constructor here keeps Fixed confined (lint R7). *)
+let grid_of_den = Fixed.scale_of_den
+
 let apply_event online (e : Event.t) =
   match e.kind with
   | Event.Arrival ->
@@ -1682,7 +1719,7 @@ let run ?audit ?sink ?metrics ?profile ?grid ?tag_capacity ?checkpoint_every
             let by_id = Array.make (max_id + 1) items.(0) in
             let seen = Array.make (max_id + 1) false in
             let keys = Array.make (2 * n) 0 in
-            let lim = 1 lsl 37 in
+            let lim = event_key_time_limit in
             match
               Array.iteri
                 (fun i (r : Item.t) ->
@@ -1693,8 +1730,10 @@ let run ?audit ?sink ?metrics ?profile ?grid ?tag_capacity ?checkpoint_every
                   | Some a, Some d when a >= 0 && d >= 0 && a < lim && d < lim ->
                       seen.(r.Item.id) <- true;
                       by_id.(r.Item.id) <- r;
-                      keys.(2 * i) <- (a lsl 25) lor (1 lsl 24) lor r.Item.id;
-                      keys.((2 * i) + 1) <- (d lsl 25) lor r.Item.id
+                      keys.(2 * i) <-
+                        pack_event_key ~time_s:a ~arrival:true ~id:r.Item.id;
+                      keys.((2 * i) + 1) <-
+                        pack_event_key ~time_s:d ~arrival:false ~id:r.Item.id
                   | _ -> raise Exit)
                 items
             with
@@ -1706,8 +1745,8 @@ let run ?audit ?sink ?metrics ?profile ?grid ?tag_capacity ?checkpoint_every
   | Some (g, keys, by_id) ->
       Array.iteri
         (fun i k ->
-          let id = k land 0xffffff in
-          (if k land (1 lsl 24) <> 0 then
+          let id = k land event_key_id_mask in
+          (if k land event_key_kind_bit <> 0 then
              let r = by_id.(id) in
              ignore
                (Online.arrive online ~now:r.Item.arrival ~size:r.Item.size
@@ -1715,7 +1754,8 @@ let run ?audit ?sink ?metrics ?profile ?grid ?tag_capacity ?checkpoint_every
            else
              (* The key already encodes the on-grid departure time, so
                 skip the [by_id] load entirely. *)
-             Online.depart_scaled online g ~now_s:(k lsr 25) ~item_id:id);
+             Online.depart_scaled online g
+               ~now_s:(k lsr event_key_time_shift) ~item_id:id);
           hook_after i)
         keys
   | None ->

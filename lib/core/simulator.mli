@@ -208,12 +208,42 @@ module Online : sig
       benchmarks and tests; results never depend on it. *)
 end
 
+val max_fast_item : int
+(** [2^23 - 1] — the largest item id the fixed-point fast track
+    accepts.  The fast stores are dense in item id, and the packed
+    replay key below reserves 24 bits for the id: keeping admissible
+    ids strictly below the kind bit means an id can never carry into
+    the kind or time fields.  Larger ids fall back to the exact
+    track and the comparison-sorted event array. *)
+
+val event_key_time_limit : int
+(** [2^37] — exclusive bound on the scaled times a packed replay key
+    can carry (37 time bits + 25 layout bits = 62, so keys stay
+    positive OCaml ints for the radix sort). *)
+
+val pack_event_key : time_s:int -> arrival:bool -> id:int -> int
+(** The fast track's replay key, [(time_s << 25) | (kind << 24) | id]
+    with departures' kind bit 0: integer order is exactly
+    {!Event.compare}'s (time, departures first, then item id).
+    Exposed so tests can pin the layout at its boundaries.
+    @raise Invalid_argument if [id] is outside [0, max_fast_item] or
+    [time_s] outside [0, event_key_time_limit). *)
+
+val unpack_event_key : int -> int * bool * int
+(** [(time_s, arrival, id)] — left inverse of {!pack_event_key}. *)
+
 val grid_of_instance : Instance.t -> Fixed.scale option
 (** The instance's common grid: the least denominator under which the
     capacity and every item size, arrival and departure are exactly
     representable scaled integers within {!Fixed.bound}.  [None] if no
     such affordable grid exists — the run then stays on exact
     arithmetic.  Pass the result to {!Online.create}'s [?grid]. *)
+
+val grid_of_den : int -> Fixed.scale option
+(** The grid with denominator [d], or [None] if [d] is outside the
+    affordable range.  For streaming drivers that pick the grid up
+    front (no instance to inspect) — the engine still degrades to
+    exact arithmetic losslessly on any off-grid input. *)
 
 val apply_event : Online.t -> Event.t -> unit
 (** Feeds one instance event (arrival or departure) to the engine —

@@ -47,19 +47,44 @@ let run_list ~domains jobs =
     Array.iteri (fun i f -> results.(i) <- Some (f ())) jobs
   else begin
     let cursor = Atomic.make 0 in
+    (* First failure wins: a raising worker parks the exception with
+       its backtrace and stomps the cursor past [n], so every domain —
+       including the caller's own — stops claiming work at its next
+       steal instead of burning through the rest of the list before
+       the error surfaces at [Domain.join].  The spawned domains are
+       always joined (no leak even when the caller's own worker is
+       the one that failed), then the parked exception is re-raised
+       with its original backtrace. *)
+    let failure = Atomic.make None in
     let worker () =
       let rec loop () =
         let i = Atomic.fetch_and_add cursor 1 in
         if i < n then begin
-          results.(i) <- Some (jobs.(i) ());
-          loop ()
+          (match jobs.(i) () with
+          | r ->
+              results.(i) <- Some r;
+              loop ()
+          | exception e ->
+              let bt = Printexc.get_raw_backtrace () in
+              ignore (Atomic.compare_and_set failure None (Some (e, bt)));
+              Atomic.set cursor n)
         end
       in
       loop ()
     in
     let spawned = List.init (domains - 1) (fun _ -> Domain.spawn worker) in
-    worker ();
-    List.iter Domain.join spawned
+    (match worker () with
+    | () -> ()
+    | exception e ->
+        (* Defensive: worker itself never raises, but never leak a
+           spawned domain if that changes. *)
+        let bt = Printexc.get_raw_backtrace () in
+        ignore (Atomic.compare_and_set failure None (Some (e, bt)));
+        Atomic.set cursor n);
+    List.iter Domain.join spawned;
+    match Atomic.get failure with
+    | Some (e, bt) -> Printexc.raise_with_backtrace e bt
+    | None -> ()
   end;
   Array.to_list results
   |> List.map (function

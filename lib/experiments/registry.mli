@@ -21,4 +21,9 @@ val run_list : domains:int -> (unit -> 'a) list -> 'a list
 (** Generic deterministic fan-out underneath {!run_all}: runs the
     thunks on [domains] domains (clamped to the list length; [<= 1]
     means in this domain) and returns the results in input order.
-    Thunks must not share mutable state. *)
+    Thunks must not share mutable state.
+
+    If a thunk raises, the remaining unstarted thunks are abandoned,
+    every spawned domain is joined, and the {e first} failure (in
+    claim order) is re-raised with its original backtrace — promptly,
+    not after all other work completes. *)

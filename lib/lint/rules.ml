@@ -62,8 +62,9 @@ let all_rules =
       title = "confine-domain-primitives";
       what =
         "Domain / Atomic / Mutex / Condition / Thread usage is \
-         confined to lib/experiments/registry.ml (the approved \
-         parallel runner); new shared state must go through it";
+         confined to lib/experiments/registry.ml and \
+         lib/serve/shard_pool.ml (the approved parallel runners); \
+         new shared state must go through one of them";
     };
     {
       id = "R6";
@@ -123,7 +124,12 @@ let r1_applies path =
   || has_infix ~infix:"lib/num/vec.ml" path)
   && not (r1_display_exempt path)
 
-let r5_allowlisted path = has_infix ~infix:"lib/experiments/registry.ml" path
+(* The two sanctioned homes for domain-parallel primitives: the
+   experiment runner and the fleet service's shard pool.  Everything
+   else must route parallelism through one of them. *)
+let r5_allowlisted path =
+  has_infix ~infix:"lib/experiments/registry.ml" path
+  || has_infix ~infix:"lib/serve/shard_pool.ml" path
 
 let r6_hot_modules =
   [
@@ -286,7 +292,8 @@ let check_ident ctx ~loc txt =
   (* R5: domain-parallel primitives outside the approved runner. *)
   if List.mem root domain_modules && not (r5_allowlisted ctx.path) then
     report ctx ~rule:"R5" ~loc
-      "%s outside the approved parallel runner (lib/experiments/registry.ml)"
+      "%s outside the approved parallel runners \
+       (lib/experiments/registry.ml, lib/serve/shard_pool.ml)"
       name;
   (* R3 (part): the polymorphic comparison/hash primitives themselves,
      applied or passed as arguments (e.g. [List.sort compare]). *)

@@ -53,9 +53,9 @@ let all_typed_rules =
       what =
         "mutable state (ref, Atomic.t, Hashtbl.t, arrays, mutable \
          record fields) captured by a closure handed to Domain.spawn \
-         outside the approved parallel runner \
-         (lib/experiments/registry.ml) — the data-race groundwork \
-         for sharded fleet service";
+         outside the approved parallel runners \
+         (lib/experiments/registry.ml, lib/serve/shard_pool.ml) — \
+         the data-race groundwork for sharded fleet service";
     };
     {
       Rules.id = "T4";
@@ -431,9 +431,10 @@ let check_t3_spawn ctx spawn_arg =
               if free && contains_mutable ctx e.exp_type then
                 report ctx ~rule:"T3" ~loc:e.exp_loc
                   "%s : %s is mutable state captured by a closure passed to \
-                   Domain.spawn outside the approved parallel runner \
-                   (lib/experiments/registry.ml); confine shared state to \
-                   the runner or pass immutable snapshots"
+                   Domain.spawn outside the approved parallel runners \
+                   (lib/experiments/registry.ml, lib/serve/shard_pool.ml); \
+                   confine shared state to a runner or pass immutable \
+                   snapshots"
                   (Path.name p) (short_type e.exp_type)
           | _ -> ());
           default.Tast_iterator.expr self e);

@@ -321,33 +321,149 @@ let of_ndjson line =
     Ok { seq; time; kind }
   with Bad msg -> Error msg
 
+(* ---- incremental stream validation ---------------------------------- *)
+
+type event = t
+
+type stream_error = { line : int; byte : int; message : string }
+
+let stream_error_to_string e =
+  Printf.sprintf "line %d (byte %d): %s" e.line e.byte e.message
+
+(* Socket-framed input arrives in arbitrary chunks: a read may end in
+   the middle of a line, and the very last line of a stream may lack
+   its trailing newline.  [Feed] carries the undelivered suffix across
+   calls and validates the whole-stream invariants (sequence numbers
+   exactly [seq_start, seq_start+1, ...], time never decreasing) as
+   lines complete.  Errors pin both the 1-based non-blank line number
+   and the absolute byte offset of that line's first byte, so a caller
+   resuming after a short read can report — or seek to — the exact
+   spot. *)
+module Feed = struct
+  type nonrec t = {
+    partial : Buffer.t;  (* bytes of the current unterminated line *)
+    mutable next_seq : int;
+    mutable prev_time : Rat.t option;
+    mutable lines : int;  (* non-blank lines committed so far *)
+    mutable line_start : int;  (* absolute offset of the current line *)
+    mutable total : int;  (* absolute bytes fed so far *)
+    mutable failed : stream_error option;
+  }
+
+  let create ?(seq_start = 0) () =
+    {
+      partial = Buffer.create 256;
+      next_seq = seq_start;
+      prev_time = None;
+      lines = 0;
+      line_start = 0;
+      total = 0;
+      failed = None;
+    }
+
+  let bytes_consumed t = t.line_start
+  let next_seq t = t.next_seq
+
+  let fail t message =
+    let e = { line = t.lines + 1; byte = t.line_start; message } in
+    t.failed <- Some e;
+    Error e
+
+  (* Validate one completed line.  Blank lines are ignored, as in the
+     whole-document parser; a trailing '\r' is tolerated so CRLF
+     socket clients work. *)
+  let commit t raw acc =
+    let raw =
+      let n = String.length raw in
+      if n > 0 && raw.[n - 1] = '\r' then String.sub raw 0 (n - 1) else raw
+    in
+    if raw = "" then Ok acc
+    else
+      match of_ndjson raw with
+      | Error msg -> fail t msg
+      | Ok ev ->
+          if ev.seq <> t.next_seq then
+            fail t
+              (Printf.sprintf "sequence number %d, expected %d" ev.seq
+                 t.next_seq)
+          else if
+            match t.prev_time with
+            | Some p -> Rat.(ev.time < p)
+            | None -> false
+          then
+            fail t
+              (Printf.sprintf "time %s precedes the previous event"
+                 (Rat.to_string ev.time))
+          else begin
+            t.lines <- t.lines + 1;
+            t.next_seq <- ev.seq + 1;
+            t.prev_time <- Some ev.time;
+            Ok (ev :: acc)
+          end
+
+  let feed t ?(off = 0) ?len s =
+    match t.failed with
+    | Some e -> Error e
+    | None ->
+        let len =
+          match len with Some l -> l | None -> String.length s - off
+        in
+        if off < 0 || len < 0 || off + len > String.length s then
+          invalid_arg "Trace_event.Feed.feed";
+        let stop = off + len in
+        (* The absolute stream offset of [s.[x]] is [base + x]. *)
+        let base = t.total - off in
+        let rec go i acc =
+          if i >= stop then Ok (List.rev acc)
+          else
+            match String.index_from_opt s i '\n' with
+            | Some j when j < stop -> (
+                Buffer.add_substring t.partial s i (j - i);
+                let raw = Buffer.contents t.partial in
+                Buffer.clear t.partial;
+                match commit t raw acc with
+                | Error e -> Error e
+                | Ok acc ->
+                    t.line_start <- base + j + 1;
+                    go (j + 1) acc)
+            | Some _ | None ->
+                Buffer.add_substring t.partial s i (stop - i);
+                Ok (List.rev acc)
+        in
+        let r = go off [] in
+        t.total <- t.total + len;
+        r
+
+  (* End of stream: a final line without its trailing newline is
+     accepted — exactly the case a short read leaves behind. *)
+  let close t =
+    match t.failed with
+    | Some e -> Error e
+    | None ->
+        if Buffer.length t.partial = 0 then Ok []
+        else begin
+          let raw = Buffer.contents t.partial in
+          Buffer.clear t.partial;
+          match commit t raw [] with
+          | Error e -> Error e
+          | Ok acc ->
+              t.line_start <- t.total;
+              Ok (List.rev acc)
+        end
+end
+
 (* Whole-stream validation: every line parses, sequence numbers are
-   exactly 0, 1, 2, ... and time never goes backwards. *)
+   exactly 0, 1, 2, ... and time never goes backwards.  Built on
+   {!Feed}, so a missing final newline is accepted and errors carry
+   byte offsets alongside line numbers. *)
 let parse_all text =
-  let lines =
-    String.split_on_char '\n' text |> List.filter (fun l -> l <> "")
-  in
-  let rec go i prev_time acc = function
-    | [] -> Ok (List.rev acc)
-    | line :: rest -> (
-        match of_ndjson line with
-        | Error msg -> Error (Printf.sprintf "line %d: %s" (i + 1) msg)
-        | Ok ev ->
-            if ev.seq <> i then
-              Error
-                (Printf.sprintf "line %d: sequence number %d, expected %d"
-                   (i + 1) ev.seq i)
-            else if
-              match prev_time with
-              | Some p -> Rat.(ev.time < p)
-              | None -> false
-            then
-              Error
-                (Printf.sprintf "line %d: time %s precedes the previous event"
-                   (i + 1) (Rat.to_string ev.time))
-            else go (i + 1) (Some ev.time) (ev :: acc) rest)
-  in
-  go 0 None [] lines
+  let f = Feed.create () in
+  match Feed.feed f text with
+  | Error e -> Error (stream_error_to_string e)
+  | Ok evs -> (
+      match Feed.close f with
+      | Error e -> Error (stream_error_to_string e)
+      | Ok evs' -> Ok (evs @ evs'))
 
 let pp fmt t =
   Format.fprintf fmt "#%d t=%a %s" t.seq Rat.pp t.time (kind_name t.kind)

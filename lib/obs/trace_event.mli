@@ -80,9 +80,61 @@ val parse_flat_object : string -> ((string * value) list, string) result
     NDJSON schemas (the checkpoint format) parse with the same
     strictness.  Fields come back in source order. *)
 
+type event = t
+(** Alias so {!Feed}'s signature can name the event type. *)
+
+type stream_error = { line : int; byte : int; message : string }
+(** A stream-validation failure: [line] is the 1-based non-blank line
+    number, [byte] the absolute offset of that line's first byte in
+    the stream — socket servers report it so a client can locate the
+    offending frame even when chunk boundaries hid the line
+    structure. *)
+
+val stream_error_to_string : stream_error -> string
+(** ["line %d (byte %d): %s"]. *)
+
+(** Incremental whole-stream validation over arbitrary read chunks.
+
+    A [Feed] accepts the stream in whatever pieces the transport
+    delivers — a chunk may end mid-line — and returns events as their
+    lines complete, enforcing the same invariants as {!parse_all}:
+    every line parses strictly, sequence numbers are exactly
+    [seq_start, seq_start+1, ...], timestamps never decrease.
+    {!Feed.close} flushes a final line that lacks its trailing
+    newline (what a short read or an unterminated file leaves
+    behind).  After an error the feed is poisoned: every further call
+    returns the same {!stream_error}. *)
+module Feed : sig
+  type nonrec t
+
+  val create : ?seq_start:int -> unit -> t
+  (** [seq_start] (default 0) positions the sequence check — a
+      consumer resuming mid-stream (checkpoint thaw, per-connection
+      framing) starts where it left off. *)
+
+  val feed : t -> ?off:int -> ?len:int -> string -> (event list, stream_error) result
+  (** Consume [len] bytes of [s] starting at [off] (defaults: the
+      whole string) and return the events whose lines completed, in
+      stream order.  @raise Invalid_argument if [off]/[len] do not
+      describe a substring of [s]. *)
+
+  val close : t -> (event list, stream_error) result
+  (** Signal end of stream: commits a pending unterminated final
+      line, if any. *)
+
+  val bytes_consumed : t -> int
+  (** Absolute offset of the first byte not yet part of a committed
+      line — the resume point after a short read. *)
+
+  val next_seq : t -> int
+  (** The sequence number the next event must carry. *)
+end
+
 val parse_all : string -> (t list, string) result
 (** Validates a whole NDJSON document (blank lines ignored): every
     line parses, sequence numbers are exactly [0, 1, 2, ...] and
-    timestamps never decrease.  Errors carry the 1-based line. *)
+    timestamps never decrease.  A final line without its trailing
+    newline is accepted.  Errors carry the 1-based line number and
+    absolute byte offset ({!stream_error_to_string} format). *)
 
 val pp : Format.formatter -> t -> unit

@@ -1,0 +1,45 @@
+open Dbp_num
+
+type policy = Size_class | Hash
+
+let policy_of_string = function
+  | "size-class" -> Ok Size_class
+  | "hash" -> Ok Hash
+  | s -> Error (Printf.sprintf "unknown route policy %S (size-class|hash)" s)
+
+let policy_name = function Size_class -> "size-class" | Hash -> "hash"
+
+type t = { policy : policy; shards : int; threshold : Rat.t; capacity : Rat.t }
+
+(* Small items are grouped by [floor (capacity / size)] — the "at most
+   c per bin" classes the size-class policies reason about.  Classes
+   above this cap carry no locality worth separating. *)
+let max_class = 64
+
+let create ~policy ~shards ~capacity ~k =
+  if shards < 1 then invalid_arg "Router.create: shards < 1";
+  if Rat.(k <= one) then invalid_arg "Router.create: k <= 1";
+  { policy; shards; threshold = Rat.div capacity k; capacity }
+
+let nominal t ~size ~item_id =
+  match t.policy with
+  | Hash -> item_id mod t.shards
+  | Size_class ->
+      if t.shards = 1 then 0
+      else if Rat.(size >= t.threshold) then 0
+      else
+        let c =
+          if Rat.sign size <= 0 then max_class
+          else Stdlib.min max_class (Rat.floor (Rat.div t.capacity size))
+        in
+        1 + (c mod (t.shards - 1))
+
+let route t ~alive ~size ~item_id =
+  let s0 = nominal t ~size ~item_id in
+  let rec probe i =
+    if i >= t.shards then invalid_arg "Router.route: no live shard"
+    else
+      let s = (s0 + i) mod t.shards in
+      if alive s then s else probe (i + 1)
+  in
+  probe 0

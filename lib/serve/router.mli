@@ -1,0 +1,34 @@
+(** Shard routing for the fleet service.
+
+    The default policy is the paper's Modified First Fit pool split
+    applied as a sharding strategy: items at least [capacity / k] are
+    "large" and own shard 0 (MFF's dedicated large pool), the rest
+    spread over shards [1 .. shards-1] by coarse size class
+    ([floor (capacity / size)], capped), so items of similar size land
+    together — exactly the locality the size-class policies exploit.
+    [Hash] routes by item id and is the fallback for workloads whose
+    sizes carry no signal.
+
+    Routing is total over live shards: when the nominal shard is down
+    the router probes linearly to the next live one, so the placement
+    path keeps answering through shard loss. *)
+
+open Dbp_num
+
+type policy = Size_class | Hash
+
+val policy_of_string : string -> (policy, string) result
+(** ["size-class" | "hash"]. *)
+
+val policy_name : policy -> string
+
+type t
+
+val create : policy:policy -> shards:int -> capacity:Rat.t -> k:Rat.t -> t
+(** [k] is the large-pool divisor (threshold [capacity / k]), as in
+    [mff:<k>].
+    @raise Invalid_argument if [shards < 1] or [k <= 1]. *)
+
+val route : t -> alive:(int -> bool) -> size:Rat.t -> item_id:int -> int
+(** The shard that owns this arrival.
+    @raise Invalid_argument if no shard is alive. *)

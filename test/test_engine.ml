@@ -342,10 +342,61 @@ let test_index_views_reuse_cached () =
   Alcotest.(check bool) "list rebuilt each call" true
     (Open_index.views ix <> [] )
 
+(* ---- packed event keys: id-overflow audit --------------------------- *)
+
+let test_event_key_boundaries () =
+  (* Round trip at the exact corners of the packed layout. *)
+  List.iter
+    (fun (time_s, arrival, id) ->
+      let k = Simulator.pack_event_key ~time_s ~arrival ~id in
+      Alcotest.(check bool) "key non-negative" true (k >= 0);
+      let t', a', i' = Simulator.unpack_event_key k in
+      Alcotest.(check int) "time survives" time_s t';
+      Alcotest.(check bool) "kind survives" arrival a';
+      Alcotest.(check int) "id survives" id i')
+    [
+      (0, false, 0);
+      (0, true, Simulator.max_fast_item);
+      (Simulator.event_key_time_limit - 1, true, Simulator.max_fast_item);
+      (Simulator.event_key_time_limit - 1, false, 0);
+    ];
+  (* An id one past the guard would carry into the kind bit; the
+     packer must refuse rather than silently corrupt the order. *)
+  List.iter
+    (fun (time_s, id) ->
+      match Simulator.pack_event_key ~time_s ~arrival:true ~id with
+      | _ -> Alcotest.failf "packed out-of-range id %d" id
+      | exception Invalid_argument _ -> ())
+    [
+      (0, Simulator.max_fast_item + 1);
+      (0, -1);
+      (Simulator.event_key_time_limit, 0);
+      (-1, 0);
+    ]
+
+let prop_event_key_order =
+  qcheck ~count:500 "packed keys sort like (time, departures-first, id)"
+    QCheck2.Gen.(
+      pair
+        (triple (int_bound 1000000) bool (int_bound Simulator.max_fast_item))
+        (triple (int_bound 1000000) bool (int_bound Simulator.max_fast_item)))
+    (fun ((t1, a1, i1), (t2, a2, i2)) ->
+      let k1 = Simulator.pack_event_key ~time_s:t1 ~arrival:a1 ~id:i1 in
+      let k2 = Simulator.pack_event_key ~time_s:t2 ~arrival:a2 ~id:i2 in
+      let expect =
+        if t1 <> t2 then compare t1 t2
+        else if a1 <> a2 then compare a1 a2 (* false (departure) first *)
+        else compare i1 i2
+      in
+      compare k1 k2 = expect
+      && Simulator.unpack_event_key k1 = (t1, a1, i1))
+
 let suite =
   [
     Alcotest.test_case "generated workloads: engines bit-identical" `Quick
       test_generated_equivalence;
+    Alcotest.test_case "event key boundaries" `Quick test_event_key_boundaries;
+    prop_event_key_order;
     prop_equivalence;
     Alcotest.test_case "fail_bin storms: engines bit-identical" `Quick
       test_storm_equivalence;

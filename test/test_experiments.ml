@@ -49,9 +49,33 @@ let test_render_outcome () =
       Alcotest.(check bool) "has table" true
         (Test_util.contains ~sub:"measured ratio" rendered)
 
+(* A worker exception must surface as the original exception promptly
+   after the parallel section, not vanish or arrive as a Domain.join
+   artefact — and identically whether the fan-out is parallel or
+   sequential. *)
+let test_run_list_reraises_worker_failure () =
+  List.iter
+    (fun domains ->
+      let jobs =
+        List.init 8 (fun i () ->
+            if i = 5 then failwith "job-5-exploded" else i * i)
+      in
+      match Registry.run_list ~domains jobs with
+      | _ -> Alcotest.failf "domains:%d swallowed the failure" domains
+      | exception Failure msg ->
+          Alcotest.(check string)
+            (Printf.sprintf "domains:%d original exception" domains)
+            "job-5-exploded" msg)
+    [ 1; 3 ];
+  (* And a clean list still returns results in input order. *)
+  Alcotest.(check (list int)) "clean run ordered" [ 0; 1; 4; 9 ]
+    (Registry.run_list ~domains:3 (List.init 4 (fun i () -> i * i)))
+
 let suite =
   [
     Alcotest.test_case "registry complete" `Quick test_registry_complete;
+    Alcotest.test_case "run_list re-raises worker failure" `Quick
+      test_run_list_reraises_worker_failure;
     Alcotest.test_case "E1 clean" `Slow test_e1;
     Alcotest.test_case "E3 clean" `Slow test_e3;
     Alcotest.test_case "E10 clean" `Slow test_e10;

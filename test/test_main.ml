@@ -30,4 +30,5 @@ let () =
       ("repack", Test_repack.suite);
       ("experiments", Test_experiments.suite);
       ("vec", Test_vec.suite);
+      ("serve", Test_serve.suite);
     ]

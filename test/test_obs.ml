@@ -310,8 +310,138 @@ let kind_gen =
           pos;
       ])
 
+(* ---- incremental feed: partial reads, missing final newline --------- *)
+
+let feed_doc_events () =
+  List.mapi
+    (fun i kind -> { Trace_event.seq = i; time = Rat.of_int i; kind })
+    [
+      Trace_event.Arrive { item = 0; size = r 1 3 };
+      Trace_event.Pack { item = 0; bin = 0; level = r 1 3; residual = r 2 3 };
+      Trace_event.Shed { item = 1 };
+      Trace_event.Retry { item = 1; attempt = 1 };
+      Trace_event.Depart { item = 0; bin = 0; held = r 5 2 };
+    ]
+
+let test_feed_split_at_every_byte () =
+  (* A valid stream must parse identically however the transport
+     fragments it: split the document at every byte boundary and feed
+     the two halves separately. *)
+  let evs = feed_doc_events () in
+  let doc =
+    String.concat "" (List.map (fun e -> Trace_event.to_ndjson e ^ "\n") evs)
+  in
+  for cut = 0 to String.length doc do
+    let feed = Trace_event.Feed.create () in
+    let got = ref [] in
+    let push chunk =
+      match Trace_event.Feed.feed feed chunk with
+      | Ok es -> got := !got @ es
+      | Error e ->
+          Alcotest.failf "split at %d: %s" cut
+            (Trace_event.stream_error_to_string e)
+    in
+    push (String.sub doc 0 cut);
+    push (String.sub doc cut (String.length doc - cut));
+    (match Trace_event.Feed.close feed with
+    | Ok es -> got := !got @ es
+    | Error e ->
+        Alcotest.failf "close after split at %d: %s" cut
+          (Trace_event.stream_error_to_string e));
+    if !got <> evs then Alcotest.failf "split at %d reordered events" cut
+  done
+
+let test_feed_final_line_without_newline () =
+  let evs = feed_doc_events () in
+  let doc =
+    String.concat "\n" (List.map Trace_event.to_ndjson evs)
+    (* no trailing newline *)
+  in
+  let feed = Trace_event.Feed.create () in
+  let first =
+    match Trace_event.Feed.feed feed doc with
+    | Ok es -> es
+    | Error e -> Alcotest.failf "%s" (Trace_event.stream_error_to_string e)
+  in
+  Alcotest.(check int) "terminated lines parse eagerly"
+    (List.length evs - 1) (List.length first);
+  match Trace_event.Feed.close feed with
+  | Ok [ last ] ->
+      Alcotest.(check bool) "final unterminated line parses" true
+        (last = List.nth evs (List.length evs - 1))
+  | Ok other -> Alcotest.failf "close returned %d events" (List.length other)
+  | Error e -> Alcotest.failf "%s" (Trace_event.stream_error_to_string e)
+
+let test_feed_reports_byte_offsets () =
+  let feed = Trace_event.Feed.create () in
+  let good = {|{"seq":0,"t":"1","kind":"shed","item":4}|} ^ "\n" in
+  (match Trace_event.Feed.feed feed good with
+  | Ok [ _ ] -> ()
+  | Ok _ | Error _ -> Alcotest.fail "good line should parse");
+  (* Deliver the bad line in two fragments so the reported offset must
+     come from stream accounting, not the chunk. *)
+  (match Trace_event.Feed.feed feed "not js" with
+  | Ok [] -> ()
+  | Ok _ | Error _ -> Alcotest.fail "partial line should stay buffered");
+  match Trace_event.Feed.feed feed "on\n" with
+  | Ok _ -> Alcotest.fail "malformed line should fail"
+  | Error e ->
+      Alcotest.(check int) "line number" 2 e.Trace_event.line;
+      Alcotest.(check int) "byte offset of the offending line"
+        (String.length good) e.Trace_event.byte;
+      (* Poisoned: later feeds keep failing with the same error. *)
+      (match Trace_event.Feed.feed feed good with
+      | Ok _ -> Alcotest.fail "feed should stay poisoned"
+      | Error e' -> Alcotest.(check int) "same byte" e.Trace_event.byte
+            e'.Trace_event.byte);
+      Alcotest.(check int) "bytes_consumed stops at the bad line"
+        (String.length good)
+        (Trace_event.Feed.bytes_consumed feed)
+
+let prop_feed_fragmentation =
+  qcheck ~count:200 "feed is fragmentation-invariant"
+    QCheck2.Gen.(
+      pair
+        (list_size (int_range 0 12) kind_gen)
+        (list_size (int_range 1 8) (int_range 1 30)))
+    (fun (kinds, cuts) ->
+      let evs =
+        List.mapi
+          (fun i kind -> { Trace_event.seq = i; time = Rat.of_int i; kind })
+          kinds
+      in
+      let doc =
+        String.concat ""
+          (List.map (fun e -> Trace_event.to_ndjson e ^ "\n") evs)
+      in
+      let feed = Trace_event.Feed.create () in
+      let got = ref [] in
+      let ok = ref true in
+      let push s =
+        match Trace_event.Feed.feed feed s with
+        | Ok es -> got := !got @ es
+        | Error _ -> ok := false
+      in
+      let n = String.length doc in
+      let pos = ref 0 in
+      List.iter
+        (fun w ->
+          if !pos < n then begin
+            let w = min w (n - !pos) in
+            push (String.sub doc !pos w);
+            pos := !pos + w
+          end)
+        cuts;
+      if !pos < n then push (String.sub doc !pos (n - !pos));
+      (match Trace_event.Feed.close feed with
+      | Ok es -> got := !got @ es
+      | Error _ -> ok := false);
+      !ok && !got = evs
+      && Trace_event.Feed.bytes_consumed feed = String.length doc)
+
 let prop_tests =
   [
+    prop_feed_fragmentation;
     qcheck ~count:300 "random events survive NDJSON round-trip"
       QCheck2.Gen.(list_size (int_range 0 20) kind_gen)
       (fun kinds ->
@@ -335,6 +465,12 @@ let suite =
     Alcotest.test_case "ndjson rejects malformed" `Quick
       test_ndjson_rejects_malformed;
     Alcotest.test_case "parse_all sequencing" `Quick test_parse_all_sequencing;
+    Alcotest.test_case "feed split at every byte" `Quick
+      test_feed_split_at_every_byte;
+    Alcotest.test_case "feed final line without newline" `Quick
+      test_feed_final_line_without_newline;
+    Alcotest.test_case "feed reports byte offsets" `Quick
+      test_feed_reports_byte_offsets;
     Alcotest.test_case "engine trace validates" `Quick
       test_engine_trace_validates;
     Alcotest.test_case "traced run bit-identical" `Quick
